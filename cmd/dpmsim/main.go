@@ -1,0 +1,173 @@
+// Command dpmsim runs the dynamic power manager end-to-end on a
+// scenario, either analytically (the closed-loop manager/battery
+// model behind the paper's tables) or on the full PAMA board
+// discrete-event simulation with FORTE workloads:
+//
+//	dpmsim -scenario I  -periods 2            # analytic, paper defaults
+//	dpmsim -scenario II -machine -periods 4   # full board simulation
+//	dpmsim -scenario I  -jitter 0.2 -seed 7   # perturbed supply
+//	dpmsim -scenario I  -policy even          # Algorithm 3 ablation
+//	dpmsim -scenario I  -trace                # per-slot rows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dpm/internal/dpm"
+	"dpm/internal/experiments"
+	"dpm/internal/machine"
+	"dpm/internal/report"
+	"dpm/internal/schedule"
+	"dpm/internal/trace"
+	"dpm/internal/units"
+)
+
+func main() {
+	scenario := flag.String("scenario", "I", "scenario name (I or II)")
+	configPath := flag.String("config", "", "load a custom scenario from a JSON file (overrides -scenario)")
+	periods := flag.Int("periods", 2, "number of charging periods to simulate")
+	useMachine := flag.Bool("machine", false, "run the full PAMA board discrete-event simulation")
+	jitter := flag.Float64("jitter", 0, "multiplicative jitter on the actual charging schedule [0,1)")
+	seed := flag.Int64("seed", 1, "random seed for jitter and event traces")
+	policy := flag.String("policy", "proportional", "Algorithm 3 redistribution policy (proportional|even)")
+	eventScale := flag.Float64("events", 0.1, "event-rate scale (events/s per W of scheduled usage)")
+	gang := flag.Bool("gang", false, "gang-schedule each capture across all active workers (machine mode)")
+	showTrace := flag.Bool("trace", false, "print per-slot records")
+	plot := flag.Bool("plot", false, "render plan vs used power as an ASCII chart (analytic mode)")
+	flag.Parse()
+
+	if err := run(os.Stdout, *scenario, *configPath, *periods, *useMachine, *jitter, *seed, *policy, *eventScale, *gang, *showTrace, *plot); err != nil {
+		fmt.Fprintln(os.Stderr, "dpmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, scenarioName, configPath string, periods int, useMachine bool,
+	jitter float64, seed int64, policy string, eventScale float64, gang, showTrace, plot bool) error {
+
+	var s trace.Scenario
+	var err error
+	if configPath != "" {
+		s, err = trace.LoadScenario(configPath)
+	} else {
+		s, err = trace.ByName(scenarioName)
+	}
+	if err != nil {
+		return err
+	}
+	cfg := experiments.ManagerConfig(s)
+	switch policy {
+	case "proportional":
+		cfg.Policy = dpm.Proportional
+	case "even":
+		cfg.Policy = dpm.Even
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+	actual := s.Charging
+	if jitter > 0 {
+		actual = trace.Perturb(s.Charging, jitter, seed)
+	}
+
+	if useMachine {
+		return runMachine(w, s, cfg, actual, periods, seed, eventScale, gang, showTrace)
+	}
+	return runAnalytic(w, s, cfg, actual, periods, showTrace, plot)
+}
+
+func runAnalytic(w io.Writer, s trace.Scenario, cfg dpm.Config,
+	actual *schedule.Grid, periods int, showTrace, plot bool) error {
+
+	res, err := dpm.Simulate(dpm.SimConfig{
+		Manager:        cfg,
+		ActualCharging: actual,
+		Periods:        periods,
+		SyncCharge:     true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "scenario %s, %d period(s), analytic model\n", s.Name, periods)
+	fmt.Fprintf(w, "  supplied      %s\n", units.FormatEnergy(res.Battery.TotalSupplied))
+	fmt.Fprintf(w, "  delivered     %s\n", units.FormatEnergy(res.Battery.TotalDrawn))
+	fmt.Fprintf(w, "  wasted        %s\n", units.FormatEnergy(res.Battery.Wasted))
+	fmt.Fprintf(w, "  undersupplied %s\n", units.FormatEnergy(res.Battery.Undersupplied))
+	fmt.Fprintf(w, "  utilization   %.1f%%\n", 100*res.Battery.Utilization)
+	fmt.Fprintf(w, "  switches      %d\n", res.Switches)
+	if plot {
+		chart := report.NewChart("plan vs used power per slot", "W")
+		planned := make([]float64, len(res.Records))
+		used := make([]float64, len(res.Records))
+		for i, r := range res.Records {
+			planned[i], used[i] = r.Planned, r.UsedPower
+		}
+		if err := chart.AddSeries("plan", planned); err != nil {
+			return err
+		}
+		if err := chart.AddSeries("used", used); err != nil {
+			return err
+		}
+		if err := chart.Render(w); err != nil {
+			return err
+		}
+	}
+	if !showTrace {
+		return nil
+	}
+	t := report.NewTable("", "t (s)", "plan (W)", "point", "used (W)", "supplied (W)", "charge (J)")
+	for _, r := range res.Records {
+		t.AddRow(report.F1(r.Time), report.F2(r.Planned), r.Point.String(),
+			report.F2(r.UsedPower), report.F2(r.SuppliedPower), report.F2(r.Charge))
+	}
+	return t.Render(w)
+}
+
+func runMachine(w io.Writer, s trace.Scenario, cfg dpm.Config, actual *schedule.Grid,
+	periods int, seed int64, eventScale float64, gang, showTrace bool) error {
+
+	events, err := trace.PoissonEvents(s.Usage, eventScale, float64(periods)*trace.Period, seed)
+	if err != nil {
+		return err
+	}
+	board, err := machine.New(machine.Config{
+		Manager:        cfg,
+		ActualCharging: actual,
+		Events:         events,
+		Periods:        periods,
+		ExecuteDSP:     true,
+		GangScheduled:  gang,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := board.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "scenario %s, %d period(s), PAMA board simulation\n", s.Name, periods)
+	fmt.Fprintf(w, "  events arrived   %d\n", res.EventsArrived)
+	fmt.Fprintf(w, "  tasks completed  %d\n", res.TasksCompleted)
+	fmt.Fprintf(w, "  detector         %s\n", res.Detector)
+	fmt.Fprintf(w, "  confusion        %s\n", res.Confusion)
+	fmt.Fprintf(w, "  mean latency     %s\n", units.FormatDuration(res.MeanLatencySeconds))
+	fmt.Fprintf(w, "  energy used      %s (active %s, idle %s)\n",
+		units.FormatEnergy(res.EnergyUsed),
+		units.FormatEnergy(res.Energy.ActiveJ),
+		units.FormatEnergy(res.Energy.SleepJ+res.Energy.StandbyJ))
+	fmt.Fprintf(w, "  wasted           %s\n", units.FormatEnergy(res.Battery.Wasted))
+	fmt.Fprintf(w, "  undersupplied    %s\n", units.FormatEnergy(res.Battery.Undersupplied))
+	fmt.Fprintf(w, "  utilization      %.1f%%\n", 100*res.Battery.Utilization)
+	if !showTrace {
+		return nil
+	}
+	t := report.NewTable("", "t (s)", "plan (W)", "n", "f", "used (W)", "charge (J)", "backlog")
+	for _, r := range res.Records {
+		t.AddRow(report.F1(r.Time), report.F2(r.Planned), report.I(r.TargetN),
+			units.FormatFrequency(r.TargetF), report.F2(r.UsedPower),
+			report.F2(r.Charge), report.I(r.Backlog))
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dpm/internal/trace"
+)
+
+func TestRunAnalytic(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "I", "", 2, false, 0, 1, "proportional", 0.1, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"analytic model", "wasted", "undersupplied", "utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAnalyticWithTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "II", "", 1, false, 0, 1, "even", 0.1, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "plan (W)") {
+		t.Error("trace table missing")
+	}
+}
+
+func TestRunMachine(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "I", "", 1, true, 0.1, 7, "proportional", 0.1, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"PAMA board simulation", "tasks completed", "detector", "backlog"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("machine output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "III", "", 1, false, 0, 1, "proportional", 0.1, false, false, false); err == nil {
+		t.Error("unknown scenario must error")
+	}
+	if err := run(&sb, "I", "", 1, false, 0, 1, "bogus", 0.1, false, false, false); err == nil {
+		t.Error("unknown policy must error")
+	}
+}
+
+func TestRunMachineGang(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "I", "", 1, true, 0, 3, "proportional", 0.1, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "confusion") {
+		t.Errorf("machine output missing confusion:\n%s", sb.String())
+	}
+}
+
+func TestRunCustomConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "custom.json")
+	if err := trace.SaveScenario(trace.ScenarioII(), path); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(&sb, "", path, 1, false, 0, 1, "proportional", 0.1, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "scenario II") {
+		t.Errorf("custom config not loaded:\n%s", sb.String())
+	}
+	if err := run(&sb, "", filepath.Join(t.TempDir(), "nope.json"), 1, false, 0, 1, "proportional", 0.1, false, false, false); err == nil {
+		t.Error("missing config file must error")
+	}
+}
+
+func TestRunAnalyticPlot(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "I", "", 1, false, 0, 1, "proportional", 0.1, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "plan vs used") {
+		t.Errorf("plot missing:\n%s", sb.String())
+	}
+}

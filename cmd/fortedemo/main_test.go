@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dpm/internal/signal"
+)
+
+func TestRunMixed(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 512, 6, "", true, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"FORTE detector", "transient", "carrier", "noise", "accuracy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSingleKind(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 512, 3, "carrier", false, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "transient") && !strings.Contains(out, "carrier") {
+		t.Errorf("kind filter broken:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 1000, 3, "", true, 1); err == nil {
+		t.Error("non-power-of-two buffer must error")
+	}
+	if err := run(&sb, 512, 3, "bogus", true, 1); err == nil {
+		t.Error("unknown kind must error")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for name, want := range map[string]signal.Kind{
+		"transient": signal.Transient,
+		"carrier":   signal.Carrier,
+		"noise":     signal.NoiseOnly,
+	} {
+		got, err := parseKind(name)
+		if err != nil || got != want {
+			t.Errorf("parseKind(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseKind("x"); err == nil {
+		t.Error("unknown kind must error")
+	}
+}

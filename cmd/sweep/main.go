@@ -1,0 +1,116 @@
+// Command sweep runs the sensitivity extensions of the evaluation:
+// how the proposed manager degrades as the battery shrinks, the
+// charging forecast gets noisy, or parameter switching gets
+// expensive.
+//
+//	sweep -kind capacity -scenario I
+//	sweep -kind jitter   -scenario II -periods 4
+//	sweep -kind overhead -scenario I -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dpm/internal/battery"
+	"dpm/internal/experiments"
+	"dpm/internal/predict"
+	"dpm/internal/report"
+	"dpm/internal/trace"
+)
+
+func main() {
+	kind := flag.String("kind", "capacity", "sweep kind: capacity|jitter|overhead|tau|endurance|montecarlo")
+	scenario := flag.String("scenario", "I", "scenario name (I or II)")
+	periods := flag.Int("periods", 2, "periods per point (endurance: mission length, default 40)")
+	seed := flag.Int64("seed", 1, "seed for jitter realization")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	if err := run(os.Stdout, *kind, *scenario, *periods, *seed, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, kind, scenarioName string, periods int, seed int64, csv bool) error {
+	s, err := trace.ByName(scenarioName)
+	if err != nil {
+		return err
+	}
+	var (
+		table *report.Table
+	)
+	switch kind {
+	case "capacity":
+		points, err := experiments.CapacitySweep(s,
+			[]float64{0.25, 0.5, 0.75, 1, 1.5, 2, 4}, periods)
+		if err != nil {
+			return err
+		}
+		table = experiments.SweepTable(
+			fmt.Sprintf("Battery capacity sweep, scenario %s (Cmax multiples of the default %.1f J)",
+				s.Name, s.CapacityMax),
+			"Cmax ×", points)
+	case "jitter":
+		points, err := experiments.JitterSweep(s,
+			[]float64{0, 0.05, 0.1, 0.2, 0.3, 0.5}, periods, seed)
+		if err != nil {
+			return err
+		}
+		table = experiments.SweepTable(
+			fmt.Sprintf("Charging forecast-error sweep, scenario %s", s.Name),
+			"Jitter", points)
+	case "overhead":
+		points, err := experiments.OverheadSweep(s,
+			[]float64{0, 0.01, 0.05, 0.2, 1, 5}, periods)
+		if err != nil {
+			return err
+		}
+		table = experiments.SweepTable(
+			fmt.Sprintf("Switching-overhead sweep, scenario %s (OHn = OHf)", s.Name),
+			"Overhead (J)", points)
+	case "tau":
+		t, err := experiments.TauSweepTable(s, []int{4, 6, 12, 24, 48}, periods)
+		if err != nil {
+			return err
+		}
+		table = t
+	case "montecarlo":
+		t, err := experiments.MonteCarloTable(s,
+			[]float64{0, 0.05, 0.1, 0.2, 0.3, 0.5}, 32, periods, seed)
+		if err != nil {
+			return err
+		}
+		table = t
+	case "endurance":
+		missionPeriods := periods
+		if missionPeriods <= 2 {
+			missionPeriods = 40
+		}
+		res, err := experiments.Endurance(experiments.EnduranceConfig{
+			Scenario:                  s,
+			Periods:                   missionPeriods,
+			SolarDegradationPerPeriod: 0.01,
+			Jitter:                    0.1,
+			Seed:                      seed,
+			Aging: battery.AgingConfig{
+				FadePerJoule:           2e-5,
+				SelfDischargePerSecond: 1e-5,
+			},
+			Predictor: predict.NewLastPeriod(),
+		})
+		if err != nil {
+			return err
+		}
+		table = experiments.EnduranceTable(res, missionPeriods/10)
+	default:
+		return fmt.Errorf("unknown sweep kind %q", kind)
+	}
+	if csv {
+		return table.CSV(w)
+	}
+	return table.Render(w)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunKinds(t *testing.T) {
+	for kind, marker := range map[string]string{
+		"capacity": "Battery capacity sweep",
+		"jitter":   "forecast-error sweep",
+		"overhead": "Switching-overhead sweep",
+	} {
+		var sb strings.Builder
+		if err := run(&sb, kind, "I", 1, 1, false); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !strings.Contains(sb.String(), marker) {
+			t.Errorf("%s output missing %q", kind, marker)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "overhead", "II", 1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "Overhead (J),") {
+		t.Errorf("CSV header wrong: %q", sb.String()[:30])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "bogus", "I", 1, 1, false); err == nil {
+		t.Error("unknown kind must error")
+	}
+	if err := run(&sb, "capacity", "X", 1, 1, false); err == nil {
+		t.Error("unknown scenario must error")
+	}
+}
+
+func TestRunEndurance(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "endurance", "I", 10, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Endurance") {
+		t.Errorf("endurance output wrong:\n%s", sb.String())
+	}
+}
+
+func TestRunMonteCarlo(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "montecarlo", "I", 2, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Monte-Carlo") {
+		t.Errorf("monte carlo output wrong:\n%s", sb.String())
+	}
+}
+
+func TestRunTau(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "tau", "I", 2, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "granularity") {
+		t.Errorf("tau sweep output wrong:\n%s", sb.String())
+	}
+}

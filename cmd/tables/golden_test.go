@@ -1,0 +1,35 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshot")
+
+// The whole experiment suite is deterministic, so its full output is
+// locked as a golden file: any change to an algorithm, constant, or
+// table layout shows up as a diff here. Refresh intentionally with
+//
+//	go test ./cmd/tables -run Golden -update
+func TestGoldenAllTables(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 0, 0, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	const path = "testdata/all.golden"
+	if *update {
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("output diverged from the golden snapshot; run with -update if intentional.\ngot %d bytes, want %d", len(sb.String()), len(want))
+	}
+}

@@ -1,0 +1,206 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	tables -all          # everything, in paper order
+//	tables -table 1      # Table 1 (algorithm comparison)
+//	tables -table 2      # Table 2 (initial allocation, scenario I)
+//	tables -table 3      # Table 3 (dynamic update, scenario I)
+//	tables -table 4      # Table 4 (initial allocation, scenario II)
+//	tables -table 5      # Table 5 (dynamic update, scenario II)
+//	tables -fig 3        # Figure 3 series (schedules, scenario I)
+//	tables -fig 4        # Figure 4 series (schedules, scenario II)
+//	tables -csv          # emit CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dpm/internal/experiments"
+	"dpm/internal/report"
+	"dpm/internal/trace"
+	"path/filepath"
+)
+
+func main() {
+	table := flag.Int("table", 0, "paper table number to regenerate (1-5)")
+	fig := flag.Int("fig", 0, "paper figure number to regenerate (3-4)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	plot := flag.Bool("plot", false, "render figures as ASCII plots instead of tables")
+	outdir := flag.String("outdir", "", "also write every table/figure as CSV files into this directory")
+	flag.Parse()
+
+	if !*all && *table == 0 && *fig == 0 {
+		*all = true
+	}
+	if *outdir != "" {
+		if err := exportCSVs(*outdir); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(os.Stdout, *table, *fig, *all, *csv, *plot); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+// exportCSVs writes every table and figure as CSV files, one per
+// artifact, for external plotting tools.
+func exportCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	artifacts := map[string]func() (*report.Table, error){
+		"figure3.csv": func() (*report.Table, error) { return experiments.FigureTable(trace.ScenarioI(), 3), nil },
+		"figure4.csv": func() (*report.Table, error) { return experiments.FigureTable(trace.ScenarioII(), 4), nil },
+		"table1.csv": func() (*report.Table, error) {
+			t, _, err := experiments.Table1()
+			return t, err
+		},
+		"table1_enhanced.csv": func() (*report.Table, error) {
+			t, _, err := experiments.Table1Enhanced()
+			return t, err
+		},
+		"table2.csv": func() (*report.Table, error) { return experiments.AllocationTable(trace.ScenarioI(), 2) },
+		"table3.csv": func() (*report.Table, error) { return experiments.UpdateTable(trace.ScenarioI(), 3) },
+		"table4.csv": func() (*report.Table, error) { return experiments.AllocationTable(trace.ScenarioII(), 4) },
+		"table5.csv": func() (*report.Table, error) { return experiments.UpdateTable(trace.ScenarioII(), 5) },
+	}
+	for name, build := range artifacts {
+		t, err := build()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := t.CSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(w io.Writer, table, fig int, all, csv, plot bool) error {
+	emit := func(t *report.Table) error {
+		var err error
+		if csv {
+			err = t.CSV(w)
+		} else {
+			err = t.Render(w)
+		}
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w)
+		return err
+	}
+
+	wantTable := func(n int) bool { return all || table == n }
+	wantFig := func(n int) bool { return all || fig == n }
+
+	emitFigure := func(s trace.Scenario, number int) error {
+		if plot && !csv {
+			c, err := experiments.FigureChart(s, number)
+			if err != nil {
+				return err
+			}
+			if err := c.Render(w); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w)
+			return err
+		}
+		return emit(experiments.FigureTable(s, number))
+	}
+	if wantFig(3) {
+		if err := emitFigure(trace.ScenarioI(), 3); err != nil {
+			return err
+		}
+	}
+	if wantFig(4) {
+		if err := emitFigure(trace.ScenarioII(), 4); err != nil {
+			return err
+		}
+	}
+	if wantTable(1) {
+		t, comps, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+		if !csv {
+			for _, c := range comps {
+				fmt.Fprintf(w, "  scenario %s: waste improved %.1f×, undersupply improved %.1f×\n",
+					c.Scenario, c.WasteRatio(), c.UndersupplyRatio())
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if all {
+		// Extension: the same comparison with this implementation's
+		// slot guards and physical net-flow battery model.
+		t, comps, err := experiments.Table1Enhanced()
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+		if !csv {
+			for _, c := range comps {
+				fmt.Fprintf(w, "  scenario %s: proposed wasted %s, undersupplied %s\n",
+					c.Scenario, report.F2(c.Proposed.Wasted), report.F2(c.Proposed.Undersupplied))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if wantTable(2) {
+		t, err := experiments.AllocationTable(trace.ScenarioI(), 2)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if wantTable(3) {
+		t, err := experiments.UpdateTable(trace.ScenarioI(), 3)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if wantTable(4) {
+		t, err := experiments.AllocationTable(trace.ScenarioII(), 4)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if wantTable(5) {
+		t, err := experiments.UpdateTable(trace.ScenarioII(), 5)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

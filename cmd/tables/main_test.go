@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 2, 0, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Table 2") {
+		t.Errorf("missing Table 2:\n%s", out)
+	}
+	if strings.Contains(out, "Table 1") {
+		t.Error("-table 2 must not print Table 1")
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 0, 4, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 4") {
+		t.Errorf("missing Figure 4:\n%s", sb.String())
+	}
+}
+
+func TestRunFigureAsPlot(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 0, 3, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "* charging") {
+		t.Errorf("plot mode missing legend:\n%s", out)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 0, 0, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 3", "Figure 4", "Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "enhanced mode"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-all output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 0, 3, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "Time (s),Charging,Use") {
+		t.Errorf("CSV output wrong: %q", sb.String()[:40])
+	}
+}
+
+func TestExportCSVs(t *testing.T) {
+	dir := t.TempDir()
+	if err := exportCSVs(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"figure3.csv", "figure4.csv", "table1.csv", "table1_enhanced.csv",
+		"table2.csv", "table3.csv", "table4.csv", "table5.csv",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 || !strings.Contains(string(data), ",") {
+			t.Errorf("%s looks empty or non-CSV", name)
+		}
+	}
+}

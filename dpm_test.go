@@ -1,0 +1,299 @@
+// Integration tests through the public facade: the flows a
+// downstream user would write, plus cross-model consistency checks
+// between the analytic simulator and the discrete-event board.
+package dpm
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"dpm/internal/experiments"
+	"dpm/internal/machine"
+	"dpm/internal/params"
+	"dpm/internal/trace"
+)
+
+func facadeConfig(t *testing.T) ManagerConfig {
+	t.Helper()
+	w, err := NewWorkload(4.8, 0.48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ScenarioI()
+	return ManagerConfig{
+		Charging:      s.Charging,
+		EventRate:     s.Usage,
+		CapacityMax:   s.CapacityMax,
+		CapacityMin:   s.CapacityMin,
+		InitialCharge: s.InitialCharge,
+		Params: ParamsConfig{
+			System:        PAMA(),
+			Curve:         FixedVoltage(3.3, 80e6),
+			Workload:      w,
+			Frequencies:   []float64{20e6, 40e6, 80e6},
+			MaxProcessors: 7,
+		},
+	}
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	mgr, err := NewManager(facadeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Slots() != 12 {
+		t.Fatalf("Slots = %d", mgr.Slots())
+	}
+	tau := mgr.Tau()
+	charging := ScenarioI().Charging
+	for slot := 0; slot < mgr.Slots(); slot++ {
+		point, overhead := mgr.BeginSlot()
+		if point.N < 0 || point.N > 7 {
+			t.Fatalf("slot %d: bad point %v", slot, point)
+		}
+		mgr.EndSlot(point.Power*tau+overhead, charging.Values[slot]*tau)
+	}
+	if mgr.Slot() != 12 {
+		t.Fatalf("Slot = %d after one period", mgr.Slot())
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	res, err := Simulate(SimConfig{Manager: facadeConfig(t), Periods: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 24 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+	if res.Battery.Utilization <= 0.5 {
+		t.Errorf("utilization = %g, expected the manager to spend most of the supply", res.Battery.Utilization)
+	}
+}
+
+func TestFacadeAllocation(t *testing.T) {
+	s := ScenarioII()
+	res, err := ComputeAllocation(AllocInputs{
+		Charging:      s.Charging,
+		EventRate:     s.Usage,
+		CapacityMax:   s.CapacityMax,
+		CapacityMin:   s.CapacityMin,
+		InitialCharge: s.InitialCharge,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Error("scenario II allocation must be feasible")
+	}
+}
+
+func TestFacadeTableAndContinuous(t *testing.T) {
+	cfg := facadeConfig(t).Params
+	tbl, err := BuildTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() == 0 {
+		t.Fatal("empty table")
+	}
+	pt, err := ContinuousParams(cfg, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.N < 1 {
+		t.Errorf("continuous point %v", pt)
+	}
+}
+
+func TestFacadeBatteryAndGrids(t *testing.T) {
+	b, err := NewBattery(BatteryConfig{CapacityMax: 10, Initial: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Charge() != 5 {
+		t.Errorf("charge = %g", b.Charge())
+	}
+	g := NewGrid(1, []float64{1, 2, 3})
+	if g.Total() != 6 {
+		t.Errorf("grid total = %g", g.Total())
+	}
+	if got := FromSchedule(g, 3); !got.Equal(g, 1e-9) {
+		t.Errorf("FromSchedule round trip = %v", got.Values)
+	}
+}
+
+// The analytic simulator and the discrete-event board must agree on
+// the big picture: similar total energy use and battery trajectories
+// within the band, for the same scenario and plan.
+func TestAnalyticVsMachineConsistency(t *testing.T) {
+	s := trace.ScenarioI()
+	cfg := experiments.ManagerConfig(s)
+
+	analytic, err := Simulate(SimConfig{Manager: cfg, Periods: 2, SyncCharge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.PoissonEvents(s.Usage, 0.1, 2*trace.Period, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	board, err := machine.New(machine.Config{
+		Manager:    cfg,
+		Events:     events,
+		Periods:    2,
+		ExecuteDSP: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := board.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The machine's workers only run while tasks exist, so its draw is
+	// bounded above by the analytic model's always-on-point draw; but
+	// both track the same plan, so they must agree within 2×.
+	if mres.EnergyUsed > analytic.Battery.TotalDrawn*1.1 {
+		t.Errorf("machine used %g J, analytic delivered %g J — machine cannot exceed the plan",
+			mres.EnergyUsed, analytic.Battery.TotalDrawn)
+	}
+	if mres.EnergyUsed < analytic.Battery.TotalDrawn*0.1 {
+		t.Errorf("machine used %g J vs analytic %g J — far too idle", mres.EnergyUsed, analytic.Battery.TotalDrawn)
+	}
+	// Slot times align one-to-one.
+	if len(mres.Records) != len(analytic.Records) {
+		t.Fatalf("record counts %d vs %d", len(mres.Records), len(analytic.Records))
+	}
+	for i := range mres.Records {
+		if math.Abs(mres.Records[i].Time-analytic.Records[i].Time) > 1e-9 {
+			t.Fatalf("slot %d time mismatch", i)
+		}
+	}
+}
+
+func TestFacadeScenarioBuilder(t *testing.T) {
+	s, err := NewScenarioBuilder("custom", 4.8, 12).
+		OrbitCharging(0.5, 3.0).
+		TwinPeakDemand(0.3, 2.0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := facadeConfig(t)
+	cfg.Charging = s.Charging
+	cfg.EventRate = s.Usage
+	res, err := Simulate(SimConfig{Manager: cfg, Periods: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 24 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+}
+
+func TestFacadeScenarioJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := SaveScenario(ScenarioI(), path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "I" {
+		t.Errorf("loaded %q", got.Name)
+	}
+}
+
+func TestFacadeVectorManager(t *testing.T) {
+	m, err := NewVectorManager(facadeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, _, err := m.BeginSlotVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.N() < 0 {
+		t.Errorf("assignment %v", vp)
+	}
+	res, err := SimulateVector(SimConfig{Manager: facadeConfig(t), Periods: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 12 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+}
+
+func TestFacadeHeteroSelect(t *testing.T) {
+	cfg := facadeConfig(t).Params
+	fleet, err := internalFleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := HeteroSelect(cfg, fleet, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Power > 1.5 && h.Active() > 0 {
+		t.Errorf("budget exceeded: %+v", h)
+	}
+}
+
+func TestFacadeAdaptiveAndCheckpoint(t *testing.T) {
+	cfg := facadeConfig(t)
+	res, err := SimulateAdaptive(AdaptiveConfig{
+		Base:          cfg,
+		ActualPeriods: []*Grid{ScenarioI().Charging, ScenarioI().Charging},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 24 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state ManagerState = m.Checkpoint()
+	if len(state.Plan) != 12 {
+		t.Errorf("checkpoint plan slots = %d", len(state.Plan))
+	}
+}
+
+// internalFleet builds a small uniform fleet through the facade types.
+func internalFleet() (Fleet, error) {
+	procs := make([]ProcessorModel, 4)
+	base := PAMA().Proc
+	for i := range procs {
+		procs[i] = base
+	}
+	return params.NewFleet(procs, nil)
+}
+
+func TestFacadeHeteroManager(t *testing.T) {
+	fleet, err := internalFleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := facadeConfig(t)
+	cfg.Params.MaxProcessors = 4
+	cfg.Params.System = SystemModel{Proc: PAMA().Proc, N: 4}
+	m, err := NewHeteroManager(cfg, fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, _, err := m.BeginSlotVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.N() > 4 {
+		t.Errorf("assignment uses %d of 4 processors", vp.N())
+	}
+}

@@ -1,0 +1,48 @@
+package dpm_test
+
+import (
+	"fmt"
+	"log"
+
+	"dpm"
+)
+
+// Plan and run one charging period of the paper's satellite workload:
+// the manager reshapes demand so the battery never overflows or
+// empties, picks (processors, clock) per slot, and re-plans as actual
+// consumption deviates.
+func Example() {
+	workload, err := dpm.NewWorkload(4.8, 0.48) // 2K FFT at 20 MHz, 10% serial
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenario := dpm.ScenarioI()
+	mgr, err := dpm.NewManager(dpm.ManagerConfig{
+		Charging:      scenario.Charging,
+		EventRate:     scenario.Usage,
+		CapacityMax:   scenario.CapacityMax,
+		CapacityMin:   scenario.CapacityMin,
+		InitialCharge: scenario.InitialCharge,
+		Params: dpm.ParamsConfig{
+			System:        dpm.PAMA(),
+			Curve:         dpm.FixedVoltage(3.3, 80e6),
+			Workload:      workload,
+			Frequencies:   []float64{20e6, 40e6, 80e6},
+			MaxProcessors: 7,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tau := mgr.Tau()
+	for slot := 0; slot < 3; slot++ {
+		point, _ := mgr.BeginSlot()
+		fmt.Printf("slot %d: %d processors at %.0f MHz\n", slot, point.N, point.F/1e6)
+		mgr.EndSlot(point.Power*tau, scenario.Charging.Values[slot]*tau)
+	}
+	// Output:
+	// slot 0: 3 processors at 80 MHz
+	// slot 1: 3 processors at 80 MHz
+	// slot 2: 2 processors at 80 MHz
+}

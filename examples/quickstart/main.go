@@ -1,0 +1,70 @@
+// Quickstart: plan power for a battery-backed multiprocessor in a
+// dozen lines.
+//
+// A solar-charged board sees 2.4 W for half its 57.6 s orbit and
+// nothing in eclipse, while demand peaks at both ends of the period.
+// The manager (a) reshapes the demand so the battery never overflows
+// or empties (§4.1), (b) picks how many processors to run and at
+// what clock each 4.8 s slot (§4.2), and (c) keeps re-planning as
+// reality diverges from the forecast (§4.3).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dpm/internal/dpm"
+	"dpm/internal/params"
+	"dpm/internal/perf"
+	"dpm/internal/power"
+	"dpm/internal/schedule"
+)
+
+func main() {
+	const tau = 4.8 // seconds per planning slot
+
+	// What we expect the environment to do, per slot.
+	charging := schedule.NewGrid(tau, []float64{
+		2.4, 2.4, 2.4, 2.4, 2.4, 2.4, 0, 0, 0, 0, 0, 0,
+	})
+	demand := schedule.NewGrid(tau, []float64{
+		1.9, 1.2, 0.3, 0.3, 1.2, 2.0, 1.9, 1.2, 0.3, 0.3, 1.2, 2.0,
+	})
+
+	// What the hardware can do: an 8-chip PAMA-like board, voltage
+	// pinned at 3.3 V, clocks of 20/40/80 MHz, and an Amdahl workload
+	// with a 10% serial fraction.
+	workload, err := perf.NewWorkload(4.8, 0.48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := dpm.New(dpm.Config{
+		Charging:      charging,
+		EventRate:     demand,
+		CapacityMax:   17.3, // joules
+		CapacityMin:   0.5,
+		InitialCharge: 0.5,
+		Params: params.Config{
+			System:        power.PAMA(),
+			Curve:         power.NewFixedVoltage(3.3, 80e6),
+			Workload:      workload,
+			Frequencies:   []float64{20e6, 40e6, 80e6},
+			MaxProcessors: 7,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("slot  budget(W)  operating point")
+	for slot := 0; slot < 12; slot++ {
+		point, _ := mgr.BeginSlot()
+		fmt.Printf("%4d  %8.2f   %s\n", slot, mgr.PlannedPower(), point)
+		// Pretend we consumed exactly what the point draws and the
+		// charger delivered the forecast; Algorithm 3 folds any
+		// difference back into the remaining plan.
+		mgr.EndSlot(point.Power*tau, charging.Values[slot]*tau)
+	}
+}

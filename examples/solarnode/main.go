@@ -1,0 +1,92 @@
+// Solarnode: a solar-powered sensor node with real voltage scaling —
+// the configuration the paper's PAMA board could not exercise
+// (its supply was pinned at 3.3 V) but its Eq. 11/18 machinery is
+// built for. The node's processors follow an alpha-power-law g(v)
+// curve, so Eq. 18 moves through all four regimes as the power
+// allowance grows: frequency first, then processors, then voltage,
+// then processors again.
+//
+//	go run ./examples/solarnode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dpm/internal/alloc"
+	"dpm/internal/params"
+	"dpm/internal/perf"
+	"dpm/internal/power"
+	"dpm/internal/schedule"
+	"dpm/internal/trace"
+)
+
+func main() {
+	// A 16-core sensor fabric with DVFS: 0.9–1.8 V, up to 400 MHz.
+	curve, err := power.NewAlphaPowerVF(0.9, 1.8, 0.35, 1.5, 400e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload, err := perf.NewWorkload(1.0, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := params.Config{
+		System: power.SystemModel{
+			Proc: power.ProcessorModel{
+				ActiveAtRef:  0.25, // 250 mW at 400 MHz / 1.8 V
+				SleepPower:   0.02,
+				StandbyPower: 0.002,
+				FRef:         400e6,
+				VRef:         1.8,
+			},
+			N: 16,
+		},
+		Curve:         curve,
+		Workload:      workload,
+		Frequencies:   []float64{50e6, 100e6, 200e6, 400e6},
+		MaxProcessors: 16,
+	}
+
+	fmt.Println("Eq. 18 continuous optimum across the power range:")
+	fmt.Println("allowance(W)  n   f(MHz)  v(V)   perf")
+	for _, allowance := range []float64{0.005, 0.02, 0.1, 0.3, 0.8, 1.5, 3.0, 4.0} {
+		pt, err := params.Continuous(cfg, allowance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12.3f  %2d  %6.1f  %.3f  %.3g\n",
+			allowance, pt.N, pt.F/1e6, pt.V, pt.Perf)
+	}
+
+	// Plan a low-orbit day: 5400 s orbit, 35% eclipse, 6 W peak.
+	orbit, err := trace.OrbitCharging(5400, 0.35, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	charging := schedule.FromSchedule(orbit, 45) // 2-minute slots
+	demand := schedule.NewUniformGrid(120, 45, 1.0)
+
+	plan, err := alloc.Compute(alloc.Inputs{
+		Charging:      charging,
+		EventRate:     demand,
+		CapacityMax:   2000, // joules
+		CapacityMin:   100,
+		InitialCharge: 500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, err := params.BuildTable(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nper-slot discrete plan for one orbit (feasible after %d Algorithm 1 rounds):\n",
+		len(plan.Iterations))
+	fmt.Println("slot  sun(W)  plan(W)  pick")
+	for i := 0; i < charging.Len(); i += 5 {
+		budget := plan.Allocation.Values[i]
+		pt := tbl.Select(budget)
+		fmt.Printf("%4d  %6.2f  %7.2f  %s\n", i, charging.Values[i], budget, pt)
+	}
+}

@@ -1,0 +1,82 @@
+// Traffic: the paper's §2 weight-function example. A solar-powered
+// traffic-monitoring system wants to "process data more intensively
+// during commute time": the weight function w(t) biases the power
+// allocation toward the morning and evening rush hours even though
+// the raw event rate is flat through the day.
+//
+// The example plans one 24-hour period twice — once unweighted, once
+// with commute-hour weighting — and prints the allocations side by
+// side.
+//
+//	go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"dpm/internal/alloc"
+	"dpm/internal/schedule"
+)
+
+func main() {
+	const (
+		hour  = 3600.0
+		day   = 24 * hour
+		slots = 24 // plan hourly
+	)
+
+	// Solar charging: a half-sine day, dark at night.
+	sun := schedule.NewFunc(func(t float64) float64 {
+		h := t / hour
+		if h < 6 || h > 18 {
+			return 0
+		}
+		frac := (h - 6) / 12
+		return 40 * math.Sin(math.Pi*frac) // peaks at 40 W around noon
+	}, day)
+	charging := schedule.FromSchedule(sun, slots)
+
+	// Traffic events arrive all day at a roughly constant rate.
+	eventRate := schedule.NewUniformGrid(day/slots, slots, 1.0)
+
+	// Commute-hour weighting: 7–9 am and 4–7 pm matter three times
+	// as much.
+	weight := schedule.NewUniformGrid(day/slots, slots, 1.0)
+	for h := 7; h < 9; h++ {
+		weight.Values[h] = 3
+	}
+	for h := 16; h < 19; h++ {
+		weight.Values[h] = 3
+	}
+
+	plan := func(w *schedule.Grid) *alloc.Result {
+		res, err := alloc.Compute(alloc.Inputs{
+			Charging:      charging,
+			EventRate:     eventRate,
+			Weight:        w,
+			CapacityMax:   600e3, // 600 kJ battery (~167 Wh)
+			CapacityMin:   20e3,
+			InitialCharge: 100e3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	flat := plan(nil)
+	commute := plan(weight)
+
+	fmt.Println("hour  sun(W)  flat plan(W)  commute plan(W)")
+	for h := 0; h < slots; h++ {
+		marker := ""
+		if weight.Values[h] > 1 {
+			marker = "  <- rush hour"
+		}
+		fmt.Printf("%4d  %6.1f  %12.2f  %15.2f%s\n",
+			h, charging.Values[h], flat.Allocation.Values[h], commute.Allocation.Values[h], marker)
+	}
+	fmt.Printf("\nboth plans spend the day's solar energy (%.0f kJ): flat %.0f kJ, commute %.0f kJ\n",
+		charging.Total()/1e3, flat.Allocation.Total()/1e3, commute.Allocation.Total()/1e3)
+}

@@ -1,0 +1,3 @@
+module dpm
+
+go 1.22

@@ -1,0 +1,426 @@
+// Package alloc implements the paper's initial power-allocation
+// computation (§4.1): the weighted power-usage function (Eq. 7), the
+// supply/demand balancing constant (Eq. 8), the surplus function and
+// battery trajectory (Eq. 9–10), and Algorithm 1, which reshapes the
+// trajectory so it never leaves the battery's feasible band
+// [Cmin, Cmax].
+//
+// All computation happens on uniform slot grids of width τ
+// (schedule.Grid): the paper updates parameters only at multiples of
+// τ, and its Tables 2 and 4 print exactly these per-slot allocations
+// and their running integrals.
+package alloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dpm/internal/schedule"
+)
+
+// Inputs bundles everything §4.1 needs.
+type Inputs struct {
+	// Charging is the expected charging schedule c(t) in watts per
+	// slot.
+	Charging *schedule.Grid
+	// EventRate is the expected event-rate schedule u(t); only its
+	// shape matters because Eq. 8 rescales it to the supply.
+	EventRate *schedule.Grid
+	// Weight is the user weight function w(t); nil means uniform.
+	Weight *schedule.Grid
+	// CapacityMax is Cmax in joules.
+	CapacityMax float64
+	// CapacityMin is Cmin in joules.
+	CapacityMin float64
+	// InitialCharge is the battery energy at t = 0 in joules. It is
+	// clamped into [CapacityMin, CapacityMax].
+	InitialCharge float64
+	// MaxIterations bounds the Algorithm 1 driver; 0 means the
+	// default of 16. The paper's scenarios converge in five.
+	MaxIterations int
+	// Tolerance is the feasibility slack in joules; 0 means 1e-9.
+	Tolerance float64
+	// Margin shrinks the band the planner targets, as a fraction of
+	// (Cmax − Cmin) kept clear at each end (0 ≤ Margin < 0.5).
+	// Algorithm 1 pins trajectory peaks exactly onto the capacity
+	// bounds, which leaves zero headroom for forecast error; a
+	// margin of e.g. 0.1 trades a little utilization for robustness
+	// against supply jitter. The paper plans to the raw bounds
+	// (Margin 0).
+	Margin float64
+	// Strategy selects how Algorithm 1 reshapes each violating arc.
+	Strategy AdjustStrategy
+}
+
+// AdjustStrategy is the arc-reshaping flavor of Algorithm 1.
+type AdjustStrategy int
+
+const (
+	// RemapProportional is the paper's formula: trajectory values on
+	// the arc map affinely by *value*, preserving the stored-energy
+	// shape ("the amount of stored energy depends on the original
+	// power allocation").
+	RemapProportional AdjustStrategy = iota
+	// RemapEven is the paper's stated alternative ("the power can be
+	// evenly distributed"): the trajectory moves linearly in *time*
+	// between the pinned endpoints, which spreads the power change
+	// uniformly over the arc's slots.
+	RemapEven
+)
+
+// String names the strategy.
+func (s AdjustStrategy) String() string {
+	if s == RemapEven {
+		return "even"
+	}
+	return "proportional"
+}
+
+// Iteration records one round of the Algorithm 1 driver, matching a
+// row pair of the paper's Tables 2/4: the allocation in watts and
+// the trajectory (running integral of the surplus) at slot
+// boundaries.
+type Iteration struct {
+	// Allocation is the power allocation for this round, in watts
+	// per slot.
+	Allocation *schedule.Grid
+	// Trajectory is the battery energy at the Len+1 slot
+	// boundaries, in joules.
+	Trajectory []float64
+	// Violations counts trajectory extrema outside [Cmin, Cmax]
+	// before this round's adjustment.
+	Violations int
+}
+
+// Result is the outcome of Compute.
+type Result struct {
+	// Allocation is the final feasible (or best-effort) power
+	// allocation in watts per slot.
+	Allocation *schedule.Grid
+	// Trajectory is the battery energy at slot boundaries under
+	// Allocation.
+	Trajectory []float64
+	// Iterations holds the full history, first round first.
+	Iterations []Iteration
+	// Feasible reports whether the final trajectory stays within
+	// [Cmin, Cmax] (within Tolerance).
+	Feasible bool
+}
+
+// WPUF returns the weighted power-usage function u(t)·w(t) of Eq. 7.
+// A nil weight means w ≡ 1.
+func WPUF(eventRate, weight *schedule.Grid) *schedule.Grid {
+	if weight == nil {
+		return eventRate.Clone()
+	}
+	return eventRate.Mul(weight)
+}
+
+// Balance scales wpuf so its period energy equals the charging
+// schedule's (Eq. 8): u_new = wpuf · ∫c / ∫wpuf. It returns an error
+// if wpuf integrates to zero (nothing to scale) while the supply does
+// not.
+func Balance(wpuf, charging *schedule.Grid) (*schedule.Grid, error) {
+	demand := wpuf.Total()
+	supply := charging.Total()
+	if demand <= 0 {
+		if supply == 0 {
+			return wpuf.Clone(), nil
+		}
+		return nil, fmt.Errorf("alloc: weighted usage integrates to %g; cannot balance against supply %g", demand, supply)
+	}
+	return wpuf.Scale(supply / demand), nil
+}
+
+// Surplus returns c − alloc per slot (Eq. 9), the net power into the
+// battery.
+func Surplus(charging, alloc *schedule.Grid) *schedule.Grid {
+	return charging.Sub(alloc)
+}
+
+// Trajectory returns the battery energy at slot boundaries (Eq. 10):
+// P(t) = initial + ∫₀ᵗ (c − alloc). The result has Len+1 entries.
+func Trajectory(charging, alloc *schedule.Grid, initial float64) []float64 {
+	return Surplus(charging, alloc).Cumulative(initial)
+}
+
+// extremum is a circular local extremum of the trajectory that
+// violates a capacity bound.
+type extremum struct {
+	index int     // slot-boundary index in [0, n)
+	value float64 // trajectory value there
+	high  bool    // true: local max above Cmax; false: local min below Cmin
+}
+
+// findViolations locates the violating local extrema of the
+// trajectory (Algorithm 1, lines 1–2). The trajectory is treated
+// circularly over n slots: boundary k's left derivative is the
+// surplus of slot (k−1+n) mod n and its right derivative that of
+// slot k mod n. Endpoints participate through the wraparound, which
+// is what lines 19–20 of the paper's listing arrange.
+func findViolations(traj []float64, surplus []float64, cmin, cmax, tol float64) []extremum {
+	n := len(surplus)
+	var out []extremum
+	for k := 0; k < n; k++ {
+		left := surplus[(k-1+n)%n]
+		right := surplus[k]
+		v := traj[k]
+		isMax := left >= 0 && right <= 0
+		isMin := left <= 0 && right >= 0
+		if left == 0 && right == 0 {
+			// Flat plateau: count it as whichever bound it breaks.
+			isMax, isMin = v > cmax, v < cmin
+		}
+		switch {
+		case isMax && v > cmax+tol:
+			out = append(out, extremum{index: k, value: v, high: true})
+		case isMin && v < cmin-tol:
+			out = append(out, extremum{index: k, value: v, high: false})
+		}
+	}
+	return out
+}
+
+// dedupe applies Algorithm 1 lines 3–7 circularly: of consecutive
+// violations of the same kind, keep the more extreme one (the larger
+// of two highs, the smaller of two lows). The result alternates
+// high/low around the circle.
+func dedupe(ext []extremum) []extremum {
+	if len(ext) < 2 {
+		return ext
+	}
+	out := make([]extremum, 0, len(ext))
+	for _, e := range ext {
+		if len(out) > 0 && out[len(out)-1].high == e.high {
+			last := &out[len(out)-1]
+			if (e.high && e.value > last.value) || (!e.high && e.value < last.value) {
+				*last = e
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	// Circular boundary: first and last may now agree in kind.
+	for len(out) >= 2 && out[0].high == out[len(out)-1].high {
+		first, last := out[0], out[len(out)-1]
+		if (first.high && last.value > first.value) || (!first.high && last.value < first.value) {
+			out[0] = last
+		}
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// anchorPoint is a trajectory point pinned by the remapping pass:
+// violating extrema are pinned to their violated bound, and t = 0 is
+// pinned to the (fixed) initial battery charge.
+type anchorPoint struct {
+	index  int     // slot-boundary index in [0, n)
+	value  float64 // original trajectory value
+	target float64 // value after remapping
+}
+
+// remapArc rewrites work on the circular arc [a.index, b.index) with
+// the affine-by-value map of Algorithm 1 lines 13–16 generalized to
+// arbitrary endpoint targets: a.value ↦ a.target, b.value ↦ b.target,
+// intermediate points proportionally by value (RemapProportional) or
+// linearly in time (RemapEven, which spreads the power change evenly
+// over the arc's slots). Values are read from orig so shared
+// endpoints are mapped consistently across arcs. A degenerate value
+// span always falls back to time-linear interpolation.
+func remapArc(work, orig []float64, n int, a, b anchorPoint, strategy AdjustStrategy) {
+	span := b.value - a.value
+	arcLen := (b.index - a.index + n) % n
+	if arcLen == 0 {
+		arcLen = n
+	}
+	pos := 0
+	for k := a.index; pos < arcLen; k = (k + 1) % n {
+		if strategy == RemapProportional && span != 0 {
+			work[k] = a.target + (b.target-a.target)*(orig[k]-a.value)/span
+		} else {
+			work[k] = a.target + (b.target-a.target)*float64(pos)/float64(arcLen)
+		}
+		pos++
+	}
+}
+
+// AdjustOnce performs one pass of Algorithm 1 with the paper's
+// proportional remapping. See AdjustOnceStrategy.
+func AdjustOnce(charging, alloc *schedule.Grid, initial, cmin, cmax, tol float64) (*schedule.Grid, int) {
+	return AdjustOnceStrategy(charging, alloc, initial, cmin, cmax, tol, RemapProportional)
+}
+
+// AdjustOnceStrategy performs one pass of Algorithm 1 on the
+// allocation: compute the trajectory, locate violating extrema, pin
+// each to the bound it violates (and t = 0 to the fixed initial
+// charge), remap every arc between consecutive pinned points with
+// the chosen strategy, and recover the implied allocation. It
+// returns the adjusted allocation and the number of violations found
+// (0 means the input was already feasible and is returned unchanged).
+func AdjustOnceStrategy(charging, alloc *schedule.Grid, initial, cmin, cmax, tol float64, strategy AdjustStrategy) (*schedule.Grid, int) {
+	n := alloc.Len()
+	surplus := Surplus(charging, alloc)
+	traj := surplus.Cumulative(initial)
+
+	ext := dedupe(findViolations(traj, surplus.Values, cmin, cmax, tol))
+	if len(ext) == 0 {
+		return alloc.Clone(), 0
+	}
+	nViol := len(ext)
+
+	orig := append([]float64(nil), traj[:n]...) // circular view
+	work := append([]float64(nil), orig...)
+
+	// Build the pinned points: each violator goes to its bound; t = 0
+	// stays at the battery's actual starting charge (clamped into the
+	// band) because the plan cannot rewrite the present.
+	var anchors []anchorPoint
+	haveZero := false
+	for _, e := range ext {
+		target := cmax
+		if !e.high {
+			target = cmin
+		}
+		if e.index == 0 {
+			haveZero = true
+			target = math.Min(math.Max(orig[0], cmin), cmax)
+		}
+		anchors = append(anchors, anchorPoint{index: e.index, value: e.value, target: target})
+	}
+	if !haveZero {
+		anchors = append(anchors, anchorPoint{
+			index:  0,
+			value:  orig[0],
+			target: math.Min(math.Max(orig[0], cmin), cmax),
+		})
+	}
+	sort.Slice(anchors, func(i, j int) bool { return anchors[i].index < anchors[j].index })
+
+	if len(anchors) == 1 {
+		// Only t = 0 is pinned and it is itself the violator (a flat
+		// out-of-band trajectory): clamp everything into the band.
+		for k := range work {
+			work[k] = math.Min(math.Max(work[k], cmin), cmax)
+		}
+	} else {
+		for i := range anchors {
+			remapArc(work, orig, n, anchors[i], anchors[(i+1)%len(anchors)], strategy)
+		}
+	}
+
+	// Recover the allocation from the reshaped trajectory:
+	// alloc[i] = c[i] − (P[i+1] − P[i])/τ, circularly.
+	out := alloc.Clone()
+	for i := 0; i < n; i++ {
+		next := work[(i+1)%n]
+		out.Values[i] = charging.Values[i] - (next-work[i])/alloc.Step
+	}
+	out.ClampNonNegative()
+	return out, nViol
+}
+
+// Repair returns a feasible allocation derived from alloc by a
+// single greedy forward pass: each slot's target charge is clamped
+// into the feasible window [Cmin, min(Cmax, p + c·τ)] (the upper arm
+// reflects that the allocation cannot be negative) and the slot's
+// power recovered from the clamped step. Because charging power is
+// non-negative and the initial charge is within the band, the result
+// is always feasible. The paper notes "other ways of adjusting can
+// be used" (§4.1); this is the projection the Compute driver falls
+// back on if the extremum-remapping rounds leave residual
+// violations.
+func Repair(charging, alloc *schedule.Grid, initial, cmin, cmax float64) *schedule.Grid {
+	out := alloc.Clone()
+	p := math.Min(math.Max(initial, cmin), cmax)
+	for i := range out.Values {
+		if out.Values[i] < 0 {
+			out.Values[i] = 0
+		}
+		desired := p + (charging.Values[i]-out.Values[i])*out.Step
+		upper := math.Min(cmax, p+charging.Values[i]*out.Step)
+		next := math.Min(math.Max(desired, cmin), upper)
+		out.Values[i] = charging.Values[i] - (next-p)/out.Step
+		p = next
+	}
+	return out
+}
+
+// feasible reports whether every trajectory point lies within
+// [cmin−tol, cmax+tol].
+func feasible(traj []float64, cmin, cmax, tol float64) bool {
+	for _, v := range traj {
+		if v < cmin-tol || v > cmax+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Compute runs the full §4.1 pipeline: WPUF → balancing → iterated
+// Algorithm 1 until the trajectory is feasible or MaxIterations is
+// reached. The returned history reproduces the paper's Tables 2/4.
+func Compute(in Inputs) (*Result, error) {
+	if in.Charging == nil || in.EventRate == nil {
+		return nil, fmt.Errorf("alloc: charging and event-rate grids are required")
+	}
+	if in.CapacityMax <= in.CapacityMin {
+		return nil, fmt.Errorf("alloc: Cmax %g must exceed Cmin %g", in.CapacityMax, in.CapacityMin)
+	}
+	if in.Margin < 0 || in.Margin >= 0.5 {
+		return nil, fmt.Errorf("alloc: margin %g outside [0, 0.5)", in.Margin)
+	}
+	if in.Margin > 0 {
+		band := in.CapacityMax - in.CapacityMin
+		in.CapacityMin += in.Margin * band
+		in.CapacityMax -= in.Margin * band
+	}
+	maxIter := in.MaxIterations
+	if maxIter == 0 {
+		maxIter = 16
+	}
+	tol := in.Tolerance
+	if tol == 0 {
+		tol = 1e-9
+	}
+	initial := math.Min(math.Max(in.InitialCharge, in.CapacityMin), in.CapacityMax)
+
+	wpuf := WPUF(in.EventRate, in.Weight)
+	current, err := Balance(wpuf, in.Charging)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		traj := Trajectory(in.Charging, current, initial)
+		adjusted, nViol := AdjustOnceStrategy(in.Charging, current, initial,
+			in.CapacityMin, in.CapacityMax, tol, in.Strategy)
+		res.Iterations = append(res.Iterations, Iteration{
+			Allocation: current.Clone(),
+			Trajectory: traj,
+			Violations: nViol,
+		})
+		if nViol == 0 && feasible(traj, in.CapacityMin, in.CapacityMax, tol) {
+			res.Allocation = current
+			res.Trajectory = traj
+			res.Feasible = true
+			return res, nil
+		}
+		current = adjusted
+	}
+	// The remapping rounds did not converge: project onto the
+	// feasible set directly.
+	current = Repair(in.Charging, current, initial, in.CapacityMin, in.CapacityMax)
+	traj := Trajectory(in.Charging, current, initial)
+	res.Iterations = append(res.Iterations, Iteration{
+		Allocation: current.Clone(),
+		Trajectory: traj,
+		Violations: 0,
+	})
+	res.Allocation = current
+	res.Trajectory = traj
+	res.Feasible = feasible(traj, in.CapacityMin, in.CapacityMax, tol)
+	return res, nil
+}

@@ -1,0 +1,537 @@
+package alloc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpm/internal/schedule"
+	"dpm/internal/trace"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func scenarioInputs(s trace.Scenario) Inputs {
+	return Inputs{
+		Charging:      s.Charging,
+		EventRate:     s.Usage,
+		CapacityMax:   s.CapacityMax,
+		CapacityMin:   s.CapacityMin,
+		InitialCharge: s.InitialCharge,
+	}
+}
+
+func TestWPUF(t *testing.T) {
+	u := schedule.NewGrid(1, []float64{1, 2, 3})
+	w := schedule.NewGrid(1, []float64{2, 2, 0})
+	got := WPUF(u, w)
+	want := []float64{2, 4, 0}
+	for i := range want {
+		if got.Values[i] != want[i] {
+			t.Errorf("WPUF[%d] = %g, want %g", i, got.Values[i], want[i])
+		}
+	}
+}
+
+func TestWPUFNilWeight(t *testing.T) {
+	u := schedule.NewGrid(1, []float64{1, 2})
+	got := WPUF(u, nil)
+	if got.Values[0] != 1 || got.Values[1] != 2 {
+		t.Errorf("nil weight must mean w≡1: %v", got.Values)
+	}
+	// Must be a copy, not an alias.
+	got.Values[0] = 99
+	if u.Values[0] != 1 {
+		t.Error("WPUF with nil weight must clone")
+	}
+}
+
+func TestBalanceEquation8(t *testing.T) {
+	wpuf := schedule.NewGrid(1, []float64{1, 3})
+	charging := schedule.NewGrid(1, []float64{4, 4})
+	balanced, err := Balance(wpuf, charging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(balanced.Total(), charging.Total(), 1e-9) {
+		t.Errorf("balanced total %g != supply total %g", balanced.Total(), charging.Total())
+	}
+	// Shape is preserved: ratio 1:3.
+	if !approx(balanced.Values[1], 3*balanced.Values[0], 1e-9) {
+		t.Errorf("balance must preserve shape: %v", balanced.Values)
+	}
+}
+
+func TestBalanceZeroDemand(t *testing.T) {
+	wpuf := schedule.NewGrid(1, []float64{0, 0})
+	zeroSupply := schedule.NewGrid(1, []float64{0, 0})
+	if _, err := Balance(wpuf, zeroSupply); err != nil {
+		t.Errorf("zero demand + zero supply is fine: %v", err)
+	}
+	supply := schedule.NewGrid(1, []float64{1, 1})
+	if _, err := Balance(wpuf, supply); err == nil {
+		t.Error("zero demand with non-zero supply must error")
+	}
+}
+
+func TestTrajectoryEquation10(t *testing.T) {
+	c := schedule.NewGrid(2, []float64{3, 1})
+	u := schedule.NewGrid(2, []float64{1, 3})
+	traj := Trajectory(c, u, 5)
+	// Surplus: +2 then −2 over 2-second slots.
+	want := []float64{5, 9, 5}
+	for i := range want {
+		if !approx(traj[i], want[i], 1e-12) {
+			t.Errorf("traj[%d] = %g, want %g", i, traj[i], want[i])
+		}
+	}
+}
+
+func TestAdjustOnceNoViolations(t *testing.T) {
+	c := schedule.NewGrid(1, []float64{1, 1})
+	u := schedule.NewGrid(1, []float64{1, 1})
+	adj, n := AdjustOnce(c, u, 5, 0, 10, 1e-9)
+	if n != 0 {
+		t.Errorf("flat feasible trajectory reported %d violations", n)
+	}
+	if !adj.Equal(u, 1e-12) {
+		t.Error("feasible allocation must be returned unchanged")
+	}
+}
+
+func TestAdjustOnceFixesOvershoot(t *testing.T) {
+	// Charge hard for 4 slots, then drain hard: trajectory swings to
+	// +8 then back to 0 with Cmax = 4 → one high violation mid-period.
+	c := schedule.NewGrid(1, []float64{2, 2, 2, 2, 0, 0, 0, 0})
+	u := schedule.NewGrid(1, []float64{0, 0, 0, 0, 2, 2, 2, 2})
+	cmin, cmax := 0.0, 4.0
+	adj, n := AdjustOnce(c, u, 0, cmin, cmax, 1e-9)
+	if n == 0 {
+		t.Fatal("expected a violation")
+	}
+	traj := Trajectory(c, adj, 0)
+	for i, v := range traj {
+		if v > cmax+1e-6 || v < cmin-1e-6 {
+			t.Errorf("adjusted traj[%d] = %g outside [%g, %g]", i, v, cmin, cmax)
+		}
+	}
+}
+
+func TestComputeScenarioIFeasible(t *testing.T) {
+	res, err := Compute(scenarioInputs(trace.ScenarioI()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("scenario I must converge; final trajectory %v", res.Trajectory)
+	}
+	s := trace.ScenarioI()
+	for i, v := range res.Trajectory {
+		if v < s.CapacityMin-1e-6 || v > s.CapacityMax+1e-6 {
+			t.Errorf("traj[%d] = %g outside [%g, %g]", i, v, s.CapacityMin, s.CapacityMax)
+		}
+	}
+	// The paper converges in five iterations; allow some slack but
+	// demand the same order of magnitude.
+	if len(res.Iterations) > 8 {
+		t.Errorf("scenario I took %d iterations; paper takes 5", len(res.Iterations))
+	}
+}
+
+func TestComputeScenarioIIFeasible(t *testing.T) {
+	res, err := Compute(scenarioInputs(trace.ScenarioII()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("scenario II must converge; final trajectory %v", res.Trajectory)
+	}
+	if len(res.Iterations) > 8 {
+		t.Errorf("scenario II took %d iterations; paper takes 5", len(res.Iterations))
+	}
+}
+
+func TestComputeEnergyRoughlyBalanced(t *testing.T) {
+	// The feasible allocation should still spend roughly the supplied
+	// energy (that is the whole point of maximizing utilization).
+	for _, s := range trace.Scenarios() {
+		res, err := Compute(scenarioInputs(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		supply := s.Charging.Total()
+		alloc := res.Allocation.Total()
+		if alloc < 0.7*supply || alloc > 1.3*supply {
+			t.Errorf("scenario %s: allocation %g J vs supply %g J drifted too far", s.Name, alloc, supply)
+		}
+	}
+}
+
+func TestComputeFirstIterationIsBalancedWPUF(t *testing.T) {
+	s := trace.ScenarioI()
+	res, err := Compute(scenarioInputs(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Iterations[0].Allocation
+	// Eq. 8: first iteration's allocation is the usage shape scaled
+	// to the supply total.
+	wantScale := s.Charging.Total() / s.Usage.Total()
+	for i := range first.Values {
+		if !approx(first.Values[i], s.Usage.Values[i]*wantScale, 1e-9) {
+			t.Errorf("iteration-1 slot %d = %g, want scaled usage %g",
+				i, first.Values[i], s.Usage.Values[i]*wantScale)
+		}
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	s := trace.ScenarioI()
+	if _, err := Compute(Inputs{EventRate: s.Usage, CapacityMax: 1}); err == nil {
+		t.Error("missing charging grid must error")
+	}
+	if _, err := Compute(Inputs{Charging: s.Charging, CapacityMax: 1}); err == nil {
+		t.Error("missing event-rate grid must error")
+	}
+	in := scenarioInputs(s)
+	in.CapacityMax = in.CapacityMin
+	if _, err := Compute(in); err == nil {
+		t.Error("Cmax <= Cmin must error")
+	}
+}
+
+func TestComputeAllocationsNonNegative(t *testing.T) {
+	for _, s := range trace.Scenarios() {
+		res, err := Compute(scenarioInputs(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Allocation.Min() < 0 {
+			t.Errorf("scenario %s: negative allocation %g", s.Name, res.Allocation.Min())
+		}
+	}
+}
+
+func TestDedupeAlternates(t *testing.T) {
+	ext := []extremum{
+		{index: 1, value: -2, high: false},
+		{index: 3, value: -5, high: false}, // more extreme low: keep
+		{index: 5, value: 12, high: true},
+		{index: 7, value: 10, high: true}, // less extreme high: drop
+	}
+	out := dedupe(ext)
+	if len(out) != 2 {
+		t.Fatalf("dedupe kept %d, want 2: %+v", len(out), out)
+	}
+	if out[0].value != -5 || out[1].value != 12 {
+		t.Errorf("dedupe kept wrong extrema: %+v", out)
+	}
+}
+
+func TestDedupeCircularBoundary(t *testing.T) {
+	// First and last are both highs: circular dedupe must merge them.
+	ext := []extremum{
+		{index: 0, value: 8, high: true},
+		{index: 4, value: -1, high: false},
+		{index: 9, value: 11, high: true},
+	}
+	out := dedupe(ext)
+	if len(out) != 2 {
+		t.Fatalf("circular dedupe kept %d, want 2: %+v", len(out), out)
+	}
+	for _, e := range out {
+		if e.high && e.value != 11 {
+			t.Errorf("kept the weaker high: %+v", out)
+		}
+	}
+}
+
+// Property: for random feasible-by-construction problems, Compute's
+// result never reports Feasible with an out-of-band trajectory, and
+// the allocation is always non-negative.
+func TestComputeInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(12)
+		c := make([]float64, n)
+		u := make([]float64, n)
+		for i := range c {
+			c[i] = 3 * rng.Float64()
+			u[i] = 3 * rng.Float64()
+		}
+		in := Inputs{
+			Charging:      schedule.NewGrid(4.8, c),
+			EventRate:     schedule.NewGrid(4.8, u),
+			CapacityMax:   20,
+			CapacityMin:   0.5,
+			InitialCharge: 0.5 + 19*rng.Float64(),
+		}
+		res, err := Compute(in)
+		if err != nil {
+			// Only zero-demand inputs may error.
+			total := 0.0
+			for _, v := range u {
+				total += v
+			}
+			return total == 0
+		}
+		if res.Allocation.Min() < 0 {
+			return false
+		}
+		if res.Feasible {
+			for _, v := range res.Trajectory {
+				if v < in.CapacityMin-1e-6 || v > in.CapacityMax+1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: iterating AdjustOnce weakly reduces the worst violation.
+func TestAdjustReducesWorstViolation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(8)
+		c := make([]float64, n)
+		u := make([]float64, n)
+		for i := range c {
+			c[i] = 4 * rng.Float64()
+		}
+		// Balance u to c so the trajectory is periodic.
+		total := 0.0
+		for _, v := range c {
+			total += v
+		}
+		for i := range u {
+			u[i] = rng.Float64()
+		}
+		ut := 0.0
+		for _, v := range u {
+			ut += v
+		}
+		if ut == 0 || total == 0 {
+			return true
+		}
+		for i := range u {
+			u[i] *= total / ut
+		}
+		cg := schedule.NewGrid(1, c)
+		ug := schedule.NewGrid(1, u)
+		cmin, cmax := 0.5, 4.0
+		before := worstViolation(Trajectory(cg, ug, 1), cmin, cmax)
+		adj, _ := AdjustOnce(cg, ug, 1, cmin, cmax, 1e-9)
+		after := worstViolation(Trajectory(cg, adj, 1), cmin, cmax)
+		return after <= before+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func worstViolation(traj []float64, cmin, cmax float64) float64 {
+	worst := 0.0
+	for _, v := range traj {
+		if v > cmax {
+			worst = math.Max(worst, v-cmax)
+		}
+		if v < cmin {
+			worst = math.Max(worst, cmin-v)
+		}
+	}
+	return worst
+}
+
+func TestRepairProducesFeasible(t *testing.T) {
+	// A deliberately infeasible allocation: draw everything up front,
+	// charge arrives later.
+	c := schedule.NewGrid(1, []float64{0, 0, 4, 4})
+	a := schedule.NewGrid(1, []float64{4, 4, 0, 0})
+	cmin, cmax := 0.5, 3.0
+	repaired := Repair(c, a, 2.0, cmin, cmax)
+	traj := Trajectory(c, repaired, 2.0)
+	for i, v := range traj {
+		if v < cmin-1e-9 || v > cmax+1e-9 {
+			t.Errorf("repaired traj[%d] = %g outside [%g, %g]", i, v, cmin, cmax)
+		}
+	}
+	if repaired.Min() < 0 {
+		t.Errorf("repaired allocation negative: %v", repaired.Values)
+	}
+}
+
+func TestRepairClampsNegativeInput(t *testing.T) {
+	c := schedule.NewGrid(1, []float64{1, 1})
+	a := schedule.NewGrid(1, []float64{-2, 1})
+	repaired := Repair(c, a, 1, 0.5, 3)
+	if repaired.Min() < 0 {
+		t.Errorf("negative input slot survived: %v", repaired.Values)
+	}
+}
+
+func TestRepairPropertyAlwaysFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(16)
+		c := make([]float64, n)
+		a := make([]float64, n)
+		for i := range c {
+			c[i] = 5 * rng.Float64()
+			a[i] = 5 * rng.Float64()
+		}
+		cmin := 0.2 + rng.Float64()
+		cmax := cmin + 1 + 5*rng.Float64()
+		initial := cmin + (cmax-cmin)*rng.Float64()
+		cg := schedule.NewGrid(2, c)
+		ag := schedule.NewGrid(2, a)
+		repaired := Repair(cg, ag, initial, cmin, cmax)
+		for _, v := range Trajectory(cg, repaired, initial) {
+			if v < cmin-1e-6 || v > cmax+1e-6 {
+				return false
+			}
+		}
+		return repaired.Min() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeFallsBackToRepair(t *testing.T) {
+	// One remapping round with MaxIterations=1 rarely suffices for a
+	// wild profile; the driver must fall back to Repair and still
+	// return a feasible plan.
+	rng := rand.New(rand.NewSource(7))
+	n := 16
+	c := make([]float64, n)
+	u := make([]float64, n)
+	for i := range c {
+		c[i] = 6 * rng.Float64()
+		u[i] = 6 * rng.Float64()
+	}
+	in := Inputs{
+		Charging:      schedule.NewGrid(1, c),
+		EventRate:     schedule.NewGrid(1, u),
+		CapacityMax:   2.0, // very tight band forces violations
+		CapacityMin:   0.5,
+		InitialCharge: 1.0,
+		MaxIterations: 1,
+	}
+	res, err := Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("repair fallback must be feasible; traj %v", res.Trajectory)
+	}
+	// The fallback shows up as one extra iteration record.
+	if len(res.Iterations) != 2 {
+		t.Errorf("iterations = %d, want 1 remap + 1 repair", len(res.Iterations))
+	}
+}
+
+func TestComputeRespectsMaxIterations(t *testing.T) {
+	in := scenarioInputs(trace.ScenarioI())
+	in.MaxIterations = 1
+	res, err := Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) > 2 {
+		t.Errorf("iterations = %d with MaxIterations 1 (+repair)", len(res.Iterations))
+	}
+	if !res.Feasible {
+		t.Error("repair fallback must deliver feasibility")
+	}
+}
+
+func TestAdjustStrategyString(t *testing.T) {
+	if RemapProportional.String() != "proportional" || RemapEven.String() != "even" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestEvenStrategyAlsoConverges(t *testing.T) {
+	for _, s := range trace.Scenarios() {
+		in := scenarioInputs(s)
+		in.Strategy = RemapEven
+		res, err := Compute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			t.Errorf("scenario %s infeasible under even strategy", s.Name)
+		}
+		for i, v := range res.Trajectory {
+			if v < s.CapacityMin-1e-6 || v > s.CapacityMax+1e-6 {
+				t.Errorf("scenario %s: traj[%d] = %g out of band", s.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestStrategiesDifferButAgreeOnEndpoints(t *testing.T) {
+	s := trace.ScenarioI()
+	in := scenarioInputs(s)
+	prop, err := Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Strategy = RemapEven
+	even, err := Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different allocations in the middle...
+	if prop.Allocation.Equal(even.Allocation, 1e-9) {
+		t.Error("strategies unexpectedly identical")
+	}
+	// ...but both spend roughly the supply.
+	supply := s.Charging.Total()
+	for name, r := range map[string]*Result{"prop": prop, "even": even} {
+		if r.Allocation.Total() < 0.8*supply || r.Allocation.Total() > 1.2*supply {
+			t.Errorf("%s: total %g J vs supply %g J", name, r.Allocation.Total(), supply)
+		}
+	}
+}
+
+// §2's weight function: raising a slot's weight must shift allocation
+// toward it (relative to the unweighted plan), with the period total
+// still balanced to the supply.
+func TestWeightShiftsAllocation(t *testing.T) {
+	charging := schedule.NewGrid(1, []float64{2, 2, 2, 2, 2, 2, 2, 2})
+	usage := schedule.NewGrid(1, []float64{1, 1, 1, 1, 1, 1, 1, 1})
+	weight := schedule.NewGrid(1, []float64{1, 1, 1, 3, 3, 1, 1, 1})
+	base := Inputs{
+		Charging: charging, EventRate: usage,
+		CapacityMax: 20, CapacityMin: 1, InitialCharge: 5,
+	}
+	flat, err := Compute(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted := base
+	weighted.Weight = weight
+	shaped, err := Compute(weighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted slots gain power relative to the flat plan.
+	if shaped.Allocation.Values[3] <= flat.Allocation.Values[3] {
+		t.Errorf("weighted slot did not gain: %g vs %g",
+			shaped.Allocation.Values[3], flat.Allocation.Values[3])
+	}
+	if shaped.Allocation.Values[0] >= flat.Allocation.Values[0] {
+		t.Errorf("unweighted slot did not yield: %g vs %g",
+			shaped.Allocation.Values[0], flat.Allocation.Values[0])
+	}
+	// Totals still balance to the supply.
+	if math.Abs(shaped.Allocation.Total()-charging.Total()) > 1e-6 {
+		t.Errorf("weighted total %g J != supply %g J", shaped.Allocation.Total(), charging.Total())
+	}
+}

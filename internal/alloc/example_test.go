@@ -1,0 +1,40 @@
+package alloc_test
+
+import (
+	"fmt"
+
+	"dpm/internal/alloc"
+	"dpm/internal/schedule"
+)
+
+// Plan power for a half-sunlit orbit: the raw balanced demand would
+// overflow the battery mid-orbit and drain it before dawn, so
+// Algorithm 1 reshapes it.
+func ExampleCompute() {
+	charging := schedule.NewGrid(1, []float64{4, 4, 4, 4, 0, 0, 0, 0})
+	demand := schedule.NewGrid(1, []float64{1, 1, 1, 1, 3, 3, 3, 3})
+	res, err := alloc.Compute(alloc.Inputs{
+		Charging:      charging,
+		EventRate:     demand,
+		CapacityMax:   6,
+		CapacityMin:   1,
+		InitialCharge: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("feasible after %d iterations\n", len(res.Iterations))
+	lo, hi := res.Trajectory[0], res.Trajectory[0]
+	for _, v := range res.Trajectory {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	fmt.Printf("battery stays within [%.1f, %.1f] J of the [1, 6] band\n", lo, hi)
+	// Output:
+	// feasible after 2 iterations
+	// battery stays within [1.0, 6.0] J of the [1, 6] band
+}

@@ -1,0 +1,145 @@
+// Package baseline implements the comparator algorithms the paper
+// measures its manager against.
+//
+// The paper's §5 "static algorithm" has no look-ahead: the system is
+// simply off while there is no input to process and runs the demand
+// as it arrives; surplus charging energy goes to the battery and
+// deficits are drawn from it. Because nothing is spent early or
+// saved ahead of time, the battery overflows during sunny idle
+// stretches (wasted energy) and empties during busy eclipses
+// (undersupplied energy) — the two Table 1 metrics.
+//
+// A time-out variant (the "simplest and most widely used technique"
+// of the paper's related work) keeps the system powered for a fixed
+// number of idle slots before turning it off.
+package baseline
+
+import (
+	"fmt"
+
+	"dpm/internal/battery"
+	"dpm/internal/dpm"
+	"dpm/internal/params"
+	"dpm/internal/schedule"
+)
+
+// Config describes a baseline run.
+type Config struct {
+	// Table is the board's operating-point frontier; the baseline
+	// picks the cheapest point that covers each slot's demand.
+	Table *params.Table
+	// Usage is the demanded power per slot in watts (the scenario's
+	// use schedule).
+	Usage *schedule.Grid
+	// ActualCharging is the power actually supplied per slot; nil
+	// means no external supply.
+	ActualCharging *schedule.Grid
+	// CapacityMax, CapacityMin and InitialCharge configure the
+	// battery in joules.
+	CapacityMax   float64
+	CapacityMin   float64
+	InitialCharge float64
+	// Periods is the number of periods to simulate.
+	Periods int
+	// IdleTimeoutSlots keeps the system at its last operating point
+	// for this many zero-demand slots before dropping to idle; 0 is
+	// the paper's static algorithm (immediate off).
+	IdleTimeoutSlots int
+	// Battery selects the intra-slot battery semantics (see
+	// dpm.BatteryModel); use the same model as the proposed run
+	// being compared against.
+	Battery dpm.BatteryModel
+}
+
+func (c Config) validate() error {
+	if c.Table == nil {
+		return fmt.Errorf("baseline: nil operating-point table")
+	}
+	if c.Usage == nil {
+		return fmt.Errorf("baseline: nil usage grid")
+	}
+	if c.Periods <= 0 {
+		return fmt.Errorf("baseline: non-positive period count %d", c.Periods)
+	}
+	if c.IdleTimeoutSlots < 0 {
+		return fmt.Errorf("baseline: negative idle timeout %d", c.IdleTimeoutSlots)
+	}
+	if c.ActualCharging != nil && c.ActualCharging.Len() != c.Usage.Len() {
+		return fmt.Errorf("baseline: charging has %d slots, usage %d",
+			c.ActualCharging.Len(), c.Usage.Len())
+	}
+	return nil
+}
+
+// selectCovering returns the cheapest frontier point whose power
+// covers the demand (zero demand maps to the idle floor).
+func selectCovering(tbl *params.Table, demand float64) params.OperatingPoint {
+	if demand <= 0 {
+		return tbl.Points()[0]
+	}
+	return tbl.SelectCovering(demand)
+}
+
+// Run simulates the baseline policy and returns the same result
+// shape as dpm.Simulate so reports can compare them directly.
+func Run(cfg Config) (*dpm.SimResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	bat, err := battery.New(battery.Config{
+		CapacityMax: cfg.CapacityMax,
+		CapacityMin: cfg.CapacityMin,
+		Initial:     cfg.InitialCharge,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: battery: %w", err)
+	}
+
+	tau := cfg.Usage.Step
+	nSlots := cfg.Usage.Len()
+	res := &dpm.SimResult{}
+	idle := cfg.Table.Points()[0]
+	var prev params.OperatingPoint
+	idleRun := 0
+	for s := 0; s < cfg.Periods*nSlots; s++ {
+		idx := s % nSlots
+		demand := cfg.Usage.Values[idx]
+
+		var point params.OperatingPoint
+		if demand > 0 {
+			point = selectCovering(cfg.Table, demand)
+			idleRun = 0
+		} else {
+			idleRun++
+			if idleRun <= cfg.IdleTimeoutSlots && s > 0 {
+				point = prev // time-out window: hold the last point
+			} else {
+				point = idle
+			}
+		}
+		if s > 0 && point != prev {
+			res.Switches++
+		}
+		prev = point
+
+		supply := 0.0
+		if cfg.ActualCharging != nil {
+			supply = cfg.ActualCharging.Values[idx]
+		}
+		requested := point.Power * tau
+		delivered := cfg.Battery.Step(bat, supply, point.Power, tau)
+		if requested > 0 {
+			res.PerfSeconds += point.Perf * tau * (delivered / requested)
+		}
+		res.Records = append(res.Records, dpm.SlotRecord{
+			Time:          float64(s) * tau,
+			Planned:       demand,
+			Point:         point,
+			UsedPower:     point.Power,
+			SuppliedPower: supply,
+			Charge:        bat.Charge(),
+		})
+	}
+	res.Battery = bat.Snapshot()
+	return res, nil
+}

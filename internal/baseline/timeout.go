@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"fmt"
+
+	"dpm/internal/dpm"
+	"dpm/internal/predict"
+)
+
+// The paper's §5 comparison calls its comparator "the optimal
+// time-out algorithm": the classic policy family that keeps the
+// system powered for some grace window after the last work and then
+// turns it off, with the window chosen as well as possible. This
+// file provides that optimizer, plus the related-work "predictive
+// shutdown" policy ([10][25] in the paper) that powers slots based on
+// a demand forecast instead of current demand.
+
+// OptimalTimeout sweeps the idle time-out from 0 to maxTimeoutSlots
+// and returns the best setting by combined wasted+undersupplied
+// energy, with its run result.
+func OptimalTimeout(cfg Config, maxTimeoutSlots int) (int, *dpm.SimResult, error) {
+	if maxTimeoutSlots < 0 {
+		return 0, nil, fmt.Errorf("baseline: negative time-out bound %d", maxTimeoutSlots)
+	}
+	bestTimeout := -1
+	var bestRes *dpm.SimResult
+	bestBad := 0.0
+	for timeout := 0; timeout <= maxTimeoutSlots; timeout++ {
+		c := cfg
+		c.IdleTimeoutSlots = timeout
+		res, err := Run(c)
+		if err != nil {
+			return 0, nil, err
+		}
+		bad := res.Battery.Wasted + res.Battery.Undersupplied
+		if bestTimeout < 0 || bad < bestBad {
+			bestTimeout, bestRes, bestBad = timeout, res, bad
+		}
+	}
+	return bestTimeout, bestRes, nil
+}
+
+// RunPredictive simulates the predictive-shutdown policy: each
+// period after the first, the per-slot operating point is chosen to
+// cover the *predicted* demand (from the predictor trained on the
+// realized usage of earlier periods) rather than the oracle demand
+// the static policy reads. The first period runs reactively while
+// the predictor has no history. Battery accounting matches Run so
+// results compare directly.
+func RunPredictive(cfg Config, p predict.Predictor) (*dpm.SimResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("baseline: nil predictor")
+	}
+
+	nSlots := cfg.Usage.Len()
+	res := &dpm.SimResult{}
+	var last *dpm.SimResult
+	for period := 0; period < cfg.Periods; period++ {
+		demand := cfg.Usage
+		if period > 0 {
+			predicted, err := p.Predict()
+			if err != nil {
+				return nil, err
+			}
+			demand = predicted
+		}
+		c := cfg
+		c.Usage = demand
+		c.Periods = 1
+		// Carry the battery across periods by replaying its end state
+		// as the next initial charge; waste/undersupply accumulate in
+		// res below.
+		if last != nil {
+			c.InitialCharge = last.Battery.Charge
+		}
+		one, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		// Accumulate.
+		for i := range one.Records {
+			one.Records[i].Time += float64(period*nSlots) * cfg.Usage.Step
+		}
+		res.Records = append(res.Records, one.Records...)
+		res.PerfSeconds += one.PerfSeconds
+		res.Switches += one.Switches
+		res.Battery.Wasted += one.Battery.Wasted
+		res.Battery.Undersupplied += one.Battery.Undersupplied
+		res.Battery.TotalSupplied += one.Battery.TotalSupplied
+		res.Battery.TotalDrawn += one.Battery.TotalDrawn
+		res.Battery.Charge = one.Battery.Charge
+		last = one
+
+		if err := p.Observe(cfg.Usage); err != nil {
+			return nil, err
+		}
+	}
+	if res.Battery.TotalSupplied > 0 {
+		res.Battery.Utilization = res.Battery.TotalDrawn / res.Battery.TotalSupplied
+	}
+	return res, nil
+}

@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"testing"
+
+	"dpm/internal/predict"
+	"dpm/internal/trace"
+)
+
+func TestOptimalTimeoutFindsBest(t *testing.T) {
+	cfg := scenarioConfig(t, trace.ScenarioII()) // has zero-demand slots
+	best, res, err := OptimalTimeout(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < 0 || best > 4 {
+		t.Fatalf("best timeout = %d", best)
+	}
+	if res == nil || len(res.Records) == 0 {
+		t.Fatal("no result returned")
+	}
+	// The optimum cannot be worse than any individual setting.
+	for timeout := 0; timeout <= 4; timeout++ {
+		c := cfg
+		c.IdleTimeoutSlots = timeout
+		r, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Battery.Wasted+res.Battery.Undersupplied >
+			r.Battery.Wasted+r.Battery.Undersupplied+1e-9 {
+			t.Errorf("timeout %d beats the 'optimal' one", timeout)
+		}
+	}
+}
+
+func TestOptimalTimeoutValidation(t *testing.T) {
+	cfg := scenarioConfig(t, trace.ScenarioI())
+	if _, _, err := OptimalTimeout(cfg, -1); err == nil {
+		t.Error("negative bound must error")
+	}
+	bad := cfg
+	bad.Table = nil
+	if _, _, err := OptimalTimeout(bad, 2); err == nil {
+		t.Error("invalid config must propagate")
+	}
+}
+
+func TestRunPredictiveBasic(t *testing.T) {
+	cfg := scenarioConfig(t, trace.ScenarioI())
+	cfg.Periods = 4
+	res, err := RunPredictive(cfg, predict.NewLastPeriod())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 4*12 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+	// Times must be globally increasing across period boundaries.
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i].Time <= res.Records[i-1].Time {
+			t.Fatalf("time not increasing at %d", i)
+		}
+	}
+	if res.Battery.Utilization <= 0 {
+		t.Error("no utilization accounted")
+	}
+}
+
+func TestRunPredictiveMatchesStaticOnStationaryDemand(t *testing.T) {
+	// With identical demand every period, a last-period predictor is
+	// an oracle from period 2 on, so predictive ≈ static.
+	cfg := scenarioConfig(t, trace.ScenarioI())
+	cfg.Periods = 3
+	static, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := RunPredictive(cfg, predict.NewLastPeriod())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBad := static.Battery.Wasted + static.Battery.Undersupplied
+	pBad := pred.Battery.Wasted + pred.Battery.Undersupplied
+	if pBad > sBad*1.05+1e-9 || pBad < sBad*0.95-1e-9 {
+		t.Errorf("stationary demand: predictive %.2f J vs static %.2f J should match", pBad, sBad)
+	}
+}
+
+func TestRunPredictiveValidation(t *testing.T) {
+	cfg := scenarioConfig(t, trace.ScenarioI())
+	if _, err := RunPredictive(cfg, nil); err == nil {
+		t.Error("nil predictor must error")
+	}
+	bad := cfg
+	bad.Usage = nil
+	if _, err := RunPredictive(bad, predict.NewLastPeriod()); err == nil {
+		t.Error("invalid config must propagate")
+	}
+}

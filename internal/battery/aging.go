@@ -1,0 +1,115 @@
+package battery
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file extends the ideal paper battery with the two dominant
+// non-idealities of real rechargeable cells on long missions:
+// self-discharge (a slow exponential leak) and cycle aging (capacity
+// fade proportional to energy throughput). The endurance experiment
+// in internal/experiments uses them to test the manager over many
+// periods; the paper's two-period evaluation treats the battery as
+// ideal, so both default to off.
+
+// AgingConfig parameterizes the non-idealities.
+type AgingConfig struct {
+	// SelfDischargePerSecond is the fractional charge lost per
+	// second (e.g. 5% per month ≈ 1.9e-8). Zero disables the leak.
+	SelfDischargePerSecond float64
+	// FadePerJoule is the fraction of CapacityMax lost per joule of
+	// discharge throughput. Zero disables fading.
+	FadePerJoule float64
+	// CapacityFloor stops fading once Cmax has shrunk to this
+	// fraction of its original value (cells are considered dead at
+	// ~80%; default 0.5).
+	CapacityFloor float64
+}
+
+func (c AgingConfig) validate() error {
+	if c.SelfDischargePerSecond < 0 || c.SelfDischargePerSecond >= 1 {
+		return fmt.Errorf("battery: self-discharge rate %g outside [0, 1)", c.SelfDischargePerSecond)
+	}
+	if c.FadePerJoule < 0 {
+		return fmt.Errorf("battery: negative fade rate %g", c.FadePerJoule)
+	}
+	if c.CapacityFloor < 0 || c.CapacityFloor > 1 {
+		return fmt.Errorf("battery: capacity floor %g outside [0, 1]", c.CapacityFloor)
+	}
+	return nil
+}
+
+// Aging wraps a Battery with self-discharge and capacity fade. Use
+// Age between simulation steps.
+type Aging struct {
+	*Battery
+	cfg          AgingConfig
+	originalCmax float64
+	leaked       float64
+	faded        float64
+}
+
+// NewAging wraps the battery. The battery must have been created
+// with New; the wrapper mutates its configuration as capacity fades.
+func NewAging(b *Battery, cfg AgingConfig) (*Aging, error) {
+	if b == nil {
+		return nil, fmt.Errorf("battery: nil battery")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CapacityFloor == 0 {
+		cfg.CapacityFloor = 0.5
+	}
+	return &Aging{Battery: b, cfg: cfg, originalCmax: b.cfg.CapacityMax}, nil
+}
+
+// Age applies dt seconds of self-discharge and the capacity fade for
+// the discharge throughput since the last call. Call it once per
+// simulation step, after the step's supply/draw.
+func (a *Aging) Age(dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("battery: negative aging step %g", dt))
+	}
+	// Self-discharge: exponential decay of the stored charge, never
+	// below Cmin (the protection circuit disconnects the leak path in
+	// deep discharge).
+	if a.cfg.SelfDischargePerSecond > 0 && dt > 0 {
+		factor := math.Exp(-a.cfg.SelfDischargePerSecond * dt)
+		loss := a.charge * (1 - factor)
+		available := a.charge - a.cfg2().CapacityMin
+		if loss > available {
+			loss = math.Max(available, 0)
+		}
+		a.charge -= loss
+		a.leaked += loss
+	}
+	// Capacity fade: shrink Cmax in proportion to new throughput.
+	if a.cfg.FadePerJoule > 0 {
+		fade := a.cfg.FadePerJoule * a.totalOut * a.originalCmax
+		floor := a.cfg.CapacityFloor * a.originalCmax
+		newCmax := math.Max(a.originalCmax-fade, floor)
+		if newCmax < a.Battery.cfg.CapacityMax {
+			a.faded = a.originalCmax - newCmax
+			a.Battery.cfg.CapacityMax = newCmax
+			if a.charge > newCmax {
+				// Charge above the shrunken ceiling is lost.
+				a.wasted += a.charge - newCmax
+				a.charge = newCmax
+			}
+		}
+	}
+}
+
+// cfg2 exposes the inner config without copying the whole battery.
+func (a *Aging) cfg2() Config { return a.Battery.cfg }
+
+// Leaked returns the total self-discharge loss in joules.
+func (a *Aging) Leaked() float64 { return a.leaked }
+
+// Faded returns the total capacity lost to aging in joules.
+func (a *Aging) Faded() float64 { return a.faded }
+
+// EffectiveCapacity returns the current (possibly faded) Cmax.
+func (a *Aging) EffectiveCapacity() float64 { return a.Battery.cfg.CapacityMax }

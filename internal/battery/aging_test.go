@@ -1,0 +1,124 @@
+package battery
+
+import (
+	"math"
+	"testing"
+)
+
+func agingBattery(t *testing.T, cfg AgingConfig) *Aging {
+	t.Helper()
+	b, err := New(Config{CapacityMax: 100, CapacityMin: 5, Initial: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAging(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAgingValidation(t *testing.T) {
+	b, err := New(Config{CapacityMax: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAging(nil, AgingConfig{}); err == nil {
+		t.Error("nil battery must error")
+	}
+	bad := []AgingConfig{
+		{SelfDischargePerSecond: -0.1},
+		{SelfDischargePerSecond: 1},
+		{FadePerJoule: -1},
+		{CapacityFloor: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewAging(b, cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSelfDischarge(t *testing.T) {
+	a := agingBattery(t, AgingConfig{SelfDischargePerSecond: 0.01})
+	a.Age(10) // 10 s at 1%/s: charge → 50·e^{-0.1}
+	want := 50 * math.Exp(-0.1)
+	if math.Abs(a.Charge()-want) > 1e-9 {
+		t.Errorf("charge = %g, want %g", a.Charge(), want)
+	}
+	if math.Abs(a.Leaked()-(50-want)) > 1e-9 {
+		t.Errorf("leaked = %g", a.Leaked())
+	}
+}
+
+func TestSelfDischargeStopsAtCmin(t *testing.T) {
+	a := agingBattery(t, AgingConfig{SelfDischargePerSecond: 0.5})
+	for i := 0; i < 100; i++ {
+		a.Age(10)
+	}
+	if a.Charge() < 5-1e-9 {
+		t.Errorf("leak crossed Cmin: %g", a.Charge())
+	}
+}
+
+func TestCapacityFade(t *testing.T) {
+	a := agingBattery(t, AgingConfig{FadePerJoule: 1e-3})
+	// Push 100 J of throughput: fade = 1e-3·100·Cmax = 10 J.
+	for i := 0; i < 10; i++ {
+		a.Supply(10)
+		a.Draw(10)
+	}
+	a.Age(0)
+	if got := a.EffectiveCapacity(); math.Abs(got-90) > 1e-6 {
+		t.Errorf("faded capacity = %g, want 90", got)
+	}
+	if math.Abs(a.Faded()-10) > 1e-6 {
+		t.Errorf("Faded = %g", a.Faded())
+	}
+}
+
+func TestCapacityFadeFloor(t *testing.T) {
+	a := agingBattery(t, AgingConfig{FadePerJoule: 1, CapacityFloor: 0.6})
+	a.Supply(50)
+	a.Draw(50)
+	a.Age(0)
+	if got := a.EffectiveCapacity(); got != 60 {
+		t.Errorf("capacity = %g, want floor 60", got)
+	}
+}
+
+func TestFadeClampsStoredCharge(t *testing.T) {
+	b, err := New(Config{CapacityMax: 100, CapacityMin: 0, Initial: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAging(b, AgingConfig{FadePerJoule: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Draw(30)
+	a.Supply(30) // back to full 100 J
+	a.Age(0)     // fade by 1e-3·30·100 = 3 J → Cmax 97
+	if a.Charge() > a.EffectiveCapacity()+1e-9 {
+		t.Errorf("charge %g above faded capacity %g", a.Charge(), a.EffectiveCapacity())
+	}
+}
+
+func TestAgeNegativePanics(t *testing.T) {
+	a := agingBattery(t, AgingConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Error("negative dt must panic")
+		}
+	}()
+	a.Age(-1)
+}
+
+func TestZeroAgingIsIdentity(t *testing.T) {
+	a := agingBattery(t, AgingConfig{})
+	before := a.Charge()
+	a.Age(1e6)
+	if a.Charge() != before || a.Leaked() != 0 || a.Faded() != 0 {
+		t.Error("zero config must not change anything")
+	}
+}

@@ -1,0 +1,273 @@
+// Package battery models the rechargeable energy store at the heart
+// of the paper's problem statement: a battery with a maximum charging
+// capacity Cmax (energy arriving while full is wasted) and a minimum
+// charge Cmin that must be maintained at all times (draining below it
+// means computation stalls until recharge — the "undersupplied"
+// condition).
+//
+// The model is an energy bucket integrated over simulation steps. It
+// additionally keeps the two bookkeeping quantities the paper's
+// Table 1 reports: total wasted energy and total undersupplied
+// energy, plus the totals needed to compute energy utilization.
+package battery
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config describes a battery.
+type Config struct {
+	// CapacityMax is Cmax, the maximum storable energy in joules.
+	CapacityMax float64
+	// CapacityMin is Cmin, the minimum charge (joules) that must be
+	// maintained; discharge requests that would cross it are refused.
+	CapacityMin float64
+	// Initial is the starting charge in joules. It is clamped into
+	// [CapacityMin, CapacityMax] by New.
+	Initial float64
+	// ChargeEfficiency scales incoming energy (0 < e <= 1). The
+	// paper's model is lossless; the default 0 means 1.0.
+	ChargeEfficiency float64
+	// MaxChargeWatts caps the power the cell can absorb (its charge
+	// C-rate); surplus beyond it is wasted. Zero means unlimited,
+	// the paper's model. Applied by Step/StepNet, which know dt.
+	MaxChargeWatts float64
+	// MaxDischargeWatts caps the deliverable power; demand beyond it
+	// is undersupplied even with charge available. Zero means
+	// unlimited. Applied by Step/StepNet.
+	MaxDischargeWatts float64
+}
+
+// Battery is a mutable energy store. It is not safe for concurrent
+// use; the simulator steps it from a single goroutine.
+type Battery struct {
+	cfg    Config
+	charge float64
+
+	wasted       float64 // energy offered while full, lost (J)
+	undersupply  float64 // energy requested but refused (J)
+	totalIn      float64 // total energy offered by the source (J)
+	totalOut     float64 // total energy actually delivered to loads (J)
+	totalDemand  float64 // total energy requested by loads (J)
+	totalCharged float64 // total energy actually stored (J)
+}
+
+// New creates a battery from cfg. It returns an error for physically
+// meaningless configurations (Cmax <= 0, Cmin < 0, Cmin > Cmax, or an
+// efficiency outside (0, 1]).
+func New(cfg Config) (*Battery, error) {
+	if cfg.CapacityMax <= 0 {
+		return nil, fmt.Errorf("battery: CapacityMax %g must be positive", cfg.CapacityMax)
+	}
+	if cfg.CapacityMin < 0 {
+		return nil, fmt.Errorf("battery: CapacityMin %g must be non-negative", cfg.CapacityMin)
+	}
+	if cfg.CapacityMin > cfg.CapacityMax {
+		return nil, fmt.Errorf("battery: CapacityMin %g exceeds CapacityMax %g", cfg.CapacityMin, cfg.CapacityMax)
+	}
+	if cfg.ChargeEfficiency == 0 {
+		cfg.ChargeEfficiency = 1
+	}
+	if cfg.ChargeEfficiency <= 0 || cfg.ChargeEfficiency > 1 {
+		return nil, fmt.Errorf("battery: ChargeEfficiency %g outside (0, 1]", cfg.ChargeEfficiency)
+	}
+	if cfg.MaxChargeWatts < 0 || cfg.MaxDischargeWatts < 0 {
+		return nil, fmt.Errorf("battery: negative rate limit (%g, %g)", cfg.MaxChargeWatts, cfg.MaxDischargeWatts)
+	}
+	b := &Battery{cfg: cfg}
+	b.charge = math.Min(math.Max(cfg.Initial, cfg.CapacityMin), cfg.CapacityMax)
+	return b, nil
+}
+
+// Charge returns the current stored energy in joules.
+func (b *Battery) Charge() float64 { return b.charge }
+
+// Headroom returns how much more energy can be stored before hitting
+// Cmax.
+func (b *Battery) Headroom() float64 { return b.cfg.CapacityMax - b.charge }
+
+// Available returns the energy that can be drawn without violating
+// Cmin.
+func (b *Battery) Available() float64 { return b.charge - b.cfg.CapacityMin }
+
+// Config returns the battery's configuration.
+func (b *Battery) Config() Config { return b.cfg }
+
+// Supply offers energy (joules) from the external source. Whatever
+// does not fit below Cmax is recorded as wasted — the paper's
+// oversupplied condition. It returns the energy actually stored.
+// Negative offers panic: the source never absorbs energy.
+func (b *Battery) Supply(energy float64) float64 {
+	if energy < 0 {
+		panic(fmt.Sprintf("battery: negative supply %g", energy))
+	}
+	b.totalIn += energy
+	usable := energy * b.cfg.ChargeEfficiency
+	stored := math.Min(usable, b.Headroom())
+	b.charge += stored
+	b.totalCharged += stored
+	b.wasted += usable - stored
+	return stored
+}
+
+// Draw requests energy (joules) for computation. If the full request
+// cannot be satisfied without crossing Cmin, the battery delivers
+// what it can and records the shortfall as undersupplied energy — the
+// paper's second Table 1 metric. It returns the energy actually
+// delivered. Negative requests panic.
+func (b *Battery) Draw(energy float64) float64 {
+	if energy < 0 {
+		panic(fmt.Sprintf("battery: negative draw %g", energy))
+	}
+	b.totalDemand += energy
+	delivered := math.Min(energy, b.Available())
+	if delivered < 0 {
+		delivered = 0
+	}
+	b.charge -= delivered
+	b.totalOut += delivered
+	b.undersupply += energy - delivered
+	return delivered
+}
+
+// Step advances the battery by dt seconds with a constant external
+// supply power and load power (both watts), performing the whole
+// supply before the whole draw. This sequential ordering is only
+// accurate when dt is small against the battery's capacity; slot-
+// granular simulations should use StepNet instead. It returns the
+// energy delivered to the load during the step.
+func (b *Battery) Step(supplyPower, loadPower, dt float64) float64 {
+	if dt < 0 {
+		panic(fmt.Sprintf("battery: negative step %g", dt))
+	}
+	b.Supply(supplyPower * dt)
+	return b.Draw(loadPower * dt)
+}
+
+// StepNet advances the battery by dt seconds with simultaneous
+// constant supply and load, the physical regime of the paper's
+// system: solar input feeds the load directly, and only the *net*
+// flow charges or discharges the battery. Supply covering the load
+// passes straight through; a surplus charges the battery (overflow
+// beyond Cmax is wasted); a deficit discharges it (shortfall below
+// Cmin is undersupplied). It returns the energy delivered to the
+// load.
+func (b *Battery) StepNet(supplyPower, loadPower, dt float64) float64 {
+	if dt < 0 {
+		panic(fmt.Sprintf("battery: negative step %g", dt))
+	}
+	if supplyPower < 0 || loadPower < 0 {
+		panic(fmt.Sprintf("battery: negative power (%g, %g)", supplyPower, loadPower))
+	}
+	supplyE := supplyPower * dt
+	loadE := loadPower * dt
+	b.totalIn += supplyE
+	b.totalDemand += loadE
+
+	direct := math.Min(supplyE, loadE)
+	surplus := supplyE - direct
+	deficit := loadE - direct
+
+	// Charge C-rate: the cell absorbs at most MaxChargeWatts.
+	if b.cfg.MaxChargeWatts > 0 {
+		cap := b.cfg.MaxChargeWatts * dt
+		if surplus > cap {
+			b.wasted += (surplus - cap) * b.cfg.ChargeEfficiency
+			surplus = cap
+		}
+	}
+	usable := surplus * b.cfg.ChargeEfficiency
+	stored := math.Min(usable, b.Headroom())
+	b.charge += stored
+	b.totalCharged += stored
+	b.wasted += usable - stored
+
+	// Discharge C-rate: the cell delivers at most MaxDischargeWatts.
+	deliverable := b.Available()
+	if b.cfg.MaxDischargeWatts > 0 {
+		deliverable = math.Min(deliverable, b.cfg.MaxDischargeWatts*dt)
+	}
+	fromBattery := math.Min(deficit, deliverable)
+	if fromBattery < 0 {
+		fromBattery = 0
+	}
+	b.charge -= fromBattery
+	b.undersupply += deficit - fromBattery
+
+	delivered := direct + fromBattery
+	b.totalOut += delivered
+	return delivered
+}
+
+// Wasted returns the cumulative energy lost to the full-battery
+// (oversupplied) condition in joules.
+func (b *Battery) Wasted() float64 { return b.wasted }
+
+// Undersupplied returns the cumulative energy requested by loads but
+// not deliverable without violating Cmin, in joules.
+func (b *Battery) Undersupplied() float64 { return b.undersupply }
+
+// TotalSupplied returns the cumulative energy offered by the external
+// source in joules.
+func (b *Battery) TotalSupplied() float64 { return b.totalIn }
+
+// TotalDelivered returns the cumulative energy actually delivered to
+// loads in joules.
+func (b *Battery) TotalDelivered() float64 { return b.totalOut }
+
+// TotalDemanded returns the cumulative energy requested by loads in
+// joules.
+func (b *Battery) TotalDemanded() float64 { return b.totalDemand }
+
+// Utilization returns the paper's energy-utilization metric:
+// (energy used for computation) / (energy available). Energy
+// available is what the source offered plus the net change drawn from
+// the initial charge. It returns 0 before any energy has moved.
+func (b *Battery) Utilization() float64 {
+	available := b.totalIn + math.Max(0, b.cfg.Initial-b.charge)
+	if available == 0 {
+		return 0
+	}
+	return b.totalOut / available
+}
+
+// Reset restores the initial charge and clears all accounting.
+func (b *Battery) Reset() {
+	b.charge = math.Min(math.Max(b.cfg.Initial, b.cfg.CapacityMin), b.cfg.CapacityMax)
+	b.wasted = 0
+	b.undersupply = 0
+	b.totalIn = 0
+	b.totalOut = 0
+	b.totalDemand = 0
+	b.totalCharged = 0
+}
+
+// Snapshot is an immutable copy of the battery's accounting, suitable
+// for reports.
+type Snapshot struct {
+	Charge        float64
+	Wasted        float64
+	Undersupplied float64
+	TotalSupplied float64
+	TotalDrawn    float64
+	Utilization   float64
+}
+
+// Snapshot captures the current state.
+func (b *Battery) Snapshot() Snapshot {
+	return Snapshot{
+		Charge:        b.charge,
+		Wasted:        b.wasted,
+		Undersupplied: b.undersupply,
+		TotalSupplied: b.totalIn,
+		TotalDrawn:    b.totalOut,
+		Utilization:   b.Utilization(),
+	}
+}
+
+// String summarizes the battery state.
+func (b *Battery) String() string {
+	return fmt.Sprintf("Battery(charge=%.3g J in [%g, %g], wasted=%.3g J, undersupplied=%.3g J)",
+		b.charge, b.cfg.CapacityMin, b.cfg.CapacityMax, b.wasted, b.undersupply)
+}

@@ -1,0 +1,399 @@
+package battery
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Battery {
+	t.Helper()
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{CapacityMax: 0},
+		{CapacityMax: -5},
+		{CapacityMax: 10, CapacityMin: -1},
+		{CapacityMax: 10, CapacityMin: 20},
+		{CapacityMax: 10, ChargeEfficiency: -0.5},
+		{CapacityMax: 10, ChargeEfficiency: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+}
+
+func TestInitialClamped(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 10, CapacityMin: 2, Initial: 100})
+	if b.Charge() != 10 {
+		t.Errorf("initial charge clamped to Cmax: got %g", b.Charge())
+	}
+	b = mustNew(t, Config{CapacityMax: 10, CapacityMin: 2, Initial: 0})
+	if b.Charge() != 2 {
+		t.Errorf("initial charge clamped to Cmin: got %g", b.Charge())
+	}
+}
+
+func TestSupplyStoresAndWastes(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 10, Initial: 8})
+	stored := b.Supply(5)
+	if stored != 2 {
+		t.Errorf("stored = %g, want 2 (headroom)", stored)
+	}
+	if b.Wasted() != 3 {
+		t.Errorf("wasted = %g, want 3", b.Wasted())
+	}
+	if b.Charge() != 10 {
+		t.Errorf("charge = %g, want 10", b.Charge())
+	}
+}
+
+func TestDrawDeliversAndRecordsShortfall(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 10, CapacityMin: 2, Initial: 5})
+	got := b.Draw(10)
+	if got != 3 {
+		t.Errorf("delivered = %g, want 3 (charge above Cmin)", got)
+	}
+	if b.Undersupplied() != 7 {
+		t.Errorf("undersupplied = %g, want 7", b.Undersupplied())
+	}
+	if b.Charge() != 2 {
+		t.Errorf("charge = %g, want Cmin=2", b.Charge())
+	}
+	// Further draws deliver nothing but keep accounting.
+	if got := b.Draw(1); got != 0 {
+		t.Errorf("draw at Cmin delivered %g", got)
+	}
+	if b.Undersupplied() != 8 {
+		t.Errorf("undersupplied = %g, want 8", b.Undersupplied())
+	}
+}
+
+func TestNegativeSupplyPanics(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 10})
+	defer func() {
+		if recover() == nil {
+			t.Error("negative supply must panic")
+		}
+	}()
+	b.Supply(-1)
+}
+
+func TestNegativeDrawPanics(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 10})
+	defer func() {
+		if recover() == nil {
+			t.Error("negative draw must panic")
+		}
+	}()
+	b.Draw(-1)
+}
+
+func TestStepSupplyBeforeDraw(t *testing.T) {
+	// Empty battery at Cmin: a step with equal supply and load should
+	// deliver the full load because supply lands first.
+	b := mustNew(t, Config{CapacityMax: 10, CapacityMin: 0, Initial: 0})
+	delivered := b.Step(2.0, 2.0, 4.8)
+	if !approx(delivered, 9.6, 1e-12) {
+		t.Errorf("delivered = %g, want 9.6", delivered)
+	}
+	if b.Undersupplied() != 0 {
+		t.Errorf("undersupplied = %g, want 0", b.Undersupplied())
+	}
+}
+
+func TestStepNegativeDtPanics(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 10})
+	defer func() {
+		if recover() == nil {
+			t.Error("negative dt must panic")
+		}
+	}()
+	b.Step(1, 1, -0.1)
+}
+
+func TestChargeEfficiency(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 100, ChargeEfficiency: 0.5})
+	stored := b.Supply(10)
+	if stored != 5 {
+		t.Errorf("stored = %g with 50%% efficiency, want 5", stored)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 100, Initial: 0})
+	if b.Utilization() != 0 {
+		t.Error("utilization must be 0 before activity")
+	}
+	b.Supply(50)
+	b.Draw(25)
+	if u := b.Utilization(); !approx(u, 0.5, 1e-12) {
+		t.Errorf("utilization = %g, want 0.5", u)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 10, Initial: 5})
+	b.Supply(100)
+	b.Draw(100)
+	b.Reset()
+	if b.Charge() != 5 || b.Wasted() != 0 || b.Undersupplied() != 0 ||
+		b.TotalSupplied() != 0 || b.TotalDelivered() != 0 || b.TotalDemanded() != 0 {
+		t.Errorf("Reset left state behind: %v", b)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 10, Initial: 10})
+	b.Supply(3) // all wasted
+	b.Draw(4)
+	s := b.Snapshot()
+	if s.Wasted != 3 || s.TotalDrawn != 4 || s.Charge != 6 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestString(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 10, CapacityMin: 1, Initial: 5})
+	if s := b.String(); !strings.Contains(s, "Battery(") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Invariant: charge always stays within [Cmin, Cmax] under any
+// sequence of supply/draw operations.
+func TestChargeBoundsInvariant(t *testing.T) {
+	f := func(ops []float64) bool {
+		b, err := New(Config{CapacityMax: 50, CapacityMin: 5, Initial: 20})
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			if math.IsNaN(op) || math.IsInf(op, 0) {
+				continue
+			}
+			amt := math.Mod(math.Abs(op), 100)
+			if op >= 0 {
+				b.Supply(amt)
+			} else {
+				b.Draw(amt)
+			}
+			if b.Charge() < 5-1e-9 || b.Charge() > 50+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Invariant: energy conservation. TotalIn·eff = charged + wasted, and
+// charge = initial + charged - drawn.
+func TestEnergyConservationInvariant(t *testing.T) {
+	f := func(ops []float64) bool {
+		const initial = 20.0
+		b, err := New(Config{CapacityMax: 50, CapacityMin: 0, Initial: initial})
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			if math.IsNaN(op) || math.IsInf(op, 0) {
+				continue
+			}
+			amt := math.Mod(math.Abs(op), 100)
+			if op >= 0 {
+				b.Supply(amt)
+			} else {
+				b.Draw(amt)
+			}
+		}
+		lhs := initial + b.TotalSupplied() - b.Wasted() - b.TotalDelivered()
+		return approx(lhs, b.Charge(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestConfigAccessor(t *testing.T) {
+	cfg := Config{CapacityMax: 10, CapacityMin: 1, Initial: 5}
+	b := mustNew(t, cfg)
+	got := b.Config()
+	if got.CapacityMax != 10 || got.CapacityMin != 1 {
+		t.Errorf("Config = %+v", got)
+	}
+	// Default efficiency is normalized to 1.
+	if got.ChargeEfficiency != 1 {
+		t.Errorf("normalized efficiency = %g", got.ChargeEfficiency)
+	}
+}
+
+func TestStepNetPassthrough(t *testing.T) {
+	// Supply covers the load: everything passes through, the battery
+	// does not move, nothing is wasted or undersupplied.
+	b := mustNew(t, Config{CapacityMax: 10, CapacityMin: 1, Initial: 5})
+	delivered := b.StepNet(2, 2, 4.8)
+	if !approx(delivered, 9.6, 1e-12) {
+		t.Errorf("delivered = %g", delivered)
+	}
+	if b.Charge() != 5 || b.Wasted() != 0 || b.Undersupplied() != 0 {
+		t.Errorf("passthrough moved the battery: %v", b)
+	}
+}
+
+func TestStepNetSurplusChargesThenWastes(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 10, CapacityMin: 0, Initial: 9})
+	// Surplus 1 W for 4 s = 4 J, headroom 1 J → 3 J wasted.
+	b.StepNet(2, 1, 4)
+	if !approx(b.Charge(), 10, 1e-12) {
+		t.Errorf("charge = %g", b.Charge())
+	}
+	if !approx(b.Wasted(), 3, 1e-12) {
+		t.Errorf("wasted = %g", b.Wasted())
+	}
+}
+
+func TestStepNetDeficitDrainsThenUndersupplies(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 10, CapacityMin: 1, Initial: 3})
+	// Deficit 2 W for 4 s = 8 J, available 2 J → 6 J undersupplied.
+	delivered := b.StepNet(1, 3, 4)
+	if !approx(b.Charge(), 1, 1e-12) {
+		t.Errorf("charge = %g", b.Charge())
+	}
+	if !approx(b.Undersupplied(), 6, 1e-12) {
+		t.Errorf("undersupplied = %g", b.Undersupplied())
+	}
+	// Delivered = direct passthrough (4 J) + battery (2 J).
+	if !approx(delivered, 6, 1e-12) {
+		t.Errorf("delivered = %g", delivered)
+	}
+}
+
+func TestStepNetEfficiencyAppliesToSurplusOnly(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 100, ChargeEfficiency: 0.5, Initial: 0})
+	// 4 J surplus at 50% efficiency stores 2 J; passthrough is free.
+	delivered := b.StepNet(2, 1, 4)
+	if !approx(delivered, 4, 1e-12) {
+		t.Errorf("delivered = %g", delivered)
+	}
+	if !approx(b.Charge(), 2, 1e-12) {
+		t.Errorf("charge = %g", b.Charge())
+	}
+}
+
+func TestStepNetPanics(t *testing.T) {
+	b := mustNew(t, Config{CapacityMax: 10})
+	for name, fn := range map[string]func(){
+		"negative dt":     func() { b.StepNet(1, 1, -1) },
+		"negative supply": func() { b.StepNet(-1, 1, 1) },
+		"negative load":   func() { b.StepNet(1, -1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStepNetConservationInvariant(t *testing.T) {
+	f := func(ops []float64) bool {
+		const initial = 20.0
+		b, err := New(Config{CapacityMax: 50, CapacityMin: 2, Initial: initial})
+		if err != nil {
+			return false
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			s, l := ops[i], ops[i+1]
+			if math.IsNaN(s) || math.IsNaN(l) || math.IsInf(s, 0) || math.IsInf(l, 0) {
+				continue
+			}
+			b.StepNet(math.Mod(math.Abs(s), 10), math.Mod(math.Abs(l), 10), 1)
+		}
+		lhs := initial + b.TotalSupplied() - b.Wasted() - b.TotalDelivered()
+		return approx(lhs, b.Charge(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRateLimitValidation(t *testing.T) {
+	if _, err := New(Config{CapacityMax: 10, MaxChargeWatts: -1}); err == nil {
+		t.Error("negative charge rate must be rejected")
+	}
+	if _, err := New(Config{CapacityMax: 10, MaxDischargeWatts: -1}); err == nil {
+		t.Error("negative discharge rate must be rejected")
+	}
+}
+
+func TestStepNetChargeRateLimit(t *testing.T) {
+	// 2 W surplus against a 0.5 W charge limit for 4 s: 2 J stored,
+	// 6 J wasted, regardless of headroom.
+	b := mustNew(t, Config{CapacityMax: 100, MaxChargeWatts: 0.5, Initial: 0})
+	b.StepNet(3, 1, 4)
+	if !approx(b.Charge(), 2, 1e-12) {
+		t.Errorf("charge = %g, want 2", b.Charge())
+	}
+	if !approx(b.Wasted(), 6, 1e-12) {
+		t.Errorf("wasted = %g, want 6", b.Wasted())
+	}
+}
+
+func TestStepNetDischargeRateLimit(t *testing.T) {
+	// 3 W deficit against a 1 W discharge limit for 4 s: 4 J from the
+	// battery, 8 J undersupplied, charge untouched beyond the 4 J.
+	b := mustNew(t, Config{CapacityMax: 100, MaxDischargeWatts: 1, Initial: 50})
+	delivered := b.StepNet(1, 4, 4)
+	if !approx(b.Charge(), 46, 1e-12) {
+		t.Errorf("charge = %g, want 46", b.Charge())
+	}
+	if !approx(b.Undersupplied(), 8, 1e-12) {
+		t.Errorf("undersupplied = %g, want 8", b.Undersupplied())
+	}
+	// Delivered = 4 J passthrough + 4 J battery.
+	if !approx(delivered, 8, 1e-12) {
+		t.Errorf("delivered = %g, want 8", delivered)
+	}
+}
+
+func TestRateLimitConservation(t *testing.T) {
+	f := func(ops []float64) bool {
+		const initial = 20.0
+		b, err := New(Config{
+			CapacityMax: 50, CapacityMin: 2, Initial: initial,
+			MaxChargeWatts: 3, MaxDischargeWatts: 2,
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			s, l := ops[i], ops[i+1]
+			if math.IsNaN(s) || math.IsNaN(l) || math.IsInf(s, 0) || math.IsInf(l, 0) {
+				continue
+			}
+			b.StepNet(math.Mod(math.Abs(s), 10), math.Mod(math.Abs(l), 10), 1)
+		}
+		lhs := initial + b.TotalSupplied() - b.Wasted() - b.TotalDelivered()
+		return approx(lhs, b.Charge(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

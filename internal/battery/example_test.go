@@ -1,0 +1,32 @@
+package battery_test
+
+import (
+	"fmt"
+
+	"dpm/internal/battery"
+)
+
+// A slot of simultaneous solar charging and computation: the load is
+// fed directly from the panel, only the net surplus charges the
+// battery, and overflow past Cmax is wasted energy — the paper's
+// Table 1 metric.
+func ExampleBattery_StepNet() {
+	b, err := battery.New(battery.Config{
+		CapacityMax: 17.28, // the paper's implied Cmax
+		CapacityMin: 0.47,
+		Initial:     15.0,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// One τ = 4.8 s slot: 2.36 W of sun against a 1.67 W load.
+	delivered := b.StepNet(2.36, 1.67, 4.8)
+	fmt.Printf("delivered %.2f J, charge %.2f J, wasted %.2f J\n",
+		delivered, b.Charge(), b.Wasted())
+	// A second identical slot overflows the battery.
+	b.StepNet(2.36, 1.67, 4.8)
+	fmt.Printf("after slot 2: charge %.2f J, wasted %.2f J\n", b.Charge(), b.Wasted())
+	// Output:
+	// delivered 8.02 J, charge 17.28 J, wasted 1.03 J
+	// after slot 2: charge 17.28 J, wasted 4.34 J
+}

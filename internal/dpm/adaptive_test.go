@@ -1,0 +1,99 @@
+package dpm
+
+import (
+	"testing"
+
+	"dpm/internal/predict"
+	"dpm/internal/schedule"
+	"dpm/internal/trace"
+)
+
+func jitteredPeriods(base *schedule.Grid, n int, jitter float64) []*schedule.Grid {
+	out := make([]*schedule.Grid, n)
+	for i := range out {
+		out[i] = trace.Perturb(base, jitter, 500+int64(i))
+	}
+	return out
+}
+
+func TestSimulateAdaptiveBasic(t *testing.T) {
+	s := trace.ScenarioI()
+	cfg := managerConfig(t, s)
+	res, err := SimulateAdaptive(AdaptiveConfig{
+		Base:          cfg,
+		ActualPeriods: jitteredPeriods(s.Charging, 4, 0.2),
+		Predictor:     predict.NewLastPeriod(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 4*12 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+	for i, r := range res.Records {
+		if r.Charge < s.CapacityMin-1e-9 || r.Charge > s.CapacityMax+1e-9 {
+			t.Errorf("slot %d: charge %g out of band", i, r.Charge)
+		}
+	}
+	if res.PerfSeconds <= 0 {
+		t.Error("no performance delivered")
+	}
+}
+
+func TestSimulateAdaptiveValidation(t *testing.T) {
+	s := trace.ScenarioI()
+	cfg := managerConfig(t, s)
+	if _, err := SimulateAdaptive(AdaptiveConfig{Base: cfg}); err == nil {
+		t.Error("no periods must error")
+	}
+	bad := []*schedule.Grid{schedule.NewGrid(4.8, []float64{1, 2})}
+	if _, err := SimulateAdaptive(AdaptiveConfig{Base: cfg, ActualPeriods: bad}); err == nil {
+		t.Error("geometry mismatch must error")
+	}
+}
+
+func TestSimulateAdaptiveNilPredictorKeepsExpectation(t *testing.T) {
+	s := trace.ScenarioI()
+	cfg := managerConfig(t, s)
+	res, err := SimulateAdaptive(AdaptiveConfig{
+		Base:          cfg,
+		ActualPeriods: []*schedule.Grid{s.Charging, s.Charging},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 24 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+}
+
+// With a strongly drifting supply, predicting from history must beat
+// planning with the stale first-period expectation.
+func TestAdaptivePredictorBeatsStaleExpectation(t *testing.T) {
+	s := trace.ScenarioI()
+	cfg := managerConfig(t, s)
+	cfg.DisableSlotGuards = true // isolate the predictor's effect
+
+	// Supply drops to 55% of the expectation from period 2 onward.
+	degraded := s.Charging.Scale(0.55)
+	actuals := []*schedule.Grid{s.Charging, degraded, degraded, degraded, degraded, degraded}
+
+	static, err := SimulateAdaptive(AdaptiveConfig{Base: cfg, ActualPeriods: actuals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := SimulateAdaptive(AdaptiveConfig{
+		Base:          cfg,
+		ActualPeriods: actuals,
+		Predictor:     predict.NewLastPeriod(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticBad := static.Battery.Wasted + static.Battery.Undersupplied
+	adaptiveBad := adaptive.Battery.Wasted + adaptive.Battery.Undersupplied
+	if adaptiveBad >= staticBad {
+		t.Errorf("adaptive %.2f J should beat stale expectation %.2f J under supply drift",
+			adaptiveBad, staticBad)
+	}
+}

@@ -1,0 +1,98 @@
+package dpm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dpm/internal/params"
+)
+
+// Checkpointing: a satellite controller reboots (radiation upsets,
+// watchdogs), and the power manager must resume mid-period without
+// recomputing from stale expectations. State captures everything the
+// run-time loop mutates — the evolving plan, the slot counter, the
+// charge estimate and the current operating point — but not the
+// static configuration, which the host re-supplies on restore.
+
+// State is the manager's serializable run-time state.
+type State struct {
+	// Plan is the circular per-period allocation in watts.
+	Plan []float64 `json:"plan"`
+	// Slot is the absolute slot counter.
+	Slot int `json:"slot"`
+	// Charge is the battery-charge estimate in joules.
+	Charge float64 `json:"charge"`
+	// Started reports whether an operating point has been chosen.
+	Started bool `json:"started"`
+	// CurrentN, CurrentF, CurrentV identify the active operating
+	// point (matched against the table on restore).
+	CurrentN int     `json:"currentN"`
+	CurrentF float64 `json:"currentF"`
+	CurrentV float64 `json:"currentV"`
+}
+
+// Checkpoint captures the manager's run-time state.
+func (m *Manager) Checkpoint() State {
+	return State{
+		Plan:     m.PlanSnapshot(),
+		Slot:     m.slot,
+		Charge:   m.charge,
+		Started:  m.started,
+		CurrentN: m.current.N,
+		CurrentF: m.current.F,
+		CurrentV: m.current.V,
+	}
+}
+
+// MarshalCheckpoint serializes the state as JSON.
+func (m *Manager) MarshalCheckpoint() ([]byte, error) {
+	return json.MarshalIndent(m.Checkpoint(), "", "  ")
+}
+
+// Restore applies a previously captured state to a freshly
+// constructed manager with the same configuration. It validates the
+// plan geometry and re-resolves the operating point against the
+// table so a restored manager cannot carry an impossible point.
+func (m *Manager) Restore(s State) error {
+	if len(s.Plan) != m.nSlots {
+		return fmt.Errorf("dpm: checkpoint has %d slots, manager has %d", len(s.Plan), m.nSlots)
+	}
+	if s.Slot < 0 {
+		return fmt.Errorf("dpm: negative slot counter %d", s.Slot)
+	}
+	for i, v := range s.Plan {
+		if v < 0 {
+			return fmt.Errorf("dpm: checkpoint plan[%d] = %g negative", i, v)
+		}
+	}
+	var point params.OperatingPoint
+	if s.Started {
+		found := false
+		for _, p := range m.table.Points() {
+			if p.N == s.CurrentN && p.F == s.CurrentF && p.V == s.CurrentV {
+				point, found = p, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("dpm: checkpoint operating point (n=%d, f=%g, v=%g) not in the table",
+				s.CurrentN, s.CurrentF, s.CurrentV)
+		}
+	}
+	copy(m.plan.Values, s.Plan)
+	m.slot = s.Slot
+	m.SyncCharge(s.Charge)
+	m.started = s.Started
+	m.current = point
+	return nil
+}
+
+// UnmarshalCheckpoint parses JSON produced by MarshalCheckpoint and
+// applies it.
+func (m *Manager) UnmarshalCheckpoint(data []byte) error {
+	var s State
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("dpm: decoding checkpoint: %w", err)
+	}
+	return m.Restore(s)
+}

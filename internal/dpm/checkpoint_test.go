@@ -1,0 +1,104 @@
+package dpm
+
+import (
+	"math"
+	"testing"
+
+	"dpm/internal/trace"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := managerConfig(t, trace.ScenarioI())
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run a few slots so the state is non-trivial.
+	for s := 0; s < 5; s++ {
+		pt, _ := m.BeginSlot()
+		m.EndSlot(pt.Power*m.Tau()*0.9, cfg.Charging.Values[s]*m.Tau())
+	}
+	data, err := m.MarshalCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh manager restores and continues identically.
+	restored, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.UnmarshalCheckpoint(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Slot() != m.Slot() {
+		t.Errorf("slot = %d, want %d", restored.Slot(), m.Slot())
+	}
+	if math.Abs(restored.Charge()-m.Charge()) > 1e-12 {
+		t.Errorf("charge = %g, want %g", restored.Charge(), m.Charge())
+	}
+	if restored.CurrentPoint() != m.CurrentPoint() {
+		t.Errorf("point = %v, want %v", restored.CurrentPoint(), m.CurrentPoint())
+	}
+
+	// Both managers produce identical decisions from here on.
+	for s := 5; s < 12; s++ {
+		pa, oa := m.BeginSlot()
+		pb, ob := restored.BeginSlot()
+		if pa != pb || oa != ob {
+			t.Fatalf("slot %d diverged after restore: %v/%g vs %v/%g", s, pa, oa, pb, ob)
+		}
+		used := pa.Power * m.Tau()
+		supplied := cfg.Charging.Values[s%12] * m.Tau()
+		m.EndSlot(used, supplied)
+		restored.EndSlot(used, supplied)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	cfg := managerConfig(t, trace.ScenarioI())
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(State{Plan: []float64{1, 2}}); err == nil {
+		t.Error("wrong plan geometry must be rejected")
+	}
+	good := m.Checkpoint()
+	bad := good
+	bad.Slot = -1
+	if err := m.Restore(bad); err == nil {
+		t.Error("negative slot must be rejected")
+	}
+	bad = good
+	bad.Plan = append([]float64(nil), good.Plan...)
+	bad.Plan[0] = -1
+	if err := m.Restore(bad); err == nil {
+		t.Error("negative plan slot must be rejected")
+	}
+	bad = good
+	bad.Started = true
+	bad.CurrentN = 99
+	if err := m.Restore(bad); err == nil {
+		t.Error("impossible operating point must be rejected")
+	}
+	if err := m.UnmarshalCheckpoint([]byte("{")); err == nil {
+		t.Error("malformed JSON must be rejected")
+	}
+}
+
+func TestCheckpointChargeClamped(t *testing.T) {
+	cfg := managerConfig(t, trace.ScenarioI())
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Checkpoint()
+	s.Charge = 1e9
+	if err := m.Restore(s); err != nil {
+		t.Fatal(err)
+	}
+	if m.Charge() > cfg.CapacityMax {
+		t.Errorf("restored charge %g above Cmax", m.Charge())
+	}
+}

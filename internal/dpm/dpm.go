@@ -1,0 +1,337 @@
+// Package dpm is the paper's dynamic power manager: the Figure 1
+// pipeline joining the initial power allocation (§4.1, package
+// alloc), the system-parameter computation (§4.2, package params) and
+// the run-time update of the allocation (§4.3, Algorithm 3).
+//
+// A Manager owns the circular per-period power plan. Each slot of
+// length τ the caller
+//
+//  1. asks BeginSlot for the operating point to run (Algorithm 2's
+//     budget lookup with the overhead-aware switching rule), then
+//  2. reports the slot's actual consumption and supply to EndSlot,
+//     which runs Algorithm 3: the deviation between planned and
+//     actual energy is redistributed over the future slots up to the
+//     moment the projected battery trajectory pins at Cmax (surplus)
+//     or Cmin (deficit).
+package dpm
+
+import (
+	"fmt"
+	"math"
+
+	"dpm/internal/alloc"
+	"dpm/internal/params"
+	"dpm/internal/schedule"
+)
+
+// RedistributePolicy selects how Algorithm 3 spreads an energy
+// deviation over the future window.
+type RedistributePolicy int
+
+const (
+	// Proportional spreads the deviation in proportion to each
+	// slot's planned power — the paper's formula.
+	Proportional RedistributePolicy = iota
+	// Even spreads the deviation uniformly — the alternative the
+	// paper mentions ("the power can be evenly distributed").
+	Even
+)
+
+// String names the policy.
+func (p RedistributePolicy) String() string {
+	switch p {
+	case Proportional:
+		return "proportional"
+	case Even:
+		return "even"
+	default:
+		return fmt.Sprintf("RedistributePolicy(%d)", int(p))
+	}
+}
+
+// Config assembles everything the manager needs.
+type Config struct {
+	// Charging is the expected charging schedule c(t).
+	Charging *schedule.Grid
+	// EventRate is the expected event-rate schedule u(t).
+	EventRate *schedule.Grid
+	// Weight is w(t); nil means uniform.
+	Weight *schedule.Grid
+	// CapacityMax, CapacityMin and InitialCharge are the battery
+	// parameters in joules.
+	CapacityMax   float64
+	CapacityMin   float64
+	InitialCharge float64
+	// Params configures the Algorithm 2 operating-point table.
+	Params params.Config
+	// Policy selects the Algorithm 3 redistribution flavor.
+	Policy RedistributePolicy
+	// DisableSlotGuards turns off the slot-granular under/oversupply
+	// guards in SlotBudget, leaving only the paper's three
+	// mechanisms (Algorithm 1 planning, Algorithm 2 selection,
+	// Algorithm 3 redistribution). The guards are this
+	// implementation's extension; disabling them reproduces the
+	// paper's residual waste/undersupply magnitudes.
+	DisableSlotGuards bool
+	// AllocIterations caps Algorithm 1's driver (0 = default).
+	AllocIterations int
+	// PlanningMargin keeps a fraction of the battery band clear at
+	// each end when planning (see alloc.Inputs.Margin): robustness
+	// against forecast error at a small utilization cost.
+	PlanningMargin float64
+}
+
+// Manager is the run-time power manager. It is not safe for
+// concurrent use; the simulation loop drives it from one goroutine.
+type Manager struct {
+	cfg   Config
+	table *params.Table
+	init  *alloc.Result
+
+	plan    *schedule.Grid // circular per-period allocation, mutated by Algorithm 3
+	tau     float64
+	nSlots  int
+	slot    int     // absolute slot counter since start
+	charge  float64 // manager's estimate of the battery charge
+	current params.OperatingPoint
+	started bool
+}
+
+// New computes the initial allocation and operating-point table and
+// returns a ready manager.
+func New(cfg Config) (*Manager, error) {
+	res, err := alloc.Compute(alloc.Inputs{
+		Charging:      cfg.Charging,
+		EventRate:     cfg.EventRate,
+		Weight:        cfg.Weight,
+		CapacityMax:   cfg.CapacityMax,
+		CapacityMin:   cfg.CapacityMin,
+		InitialCharge: cfg.InitialCharge,
+		MaxIterations: cfg.AllocIterations,
+		Margin:        cfg.PlanningMargin,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dpm: initial allocation: %w", err)
+	}
+	table, err := params.BuildTable(cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("dpm: parameter table: %w", err)
+	}
+	charge := math.Min(math.Max(cfg.InitialCharge, cfg.CapacityMin), cfg.CapacityMax)
+	return &Manager{
+		cfg:    cfg,
+		table:  table,
+		init:   res,
+		plan:   res.Allocation.Clone(),
+		tau:    res.Allocation.Step,
+		nSlots: res.Allocation.Len(),
+		charge: charge,
+	}, nil
+}
+
+// InitialAllocation returns the §4.1 result, including the iteration
+// history that reproduces the paper's Tables 2 and 4.
+func (m *Manager) InitialAllocation() *alloc.Result { return m.init }
+
+// Table returns the Algorithm 2 operating-point frontier.
+func (m *Manager) Table() *params.Table { return m.table }
+
+// Tau returns the slot length τ in seconds.
+func (m *Manager) Tau() float64 { return m.tau }
+
+// Slots returns the number of slots per period.
+func (m *Manager) Slots() int { return m.nSlots }
+
+// Slot returns the absolute slot counter (slots completed so far).
+func (m *Manager) Slot() int { return m.slot }
+
+// Time returns the simulation time at the current slot's start.
+func (m *Manager) Time() float64 { return float64(m.slot) * m.tau }
+
+// PlanSnapshot returns a copy of the current per-period plan in
+// watts — the "Pinit(0) … Pinit(11)" columns of Tables 3 and 5.
+func (m *Manager) PlanSnapshot() []float64 {
+	return append([]float64(nil), m.plan.Values...)
+}
+
+// PlannedPower returns the plan's power for the current slot.
+func (m *Manager) PlannedPower() float64 {
+	return m.plan.Values[m.slot%m.nSlots]
+}
+
+// Charge returns the manager's estimate of the battery charge in
+// joules.
+func (m *Manager) Charge() float64 { return m.charge }
+
+// SyncCharge overrides the manager's charge estimate with a measured
+// value (the PAMA board has a power-measurement board for exactly
+// this). Values are clamped into [Cmin, Cmax].
+func (m *Manager) SyncCharge(measured float64) {
+	m.charge = math.Min(math.Max(measured, m.cfg.CapacityMin), m.cfg.CapacityMax)
+}
+
+// SlotBudget returns the effective power budget for the current
+// slot: the plan's value, clamped to what the battery can deliver
+// without crossing Cmin, and raised when the incoming charge would
+// otherwise overflow Cmax — the §4.1 doctrine of avoiding the
+// undersupplied and oversupplied conditions *before* they occur,
+// applied at slot granularity.
+func (m *Manager) SlotBudget() (budget float64, overflowing bool) {
+	idx := m.slot % m.nSlots
+	budget = m.plan.Values[idx]
+	if m.cfg.DisableSlotGuards {
+		return budget, false
+	}
+	expected := m.cfg.Charging.Values[idx]
+
+	// Undersupply guard: never plan to draw beyond the battery's
+	// deliverable energy plus the expected charge.
+	deliverable := (m.charge-m.cfg.CapacityMin)/m.tau + expected
+	if budget > deliverable {
+		budget = deliverable
+	}
+	// Oversupply guard: if charging would overflow the battery,
+	// spend the excess on useful work instead of losing it.
+	overflow := expected - (m.cfg.CapacityMax-m.charge)/m.tau
+	if overflow > budget {
+		budget = overflow
+		overflowing = true
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	return budget, overflowing
+}
+
+// BeginSlot chooses the operating point for the current slot from the
+// effective slot budget (see SlotBudget), applying the overhead-aware
+// switching rule, and returns it together with any switching energy
+// charged at this boundary. Under the floor the discrete table rounds
+// the draw down; when the battery is about to overflow it rounds up —
+// an overdraw only taps charge that would otherwise be lost.
+func (m *Manager) BeginSlot() (params.OperatingPoint, float64) {
+	budget, overflowing := m.SlotBudget()
+	candidate := m.table.Select(budget)
+	if overflowing {
+		candidate = m.table.SelectCovering(budget)
+	}
+	if !m.cfg.DisableSlotGuards {
+		// Quantization-aware overflow check: Select rounds the draw
+		// down, so a near-full battery can still overflow even though
+		// the budget itself would not. Re-check with the *realized*
+		// point and round up if the expected charge would spill.
+		idx := m.slot % m.nSlots
+		expected := m.cfg.Charging.Values[idx]
+		if m.charge+(expected-candidate.Power)*m.tau > m.cfg.CapacityMax+1e-9 {
+			need := expected - (m.cfg.CapacityMax-m.charge)/m.tau
+			candidate = m.table.SelectCovering(need)
+		}
+	}
+	overhead := 0.0
+	if !m.started {
+		m.current = candidate
+		m.started = true
+	} else if m.table.ShouldSwitch(m.current, candidate, m.tau) {
+		overhead = m.table.SwitchCost(m.current, candidate)
+		m.current = candidate
+	}
+	return m.current, overhead
+}
+
+// CurrentPoint returns the operating point chosen by the last
+// BeginSlot.
+func (m *Manager) CurrentPoint() params.OperatingPoint { return m.current }
+
+// EndSlot closes the current slot: usedEnergy is what the system
+// actually consumed (joules) and suppliedEnergy what the source
+// actually delivered. The manager updates its charge estimate and
+// runs Algorithm 3 on the combined deviation
+//
+//	Ediff = (planned − used) + (supplied − expected)
+//
+// a positive value meaning surplus energy that future slots should
+// spend, a negative one a deficit they must save.
+func (m *Manager) EndSlot(usedEnergy, suppliedEnergy float64) {
+	if usedEnergy < 0 || suppliedEnergy < 0 {
+		panic(fmt.Sprintf("dpm: negative slot energies (%g, %g)", usedEnergy, suppliedEnergy))
+	}
+	idx := m.slot % m.nSlots
+	planned := m.plan.Values[idx] * m.tau
+	expected := m.cfg.Charging.Values[idx] * m.tau
+
+	// Track the battery like StepNet does: only the net flow moves
+	// the charge, clamped into the feasible band.
+	m.charge = math.Min(math.Max(m.charge+suppliedEnergy-usedEnergy, m.cfg.CapacityMin), m.cfg.CapacityMax)
+
+	ediff := (planned - usedEnergy) + (suppliedEnergy - expected)
+	m.slot++
+	if math.Abs(ediff) > 1e-12 {
+		m.redistribute(ediff)
+	}
+}
+
+// redistribute implements Algorithm 3: find the window from the next
+// slot to the first future boundary where the projected trajectory
+// pins at the relevant capacity bound, then spread ediff over the
+// window's slots (proportionally to their planned power, or evenly).
+func (m *Manager) redistribute(ediff float64) {
+	start := m.slot % m.nSlots
+	window := m.findWindow(start, ediff)
+	if len(window) == 0 {
+		return
+	}
+	switch m.cfg.Policy {
+	case Even:
+		delta := ediff / (float64(len(window)) * m.tau)
+		for _, i := range window {
+			m.plan.Values[i] += delta
+			if m.plan.Values[i] < 0 {
+				m.plan.Values[i] = 0
+			}
+		}
+	default: // Proportional
+		sum := 0.0
+		for _, i := range window {
+			sum += m.plan.Values[i]
+		}
+		if sum <= 0 {
+			// Nothing planned in the window: fall back to even.
+			delta := ediff / (float64(len(window)) * m.tau)
+			for _, i := range window {
+				m.plan.Values[i] = math.Max(m.plan.Values[i]+delta, 0)
+			}
+			return
+		}
+		for _, i := range window {
+			m.plan.Values[i] += ediff * m.plan.Values[i] / (sum * m.tau)
+			if m.plan.Values[i] < 0 {
+				m.plan.Values[i] = 0
+			}
+		}
+	}
+}
+
+// findWindow projects the battery trajectory forward from the current
+// charge using the expected charging schedule and the current plan,
+// and returns the plan indices of the slots between now and the first
+// boundary where the trajectory reaches Cmax (for a surplus) or Cmin
+// (for a deficit). If the trajectory never pins within one period,
+// the whole next period is the window.
+func (m *Manager) findWindow(start int, ediff float64) []int {
+	const eps = 1e-9
+	ch := m.charge
+	var window []int
+	for k := 0; k < m.nSlots; k++ {
+		i := (start + k) % m.nSlots
+		window = append(window, i)
+		ch += (m.cfg.Charging.Values[i] - m.plan.Values[i]) * m.tau
+		ch = math.Min(math.Max(ch, m.cfg.CapacityMin), m.cfg.CapacityMax)
+		if ediff > 0 && ch >= m.cfg.CapacityMax-eps {
+			break
+		}
+		if ediff < 0 && ch <= m.cfg.CapacityMin+eps {
+			break
+		}
+	}
+	return window
+}

@@ -1,0 +1,353 @@
+package dpm
+
+import (
+	"math"
+	"testing"
+
+	"dpm/internal/params"
+	"dpm/internal/perf"
+	"dpm/internal/power"
+	"dpm/internal/schedule"
+	"dpm/internal/trace"
+)
+
+func paperParams(t *testing.T) params.Config {
+	t.Helper()
+	w, err := perf.NewWorkload(4.8, 0.48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params.Config{
+		System:        power.PAMA(),
+		Curve:         power.NewFixedVoltage(3.3, 80e6),
+		Workload:      w,
+		Frequencies:   []float64{20e6, 40e6, 80e6},
+		MaxProcessors: 7,
+		MinProcessors: 0,
+	}
+}
+
+func managerConfig(t *testing.T, s trace.Scenario) Config {
+	t.Helper()
+	return Config{
+		Charging:      s.Charging,
+		EventRate:     s.Usage,
+		Weight:        s.Weight,
+		CapacityMax:   s.CapacityMax,
+		CapacityMin:   s.CapacityMin,
+		InitialCharge: s.InitialCharge,
+		Params:        paperParams(t),
+	}
+}
+
+func TestNewManager(t *testing.T) {
+	m, err := New(managerConfig(t, trace.ScenarioI()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slots() != 12 {
+		t.Errorf("Slots = %d", m.Slots())
+	}
+	if m.Tau() != trace.Tau {
+		t.Errorf("Tau = %g", m.Tau())
+	}
+	if !m.InitialAllocation().Feasible {
+		t.Error("initial allocation should be feasible for scenario I")
+	}
+	if m.Table().Len() == 0 {
+		t.Error("empty operating-point table")
+	}
+}
+
+func TestNewManagerErrors(t *testing.T) {
+	cfg := managerConfig(t, trace.ScenarioI())
+	cfg.Charging = nil
+	if _, err := New(cfg); err == nil {
+		t.Error("missing charging must error")
+	}
+	cfg = managerConfig(t, trace.ScenarioI())
+	cfg.Params.Frequencies = nil
+	if _, err := New(cfg); err == nil {
+		t.Error("bad params config must error")
+	}
+}
+
+func TestBeginEndSlotAdvances(t *testing.T) {
+	m, err := New(managerConfig(t, trace.ScenarioI()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slot() != 0 || m.Time() != 0 {
+		t.Error("fresh manager must start at slot 0")
+	}
+	pt, overhead := m.BeginSlot()
+	if overhead != 0 {
+		t.Errorf("first slot charged overhead %g", overhead)
+	}
+	if pt.Power > m.PlannedPower() && pt.N != 0 {
+		t.Errorf("chosen point %v exceeds budget %g", pt, m.PlannedPower())
+	}
+	m.EndSlot(pt.Power*m.Tau(), 2.36*m.Tau())
+	if m.Slot() != 1 {
+		t.Errorf("Slot after EndSlot = %d", m.Slot())
+	}
+	if got := m.Time(); math.Abs(got-4.8) > 1e-9 {
+		t.Errorf("Time = %g", got)
+	}
+}
+
+func TestEndSlotNegativePanics(t *testing.T) {
+	m, err := New(managerConfig(t, trace.ScenarioI()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative energy must panic")
+		}
+	}()
+	m.EndSlot(-1, 0)
+}
+
+func TestAlgorithm3SurplusRaisesFuturePlan(t *testing.T) {
+	m, err := New(managerConfig(t, trace.ScenarioI()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.PlanSnapshot()
+	m.BeginSlot()
+	// Use nothing: the whole planned slot energy becomes surplus.
+	m.EndSlot(0, m.cfg.Charging.Values[0]*m.Tau())
+	after := m.PlanSnapshot()
+	sumBefore, sumAfter := 0.0, 0.0
+	for i := range before {
+		sumBefore += before[i]
+		sumAfter += after[i]
+	}
+	if sumAfter <= sumBefore {
+		t.Errorf("surplus must raise future plan: %g -> %g", sumBefore, sumAfter)
+	}
+}
+
+func TestAlgorithm3DeficitLowersFuturePlan(t *testing.T) {
+	m, err := New(managerConfig(t, trace.ScenarioI()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.PlanSnapshot()
+	m.BeginSlot()
+	// Massive overdraw plus no supply: a deficit.
+	m.EndSlot(3*m.PlannedPower()*m.Tau(), 0)
+	after := m.PlanSnapshot()
+	sumBefore, sumAfter := 0.0, 0.0
+	for i := range before {
+		sumBefore += before[i]
+		sumAfter += after[i]
+	}
+	if sumAfter >= sumBefore {
+		t.Errorf("deficit must lower future plan: %g -> %g", sumBefore, sumAfter)
+	}
+}
+
+func TestAlgorithm3ConservesEnergyProportional(t *testing.T) {
+	// The redistribution must move exactly Ediff joules when nothing
+	// clamps: Σ plan·τ changes by Ediff.
+	m, err := New(managerConfig(t, trace.ScenarioII()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := 0.0
+	for _, v := range m.PlanSnapshot() {
+		before += v * m.Tau()
+	}
+	m.BeginSlot()
+	planned := m.PlannedPower() * m.Tau()
+	expected := m.cfg.Charging.Values[0] * m.Tau()
+	used := planned * 0.5 // under-use half: Ediff = planned/2
+	m.EndSlot(used, expected)
+	after := 0.0
+	for _, v := range m.PlanSnapshot() {
+		after += v * m.Tau()
+	}
+	ediff := planned - used
+	if math.Abs((after-before)-ediff) > 1e-6 {
+		t.Errorf("plan energy moved %g, want %g", after-before, ediff)
+	}
+}
+
+func TestAlgorithm3EvenPolicy(t *testing.T) {
+	cfg := managerConfig(t, trace.ScenarioI())
+	cfg.Policy = Even
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.PlanSnapshot()
+	m.BeginSlot()
+	m.EndSlot(0, m.cfg.Charging.Values[0]*m.Tau())
+	after := m.PlanSnapshot()
+	// With the even policy, every window slot moves by the same delta.
+	var deltas []float64
+	for i := range before {
+		d := after[i] - before[i]
+		if math.Abs(d) > 1e-12 {
+			deltas = append(deltas, d)
+		}
+	}
+	if len(deltas) == 0 {
+		t.Fatal("even policy moved nothing")
+	}
+	for _, d := range deltas[1:] {
+		if math.Abs(d-deltas[0]) > 1e-9 {
+			t.Errorf("even policy deltas differ: %v", deltas)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Proportional.String() != "proportional" || Even.String() != "even" {
+		t.Error("policy names wrong")
+	}
+	if RedistributePolicy(9).String() != "RedistributePolicy(9)" {
+		t.Error("unknown policy formatting wrong")
+	}
+}
+
+func TestSyncCharge(t *testing.T) {
+	m, err := New(managerConfig(t, trace.ScenarioI()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SyncCharge(1e9)
+	if m.Charge() != m.cfg.CapacityMax {
+		t.Errorf("SyncCharge must clamp to Cmax: %g", m.Charge())
+	}
+	m.SyncCharge(-5)
+	if m.Charge() != m.cfg.CapacityMin {
+		t.Errorf("SyncCharge must clamp to Cmin: %g", m.Charge())
+	}
+}
+
+func TestPlanStaysNonNegative(t *testing.T) {
+	m, err := New(managerConfig(t, trace.ScenarioI()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the manager with deficits; the plan must never go
+	// negative.
+	for s := 0; s < 48; s++ {
+		pt, _ := m.BeginSlot()
+		m.EndSlot(pt.Power*m.Tau()*3, 0)
+		for i, v := range m.PlanSnapshot() {
+			if v < 0 {
+				t.Fatalf("slot %d: plan[%d] = %g negative", s, i, v)
+			}
+		}
+	}
+}
+
+func TestOverheadChargedOnSwitch(t *testing.T) {
+	cfg := managerConfig(t, trace.ScenarioI())
+	cfg.Params.OverheadProc = 0.01
+	cfg.Params.OverheadFreq = 0.02
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOverhead := false
+	for s := 0; s < 24; s++ {
+		pt, overhead := m.BeginSlot()
+		if overhead > 0 {
+			sawOverhead = true
+		}
+		m.EndSlot(pt.Power*m.Tau()+overhead, m.cfg.Charging.Values[s%12]*m.Tau())
+	}
+	if !sawOverhead {
+		t.Error("a varying allocation should eventually pay a switch overhead")
+	}
+}
+
+func TestScheduleGridCompatibilityChecked(t *testing.T) {
+	cfg := managerConfig(t, trace.ScenarioI())
+	sim := SimConfig{Manager: cfg, Periods: 1,
+		ActualCharging: schedule.NewGrid(4.8, []float64{1, 1})}
+	if _, err := Simulate(sim); err == nil {
+		t.Error("mismatched actual charging grid must error")
+	}
+}
+
+// Algorithm 3's redistribution window must stop at the first future
+// boundary where the projected trajectory pins at the relevant bound:
+// a surplus goes only to the slots *before* the battery would fill.
+func TestRedistributionWindowStopsAtPin(t *testing.T) {
+	s := trace.ScenarioI()
+	m, err := New(managerConfig(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the manager to a state where the battery is nearly full
+	// and the next slots keep charging hard: the projected trajectory
+	// pins at Cmax quickly.
+	m.SyncCharge(s.CapacityMax - 0.5)
+	before := m.PlanSnapshot()
+	m.BeginSlot()
+	// Under-use massively: big positive Ediff.
+	m.EndSlot(0, s.Charging.Values[0]*m.Tau())
+	after := m.PlanSnapshot()
+
+	// The window starts at slot 1; find how far changes reach.
+	changedUpTo := -1
+	for i := range after {
+		if math.Abs(after[i]-before[i]) > 1e-9 {
+			changedUpTo = i
+		}
+	}
+	if changedUpTo < 0 {
+		t.Fatal("surplus was not redistributed at all")
+	}
+	// With the battery ~full and 2.36 W charging against a ~2 W plan,
+	// the trajectory pins within a slot or two: the far half of the
+	// period must be untouched.
+	for i := 6; i < 12; i++ {
+		if math.Abs(after[i]-before[i]) > 1e-9 {
+			t.Errorf("slot %d changed although the trajectory pins much earlier (%g -> %g)",
+				i, before[i], after[i])
+		}
+	}
+}
+
+// A deficit's window stops where the trajectory would pin at Cmin.
+func TestDeficitWindowStopsAtCmin(t *testing.T) {
+	s := trace.ScenarioI()
+	m, err := New(managerConfig(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearly empty battery entering the eclipse half: advance to slot
+	// 6 (charging = 0 from here) by replaying six clean slots.
+	for i := 0; i < 6; i++ {
+		pt, _ := m.BeginSlot()
+		m.EndSlot(pt.Power*m.Tau(), s.Charging.Values[i]*m.Tau())
+	}
+	m.SyncCharge(s.CapacityMin + 0.3)
+	before := m.PlanSnapshot()
+	m.BeginSlot()
+	// Overdraw with no supply: big negative Ediff.
+	m.EndSlot(2.0*m.Tau(), 0)
+	after := m.PlanSnapshot()
+	// The projection from a near-empty battery through zero-charging
+	// slots pins at Cmin almost immediately; only the first following
+	// slot(s) may change.
+	changed := 0
+	for i := range after {
+		if math.Abs(after[i]-before[i]) > 1e-9 {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("deficit was not redistributed")
+	}
+	if changed > 3 {
+		t.Errorf("deficit spread over %d slots despite an immediate Cmin pin", changed)
+	}
+}

@@ -1,0 +1,149 @@
+package dpm
+
+import (
+	"math"
+	"testing"
+
+	"dpm/internal/trace"
+)
+
+func TestSimulateScenarioI(t *testing.T) {
+	res, err := Simulate(SimConfig{Manager: managerConfig(t, trace.ScenarioI()), Periods: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 24 {
+		t.Fatalf("records = %d, want 24 (two periods of 12)", len(res.Records))
+	}
+	// Times advance by τ.
+	for i, r := range res.Records {
+		if math.Abs(r.Time-float64(i)*trace.Tau) > 1e-9 {
+			t.Errorf("record %d time = %g", i, r.Time)
+		}
+		if len(r.Plan) != 12 {
+			t.Errorf("record %d plan snapshot has %d slots", i, len(r.Plan))
+		}
+		if r.UsedPower < 0 || r.SuppliedPower < 0 {
+			t.Errorf("record %d has negative power", i)
+		}
+	}
+	if res.PerfSeconds <= 0 {
+		t.Error("manager must deliver some performance")
+	}
+}
+
+func TestSimulateBatteryStaysInBand(t *testing.T) {
+	for _, s := range trace.Scenarios() {
+		res, err := Simulate(SimConfig{Manager: managerConfig(t, s), Periods: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range res.Records {
+			if r.Charge < s.CapacityMin-1e-9 || r.Charge > s.CapacityMax+1e-9 {
+				t.Errorf("scenario %s slot %d: charge %g outside [%g, %g]",
+					s.Name, i, r.Charge, s.CapacityMin, s.CapacityMax)
+			}
+		}
+	}
+}
+
+func TestSimulateLowWaste(t *testing.T) {
+	// The whole point of the algorithm: wasted and undersupplied
+	// energy stay a small fraction of the supplied energy.
+	for _, s := range trace.Scenarios() {
+		res, err := Simulate(SimConfig{Manager: managerConfig(t, s), Periods: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		supplied := res.Battery.TotalSupplied
+		if res.Battery.Wasted > 0.35*supplied {
+			t.Errorf("scenario %s: wasted %g J of %g J supplied", s.Name, res.Battery.Wasted, supplied)
+		}
+		if res.Battery.Undersupplied > 0.35*supplied {
+			t.Errorf("scenario %s: undersupplied %g J of %g J supplied", s.Name, res.Battery.Undersupplied, supplied)
+		}
+	}
+}
+
+func TestSimulateWithSupplyDeviation(t *testing.T) {
+	// Actual supply 20% below expectation: Algorithm 3 must keep the
+	// system alive (no panic, bounded undersupply) by scaling back.
+	s := trace.ScenarioI()
+	actual := s.Charging.Scale(0.8)
+	res, err := Simulate(SimConfig{
+		Manager:        managerConfig(t, s),
+		ActualCharging: actual,
+		Periods:        3,
+		SyncCharge:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	supplied := res.Battery.TotalSupplied
+	if res.Battery.Undersupplied > 0.5*supplied {
+		t.Errorf("undersupplied %g J out of %g J even with adaptation", res.Battery.Undersupplied, supplied)
+	}
+	// Adaptation must show up as plan changes across periods.
+	first := res.Records[0].Plan
+	last := res.Records[len(res.Records)-1].Plan
+	same := true
+	for i := range first {
+		if math.Abs(first[i]-last[i]) > 1e-9 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("plan never adapted despite a 20% supply shortfall")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(SimConfig{Manager: managerConfig(t, trace.ScenarioI()), Periods: 0}); err == nil {
+		t.Error("zero periods must error")
+	}
+}
+
+func TestSimulateSyncChargeTracksBattery(t *testing.T) {
+	s := trace.ScenarioI()
+	res, err := Simulate(SimConfig{Manager: managerConfig(t, s), Periods: 2, SyncCharge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("no records")
+	}
+	// With SyncCharge the last recorded charge is the battery's.
+	last := res.Records[len(res.Records)-1]
+	if math.Abs(last.Charge-res.Battery.Charge) > 1e-9 {
+		t.Errorf("record charge %g vs battery %g", last.Charge, res.Battery.Charge)
+	}
+}
+
+func TestBatteryModelString(t *testing.T) {
+	if NetFlow.String() != "net-flow" || Sequential.String() != "sequential" {
+		t.Error("battery model names wrong")
+	}
+	if BatteryModel(7).String() != "BatteryModel(7)" {
+		t.Error("unknown model formatting wrong")
+	}
+}
+
+func TestSimulateSequentialModel(t *testing.T) {
+	// Sequential accounting charges the slot's whole supply before the
+	// draw, so a tight battery wastes more than under net flow.
+	cfg := managerConfig(t, trace.ScenarioI())
+	cfg.DisableSlotGuards = true
+	net, err := Simulate(SimConfig{Manager: cfg, Periods: 2, Battery: NetFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Simulate(SimConfig{Manager: cfg, Periods: 2, Battery: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Battery.Wasted <= net.Battery.Wasted {
+		t.Errorf("sequential wasted %g J should exceed net-flow %g J",
+			seq.Battery.Wasted, net.Battery.Wasted)
+	}
+}

@@ -1,0 +1,212 @@
+package dpm
+
+import (
+	"fmt"
+
+	"dpm/internal/battery"
+	"dpm/internal/params"
+)
+
+// VectorManager is the §6 extension made operational: the same
+// three-stage pipeline as Manager, but each slot's budget is mapped
+// to a *per-processor* frequency assignment (params.VectorSelect, or
+// params.HeteroSelect for a heterogeneous fleet) instead of a common
+// clock. Allocation and the Algorithm 3 update are inherited
+// unchanged — only the power→parameters stage differs.
+type VectorManager struct {
+	*Manager
+	fleet    *params.Fleet // nil: uniform fleet via VectorSelect
+	vcurrent params.VectorPoint
+	vstarted bool
+}
+
+// NewVector builds a per-processor manager from the same Config as
+// New.
+func NewVector(cfg Config) (*VectorManager, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &VectorManager{Manager: m}, nil
+}
+
+// NewHetero builds a per-processor manager whose slot assignments
+// come from HeteroSelect over the given fleet — the paper's full §6
+// extension (different frequencies *and* different processors).
+func NewHetero(cfg Config, fleet params.Fleet) (*VectorManager, error) {
+	m, err := NewVector(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if fleet.N() == 0 {
+		return nil, fmt.Errorf("dpm: empty fleet")
+	}
+	m.fleet = &fleet
+	return m, nil
+}
+
+// selectAssignment maps a budget to a per-processor assignment using
+// the configured selector.
+func (m *VectorManager) selectAssignment(budget float64) (params.VectorPoint, error) {
+	if m.fleet == nil {
+		return params.VectorSelect(m.cfg.Params, budget)
+	}
+	h, err := params.HeteroSelect(m.cfg.Params, *m.fleet, budget)
+	if err != nil {
+		return params.VectorPoint{}, err
+	}
+	// Compact the assignment to its active clocks for the shared
+	// VectorPoint shape.
+	vp := params.VectorPoint{Power: h.Power, Perf: h.Perf}
+	for i, f := range h.Freqs {
+		if f > 0 {
+			vp.Freqs = append(vp.Freqs, f)
+			vp.Volts = append(vp.Volts, h.Volts[i])
+		}
+	}
+	return vp, nil
+}
+
+// vectorEqual reports whether two assignments run the same clocks.
+func vectorEqual(a, b params.VectorPoint) bool {
+	if len(a.Freqs) != len(b.Freqs) {
+		return false
+	}
+	for i := range a.Freqs {
+		if a.Freqs[i] != b.Freqs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// vectorSwitchCost prices a move between assignments: OHn once if the
+// active count changes, plus OHf per processor whose clock changes
+// (frequencies compared position-wise after the descending sort, a
+// conservative upper bound on the real reassignment).
+func (m *VectorManager) vectorSwitchCost(from, to params.VectorPoint) float64 {
+	cost := 0.0
+	if len(from.Freqs) != len(to.Freqs) {
+		cost += m.cfg.Params.OverheadProc
+	}
+	n := len(from.Freqs)
+	if len(to.Freqs) < n {
+		n = len(to.Freqs)
+	}
+	for i := 0; i < n; i++ {
+		if from.Freqs[i] != to.Freqs[i] {
+			cost += m.cfg.Params.OverheadFreq
+		}
+	}
+	return cost
+}
+
+// BeginSlotVector chooses the per-processor assignment for the
+// current slot, applying the same overhead-aware switching rule as
+// the homogeneous manager. It returns the assignment and the
+// switching energy charged at this boundary.
+func (m *VectorManager) BeginSlotVector() (params.VectorPoint, float64, error) {
+	budget, _ := m.SlotBudget()
+	candidate, err := m.selectAssignment(budget)
+	if err != nil {
+		return params.VectorPoint{}, 0, fmt.Errorf("dpm: vector selection: %w", err)
+	}
+	overhead := 0.0
+	switch {
+	case !m.vstarted:
+		m.vcurrent = candidate
+		m.vstarted = true
+	case vectorEqual(m.vcurrent, candidate):
+		// keep
+	case candidate.Power < m.vcurrent.Power:
+		// Downgrades always happen: staying would overdraw.
+		overhead = m.vectorSwitchCost(m.vcurrent, candidate)
+		m.vcurrent = candidate
+	default:
+		gain := (candidate.Perf - m.vcurrent.Perf) * m.tau
+		cost := m.vectorSwitchCost(m.vcurrent, candidate)
+		if gain > cost {
+			overhead = cost
+			m.vcurrent = candidate
+		}
+	}
+	return m.vcurrent, overhead, nil
+}
+
+// CurrentVector returns the assignment chosen by the last
+// BeginSlotVector.
+func (m *VectorManager) CurrentVector() params.VectorPoint { return m.vcurrent }
+
+// SimulateVector runs the per-processor manager closed-loop, the
+// vector counterpart of Simulate. Records carry a synthetic
+// OperatingPoint whose N and Power mirror the assignment (F is the
+// fastest clock) so the result type stays shared.
+func SimulateVector(cfg SimConfig) (*SimResult, error) {
+	if cfg.Periods <= 0 {
+		return nil, fmt.Errorf("dpm: non-positive period count %d", cfg.Periods)
+	}
+	mgr, err := NewVector(cfg.Manager)
+	if err != nil {
+		return nil, err
+	}
+	actual := cfg.ActualCharging
+	if actual == nil {
+		actual = cfg.Manager.Charging
+	}
+	if actual.Len() != mgr.Slots() {
+		return nil, fmt.Errorf("dpm: actual charging has %d slots, plan has %d", actual.Len(), mgr.Slots())
+	}
+	bat, err := battery.New(battery.Config{
+		CapacityMax: cfg.Manager.CapacityMax,
+		CapacityMin: cfg.Manager.CapacityMin,
+		Initial:     cfg.Manager.InitialCharge,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dpm: battery: %w", err)
+	}
+
+	res := &SimResult{}
+	tau := mgr.Tau()
+	var prev params.VectorPoint
+	for s := 0; s < cfg.Periods*mgr.Slots(); s++ {
+		idx := s % mgr.Slots()
+		planned := mgr.PlannedPower()
+		vp, overhead, err := mgr.BeginSlotVector()
+		if err != nil {
+			return nil, err
+		}
+		if s > 0 && !vectorEqual(vp, prev) {
+			res.Switches++
+		}
+		prev = vp
+
+		usedPower := vp.Power + overhead/tau
+		supplyPower := actual.Values[idx]
+		requested := usedPower * tau
+		delivered := cfg.Battery.Step(bat, supplyPower, usedPower, tau)
+		if requested > 0 {
+			res.PerfSeconds += vp.Perf * tau * (delivered / requested)
+		}
+		mgr.EndSlot(delivered, supplyPower*tau)
+		if cfg.SyncCharge {
+			mgr.SyncCharge(bat.Charge())
+		}
+
+		point := params.OperatingPoint{N: vp.N(), Power: vp.Power, Perf: vp.Perf}
+		if vp.N() > 0 {
+			point.F = vp.Freqs[0]
+			point.V = vp.Volts[0]
+		}
+		res.Records = append(res.Records, SlotRecord{
+			Time:          float64(s) * tau,
+			Planned:       planned,
+			Point:         point,
+			UsedPower:     usedPower,
+			SuppliedPower: supplyPower,
+			Charge:        bat.Charge(),
+			Plan:          mgr.PlanSnapshot(),
+		})
+	}
+	res.Battery = bat.Snapshot()
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"testing"
+
+	"dpm/internal/battery"
+	"dpm/internal/predict"
+	"dpm/internal/trace"
+)
+
+func TestEnduranceValidation(t *testing.T) {
+	s := trace.ScenarioI()
+	if _, err := Endurance(EnduranceConfig{Scenario: s, Periods: 0}); err == nil {
+		t.Error("zero periods must error")
+	}
+	if _, err := Endurance(EnduranceConfig{Scenario: s, Periods: 1, SolarDegradationPerPeriod: 1}); err == nil {
+		t.Error("degradation 1 must error")
+	}
+	if _, err := Endurance(EnduranceConfig{Scenario: s, Periods: 1, Jitter: 1}); err == nil {
+		t.Error("jitter 1 must error")
+	}
+}
+
+func TestEnduranceIdealRun(t *testing.T) {
+	res, err := Endurance(EnduranceConfig{Scenario: trace.ScenarioI(), Periods: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Periods) != 10 {
+		t.Fatalf("periods = %d", len(res.Periods))
+	}
+	// Ideal conditions: the per-period residual stays a small, stable
+	// fraction of the ~68 J/period supply (quantization to discrete
+	// operating points keeps it nonzero), and capacity never moves.
+	for _, p := range res.Periods {
+		if p.Wasted+p.Undersupplied > 3.5 {
+			t.Errorf("period %d: badness %g J under ideal conditions", p.Period, p.Wasted+p.Undersupplied)
+		}
+		if p.Capacity != trace.ScenarioI().CapacityMax {
+			t.Errorf("period %d: capacity changed without aging: %g", p.Period, p.Capacity)
+		}
+	}
+	if res.Leaked != 0 || res.Faded != 0 {
+		t.Error("no aging configured, but losses recorded")
+	}
+}
+
+func TestEnduranceAgingShrinksCapacity(t *testing.T) {
+	res, err := Endurance(EnduranceConfig{
+		Scenario: trace.ScenarioI(),
+		Periods:  20,
+		Aging: battery.AgingConfig{
+			FadePerJoule:           1e-4,
+			SelfDischargePerSecond: 1e-5,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Periods[0].Capacity
+	last := res.Periods[len(res.Periods)-1].Capacity
+	if last >= first {
+		t.Errorf("capacity did not fade: %g -> %g", first, last)
+	}
+	if res.Faded <= 0 || res.Leaked <= 0 {
+		t.Errorf("aging losses not recorded: faded %g, leaked %g", res.Faded, res.Leaked)
+	}
+	// The manager must keep the mission alive: utilization stays
+	// meaningful in every period.
+	for _, p := range res.Periods {
+		if p.Utilization < 0.5 {
+			t.Errorf("period %d: utilization collapsed to %g", p.Period, p.Utilization)
+		}
+	}
+}
+
+func TestEndurancePredictorTracksDegradation(t *testing.T) {
+	cfg := EnduranceConfig{
+		Scenario:                  trace.ScenarioI(),
+		Periods:                   20,
+		SolarDegradationPerPeriod: 0.03,
+	}
+	stale, err := Endurance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Predictor = predict.NewLastPeriod()
+	adaptive, err := Endurance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adaptive forecast must be far more accurate late in the
+	// mission.
+	lastStale := stale.Periods[len(stale.Periods)-1].ForecastRMSE
+	lastAdaptive := adaptive.Periods[len(adaptive.Periods)-1].ForecastRMSE
+	if lastAdaptive >= lastStale/2 {
+		t.Errorf("adaptive forecast RMSE %.3f should be well below stale %.3f", lastAdaptive, lastStale)
+	}
+}
+
+func TestEnduranceTable(t *testing.T) {
+	res, err := Endurance(EnduranceConfig{Scenario: trace.ScenarioII(), Periods: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := EnduranceTable(res, 2)
+	if tbl.Rows() != 4 {
+		t.Errorf("strided table rows = %d, want 4", tbl.Rows())
+	}
+	tbl = EnduranceTable(res, 0) // stride clamped to 1
+	if tbl.Rows() != 8 {
+		t.Errorf("full table rows = %d", tbl.Rows())
+	}
+}

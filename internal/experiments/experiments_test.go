@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dpm/internal/trace"
+)
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	tbl, comps, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 4 {
+		t.Fatalf("Table 1 rows = %d, want 4", tbl.Rows())
+	}
+	if len(comps) != 2 {
+		t.Fatalf("comparisons = %d", len(comps))
+	}
+	// The paper's headline: the proposed algorithm beats the static
+	// baseline on waste+undersupply on both scenarios, by a wide
+	// margin (paper reports ~3–11×; we demand ≥ 2×).
+	for _, c := range comps {
+		if c.Proposed.Badness()*2 > c.Baseline.Badness() {
+			t.Errorf("scenario %s: proposed %.2f J not ≥2× better than static %.2f J",
+				c.Scenario, c.Proposed.Badness(), c.Baseline.Badness())
+		}
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Proposed") || !strings.Contains(sb.String(), "Static") {
+		t.Errorf("Table 1 rendering missing rows:\n%s", sb.String())
+	}
+}
+
+func TestAllocationTables(t *testing.T) {
+	for _, tc := range []struct {
+		scenario trace.Scenario
+		number   int
+	}{
+		{trace.ScenarioI(), 2},
+		{trace.ScenarioII(), 4},
+	} {
+		tbl, err := AllocationTable(tc.scenario, tc.number)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two rows (Pinit + Integration) per iteration, at least one
+		// iteration, and converged like the paper (≤ 8 iterations to
+		// the paper's 5).
+		if tbl.Rows() < 2 || tbl.Rows() > 16 || tbl.Rows()%2 != 0 {
+			t.Errorf("table %d: rows = %d", tc.number, tbl.Rows())
+		}
+	}
+}
+
+func TestInitialAllocationConverges(t *testing.T) {
+	for _, s := range trace.Scenarios() {
+		res, err := InitialAllocation(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			t.Errorf("scenario %s: allocation infeasible", s.Name)
+		}
+		// Like the paper's "more than the minimum requirement": every
+		// trajectory point at or above Cmin.
+		for i, v := range res.Trajectory {
+			if v < s.CapacityMin-1e-6 {
+				t.Errorf("scenario %s: trajectory[%d] = %g below Cmin", s.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestUpdateTables(t *testing.T) {
+	for _, tc := range []struct {
+		scenario trace.Scenario
+		number   int
+	}{
+		{trace.ScenarioI(), 3},
+		{trace.ScenarioII(), 5},
+	} {
+		tbl, err := UpdateTable(tc.scenario, tc.number)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two periods of twelve slots, like the paper's 24 rows.
+		if tbl.Rows() != 24 {
+			t.Errorf("table %d: rows = %d, want 24", tc.number, tbl.Rows())
+		}
+	}
+}
+
+func TestFigureTables(t *testing.T) {
+	f3 := FigureTable(trace.ScenarioI(), 3)
+	if f3.Rows() != 12 {
+		t.Errorf("figure 3 rows = %d", f3.Rows())
+	}
+	f4 := FigureTable(trace.ScenarioII(), 4)
+	if f4.Rows() != 12 {
+		t.Errorf("figure 4 rows = %d", f4.Rows())
+	}
+	var sb strings.Builder
+	if err := f3.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "Time (s),Charging,Use\n") {
+		t.Errorf("figure CSV header wrong: %q", sb.String())
+	}
+}
+
+func TestPaperWorkloadCalibration(t *testing.T) {
+	w := PaperWorkload()
+	if w.TotalTime != 4.8 || w.SerialTime != 0.48 {
+		t.Errorf("workload = %+v", w)
+	}
+}
+
+func TestPaperParamsMatchesBoard(t *testing.T) {
+	cfg := PaperParams()
+	if cfg.MaxProcessors != 7 {
+		t.Errorf("MaxProcessors = %d (one of eight PIMs is the controller)", cfg.MaxProcessors)
+	}
+	if len(cfg.Frequencies) != 3 {
+		t.Errorf("frequencies = %v", cfg.Frequencies)
+	}
+	if cfg.OverheadProc != 0 || cfg.OverheadFreq != 0 {
+		t.Error("the paper's simulation assumes no switching overheads")
+	}
+}
+
+func TestDynamicUpdateAdaptsPlan(t *testing.T) {
+	res, err := DynamicUpdate(trace.ScenarioI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Tables 3/5 show the plan being recalculated
+	// whenever used and planned diverge; with discrete operating
+	// points they always do, so the snapshot must change over time.
+	first, last := res.Records[0].Plan, res.Records[len(res.Records)-1].Plan
+	changed := false
+	for i := range first {
+		if first[i] != last[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("plan never changed across two periods")
+	}
+}
+
+func TestTable1Enhanced(t *testing.T) {
+	tbl, comps, err := Table1Enhanced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 4 || len(comps) != 2 {
+		t.Fatalf("rows %d comps %d", tbl.Rows(), len(comps))
+	}
+	// The enhanced mode's proposed residuals vanish on both scenarios.
+	for _, c := range comps {
+		if c.Proposed.Badness() > 1.0 {
+			t.Errorf("scenario %s: enhanced badness %.2f J", c.Scenario, c.Proposed.Badness())
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if PaperFaithful.String() != "paper-faithful" || Enhanced.String() != "enhanced" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestFigureChart(t *testing.T) {
+	c, err := FigureChart(trace.ScenarioI(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "charging") {
+		t.Errorf("chart missing series: %s", sb.String())
+	}
+}

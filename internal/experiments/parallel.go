@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"dpm/internal/dpm"
+	"dpm/internal/metrics"
+	"dpm/internal/report"
+	"dpm/internal/trace"
+)
+
+// RunConcurrent executes independent experiment closures across a
+// bounded worker pool and returns their results in input order. The
+// first error cancels nothing (closures are cheap and independent)
+// but is reported after all tasks finish. workers <= 0 uses
+// GOMAXPROCS.
+func RunConcurrent[T any](tasks []func() (T, error), workers int) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]T, len(tasks))
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, task := range tasks {
+		i, task := i, task
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = task()
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: task %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// MonteCarloResult summarizes a distribution of runs.
+type MonteCarloResult struct {
+	// Runs is the number of seeds evaluated.
+	Runs int
+	// Jitter is the forecast-error level evaluated.
+	Jitter float64
+	// MeanBadness and StdBadness describe the wasted+undersupplied
+	// distribution in joules.
+	MeanBadness, StdBadness float64
+	// WorstBadness is the distribution's maximum.
+	WorstBadness float64
+	// MeanUtilization averages the runs' energy utilization.
+	MeanUtilization float64
+}
+
+// MonteCarlo evaluates the manager's robustness: `runs` independent
+// jitter realizations of the scenario's charging schedule, simulated
+// concurrently, reduced to distribution statistics. It is the
+// statistically honest version of a single-seed jitter point.
+func MonteCarlo(s trace.Scenario, jitter float64, runs, periods int, baseSeed int64) (MonteCarloResult, error) {
+	if runs <= 0 {
+		return MonteCarloResult{}, fmt.Errorf("experiments: non-positive run count %d", runs)
+	}
+	if jitter < 0 || jitter >= 1 {
+		return MonteCarloResult{}, fmt.Errorf("experiments: jitter %g outside [0, 1)", jitter)
+	}
+	tasks := make([]func() (metrics.Energy, error), runs)
+	for i := 0; i < runs; i++ {
+		seed := baseSeed + int64(i)
+		tasks[i] = func() (metrics.Energy, error) {
+			actual := s.Charging
+			if jitter > 0 {
+				actual = trace.Perturb(s.Charging, jitter, seed)
+			}
+			res, err := dpm.Simulate(dpm.SimConfig{
+				Manager:        ManagerConfig(s),
+				ActualCharging: actual,
+				Periods:        periods,
+				SyncCharge:     true,
+			})
+			if err != nil {
+				return metrics.Energy{}, err
+			}
+			return metrics.FromSnapshot(res.Battery), nil
+		}
+	}
+	energies, err := RunConcurrent(tasks, 0)
+	if err != nil {
+		return MonteCarloResult{}, err
+	}
+
+	out := MonteCarloResult{Runs: runs, Jitter: jitter}
+	var sum, sumSq, worst, util float64
+	for _, e := range energies {
+		b := e.Badness()
+		sum += b
+		sumSq += b * b
+		worst = math.Max(worst, b)
+		util += e.Utilization
+	}
+	n := float64(runs)
+	out.MeanBadness = sum / n
+	out.StdBadness = math.Sqrt(math.Max(0, sumSq/n-out.MeanBadness*out.MeanBadness))
+	out.WorstBadness = worst
+	out.MeanUtilization = util / n
+	return out, nil
+}
+
+// MonteCarloTable runs MonteCarlo across jitter levels and renders
+// the distribution per level.
+func MonteCarloTable(s trace.Scenario, jitters []float64, runs, periods int, seed int64) (*report.Table, error) {
+	t := report.NewTable(
+		fmt.Sprintf("Monte-Carlo robustness, scenario %s (%d seeds per level, %d periods)", s.Name, runs, periods),
+		"Jitter", "Mean badness (J)", "Std (J)", "Worst (J)", "Mean utilization")
+	for _, j := range jitters {
+		mc, err := MonteCarlo(s, j, runs, periods, seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			report.F2(j),
+			report.F2(mc.MeanBadness),
+			report.F2(mc.StdBadness),
+			report.F2(mc.WorstBadness),
+			fmt.Sprintf("%.1f%%", 100*mc.MeanUtilization),
+		)
+	}
+	return t, nil
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"dpm/internal/trace"
+)
+
+func TestRunConcurrentOrderAndResults(t *testing.T) {
+	tasks := make([]func() (int, error), 50)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() (int, error) { return i * i, nil }
+	}
+	got, err := RunConcurrent(tasks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d (order must be preserved)", i, v, i*i)
+		}
+	}
+}
+
+func TestRunConcurrentPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	tasks := []func() (int, error){
+		func() (int, error) { return 1, nil },
+		func() (int, error) { return 0, boom },
+		func() (int, error) { return 3, nil },
+	}
+	if _, err := RunConcurrent(tasks, 2); !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestRunConcurrentBoundsWorkers(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	tasks := make([]func() (struct{}, error), 32)
+	for i := range tasks {
+		tasks[i] = func() (struct{}, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			// Busy-wait briefly so overlaps are observable.
+			for j := 0; j < 10000; j++ {
+				_ = j
+			}
+			inFlight.Add(-1)
+			return struct{}{}, nil
+		}
+	}
+	if _, err := RunConcurrent(tasks, 3); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 3 {
+		t.Errorf("worker bound exceeded: peak %d", peak.Load())
+	}
+}
+
+func TestRunConcurrentDefaultWorkers(t *testing.T) {
+	tasks := []func() (int, error){func() (int, error) { return 7, nil }}
+	got, err := RunConcurrent(tasks, 0)
+	if err != nil || got[0] != 7 {
+		t.Fatalf("default workers run failed: %v %v", got, err)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	if _, err := MonteCarlo(trace.ScenarioI(), 0.1, 0, 2, 1); err == nil {
+		t.Error("zero runs must error")
+	}
+	if _, err := MonteCarlo(trace.ScenarioI(), 1.0, 4, 2, 1); err == nil {
+		t.Error("jitter 1 must error")
+	}
+}
+
+func TestMonteCarloStatistics(t *testing.T) {
+	mc, err := MonteCarlo(trace.ScenarioI(), 0.2, 16, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Runs != 16 || mc.Jitter != 0.2 {
+		t.Errorf("metadata wrong: %+v", mc)
+	}
+	if mc.MeanBadness < 0 || mc.StdBadness < 0 {
+		t.Errorf("negative statistics: %+v", mc)
+	}
+	if mc.WorstBadness < mc.MeanBadness {
+		t.Errorf("worst %g below mean %g", mc.WorstBadness, mc.MeanBadness)
+	}
+	if mc.MeanUtilization <= 0.5 || mc.MeanUtilization > 1 {
+		t.Errorf("utilization %g implausible", mc.MeanUtilization)
+	}
+}
+
+func TestMonteCarloZeroJitterIsDeterministic(t *testing.T) {
+	mc, err := MonteCarlo(trace.ScenarioI(), 0, 8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.StdBadness > 1e-9 {
+		t.Errorf("zero jitter must have zero variance, got std %g", mc.StdBadness)
+	}
+}
+
+func TestMonteCarloTable(t *testing.T) {
+	tbl, err := MonteCarloTable(trace.ScenarioII(), []float64{0, 0.2}, 8, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 2 {
+		t.Errorf("rows = %d", tbl.Rows())
+	}
+}

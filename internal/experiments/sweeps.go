@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dpm/internal/dpm"
+	"dpm/internal/metrics"
+	"dpm/internal/report"
+	"dpm/internal/trace"
+)
+
+// This file holds the sensitivity sweeps that extend the paper's
+// evaluation: how the proposed manager's wasted/undersupplied energy
+// responds to battery sizing, forecast error, and switching overhead.
+// cmd/sweep prints them; the bench harness can time them.
+
+// SweepPoint is one row of a sweep.
+type SweepPoint struct {
+	// X is the swept parameter's value.
+	X float64
+	// Energy is the run's accounting.
+	Energy metrics.Energy
+	// Switches counts operating-point changes.
+	Switches int
+}
+
+// CapacitySweep varies the battery capacity Cmax (as a multiple of
+// the scenario default) and reports the manager's residual energy.
+// Undersized batteries cannot buffer the eclipse; the sweep locates
+// the knee.
+func CapacitySweep(s trace.Scenario, multiples []float64, periods int) ([]SweepPoint, error) {
+	if len(multiples) == 0 {
+		return nil, fmt.Errorf("experiments: empty capacity sweep")
+	}
+	out := make([]SweepPoint, 0, len(multiples))
+	for _, m := range multiples {
+		if m <= 0 {
+			return nil, fmt.Errorf("experiments: non-positive capacity multiple %g", m)
+		}
+		cfg := ManagerConfig(s)
+		cfg.CapacityMax = s.CapacityMax * m
+		if cfg.CapacityMax <= cfg.CapacityMin {
+			return nil, fmt.Errorf("experiments: capacity multiple %g collapses the battery band", m)
+		}
+		res, err := dpm.Simulate(dpm.SimConfig{Manager: cfg, Periods: periods})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{X: m, Energy: metrics.FromSnapshot(res.Battery), Switches: res.Switches})
+	}
+	return out, nil
+}
+
+// JitterSweep varies the multiplicative error between the expected
+// and actual charging schedules and reports how well Algorithm 3
+// absorbs it.
+func JitterSweep(s trace.Scenario, jitters []float64, periods int, seed int64) ([]SweepPoint, error) {
+	if len(jitters) == 0 {
+		return nil, fmt.Errorf("experiments: empty jitter sweep")
+	}
+	out := make([]SweepPoint, 0, len(jitters))
+	for _, j := range jitters {
+		if j < 0 || j >= 1 {
+			return nil, fmt.Errorf("experiments: jitter %g outside [0, 1)", j)
+		}
+		actual := s.Charging
+		if j > 0 {
+			actual = trace.Perturb(s.Charging, j, seed)
+		}
+		res, err := dpm.Simulate(dpm.SimConfig{
+			Manager:        ManagerConfig(s),
+			ActualCharging: actual,
+			Periods:        periods,
+			SyncCharge:     true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{X: j, Energy: metrics.FromSnapshot(res.Battery), Switches: res.Switches})
+	}
+	return out, nil
+}
+
+// OverheadSweep varies the Algorithm 2 switching overhead (applied to
+// both OHn and OHf, in joules) and reports switch counts and residual
+// energy.
+func OverheadSweep(s trace.Scenario, overheads []float64, periods int) ([]SweepPoint, error) {
+	if len(overheads) == 0 {
+		return nil, fmt.Errorf("experiments: empty overhead sweep")
+	}
+	out := make([]SweepPoint, 0, len(overheads))
+	for _, oh := range overheads {
+		if oh < 0 {
+			return nil, fmt.Errorf("experiments: negative overhead %g", oh)
+		}
+		cfg := ManagerConfig(s)
+		cfg.Params.OverheadProc = oh
+		cfg.Params.OverheadFreq = oh
+		res, err := dpm.Simulate(dpm.SimConfig{Manager: cfg, Periods: periods})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{X: oh, Energy: metrics.FromSnapshot(res.Battery), Switches: res.Switches})
+	}
+	return out, nil
+}
+
+// SweepTable renders a sweep with the given parameter label.
+func SweepTable(title, xLabel string, points []SweepPoint) *report.Table {
+	t := report.NewTable(title, xLabel, "Wasted (J)", "Undersupplied (J)", "Utilization", "Switches")
+	for _, p := range points {
+		t.AddRow(
+			report.F2(p.X),
+			report.F2(p.Energy.Wasted),
+			report.F2(p.Energy.Undersupplied),
+			fmt.Sprintf("%.1f%%", 100*p.Energy.Utilization),
+			report.I(p.Switches),
+		)
+	}
+	return t
+}

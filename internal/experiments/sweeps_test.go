@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dpm/internal/trace"
+)
+
+func TestCapacitySweep(t *testing.T) {
+	points, err := CapacitySweep(trace.ScenarioI(), []float64{0.5, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Energy.Utilization <= 0 || p.Energy.Utilization > 1 {
+			t.Errorf("Cmax×%g: utilization %g", p.X, p.Energy.Utilization)
+		}
+	}
+	// A huge battery must waste at most as much as a tiny one.
+	tiny, err := CapacitySweep(trace.ScenarioI(), []float64{0.1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge, err := CapacitySweep(trace.ScenarioI(), []float64{10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge[0].Energy.Wasted > tiny[0].Energy.Wasted+1e-9 {
+		t.Errorf("10× battery wasted %g J vs 0.1× %g J", huge[0].Energy.Wasted, tiny[0].Energy.Wasted)
+	}
+}
+
+func TestCapacitySweepValidation(t *testing.T) {
+	if _, err := CapacitySweep(trace.ScenarioI(), nil, 2); err == nil {
+		t.Error("empty sweep must error")
+	}
+	if _, err := CapacitySweep(trace.ScenarioI(), []float64{-1}, 2); err == nil {
+		t.Error("negative multiple must error")
+	}
+	if _, err := CapacitySweep(trace.ScenarioI(), []float64{0.001}, 2); err == nil {
+		t.Error("band-collapsing multiple must error")
+	}
+}
+
+func TestJitterSweepDegradesGracefully(t *testing.T) {
+	points, err := JitterSweep(trace.ScenarioII(), []float64{0, 0.3}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, noisy := points[0], points[1]
+	if noisy.Energy.Badness() < zero.Energy.Badness()-1e-9 {
+		t.Errorf("noise cannot help: %.2f J at 0.3 vs %.2f J at 0", noisy.Energy.Badness(), zero.Energy.Badness())
+	}
+	// Even 30% forecast error must stay below a third of the supply.
+	if noisy.Energy.Badness() > 0.33*noisy.Energy.Supplied {
+		t.Errorf("jitter 0.3: badness %.2f J of %.2f J supplied", noisy.Energy.Badness(), noisy.Energy.Supplied)
+	}
+}
+
+func TestJitterSweepValidation(t *testing.T) {
+	if _, err := JitterSweep(trace.ScenarioI(), nil, 2, 1); err == nil {
+		t.Error("empty sweep must error")
+	}
+	if _, err := JitterSweep(trace.ScenarioI(), []float64{1.5}, 2, 1); err == nil {
+		t.Error("jitter >= 1 must error")
+	}
+}
+
+func TestOverheadSweepReducesSwitches(t *testing.T) {
+	points, err := OverheadSweep(trace.ScenarioI(), []float64{0, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[1].Switches > points[0].Switches {
+		t.Errorf("higher overhead increased switches: %d -> %d", points[0].Switches, points[1].Switches)
+	}
+}
+
+func TestOverheadSweepValidation(t *testing.T) {
+	if _, err := OverheadSweep(trace.ScenarioI(), nil, 2); err == nil {
+		t.Error("empty sweep must error")
+	}
+	if _, err := OverheadSweep(trace.ScenarioI(), []float64{-1}, 2); err == nil {
+		t.Error("negative overhead must error")
+	}
+}
+
+func TestSweepTable(t *testing.T) {
+	points, err := OverheadSweep(trace.ScenarioI(), []float64{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := SweepTable("demo", "X", points)
+	if tbl.Rows() != 2 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Switches") {
+		t.Errorf("table missing column: %s", sb.String())
+	}
+}
+
+func TestResampleScenario(t *testing.T) {
+	s := trace.ScenarioI()
+	rs, err := ResampleScenario(s, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Charging.Len() != 24 || rs.Usage.Len() != 24 {
+		t.Fatalf("resampled slots = %d/%d", rs.Charging.Len(), rs.Usage.Len())
+	}
+	// Energy preserved.
+	if diff := rs.Charging.Total() - s.Charging.Total(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("charging energy changed by %g J", diff)
+	}
+	if _, err := ResampleScenario(s, 0); err == nil {
+		t.Error("zero slots must error")
+	}
+}
+
+func TestTauSweep(t *testing.T) {
+	points, err := TauSweep(trace.ScenarioI(), []int{6, 12, 24}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// τ halves as slot count doubles.
+	if points[0].X != 2*points[1].X || points[1].X != 2*points[2].X {
+		t.Errorf("taus = %g, %g, %g", points[0].X, points[1].X, points[2].X)
+	}
+	// Finer planning switches at least as often.
+	if points[2].Switches < points[0].Switches {
+		t.Errorf("finer τ switched less: %d vs %d", points[2].Switches, points[0].Switches)
+	}
+	if _, err := TauSweep(trace.ScenarioI(), nil, 2); err == nil {
+		t.Error("empty sweep must error")
+	}
+}
+
+func TestTauSweepTable(t *testing.T) {
+	tbl, err := TauSweepTable(trace.ScenarioII(), []int{6, 12}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 2 {
+		t.Errorf("rows = %d", tbl.Rows())
+	}
+}

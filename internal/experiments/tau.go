@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dpm/internal/dpm"
+	"dpm/internal/metrics"
+	"dpm/internal/report"
+	"dpm/internal/schedule"
+	"dpm/internal/trace"
+)
+
+// The paper ties τ to the 2K FFT's runtime at 20 MHz (4.8 s) and
+// never varies it. This sweep asks: how much does the planning
+// granularity itself matter? Finer slots track the schedules more
+// closely but switch parameters more often; coarser slots average
+// away the structure.
+
+// ResampleScenario re-discretizes a scenario's schedules onto a grid
+// of `slots` per period, preserving each schedule's total energy.
+func ResampleScenario(s trace.Scenario, slots int) (trace.Scenario, error) {
+	if slots <= 0 {
+		return trace.Scenario{}, fmt.Errorf("experiments: non-positive slot count %d", slots)
+	}
+	out := s
+	out.Charging = schedule.FromSchedule(s.Charging, slots)
+	out.Usage = schedule.FromSchedule(s.Usage, slots)
+	if s.Weight != nil {
+		out.Weight = schedule.FromSchedule(s.Weight, slots)
+	}
+	return out, nil
+}
+
+// TauSweep runs the manager at several planning granularities
+// (slots per period) and reports the residual energy and switching
+// activity at each.
+func TauSweep(s trace.Scenario, slotCounts []int, periods int) ([]SweepPoint, error) {
+	if len(slotCounts) == 0 {
+		return nil, fmt.Errorf("experiments: empty tau sweep")
+	}
+	out := make([]SweepPoint, 0, len(slotCounts))
+	for _, slots := range slotCounts {
+		rs, err := ResampleScenario(s, slots)
+		if err != nil {
+			return nil, err
+		}
+		res, err := dpm.Simulate(dpm.SimConfig{Manager: ManagerConfig(rs), Periods: periods})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tau sweep at %d slots: %w", slots, err)
+		}
+		out = append(out, SweepPoint{
+			X:        rs.Charging.Step, // the τ this slot count implies
+			Energy:   metrics.FromSnapshot(res.Battery),
+			Switches: res.Switches,
+		})
+	}
+	return out, nil
+}
+
+// TauSweepTable renders the sweep.
+func TauSweepTable(s trace.Scenario, slotCounts []int, periods int) (*report.Table, error) {
+	points, err := TauSweep(s, slotCounts, periods)
+	if err != nil {
+		return nil, err
+	}
+	return SweepTable(
+		fmt.Sprintf("Planning-granularity sweep, scenario %s (τ varies, period fixed)", s.Name),
+		"τ (s)", points), nil
+}

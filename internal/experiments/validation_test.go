@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"dpm/internal/machine"
+	"dpm/internal/params"
+	"dpm/internal/perf"
+	"dpm/internal/power"
+	"dpm/internal/trace"
+)
+
+// Cross-model validation: the repository contains three independent
+// renderings of the paper's §4.2 theory — the Eq. 18 closed form,
+// the Algorithm 2 discrete table, and the discrete-event board. At
+// matching operating points they must tell the same story.
+
+// The discrete table's pick can never beat the continuous optimum
+// (it chooses from a subset), and with the paper's coarse frequency
+// ladder it stays within a bounded factor of it.
+func TestDiscreteNeverBeatsContinuous(t *testing.T) {
+	// Use a DVFS-capable configuration so Eq. 18 is non-trivial.
+	curve, err := power.NewLinearVF(1.0, 2.0, 100e6, 400e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := perf.NewWorkload(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := params.Config{
+		System: power.SystemModel{
+			Proc: power.ProcessorModel{ActiveAtRef: 1, FRef: 400e6, VRef: 2, StandbyPower: 0.001, SleepPower: 0.05},
+			N:    16,
+		},
+		Curve:         curve,
+		Workload:      w,
+		Frequencies:   []float64{100e6, 200e6, 400e6},
+		MaxProcessors: 16,
+	}
+	tbl, err := params.BuildTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []float64{0.1, 0.3, 0.7, 1.5, 3, 6, 10} {
+		discrete := tbl.Select(budget)
+		continuous, err := params.Continuous(cfg, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Eq. 18 ignores the standby draw of inactive processors, so
+		// compare performance only, with a small numerical slack.
+		if discrete.Perf > continuous.Perf*1.05 {
+			t.Errorf("budget %g: discrete %g beats continuous %g", budget, discrete.Perf, continuous.Perf)
+		}
+		// With a 3-step ladder the discrete pick should stay within
+		// 4× of the optimum across the sweep (it only collapses near
+		// the idle floor).
+		if discrete.N > 0 && discrete.Perf < continuous.Perf/4 {
+			t.Errorf("budget %g: discrete %g too far below continuous %g", budget, discrete.Perf, continuous.Perf)
+		}
+	}
+}
+
+// The gang-scheduled board must reproduce perf.ExecutionTime: a lone
+// capture on a fixed (n, f) configuration finishes in the Amdahl
+// time, within the command-latency slack.
+func TestMachineMatchesAmdahlExecutionTime(t *testing.T) {
+	s := trace.ScenarioI()
+	// Freeze the configuration: constant generous charging so the
+	// manager picks the top point (7 × 80 MHz) every slot.
+	flat := trace.Scenario{
+		Name:          "flat",
+		Charging:      s.Charging.Scale(0), // start from zeros
+		Usage:         s.Usage.Scale(0),
+		CapacityMax:   s.CapacityMax,
+		CapacityMin:   s.CapacityMin,
+		InitialCharge: s.CapacityMax,
+	}
+	for i := range flat.Charging.Values {
+		flat.Charging.Values[i] = 4.0
+		flat.Usage.Values[i] = 4.0
+	}
+	cfg := machine.Config{
+		Manager:       ManagerConfig(flat),
+		Events:        []trace.Event{{Time: 10.0, Seed: 1}},
+		Periods:       2,
+		GangScheduled: true,
+	}
+	b, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksCompleted != 1 {
+		t.Fatalf("completed %d, want 1", res.TasksCompleted)
+	}
+	// Expected: the 2K task (FFT/0.6 cycles) split 10%/90% serial/
+	// parallel on 7 workers at 80 MHz.
+	const taskCycles = 4.8 * 20e6 / 0.6
+	w := PaperWorkload()
+	expected := taskCycles*w.SerialFraction()/80e6 +
+		taskCycles*(1-w.SerialFraction())/(7*80e6)
+	if math.Abs(res.MeanLatencySeconds-expected) > 0.1*expected+1e-3 {
+		t.Errorf("gang latency %g s, Amdahl predicts %g s", res.MeanLatencySeconds, expected)
+	}
+}
+
+// The analytic simulator's used-energy equals the sum of its per-slot
+// records — no silent accounting.
+func TestAnalyticRecordsAccountForAllEnergy(t *testing.T) {
+	res, err := DynamicUpdate(trace.ScenarioI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, r := range res.Records {
+		sum += r.UsedPower * trace.Tau
+	}
+	if math.Abs(sum-res.Battery.TotalDrawn) > res.Battery.Undersupplied+1e-6 {
+		t.Errorf("record energy %g J vs battery delivered %g J (undersupplied %g J)",
+			sum, res.Battery.TotalDrawn, res.Battery.Undersupplied)
+	}
+}
+
+// The board's measured energy is consistent with its per-slot used
+// powers.
+func TestMachineRecordsAccountForAllEnergy(t *testing.T) {
+	s := trace.ScenarioI()
+	events, err := trace.PoissonEvents(s.Usage, 0.1, 2*trace.Period, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := machine.New(machine.Config{
+		Manager: ManagerConfig(s),
+		Events:  events,
+		Periods: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, r := range res.Records {
+		sum += r.UsedPower * trace.Tau
+	}
+	if math.Abs(sum-res.EnergyUsed) > 1e-6 {
+		t.Errorf("slot records %g J vs meter %g J", sum, res.EnergyUsed)
+	}
+}

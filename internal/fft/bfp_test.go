@@ -1,0 +1,159 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"dpm/internal/fixed"
+)
+
+func randomInput(n int, amplitude float64, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(amplitude*rng.NormFloat64(), amplitude*rng.NormFloat64())
+	}
+	return out
+}
+
+func TestInverseFixedRoundTrip(t *testing.T) {
+	// ForwardFixed computes DFT/N, and InverseFixed is an exact IDFT
+	// of its input, so the round trip returns x/N. Keep N small so
+	// x/N stays well above the Q15 rounding-noise floor accumulated
+	// over 2·log2(N) stages.
+	n := 64
+	table, err := NewTwiddleTable(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := randomInput(n, 0.2, 3)
+	fx := make([]fixed.Complex, n)
+	for i, c := range input {
+		fx[i] = fixed.CFromFloat(c)
+	}
+	orig := append([]fixed.Complex(nil), fx...)
+
+	if err := table.ForwardFixed(fx); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.InverseFixed(fx); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fx {
+		want := orig[i].Float() / complex(float64(n), 0)
+		got := fx[i].Float()
+		if cmplx.Abs(got-want) > 8.0/32768 {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestInverseFixedSizeMismatch(t *testing.T) {
+	table, err := NewTwiddleTable(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.InverseFixed(make([]fixed.Complex, 8)); err == nil {
+		t.Error("size mismatch must be rejected")
+	}
+}
+
+func TestForwardBFPSizeMismatch(t *testing.T) {
+	table, err := NewTwiddleTable(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := table.ForwardBFP(make([]fixed.Complex, 8)); err == nil {
+		t.Error("size mismatch must be rejected")
+	}
+}
+
+func TestForwardBFPExponentBounds(t *testing.T) {
+	n := 64
+	table, err := NewTwiddleTable(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hot input must scale at (almost) every stage.
+	hot := make([]fixed.Complex, n)
+	for i := range hot {
+		hot[i] = fixed.CFromFloat(complex(0.9, 0))
+	}
+	e, err := table.ForwardBFP(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 1 || e > 6 {
+		t.Errorf("hot input exponent = %d, want within [1, log2(64)]", e)
+	}
+	// A tiny input should barely scale.
+	cold := make([]fixed.Complex, n)
+	cold[0] = fixed.CFromFloat(complex(1e-3, 0))
+	e, err = table.ForwardBFP(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Errorf("cold input exponent = %d, want 0", e)
+	}
+}
+
+func TestForwardBFPMatchesReference(t *testing.T) {
+	n := 256
+	table, err := NewTwiddleTable(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := randomInput(n, 0.05, 11)
+	ref := append([]complex128(nil), input...)
+	if err := Forward(ref); err != nil {
+		t.Fatal(err)
+	}
+	fx := make([]fixed.Complex, n)
+	for i, c := range input {
+		fx[i] = fixed.CFromFloat(c)
+	}
+	e, err := table.ForwardBFP(fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := math.Ldexp(1, e)
+	for k := 0; k < n; k++ {
+		got := fx[k].Float() * complex(scale, 0)
+		if cmplx.Abs(got-ref[k]) > 0.02*(1+cmplx.Abs(ref[k])) {
+			t.Fatalf("bin %d: %v vs %v (e=%d)", k, got, ref[k], e)
+		}
+	}
+}
+
+// The whole point of BFP: better SNR than guaranteed scaling on
+// small-amplitude inputs.
+func TestBFPBeatsGuaranteedScalingOnQuietSignals(t *testing.T) {
+	input := randomInput(512, 0.01, 21)
+	plain, err := SNR(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfp, err := BFPSNR(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bfp <= plain {
+		t.Errorf("BFP SNR %.1f dB should beat guaranteed scaling %.1f dB on quiet input", bfp, plain)
+	}
+	if bfp < 40 {
+		t.Errorf("BFP SNR %.1f dB suspiciously low", bfp)
+	}
+}
+
+func TestBFPSNRZeroInput(t *testing.T) {
+	snr, err := BFPSNR(make([]complex128, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(snr, 1) {
+		t.Errorf("zero input SNR = %g", snr)
+	}
+}

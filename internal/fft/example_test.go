@@ -1,0 +1,53 @@
+package fft_test
+
+import (
+	"fmt"
+	"math"
+
+	"dpm/internal/fft"
+	"dpm/internal/fixed"
+)
+
+// Transform a pure tone with the fixed-point FFT the PIM processors
+// run and find its spectral peak.
+func ExampleTwiddleTable_ForwardFixed() {
+	const n = 64
+	table, err := fft.NewTwiddleTable(n)
+	if err != nil {
+		panic(err)
+	}
+	buf := make([]fixed.Complex, n)
+	for i := range buf {
+		phase := 2 * math.Pi * 5 * float64(i) / n
+		buf[i] = fixed.CFromFloat(complex(0.5*math.Cos(phase), 0.5*math.Sin(phase)))
+	}
+	if err := table.ForwardFixed(buf); err != nil {
+		panic(err)
+	}
+	spectrum := fft.PowerSpectrum(buf)
+	peak := 0
+	for k, p := range spectrum {
+		if p > spectrum[peak] {
+			peak = k
+		}
+	}
+	fmt.Printf("tone found in bin %d\n", peak)
+	// Output:
+	// tone found in bin 5
+}
+
+// The cycle model reproduces the paper's measurement: a 2K-sample
+// fixed-point FFT takes 4.8 s at 20 MHz on the M32R/D.
+func ExampleSeconds() {
+	for _, mhz := range []float64{20, 40, 80} {
+		sec, err := fft.Seconds(2048, mhz*1e6)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%3.0f MHz: %.1f s\n", mhz, sec)
+	}
+	// Output:
+	//  20 MHz: 4.8 s
+	//  40 MHz: 2.4 s
+	//  80 MHz: 1.2 s
+}

@@ -1,0 +1,259 @@
+// Package fft provides the paper's signal-processing kernel: a
+// radix-2 decimation-in-time FFT in both a floating-point reference
+// form and the Q15 fixed-point form the M32R/D processors actually
+// run (§5: "Since our platform does not support floating-point
+// operations, we implemented fixed-point FFT operations"). The
+// fixed-point transform scales by 1/2 at every stage, the standard
+// guard against overflow, so its output is the DFT divided by N.
+//
+// A cycle model calibrated to the paper's measurement (a 2K-sample
+// FFT takes 4.8 s at 20 MHz) lets the machine simulator convert
+// transform sizes into execution time at any clock.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"dpm/internal/fixed"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// bitReverse permutes x in place into bit-reversed order.
+func bitReverseFloat(x []complex128) {
+	n := len(x)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := range x {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+}
+
+func bitReverseFixed(x []fixed.Complex) {
+	n := len(x)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := range x {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+}
+
+// Forward computes the in-place radix-2 DIT FFT of x. len(x) must be
+// a power of two.
+func Forward(x []complex128) error {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	bitReverseFloat(x)
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	return nil
+}
+
+// Inverse computes the in-place inverse FFT (with 1/N normalization).
+func Inverse(x []complex128) error {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := Forward(x); err != nil {
+		return err
+	}
+	scale := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * scale
+	}
+	return nil
+}
+
+// TwiddleTable holds the Q15 twiddle factors for a fixed transform
+// size, precomputed once the way a PIM implementation would hold them
+// in its on-chip DRAM.
+type TwiddleTable struct {
+	n int
+	w []fixed.Complex // w[k] = exp(−2πik/n), k < n/2
+}
+
+// NewTwiddleTable builds the table for size n (a power of two ≥ 2).
+func NewTwiddleTable(n int) (*TwiddleTable, error) {
+	if !IsPowerOfTwo(n) || n < 2 {
+		return nil, fmt.Errorf("fft: invalid twiddle size %d", n)
+	}
+	t := &TwiddleTable{n: n, w: make([]fixed.Complex, n/2)}
+	for k := 0; k < n/2; k++ {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		t.w[k] = fixed.CFromFloat(complex(math.Cos(angle), math.Sin(angle)))
+	}
+	return t, nil
+}
+
+// Size returns the transform size the table serves.
+func (t *TwiddleTable) Size() int { return t.n }
+
+// ForwardFixed computes the in-place fixed-point FFT of x using the
+// table. len(x) must equal the table size. Each stage scales by 1/2,
+// so the result is DFT(x)/N — callers comparing against Forward must
+// multiply by N (or divide the reference).
+func (t *TwiddleTable) ForwardFixed(x []fixed.Complex) error {
+	n := len(x)
+	if n != t.n {
+		return fmt.Errorf("fft: input length %d does not match table size %d", n, t.n)
+	}
+	bitReverseFixed(x)
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		stride := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := t.w[k*stride]
+				// Scale inputs by 1/2 before the butterfly so the
+				// add cannot overflow.
+				a := fixed.CHalf(x[start+k])
+				b := fixed.CHalf(fixed.CMul(x[start+k+half], w))
+				x[start+k] = fixed.CAdd(a, b)
+				x[start+k+half] = fixed.CSub(a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// PowerSpectrum returns |X[k]|² for k < len(x)/2+1 from a transformed
+// fixed-point buffer.
+func PowerSpectrum(x []fixed.Complex) []float64 {
+	out := make([]float64, len(x)/2+1)
+	for k := range out {
+		out[k] = x[k].MagSq()
+	}
+	return out
+}
+
+// PowerSpectrumFloat returns |X[k]|² for k < len(x)/2+1 from a
+// transformed float buffer.
+func PowerSpectrumFloat(x []complex128) []float64 {
+	out := make([]float64, len(x)/2+1)
+	for k := range out {
+		re, im := real(x[k]), imag(x[k])
+		out[k] = re*re + im*im
+	}
+	return out
+}
+
+// SNR returns the signal-to-noise ratio in dB of the fixed-point
+// transform against the float reference for the same input, with the
+// reference scaled by 1/N to match the fixed-point normalization.
+// It quantifies the Q15 rounding-noise floor.
+func SNR(input []complex128) (float64, error) {
+	n := len(input)
+	table, err := NewTwiddleTable(n)
+	if err != nil {
+		return 0, err
+	}
+	ref := append([]complex128(nil), input...)
+	if err := Forward(ref); err != nil {
+		return 0, err
+	}
+	fx := make([]fixed.Complex, n)
+	for i, c := range input {
+		fx[i] = fixed.CFromFloat(c)
+	}
+	if err := table.ForwardFixed(fx); err != nil {
+		return 0, err
+	}
+	var sig, noise float64
+	for k := 0; k < n; k++ {
+		want := ref[k] / complex(float64(n), 0)
+		got := fx[k].Float()
+		d := got - want
+		sig += real(want)*real(want) + imag(want)*imag(want)
+		noise += real(d)*real(d) + imag(d)*imag(d)
+	}
+	if noise == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(sig/noise), nil
+}
+
+// Hann fills a window of length n with Hann coefficients in Q15.
+func Hann(n int) []fixed.Q15 {
+	w := make([]fixed.Q15, n)
+	for i := range w {
+		w[i] = fixed.FromFloat(0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n))))
+	}
+	return w
+}
+
+// ApplyWindow multiplies the samples by the window in place. Lengths
+// must match.
+func ApplyWindow(x []fixed.Complex, w []fixed.Q15) error {
+	if len(x) != len(w) {
+		return fmt.Errorf("fft: window length %d vs signal %d", len(w), len(x))
+	}
+	for i := range x {
+		x[i].Re = fixed.Mul(x[i].Re, w[i])
+		x[i].Im = fixed.Mul(x[i].Im, w[i])
+	}
+	return nil
+}
+
+// Cycle model ------------------------------------------------------
+
+// The paper measures the 2K-sample fixed-point FFT at 4.8 s on a
+// 20 MHz M32R/D: 96e6 cycles for N·log2(N) = 2048·11 = 22528
+// butterflies-worth of work, i.e. ≈ 4261 cycles per N·log2(N) unit
+// (the PIM's DRAM-bound inner loop is slow). The model scales as
+// N·log2(N).
+const (
+	// CalibratedSamples is the paper's FFT size.
+	CalibratedSamples = 2048
+	// CalibratedSeconds is its measured runtime.
+	CalibratedSeconds = 4.8
+	// CalibratedHz is the clock it was measured at.
+	CalibratedHz = 20e6
+)
+
+// Cycles returns the modeled cycle count of an n-point fixed-point
+// FFT on the PIM, calibrated to the paper's measurement.
+func Cycles(n int) (float64, error) {
+	if !IsPowerOfTwo(n) {
+		return 0, fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	unit := CalibratedSeconds * CalibratedHz /
+		(float64(CalibratedSamples) * math.Log2(CalibratedSamples))
+	return unit * float64(n) * math.Log2(float64(n)), nil
+}
+
+// Seconds returns the modeled runtime of an n-point FFT at clock f.
+func Seconds(n int, f float64) (float64, error) {
+	if f <= 0 {
+		return 0, fmt.Errorf("fft: non-positive clock %g", f)
+	}
+	cycles, err := Cycles(n)
+	if err != nil {
+		return 0, err
+	}
+	return cycles / f, nil
+}

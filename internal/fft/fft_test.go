@@ -1,0 +1,313 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpm/internal/fixed"
+)
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024, 2048} {
+		if !IsPowerOfTwo(n) {
+			t.Errorf("%d is a power of two", n)
+		}
+	}
+	for _, n := range []int{0, -2, 3, 6, 1000} {
+		if IsPowerOfTwo(n) {
+			t.Errorf("%d is not a power of two", n)
+		}
+	}
+}
+
+func TestForwardImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("X[%d] = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestForwardSingleTone(t *testing.T) {
+	// A pure tone at bin 3 puts all energy in bin 3.
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		phase := 2 * math.Pi * 3 * float64(i) / float64(n)
+		x[i] = cmplx.Exp(complex(0, phase))
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range x {
+		want := 0.0
+		if k == 3 {
+			want = float64(n)
+		}
+		if cmplx.Abs(v-complex(want, 0)) > 1e-9 {
+			t.Errorf("X[%d] = %v, want %g", k, v, want)
+		}
+	}
+}
+
+func TestForwardRejectsNonPowerOfTwo(t *testing.T) {
+	if err := Forward(make([]complex128, 12)); err == nil {
+		t.Error("length 12 must be rejected")
+	}
+	if err := Inverse(make([]complex128, 0)); err == nil {
+		t.Error("empty input must be rejected")
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 256
+	orig := make([]complex128, n)
+	for i := range orig {
+		orig[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	x := append([]complex128(nil), orig...)
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inverse(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Σ|x|² = (1/N)·Σ|X|² for the unnormalized forward transform.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 128
+		x := make([]complex128, n)
+		timeEnergy := 0.0
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		if err := Forward(x); err != nil {
+			return false
+		}
+		freqEnergy := 0.0
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(freqEnergy/float64(n)-timeEnergy) < 1e-6*timeEnergy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwiddleTableValidation(t *testing.T) {
+	if _, err := NewTwiddleTable(0); err == nil {
+		t.Error("size 0 must be rejected")
+	}
+	if _, err := NewTwiddleTable(3); err == nil {
+		t.Error("size 3 must be rejected")
+	}
+	if _, err := NewTwiddleTable(1); err == nil {
+		t.Error("size 1 must be rejected")
+	}
+	tbl, err := NewTwiddleTable(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Size() != 16 {
+		t.Errorf("Size = %d", tbl.Size())
+	}
+}
+
+func TestForwardFixedSizeMismatch(t *testing.T) {
+	tbl, err := NewTwiddleTable(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.ForwardFixed(make([]fixed.Complex, 8)); err == nil {
+		t.Error("size mismatch must be rejected")
+	}
+}
+
+func TestForwardFixedImpulse(t *testing.T) {
+	// Impulse of amplitude 0.5: fixed FFT computes DFT/N, so every
+	// bin should be 0.5/N.
+	n := 16
+	tbl, err := NewTwiddleTable(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]fixed.Complex, n)
+	x[0] = fixed.CFromFloat(0.5)
+	if err := tbl.ForwardFixed(x); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 / float64(n)
+	for k, v := range x {
+		if math.Abs(real(v.Float())-want) > 2e-3 || math.Abs(imag(v.Float())) > 2e-3 {
+			t.Errorf("X[%d] = %v, want %g", k, v.Float(), want)
+		}
+	}
+}
+
+func TestForwardFixedMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 512
+	input := make([]complex128, n)
+	for i := range input {
+		// Keep amplitudes modest so quantization dominates, not
+		// saturation.
+		input[i] = complex(0.4*rng.NormFloat64()/3, 0.4*rng.NormFloat64()/3)
+	}
+	snr, err := SNR(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Q15 FFT with per-stage scaling typically achieves > 40 dB on
+	// this size; demand a conservative floor.
+	if snr < 30 {
+		t.Errorf("fixed-point SNR = %.1f dB, want > 30 dB", snr)
+	}
+}
+
+func TestSNRPerfectOnZero(t *testing.T) {
+	snr, err := SNR(make([]complex128, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(snr, 1) {
+		t.Errorf("zero input SNR = %g, want +Inf", snr)
+	}
+}
+
+func TestPowerSpectrum(t *testing.T) {
+	n := 16
+	tbl, err := NewTwiddleTable(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tone at bin 2.
+	x := make([]fixed.Complex, n)
+	for i := range x {
+		phase := 2 * math.Pi * 2 * float64(i) / float64(n)
+		x[i] = fixed.CFromFloat(complex(0.5*math.Cos(phase), 0.5*math.Sin(phase)))
+	}
+	if err := tbl.ForwardFixed(x); err != nil {
+		t.Fatal(err)
+	}
+	ps := PowerSpectrum(x)
+	if len(ps) != n/2+1 {
+		t.Fatalf("spectrum bins = %d", len(ps))
+	}
+	// Bin 2 dominates.
+	for k, p := range ps {
+		if k != 2 && p > ps[2]/10 {
+			t.Errorf("bin %d power %g rivals tone bin %g", k, p, ps[2])
+		}
+	}
+}
+
+func TestPowerSpectrumFloat(t *testing.T) {
+	x := []complex128{complex(3, 4), 0, 0, 0}
+	ps := PowerSpectrumFloat(x)
+	if len(ps) != 3 {
+		t.Fatalf("bins = %d", len(ps))
+	}
+	if math.Abs(ps[0]-25) > 1e-12 {
+		t.Errorf("ps[0] = %g", ps[0])
+	}
+}
+
+func TestHannWindow(t *testing.T) {
+	w := Hann(64)
+	if len(w) != 64 {
+		t.Fatalf("window length %d", len(w))
+	}
+	if w[0].Float() > 1e-3 {
+		t.Errorf("Hann[0] = %g, want 0", w[0].Float())
+	}
+	if math.Abs(w[32].Float()-1) > 1e-3 {
+		t.Errorf("Hann[N/2] = %g, want 1", w[32].Float())
+	}
+	// Symmetry.
+	for i := 1; i < 32; i++ {
+		if math.Abs(w[i].Float()-w[64-i].Float()) > 1e-3 {
+			t.Errorf("Hann not symmetric at %d", i)
+		}
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	x := make([]fixed.Complex, 4)
+	for i := range x {
+		x[i] = fixed.CFromFloat(0.5)
+	}
+	w := []fixed.Q15{fixed.FromFloat(0), fixed.FromFloat(0.5), fixed.FromFloat(0.999), fixed.FromFloat(0.25)}
+	if err := ApplyWindow(x, w); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(x[0].Float())) > 1e-4 {
+		t.Errorf("windowed[0] = %v", x[0].Float())
+	}
+	if math.Abs(real(x[1].Float())-0.25) > 1e-3 {
+		t.Errorf("windowed[1] = %v", x[1].Float())
+	}
+	if err := ApplyWindow(x, w[:2]); err == nil {
+		t.Error("length mismatch must be rejected")
+	}
+}
+
+func TestCycleModelCalibration(t *testing.T) {
+	// The calibration point must reproduce exactly: 2K FFT at 20 MHz
+	// takes 4.8 s.
+	sec, err := Seconds(2048, 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sec-4.8) > 1e-9 {
+		t.Errorf("2K FFT at 20 MHz = %g s, want 4.8", sec)
+	}
+	// At 80 MHz: a quarter of the time.
+	sec, err = Seconds(2048, 80e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sec-1.2) > 1e-9 {
+		t.Errorf("2K FFT at 80 MHz = %g s, want 1.2", sec)
+	}
+}
+
+func TestCycleModelScaling(t *testing.T) {
+	c1, err := Cycles(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Cycles(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N log N scaling: 2048·11 / (1024·10) = 2.2.
+	if math.Abs(c2/c1-2.2) > 1e-9 {
+		t.Errorf("cycle ratio = %g, want 2.2", c2/c1)
+	}
+	if _, err := Cycles(1000); err == nil {
+		t.Error("non-power-of-two must be rejected")
+	}
+	if _, err := Seconds(1024, 0); err == nil {
+		t.Error("zero clock must be rejected")
+	}
+}

@@ -1,0 +1,166 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+
+	"dpm/internal/fixed"
+)
+
+// Real-input FFT: FORTE's ADC delivers real samples, and a real
+// N-point transform can ride an N/2-point complex FFT plus an
+// untangling pass — half the butterflies of the complex path the
+// paper's implementation uses. This file provides the standard
+// pack/untangle construction in both float (reference) and Q15
+// forms.
+
+// RealTransformer computes N-point real-input transforms via an
+// N/2-point complex FFT. It owns the two twiddle sets it needs.
+type RealTransformer struct {
+	n       int
+	half    *TwiddleTable   // N/2-point complex transform
+	unt     []fixed.Complex // untangle twiddles e^{-2πik/N}, k < N/4+1
+	scratch []fixed.Complex
+}
+
+// NewRealTransformer builds a transformer for real inputs of length
+// n (a power of two ≥ 4).
+func NewRealTransformer(n int) (*RealTransformer, error) {
+	if !IsPowerOfTwo(n) || n < 4 {
+		return nil, fmt.Errorf("fft: invalid real transform size %d", n)
+	}
+	half, err := NewTwiddleTable(n / 2)
+	if err != nil {
+		return nil, err
+	}
+	unt := make([]fixed.Complex, n/4+1)
+	for k := range unt {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		unt[k] = fixed.CFromFloat(complex(math.Cos(angle), math.Sin(angle)))
+	}
+	return &RealTransformer{
+		n:       n,
+		half:    half,
+		unt:     unt,
+		scratch: make([]fixed.Complex, n/2),
+	}, nil
+}
+
+// Size returns the real input length.
+func (r *RealTransformer) Size() int { return r.n }
+
+// ForwardRealFloat is the float64 reference: the DFT of a real
+// sequence, returning the n/2+1 non-redundant bins.
+func ForwardRealFloat(x []float64) ([]complex128, error) {
+	n := len(x)
+	if !IsPowerOfTwo(n) || n < 4 {
+		return nil, fmt.Errorf("fft: invalid real input length %d", n)
+	}
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	if err := Forward(buf); err != nil {
+		return nil, err
+	}
+	return buf[:n/2+1], nil
+}
+
+// ForwardReal computes the fixed-point transform of a real Q15
+// sequence, returning the n/2+1 non-redundant bins. Like
+// ForwardFixed it carries the 1/N normalization (each of the
+// log2(N/2) complex stages halves, plus one final halving in the
+// untangle), so outputs are DFT(x)/N.
+func (r *RealTransformer) ForwardReal(x []fixed.Q15) ([]fixed.Complex, error) {
+	if len(x) != r.n {
+		return nil, fmt.Errorf("fft: input length %d, want %d", len(x), r.n)
+	}
+	half := r.n / 2
+	// Pack even samples into the real parts, odd into the imaginary.
+	z := r.scratch
+	for i := 0; i < half; i++ {
+		z[i] = fixed.Complex{Re: x[2*i], Im: x[2*i+1]}
+	}
+	if err := r.half.ForwardFixed(z); err != nil {
+		return nil, err
+	}
+	// Untangle: for k = 0..half/2,
+	//   E[k] = (Z[k] + conj(Z[half−k]))/2       (even samples' DFT)
+	//   O[k] = −i·(Z[k] − conj(Z[half−k]))/2    (odd samples' DFT)
+	//   X[k] = E[k] + W_N^k · O[k]
+	//   X[half−k] = conj(E[k]) − conj(W_N^k·O[k]) ... realized via
+	//   symmetry below.
+	// Halve before every add so no intermediate can saturate: the
+	// complex stage left |z| ≤ 1, and each add below combines two
+	// pre-halved operands. The final bins therefore carry X[k]/N.
+	out := make([]fixed.Complex, half+1)
+	for k := 0; k <= half/2; k++ {
+		zk := fixed.CHalf(z[k])
+		zm := z[(half-k)%half]
+		zmConj := fixed.CHalf(fixed.Complex{Re: zm.Re, Im: fixed.Neg(zm.Im)})
+
+		e := fixed.CAdd(zk, zmConj) // E[k]/half
+		d := fixed.CSub(zk, zmConj)
+		// O[k]/half = −i·d = (d.Im, −d.Re)
+		o := fixed.Complex{Re: d.Im, Im: fixed.Neg(d.Re)}
+		wo := fixed.CMul(r.unt[k], o)
+
+		out[k] = fixed.CAdd(fixed.CHalf(e), fixed.CHalf(wo)) // X[k]/N
+		// X[half−k] = conj(E[k] − W·O[k]) by Hermitian symmetry of
+		// the real input.
+		tail := fixed.CSub(fixed.CHalf(e), fixed.CHalf(wo))
+		out[half-k] = fixed.Complex{Re: tail.Re, Im: fixed.Neg(tail.Im)}
+	}
+	// Bin half gets its imaginary part forced to the symmetric value
+	// (exactly zero in exact arithmetic).
+	out[half].Im = fixed.Neg(out[half].Im)
+	return out, nil
+}
+
+// RealSNR measures the fixed-point real transform against the float
+// reference in dB.
+func RealSNR(x []float64) (float64, error) {
+	n := len(x)
+	tr, err := NewRealTransformer(n)
+	if err != nil {
+		return 0, err
+	}
+	ref, err := ForwardRealFloat(x)
+	if err != nil {
+		return 0, err
+	}
+	fx := make([]fixed.Q15, n)
+	for i, v := range x {
+		fx[i] = fixed.FromFloat(v)
+	}
+	got, err := tr.ForwardReal(fx)
+	if err != nil {
+		return 0, err
+	}
+	var sig, noise float64
+	for k := range got {
+		want := ref[k] / complex(float64(n), 0)
+		d := got[k].Float() - want
+		sig += real(want)*real(want) + imag(want)*imag(want)
+		noise += real(d)*real(d) + imag(d)*imag(d)
+	}
+	if noise == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(sig/noise), nil
+}
+
+// realCycleFactor is the compute saving of the real path: an N-point
+// real transform costs about an N/2-point complex transform plus an
+// O(N) untangle, ≈ 55% of the complex N-point cost at FORTE sizes.
+const realCycleFactor = 0.55
+
+// RealSeconds models the runtime of an n-point real-input FFT on the
+// PIM at clock f, relative to the complex-path calibration.
+func RealSeconds(n int, f float64) (float64, error) {
+	sec, err := Seconds(n, f)
+	if err != nil {
+		return 0, err
+	}
+	return sec * realCycleFactor, nil
+}

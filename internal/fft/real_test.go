@@ -1,0 +1,147 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"dpm/internal/fixed"
+)
+
+func TestNewRealTransformerValidation(t *testing.T) {
+	for _, n := range []int{0, 2, 3, 100} {
+		if _, err := NewRealTransformer(n); err == nil {
+			t.Errorf("size %d must be rejected", n)
+		}
+	}
+	tr, err := NewRealTransformer(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 2048 {
+		t.Errorf("Size = %d", tr.Size())
+	}
+}
+
+func TestForwardRealFloatTone(t *testing.T) {
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * 5 * float64(i) / float64(n))
+	}
+	bins, err := ForwardRealFloat(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != n/2+1 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	// A real cosine puts n/2 in bin 5.
+	if cmplx.Abs(bins[5]-complex(float64(n)/2, 0)) > 1e-9 {
+		t.Errorf("bin 5 = %v", bins[5])
+	}
+	if _, err := ForwardRealFloat(make([]float64, 3)); err == nil {
+		t.Error("bad length must be rejected")
+	}
+}
+
+func TestForwardRealMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 512
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.4 * rng.NormFloat64() / 3
+	}
+	tr, err := NewRealTransformer(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := make([]fixed.Q15, n)
+	for i, v := range x {
+		fx[i] = fixed.FromFloat(v)
+	}
+	got, err := tr.ForwardReal(fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ForwardRealFloat(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("bins %d vs %d", len(got), len(ref))
+	}
+	for k := range got {
+		want := ref[k] / complex(float64(n), 0)
+		if cmplx.Abs(got[k].Float()-want) > 3e-3 {
+			t.Fatalf("bin %d: %v vs %v", k, got[k].Float(), want)
+		}
+	}
+}
+
+func TestForwardRealSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, 2048)
+	for i := range x {
+		x[i] = 0.1 * rng.NormFloat64()
+	}
+	snr, err := RealSNR(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr < 30 {
+		t.Errorf("real-path SNR = %.1f dB, want > 30", snr)
+	}
+}
+
+func TestForwardRealLengthMismatch(t *testing.T) {
+	tr, err := NewRealTransformer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ForwardReal(make([]fixed.Q15, 32)); err == nil {
+		t.Error("length mismatch must be rejected")
+	}
+}
+
+func TestForwardRealHermitianEndpoints(t *testing.T) {
+	// Bins 0 and N/2 of a real transform are purely real.
+	rng := rand.New(rand.NewSource(5))
+	n := 128
+	tr, err := NewRealTransformer(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := make([]fixed.Q15, n)
+	for i := range fx {
+		fx[i] = fixed.FromFloat(0.2 * rng.NormFloat64())
+	}
+	got, err := tr.ForwardReal(fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(imag(got[0].Float())) > 2e-3 {
+		t.Errorf("DC bin imaginary: %v", got[0].Float())
+	}
+	if math.Abs(imag(got[n/2].Float())) > 2e-3 {
+		t.Errorf("Nyquist bin imaginary: %v", got[n/2].Float())
+	}
+}
+
+func TestRealSecondsFaster(t *testing.T) {
+	cSec, err := Seconds(2048, 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSec, err := RealSeconds(2048, 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSec >= cSec {
+		t.Errorf("real path %g s not faster than complex %g s", rSec, cSec)
+	}
+	if _, err := RealSeconds(1000, 20e6); err == nil {
+		t.Error("bad size must propagate")
+	}
+}

@@ -1,0 +1,70 @@
+package fft
+
+import (
+	"fmt"
+
+	"dpm/internal/fixed"
+)
+
+// Short-time Fourier transform: the spectrogram view the FORTE
+// follow-on classification system ([19] in the paper) works from.
+// Frames of length frameLen advance by hop samples; each frame is
+// Hann-windowed and transformed with the fixed-point FFT.
+
+// STFT computes the power spectrogram of a Q15 complex capture.
+// It returns one row per frame, each holding frameLen/2+1 power
+// bins.
+func STFT(x []fixed.Complex, frameLen, hop int) ([][]float64, error) {
+	if !IsPowerOfTwo(frameLen) || frameLen < 4 {
+		return nil, fmt.Errorf("fft: invalid frame length %d", frameLen)
+	}
+	if hop <= 0 {
+		return nil, fmt.Errorf("fft: non-positive hop %d", hop)
+	}
+	if len(x) < frameLen {
+		return nil, fmt.Errorf("fft: capture of %d samples shorter than frame %d", len(x), frameLen)
+	}
+	table, err := NewTwiddleTable(frameLen)
+	if err != nil {
+		return nil, err
+	}
+	window := Hann(frameLen)
+	frame := make([]fixed.Complex, frameLen)
+
+	var rows [][]float64
+	for start := 0; start+frameLen <= len(x); start += hop {
+		copy(frame, x[start:start+frameLen])
+		if err := ApplyWindow(frame, window); err != nil {
+			return nil, err
+		}
+		if err := table.ForwardFixed(frame); err != nil {
+			return nil, err
+		}
+		rows = append(rows, PowerSpectrum(frame))
+	}
+	return rows, nil
+}
+
+// SpectralCentroid returns the power-weighted mean bin of one
+// spectrum row, or -1 when the row carries no energy.
+func SpectralCentroid(row []float64) float64 {
+	var num, den float64
+	for k, p := range row {
+		num += float64(k) * p
+		den += p
+	}
+	if den == 0 {
+		return -1
+	}
+	return num / den
+}
+
+// CentroidTrack returns the spectral centroid of every spectrogram
+// frame — the sweep trajectory a dispersed transient draws.
+func CentroidTrack(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, row := range rows {
+		out[i] = SpectralCentroid(row)
+	}
+	return out
+}

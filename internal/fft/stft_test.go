@@ -1,0 +1,76 @@
+package fft
+
+import (
+	"math"
+	"testing"
+
+	"dpm/internal/fixed"
+)
+
+func TestSTFTValidation(t *testing.T) {
+	x := make([]fixed.Complex, 512)
+	if _, err := STFT(x, 100, 64); err == nil {
+		t.Error("non-power-of-two frame must be rejected")
+	}
+	if _, err := STFT(x, 256, 0); err == nil {
+		t.Error("zero hop must be rejected")
+	}
+	if _, err := STFT(x[:100], 256, 64); err == nil {
+		t.Error("capture shorter than a frame must be rejected")
+	}
+}
+
+func TestSTFTFrameCount(t *testing.T) {
+	x := make([]fixed.Complex, 1024)
+	rows, err := STFT(x, 256, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frames start at 0, 128, ..., 768: seven frames.
+	if len(rows) != 7 {
+		t.Fatalf("frames = %d, want 7", len(rows))
+	}
+	if len(rows[0]) != 129 {
+		t.Errorf("bins = %d, want 129", len(rows[0]))
+	}
+}
+
+func TestSTFTLocatesTone(t *testing.T) {
+	// A tone at normalized frequency 0.25 lands in bin frameLen/4 of
+	// every frame.
+	n, frame := 2048, 256
+	x := make([]fixed.Complex, n)
+	for i := range x {
+		phase := 2 * math.Pi * 0.25 * float64(i)
+		x[i] = fixed.CFromFloat(complex(0.4*math.Cos(phase), 0.4*math.Sin(phase)))
+	}
+	rows, err := STFT(x, frame, frame/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, row := range rows {
+		peak := 0
+		for k, p := range row {
+			if p > row[peak] {
+				peak = k
+			}
+		}
+		if peak != frame/4 {
+			t.Fatalf("frame %d: peak bin %d, want %d", fi, peak, frame/4)
+		}
+	}
+}
+
+func TestSpectralCentroid(t *testing.T) {
+	row := []float64{0, 0, 1, 0, 0}
+	if got := SpectralCentroid(row); got != 2 {
+		t.Errorf("centroid = %g, want 2", got)
+	}
+	if got := SpectralCentroid([]float64{0, 0}); got != -1 {
+		t.Errorf("empty centroid = %g, want -1", got)
+	}
+	track := CentroidTrack([][]float64{row, {1, 0, 0}})
+	if track[0] != 2 || track[1] != 0 {
+		t.Errorf("track = %v", track)
+	}
+}

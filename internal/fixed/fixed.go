@@ -1,0 +1,142 @@
+// Package fixed implements Q15 fixed-point arithmetic, the format
+// the paper's FORTE signal-processing kernel uses: the M32R/D PIM
+// processors have no floating-point unit, so the authors "implemented
+// fixed-point FFT operations" (§5). Q15 stores a value in
+// [−1, 1 − 2⁻¹⁵] as a signed 16-bit integer with 15 fractional bits.
+//
+// All operations saturate rather than wrap: overflow in a signal
+// chain must clip, not alias.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Q15 is a signed fixed-point number with 15 fractional bits.
+type Q15 int16
+
+// Limits of the Q15 range.
+const (
+	// MaxQ15 is the largest representable value, 1 − 2⁻¹⁵.
+	MaxQ15 Q15 = math.MaxInt16
+	// MinQ15 is the smallest representable value, −1.
+	MinQ15 Q15 = math.MinInt16
+	// scale is the value of one integer step.
+	scale = 1.0 / 32768.0
+)
+
+// FromFloat converts a float to Q15, rounding to nearest and
+// saturating outside [−1, 1−2⁻¹⁵].
+func FromFloat(f float64) Q15 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	v := math.Round(f * 32768.0)
+	if v > float64(MaxQ15) {
+		return MaxQ15
+	}
+	if v < float64(MinQ15) {
+		return MinQ15
+	}
+	return Q15(v)
+}
+
+// Float converts back to float64.
+func (q Q15) Float() float64 { return float64(q) * scale }
+
+// String renders the value as its float approximation.
+func (q Q15) String() string { return fmt.Sprintf("%.6f", q.Float()) }
+
+// sat clamps a 32-bit intermediate into the Q15 range.
+func sat(v int32) Q15 {
+	if v > int32(MaxQ15) {
+		return MaxQ15
+	}
+	if v < int32(MinQ15) {
+		return MinQ15
+	}
+	return Q15(v)
+}
+
+// Add returns a + b with saturation.
+func Add(a, b Q15) Q15 { return sat(int32(a) + int32(b)) }
+
+// Sub returns a − b with saturation.
+func Sub(a, b Q15) Q15 { return sat(int32(a) - int32(b)) }
+
+// Mul returns a × b with convergent Q15 rounding and saturation.
+// The only overflow case is MinQ15 × MinQ15 (= +1), which saturates
+// to MaxQ15.
+func Mul(a, b Q15) Q15 {
+	p := int32(a) * int32(b)
+	// Round to nearest: add half an LSB before the shift.
+	return sat((p + (1 << 14)) >> 15)
+}
+
+// Neg returns −a with saturation (−MinQ15 saturates to MaxQ15).
+func Neg(a Q15) Q15 { return sat(-int32(a)) }
+
+// Abs returns |a| with saturation.
+func Abs(a Q15) Q15 {
+	if a < 0 {
+		return Neg(a)
+	}
+	return a
+}
+
+// Half returns a/2, rounding toward negative infinity (an arithmetic
+// shift), the scaling step the FFT applies per stage to prevent
+// overflow.
+func Half(a Q15) Q15 { return a >> 1 }
+
+// Complex is a Q15 complex number.
+type Complex struct {
+	// Re and Im are the real and imaginary parts.
+	Re, Im Q15
+}
+
+// CFromFloat converts a complex128 to a Q15 complex with saturation.
+func CFromFloat(c complex128) Complex {
+	return Complex{Re: FromFloat(real(c)), Im: FromFloat(imag(c))}
+}
+
+// Float converts to complex128.
+func (c Complex) Float() complex128 {
+	return complex(c.Re.Float(), c.Im.Float())
+}
+
+// CAdd returns a + b component-wise with saturation.
+func CAdd(a, b Complex) Complex {
+	return Complex{Re: Add(a.Re, b.Re), Im: Add(a.Im, b.Im)}
+}
+
+// CSub returns a − b component-wise with saturation.
+func CSub(a, b Complex) Complex {
+	return Complex{Re: Sub(a.Re, b.Re), Im: Sub(a.Im, b.Im)}
+}
+
+// CMul returns the complex product a·b in Q15. The cross terms are
+// accumulated in 32 bits before a single rounding, which keeps one
+// more bit of precision than rounding each partial product.
+func CMul(a, b Complex) Complex {
+	ar, ai := int32(a.Re), int32(a.Im)
+	br, bi := int32(b.Re), int32(b.Im)
+	re := ar*br - ai*bi
+	im := ar*bi + ai*br
+	return Complex{
+		Re: sat((re + (1 << 14)) >> 15),
+		Im: sat((im + (1 << 14)) >> 15),
+	}
+}
+
+// CHalf scales both components by 1/2.
+func CHalf(a Complex) Complex { return Complex{Re: Half(a.Re), Im: Half(a.Im)} }
+
+// MagSq returns |a|² as a float64 (the magnitude square exceeds the
+// Q15 range for large inputs, so it is returned in floating point;
+// the detector thresholds are floats anyway).
+func (c Complex) MagSq() float64 {
+	re, im := c.Re.Float(), c.Im.Float()
+	return re*re + im*im
+}

@@ -1,0 +1,185 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	cases := []float64{0, 0.5, -0.5, 0.25, -1, 0.999, -0.999}
+	for _, f := range cases {
+		q := FromFloat(f)
+		if math.Abs(q.Float()-f) > 1.0/32768 {
+			t.Errorf("FromFloat(%g).Float() = %g", f, q.Float())
+		}
+	}
+}
+
+func TestFromFloatSaturates(t *testing.T) {
+	if FromFloat(2) != MaxQ15 {
+		t.Error("2 must saturate to MaxQ15")
+	}
+	if FromFloat(-2) != MinQ15 {
+		t.Error("-2 must saturate to MinQ15")
+	}
+	if FromFloat(1.0) != MaxQ15 {
+		t.Error("1.0 must saturate to MaxQ15 (just out of range)")
+	}
+	if FromFloat(-1.0) != MinQ15 {
+		t.Error("-1.0 is exactly MinQ15")
+	}
+	if FromFloat(math.NaN()) != 0 {
+		t.Error("NaN must map to 0")
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	if Add(MaxQ15, 1) != MaxQ15 {
+		t.Error("positive overflow must saturate")
+	}
+	if Add(MinQ15, -1) != MinQ15 {
+		t.Error("negative overflow must saturate")
+	}
+	if Add(100, 200) != 300 {
+		t.Error("plain addition broken")
+	}
+}
+
+func TestSubSaturates(t *testing.T) {
+	if Sub(MinQ15, 1) != MinQ15 {
+		t.Error("negative overflow must saturate")
+	}
+	if Sub(MaxQ15, -1) != MaxQ15 {
+		t.Error("positive overflow must saturate")
+	}
+	if Sub(300, 200) != 100 {
+		t.Error("plain subtraction broken")
+	}
+}
+
+func TestMul(t *testing.T) {
+	half := FromFloat(0.5)
+	quarter := Mul(half, half)
+	if math.Abs(quarter.Float()-0.25) > 1e-4 {
+		t.Errorf("0.5 × 0.5 = %g", quarter.Float())
+	}
+	// The classic corner: (−1) × (−1) must saturate to +1−ε.
+	if Mul(MinQ15, MinQ15) != MaxQ15 {
+		t.Errorf("MinQ15² = %v, want MaxQ15", Mul(MinQ15, MinQ15))
+	}
+	if Mul(0, MaxQ15) != 0 {
+		t.Error("0 × x must be 0")
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	if Neg(100) != -100 {
+		t.Error("Neg broken")
+	}
+	if Neg(MinQ15) != MaxQ15 {
+		t.Error("−MinQ15 must saturate")
+	}
+	if Abs(-100) != 100 || Abs(100) != 100 {
+		t.Error("Abs broken")
+	}
+	if Abs(MinQ15) != MaxQ15 {
+		t.Error("|MinQ15| must saturate")
+	}
+}
+
+func TestHalf(t *testing.T) {
+	if Half(100) != 50 {
+		t.Error("Half broken")
+	}
+	if Half(-101) != -51 { // arithmetic shift rounds toward −inf
+		t.Errorf("Half(-101) = %d", Half(-101))
+	}
+}
+
+func TestString(t *testing.T) {
+	if FromFloat(0.5).String() != "0.500000" {
+		t.Errorf("String = %q", FromFloat(0.5).String())
+	}
+}
+
+func TestComplexOps(t *testing.T) {
+	a := CFromFloat(complex(0.5, 0.25))
+	b := CFromFloat(complex(0.25, -0.5))
+	sum := CAdd(a, b)
+	if math.Abs(real(sum.Float())-0.75) > 1e-4 || math.Abs(imag(sum.Float())+0.25) > 1e-4 {
+		t.Errorf("CAdd = %v", sum.Float())
+	}
+	diff := CSub(a, b)
+	if math.Abs(real(diff.Float())-0.25) > 1e-4 || math.Abs(imag(diff.Float())-0.75) > 1e-4 {
+		t.Errorf("CSub = %v", diff.Float())
+	}
+	prod := CMul(a, b)
+	want := complex(0.5, 0.25) * complex(0.25, -0.5)
+	if math.Abs(real(prod.Float())-real(want)) > 1e-3 || math.Abs(imag(prod.Float())-imag(want)) > 1e-3 {
+		t.Errorf("CMul = %v, want %v", prod.Float(), want)
+	}
+}
+
+func TestCHalf(t *testing.T) {
+	c := Complex{Re: 100, Im: -100}
+	h := CHalf(c)
+	if h.Re != 50 || h.Im != -50 {
+		t.Errorf("CHalf = %+v", h)
+	}
+}
+
+func TestMagSq(t *testing.T) {
+	c := CFromFloat(complex(0.6, 0.8))
+	if math.Abs(c.MagSq()-1.0) > 1e-3 {
+		t.Errorf("MagSq = %g, want 1", c.MagSq())
+	}
+}
+
+// Property: Add never leaves the Q15 range and matches saturating
+// float addition.
+func TestAddProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		got := Add(Q15(a), Q15(b)).Float()
+		want := math.Min(math.Max(Q15(a).Float()+Q15(b).Float(), -1), 1-1.0/32768)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mul result is within half an LSB of the real product
+// (when in range).
+func TestMulProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		got := Mul(Q15(a), Q15(b)).Float()
+		want := Q15(a).Float() * Q15(b).Float()
+		if want >= 1-1.0/32768 {
+			return got == MaxQ15.Float()
+		}
+		return math.Abs(got-want) <= 1.0/32768
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CMul approximates complex multiplication to a few LSBs.
+func TestCMulProperty(t *testing.T) {
+	f := func(ar, ai, br, bi int16) bool {
+		a := Complex{Q15(ar), Q15(ai)}
+		b := Complex{Q15(br), Q15(bi)}
+		got := CMul(a, b).Float()
+		want := a.Float() * b.Float()
+		// Allow saturation cases through.
+		if real(want) >= 1 || real(want) < -1 || imag(want) >= 1 || imag(want) < -1 {
+			return true
+		}
+		return math.Abs(real(got)-real(want)) <= 2.0/32768 &&
+			math.Abs(imag(got)-imag(want)) <= 2.0/32768
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzArithmetic drives the saturating Q15 operations with arbitrary
+// operand pairs: results must stay in range and within an LSB of the
+// clamped real-valued result.
+func FuzzArithmetic(f *testing.F) {
+	f.Add(int16(0), int16(0))
+	f.Add(int16(math.MaxInt16), int16(math.MaxInt16))
+	f.Add(int16(math.MinInt16), int16(math.MinInt16))
+	f.Add(int16(1234), int16(-4321))
+	f.Fuzz(func(t *testing.T, a16, b16 int16) {
+		a, b := Q15(a16), Q15(b16)
+		clamp := func(v float64) float64 {
+			return math.Min(math.Max(v, MinQ15.Float()), MaxQ15.Float())
+		}
+		const lsb = 1.0 / 32768
+
+		if got, want := Add(a, b).Float(), clamp(a.Float()+b.Float()); math.Abs(got-want) > lsb {
+			t.Fatalf("Add(%v, %v) = %g, want %g", a, b, got, want)
+		}
+		if got, want := Sub(a, b).Float(), clamp(a.Float()-b.Float()); math.Abs(got-want) > lsb {
+			t.Fatalf("Sub(%v, %v) = %g, want %g", a, b, got, want)
+		}
+		if got, want := Mul(a, b).Float(), clamp(a.Float()*b.Float()); math.Abs(got-want) > lsb {
+			t.Fatalf("Mul(%v, %v) = %g, want %g", a, b, got, want)
+		}
+		if got := Abs(a); got < 0 {
+			t.Fatalf("Abs(%v) = %v negative", a, got)
+		}
+		if got := Neg(a); got.Float() > 1 || got.Float() < -1 {
+			t.Fatalf("Neg(%v) = %v out of range", a, got)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package forte
+
+import (
+	"fmt"
+	"math"
+
+	"dpm/internal/fft"
+	"dpm/internal/fixed"
+)
+
+// Classification stage: once a capture is *detected*, the FORTE
+// follow-on system ([19] in the paper) characterizes the event. The
+// single physical parameter a dispersed transient exposes in one
+// capture is its sweep rate — ionospheric dispersion makes high
+// frequencies arrive first, so the spectrogram's spectral centroid
+// drifts downward over the capture. The classifier fits a line to
+// the centroid track and reports its slope.
+
+// Classification is the estimated event character.
+type Classification struct {
+	// SweepBinsPerFrame is the fitted centroid slope: negative for a
+	// physically dispersed (downward) sweep, near zero for carriers
+	// and noise.
+	SweepBinsPerFrame float64
+	// Dispersed reports whether the sweep is decisively downward.
+	Dispersed bool
+	// Frames is the number of spectrogram frames the fit used.
+	Frames int
+}
+
+// ClassifierConfig tunes the classification stage.
+type ClassifierConfig struct {
+	// FrameLen is the STFT frame length (power of two); zero means
+	// 256.
+	FrameLen int
+	// Hop is the frame advance; zero means FrameLen/2.
+	Hop int
+	// SweepThreshold is the |slope| in bins/frame above which the
+	// event counts as dispersed; zero means 0.5.
+	SweepThreshold float64
+}
+
+func (c *ClassifierConfig) defaults() error {
+	if c.FrameLen == 0 {
+		c.FrameLen = 256
+	}
+	if !fft.IsPowerOfTwo(c.FrameLen) || c.FrameLen < 8 {
+		return fmt.Errorf("forte: invalid classifier frame length %d", c.FrameLen)
+	}
+	if c.Hop == 0 {
+		c.Hop = c.FrameLen / 2
+	}
+	if c.Hop <= 0 {
+		return fmt.Errorf("forte: non-positive hop %d", c.Hop)
+	}
+	if c.SweepThreshold == 0 {
+		c.SweepThreshold = 0.5
+	}
+	if c.SweepThreshold < 0 {
+		return fmt.Errorf("forte: negative sweep threshold %g", c.SweepThreshold)
+	}
+	return nil
+}
+
+// Classify estimates the sweep rate of a detected capture.
+func Classify(samples []fixed.Complex, cfg ClassifierConfig) (Classification, error) {
+	if err := cfg.defaults(); err != nil {
+		return Classification{}, err
+	}
+	rows, err := fft.STFT(samples, cfg.FrameLen, cfg.Hop)
+	if err != nil {
+		return Classification{}, err
+	}
+	track := fft.CentroidTrack(rows)
+
+	// Only frames that actually carry the event vote: the transient
+	// sits under a finite envelope, and centroids of noise-only
+	// frames would drown the sweep.
+	energies := make([]float64, len(rows))
+	maxEnergy := 0.0
+	for i, row := range rows {
+		for _, p := range row {
+			energies[i] += p
+		}
+		maxEnergy = math.Max(maxEnergy, energies[i])
+	}
+	floor := 0.1 * maxEnergy
+
+	// Least-squares line through the energetic centroid points.
+	var n, sumX, sumY, sumXY, sumXX float64
+	for i, c := range track {
+		if c < 0 || energies[i] < floor {
+			continue // empty or noise-only frame
+		}
+		x := float64(i)
+		n++
+		sumX += x
+		sumY += c
+		sumXY += x * c
+		sumXX += x * x
+	}
+	out := Classification{Frames: len(rows)}
+	if n < 2 {
+		return out, nil
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return out, nil
+	}
+	slope := (n*sumXY - sumX*sumY) / den
+	out.SweepBinsPerFrame = slope
+	out.Dispersed = math.Abs(slope) >= cfg.SweepThreshold && slope < 0
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package forte
+
+import (
+	"testing"
+
+	"dpm/internal/signal"
+)
+
+func TestClassifyTransientIsDispersed(t *testing.T) {
+	dispersed := 0
+	for seed := int64(0); seed < 8; seed++ {
+		buf, err := signal.Synthesize(signal.Transient, 2048, signal.DefaultConfig(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Classify(buf, ClassifierConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Frames == 0 {
+			t.Fatal("no frames analyzed")
+		}
+		if c.Dispersed {
+			if c.SweepBinsPerFrame >= 0 {
+				t.Errorf("seed %d: dispersed with non-negative slope %g", seed, c.SweepBinsPerFrame)
+			}
+			dispersed++
+		}
+	}
+	if dispersed < 6 {
+		t.Errorf("classified %d/8 transients as dispersed, want ≥ 6", dispersed)
+	}
+}
+
+func TestClassifyCarrierIsNotDispersed(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		buf, err := signal.Synthesize(signal.Carrier, 2048, signal.DefaultConfig(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Classify(buf, ClassifierConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Dispersed {
+			t.Errorf("seed %d: carrier classified as dispersed (slope %g)", seed, c.SweepBinsPerFrame)
+		}
+	}
+}
+
+func TestClassifyConfigValidation(t *testing.T) {
+	buf, err := signal.Synthesize(signal.Transient, 512, signal.DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Classify(buf, ClassifierConfig{FrameLen: 100}); err == nil {
+		t.Error("bad frame length must error")
+	}
+	if _, err := Classify(buf, ClassifierConfig{Hop: -1}); err == nil {
+		t.Error("negative hop must error")
+	}
+	if _, err := Classify(buf, ClassifierConfig{SweepThreshold: -1}); err == nil {
+		t.Error("negative threshold must error")
+	}
+	// Capture shorter than a frame propagates the STFT error.
+	if _, err := Classify(buf[:64], ClassifierConfig{FrameLen: 256}); err == nil {
+		t.Error("short capture must error")
+	}
+}
+
+func TestClassifyDegenerateInput(t *testing.T) {
+	// All-zero capture: no energetic frames → no fit, not dispersed.
+	buf, err := signal.Synthesize(signal.NoiseOnly, 1024, signal.Config{NoiseSigma: 0, TransientAmplitude: 0.1, CarrierAmplitude: 0.1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Classify(buf, ClassifierConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dispersed {
+		t.Error("silence classified as dispersed")
+	}
+}

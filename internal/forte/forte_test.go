@@ -1,0 +1,219 @@
+package forte
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dpm/internal/fixed"
+	"dpm/internal/signal"
+)
+
+func newDetector(t *testing.T, n int) *Detector {
+	t.Helper()
+	d, err := NewDetector(n, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestVerdictString(t *testing.T) {
+	if NoTrigger.String() != "no-trigger" || Rejected.String() != "rejected" || Detected.String() != "detected" {
+		t.Error("verdict names wrong")
+	}
+	if Verdict(9).String() != "Verdict(9)" {
+		t.Error("unknown verdict formatting wrong")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig()
+	cases := []func(*Config){
+		func(c *Config) { c.TriggerLevel = -0.1 },
+		func(c *Config) { c.TriggerLevel = 1.0 },
+		func(c *Config) { c.MinEnergy = -1 },
+		func(c *Config) { c.MinOccupiedBins = 0 },
+		func(c *Config) { c.OccupancyFraction = 0 },
+		func(c *Config) { c.OccupancyFraction = 1 },
+	}
+	for i, mutate := range cases {
+		cfg := good
+		mutate(&cfg)
+		if _, err := NewDetector(256, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := NewDetector(100, good); err == nil {
+		t.Error("non-power-of-two buffer must be rejected")
+	}
+}
+
+func TestDetectsTransient(t *testing.T) {
+	d := newDetector(t, 2048)
+	detected := 0
+	for seed := int64(0); seed < 10; seed++ {
+		buf, err := signal.Synthesize(signal.Transient, 2048, signal.DefaultConfig(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Process(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict == Detected {
+			detected++
+		}
+	}
+	if detected < 9 {
+		t.Errorf("detected %d/10 transients, want ≥ 9", detected)
+	}
+}
+
+func TestIgnoresNoise(t *testing.T) {
+	d := newDetector(t, 2048)
+	for seed := int64(0); seed < 10; seed++ {
+		buf, err := signal.Synthesize(signal.NoiseOnly, 2048, signal.DefaultConfig(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Process(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict == Detected {
+			t.Errorf("seed %d: noise classified as event (%+v)", seed, res)
+		}
+	}
+}
+
+func TestRejectsCarrier(t *testing.T) {
+	d := newDetector(t, 2048)
+	rejected := 0
+	for seed := int64(0); seed < 10; seed++ {
+		buf, err := signal.Synthesize(signal.Carrier, 2048, signal.DefaultConfig(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Process(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != Detected {
+			rejected++
+		}
+		// A carrier should trip the analogue trigger — that is what
+		// makes it an interesting rejection case.
+		if res.Verdict == NoTrigger {
+			t.Errorf("seed %d: carrier did not trigger", seed)
+		}
+	}
+	if rejected < 9 {
+		t.Errorf("rejected %d/10 carriers, want ≥ 9", rejected)
+	}
+}
+
+func TestProcessLengthMismatch(t *testing.T) {
+	d := newDetector(t, 256)
+	if _, err := d.Process(make([]fixed.Complex, 128)); err == nil {
+		t.Error("wrong buffer length must error")
+	}
+}
+
+func TestProcessDoesNotMutateInput(t *testing.T) {
+	d := newDetector(t, 256)
+	buf, err := signal.Synthesize(signal.Transient, 256, signal.DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]fixed.Complex(nil), buf...)
+	if _, err := d.Process(buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if buf[i] != before[i] {
+			t.Fatal("Process mutated its input")
+		}
+	}
+}
+
+func TestTriggered(t *testing.T) {
+	d := newDetector(t, 256)
+	quiet := make([]fixed.Complex, 256)
+	if d.Triggered(quiet) {
+		t.Error("silence must not trigger")
+	}
+	quiet[100] = fixed.CFromFloat(complex(0.5, 0))
+	if !d.Triggered(quiet) {
+		t.Error("a hot sample must trigger")
+	}
+}
+
+func TestNoTriggerSkipsFFT(t *testing.T) {
+	d := newDetector(t, 256)
+	res, err := d.Process(make([]fixed.Complex, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NoTrigger || res.Energy != 0 {
+		t.Errorf("silent buffer result = %+v", res)
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	s.Record(Result{Verdict: Detected})
+	s.Record(Result{Verdict: Rejected})
+	s.Record(Result{Verdict: NoTrigger})
+	if s.Processed != 3 || s.Triggers != 2 || s.Detections != 1 || s.Rejections != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if !strings.Contains(s.String(), "processed 3") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestDetectorAccessors(t *testing.T) {
+	d := newDetector(t, 512)
+	if d.Size() != 512 {
+		t.Errorf("Size = %d", d.Size())
+	}
+	if d.Config().MinOccupiedBins != DefaultConfig().MinOccupiedBins {
+		t.Error("Config accessor wrong")
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	var c Confusion
+	c.Record(true, Detected)   // TP
+	c.Record(true, Rejected)   // FN
+	c.Record(true, NoTrigger)  // FN
+	c.Record(false, Detected)  // FP
+	c.Record(false, Rejected)  // TN
+	c.Record(false, NoTrigger) // TN
+	if c.TruePositive != 1 || c.FalseNegative != 2 || c.FalsePositive != 1 || c.TrueNegative != 2 {
+		t.Errorf("matrix = %+v", c)
+	}
+	if c.Total() != 6 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if got := c.Precision(); got != 0.5 {
+		t.Errorf("Precision = %g", got)
+	}
+	if got := c.Recall(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("Recall = %g", got)
+	}
+	if got := c.Accuracy(); got != 0.5 {
+		t.Errorf("Accuracy = %g", got)
+	}
+	if !strings.Contains(c.String(), "TP 1") {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestConfusionEmptyConventions(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 1 || c.Recall() != 1 || c.Accuracy() != 0 {
+		t.Errorf("empty conventions wrong: %g %g %g", c.Precision(), c.Recall(), c.Accuracy())
+	}
+}

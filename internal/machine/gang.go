@@ -1,0 +1,182 @@
+package machine
+
+import (
+	"dpm/internal/power"
+	"dpm/internal/sim"
+)
+
+// Gang-scheduled execution: the paper's application is ONE parallel
+// program (Figure 2's serial–parallel–serial task graph), not a bag
+// of independent jobs. In gang mode the board runs a single capture
+// at a time across *all* active workers: the serial stages execute on
+// one processor at the common clock f, the parallel middle at the
+// aggregate rate n·f. This realizes Eq. 2/3's Amdahl model inside
+// the discrete-event simulation — halving the clock doubles the
+// serial time, adding workers shrinks only the parallel part.
+//
+// The board must keep gang progress consistent across mode and
+// frequency changes: every worker-state mutation first banks progress
+// at the *old* configuration (gangAdvance), applies the change, and
+// re-projects the completion time (gangReschedule).
+
+// gangState tracks the in-flight capture.
+type gangState struct {
+	task *Task
+	// serialRemaining and parallelRemaining are cycles left in each
+	// phase; the serial prologue+epilogue are merged since only
+	// their sum matters to completion time.
+	serialRemaining   float64
+	parallelRemaining float64
+	lastT             float64
+	completion        sim.Handle
+	queue             []*Task
+}
+
+// gangSplit divides a task's cycles into serial and parallel parts
+// using the configured workload's serial fraction.
+func (b *Board) gangSplit(cycles float64) (serial, parallel float64) {
+	frac := b.cfg.Manager.Params.Workload.SerialFraction()
+	return cycles * frac, cycles * (1 - frac)
+}
+
+// gangRates returns the active workers' aggregate and peak effective
+// cycle-retirement rates (freq·speed): the parallel phase consumes at
+// the sum, the serial phase on the fastest worker. It also returns
+// the active count for busy-time attribution.
+func (b *Board) gangRates() (n int, sumRate, maxRate float64) {
+	for _, p := range b.workers() {
+		if p.mode == power.ModeActive && p.freq > 0 {
+			n++
+			r := p.effectiveRate()
+			sumRate += r
+			if r > maxRate {
+				maxRate = r
+			}
+		}
+	}
+	return n, sumRate, maxRate
+}
+
+// gangAdvance banks progress up to now at the current configuration.
+func (b *Board) gangAdvance(now float64) {
+	g := b.gang
+	if g == nil || g.task == nil {
+		return
+	}
+	elapsed := now - g.lastT
+	g.lastT = now
+	if elapsed <= 0 {
+		return
+	}
+	n, sumRate, maxRate := b.gangRates()
+	if n == 0 || sumRate == 0 {
+		return
+	}
+	// Serial phase first, on the fastest worker.
+	if g.serialRemaining > 0 {
+		consumable := elapsed * maxRate
+		if consumable <= g.serialRemaining {
+			g.serialRemaining -= consumable
+			b.gangChargeBusy(elapsed, 1)
+			return
+		}
+		serialTime := g.serialRemaining / maxRate
+		b.gangChargeBusy(serialTime, 1)
+		elapsed -= serialTime
+		g.serialRemaining = 0
+	}
+	// Parallel phase at the aggregate rate.
+	if g.parallelRemaining > 0 && elapsed > 0 {
+		consumed := elapsed * sumRate
+		if consumed > g.parallelRemaining {
+			consumed = g.parallelRemaining
+			elapsed = consumed / sumRate
+		}
+		g.parallelRemaining -= consumed
+		b.gangChargeBusy(elapsed, n)
+	}
+}
+
+// gangChargeBusy attributes busy time to the first n active workers.
+func (b *Board) gangChargeBusy(seconds float64, n int) {
+	charged := 0
+	for _, p := range b.workers() {
+		if charged == n {
+			return
+		}
+		if p.mode == power.ModeActive && p.freq > 0 {
+			p.busySeconds += seconds
+			charged++
+		}
+	}
+}
+
+// gangReschedule projects the completion time under the current
+// configuration and (re)arms the completion event.
+func (b *Board) gangReschedule() {
+	g := b.gang
+	if g == nil {
+		return
+	}
+	g.completion.Cancel()
+	if g.task == nil {
+		// Pull the next queued capture.
+		if len(g.queue) == 0 {
+			return
+		}
+		g.task = g.queue[0]
+		g.queue = g.queue[1:]
+		serial, parallel := b.gangSplit(g.task.Cycles)
+		g.serialRemaining, g.parallelRemaining = serial, parallel
+		g.lastT = b.engine.Now()
+	}
+	n, sumRate, maxRate := b.gangRates()
+	if n == 0 || sumRate == 0 {
+		return // stalled until workers wake
+	}
+	eta := g.serialRemaining/maxRate + g.parallelRemaining/sumRate
+	g.completion = b.engine.ScheduleAfter(eta, b.gangComplete)
+}
+
+// gangComplete finishes the current capture.
+func (b *Board) gangComplete() {
+	g := b.gang
+	now := b.engine.Now()
+	b.gangAdvance(now)
+	task := g.task
+	if task == nil {
+		return
+	}
+	g.task = nil
+	b.result.TasksCompleted++
+	b.totalLatency += now - task.Arrived
+	// Attribute the completion to the first active worker for the
+	// per-worker counters.
+	for _, p := range b.workers() {
+		if p.mode == power.ModeActive && p.freq > 0 {
+			p.tasksDone++
+			break
+		}
+	}
+	if b.cfg.ExecuteDSP {
+		b.runDSP(task)
+	}
+	b.gangReschedule()
+}
+
+// gangAssign enqueues a capture in gang mode.
+func (b *Board) gangAssign(task *Task) {
+	b.gang.queue = append(b.gang.queue, task)
+	if b.gang.task == nil {
+		b.gangReschedule()
+	}
+}
+
+// gangBacklog counts pending captures including the one in flight.
+func (b *Board) gangBacklog() int {
+	n := len(b.gang.queue)
+	if b.gang.task != nil {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,236 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"dpm/internal/fft"
+	"dpm/internal/trace"
+)
+
+func gangConfig(t *testing.T, s trace.Scenario, periods int) Config {
+	t.Helper()
+	cfg := boardConfig(t, s, periods)
+	cfg.GangScheduled = true
+	return cfg
+}
+
+func TestGangRunCompletes(t *testing.T) {
+	b, err := New(gangConfig(t, trace.ScenarioI(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksCompleted == 0 {
+		t.Fatal("gang mode completed nothing")
+	}
+	if res.Detector.Processed != res.TasksCompleted {
+		t.Errorf("DSP ran %d times for %d completions", res.Detector.Processed, res.TasksCompleted)
+	}
+	if res.BusySeconds <= 0 {
+		t.Error("no busy time attributed")
+	}
+}
+
+func TestGangDeterministic(t *testing.T) {
+	run := func() *Result {
+		b, err := New(gangConfig(t, trace.ScenarioII(), 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TasksCompleted != b.TasksCompleted || a.EnergyUsed != b.EnergyUsed {
+		t.Error("gang mode must be deterministic")
+	}
+}
+
+// The gang model must obey Amdahl: a single capture on a fixed
+// configuration finishes in Ts/f + (Ttot−Ts)/(n·f) modeled seconds.
+func TestGangAmdahlTiming(t *testing.T) {
+	s := trace.ScenarioI()
+	cfg := gangConfig(t, s, 2)
+	cfg.Events = []trace.Event{{Time: 0.1, Seed: 1}}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksCompleted != 1 {
+		t.Fatalf("completed %d, want 1", res.TasksCompleted)
+	}
+	// Reconstruct the expected latency bound: with the best board
+	// configuration (7 workers at 80 MHz) the capture would take
+	// serial/f + parallel/(7f); with the worst running configuration
+	// (1 worker at 20 MHz) it takes cycles/f. The measured latency
+	// must land between those bounds (plus command latency).
+	cycles, err := fft.Cycles(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles /= 0.6 // whole-task cycles, as taskCycles models
+	frac := cfg.Manager.Params.Workload.SerialFraction()
+	fastest := (cycles*frac)/80e6 + (cycles*(1-frac))/(7*80e6)
+	slowest := cycles / 20e6
+	lat := res.MeanLatencySeconds
+	if lat < fastest*0.9 || lat > slowest*1.5 {
+		t.Errorf("latency %g s outside Amdahl bounds [%g, %g]", lat, fastest, slowest)
+	}
+}
+
+// More active workers must not make a lone capture slower.
+func TestGangMoreWorkersNotSlower(t *testing.T) {
+	latencyWith := func(budgetScale float64) float64 {
+		s := trace.ScenarioI()
+		cfg := gangConfig(t, s, 2)
+		cfg.Manager.Charging = s.Charging.Scale(budgetScale)
+		cfg.Manager.EventRate = s.Usage.Scale(budgetScale)
+		cfg.Events = []trace.Event{{Time: 0.1, Seed: 1}}
+		b, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TasksCompleted != 1 {
+			t.Fatalf("completed %d, want 1", res.TasksCompleted)
+		}
+		return res.MeanLatencySeconds
+	}
+	rich := latencyWith(1.0)
+	poor := latencyWith(0.3)
+	if rich > poor*1.1 {
+		t.Errorf("more power made the gang slower: %g s vs %g s", rich, poor)
+	}
+}
+
+func TestGangBatteryStaysInBand(t *testing.T) {
+	s := trace.ScenarioII()
+	b, err := New(gangConfig(t, s, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Records {
+		if r.Charge < s.CapacityMin-1e-9 || r.Charge > s.CapacityMax+1e-9 {
+			t.Errorf("slot %d: charge %g out of band", i, r.Charge)
+		}
+	}
+}
+
+func TestGangBacklogCounted(t *testing.T) {
+	s := trace.ScenarioI()
+	cfg := gangConfig(t, s, 1)
+	var events []trace.Event
+	for i := 0; i < 30; i++ {
+		events = append(events, trace.Event{Time: 0.01 * float64(i), Seed: int64(i)})
+	}
+	cfg.Events = events
+	cfg.BacklogLimit = 4
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventsDropped == 0 {
+		t.Error("gang backlog limit never dropped")
+	}
+}
+
+func TestGangBusyTimeBounded(t *testing.T) {
+	b, err := New(gangConfig(t, trace.ScenarioI(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 2 * trace.Period
+	for _, w := range res.Workers {
+		if w.BusySeconds > horizon+1e-6 {
+			t.Errorf("worker %d busy %g s over a %g s horizon", w.ID, w.BusySeconds, horizon)
+		}
+	}
+	if math.IsNaN(res.BusySeconds) {
+		t.Error("busy seconds NaN")
+	}
+}
+
+func TestHeterogeneousValidation(t *testing.T) {
+	cfg := boardConfig(t, trace.ScenarioI(), 1)
+	cfg.WorkerSpeeds = []float64{1, 2} // wrong length for 7 workers
+	if _, err := New(cfg); err == nil {
+		t.Error("wrong speed vector length must error")
+	}
+	cfg = boardConfig(t, trace.ScenarioI(), 1)
+	cfg.WorkerSpeeds = []float64{1, 1, 1, 1, 1, 1, 0}
+	if _, err := New(cfg); err == nil {
+		t.Error("zero speed must error")
+	}
+	cfg = boardConfig(t, trace.ScenarioI(), 1)
+	cfg.WorkerPowerScale = []float64{1, 1, 1, 1, 1, 1, -1}
+	if _, err := New(cfg); err == nil {
+		t.Error("negative power scale must error")
+	}
+}
+
+func TestHeterogeneousFasterFleetFinishesSooner(t *testing.T) {
+	latency := func(speeds []float64) float64 {
+		cfg := gangConfig(t, trace.ScenarioI(), 2)
+		cfg.ExecuteDSP = false
+		cfg.WorkerSpeeds = speeds
+		cfg.Events = []trace.Event{{Time: 0.1, Seed: 1}}
+		b, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TasksCompleted != 1 {
+			t.Fatalf("completed %d", res.TasksCompleted)
+		}
+		return res.MeanLatencySeconds
+	}
+	uniform := latency(nil)
+	fast := latency([]float64{2, 2, 2, 2, 2, 2, 2})
+	if fast >= uniform {
+		t.Errorf("2× fleet latency %g not below uniform %g", fast, uniform)
+	}
+}
+
+func TestHeterogeneousWakesEffectiveWorkersFirst(t *testing.T) {
+	// Worker 7 (index 6) is 3× faster at the same power: with a small
+	// budget it must be among the first woken.
+	cfg := boardConfig(t, trace.ScenarioI(), 1)
+	cfg.ExecuteDSP = false
+	cfg.WorkerSpeeds = []float64{1, 1, 1, 1, 1, 1, 3}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.workerOrder[0] != 6 {
+		t.Errorf("activation order = %v, want the fast worker first", b.workerOrder)
+	}
+}

@@ -1,0 +1,685 @@
+// Package machine is the discrete-event model of the paper's PAMA
+// board (§5): eight M32R/D Processor-In-Memory chips behind two
+// interconnect FPGAs on a unidirectional ring, a rechargeable
+// battery, and a power-measurement board. Processor 0 is the
+// controller: at every τ boundary it runs the dpm manager, derives
+// the (n, f) command set, and ships mode/frequency commands around
+// the ring; the other processors run the FORTE detection pipeline on
+// arriving RF captures.
+//
+// The model reproduces the board's published behaviors: active/
+// sleep/stand-by modes with their measured powers, the FPGA-mediated
+// frequency change (the processor writes the frequency word, drops
+// to stand-by, and the FPGA wakes it a fixed number of cycles
+// later), and per-hop ring latency for command delivery.
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"dpm/internal/battery"
+	"dpm/internal/dpm"
+	"dpm/internal/fft"
+	"dpm/internal/forte"
+	"dpm/internal/power"
+	"dpm/internal/ring"
+	"dpm/internal/schedule"
+	"dpm/internal/signal"
+	"dpm/internal/sim"
+	"dpm/internal/trace"
+)
+
+// Config assembles a board simulation.
+type Config struct {
+	// Manager configures the power manager (expected schedules,
+	// battery limits, parameter table).
+	Manager dpm.Config
+	// ActualCharging is the power actually supplied per slot; nil
+	// means it matches the expectation.
+	ActualCharging *schedule.Grid
+	// Events is the RF event arrival trace, sorted by time.
+	Events []trace.Event
+	// EventMix gives the probability that an arriving event is a
+	// real transient (the rest split evenly between carriers and
+	// noise triggers). Zero means 0.6.
+	EventMix float64
+	// BufferSamples is the capture length (2048 in the paper).
+	BufferSamples int
+	// Periods is how many charging periods to simulate.
+	Periods int
+	// RingHopSeconds overrides the command latency per ring hop.
+	// Zero uses the modeled PAMA interconnect (package ring): a
+	// two-word command store-and-forwarded hop by hop, with FPGA
+	// forwarding delays where the path crosses one.
+	RingHopSeconds float64
+	// FreqChangeCycles is the FPGA auto-wake delay after a
+	// frequency write (10 cycles on the board).
+	FreqChangeCycles int
+	// ExecuteDSP runs the real fixed-point pipeline on every
+	// completed task (true reproduces detection statistics; false
+	// keeps long benches cheap).
+	ExecuteDSP bool
+	// BacklogLimit caps the total queued tasks (each 2K-sample
+	// capture occupies a slice of the PIMs' 2 MB DRAMs); arrivals
+	// beyond it are dropped and counted. Zero means unlimited.
+	BacklogLimit int
+	// GangScheduled runs each capture as one parallel program across
+	// all active workers (the paper's Figure 2 task graph: serial
+	// stages on one processor, the parallel middle at the aggregate
+	// rate n·f), instead of whole captures on individual workers.
+	GangScheduled bool
+	// IdleSleep parks inactive workers in sleep mode (DRAM alive,
+	// 393 mW) instead of stand-by (6.6 mW). Stand-by loses the
+	// on-chip DRAM, so an in-flight capture resumed after a stand-by
+	// nap pays MemoryReloadCycles; sleep avoids the penalty at a
+	// higher idle draw. The paper's simulation does not use sleep.
+	IdleSleep bool
+	// MemoryReloadCycles is the wake-from-stand-by penalty charged
+	// to an interrupted task (reloading its working set into the
+	// PIM's DRAM). Zero means the default of 524288 cycles — 2 MB
+	// over a 32-bit 20 MHz ring, ≈ 26 ms. Negative disables.
+	MemoryReloadCycles int
+	// RetentionSeconds is how long unrefreshed DRAM cells survive a
+	// stand-by nap: shorter naps (e.g. the FPGA's 10-cycle
+	// frequency-change wake) pay no reload. Zero means 1 ms.
+	RetentionSeconds float64
+	// WorkerSpeeds makes the fleet heterogeneous (the paper's §6
+	// extension): worker i retires work at freq·WorkerSpeeds[i].
+	// Nil means a uniform fleet. Length must equal the worker count
+	// (board processors minus the controller).
+	WorkerSpeeds []float64
+	// WorkerPowerScale scales each worker's active power (process
+	// variation, mixed chip generations). Nil means uniform.
+	WorkerPowerScale []float64
+	// Detector configures the FORTE pipeline; the zero value uses
+	// forte.DefaultConfig.
+	Detector forte.Config
+	// Signal configures the synthetic buffers; the zero value uses
+	// signal.DefaultConfig.
+	Signal signal.Config
+}
+
+// SlotRecord extends the manager's per-slot trace with machine-level
+// detail.
+type SlotRecord struct {
+	// Time is the slot start in seconds.
+	Time float64
+	// Planned is the manager's allocation for the slot in watts.
+	Planned float64
+	// TargetN and TargetF are the commanded configuration.
+	TargetN int
+	TargetF float64
+	// UsedPower is the measured average draw over the slot in
+	// watts.
+	UsedPower float64
+	// SuppliedPower is the charging power during the slot in watts.
+	SuppliedPower float64
+	// Charge is the battery level at the slot's end in joules.
+	Charge float64
+	// Backlog is the number of tasks waiting (including in
+	// progress) at the slot's end.
+	Backlog int
+}
+
+// Result summarizes a board run.
+type Result struct {
+	// Records holds one row per slot.
+	Records []SlotRecord
+	// Battery is the final accounting.
+	Battery battery.Snapshot
+	// Detector aggregates FORTE verdicts (only when ExecuteDSP).
+	Detector forte.Stats
+	// Confusion scores the detector against the synthetic ground
+	// truth (only when ExecuteDSP).
+	Confusion forte.Confusion
+	// TasksCompleted counts finished captures.
+	TasksCompleted int
+	// EventsArrived counts trace events delivered.
+	EventsArrived int
+	// EventsDropped counts arrivals rejected by the backlog limit.
+	EventsDropped int
+	// Workers holds per-worker statistics, by ring position.
+	Workers []WorkerStats
+	// MeanLatencySeconds is the average arrival→completion latency.
+	MeanLatencySeconds float64
+	// EnergyUsed is the board's total measured energy in joules.
+	EnergyUsed float64
+	// Energy splits EnergyUsed by processor mode.
+	Energy EnergyBreakdown
+	// BusySeconds sums worker active-compute time.
+	BusySeconds float64
+}
+
+// WorkerStats summarizes one worker processor's run.
+type WorkerStats struct {
+	// ID is the ring position.
+	ID int
+	// TasksDone counts completed captures.
+	TasksDone int
+	// BusySeconds is active-compute time.
+	BusySeconds float64
+	// Utilization is BusySeconds over the simulated horizon.
+	Utilization float64
+}
+
+// Board is the running simulation state.
+type Board struct {
+	cfg      Config
+	engine   *sim.Engine
+	mgr      *dpm.Manager
+	bat      *battery.Battery
+	meter    *Meter
+	procs    []*Processor
+	detector *forte.Detector
+	backlog  []*Task
+	gang     *gangState // non-nil in gang-scheduled mode
+
+	actual       *schedule.Grid
+	workerOrder  []int         // worker activation priority (indices into workers())
+	network      *ring.Network // nil when RingHopSeconds overrides
+	taskCycles   float64
+	nextTaskID   int
+	lastSlotJ    float64
+	totalLatency float64
+	result       *Result
+}
+
+// commandWords is the size of a mode/frequency command message on the
+// ring: an opcode word and an operand word.
+const commandWords = 2
+
+// commandLatency returns the controller→worker delivery time.
+func (b *Board) commandLatency(workerID int) float64 {
+	if b.network != nil {
+		return b.network.Send(0, workerID, commandWords)
+	}
+	return float64(workerID) * b.cfg.RingHopSeconds
+}
+
+// New validates the configuration and builds a board.
+func New(cfg Config) (*Board, error) {
+	if cfg.Periods <= 0 {
+		return nil, fmt.Errorf("machine: non-positive period count %d", cfg.Periods)
+	}
+	if cfg.BufferSamples == 0 {
+		cfg.BufferSamples = 2048
+	}
+	if cfg.EventMix == 0 {
+		cfg.EventMix = 0.6
+	}
+	if cfg.EventMix < 0 || cfg.EventMix > 1 {
+		return nil, fmt.Errorf("machine: event mix %g outside [0, 1]", cfg.EventMix)
+	}
+	if cfg.RingHopSeconds < 0 {
+		return nil, fmt.Errorf("machine: negative ring hop latency %g", cfg.RingHopSeconds)
+	}
+	if cfg.FreqChangeCycles == 0 {
+		cfg.FreqChangeCycles = 10
+	}
+	if cfg.FreqChangeCycles < 0 {
+		return nil, fmt.Errorf("machine: negative frequency-change delay %d", cfg.FreqChangeCycles)
+	}
+	if cfg.MemoryReloadCycles == 0 {
+		cfg.MemoryReloadCycles = 524288
+	}
+	if cfg.MemoryReloadCycles < 0 {
+		cfg.MemoryReloadCycles = 0
+	}
+	if cfg.RetentionSeconds == 0 {
+		cfg.RetentionSeconds = 1e-3
+	}
+	if cfg.RetentionSeconds < 0 {
+		return nil, fmt.Errorf("machine: negative DRAM retention %g", cfg.RetentionSeconds)
+	}
+	if cfg.Detector == (forte.Config{}) {
+		cfg.Detector = forte.DefaultConfig()
+	}
+	if cfg.Signal == (signal.Config{}) {
+		cfg.Signal = signal.DefaultConfig()
+	}
+
+	mgr, err := dpm.New(cfg.Manager)
+	if err != nil {
+		return nil, err
+	}
+	actual := cfg.ActualCharging
+	if actual == nil {
+		actual = cfg.Manager.Charging
+	}
+	if actual.Len() != mgr.Slots() {
+		return nil, fmt.Errorf("machine: actual charging has %d slots, plan has %d", actual.Len(), mgr.Slots())
+	}
+	bat, err := battery.New(battery.Config{
+		CapacityMax: cfg.Manager.CapacityMax,
+		CapacityMin: cfg.Manager.CapacityMin,
+		Initial:     cfg.Manager.InitialCharge,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("machine: battery: %w", err)
+	}
+	det, err := forte.NewDetector(cfg.BufferSamples, cfg.Detector)
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := taskCycles(cfg.BufferSamples)
+	if err != nil {
+		return nil, err
+	}
+
+	sys := cfg.Manager.Params.System
+	workerCount := sys.N - 1
+	if cfg.WorkerSpeeds != nil && len(cfg.WorkerSpeeds) != workerCount {
+		return nil, fmt.Errorf("machine: %d worker speeds for %d workers", len(cfg.WorkerSpeeds), workerCount)
+	}
+	if cfg.WorkerPowerScale != nil && len(cfg.WorkerPowerScale) != workerCount {
+		return nil, fmt.Errorf("machine: %d power scales for %d workers", len(cfg.WorkerPowerScale), workerCount)
+	}
+	procs := make([]*Processor, sys.N)
+	for i := range procs {
+		model := sys.Proc
+		speed := 1.0
+		if i > 0 { // workers only; processor 0 is the controller
+			if cfg.WorkerSpeeds != nil {
+				speed = cfg.WorkerSpeeds[i-1]
+				if speed <= 0 {
+					return nil, fmt.Errorf("machine: non-positive worker speed %g", speed)
+				}
+			}
+			if cfg.WorkerPowerScale != nil {
+				scale := cfg.WorkerPowerScale[i-1]
+				if scale <= 0 {
+					return nil, fmt.Errorf("machine: non-positive power scale %g", scale)
+				}
+				model.ActiveAtRef *= scale
+			}
+		}
+		procs[i] = &Processor{
+			ID:    i,
+			model: model,
+			speed: speed,
+			mode:  power.ModeStandby,
+		}
+	}
+	var network *ring.Network
+	if cfg.RingHopSeconds == 0 {
+		ringCfg := ring.PAMA()
+		ringCfg.Nodes = sys.N
+		network, err = ring.New(ringCfg)
+		if err != nil {
+			return nil, fmt.Errorf("machine: interconnect: %w", err)
+		}
+	}
+	b := &Board{
+		cfg:        cfg,
+		network:    network,
+		engine:     sim.NewEngine(),
+		mgr:        mgr,
+		bat:        bat,
+		meter:      NewMeter(),
+		procs:      procs,
+		detector:   det,
+		actual:     actual,
+		taskCycles: cycles,
+		result:     &Result{},
+	}
+	if cfg.GangScheduled {
+		b.gang = &gangState{}
+	}
+	// Activation priority: speed per active watt, descending; a
+	// uniform fleet keeps ring order (stable sort).
+	workers := b.workers()
+	b.workerOrder = make([]int, len(workers))
+	for i := range b.workerOrder {
+		b.workerOrder[i] = i
+	}
+	effectiveness := func(p *Processor) float64 {
+		s := p.speed
+		if s == 0 {
+			s = 1
+		}
+		return s / p.model.ActiveAtRef
+	}
+	sort.SliceStable(b.workerOrder, func(i, j int) bool {
+		return effectiveness(workers[b.workerOrder[i]]) > effectiveness(workers[b.workerOrder[j]])
+	})
+	b.meter.SetLevels(0, b.boardLevels())
+	return b, nil
+}
+
+// Manager exposes the board's power manager (for inspection).
+func (b *Board) Manager() *dpm.Manager { return b.mgr }
+
+// workers returns the non-controller processors.
+func (b *Board) workers() []*Processor { return b.procs[1:] }
+
+// boardPower sums every processor's draw plus the system overhead.
+func (b *Board) boardPower() float64 {
+	return b.boardLevels().Total()
+}
+
+// boardLevels splits the current board draw by processor mode.
+func (b *Board) boardLevels() EnergyBreakdown {
+	levels := EnergyBreakdown{OverheadJ: b.cfg.Manager.Params.System.BoardOverhead}
+	for _, p := range b.procs {
+		w := p.power()
+		switch p.mode {
+		case power.ModeActive:
+			levels.ActiveJ += w
+		case power.ModeSleep:
+			levels.SleepJ += w
+		default:
+			levels.StandbyJ += w
+		}
+	}
+	return levels
+}
+
+// updateMeter re-derives the board power after any state change.
+func (b *Board) updateMeter() {
+	b.meter.SetLevels(b.engine.Now(), b.boardLevels())
+}
+
+// Run executes the configured simulation and returns its results.
+func (b *Board) Run() (*Result, error) {
+	tau := b.mgr.Tau()
+	slots := b.cfg.Periods * b.mgr.Slots()
+	horizon := float64(slots) * tau
+
+	// Schedule the event arrivals within the horizon.
+	for _, ev := range b.cfg.Events {
+		if ev.Time >= horizon {
+			continue
+		}
+		ev := ev
+		b.engine.Schedule(ev.Time, func() { b.onEvent(ev) })
+	}
+	// Slot boundaries: close the previous slot, open the next.
+	for s := 0; s <= slots; s++ {
+		s := s
+		b.engine.Schedule(float64(s)*tau, func() { b.onSlotBoundary(s, slots) })
+	}
+	b.engine.Run(horizon)
+
+	// Final bookkeeping.
+	b.result.Battery = b.bat.Snapshot()
+	b.result.EnergyUsed = b.meter.Energy()
+	b.result.Energy = b.meter.Breakdown()
+	for _, p := range b.workers() {
+		b.result.BusySeconds += p.BusySeconds()
+		b.result.Workers = append(b.result.Workers, WorkerStats{
+			ID:          p.ID,
+			TasksDone:   p.TasksDone(),
+			BusySeconds: p.BusySeconds(),
+			Utilization: p.BusySeconds() / horizon,
+		})
+	}
+	if b.result.TasksCompleted > 0 {
+		b.result.MeanLatencySeconds = b.totalLatency / float64(b.result.TasksCompleted)
+	}
+	return b.result, nil
+}
+
+// onSlotBoundary closes slot s-1 (battery + Algorithm 3) and opens
+// slot s (Algorithm 2 command set). The final boundary only closes.
+func (b *Board) onSlotBoundary(s, totalSlots int) {
+	now := b.engine.Now()
+	b.meter.Accumulate(now)
+	tau := b.mgr.Tau()
+
+	if s > 0 {
+		idx := (s - 1) % b.mgr.Slots()
+		usedJ := b.meter.Energy() - b.lastSlotJ
+		b.lastSlotJ = b.meter.Energy()
+		supplied := b.actual.Values[idx] * tau
+
+		// Supply and load flow simultaneously; only the net moves
+		// the battery.
+		delivered := b.bat.StepNet(supplied/tau, usedJ/tau, tau)
+		b.mgr.EndSlot(delivered, supplied)
+		b.mgr.SyncCharge(b.bat.Charge())
+
+		rec := &b.result.Records[len(b.result.Records)-1]
+		rec.UsedPower = usedJ / tau
+		rec.SuppliedPower = b.actual.Values[idx]
+		rec.Charge = b.bat.Charge()
+		rec.Backlog = b.backlogSize()
+	}
+	if s == totalSlots {
+		return
+	}
+
+	planned := b.mgr.PlannedPower()
+	point, _ := b.mgr.BeginSlot()
+	b.command(point.N, point.F, point.V)
+	b.result.Records = append(b.result.Records, SlotRecord{
+		Time:    now,
+		Planned: planned,
+		TargetN: point.N,
+		TargetF: point.F,
+	})
+}
+
+// command ships the (n, f) configuration to the workers over the
+// ring: the n most effective workers (speed per active watt, ID
+// order for uniform fleets) stay/become active, the rest drop to
+// stand-by. Frequency changes pay the FPGA wake delay.
+func (b *Board) command(n int, f, v float64) {
+	workers := b.workers()
+	if n > len(workers) {
+		n = len(workers)
+	}
+	rank := make(map[*Processor]int, len(workers))
+	for order, idx := range b.workerOrder {
+		rank[workers[idx]] = order
+	}
+	for _, p := range workers {
+		p := p
+		active := rank[p] < n
+		hopDelay := b.commandLatency(p.ID)
+		switch {
+		case !active:
+			b.engine.ScheduleAfter(hopDelay, func() { b.setStandby(p) })
+		case p.freq == f && p.mode == power.ModeActive:
+			// Already configured; nothing to deliver.
+		case p.freq == f:
+			b.engine.ScheduleAfter(hopDelay, func() { b.wake(p, f, v) })
+		default:
+			// Frequency change: write the word, drop to stand-by,
+			// FPGA wakes the processor FreqChangeCycles later on
+			// the new clock.
+			wake := float64(b.cfg.FreqChangeCycles) / f
+			b.engine.ScheduleAfter(hopDelay, func() {
+				b.setStandby(p)
+				b.engine.ScheduleAfter(wake, func() { b.wake(p, f, v) })
+			})
+		}
+	}
+}
+
+// setStandby pauses the worker's task and parks it in the configured
+// idle mode (stand-by, or sleep when IdleSleep keeps the DRAM warm).
+func (b *Board) setStandby(p *Processor) {
+	now := b.engine.Now()
+	b.gangAdvance(now)
+	p.pause(now)
+	if b.cfg.IdleSleep {
+		p.mode = power.ModeSleep
+	} else {
+		p.mode = power.ModeStandby
+		p.idleSince = now
+	}
+	b.updateMeter()
+	b.gangReschedule()
+}
+
+// wake brings the worker active at (f, v) and resumes or starts work.
+// Waking from stand-by (DRAM lost) charges the in-flight task the
+// memory-reload penalty; waking from sleep does not.
+func (b *Board) wake(p *Processor, f, v float64) {
+	now := b.engine.Now()
+	b.gangAdvance(now)
+	p.pause(now)
+	if p.mode == power.ModeStandby && p.current != nil &&
+		now-p.idleSince > b.cfg.RetentionSeconds {
+		p.current.Cycles += float64(b.cfg.MemoryReloadCycles)
+	}
+	p.mode = power.ModeActive
+	p.freq = f
+	p.volt = v
+	b.updateMeter()
+	if b.gang != nil {
+		b.gangReschedule()
+		return
+	}
+	b.drainBacklog()
+	b.resume(p)
+}
+
+// resume restarts the in-flight or next queued task on an active
+// worker.
+func (b *Board) resume(p *Processor) {
+	if p.mode != power.ModeActive || p.freq <= 0 {
+		return
+	}
+	if p.current == nil {
+		if len(p.queue) == 0 {
+			return
+		}
+		p.current = p.queue[0]
+		p.queue = p.queue[1:]
+	}
+	p.resumedAt = b.engine.Now()
+	task := p.current
+	p.completion = b.engine.ScheduleAfter(task.Cycles/p.effectiveRate(), func() { b.complete(p, task) })
+}
+
+// complete finishes the worker's current task: run the DSP pipeline
+// if configured, record stats, start the next task.
+func (b *Board) complete(p *Processor, task *Task) {
+	now := b.engine.Now()
+	p.busySeconds += now - p.resumedAt
+	p.current = nil
+	p.tasksDone++
+	b.result.TasksCompleted++
+	b.totalLatency += now - task.Arrived
+
+	if b.cfg.ExecuteDSP {
+		b.runDSP(task)
+	}
+	b.resume(p)
+}
+
+// runDSP executes the real fixed-point pipeline for a completed
+// capture and records the verdict.
+func (b *Board) runDSP(task *Task) {
+	buf, err := signal.Synthesize(task.Kind, b.cfg.BufferSamples, b.cfg.Signal, task.Seed)
+	if err != nil {
+		return
+	}
+	if res, err := b.detector.Process(buf); err == nil {
+		b.result.Detector.Record(res)
+		b.result.Confusion.Record(task.Kind == signal.Transient, res.Verdict)
+	}
+}
+
+// onEvent handles an RF trigger: synthesize the task and assign it,
+// unless the capture memory is already full.
+func (b *Board) onEvent(ev trace.Event) {
+	b.result.EventsArrived++
+	if b.cfg.BacklogLimit > 0 && b.backlogSize() >= b.cfg.BacklogLimit {
+		b.result.EventsDropped++
+		return
+	}
+	kind := eventKind(ev.Seed, b.cfg.EventMix)
+	task := &Task{
+		ID:      b.nextTaskID,
+		Cycles:  b.taskCycles,
+		Kind:    kind,
+		Seed:    ev.Seed,
+		Arrived: b.engine.Now(),
+	}
+	b.nextTaskID++
+	b.assign(task)
+}
+
+// assign places a task on the least-loaded active worker, or the
+// controller backlog when every worker is dark. In gang mode the
+// task joins the single program queue instead.
+func (b *Board) assign(task *Task) {
+	if b.gang != nil {
+		b.gangAssign(task)
+		return
+	}
+	var best *Processor
+	for _, p := range b.workers() {
+		if p.mode != power.ModeActive || p.freq <= 0 {
+			continue
+		}
+		if best == nil || p.QueueLen() < best.QueueLen() {
+			best = p
+		}
+	}
+	if best == nil {
+		b.backlog = append(b.backlog, task)
+		return
+	}
+	best.queue = append(best.queue, task)
+	if best.current == nil {
+		b.resume(best)
+	}
+}
+
+// drainBacklog redistributes controller-held tasks once workers wake.
+func (b *Board) drainBacklog() {
+	pending := b.backlog
+	b.backlog = nil
+	for _, t := range pending {
+		b.assign(t)
+	}
+}
+
+// backlogSize counts all waiting tasks (controller + worker queues +
+// in flight).
+func (b *Board) backlogSize() int {
+	if b.gang != nil {
+		return b.gangBacklog()
+	}
+	n := len(b.backlog)
+	for _, p := range b.workers() {
+		n += p.QueueLen()
+	}
+	return n
+}
+
+// eventKind derives the signal class from the event seed: a fraction
+// mix are transients; the remainder split between carriers and noise
+// triggers.
+func eventKind(seed int64, mix float64) signal.Kind {
+	u := float64(uint64(seed)%1e6) / 1e6
+	switch {
+	case u < mix:
+		return signal.Transient
+	case u < mix+(1-mix)/2:
+		return signal.Carrier
+	default:
+		return signal.NoiseOnly
+	}
+}
+
+// taskCycles returns the modeled cycle cost of one capture's digital
+// processing. The paper attributes ~60% of the system's compute to
+// the FFT, so a whole task costs FFT cycles / 0.6.
+func taskCycles(samples int) (float64, error) {
+	c, err := fft.Cycles(samples)
+	if err != nil {
+		return 0, fmt.Errorf("machine: %w", err)
+	}
+	return c / 0.6, nil
+}
+
+// SortRecords orders slot records by time (they are produced in
+// order; this is a convenience for merged reports).
+func SortRecords(records []SlotRecord) {
+	sort.Slice(records, func(i, j int) bool { return records[i].Time < records[j].Time })
+}

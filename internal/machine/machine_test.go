@@ -1,0 +1,506 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"dpm/internal/dpm"
+	"dpm/internal/params"
+	"dpm/internal/perf"
+	"dpm/internal/power"
+	"dpm/internal/schedule"
+	"dpm/internal/signal"
+	"dpm/internal/trace"
+)
+
+func paperManagerConfig(t *testing.T, s trace.Scenario) dpm.Config {
+	t.Helper()
+	w, err := perf.NewWorkload(4.8, 0.48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dpm.Config{
+		Charging:      s.Charging,
+		EventRate:     s.Usage,
+		CapacityMax:   s.CapacityMax,
+		CapacityMin:   s.CapacityMin,
+		InitialCharge: s.InitialCharge,
+		Params: params.Config{
+			System:        power.PAMA(),
+			Curve:         power.NewFixedVoltage(3.3, 80e6),
+			Workload:      w,
+			Frequencies:   []float64{20e6, 40e6, 80e6},
+			MaxProcessors: 7,
+			MinProcessors: 0,
+		},
+	}
+}
+
+func paperEvents(t *testing.T, s trace.Scenario, periods int, seed int64) []trace.Event {
+	t.Helper()
+	// Event rate proportional to the usage schedule: ~1 event per
+	// 2 W·slot.
+	events, err := trace.PoissonEvents(s.Usage, 0.1, float64(periods)*trace.Period, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func boardConfig(t *testing.T, s trace.Scenario, periods int) Config {
+	t.Helper()
+	return Config{
+		Manager:    paperManagerConfig(t, s),
+		Events:     paperEvents(t, s, periods, 17),
+		Periods:    periods,
+		ExecuteDSP: true,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	good := boardConfig(t, trace.ScenarioI(), 1)
+	bad := good
+	bad.Periods = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero periods must error")
+	}
+	bad = good
+	bad.EventMix = 2
+	if _, err := New(bad); err == nil {
+		t.Error("event mix > 1 must error")
+	}
+	bad = good
+	bad.RingHopSeconds = -1
+	if _, err := New(bad); err == nil {
+		t.Error("negative hop latency must error")
+	}
+	bad = good
+	bad.FreqChangeCycles = -1
+	if _, err := New(bad); err == nil {
+		t.Error("negative wake cycles must error")
+	}
+	bad = good
+	bad.BufferSamples = 1000
+	if _, err := New(bad); err == nil {
+		t.Error("non-power-of-two buffer must error")
+	}
+	bad = good
+	bad.ActualCharging = schedule.NewGrid(4.8, []float64{1})
+	if _, err := New(bad); err == nil {
+		t.Error("mismatched charging grid must error")
+	}
+	bad = good
+	bad.Manager.Charging = nil
+	if _, err := New(bad); err == nil {
+		t.Error("broken manager config must error")
+	}
+}
+
+func TestRunScenarioI(t *testing.T) {
+	b, err := New(boardConfig(t, trace.ScenarioI(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 24 {
+		t.Fatalf("records = %d, want 24", len(res.Records))
+	}
+	if res.EventsArrived == 0 {
+		t.Fatal("no events arrived; trace generation broken")
+	}
+	if res.TasksCompleted == 0 {
+		t.Fatal("no tasks completed; the board never computed")
+	}
+	if res.EnergyUsed <= 0 {
+		t.Error("no energy measured")
+	}
+	if res.BusySeconds <= 0 {
+		t.Error("no busy time accumulated")
+	}
+	if res.MeanLatencySeconds <= 0 {
+		t.Error("latency accounting broken")
+	}
+}
+
+func TestBatteryWithinBounds(t *testing.T) {
+	for _, s := range trace.Scenarios() {
+		b, err := New(boardConfig(t, s, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range res.Records {
+			if r.Charge < s.CapacityMin-1e-9 || r.Charge > s.CapacityMax+1e-9 {
+				t.Errorf("scenario %s slot %d: charge %g outside bounds", s.Name, i, r.Charge)
+			}
+		}
+	}
+}
+
+func TestMeasuredPowerTracksPlan(t *testing.T) {
+	b, err := New(boardConfig(t, trace.ScenarioI(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The measured draw should stay at or below the plan plus a small
+	// tolerance (mode quantization) in the bulk of slots.
+	over := 0
+	for _, r := range res.Records {
+		if r.UsedPower > r.Planned+0.15 {
+			over++
+		}
+	}
+	if over > len(res.Records)/3 {
+		t.Errorf("%d/%d slots overdrew the plan", over, len(res.Records))
+	}
+}
+
+func TestDetectionsHappen(t *testing.T) {
+	b, err := New(boardConfig(t, trace.ScenarioI(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detector.Processed == 0 {
+		t.Fatal("DSP pipeline never ran")
+	}
+	if res.Detector.Detections == 0 {
+		t.Error("no transients detected despite a 60% transient mix")
+	}
+}
+
+func TestExecuteDSPOffSkipsDetector(t *testing.T) {
+	cfg := boardConfig(t, trace.ScenarioI(), 1)
+	cfg.ExecuteDSP = false
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detector.Processed != 0 {
+		t.Error("detector ran with ExecuteDSP off")
+	}
+	if res.TasksCompleted == 0 {
+		t.Error("tasks must still complete without DSP execution")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() *Result {
+		b, err := New(boardConfig(t, trace.ScenarioII(), 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TasksCompleted != b.TasksCompleted || a.EnergyUsed != b.EnergyUsed ||
+		a.Battery.Wasted != b.Battery.Wasted {
+		t.Error("same configuration must reproduce bit-identically")
+	}
+}
+
+func TestBacklogDrainsWhenWorkersWake(t *testing.T) {
+	// All events in the first slot with a tiny power plan force
+	// backlog; later generous slots must drain it.
+	s := trace.ScenarioI()
+	cfg := boardConfig(t, s, 2)
+	var events []trace.Event
+	for i := 0; i < 10; i++ {
+		events = append(events, trace.Event{Time: 0.1 * float64(i), Seed: int64(i)})
+	}
+	cfg.Events = events
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksCompleted < 8 {
+		t.Errorf("only %d/10 burst tasks completed over two periods", res.TasksCompleted)
+	}
+}
+
+func TestEventKindMix(t *testing.T) {
+	transients := 0
+	const total = 10000
+	for i := 0; i < total; i++ {
+		if eventKind(int64(i)*2654435761, 0.6) == signal.Transient {
+			transients++
+		}
+	}
+	frac := float64(transients) / total
+	if math.Abs(frac-0.6) > 0.05 {
+		t.Errorf("transient fraction = %g, want ≈ 0.6", frac)
+	}
+}
+
+func TestMeterIntegration(t *testing.T) {
+	m := NewMeter()
+	m.SetPower(0, 2)
+	m.SetPower(5, 4) // 10 J so far
+	m.Accumulate(10) // +20 J
+	if m.Energy() != 30 {
+		t.Errorf("Energy = %g, want 30", m.Energy())
+	}
+	if m.Power() != 4 {
+		t.Errorf("Power = %g", m.Power())
+	}
+}
+
+func TestMeterPanics(t *testing.T) {
+	m := NewMeter()
+	m.Accumulate(5)
+	for name, fn := range map[string]func(){
+		"backward": func() { m.Accumulate(1) },
+		"negative": func() { m.SetPower(6, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSortRecords(t *testing.T) {
+	recs := []SlotRecord{{Time: 3}, {Time: 1}, {Time: 2}}
+	SortRecords(recs)
+	if recs[0].Time != 1 || recs[2].Time != 3 {
+		t.Errorf("SortRecords = %v", recs)
+	}
+}
+
+func TestProcessorAccessors(t *testing.T) {
+	p := &Processor{ID: 1, model: power.M32RD(), mode: power.ModeActive, freq: 20e6, volt: 3.3}
+	if p.Mode() != power.ModeActive || p.Frequency() != 20e6 {
+		t.Error("accessors broken")
+	}
+	if p.QueueLen() != 0 || p.TasksDone() != 0 || p.BusySeconds() != 0 {
+		t.Error("fresh processor stats not zero")
+	}
+	p.current = &Task{Cycles: 100}
+	if p.QueueLen() != 1 {
+		t.Error("QueueLen must count the in-flight task")
+	}
+}
+
+func TestWorkerStatsPopulated(t *testing.T) {
+	b, err := New(boardConfig(t, trace.ScenarioI(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workers) != 7 {
+		t.Fatalf("worker stats = %d, want 7", len(res.Workers))
+	}
+	totalTasks, totalBusy := 0, 0.0
+	for _, w := range res.Workers {
+		if w.Utilization < 0 || w.Utilization > 1 {
+			t.Errorf("worker %d utilization %g", w.ID, w.Utilization)
+		}
+		totalTasks += w.TasksDone
+		totalBusy += w.BusySeconds
+	}
+	if totalTasks != res.TasksCompleted {
+		t.Errorf("per-worker tasks %d != total %d", totalTasks, res.TasksCompleted)
+	}
+	if math.Abs(totalBusy-res.BusySeconds) > 1e-9 {
+		t.Errorf("per-worker busy %g != total %g", totalBusy, res.BusySeconds)
+	}
+}
+
+func TestBacklogLimitDropsEvents(t *testing.T) {
+	cfg := boardConfig(t, trace.ScenarioI(), 1)
+	var events []trace.Event
+	for i := 0; i < 50; i++ {
+		events = append(events, trace.Event{Time: 0.01 * float64(i), Seed: int64(i)})
+	}
+	cfg.Events = events
+	cfg.BacklogLimit = 5
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventsDropped == 0 {
+		t.Error("burst beyond the backlog limit must drop events")
+	}
+	if res.EventsDropped+res.TasksCompleted+res.Records[len(res.Records)-1].Backlog < 50 {
+		t.Errorf("event accounting leaks: dropped %d, done %d, backlog %d",
+			res.EventsDropped, res.TasksCompleted, res.Records[len(res.Records)-1].Backlog)
+	}
+}
+
+func TestConfusionRecorded(t *testing.T) {
+	b, err := New(boardConfig(t, trace.ScenarioI(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confusion.Total() != res.Detector.Processed {
+		t.Errorf("confusion total %d != processed %d", res.Confusion.Total(), res.Detector.Processed)
+	}
+	// The default detector on default signals is highly accurate.
+	if res.Confusion.Accuracy() < 0.8 {
+		t.Errorf("accuracy %.2f suspiciously low: %v", res.Confusion.Accuracy(), res.Confusion)
+	}
+}
+
+func TestIdleSleepRaisesIdlePower(t *testing.T) {
+	run := func(sleep bool) *Result {
+		cfg := boardConfig(t, trace.ScenarioI(), 1)
+		cfg.ExecuteDSP = false
+		cfg.Events = nil // nothing to do: idle draw dominates
+		cfg.IdleSleep = sleep
+		cfg.Manager.Params.IdleSleep = sleep
+		b, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	standby := run(false)
+	sleeping := run(true)
+	if sleeping.EnergyUsed <= standby.EnergyUsed {
+		t.Errorf("sleep idle (%.2f J) must draw more than stand-by idle (%.2f J)",
+			sleeping.EnergyUsed, standby.EnergyUsed)
+	}
+}
+
+func TestMemoryReloadPenaltyCharged(t *testing.T) {
+	// A single long task interrupted by a long stand-by must take
+	// longer when the reload penalty applies than when disabled.
+	latency := func(reload int) float64 {
+		s := trace.ScenarioI()
+		cfg := boardConfig(t, s, 2)
+		cfg.ExecuteDSP = false
+		cfg.MemoryReloadCycles = reload
+		// One event arriving just before the deep-eclipse slots
+		// (38.4-48 s) where the plan drops to the idle floor, so the
+		// worker is parked mid-task and resumes much later.
+		cfg.Events = []trace.Event{{Time: 38.0, Seed: 1}}
+		b, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TasksCompleted != 1 {
+			t.Fatalf("completed %d, want 1", res.TasksCompleted)
+		}
+		return res.MeanLatencySeconds
+	}
+	withPenalty := latency(20e6) // a deliberately huge penalty: 1 s at 20 MHz
+	withoutPenalty := latency(-1)
+	if withPenalty <= withoutPenalty {
+		t.Errorf("reload penalty did not slow the interrupted task: %g vs %g",
+			withPenalty, withoutPenalty)
+	}
+}
+
+func TestNegativeRetentionRejected(t *testing.T) {
+	cfg := boardConfig(t, trace.ScenarioI(), 1)
+	cfg.RetentionSeconds = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative retention must error")
+	}
+}
+
+func TestEnergyBreakdownSumsToTotal(t *testing.T) {
+	b, err := New(boardConfig(t, trace.ScenarioI(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Energy.Total()-res.EnergyUsed) > 1e-9 {
+		t.Errorf("breakdown %g J != total %g J", res.Energy.Total(), res.EnergyUsed)
+	}
+	if res.Energy.ActiveJ <= 0 {
+		t.Error("no active energy recorded")
+	}
+	if res.Energy.StandbyJ <= 0 {
+		t.Error("no standby energy recorded")
+	}
+	if res.Energy.SleepJ != 0 {
+		t.Error("sleep energy recorded without IdleSleep")
+	}
+}
+
+func TestEnergyBreakdownSleepMode(t *testing.T) {
+	cfg := boardConfig(t, trace.ScenarioI(), 1)
+	cfg.IdleSleep = true
+	cfg.Manager.Params.IdleSleep = true
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy.SleepJ <= 0 {
+		t.Error("sleep mode energy not recorded")
+	}
+}
+
+func TestManagerAccessorAndHopOverride(t *testing.T) {
+	cfg := boardConfig(t, trace.ScenarioI(), 1)
+	cfg.RingHopSeconds = 1e-6 // override: flat per-hop latency
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Manager() == nil {
+		t.Fatal("Manager accessor returned nil")
+	}
+	if got := b.commandLatency(3); got != 3e-6 {
+		t.Errorf("override latency = %g, want 3e-6", got)
+	}
+	if _, err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

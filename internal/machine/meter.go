@@ -1,0 +1,78 @@
+package machine
+
+import "fmt"
+
+// EnergyBreakdown splits the board's consumption by processor mode —
+// the observability a real power-measurement board gives operators.
+type EnergyBreakdown struct {
+	// ActiveJ, SleepJ and StandbyJ are per-mode energies in joules.
+	ActiveJ, SleepJ, StandbyJ float64
+	// OverheadJ is the fixed board draw's share.
+	OverheadJ float64
+}
+
+// Total sums the components.
+func (e EnergyBreakdown) Total() float64 {
+	return e.ActiveJ + e.SleepJ + e.StandbyJ + e.OverheadJ
+}
+
+// Meter is the board's power-measurement model (the PAMA board
+// carries a dedicated measurement board): it integrates a piecewise-
+// constant power level over time, with a per-mode breakdown.
+type Meter struct {
+	lastT  float64
+	watts  float64
+	joules float64
+
+	// Per-mode power levels, integrated alongside the total.
+	levels    EnergyBreakdown // current watts per component (reusing the struct)
+	breakdown EnergyBreakdown // accumulated joules
+}
+
+// NewMeter returns a meter starting at time zero and zero power.
+func NewMeter() *Meter { return &Meter{} }
+
+// Accumulate integrates the current power level up to now.
+func (m *Meter) Accumulate(now float64) {
+	if now < m.lastT {
+		panic(fmt.Sprintf("machine: meter time moved backward (%g after %g)", now, m.lastT))
+	}
+	dt := now - m.lastT
+	m.joules += m.watts * dt
+	m.breakdown.ActiveJ += m.levels.ActiveJ * dt
+	m.breakdown.SleepJ += m.levels.SleepJ * dt
+	m.breakdown.StandbyJ += m.levels.StandbyJ * dt
+	m.breakdown.OverheadJ += m.levels.OverheadJ * dt
+	m.lastT = now
+}
+
+// SetPower integrates up to now and switches the level to watts.
+func (m *Meter) SetPower(now, watts float64) {
+	if watts < 0 {
+		panic(fmt.Sprintf("machine: negative power %g", watts))
+	}
+	m.Accumulate(now)
+	m.watts = watts
+}
+
+// SetLevels integrates up to now and switches both the total level
+// and its per-mode split (all in watts).
+func (m *Meter) SetLevels(now float64, levels EnergyBreakdown) {
+	total := levels.Total()
+	if total < 0 {
+		panic(fmt.Sprintf("machine: negative power %g", total))
+	}
+	m.Accumulate(now)
+	m.watts = total
+	m.levels = levels
+}
+
+// Breakdown returns the accumulated per-mode energies.
+func (m *Meter) Breakdown() EnergyBreakdown { return m.breakdown }
+
+// Power returns the current power level in watts.
+func (m *Meter) Power() float64 { return m.watts }
+
+// Energy returns the total integrated energy in joules up to the
+// last Accumulate/SetPower call.
+func (m *Meter) Energy() float64 { return m.joules }

@@ -1,0 +1,99 @@
+package machine
+
+import (
+	"dpm/internal/power"
+	"dpm/internal/signal"
+	"dpm/internal/sim"
+)
+
+// Task is one capture buffer awaiting digital processing: the FFT
+// plus the spectral check, measured in processor cycles.
+type Task struct {
+	// ID is a monotonically increasing identifier.
+	ID int
+	// Cycles is the remaining work in processor cycles.
+	Cycles float64
+	// Kind and Seed reproduce the buffer contents for the detector.
+	Kind signal.Kind
+	Seed int64
+	// Arrived is the event's arrival time, for latency accounting.
+	Arrived float64
+}
+
+// Processor models one M32R/D PIM: an operating mode, a clock, a
+// task queue and enough bookkeeping to bank partially executed work
+// across mode and frequency changes.
+type Processor struct {
+	// ID is the ring position; 0 is the controller.
+	ID int
+
+	model power.ProcessorModel
+	speed float64 // work retired per cycle, relative to the reference
+	mode  power.Mode
+	freq  float64
+	volt  float64
+
+	current    *Task
+	resumedAt  float64
+	idleSince  float64 // when the processor last entered stand-by
+	completion sim.Handle
+	queue      []*Task
+
+	// Stats.
+	busySeconds float64
+	tasksDone   int
+}
+
+// Mode returns the current operating mode.
+func (p *Processor) Mode() power.Mode { return p.mode }
+
+// Frequency returns the current clock in hertz.
+func (p *Processor) Frequency() float64 { return p.freq }
+
+// QueueLen returns queued tasks, including the one in progress.
+func (p *Processor) QueueLen() int {
+	n := len(p.queue)
+	if p.current != nil {
+		n++
+	}
+	return n
+}
+
+// BusySeconds returns the accumulated active compute time.
+func (p *Processor) BusySeconds() float64 { return p.busySeconds }
+
+// TasksDone returns the number of completed tasks.
+func (p *Processor) TasksDone() int { return p.tasksDone }
+
+// power returns the processor's current draw in watts.
+func (p *Processor) power() float64 {
+	return p.model.Power(p.mode, p.freq, p.volt)
+}
+
+// running reports whether the processor is actively executing a task.
+func (p *Processor) running() bool {
+	return p.mode == power.ModeActive && p.current != nil && p.freq > 0
+}
+
+// effectiveRate returns the cycle-retirement rate freq·speed.
+func (p *Processor) effectiveRate() float64 {
+	s := p.speed
+	if s == 0 {
+		s = 1
+	}
+	return p.freq * s
+}
+
+// pause banks the in-flight task's progress at time now and cancels
+// its completion event. Safe to call in any state.
+func (p *Processor) pause(now float64) {
+	if p.running() {
+		elapsed := now - p.resumedAt
+		p.busySeconds += elapsed
+		p.current.Cycles -= elapsed * p.effectiveRate()
+		if p.current.Cycles < 0 {
+			p.current.Cycles = 0
+		}
+	}
+	p.completion.Cancel()
+}

@@ -1,0 +1,157 @@
+// Package metrics computes the evaluation quantities of the paper's
+// §5: wasted energy, undersupplied energy, energy utilization
+// (defined in §2 as energy used for computation over energy
+// available), and supporting series statistics used by the
+// experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"dpm/internal/battery"
+)
+
+// Energy summarizes one run's energy accounting in joules.
+type Energy struct {
+	// Wasted is energy lost to the full-battery condition.
+	Wasted float64
+	// Undersupplied is energy demanded but not deliverable.
+	Undersupplied float64
+	// Supplied is the total energy offered by the source.
+	Supplied float64
+	// Delivered is the total energy spent on computation.
+	Delivered float64
+	// Utilization is Delivered / available.
+	Utilization float64
+}
+
+// FromSnapshot converts a battery snapshot.
+func FromSnapshot(s battery.Snapshot) Energy {
+	return Energy{
+		Wasted:        s.Wasted,
+		Undersupplied: s.Undersupplied,
+		Supplied:      s.TotalSupplied,
+		Delivered:     s.TotalDrawn,
+		Utilization:   s.Utilization,
+	}
+}
+
+// Badness is the combined penalty the paper's Table 1 reports row
+// pairs for: wasted plus undersupplied energy.
+func (e Energy) Badness() float64 { return e.Wasted + e.Undersupplied }
+
+// Comparison pairs the proposed algorithm's metrics with a
+// baseline's for one scenario.
+type Comparison struct {
+	// Scenario names the workload ("I", "II").
+	Scenario string
+	// Proposed and Baseline are the two runs' metrics.
+	Proposed, Baseline Energy
+}
+
+// WasteRatio returns Baseline.Wasted / Proposed.Wasted — the paper
+// reports "more than a factor of ten" for its scenarios. It returns
+// +Inf when the proposed run wasted nothing.
+func (c Comparison) WasteRatio() float64 {
+	if c.Proposed.Wasted == 0 {
+		if c.Baseline.Wasted == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return c.Baseline.Wasted / c.Proposed.Wasted
+}
+
+// UndersupplyRatio returns Baseline.Undersupplied /
+// Proposed.Undersupplied with the same conventions.
+func (c Comparison) UndersupplyRatio() float64 {
+	if c.Proposed.Undersupplied == 0 {
+		if c.Baseline.Undersupplied == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return c.Baseline.Undersupplied / c.Proposed.Undersupplied
+}
+
+// String summarizes the comparison.
+func (c Comparison) String() string {
+	return fmt.Sprintf("scenario %s: proposed wasted %.2f J / under %.2f J; baseline wasted %.2f J / under %.2f J",
+		c.Scenario, c.Proposed.Wasted, c.Proposed.Undersupplied,
+		c.Baseline.Wasted, c.Baseline.Undersupplied)
+}
+
+// Series statistics -------------------------------------------------
+
+// Mean returns the arithmetic mean of xs; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// MinMax returns the smallest and largest elements. It panics on an
+// empty slice — call sites always have data or a bug.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("metrics: MinMax of empty series")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// RMSE returns the root-mean-square error between two equal-length
+// series — used to quantify how closely the measured power tracks
+// the plan.
+func RMSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: RMSE over lengths %d and %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(a))), nil
+}
+
+// TrackingError returns RMSE(used, planned) normalized by the mean
+// planned power, a unitless plan-adherence score.
+func TrackingError(planned, used []float64) (float64, error) {
+	rmse, err := RMSE(planned, used)
+	if err != nil {
+		return 0, err
+	}
+	m := Mean(planned)
+	if m == 0 {
+		return 0, fmt.Errorf("metrics: zero mean plan")
+	}
+	return rmse / m, nil
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dpm/internal/battery"
+)
+
+func TestFromSnapshot(t *testing.T) {
+	s := battery.Snapshot{Wasted: 1, Undersupplied: 2, TotalSupplied: 10, TotalDrawn: 7, Utilization: 0.7}
+	e := FromSnapshot(s)
+	if e.Wasted != 1 || e.Undersupplied != 2 || e.Supplied != 10 || e.Delivered != 7 || e.Utilization != 0.7 {
+		t.Errorf("FromSnapshot = %+v", e)
+	}
+	if e.Badness() != 3 {
+		t.Errorf("Badness = %g", e.Badness())
+	}
+}
+
+func TestRatios(t *testing.T) {
+	c := Comparison{
+		Scenario: "I",
+		Proposed: Energy{Wasted: 2, Undersupplied: 4},
+		Baseline: Energy{Wasted: 20, Undersupplied: 40},
+	}
+	if c.WasteRatio() != 10 {
+		t.Errorf("WasteRatio = %g", c.WasteRatio())
+	}
+	if c.UndersupplyRatio() != 10 {
+		t.Errorf("UndersupplyRatio = %g", c.UndersupplyRatio())
+	}
+	// Zero proposed waste.
+	c.Proposed.Wasted = 0
+	if !math.IsInf(c.WasteRatio(), 1) {
+		t.Error("zero proposed waste must give +Inf ratio")
+	}
+	c.Baseline.Wasted = 0
+	if c.WasteRatio() != 1 {
+		t.Error("both zero must give 1")
+	}
+	c.Proposed.Undersupplied = 0
+	c.Baseline.Undersupplied = 0
+	if c.UndersupplyRatio() != 1 {
+		t.Error("both zero undersupply must give 1")
+	}
+	if !strings.Contains(c.String(), "scenario I") {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean must be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Errorf("Mean = %g", Mean([]float64{1, 2, 3}))
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("singleton stddev must be 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %g, %g", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty MinMax must panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Errorf("identical RMSE = %g, %v", got, err)
+	}
+	got, err = RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil || math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %g, %v", got, err)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if got, err := RMSE(nil, nil); err != nil || got != 0 {
+		t.Error("empty RMSE is 0")
+	}
+}
+
+func TestTrackingError(t *testing.T) {
+	got, err := TrackingError([]float64{2, 2}, []float64{2, 2})
+	if err != nil || got != 0 {
+		t.Errorf("perfect tracking = %g, %v", got, err)
+	}
+	if _, err := TrackingError([]float64{0, 0}, []float64{0, 0}); err == nil {
+		t.Error("zero-mean plan must error")
+	}
+	got, err = TrackingError([]float64{2, 2}, []float64{3, 1})
+	if err != nil || math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("TrackingError = %g, %v", got, err)
+	}
+}

@@ -1,0 +1,68 @@
+package params_test
+
+import (
+	"fmt"
+
+	"dpm/internal/params"
+	"dpm/internal/perf"
+	"dpm/internal/power"
+)
+
+// Build the paper's operating-point table and select points for a few
+// power budgets.
+func ExampleTable_Select() {
+	workload, err := perf.NewWorkload(4.8, 0.48)
+	if err != nil {
+		panic(err)
+	}
+	table, err := params.BuildTable(params.Config{
+		System:        power.PAMA(),
+		Curve:         power.NewFixedVoltage(3.3, 80e6),
+		Workload:      workload,
+		Frequencies:   []float64{20e6, 40e6, 80e6},
+		MaxProcessors: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, budget := range []float64{0.5, 1.5, 4.0} {
+		pt := table.Select(budget)
+		fmt.Printf("%.1f W -> n=%d at %.0f MHz (draw %.2f W)\n",
+			budget, pt.N, pt.F/1e6, pt.Power)
+	}
+	// Output:
+	// 0.5 W -> n=3 at 20 MHz (draw 0.44 W)
+	// 1.5 W -> n=2 at 80 MHz (draw 1.13 W)
+	// 4.0 W -> n=7 at 80 MHz (draw 3.83 W)
+}
+
+// Eq. 18's continuous optimum with real voltage scaling: the
+// allowance decides whether frequency, processors, or voltage is the
+// lever.
+func ExampleContinuous() {
+	curve, err := power.NewLinearVF(1.0, 2.0, 100e6, 400e6)
+	if err != nil {
+		panic(err)
+	}
+	workload, err := perf.NewWorkload(10, 1)
+	if err != nil {
+		panic(err)
+	}
+	cfg := params.Config{
+		System: power.SystemModel{
+			Proc: power.ProcessorModel{ActiveAtRef: 1, FRef: 400e6, VRef: 2, StandbyPower: 0.01},
+			N:    32,
+		},
+		Curve:         curve,
+		Workload:      workload,
+		Frequencies:   []float64{100e6, 400e6},
+		MaxProcessors: 32,
+	}
+	pt, err := params.Continuous(cfg, 0.3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("0.3 W -> n=%d at %.0f MHz, %.2f V\n", pt.N, pt.F/1e6, pt.V)
+	// Output:
+	// 0.3 W -> n=4 at 100 MHz, 1.00 V
+}

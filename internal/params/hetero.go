@@ -1,0 +1,189 @@
+package params
+
+import (
+	"fmt"
+	"sort"
+
+	"dpm/internal/perf"
+	"dpm/internal/power"
+)
+
+// This file implements the paper's final §6 extension: a
+// heterogeneous system "in which each component has different
+// processing characteristics". Each processor gets its own power
+// model and a speed factor (work per cycle relative to the reference
+// processor); the selector builds per-processor configurations under
+// a power budget.
+
+// Fleet describes a heterogeneous processor pool.
+type Fleet struct {
+	// Procs holds each processor's power model.
+	Procs []power.ProcessorModel
+	// Speed holds each processor's relative work rate: effective
+	// frequency = Speed[i] · f. A zero-length slice means all 1.0.
+	Speed []float64
+}
+
+// NewFleet validates and returns a fleet. Speed may be nil (all 1.0)
+// or must match Procs in length with positive entries.
+func NewFleet(procs []power.ProcessorModel, speed []float64) (Fleet, error) {
+	if len(procs) == 0 {
+		return Fleet{}, fmt.Errorf("params: empty fleet")
+	}
+	if speed == nil {
+		speed = make([]float64, len(procs))
+		for i := range speed {
+			speed[i] = 1
+		}
+	}
+	if len(speed) != len(procs) {
+		return Fleet{}, fmt.Errorf("params: %d speeds for %d processors", len(speed), len(procs))
+	}
+	for i, s := range speed {
+		if s <= 0 {
+			return Fleet{}, fmt.Errorf("params: non-positive speed %g at %d", s, i)
+		}
+	}
+	return Fleet{Procs: procs, Speed: speed}, nil
+}
+
+// N returns the fleet size.
+func (f Fleet) N() int { return len(f.Procs) }
+
+// HeteroAssignment is a per-processor configuration for a fleet.
+type HeteroAssignment struct {
+	// Freqs[i] is processor i's clock (0 = stand-by).
+	Freqs []float64
+	// Volts[i] is the matching Eq. 11 voltage.
+	Volts []float64
+	// Power is the fleet draw in watts, including stand-by power.
+	Power float64
+	// Perf is the generalized Eq. 3 performance with per-processor
+	// effective frequencies Speed[i]·Freqs[i].
+	Perf float64
+}
+
+// Active returns the number of running processors.
+func (a HeteroAssignment) Active() int {
+	n := 0
+	for _, f := range a.Freqs {
+		if f > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// heteroPerformance evaluates the mixed-speed performance model:
+// serial work on the fastest effective clock, parallel work split by
+// effective throughput.
+func heteroPerformance(w perf.Workload, eff []float64) float64 {
+	maxE, sumE := 0.0, 0.0
+	for _, e := range eff {
+		if e > maxE {
+			maxE = e
+		}
+		sumE += e
+	}
+	if sumE == 0 {
+		return 0
+	}
+	c1 := w.C1
+	if c1 == 0 {
+		c1 = 1
+	}
+	return c1 / (w.SerialTime/maxE + w.ParallelTime()/sumE)
+}
+
+// HeteroSelect greedily builds the fleet configuration with the best
+// performance within the power budget, the heterogeneous counterpart
+// of VectorSelect: at each step it applies whichever single upgrade —
+// waking an idle processor at the lowest ladder step, or raising a
+// running one a step — gains the most performance per added watt.
+// Faster-per-watt processors therefore wake first, which is the
+// §6 behavior the paper anticipates.
+func HeteroSelect(cfg Config, fleet Fleet, budget float64) (HeteroAssignment, error) {
+	if err := cfg.validate(); err != nil {
+		return HeteroAssignment{}, err
+	}
+	freqs := append([]float64(nil), cfg.Frequencies...)
+	sort.Float64s(freqs)
+	volts := make([]float64, len(freqs))
+	for i, f := range freqs {
+		v, err := cfg.Curve.VoltageFor(f)
+		if err != nil {
+			return HeteroAssignment{}, fmt.Errorf("params: frequency %g Hz unreachable: %w", f, err)
+		}
+		volts[i] = v
+	}
+
+	n := fleet.N()
+	steps := make([]int, n) // ladder index per processor; -1 = standby
+	for i := range steps {
+		steps[i] = -1
+	}
+	procPower := func(i, step int) float64 {
+		if step < 0 {
+			return fleet.Procs[i].StandbyPower
+		}
+		return fleet.Procs[i].Active(freqs[step], volts[step])
+	}
+	totalPower := func() float64 {
+		p := cfg.System.BoardOverhead
+		for i := range steps {
+			p += procPower(i, steps[i])
+		}
+		return p
+	}
+	effective := func() []float64 {
+		out := make([]float64, 0, n)
+		for i, s := range steps {
+			if s >= 0 {
+				out = append(out, fleet.Speed[i]*freqs[s])
+			}
+		}
+		return out
+	}
+
+	for {
+		curPerf := heteroPerformance(cfg.Workload, effective())
+		curPow := totalPower()
+		bestGain := 0.0
+		bestProc := -1
+		for i := range steps {
+			next := steps[i] + 1
+			if next >= len(freqs) {
+				continue
+			}
+			addPow := procPower(i, next) - procPower(i, steps[i])
+			if addPow <= 0 || curPow+addPow > budget {
+				continue
+			}
+			old := steps[i]
+			steps[i] = next
+			gain := heteroPerformance(cfg.Workload, effective()) - curPerf
+			steps[i] = old
+			if g := gain / addPow; g > bestGain {
+				bestGain, bestProc = g, i
+			}
+		}
+		if bestProc < 0 {
+			break
+		}
+		steps[bestProc]++
+	}
+
+	out := HeteroAssignment{
+		Freqs: make([]float64, n),
+		Volts: make([]float64, n),
+	}
+	for i, s := range steps {
+		if s >= 0 {
+			out.Freqs[i] = freqs[s]
+			out.Volts[i] = volts[s]
+		}
+	}
+	out.Power = totalPower()
+	out.Perf = heteroPerformance(cfg.Workload, effective())
+	return out, nil
+}

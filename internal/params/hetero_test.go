@@ -1,0 +1,143 @@
+package params
+
+import (
+	"math"
+	"testing"
+
+	"dpm/internal/power"
+)
+
+func uniformFleet(t *testing.T, n int) Fleet {
+	t.Helper()
+	procs := make([]power.ProcessorModel, n)
+	for i := range procs {
+		procs[i] = power.M32RD()
+	}
+	f, err := NewFleet(procs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFleetValidation(t *testing.T) {
+	if _, err := NewFleet(nil, nil); err == nil {
+		t.Error("empty fleet must error")
+	}
+	procs := []power.ProcessorModel{power.M32RD()}
+	if _, err := NewFleet(procs, []float64{1, 2}); err == nil {
+		t.Error("speed length mismatch must error")
+	}
+	if _, err := NewFleet(procs, []float64{0}); err == nil {
+		t.Error("zero speed must error")
+	}
+	f, err := NewFleet(procs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Speed[0] != 1 {
+		t.Error("nil speed must default to 1.0")
+	}
+	if f.N() != 1 {
+		t.Errorf("N = %d", f.N())
+	}
+}
+
+func TestHeteroSelectUniformMatchesVector(t *testing.T) {
+	// A uniform fleet must land on the same performance as
+	// VectorSelect for the same budget.
+	cfg := pamaConfig(t)
+	fleet := uniformFleet(t, cfg.MaxProcessors)
+	for _, budget := range []float64{0.3, 1.0, 2.0, 3.5} {
+		h, err := HeteroSelect(cfg, fleet, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := VectorSelect(cfg, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// HeteroSelect counts all-fleet standby power, VectorSelect
+		// counts the board's; compare performance only.
+		if math.Abs(h.Perf-v.Perf) > 0.05*math.Max(h.Perf, 1) {
+			t.Errorf("budget %g: hetero perf %g vs vector %g", budget, h.Perf, v.Perf)
+		}
+	}
+}
+
+func TestHeteroSelectRespectsBudget(t *testing.T) {
+	cfg := pamaConfig(t)
+	fleet := uniformFleet(t, 7)
+	for _, budget := range []float64{0.2, 0.8, 2.0, 5.0} {
+		h, err := HeteroSelect(cfg, fleet, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Power > budget && h.Active() > 0 {
+			t.Errorf("budget %g: draw %g with %d active", budget, h.Power, h.Active())
+		}
+	}
+}
+
+func TestHeteroSelectPrefersFastCheapProcessors(t *testing.T) {
+	cfg := pamaConfig(t)
+	// Processor 0: twice the speed at the same power. Processor 1:
+	// reference. Processor 2: half speed at the same power.
+	procs := []power.ProcessorModel{power.M32RD(), power.M32RD(), power.M32RD()}
+	fleet, err := NewFleet(procs, []float64{2, 1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget fits roughly one full-speed processor.
+	h, err := HeteroSelect(cfg, fleet, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Freqs[0] == 0 {
+		t.Errorf("fast processor left idle: %+v", h)
+	}
+	if h.Freqs[2] > h.Freqs[0] {
+		t.Errorf("slow processor clocked above the fast one: %+v", h)
+	}
+}
+
+func TestHeteroSelectZeroBudgetIdle(t *testing.T) {
+	cfg := pamaConfig(t)
+	fleet := uniformFleet(t, 4)
+	h, err := HeteroSelect(cfg, fleet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Active() != 0 || h.Perf != 0 {
+		t.Errorf("zero budget must idle: %+v", h)
+	}
+}
+
+func TestHeteroSelectMonotonePerf(t *testing.T) {
+	cfg := pamaConfig(t)
+	fleet, err := NewFleet(
+		[]power.ProcessorModel{power.M32RD(), power.M32RD(), power.M32RD(), power.M32RD()},
+		[]float64{1.5, 1.2, 1.0, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, budget := range []float64{0, 0.25, 0.5, 1, 1.5, 2, 3} {
+		h, err := HeteroSelect(cfg, fleet, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Perf < prev-1e-9 {
+			t.Errorf("perf not monotone at budget %g: %g after %g", budget, h.Perf, prev)
+		}
+		prev = h.Perf
+	}
+}
+
+func TestHeteroSelectValidatesConfig(t *testing.T) {
+	cfg := pamaConfig(t)
+	cfg.Frequencies = nil
+	if _, err := HeteroSelect(cfg, uniformFleet(t, 2), 1); err == nil {
+		t.Error("invalid config must error")
+	}
+}

@@ -1,0 +1,138 @@
+package params
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpm/internal/perf"
+	"dpm/internal/power"
+)
+
+// randomConfig builds a valid random Config from a seed.
+func randomConfig(seed int64) Config {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(14)
+	nFreq := 1 + rng.Intn(5)
+	freqs := make([]float64, nFreq)
+	base := (10 + 90*rng.Float64()) * 1e6
+	for i := range freqs {
+		freqs[i] = base * float64(i+1)
+	}
+	total := 1 + 10*rng.Float64()
+	serial := total * rng.Float64()
+	w, err := perf.NewWorkload(total, serial)
+	if err != nil {
+		panic(err)
+	}
+	return Config{
+		System: power.SystemModel{
+			Proc: power.ProcessorModel{
+				ActiveAtRef:  0.1 + rng.Float64(),
+				StandbyPower: 0.001 + 0.01*rng.Float64(),
+				SleepPower:   0.05,
+				FRef:         freqs[nFreq-1],
+				VRef:         3.3,
+			},
+			N: n,
+		},
+		Curve:         power.NewFixedVoltage(3.3, freqs[nFreq-1]),
+		Workload:      w,
+		Frequencies:   freqs,
+		MaxProcessors: n,
+		MinProcessors: 0,
+	}
+}
+
+// Property: for any valid random configuration, the frontier is
+// strictly increasing in both axes and Select never exceeds an
+// affordable budget.
+func TestFrontierInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := randomConfig(seed)
+		tbl, err := BuildTable(cfg)
+		if err != nil {
+			return false
+		}
+		pts := tbl.Points()
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Power <= pts[i-1].Power || pts[i].Perf <= pts[i-1].Perf {
+				return false
+			}
+		}
+		// Select respects any budget at or above the floor.
+		rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+		for trial := 0; trial < 16; trial++ {
+			budget := pts[0].Power + rng.Float64()*(pts[len(pts)-1].Power-pts[0].Power+1)
+			got := tbl.Select(budget)
+			if got.Power > budget+1e-12 {
+				return false
+			}
+			// SelectCovering is the dual: at or above the demand
+			// unless the board maxes out.
+			cov := tbl.SelectCovering(budget)
+			if cov.Power < budget-1e-12 && cov != pts[len(pts)-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Select and SelectCovering bracket the budget — covering's
+// power is never below select's.
+func TestSelectBracketProperty(t *testing.T) {
+	f := func(seed int64, budgetRaw float64) bool {
+		cfg := randomConfig(seed)
+		tbl, err := BuildTable(cfg)
+		if err != nil {
+			return false
+		}
+		budget := math.Abs(math.Mod(budgetRaw, 20))
+		lo := tbl.Select(budget)
+		hi := tbl.SelectCovering(budget)
+		return hi.Power >= lo.Power-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: VectorSelect's greedy never produces a worse point than
+// running a single processor at the lowest clock when the budget
+// allows at least that.
+func TestVectorSelectFloorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := randomConfig(seed)
+		tbl, err := BuildTable(cfg)
+		if err != nil {
+			return false
+		}
+		pts := tbl.Points()
+		// Find the cheapest active point.
+		var floor OperatingPoint
+		found := false
+		for _, p := range pts {
+			if p.N > 0 {
+				floor = p
+				found = true
+				break
+			}
+		}
+		if !found {
+			return true
+		}
+		vp, err := VectorSelect(cfg, floor.Power+1e-9)
+		if err != nil {
+			return false
+		}
+		return vp.Perf >= floor.Perf*(1-1e-9) || vp.N() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

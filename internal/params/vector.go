@@ -1,0 +1,169 @@
+package params
+
+import (
+	"fmt"
+	"sort"
+
+	"dpm/internal/perf"
+)
+
+// This file implements the paper's §6 future-work extension: letting
+// each processor run at its own frequency and voltage instead of a
+// common clock. The task-graph model generalizes naturally — the
+// serial stages run on the fastest processor, and the parallel middle
+// is divided in proportion to processor speed — giving
+//
+//	Perf = c1 / (Ts/max(f_i) + (Tt − Ts)/Σ f_i)
+//
+// which reduces to Eq. 3 when all frequencies agree.
+
+// VectorPoint is a per-processor operating configuration.
+type VectorPoint struct {
+	// Freqs holds the active processors' frequencies in hertz,
+	// sorted descending. Inactive processors are simply absent.
+	Freqs []float64
+	// Volts holds the matching Eq. 11 voltages.
+	Volts []float64
+	// Power is the system draw in watts, including stand-by power
+	// for inactive processors.
+	Power float64
+	// Perf is the generalized Eq. 3 performance.
+	Perf float64
+}
+
+// N returns the active-processor count.
+func (p VectorPoint) N() int { return len(p.Freqs) }
+
+// VectorPerformance evaluates the mixed-frequency performance model.
+// An empty frequency set has zero performance. Frequencies must be
+// positive.
+func VectorPerformance(w perf.Workload, freqs []float64) float64 {
+	if len(freqs) == 0 {
+		return 0
+	}
+	maxF, sumF := 0.0, 0.0
+	for _, f := range freqs {
+		if f <= 0 {
+			panic(fmt.Sprintf("params: non-positive frequency %g in vector", f))
+		}
+		if f > maxF {
+			maxF = f
+		}
+		sumF += f
+	}
+	c1 := w.C1
+	if c1 == 0 {
+		c1 = 1
+	}
+	return c1 / (w.SerialTime/maxF + w.ParallelTime()/sumF)
+}
+
+// VectorSelect greedily builds the per-processor configuration with
+// the best performance within the power budget: starting from
+// all-idle, it repeatedly applies whichever single upgrade —
+// activating another processor at the lowest frequency, or raising
+// one active processor to the next frequency step — has the highest
+// performance gain per added watt, until no upgrade fits the budget.
+//
+// Greedy is not provably optimal for this discrete problem, but with
+// monotone frequency ladders it tracks the exact frontier closely and
+// runs in O(n·|F|) — this is the ablation comparator for the
+// homogeneous Algorithm 2, not a production scheduler.
+func VectorSelect(cfg Config, budget float64) (VectorPoint, error) {
+	if err := cfg.validate(); err != nil {
+		return VectorPoint{}, err
+	}
+	freqs := append([]float64(nil), cfg.Frequencies...)
+	sort.Float64s(freqs)
+	law := cfg.System.Proc.Law()
+
+	// voltFor caches the Eq. 11 voltage per ladder step.
+	volts := make([]float64, len(freqs))
+	for i, f := range freqs {
+		v, err := cfg.Curve.VoltageFor(f)
+		if err != nil {
+			return VectorPoint{}, fmt.Errorf("params: frequency %g Hz unreachable: %w", f, err)
+		}
+		volts[i] = v
+	}
+	procPower := func(step int) float64 { return law.Single(freqs[step], volts[step]) }
+
+	// steps[i] is the ladder index of active processor i; -1 = idle.
+	active := []int{}
+	basePower := cfg.System.MinPower() // all processors in stand-by
+	standby := cfg.System.Proc.StandbyPower
+
+	currentPower := func() float64 {
+		p := basePower
+		for _, s := range active {
+			p += procPower(s) - standby
+		}
+		return p
+	}
+	currentFreqs := func() []float64 {
+		out := make([]float64, len(active))
+		for i, s := range active {
+			out[i] = freqs[s]
+		}
+		return out
+	}
+
+	for {
+		curPerf := VectorPerformance(cfg.Workload, currentFreqs())
+		curPow := currentPower()
+		bestGainPerW := 0.0
+		bestKind := -1 // 0 = activate, 1 = bump index bestIdx
+		bestIdx := -1
+
+		// Option A: activate one more processor at the lowest step.
+		if len(active) < cfg.MaxProcessors {
+			addPow := procPower(0) - standby
+			newPow := curPow + addPow
+			if newPow <= budget && addPow > 0 {
+				f := append(currentFreqs(), freqs[0])
+				gain := VectorPerformance(cfg.Workload, f) - curPerf
+				if g := gain / addPow; g > bestGainPerW {
+					bestGainPerW, bestKind, bestIdx = g, 0, -1
+				}
+			}
+		}
+		// Option B: bump one active processor a step.
+		for i, s := range active {
+			if s+1 >= len(freqs) {
+				continue
+			}
+			addPow := procPower(s+1) - procPower(s)
+			if curPow+addPow > budget || addPow <= 0 {
+				continue
+			}
+			f := currentFreqs()
+			f[i] = freqs[s+1]
+			gain := VectorPerformance(cfg.Workload, f) - curPerf
+			if g := gain / addPow; g > bestGainPerW {
+				bestGainPerW, bestKind, bestIdx = g, 1, i
+			}
+		}
+
+		switch bestKind {
+		case 0:
+			active = append(active, 0)
+		case 1:
+			active[bestIdx]++
+		default:
+			// No affordable upgrade improves performance.
+			outF := currentFreqs()
+			sort.Sort(sort.Reverse(sort.Float64Slice(outF)))
+			outV := make([]float64, len(outF))
+			for i, f := range outF {
+				v, _ := cfg.Curve.VoltageFor(f)
+				outV[i] = v
+			}
+			return VectorPoint{
+				Freqs: outF,
+				Volts: outV,
+				Power: currentPower(),
+				Perf:  VectorPerformance(cfg.Workload, outF),
+			}, nil
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package params
+
+import (
+	"math"
+	"testing"
+
+	"dpm/internal/perf"
+)
+
+func TestVectorPerformanceReducesToEq3(t *testing.T) {
+	w, err := perf.NewWorkload(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All processors at the same frequency must reproduce Eq. 3.
+	for n := 1; n <= 8; n++ {
+		freqs := make([]float64, n)
+		for i := range freqs {
+			freqs[i] = 40e6
+		}
+		got := VectorPerformance(w, freqs)
+		want := w.Performance(n, 40e6, math.Inf(1))
+		if math.Abs(got-want) > 1e-6*want {
+			t.Errorf("n=%d: vector %g vs homogeneous %g", n, got, want)
+		}
+	}
+}
+
+func TestVectorPerformanceEmpty(t *testing.T) {
+	w, _ := perf.NewWorkload(10, 1)
+	if VectorPerformance(w, nil) != 0 {
+		t.Error("no processors means zero performance")
+	}
+}
+
+func TestVectorPerformancePanicsOnBadFrequency(t *testing.T) {
+	w, _ := perf.NewWorkload(10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive frequency must panic")
+		}
+	}()
+	VectorPerformance(w, []float64{40e6, 0})
+}
+
+func TestVectorPerformanceMixedBeatsSlowerHomogeneous(t *testing.T) {
+	w, _ := perf.NewWorkload(10, 1)
+	// {80, 20} must beat {20, 20}: more total speed and a faster
+	// serial stage.
+	mixed := VectorPerformance(w, []float64{80e6, 20e6})
+	slow := VectorPerformance(w, []float64{20e6, 20e6})
+	if mixed <= slow {
+		t.Errorf("mixed %g should beat slow homogeneous %g", mixed, slow)
+	}
+}
+
+func TestVectorSelectRespectsBudget(t *testing.T) {
+	cfg := pamaConfig(t)
+	for _, budget := range []float64{0, 0.1, 0.2, 0.5, 1, 2, 3, 4} {
+		pt, err := VectorSelect(cfg, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Power > budget && pt.N() > 0 {
+			t.Errorf("budget %g: config %v draws %g W", budget, pt.Freqs, pt.Power)
+		}
+		if pt.N() > cfg.MaxProcessors {
+			t.Errorf("budget %g: %d processors exceed max", budget, pt.N())
+		}
+		if len(pt.Volts) != len(pt.Freqs) {
+			t.Errorf("budget %g: %d volts for %d freqs", budget, len(pt.Volts), len(pt.Freqs))
+		}
+	}
+}
+
+func TestVectorSelectMatchesOrBeatsHomogeneous(t *testing.T) {
+	cfg := pamaConfig(t)
+	tbl, err := BuildTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []float64{0.3, 0.7, 1.2, 2.0, 3.0, 3.9} {
+		hom := tbl.Select(budget)
+		vec, err := VectorSelect(cfg, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The vector mode has a strict superset of configurations; a
+		// correct greedy should be within a small factor of the
+		// homogeneous pick and usually at or above it.
+		if vec.Perf < 0.9*hom.Perf {
+			t.Errorf("budget %g: vector %g far below homogeneous %g (freqs %v)",
+				budget, vec.Perf, hom.Perf, vec.Freqs)
+		}
+	}
+}
+
+func TestVectorSelectZeroBudgetIsIdle(t *testing.T) {
+	cfg := pamaConfig(t)
+	pt, err := VectorSelect(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.N() != 0 || pt.Perf != 0 {
+		t.Errorf("zero budget must be idle: %+v", pt)
+	}
+}
+
+func TestVectorSelectFreqsSortedDescending(t *testing.T) {
+	cfg := pamaConfig(t)
+	pt, err := VectorSelect(cfg, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pt.Freqs); i++ {
+		if pt.Freqs[i] > pt.Freqs[i-1] {
+			t.Errorf("freqs not sorted descending: %v", pt.Freqs)
+		}
+	}
+}
+
+func TestVectorSelectValidatesConfig(t *testing.T) {
+	cfg := pamaConfig(t)
+	cfg.Frequencies = nil
+	if _, err := VectorSelect(cfg, 1); err == nil {
+		t.Error("invalid config must error")
+	}
+}

@@ -1,0 +1,259 @@
+// Package power implements the paper's power-consumption models
+// (§3, Eq. 4–6) and the frequency/voltage relationship g(v) with its
+// inverse used to derive the best voltage for a chosen frequency
+// (§4.2, Eq. 11).
+//
+// The paper models a single processor's dynamic power as
+//
+//	Power(f, v) ∝ f·v²                         (Eq. 4)
+//
+// and an n-processor system as the sum over active processors
+// (Eq. 5), which for a homogeneous system running a common clock
+// collapses to
+//
+//	Power(n, f, v) = c2·n·f·v²                 (Eq. 6)
+//
+// On top of the analytic model this package provides the mode-based
+// model of the paper's M32R/D Processor-In-Memory chips: active
+// (546 mW typical at 80 MHz/3.3 V), sleep (393 mW, memory only) and
+// stand-by (6.6 mW, interrupt monitor only).
+package power
+
+import "fmt"
+
+// Mode is a processor operating mode, mirroring the M32R/D modes the
+// paper describes in §5.
+type Mode int
+
+const (
+	// ModeOff means the processor consumes nothing.
+	ModeOff Mode = iota
+	// ModeStandby keeps only the interrupt-monitoring circuit alive.
+	ModeStandby
+	// ModeSleep keeps the on-chip DRAM alive but halts the core.
+	ModeSleep
+	// ModeActive runs the full circuit.
+	ModeActive
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeStandby:
+		return "standby"
+	case ModeSleep:
+		return "sleep"
+	case ModeActive:
+		return "active"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Law is the analytic power law of Eq. 6 with its proportionality
+// constant c2 made explicit: Power = C2 · n · f · v².
+type Law struct {
+	// C2 is the proportionality constant in W/(Hz·V²).
+	C2 float64
+}
+
+// Single returns one processor's dynamic power at frequency f (Hz)
+// and voltage v (V), per Eq. 4.
+func (l Law) Single(f, v float64) float64 { return l.C2 * f * v * v }
+
+// System returns the homogeneous-system power for n processors at a
+// common (f, v), per Eq. 6.
+func (l Law) System(n int, f, v float64) float64 {
+	return float64(n) * l.Single(f, v)
+}
+
+// Sum returns the heterogeneous-system power Σ c2·f_i·v_i², per
+// Eq. 5. freqs and volts must have equal length.
+func (l Law) Sum(freqs, volts []float64) float64 {
+	if len(freqs) != len(volts) {
+		panic(fmt.Sprintf("power: %d frequencies vs %d voltages", len(freqs), len(volts)))
+	}
+	total := 0.0
+	for i := range freqs {
+		total += l.Single(freqs[i], volts[i])
+	}
+	return total
+}
+
+// LawFromCalibration derives C2 from a single measured operating
+// point: a processor drawing watts at (f, v).
+func LawFromCalibration(watts, f, v float64) Law {
+	if watts <= 0 || f <= 0 || v <= 0 {
+		panic(fmt.Sprintf("power: non-positive calibration point (%g W, %g Hz, %g V)", watts, f, v))
+	}
+	return Law{C2: watts / (f * v * v)}
+}
+
+// ProcessorModel is the mode-based power model of one processor. In
+// active mode the dynamic power scales as (f/FRef)·(v/VRef)² from the
+// reference point, matching Eq. 4; sleep and stand-by powers are
+// frequency-independent constants as on the M32R/D.
+type ProcessorModel struct {
+	// ActiveAtRef is the active-mode power (W) at FRef and VRef.
+	ActiveAtRef float64
+	// SleepPower is the sleep-mode power in watts.
+	SleepPower float64
+	// StandbyPower is the stand-by-mode power in watts.
+	StandbyPower float64
+	// FRef is the reference frequency (Hz) for ActiveAtRef.
+	FRef float64
+	// VRef is the reference voltage (V) for ActiveAtRef.
+	VRef float64
+}
+
+// M32RD returns the paper's processor constants: 546 mW active at
+// 80 MHz/3.3 V, 393 mW sleep, 6.6 mW stand-by.
+func M32RD() ProcessorModel {
+	return ProcessorModel{
+		ActiveAtRef:  0.546,
+		SleepPower:   0.393,
+		StandbyPower: 0.0066,
+		FRef:         80e6,
+		VRef:         3.3,
+	}
+}
+
+// Power returns the processor's draw (W) in the given mode at clock f
+// (Hz) and supply v (V). f and v are ignored outside active mode.
+func (p ProcessorModel) Power(mode Mode, f, v float64) float64 {
+	switch mode {
+	case ModeOff:
+		return 0
+	case ModeStandby:
+		return p.StandbyPower
+	case ModeSleep:
+		return p.SleepPower
+	case ModeActive:
+		return p.Active(f, v)
+	default:
+		panic(fmt.Sprintf("power: unknown mode %d", int(mode)))
+	}
+}
+
+// Active returns the active-mode power at (f, v), scaling the
+// reference point by f·v² per Eq. 4.
+func (p ProcessorModel) Active(f, v float64) float64 {
+	if f < 0 || v < 0 {
+		panic(fmt.Sprintf("power: negative operating point (%g Hz, %g V)", f, v))
+	}
+	return p.ActiveAtRef * (f / p.FRef) * (v / p.VRef) * (v / p.VRef)
+}
+
+// Law converts the processor model's active-mode scaling into the
+// analytic Law of Eq. 6.
+func (p ProcessorModel) Law() Law {
+	return LawFromCalibration(p.ActiveAtRef, p.FRef, p.VRef)
+}
+
+// SystemModel is a fleet of processors sharing a ProcessorModel, plus
+// a fixed board overhead (FPGAs, regulators). The paper's PAMA board
+// has N = 8 processors and two interconnect FPGAs.
+type SystemModel struct {
+	// Proc is the per-processor model.
+	Proc ProcessorModel
+	// N is the total processor count.
+	N int
+	// BoardOverhead is a constant board draw in watts (0 in the
+	// paper's simulation, which counts only processor power).
+	BoardOverhead float64
+}
+
+// PAMA returns the paper's board: eight M32R/D PIMs, no modeled
+// board overhead.
+func PAMA() SystemModel {
+	return SystemModel{Proc: M32RD(), N: 8}
+}
+
+// HomogeneousPower returns the board draw with nActive processors in
+// active mode at a common (f, v) and the remaining N−nActive in
+// stand-by — the configuration the paper's Algorithm 2 chooses
+// between.
+func (s SystemModel) HomogeneousPower(nActive int, f, v float64) float64 {
+	return s.HomogeneousPowerIdle(nActive, f, v, ModeStandby)
+}
+
+// HomogeneousPowerIdle generalizes HomogeneousPower to an arbitrary
+// idle mode for the inactive processors: the paper's simulation
+// parks them in stand-by ("the sleep mode is not used"), but the
+// M32R/D also offers sleep (DRAM alive, 393 mW) and off.
+func (s SystemModel) HomogeneousPowerIdle(nActive int, f, v float64, idle Mode) float64 {
+	if nActive < 0 || nActive > s.N {
+		panic(fmt.Sprintf("power: nActive %d outside [0, %d]", nActive, s.N))
+	}
+	active := float64(nActive) * s.Proc.Active(f, v)
+	idlePower := float64(s.N-nActive) * s.Proc.Power(idle, 0, 0)
+	return active + idlePower + s.BoardOverhead
+}
+
+// Power returns the board draw for an arbitrary per-processor
+// configuration. All three slices must have length N.
+func (s SystemModel) Power(modes []Mode, freqs, volts []float64) float64 {
+	if len(modes) != s.N || len(freqs) != s.N || len(volts) != s.N {
+		panic(fmt.Sprintf("power: configuration lengths %d/%d/%d, want %d",
+			len(modes), len(freqs), len(volts), s.N))
+	}
+	total := s.BoardOverhead
+	for i, m := range modes {
+		total += s.Proc.Power(m, freqs[i], volts[i])
+	}
+	return total
+}
+
+// MaxPower returns the board draw with everything active at fmax and
+// vmax — useful for sizing allocations.
+func (s SystemModel) MaxPower(fmax, vmax float64) float64 {
+	return s.HomogeneousPower(s.N, fmax, vmax)
+}
+
+// MinPower returns the draw with every processor in stand-by.
+func (s SystemModel) MinPower() float64 {
+	return s.HomogeneousPower(0, 0, 0)
+}
+
+// Energy integrates a constant power over dt seconds. Trivial, but it
+// keeps watt·second bookkeeping greppable at call sites.
+func Energy(watts, dt float64) float64 { return watts * dt }
+
+// Heterogeneous describes a fleet where each processor has its own
+// model — the paper's §6 future-work extension.
+type Heterogeneous struct {
+	Procs []ProcessorModel
+}
+
+// Power returns the total draw for per-processor modes, frequencies
+// and voltages. All slices must match len(Procs).
+func (h Heterogeneous) Power(modes []Mode, freqs, volts []float64) float64 {
+	n := len(h.Procs)
+	if len(modes) != n || len(freqs) != n || len(volts) != n {
+		panic(fmt.Sprintf("power: heterogeneous configuration lengths %d/%d/%d, want %d",
+			len(modes), len(freqs), len(volts), n))
+	}
+	total := 0.0
+	for i, p := range h.Procs {
+		total += p.Power(modes[i], freqs[i], volts[i])
+	}
+	return total
+}
+
+// ScaleFleet builds a heterogeneous fleet from a base model with
+// per-processor multipliers on the active power (e.g. process
+// variation or mixed chip generations).
+func ScaleFleet(base ProcessorModel, activeScale []float64) Heterogeneous {
+	procs := make([]ProcessorModel, len(activeScale))
+	for i, s := range activeScale {
+		if s <= 0 {
+			panic(fmt.Sprintf("power: non-positive scale %g at %d", s, i))
+		}
+		p := base
+		p.ActiveAtRef *= s
+		procs[i] = p
+	}
+	return Heterogeneous{Procs: procs}
+}

@@ -1,0 +1,242 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{
+		ModeOff: "off", ModeStandby: "standby", ModeSleep: "sleep", ModeActive: "active",
+		Mode(42): "Mode(42)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestLawEquation6(t *testing.T) {
+	l := Law{C2: 2}
+	// Power = c2·n·f·v²
+	if got := l.System(4, 10, 3); got != 2*4*10*9 {
+		t.Errorf("System = %g", got)
+	}
+	if got := l.Single(10, 3); got != 180 {
+		t.Errorf("Single = %g", got)
+	}
+}
+
+func TestLawSumEquation5(t *testing.T) {
+	l := Law{C2: 1}
+	got := l.Sum([]float64{10, 20}, []float64{2, 1})
+	want := 10*4 + 20*1.0
+	if got != want {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+}
+
+func TestLawSumLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched slice lengths must panic")
+		}
+	}()
+	Law{C2: 1}.Sum([]float64{1}, []float64{1, 2})
+}
+
+func TestLawFromCalibration(t *testing.T) {
+	l := LawFromCalibration(0.546, 80e6, 3.3)
+	if got := l.Single(80e6, 3.3); !approx(got, 0.546, 1e-12) {
+		t.Errorf("calibrated law at calibration point = %g, want 0.546", got)
+	}
+	// Halving frequency halves power.
+	if got := l.Single(40e6, 3.3); !approx(got, 0.273, 1e-12) {
+		t.Errorf("half frequency = %g, want 0.273", got)
+	}
+}
+
+func TestLawFromCalibrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive calibration must panic")
+		}
+	}()
+	LawFromCalibration(0, 1, 1)
+}
+
+func TestM32RDConstants(t *testing.T) {
+	p := M32RD()
+	if p.Power(ModeActive, 80e6, 3.3) != 0.546 {
+		t.Errorf("active at ref = %g, want 0.546", p.Power(ModeActive, 80e6, 3.3))
+	}
+	if p.Power(ModeSleep, 0, 0) != 0.393 {
+		t.Errorf("sleep = %g, want 0.393", p.Power(ModeSleep, 0, 0))
+	}
+	if p.Power(ModeStandby, 0, 0) != 0.0066 {
+		t.Errorf("standby = %g, want 0.0066", p.Power(ModeStandby, 0, 0))
+	}
+	if p.Power(ModeOff, 0, 0) != 0 {
+		t.Error("off must draw nothing")
+	}
+}
+
+func TestActiveScalesWithFrequency(t *testing.T) {
+	p := M32RD()
+	p80 := p.Active(80e6, 3.3)
+	p40 := p.Active(40e6, 3.3)
+	p20 := p.Active(20e6, 3.3)
+	if !approx(p40, p80/2, 1e-12) || !approx(p20, p80/4, 1e-12) {
+		t.Errorf("frequency scaling broken: %g / %g / %g", p80, p40, p20)
+	}
+}
+
+func TestActiveScalesWithVoltageSquared(t *testing.T) {
+	p := M32RD()
+	full := p.Active(80e6, 3.3)
+	half := p.Active(80e6, 3.3/2)
+	if !approx(half, full/4, 1e-9) {
+		t.Errorf("voltage² scaling broken: %g vs %g", half, full/4)
+	}
+}
+
+func TestActiveNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative operating point must panic")
+		}
+	}()
+	M32RD().Active(-1, 3.3)
+}
+
+func TestUnknownModePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown mode must panic")
+		}
+	}()
+	M32RD().Power(Mode(99), 0, 0)
+}
+
+func TestProcessorLawRoundTrip(t *testing.T) {
+	p := M32RD()
+	l := p.Law()
+	f := func(fraw, vraw float64) bool {
+		f := 20e6 + math.Mod(math.Abs(fraw), 60e6)
+		v := 1.0 + math.Mod(math.Abs(vraw), 2.3)
+		if math.IsNaN(f) || math.IsNaN(v) {
+			return true
+		}
+		return approx(p.Active(f, v), l.Single(f, v), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPAMAHomogeneousPower(t *testing.T) {
+	s := PAMA()
+	// All eight active at full speed: 8 × 546 mW.
+	if got := s.HomogeneousPower(8, 80e6, 3.3); !approx(got, 8*0.546, 1e-9) {
+		t.Errorf("full board = %g, want %g", got, 8*0.546)
+	}
+	// All standby: 8 × 6.6 mW.
+	if got := s.MinPower(); !approx(got, 8*0.0066, 1e-9) {
+		t.Errorf("idle board = %g, want %g", got, 8*0.0066)
+	}
+	// Mixed: 3 active at 20 MHz + 5 standby.
+	want := 3*0.546/4 + 5*0.0066
+	if got := s.HomogeneousPower(3, 20e6, 3.3); !approx(got, want, 1e-9) {
+		t.Errorf("mixed board = %g, want %g", got, want)
+	}
+	if got := s.MaxPower(80e6, 3.3); !approx(got, 8*0.546, 1e-9) {
+		t.Errorf("MaxPower = %g", got)
+	}
+}
+
+func TestHomogeneousPowerBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nActive out of range must panic")
+		}
+	}()
+	PAMA().HomogeneousPower(9, 80e6, 3.3)
+}
+
+func TestSystemPowerVectorForm(t *testing.T) {
+	s := PAMA()
+	modes := make([]Mode, 8)
+	freqs := make([]float64, 8)
+	volts := make([]float64, 8)
+	for i := range modes {
+		modes[i] = ModeStandby
+	}
+	modes[0] = ModeActive
+	freqs[0], volts[0] = 80e6, 3.3
+	got := s.Power(modes, freqs, volts)
+	want := 0.546 + 7*0.0066
+	if !approx(got, want, 1e-9) {
+		t.Errorf("vector power = %g, want %g", got, want)
+	}
+}
+
+func TestSystemPowerLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short slices must panic")
+		}
+	}()
+	PAMA().Power([]Mode{ModeActive}, []float64{1}, []float64{1})
+}
+
+func TestSystemPowerMonotoneInActiveCount(t *testing.T) {
+	s := PAMA()
+	prev := -1.0
+	for n := 0; n <= s.N; n++ {
+		p := s.HomogeneousPower(n, 80e6, 3.3)
+		if p <= prev {
+			t.Fatalf("power not increasing at n=%d: %g after %g", n, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	if Energy(2.5, 4) != 10 {
+		t.Errorf("Energy(2.5, 4) = %g", Energy(2.5, 4))
+	}
+}
+
+func TestHeterogeneousFleet(t *testing.T) {
+	fleet := ScaleFleet(M32RD(), []float64{1, 2})
+	modes := []Mode{ModeActive, ModeActive}
+	freqs := []float64{80e6, 80e6}
+	volts := []float64{3.3, 3.3}
+	got := fleet.Power(modes, freqs, volts)
+	if !approx(got, 0.546*3, 1e-9) {
+		t.Errorf("heterogeneous power = %g, want %g", got, 0.546*3)
+	}
+}
+
+func TestHeterogeneousLengthPanics(t *testing.T) {
+	fleet := ScaleFleet(M32RD(), []float64{1, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch must panic")
+		}
+	}()
+	fleet.Power([]Mode{ModeActive}, []float64{1, 2}, []float64{1, 2})
+}
+
+func TestScaleFleetRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive scale must panic")
+		}
+	}()
+	ScaleFleet(M32RD(), []float64{1, 0})
+}

@@ -1,0 +1,176 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// VFCurve is the paper's g(v): the maximum clock frequency a
+// processor sustains at supply voltage v, together with the inverse
+// needed by Eq. 11 to derive the cheapest voltage for a target
+// frequency:
+//
+//	v = g⁻¹(f)  if g⁻¹(f) ≥ vmin
+//	v = vmin    otherwise                     (Eq. 11)
+//
+// MaxFrequency must be non-decreasing in v over [VMin, VMax].
+type VFCurve interface {
+	// MaxFrequency returns g(v) in hertz. v is clamped to
+	// [VMin, VMax].
+	MaxFrequency(v float64) float64
+	// VoltageFor returns the Eq. 11 voltage for frequency f: the
+	// smallest legal voltage that sustains f, never below VMin.
+	// It returns an error if f exceeds g(VMax).
+	VoltageFor(f float64) (float64, error)
+	// VMin returns the minimum supply voltage.
+	VMin() float64
+	// VMax returns the maximum supply voltage.
+	VMax() float64
+}
+
+// FixedVoltage models the paper's PAMA configuration, where the
+// supply is pinned (vmin = vmax = 3.3 V) and any frequency up to FMax
+// runs at that voltage.
+type FixedVoltage struct {
+	// V is the single legal supply voltage.
+	V float64
+	// FMax is the highest supported frequency at V.
+	FMax float64
+}
+
+// NewFixedVoltage returns the pinned-supply curve. It panics on
+// non-positive parameters, which are always configuration bugs.
+func NewFixedVoltage(v, fmax float64) FixedVoltage {
+	if v <= 0 || fmax <= 0 {
+		panic(fmt.Sprintf("power: invalid fixed-voltage curve (%g V, %g Hz)", v, fmax))
+	}
+	return FixedVoltage{V: v, FMax: fmax}
+}
+
+// MaxFrequency implements VFCurve.
+func (c FixedVoltage) MaxFrequency(float64) float64 { return c.FMax }
+
+// VoltageFor implements VFCurve.
+func (c FixedVoltage) VoltageFor(f float64) (float64, error) {
+	if f > c.FMax*(1+1e-12) {
+		return 0, fmt.Errorf("power: frequency %g Hz exceeds maximum %g Hz", f, c.FMax)
+	}
+	return c.V, nil
+}
+
+// VMin implements VFCurve.
+func (c FixedVoltage) VMin() float64 { return c.V }
+
+// VMax implements VFCurve.
+func (c FixedVoltage) VMax() float64 { return c.V }
+
+// LinearVF models g(v) as a line through (VMin, FAtVMin) and
+// (VMax, FAtVMax): the classic first-order DVFS approximation where
+// sustainable frequency grows linearly with supply voltage.
+type LinearVF struct {
+	vmin, vmax float64
+	fmin, fmax float64
+}
+
+// NewLinearVF builds a linear curve. Voltages and frequencies must be
+// positive with vmin < vmax and fAtVMin < fAtVMax.
+func NewLinearVF(vmin, vmax, fAtVMin, fAtVMax float64) (*LinearVF, error) {
+	if vmin <= 0 || vmax <= vmin {
+		return nil, fmt.Errorf("power: invalid voltage range [%g, %g]", vmin, vmax)
+	}
+	if fAtVMin <= 0 || fAtVMax <= fAtVMin {
+		return nil, fmt.Errorf("power: invalid frequency range [%g, %g]", fAtVMin, fAtVMax)
+	}
+	return &LinearVF{vmin: vmin, vmax: vmax, fmin: fAtVMin, fmax: fAtVMax}, nil
+}
+
+// MaxFrequency implements VFCurve.
+func (c *LinearVF) MaxFrequency(v float64) float64 {
+	v = math.Min(math.Max(v, c.vmin), c.vmax)
+	return c.fmin + (c.fmax-c.fmin)*(v-c.vmin)/(c.vmax-c.vmin)
+}
+
+// VoltageFor implements VFCurve (Eq. 11).
+func (c *LinearVF) VoltageFor(f float64) (float64, error) {
+	if f > c.fmax*(1+1e-12) {
+		return 0, fmt.Errorf("power: frequency %g Hz exceeds g(vmax) = %g Hz", f, c.fmax)
+	}
+	if f <= c.fmin {
+		// Below g(vmin) the voltage floor binds: run at vmin.
+		return c.vmin, nil
+	}
+	return c.vmin + (c.vmax-c.vmin)*(f-c.fmin)/(c.fmax-c.fmin), nil
+}
+
+// VMin implements VFCurve.
+func (c *LinearVF) VMin() float64 { return c.vmin }
+
+// VMax implements VFCurve.
+func (c *LinearVF) VMax() float64 { return c.vmax }
+
+// AlphaPowerVF models g(v) with the alpha-power law used throughout
+// the DVFS literature: delay ∝ v / (v − Vth)^α, hence
+// g(v) = K·(v − Vth)^α / v. K is derived from a calibration point
+// (VMax, FMax).
+type AlphaPowerVF struct {
+	vmin, vmax float64
+	vth        float64
+	alpha      float64
+	k          float64
+	fmax       float64
+}
+
+// NewAlphaPowerVF builds the curve from the voltage window, threshold
+// voltage, exponent alpha (typically 1.3–2.0), and the maximum
+// frequency reached at vmax.
+func NewAlphaPowerVF(vmin, vmax, vth, alpha, fmax float64) (*AlphaPowerVF, error) {
+	if vmin <= 0 || vmax <= vmin {
+		return nil, fmt.Errorf("power: invalid voltage range [%g, %g]", vmin, vmax)
+	}
+	if vth < 0 || vth >= vmin {
+		return nil, fmt.Errorf("power: threshold %g must lie in [0, vmin)", vth)
+	}
+	if alpha < 1 || alpha > 3 {
+		return nil, fmt.Errorf("power: alpha %g outside plausible [1, 3]", alpha)
+	}
+	if fmax <= 0 {
+		return nil, fmt.Errorf("power: non-positive fmax %g", fmax)
+	}
+	c := &AlphaPowerVF{vmin: vmin, vmax: vmax, vth: vth, alpha: alpha, fmax: fmax}
+	c.k = fmax * vmax / math.Pow(vmax-vth, alpha)
+	return c, nil
+}
+
+// MaxFrequency implements VFCurve.
+func (c *AlphaPowerVF) MaxFrequency(v float64) float64 {
+	v = math.Min(math.Max(v, c.vmin), c.vmax)
+	return c.k * math.Pow(v-c.vth, c.alpha) / v
+}
+
+// VoltageFor implements VFCurve. The alpha-power g(v) has no closed
+// inverse, so it bisects; g is monotone on [vmin, vmax], making the
+// bisection exact to the tolerance.
+func (c *AlphaPowerVF) VoltageFor(f float64) (float64, error) {
+	if f > c.fmax*(1+1e-9) {
+		return 0, fmt.Errorf("power: frequency %g Hz exceeds g(vmax) = %g Hz", f, c.fmax)
+	}
+	if f <= c.MaxFrequency(c.vmin) {
+		return c.vmin, nil
+	}
+	lo, hi := c.vmin, c.vmax
+	for i := 0; i < 64 && hi-lo > 1e-9; i++ {
+		mid := (lo + hi) / 2
+		if c.MaxFrequency(mid) < f {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// VMin implements VFCurve.
+func (c *AlphaPowerVF) VMin() float64 { return c.vmin }
+
+// VMax implements VFCurve.
+func (c *AlphaPowerVF) VMax() float64 { return c.vmax }

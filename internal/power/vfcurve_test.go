@@ -1,0 +1,184 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedVoltage(t *testing.T) {
+	c := NewFixedVoltage(3.3, 80e6)
+	if c.VMin() != 3.3 || c.VMax() != 3.3 {
+		t.Error("fixed curve has a single voltage")
+	}
+	if c.MaxFrequency(3.3) != 80e6 {
+		t.Errorf("g(3.3) = %g", c.MaxFrequency(3.3))
+	}
+	v, err := c.VoltageFor(20e6)
+	if err != nil || v != 3.3 {
+		t.Errorf("VoltageFor(20 MHz) = %g, %v", v, err)
+	}
+	if _, err := c.VoltageFor(100e6); err == nil {
+		t.Error("frequency beyond FMax must error")
+	}
+}
+
+func TestFixedVoltagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid fixed curve must panic")
+		}
+	}()
+	NewFixedVoltage(0, 80e6)
+}
+
+func TestLinearVF(t *testing.T) {
+	c, err := NewLinearVF(1.0, 2.0, 100e6, 300e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MaxFrequency(1.5); !approx(got, 200e6, 1) {
+		t.Errorf("g(1.5) = %g, want 200 MHz", got)
+	}
+	// Clamping outside the window.
+	if got := c.MaxFrequency(0.5); got != 100e6 {
+		t.Errorf("g below vmin = %g", got)
+	}
+	if got := c.MaxFrequency(5); got != 300e6 {
+		t.Errorf("g above vmax = %g", got)
+	}
+}
+
+func TestLinearVFVoltageForEq11(t *testing.T) {
+	c, err := NewLinearVF(1.0, 2.0, 100e6, 300e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below g(vmin): voltage floor binds (Eq. 11 second branch).
+	v, err := c.VoltageFor(50e6)
+	if err != nil || v != 1.0 {
+		t.Errorf("VoltageFor(50 MHz) = %g, %v; want vmin", v, err)
+	}
+	// Inside the range: exact inverse.
+	v, err = c.VoltageFor(200e6)
+	if err != nil || !approx(v, 1.5, 1e-9) {
+		t.Errorf("VoltageFor(200 MHz) = %g, %v; want 1.5", v, err)
+	}
+	// Beyond g(vmax): error.
+	if _, err := c.VoltageFor(400e6); err == nil {
+		t.Error("frequency beyond g(vmax) must error")
+	}
+}
+
+func TestLinearVFValidation(t *testing.T) {
+	if _, err := NewLinearVF(2, 1, 1e6, 2e6); err == nil {
+		t.Error("inverted voltage range must be rejected")
+	}
+	if _, err := NewLinearVF(1, 2, 2e6, 1e6); err == nil {
+		t.Error("inverted frequency range must be rejected")
+	}
+	if _, err := NewLinearVF(0, 2, 1e6, 2e6); err == nil {
+		t.Error("zero vmin must be rejected")
+	}
+}
+
+func TestLinearVFRoundTrip(t *testing.T) {
+	c, err := NewLinearVF(0.9, 1.8, 50e6, 400e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw float64) bool {
+		freq := 50e6 + math.Mod(math.Abs(raw), 350e6)
+		if math.IsNaN(freq) {
+			return true
+		}
+		v, err := c.VoltageFor(freq)
+		if err != nil {
+			return false
+		}
+		// g(VoltageFor(f)) must sustain f.
+		return c.MaxFrequency(v) >= freq*(1-1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlphaPowerVF(t *testing.T) {
+	c, err := NewAlphaPowerVF(0.9, 1.8, 0.35, 1.5, 400e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibration point holds.
+	if got := c.MaxFrequency(1.8); !approx(got, 400e6, 1) {
+		t.Errorf("g(vmax) = %g, want 400 MHz", got)
+	}
+	// Monotone increasing.
+	prev := 0.0
+	for v := 0.9; v <= 1.8; v += 0.05 {
+		f := c.MaxFrequency(v)
+		if f < prev {
+			t.Fatalf("g not monotone at v=%g", v)
+		}
+		prev = f
+	}
+}
+
+func TestAlphaPowerVFVoltageFor(t *testing.T) {
+	c, err := NewAlphaPowerVF(0.9, 1.8, 0.35, 1.5, 400e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below g(vmin): floor binds.
+	low := c.MaxFrequency(0.9)
+	v, err := c.VoltageFor(low / 2)
+	if err != nil || v != 0.9 {
+		t.Errorf("VoltageFor(low) = %g, %v", v, err)
+	}
+	// Mid-range: inverse is consistent.
+	target := 300e6
+	v, err = c.VoltageFor(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MaxFrequency(v); got < target*(1-1e-6) {
+		t.Errorf("g(g⁻¹(%g)) = %g", target, got)
+	}
+	// Above g(vmax): error.
+	if _, err := c.VoltageFor(500e6); err == nil {
+		t.Error("frequency beyond g(vmax) must error")
+	}
+}
+
+func TestAlphaPowerVFValidation(t *testing.T) {
+	cases := []struct{ vmin, vmax, vth, alpha, fmax float64 }{
+		{0, 1.8, 0.3, 1.5, 1e8},    // bad vmin
+		{1.8, 0.9, 0.3, 1.5, 1e8},  // inverted
+		{0.9, 1.8, 0.95, 1.5, 1e8}, // vth >= vmin
+		{0.9, 1.8, 0.3, 0.5, 1e8},  // alpha too small
+		{0.9, 1.8, 0.3, 3.5, 1e8},  // alpha too large
+		{0.9, 1.8, 0.3, 1.5, 0},    // bad fmax
+	}
+	for i, c := range cases {
+		if _, err := NewAlphaPowerVF(c.vmin, c.vmax, c.vth, c.alpha, c.fmax); err == nil {
+			t.Errorf("case %d should be rejected: %+v", i, c)
+		}
+	}
+}
+
+func TestVFCurveInterfaceSatisfied(t *testing.T) {
+	var curves []VFCurve
+	curves = append(curves, NewFixedVoltage(3.3, 80e6))
+	lin, _ := NewLinearVF(1, 2, 1e8, 3e8)
+	curves = append(curves, lin)
+	alpha, _ := NewAlphaPowerVF(0.9, 1.8, 0.35, 1.5, 4e8)
+	curves = append(curves, alpha)
+	for i, c := range curves {
+		if c.VMax() < c.VMin() {
+			t.Errorf("curve %d: VMax < VMin", i)
+		}
+		if c.MaxFrequency(c.VMax()) < c.MaxFrequency(c.VMin()) {
+			t.Errorf("curve %d: g not non-decreasing at endpoints", i)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package predict_test
+
+import (
+	"fmt"
+
+	"dpm/internal/predict"
+	"dpm/internal/schedule"
+)
+
+// Derive the expected charging schedule from recorded periods, the
+// way the paper's §2 suggests ("weighted average of the several
+// previous periods").
+func ExampleMovingAverage() {
+	p, err := predict.NewMovingAverage(3)
+	if err != nil {
+		panic(err)
+	}
+	// Three observed periods with drifting output.
+	for _, scale := range []float64{1.0, 0.9, 0.8} {
+		observed := schedule.NewGrid(4.8, []float64{2 * scale, 2 * scale, 0, 0})
+		if err := p.Observe(observed); err != nil {
+			panic(err)
+		}
+	}
+	expected, err := p.Predict()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("expected charging: %.2f W in sunlight, %.2f W in eclipse\n",
+		expected.Values[0], expected.Values[2])
+	// Output:
+	// expected charging: 1.80 W in sunlight, 0.00 W in eclipse
+}

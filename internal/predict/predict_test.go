@@ -1,0 +1,212 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"dpm/internal/schedule"
+	"dpm/internal/trace"
+)
+
+func grid(vals ...float64) *schedule.Grid { return schedule.NewGrid(4.8, vals) }
+
+func TestLastPeriod(t *testing.T) {
+	p := NewLastPeriod()
+	if _, err := p.Predict(); err == nil {
+		t.Error("prediction without history must error")
+	}
+	if err := p.Observe(grid(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(grid(1, 2, 3), 0) {
+		t.Errorf("last-period = %v", got.Values)
+	}
+	// A newer period replaces the old.
+	if err := p.Observe(grid(4, 5, 6)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Predict()
+	if !got.Equal(grid(4, 5, 6), 0) {
+		t.Errorf("last-period after update = %v", got.Values)
+	}
+	if p.Name() != "last-period" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestLastPeriodGeometryCheck(t *testing.T) {
+	p := NewLastPeriod()
+	if err := p.Observe(grid(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(grid(1, 2, 3)); err == nil {
+		t.Error("geometry change must be rejected")
+	}
+	if err := p.Observe(nil); err == nil {
+		t.Error("nil observation must be rejected")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	p, err := NewMovingAverage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Predict(); err == nil {
+		t.Error("prediction without history must error")
+	}
+	p.Observe(grid(2, 4))
+	p.Observe(grid(4, 8))
+	got, err := p.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(grid(3, 6), 1e-12) {
+		t.Errorf("moving average = %v", got.Values)
+	}
+	// Window slides: a third observation evicts the first.
+	p.Observe(grid(8, 0))
+	got, _ = p.Predict()
+	if !got.Equal(grid(6, 4), 1e-12) {
+		t.Errorf("slid window = %v", got.Values)
+	}
+	if p.Name() != "moving-average(2)" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestMovingAverageValidation(t *testing.T) {
+	if _, err := NewMovingAverage(0); err == nil {
+		t.Error("window 0 must be rejected")
+	}
+}
+
+func TestExponential(t *testing.T) {
+	p, err := NewExponential(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Predict(); err == nil {
+		t.Error("prediction without history must error")
+	}
+	p.Observe(grid(4))
+	p.Observe(grid(8))
+	got, _ := p.Predict()
+	if math.Abs(got.Values[0]-6) > 1e-12 { // 0.5·8 + 0.5·4
+		t.Errorf("exponential = %v", got.Values)
+	}
+	if p.Name() != "exponential(0.50)" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestExponentialValidation(t *testing.T) {
+	if _, err := NewExponential(0); err == nil {
+		t.Error("alpha 0 must be rejected")
+	}
+	if _, err := NewExponential(1.5); err == nil {
+		t.Error("alpha > 1 must be rejected")
+	}
+	if _, err := NewExponential(1); err != nil {
+		t.Error("alpha 1 is legal (degenerates to last-period)")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	e, err := Evaluate(grid(1, 2, 3), grid(1, 2, 3))
+	if err != nil || e.MAE != 0 || e.RMSE != 0 || e.Peak != 0 {
+		t.Errorf("perfect prediction errors = %+v, %v", e, err)
+	}
+	e, err = Evaluate(grid(0, 0), grid(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.MAE-3.5) > 1e-12 || math.Abs(e.RMSE-math.Sqrt(12.5)) > 1e-12 || e.Peak != 4 {
+		t.Errorf("errors = %+v", e)
+	}
+	if _, err := Evaluate(grid(1), grid(1, 2)); err == nil {
+		t.Error("geometry mismatch must error")
+	}
+}
+
+func TestBacktestOnNoisyScenario(t *testing.T) {
+	// Periods are the scenario I charging schedule with seeded jitter;
+	// averaging predictors must beat last-period on mean RMSE.
+	base := trace.ScenarioI().Charging
+	var periods []*schedule.Grid
+	for i := int64(0); i < 12; i++ {
+		periods = append(periods, trace.Perturb(base, 0.3, 100+i))
+	}
+
+	last := NewLastPeriod()
+	avg, err := NewMovingAverage(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastErrs, err := Backtest(last, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgErrs, err := Backtest(avg, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lastErrs) != 11 || len(avgErrs) != 11 {
+		t.Fatalf("backtest lengths %d/%d", len(lastErrs), len(avgErrs))
+	}
+	if MeanRMSE(avgErrs) >= MeanRMSE(lastErrs) {
+		t.Errorf("moving average RMSE %.3f should beat last-period %.3f on i.i.d. jitter",
+			MeanRMSE(avgErrs), MeanRMSE(lastErrs))
+	}
+}
+
+func TestBacktestValidation(t *testing.T) {
+	if _, err := Backtest(NewLastPeriod(), []*schedule.Grid{grid(1)}); err == nil {
+		t.Error("single-period backtest must error")
+	}
+}
+
+func TestMeanRMSEEmpty(t *testing.T) {
+	if MeanRMSE(nil) != 0 {
+		t.Error("empty MeanRMSE must be 0")
+	}
+}
+
+func TestPredictorsReturnCopies(t *testing.T) {
+	for _, p := range []Predictor{NewLastPeriod(), mustMA(t, 3), mustExp(t, 0.3)} {
+		if err := p.Observe(grid(1, 2)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Values[0] = 99
+		again, _ := p.Predict()
+		if again.Values[0] == 99 {
+			t.Errorf("%s: Predict must return an independent copy", p.Name())
+		}
+	}
+}
+
+func mustMA(t *testing.T, k int) *MovingAverage {
+	t.Helper()
+	p, err := NewMovingAverage(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustExp(t *testing.T, a float64) *Exponential {
+	t.Helper()
+	p, err := NewExponential(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

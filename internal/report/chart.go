@@ -1,0 +1,123 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more aligned series as an ASCII line/column
+// chart — enough to eyeball the paper's Figures 3 and 4 in a
+// terminal. Each series gets a glyph; overlapping points show the
+// later series' glyph.
+type Chart struct {
+	// Title is printed above the plot.
+	Title string
+	// Height is the number of plot rows (default 12).
+	Height int
+	// YLabel annotates the value axis.
+	YLabel string
+
+	names  []string
+	series [][]float64
+	glyphs []byte
+}
+
+// defaultGlyphs cycles for successive series.
+var defaultGlyphs = []byte{'*', 'o', '+', 'x', '#'}
+
+// NewChart creates an empty chart.
+func NewChart(title, yLabel string) *Chart {
+	return &Chart{Title: title, YLabel: yLabel, Height: 12}
+}
+
+// AddSeries appends a named series. All series must share a length.
+func (c *Chart) AddSeries(name string, values []float64) error {
+	if len(values) == 0 {
+		return fmt.Errorf("report: empty series %q", name)
+	}
+	if len(c.series) > 0 && len(values) != len(c.series[0]) {
+		return fmt.Errorf("report: series %q has %d points, chart has %d",
+			name, len(values), len(c.series[0]))
+	}
+	c.names = append(c.names, name)
+	c.series = append(c.series, append([]float64(nil), values...))
+	c.glyphs = append(c.glyphs, defaultGlyphs[(len(c.series)-1)%len(defaultGlyphs)])
+	return nil
+}
+
+// Render writes the chart.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.series) == 0 {
+		return fmt.Errorf("report: chart %q has no series", c.Title)
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, v := range s {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Pad the top so peaks do not touch the frame.
+	span := hi - lo
+	hi += 0.05 * span
+	lo -= 0.05 * span
+	span = hi - lo
+
+	n := len(c.series[0])
+	const colWidth = 3
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", n*colWidth))
+	}
+	for si, s := range c.series {
+		for x, v := range s {
+			row := int((hi - v) / span * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][x*colWidth+1] = c.glyphs[si]
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	for i, name := range c.names {
+		if i > 0 {
+			b.WriteString("   ")
+		}
+		fmt.Fprintf(&b, "%c %s", c.glyphs[i], name)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "   (%s)", c.YLabel)
+	}
+	b.WriteByte('\n')
+	for r, row := range grid {
+		val := hi - float64(r)/float64(height-1)*span
+		fmt.Fprintf(&b, "%7.2f |%s\n", val, string(row))
+	}
+	b.WriteString("        +" + strings.Repeat("-", n*colWidth) + "\n")
+	// X index ruler, every 4th slot labeled.
+	ruler := []byte(strings.Repeat(" ", 9+n*colWidth))
+	for x := 0; x < n; x += 4 {
+		label := fmt.Sprintf("%d", x)
+		copy(ruler[9+x*colWidth:], label)
+	}
+	b.WriteString(strings.TrimRight(string(ruler), " ") + "\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

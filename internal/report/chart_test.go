@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := NewChart("Figure 3", "W")
+	if err := c.AddSeries("charging", []float64{2.36, 2.36, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSeries("use", []float64{1.9, 1.2, 1.9, 1.2}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 3") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* charging") || !strings.Contains(out, "o use") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing plot glyphs")
+	}
+	// The top axis label should be near the max value (2.36 + 5% pad).
+	if !strings.Contains(out, "2.4") && !strings.Contains(out, "2.48") {
+		t.Errorf("axis labels look wrong:\n%s", out)
+	}
+}
+
+func TestChartSeriesValidation(t *testing.T) {
+	c := NewChart("x", "")
+	if err := c.AddSeries("empty", nil); err == nil {
+		t.Error("empty series must be rejected")
+	}
+	if err := c.AddSeries("a", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSeries("b", []float64{1}); err == nil {
+		t.Error("length mismatch must be rejected")
+	}
+}
+
+func TestChartNoSeries(t *testing.T) {
+	var sb strings.Builder
+	if err := NewChart("x", "").Render(&sb); err == nil {
+		t.Error("chart without series must error")
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	c := NewChart("flat", "")
+	if err := c.AddSeries("const", []float64{5, 5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err) // must not divide by zero
+	}
+}
+
+func TestChartGlyphCycling(t *testing.T) {
+	c := NewChart("many", "")
+	for i := 0; i < 7; i++ {
+		if err := c.AddSeries(string(rune('a'+i)), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.glyphs[5] != c.glyphs[0] {
+		t.Error("glyphs should cycle after the palette is exhausted")
+	}
+}

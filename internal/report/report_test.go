@@ -1,0 +1,93 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tbl := NewTable("Demo", "Name", "Value")
+	tbl.AddRow("alpha", "1.00")
+	tbl.AddRow("b", "22.50")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "Demo\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows → 5? title+header+rule+2 = 5
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d: %q", len(lines), out)
+		}
+	}
+	// Columns align: "Value" column starts at the same offset in all rows.
+	header := lines[1]
+	row1 := lines[3]
+	if strings.Index(header, "Value") != strings.Index(row1, "1.00") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tbl := NewTable("", "A")
+	tbl.AddRow("x")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(sb.String(), "\n") {
+		t.Error("empty title must not emit a blank line")
+	}
+}
+
+func TestAddRowPanicsOnMismatch(t *testing.T) {
+	tbl := NewTable("x", "A", "B")
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row must panic")
+		}
+	}()
+	tbl.AddRow("only one")
+}
+
+func TestRows(t *testing.T) {
+	tbl := NewTable("x", "A")
+	if tbl.Rows() != 0 {
+		t.Error("fresh table must have no rows")
+	}
+	tbl.AddRow("1")
+	if tbl.Rows() != 1 {
+		t.Error("Rows must count")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := NewTable("t", "A", "B")
+	tbl.AddRow("plain", `with "quote", and comma`)
+	var sb strings.Builder
+	if err := tbl.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "A,B\nplain,\"with \"\"quote\"\", and comma\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F2(1.005) != "1.00" && F2(1.005) != "1.01" { // float rounding either way is fine
+		t.Errorf("F2 = %q", F2(1.005))
+	}
+	if F2(13.684) != "13.68" {
+		t.Errorf("F2 = %q", F2(13.684))
+	}
+	if F1(4.85) != "4.8" && F1(4.85) != "4.9" {
+		t.Errorf("F1 = %q", F1(4.85))
+	}
+	if I(42) != "42" {
+		t.Errorf("I = %q", I(42))
+	}
+}

@@ -1,0 +1,24 @@
+package ring_test
+
+import (
+	"fmt"
+
+	"dpm/internal/ring"
+)
+
+// Price a controller command around the PAMA ring: the unidirectional
+// topology makes the "previous" neighbor the farthest destination.
+func ExampleNetwork_Latency() {
+	n, err := ring.New(ring.PAMA())
+	if err != nil {
+		panic(err)
+	}
+	const words = 2 // opcode + operand
+	fmt.Printf("controller -> worker 1: %.0f ns\n", 1e9*n.Latency(0, 1, words))
+	fmt.Printf("controller -> worker 7: %.0f ns\n", 1e9*n.Latency(0, 7, words))
+	fmt.Printf("worst broadcast leg:    %.0f ns\n", 1e9*n.BroadcastWorstCase(0, words))
+	// Output:
+	// controller -> worker 1: 100 ns
+	// controller -> worker 7: 900 ns
+	// worst broadcast leg:    900 ns
+}

@@ -1,0 +1,169 @@
+// Package ring models the PAMA board's interconnect: the eight
+// Processor-In-Memory chips sit on a unidirectional ring built from
+// two FPGAs (the SLIIC Quick Look board of the paper's §5). Messages
+// travel one direction only, store-and-forward per hop, with an
+// extra forwarding delay each time they pass through an FPGA. The
+// controller uses it to price command delivery; the machine
+// simulator asks it for per-destination latencies.
+package ring
+
+import "fmt"
+
+// Config describes the ring.
+type Config struct {
+	// Nodes is the number of processors on the ring.
+	Nodes int
+	// FPGAs is the number of interconnect FPGAs, spliced evenly
+	// between equal runs of processors (PAMA: 2 FPGAs for 8 PIMs).
+	FPGAs int
+	// IOClockHz is the I/O clock driving transfers (20 MHz on the
+	// M32R/D).
+	IOClockHz float64
+	// WordBits is the link width in bits per I/O clock.
+	WordBits int
+	// FPGAForwardCycles is the store-and-forward delay inside each
+	// FPGA, in I/O clock cycles.
+	FPGAForwardCycles int
+}
+
+// PAMA returns the paper's board: 8 processors, 2 FPGAs, 20 MHz I/O,
+// 32-bit words, 4-cycle FPGA forwarding.
+func PAMA() Config {
+	return Config{
+		Nodes:             8,
+		FPGAs:             2,
+		IOClockHz:         20e6,
+		WordBits:          32,
+		FPGAForwardCycles: 4,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("ring: %d nodes; need at least 2", c.Nodes)
+	}
+	if c.FPGAs < 0 {
+		return fmt.Errorf("ring: negative FPGA count %d", c.FPGAs)
+	}
+	if c.FPGAs > 0 && c.Nodes%c.FPGAs != 0 {
+		return fmt.Errorf("ring: %d FPGAs do not divide %d nodes evenly", c.FPGAs, c.Nodes)
+	}
+	if c.IOClockHz <= 0 {
+		return fmt.Errorf("ring: non-positive I/O clock %g", c.IOClockHz)
+	}
+	if c.WordBits <= 0 {
+		return fmt.Errorf("ring: non-positive word width %d", c.WordBits)
+	}
+	if c.FPGAForwardCycles < 0 {
+		return fmt.Errorf("ring: negative FPGA forwarding %d", c.FPGAForwardCycles)
+	}
+	return nil
+}
+
+// Network is an immutable ring model plus message accounting.
+type Network struct {
+	cfg      Config
+	segment  int // processors between consecutive FPGAs
+	messages int
+	words    int
+	busyTime float64
+}
+
+// New validates the configuration and builds the network.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg}
+	if cfg.FPGAs > 0 {
+		n.segment = cfg.Nodes / cfg.FPGAs
+	}
+	return n, nil
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Hops returns the unidirectional processor-to-processor distance
+// from node `from` to node `to` (both in [0, Nodes)).
+func (n *Network) Hops(from, to int) int {
+	n.checkNode(from)
+	n.checkNode(to)
+	return (to - from + n.cfg.Nodes) % n.cfg.Nodes
+}
+
+// FPGAsCrossed counts the FPGAs a message passes between from and to.
+// With FPGAs spliced after positions segment−1, 2·segment−1, …, a
+// message crosses one each time its path wraps past such a boundary.
+func (n *Network) FPGAsCrossed(from, to int) int {
+	n.checkNode(from)
+	n.checkNode(to)
+	if n.cfg.FPGAs == 0 {
+		return 0
+	}
+	crossed := 0
+	hops := n.Hops(from, to)
+	for h := 0; h < hops; h++ {
+		pos := (from + h) % n.cfg.Nodes
+		if (pos+1)%n.segment == 0 {
+			crossed++
+		}
+	}
+	return crossed
+}
+
+func (n *Network) checkNode(id int) {
+	if id < 0 || id >= n.cfg.Nodes {
+		panic(fmt.Sprintf("ring: node %d outside [0, %d)", id, n.cfg.Nodes))
+	}
+}
+
+// wordTime is the transfer time of one word over one hop.
+func (n *Network) wordTime() float64 { return 1 / n.cfg.IOClockHz }
+
+// Latency returns the delivery time in seconds for a message of
+// `words` 32-bit words from one node to another: store-and-forward
+// per hop plus the FPGA forwarding delays.
+func (n *Network) Latency(from, to, words int) float64 {
+	if words <= 0 {
+		panic(fmt.Sprintf("ring: non-positive message size %d", words))
+	}
+	hops := n.Hops(from, to)
+	if hops == 0 {
+		return 0
+	}
+	perHop := float64(words) * n.wordTime()
+	fpga := float64(n.FPGAsCrossed(from, to)) * float64(n.cfg.FPGAForwardCycles) * n.wordTime()
+	return float64(hops)*perHop + fpga
+}
+
+// Send records a message and returns its latency — the machine
+// simulator's entry point.
+func (n *Network) Send(from, to, words int) float64 {
+	lat := n.Latency(from, to, words)
+	n.messages++
+	n.words += words
+	n.busyTime += lat
+	return lat
+}
+
+// BroadcastWorstCase returns the longest single-destination latency
+// from the node — the time by which every recipient has the message
+// when sent back-to-back.
+func (n *Network) BroadcastWorstCase(from, words int) float64 {
+	worst := 0.0
+	for to := 0; to < n.cfg.Nodes; to++ {
+		if to == from {
+			continue
+		}
+		if l := n.Latency(from, to, words); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// Stats reports the accounting counters.
+func (n *Network) Stats() (messages, words int, busySeconds float64) {
+	return n.messages, n.words, n.busyTime
+}

@@ -1,0 +1,187 @@
+package ring
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func pama(t *testing.T) *Network {
+	t.Helper()
+	n, err := New(PAMA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 1, IOClockHz: 1, WordBits: 1},
+		{Nodes: 8, FPGAs: -1, IOClockHz: 1, WordBits: 1},
+		{Nodes: 8, FPGAs: 3, IOClockHz: 1, WordBits: 1}, // 3 does not divide 8
+		{Nodes: 8, FPGAs: 2, IOClockHz: 0, WordBits: 1},
+		{Nodes: 8, FPGAs: 2, IOClockHz: 1, WordBits: 0},
+		{Nodes: 8, FPGAs: 2, IOClockHz: 1, WordBits: 1, FPGAForwardCycles: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+	if _, err := New(PAMA()); err != nil {
+		t.Errorf("PAMA config rejected: %v", err)
+	}
+}
+
+func TestHopsUnidirectional(t *testing.T) {
+	n := pama(t)
+	if n.Hops(0, 1) != 1 {
+		t.Errorf("Hops(0,1) = %d", n.Hops(0, 1))
+	}
+	if n.Hops(0, 7) != 7 {
+		t.Errorf("Hops(0,7) = %d", n.Hops(0, 7))
+	}
+	// Unidirectional: going "backward" wraps all the way around.
+	if n.Hops(7, 0) != 1 {
+		t.Errorf("Hops(7,0) = %d", n.Hops(7, 0))
+	}
+	if n.Hops(1, 0) != 7 {
+		t.Errorf("Hops(1,0) = %d", n.Hops(1, 0))
+	}
+	if n.Hops(3, 3) != 0 {
+		t.Errorf("Hops(3,3) = %d", n.Hops(3, 3))
+	}
+}
+
+func TestHopsPanicsOnBadNode(t *testing.T) {
+	n := pama(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range node must panic")
+		}
+	}()
+	n.Hops(0, 8)
+}
+
+func TestFPGAsCrossed(t *testing.T) {
+	n := pama(t)
+	// PAMA: 2 FPGAs, one after node 3 and one after node 7.
+	if got := n.FPGAsCrossed(0, 3); got != 0 {
+		t.Errorf("0→3 crosses %d FPGAs, want 0", got)
+	}
+	if got := n.FPGAsCrossed(0, 4); got != 1 {
+		t.Errorf("0→4 crosses %d, want 1", got)
+	}
+	if got := n.FPGAsCrossed(2, 1); got != 2 { // wraps the whole ring
+		t.Errorf("2→1 crosses %d, want 2", got)
+	}
+	// No FPGAs configured: never crossed.
+	plain, err := New(Config{Nodes: 4, IOClockHz: 1e6, WordBits: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.FPGAsCrossed(0, 3) != 0 {
+		t.Error("FPGA-less ring crossed an FPGA")
+	}
+}
+
+func TestLatencyScalesWithHopsAndWords(t *testing.T) {
+	n := pama(t)
+	oneHop := n.Latency(0, 1, 1)
+	if oneHop != 1/20e6 {
+		t.Errorf("single hop, single word = %g, want 50 ns", oneHop)
+	}
+	// Two hops, no FPGA: exactly double.
+	if got := n.Latency(0, 2, 1); math.Abs(got-2*oneHop) > 1e-15 {
+		t.Errorf("two hops = %g", got)
+	}
+	// Bigger message: proportional per hop.
+	if got := n.Latency(0, 1, 10); math.Abs(got-10*oneHop) > 1e-15 {
+		t.Errorf("ten words = %g", got)
+	}
+	// Crossing the FPGA adds its forwarding cycles.
+	withFPGA := n.Latency(3, 4, 1)
+	want := oneHop + 4/20e6
+	if math.Abs(withFPGA-want) > 1e-15 {
+		t.Errorf("FPGA hop = %g, want %g", withFPGA, want)
+	}
+	// Self delivery is free.
+	if n.Latency(5, 5, 3) != 0 {
+		t.Error("self delivery must be free")
+	}
+}
+
+func TestLatencyPanicsOnBadSize(t *testing.T) {
+	n := pama(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive message size must panic")
+		}
+	}()
+	n.Latency(0, 1, 0)
+}
+
+func TestSendAccounting(t *testing.T) {
+	n := pama(t)
+	l1 := n.Send(0, 4, 2)
+	l2 := n.Send(1, 2, 3)
+	msgs, words, busy := n.Stats()
+	if msgs != 2 || words != 5 {
+		t.Errorf("stats = %d msgs, %d words", msgs, words)
+	}
+	if math.Abs(busy-(l1+l2)) > 1e-15 {
+		t.Errorf("busy = %g, want %g", busy, l1+l2)
+	}
+}
+
+func TestBroadcastWorstCase(t *testing.T) {
+	n := pama(t)
+	worst := n.BroadcastWorstCase(0, 2)
+	// The farthest node is 7 hops away; the worst case must be at
+	// least that transfer time.
+	if worst < 7*2/20e6 {
+		t.Errorf("broadcast worst case %g too small", worst)
+	}
+	// And must equal the max over destinations.
+	max := 0.0
+	for to := 1; to < 8; to++ {
+		if l := n.Latency(0, to, 2); l > max {
+			max = l
+		}
+	}
+	if worst != max {
+		t.Errorf("worst %g != max %g", worst, max)
+	}
+}
+
+// Property: the total FPGA crossings around the full ring equal the
+// FPGA count, and latency is additive along the path.
+func TestRingProperties(t *testing.T) {
+	n := pama(t)
+	f := func(fromRaw, midRaw uint8) bool {
+		from := int(fromRaw % 8)
+		mid := int(midRaw % 8)
+		// Full loop crosses every FPGA exactly once.
+		full := 0
+		for k := 0; k < 8; k++ {
+			pos := k
+			next := (pos + 1) % 8
+			full += n.FPGAsCrossed(pos, next)
+		}
+		if full != 2 {
+			return false
+		}
+		// Additivity: from→mid→from covers the whole ring when
+		// mid != from.
+		if mid != from {
+			total := n.Latency(from, mid, 1) + n.Latency(mid, from, 1)
+			loop := 8*(1/20e6) + 2*4/20e6
+			return math.Abs(total-loop) < 1e-12
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,45 @@
+package schedule_test
+
+import (
+	"fmt"
+
+	"dpm/internal/schedule"
+)
+
+// Build the paper's scenario I charging schedule as a slot grid and
+// integrate it.
+func ExampleGrid() {
+	charging := schedule.NewGrid(4.8, []float64{
+		2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0, 0, 0, 0, 0, 0,
+	})
+	fmt.Printf("period %.1f s, energy %.1f J, power at t=10s: %.2f W\n",
+		charging.Period(), charging.Total(), charging.At(10))
+	// Output:
+	// period 57.6 s, energy 68.0 J, power at t=10s: 2.36 W
+}
+
+// Combine an event-rate schedule with a weight function (Eq. 7's
+// weighted power-usage function) and discretize it.
+func ExampleMul() {
+	u := schedule.NewConst(1.0, 24)
+	w, err := schedule.NewPiecewiseConstant(
+		[]float64{0, 7, 9}, []float64{1, 3, 1}, 24)
+	if err != nil {
+		panic(err)
+	}
+	wpuf := schedule.Mul(u, w)
+	grid := schedule.FromSchedule(wpuf, 24)
+	fmt.Printf("hour 6: %.0f, hour 8 (rush): %.0f\n", grid.Values[6], grid.Values[8])
+	// Output:
+	// hour 6: 1, hour 8 (rush): 3
+}
+
+// The battery trajectory (Eq. 10) is the cumulative surplus.
+func ExampleGrid_Cumulative() {
+	charging := schedule.NewGrid(1, []float64{3, 3, 0, 0})
+	usage := schedule.NewGrid(1, []float64{1, 1, 2, 2})
+	surplus := charging.Sub(usage)
+	fmt.Println(surplus.Cumulative(5))
+	// Output:
+	// [5 7 9 7 5]
+}

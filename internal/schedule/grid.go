@@ -1,0 +1,225 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is a uniform piecewise-constant discretization of one period:
+// slot i covers [i·Step, (i+1)·Step) and carries the constant value
+// Values[i]. The paper's algorithms update system parameters only at
+// multiples of τ (its Step), so a Grid is the natural working form
+// for power allocations: τ = 4.8 s and twelve slots per 57.6 s period
+// in the paper's evaluation.
+//
+// A Grid's Values slice is owned by the Grid; Clone before mutating a
+// Grid that is shared.
+type Grid struct {
+	// Step is the slot width τ in seconds.
+	Step float64
+	// Values holds one value per slot (typically watts).
+	Values []float64
+}
+
+// NewGrid creates a grid with the given slot width and per-slot
+// values. The values are copied.
+func NewGrid(step float64, values []float64) *Grid {
+	if step <= 0 {
+		panic("schedule: NewGrid with non-positive step")
+	}
+	if len(values) == 0 {
+		panic("schedule: NewGrid with no slots")
+	}
+	return &Grid{Step: step, Values: append([]float64(nil), values...)}
+}
+
+// NewUniformGrid creates a grid of n slots all holding value.
+func NewUniformGrid(step float64, n int, value float64) *Grid {
+	if n <= 0 {
+		panic("schedule: NewUniformGrid with non-positive slot count")
+	}
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = value
+	}
+	return &Grid{Step: step, Values: values}
+}
+
+// FromSchedule discretizes s into n slots of width Period/n, using
+// the exact slot average so that the grid's total energy equals the
+// schedule's.
+func FromSchedule(s Schedule, n int) *Grid {
+	if n <= 0 {
+		panic("schedule: FromSchedule with non-positive slot count")
+	}
+	step := s.Period() / float64(n)
+	values := make([]float64, n)
+	for i := range values {
+		t0 := float64(i) * step
+		values[i] = Integrate(s, t0, t0+step) / step
+	}
+	return &Grid{Step: step, Values: values}
+}
+
+// Len returns the number of slots.
+func (g *Grid) Len() int { return len(g.Values) }
+
+// Period returns the grid's total span Step·Len in seconds.
+func (g *Grid) Period() float64 { return g.Step * float64(len(g.Values)) }
+
+// At implements Schedule: the value of the slot containing t, with
+// periodic wraparound.
+func (g *Grid) At(t float64) float64 {
+	t = wrap(t, g.Period())
+	i := int(t / g.Step)
+	if i >= len(g.Values) { // guard the t == Period-epsilon edge
+		i = len(g.Values) - 1
+	}
+	return g.Values[i]
+}
+
+// IntegrateExact implements Integrator.
+func (g *Grid) IntegrateExact(t0, t1 float64) float64 {
+	if t1 < t0 {
+		return -g.IntegrateExact(t1, t0)
+	}
+	total := 0.0
+	for i, v := range g.Values {
+		lo := math.Max(float64(i)*g.Step, t0)
+		hi := math.Min(float64(i+1)*g.Step, t1)
+		if hi > lo {
+			total += v * (hi - lo)
+		}
+	}
+	return total
+}
+
+// SlotStart returns the start time of slot i.
+func (g *Grid) SlotStart(i int) float64 { return float64(i) * g.Step }
+
+// Total returns the integral over the whole period: Σ Values[i]·Step.
+// For a power grid this is the period's total energy in joules.
+func (g *Grid) Total() float64 {
+	sum := 0.0
+	for _, v := range g.Values {
+		sum += v
+	}
+	return sum * g.Step
+}
+
+// Clone returns an independent deep copy.
+func (g *Grid) Clone() *Grid {
+	return &Grid{Step: g.Step, Values: append([]float64(nil), g.Values...)}
+}
+
+// checkCompatible panics unless the two grids share step and length.
+func (g *Grid) checkCompatible(other *Grid) {
+	if g.Step != other.Step || len(g.Values) != len(other.Values) {
+		panic(fmt.Sprintf("schedule: incompatible grids (%d slots × %g s vs %d slots × %g s)",
+			len(g.Values), g.Step, len(other.Values), other.Step))
+	}
+}
+
+// Add returns a new grid holding g + other slot-wise.
+func (g *Grid) Add(other *Grid) *Grid {
+	g.checkCompatible(other)
+	out := g.Clone()
+	for i := range out.Values {
+		out.Values[i] += other.Values[i]
+	}
+	return out
+}
+
+// Sub returns a new grid holding g - other slot-wise.
+func (g *Grid) Sub(other *Grid) *Grid {
+	g.checkCompatible(other)
+	out := g.Clone()
+	for i := range out.Values {
+		out.Values[i] -= other.Values[i]
+	}
+	return out
+}
+
+// Mul returns a new grid holding g · other slot-wise.
+func (g *Grid) Mul(other *Grid) *Grid {
+	g.checkCompatible(other)
+	out := g.Clone()
+	for i := range out.Values {
+		out.Values[i] *= other.Values[i]
+	}
+	return out
+}
+
+// Scale returns a new grid holding k·g.
+func (g *Grid) Scale(k float64) *Grid {
+	out := g.Clone()
+	for i := range out.Values {
+		out.Values[i] *= k
+	}
+	return out
+}
+
+// Cumulative returns the running integral sampled at slot boundaries:
+// out[i] = initial + ∫₀^{i·Step} g. The result has Len+1 entries;
+// out[0] == initial and out[Len] == initial + Total().
+//
+// Applied to the surplus grid c - u this is the paper's battery
+// trajectory P_original(t) of Eq. 10, with initial the starting
+// battery charge.
+func (g *Grid) Cumulative(initial float64) []float64 {
+	out := make([]float64, len(g.Values)+1)
+	out[0] = initial
+	for i, v := range g.Values {
+		out[i+1] = out[i] + v*g.Step
+	}
+	return out
+}
+
+// Min returns the smallest slot value.
+func (g *Grid) Min() float64 {
+	m := g.Values[0]
+	for _, v := range g.Values[1:] {
+		m = math.Min(m, v)
+	}
+	return m
+}
+
+// Max returns the largest slot value.
+func (g *Grid) Max() float64 {
+	m := g.Values[0]
+	for _, v := range g.Values[1:] {
+		m = math.Max(m, v)
+	}
+	return m
+}
+
+// ClampNonNegative zeroes any negative slot in place and returns g.
+// Power allocations are physically non-negative; Algorithm 1's
+// rescaling can otherwise produce tiny negative slots from floating
+// point cancellation.
+func (g *Grid) ClampNonNegative() *Grid {
+	for i, v := range g.Values {
+		if v < 0 {
+			g.Values[i] = 0
+		}
+	}
+	return g
+}
+
+// Equal reports whether the grids agree slot-wise within tol.
+func (g *Grid) Equal(other *Grid, tol float64) bool {
+	if g.Step != other.Step || len(g.Values) != len(other.Values) {
+		return false
+	}
+	for i := range g.Values {
+		if math.Abs(g.Values[i]-other.Values[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the grid compactly for logs and tests.
+func (g *Grid) String() string {
+	return fmt.Sprintf("Grid(τ=%gs, %d slots, total=%.3g)", g.Step, len(g.Values), g.Total())
+}

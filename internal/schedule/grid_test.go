@@ -1,0 +1,228 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func paperGridI() *Grid {
+	// Scenario I use schedule from the paper's Table 2, iteration 1.
+	return NewGrid(4.8, []float64{1.89, 1.21, 0.32, 0.32, 1.21, 2.03, 1.9, 1.21, 0.32, 0.32, 1.21, 2.03})
+}
+
+func TestGridBasics(t *testing.T) {
+	g := paperGridI()
+	if g.Len() != 12 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if !almostEqual(g.Period(), 57.6, 1e-12) {
+		t.Errorf("Period = %g", g.Period())
+	}
+	if g.At(0) != 1.89 {
+		t.Errorf("At(0) = %g", g.At(0))
+	}
+	if g.At(4.8) != 1.21 {
+		t.Errorf("At(4.8) = %g", g.At(4.8))
+	}
+	if g.At(57.6) != 1.89 { // wraps to slot 0
+		t.Errorf("At(57.6) = %g", g.At(57.6))
+	}
+	if !almostEqual(g.SlotStart(3), 14.4, 1e-9) {
+		t.Errorf("SlotStart(3) = %g", g.SlotStart(3))
+	}
+}
+
+func TestGridConstructorsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero step":   func() { NewGrid(0, []float64{1}) },
+		"empty":       func() { NewGrid(1, nil) },
+		"uniform n=0": func() { NewUniformGrid(1, 0, 5) },
+		"from n=0":    func() { FromSchedule(NewConst(1, 10), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGridCopiesInput(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	g := NewGrid(1, vals)
+	vals[0] = 99
+	if g.Values[0] != 1 {
+		t.Error("NewGrid must copy its input slice")
+	}
+}
+
+func TestNewUniformGrid(t *testing.T) {
+	g := NewUniformGrid(4.8, 12, 0.5)
+	if g.Len() != 12 || g.At(30) != 0.5 {
+		t.Errorf("uniform grid wrong: %v", g)
+	}
+	if !almostEqual(g.Total(), 0.5*57.6, 1e-9) {
+		t.Errorf("Total = %g", g.Total())
+	}
+}
+
+func TestFromSchedulePreservesEnergy(t *testing.T) {
+	// Linear ramp: discretizing via slot averages preserves the integral.
+	s, err := NewPiecewiseLinear([]float64{0, 28.8}, []float64{0, 2}, 57.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromSchedule(s, 12)
+	if !almostEqual(g.Total(), Integrate(s, 0, 57.6), 1e-6) {
+		t.Errorf("grid total %g != schedule integral %g", g.Total(), Integrate(s, 0, 57.6))
+	}
+}
+
+func TestGridTotalMatchesPaper(t *testing.T) {
+	// Scenario I's use schedule sums to the same energy as its charging
+	// schedule (six slots at 2.36 W): 6·2.36·4.8 ≈ 67.97 J. The paper's
+	// rounded table values land close to that.
+	g := paperGridI()
+	charge := NewGrid(4.8, []float64{2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0, 0, 0, 0, 0, 0})
+	if math.Abs(g.Total()-charge.Total()) > 1.0 {
+		t.Errorf("use %g J vs charge %g J should roughly balance", g.Total(), charge.Total())
+	}
+}
+
+func TestGridArithmetic(t *testing.T) {
+	a := NewGrid(1, []float64{1, 2, 3})
+	b := NewGrid(1, []float64{4, 5, 6})
+	if got := a.Add(b).Values; got[0] != 5 || got[2] != 9 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a).Values; got[0] != 3 || got[2] != 3 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(b).Values; got[1] != 10 {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Scale(2).Values; got[2] != 6 {
+		t.Errorf("Scale = %v", got)
+	}
+	// Originals untouched.
+	if a.Values[0] != 1 || b.Values[0] != 4 {
+		t.Error("arithmetic must not mutate operands")
+	}
+}
+
+func TestGridIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("adding incompatible grids must panic")
+		}
+	}()
+	NewGrid(1, []float64{1}).Add(NewGrid(2, []float64{1}))
+}
+
+func TestGridCumulative(t *testing.T) {
+	g := NewGrid(2, []float64{1, -1, 3})
+	cum := g.Cumulative(10)
+	want := []float64{10, 12, 10, 16}
+	if len(cum) != len(want) {
+		t.Fatalf("Cumulative length = %d", len(cum))
+	}
+	for i := range want {
+		if !almostEqual(cum[i], want[i], 1e-12) {
+			t.Errorf("cum[%d] = %g, want %g", i, cum[i], want[i])
+		}
+	}
+}
+
+func TestGridCumulativeEndEqualsTotal(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			vals[i] = math.Mod(v, 1e6)
+		}
+		g := NewGrid(0.5, vals)
+		cum := g.Cumulative(0)
+		return almostEqual(cum[len(cum)-1], g.Total(), 1e-6*math.Max(1, math.Abs(g.Total())))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridMinMax(t *testing.T) {
+	g := NewGrid(1, []float64{3, -1, 7, 2})
+	if g.Min() != -1 || g.Max() != 7 {
+		t.Errorf("Min/Max = %g/%g", g.Min(), g.Max())
+	}
+}
+
+func TestGridClampNonNegative(t *testing.T) {
+	g := NewGrid(1, []float64{1, -0.001, 2})
+	g.ClampNonNegative()
+	if g.Values[1] != 0 || g.Values[0] != 1 {
+		t.Errorf("ClampNonNegative = %v", g.Values)
+	}
+}
+
+func TestGridEqual(t *testing.T) {
+	a := NewGrid(1, []float64{1, 2})
+	b := NewGrid(1, []float64{1, 2.0000001})
+	if !a.Equal(b, 1e-3) {
+		t.Error("grids within tolerance should be Equal")
+	}
+	if a.Equal(b, 1e-12) {
+		t.Error("grids outside tolerance should not be Equal")
+	}
+	if a.Equal(NewGrid(2, []float64{1, 2}), 1) {
+		t.Error("different steps are never Equal")
+	}
+	if a.Equal(NewGrid(1, []float64{1}), 1) {
+		t.Error("different lengths are never Equal")
+	}
+}
+
+func TestGridIntegrateExact(t *testing.T) {
+	g := NewGrid(4.8, []float64{2, 0, 1})
+	if got := g.IntegrateExact(0, 14.4); !almostEqual(got, 2*4.8+0+1*4.8, 1e-12) {
+		t.Errorf("full integral = %g", got)
+	}
+	if got := g.IntegrateExact(2.4, 7.2); !almostEqual(got, 2*2.4+0, 1e-12) {
+		t.Errorf("partial integral = %g", got)
+	}
+	if got := g.IntegrateExact(7.2, 2.4); !almostEqual(got, -4.8, 1e-12) {
+		t.Errorf("reversed integral = %g", got)
+	}
+}
+
+func TestGridCloneIndependent(t *testing.T) {
+	g := NewGrid(1, []float64{1, 2})
+	c := g.Clone()
+	c.Values[0] = 99
+	if g.Values[0] != 1 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestGridString(t *testing.T) {
+	s := paperGridI().String()
+	if !strings.Contains(s, "12 slots") || !strings.Contains(s, "τ=4.8s") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestGridAsScheduleInterface(t *testing.T) {
+	var s Schedule = paperGridI()
+	if got := Integrate(s, 0, 4.8); !almostEqual(got, 1.89*4.8, 1e-9) {
+		t.Errorf("Integrate via interface = %g", got)
+	}
+}

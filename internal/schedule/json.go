@@ -1,0 +1,36 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// gridJSON is the wire form of a Grid.
+type gridJSON struct {
+	// Step is the slot width τ in seconds.
+	Step float64 `json:"step"`
+	// Values are the per-slot values.
+	Values []float64 `json:"values"`
+}
+
+// MarshalJSON encodes the grid as {"step": τ, "values": [...]}.
+func (g *Grid) MarshalJSON() ([]byte, error) {
+	return json.Marshal(gridJSON{Step: g.Step, Values: g.Values})
+}
+
+// UnmarshalJSON decodes and validates the wire form.
+func (g *Grid) UnmarshalJSON(data []byte) error {
+	var w gridJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("schedule: decoding grid: %w", err)
+	}
+	if w.Step <= 0 {
+		return fmt.Errorf("schedule: grid step %g must be positive", w.Step)
+	}
+	if len(w.Values) == 0 {
+		return fmt.Errorf("schedule: grid has no slots")
+	}
+	g.Step = w.Step
+	g.Values = w.Values
+	return nil
+}

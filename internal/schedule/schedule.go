@@ -1,0 +1,350 @@
+// Package schedule models real-valued functions of time over one
+// period, the representation the paper uses for every input to the
+// power manager: the expected charging schedule c(t), the expected
+// event-rate schedule u(t), and the weight function w(t), all defined
+// for 0 <= t < T with period T (the satellite orbit in the paper's
+// example).
+//
+// Two families of representations are provided:
+//
+//   - Schedule: a continuous view (constant, piecewise-constant,
+//     piecewise-linear, or an arbitrary function), evaluated at any t
+//     with periodic wraparound.
+//   - Grid: a uniform piecewise-constant discretization with slot
+//     width τ, which is what the paper's algorithms actually operate
+//     on (τ = 4.8 s, T = 57.6 s, twelve slots in the evaluation).
+//
+// Exact integration is available for all built-in schedule kinds;
+// arbitrary functions fall back to adaptive Simpson quadrature.
+package schedule
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule is a real-valued periodic function of time. At must accept
+// any real t; implementations wrap t into [0, Period).
+type Schedule interface {
+	// At returns the value at time t. Times outside [0, Period)
+	// are wrapped periodically.
+	At(t float64) float64
+	// Period returns the length T of one period in seconds.
+	Period() float64
+}
+
+// Integrator is implemented by schedules that can integrate
+// themselves exactly over an interval within one period.
+type Integrator interface {
+	// IntegrateExact returns the integral over [t0, t1], where
+	// 0 <= t0 <= t1 <= Period.
+	IntegrateExact(t0, t1 float64) float64
+}
+
+// wrap maps t into [0, period).
+func wrap(t, period float64) float64 {
+	if period <= 0 {
+		panic("schedule: non-positive period")
+	}
+	t = math.Mod(t, period)
+	if t < 0 {
+		t += period
+	}
+	return t
+}
+
+// Const is a schedule with the same value everywhere.
+type Const struct {
+	Value float64
+	T     float64
+}
+
+// NewConst returns a constant schedule with period T.
+func NewConst(value, T float64) Const {
+	if T <= 0 {
+		panic("schedule: NewConst with non-positive period")
+	}
+	return Const{Value: value, T: T}
+}
+
+// At implements Schedule.
+func (c Const) At(float64) float64 { return c.Value }
+
+// Period implements Schedule.
+func (c Const) Period() float64 { return c.T }
+
+// IntegrateExact implements Integrator.
+func (c Const) IntegrateExact(t0, t1 float64) float64 { return c.Value * (t1 - t0) }
+
+// Func adapts an arbitrary function to the Schedule interface.
+type Func struct {
+	F func(t float64) float64
+	T float64
+}
+
+// NewFunc wraps f as a schedule with period T.
+func NewFunc(f func(float64) float64, T float64) Func {
+	if T <= 0 {
+		panic("schedule: NewFunc with non-positive period")
+	}
+	if f == nil {
+		panic("schedule: NewFunc with nil function")
+	}
+	return Func{F: f, T: T}
+}
+
+// At implements Schedule.
+func (f Func) At(t float64) float64 { return f.F(wrap(t, f.T)) }
+
+// Period implements Schedule.
+func (f Func) Period() float64 { return f.T }
+
+// PiecewiseConstant holds a step function: Values[i] on
+// [Breaks[i], Breaks[i+1]), with an implicit final break at Period.
+// Breaks must start at 0 and increase strictly.
+type PiecewiseConstant struct {
+	breaks []float64
+	values []float64
+	period float64
+}
+
+// NewPiecewiseConstant builds a step schedule. breaks[0] must be 0,
+// breaks must be strictly increasing and below period, and
+// len(values) == len(breaks).
+func NewPiecewiseConstant(breaks, values []float64, period float64) (*PiecewiseConstant, error) {
+	if err := validateBreaks(breaks, period); err != nil {
+		return nil, err
+	}
+	if len(values) != len(breaks) {
+		return nil, fmt.Errorf("schedule: %d values for %d breaks", len(values), len(breaks))
+	}
+	return &PiecewiseConstant{
+		breaks: append([]float64(nil), breaks...),
+		values: append([]float64(nil), values...),
+		period: period,
+	}, nil
+}
+
+func validateBreaks(breaks []float64, period float64) error {
+	if period <= 0 {
+		return fmt.Errorf("schedule: non-positive period %g", period)
+	}
+	if len(breaks) == 0 {
+		return fmt.Errorf("schedule: no breakpoints")
+	}
+	if breaks[0] != 0 {
+		return fmt.Errorf("schedule: first breakpoint %g, want 0", breaks[0])
+	}
+	for i := 1; i < len(breaks); i++ {
+		if breaks[i] <= breaks[i-1] {
+			return fmt.Errorf("schedule: breakpoints not strictly increasing at index %d", i)
+		}
+	}
+	if last := breaks[len(breaks)-1]; last >= period {
+		return fmt.Errorf("schedule: last breakpoint %g >= period %g", last, period)
+	}
+	return nil
+}
+
+// segment returns the index i such that breaks[i] <= t < breaks[i+1]
+// (with the final segment extending to the period).
+func segmentIndex(breaks []float64, t float64) int {
+	// Binary search for the rightmost break <= t.
+	lo, hi := 0, len(breaks)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if breaks[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// At implements Schedule.
+func (p *PiecewiseConstant) At(t float64) float64 {
+	t = wrap(t, p.period)
+	return p.values[segmentIndex(p.breaks, t)]
+}
+
+// Period implements Schedule.
+func (p *PiecewiseConstant) Period() float64 { return p.period }
+
+// IntegrateExact implements Integrator.
+func (p *PiecewiseConstant) IntegrateExact(t0, t1 float64) float64 {
+	if t1 < t0 {
+		return -p.IntegrateExact(t1, t0)
+	}
+	total := 0.0
+	for i := range p.breaks {
+		segStart := p.breaks[i]
+		segEnd := p.period
+		if i+1 < len(p.breaks) {
+			segEnd = p.breaks[i+1]
+		}
+		lo := math.Max(segStart, t0)
+		hi := math.Min(segEnd, t1)
+		if hi > lo {
+			total += p.values[i] * (hi - lo)
+		}
+	}
+	return total
+}
+
+// PiecewiseLinear interpolates linearly between (Breaks[i], Values[i])
+// points; between the last breakpoint and the period it interpolates
+// toward Values[0] at t = Period, making the schedule continuous and
+// periodic.
+type PiecewiseLinear struct {
+	breaks []float64
+	values []float64
+	period float64
+}
+
+// NewPiecewiseLinear builds a continuous periodic schedule through the
+// given points. The same breakpoint rules as NewPiecewiseConstant
+// apply.
+func NewPiecewiseLinear(breaks, values []float64, period float64) (*PiecewiseLinear, error) {
+	if err := validateBreaks(breaks, period); err != nil {
+		return nil, err
+	}
+	if len(values) != len(breaks) {
+		return nil, fmt.Errorf("schedule: %d values for %d breaks", len(values), len(breaks))
+	}
+	return &PiecewiseLinear{
+		breaks: append([]float64(nil), breaks...),
+		values: append([]float64(nil), values...),
+		period: period,
+	}, nil
+}
+
+// At implements Schedule.
+func (p *PiecewiseLinear) At(t float64) float64 {
+	t = wrap(t, p.period)
+	i := segmentIndex(p.breaks, t)
+	x0, y0 := p.breaks[i], p.values[i]
+	var x1, y1 float64
+	if i+1 < len(p.breaks) {
+		x1, y1 = p.breaks[i+1], p.values[i+1]
+	} else {
+		x1, y1 = p.period, p.values[0]
+	}
+	if x1 == x0 {
+		return y0
+	}
+	return y0 + (y1-y0)*(t-x0)/(x1-x0)
+}
+
+// Period implements Schedule.
+func (p *PiecewiseLinear) Period() float64 { return p.period }
+
+// IntegrateExact implements Integrator using the trapezoid areas of
+// each linear segment.
+func (p *PiecewiseLinear) IntegrateExact(t0, t1 float64) float64 {
+	if t1 < t0 {
+		return -p.IntegrateExact(t1, t0)
+	}
+	total := 0.0
+	for i := range p.breaks {
+		segStart := p.breaks[i]
+		segEnd := p.period
+		if i+1 < len(p.breaks) {
+			segEnd = p.breaks[i+1]
+		}
+		lo := math.Max(segStart, t0)
+		hi := math.Min(segEnd, t1)
+		if hi > lo {
+			// Trapezoid between the interpolated endpoint values.
+			total += (p.At(lo) + p.At(hi-1e-12*p.period)) / 2 * (hi - lo)
+		}
+	}
+	return total
+}
+
+// Integrate returns the integral of s over [t0, t1] within one period
+// (0 <= t0 <= t1 <= Period). It uses exact integration when the
+// schedule supports it and adaptive Simpson quadrature otherwise.
+func Integrate(s Schedule, t0, t1 float64) float64 {
+	if t1 < t0 {
+		return -Integrate(s, t1, t0)
+	}
+	if in, ok := s.(Integrator); ok {
+		return in.IntegrateExact(t0, t1)
+	}
+	return simpson(s.At, t0, t1, 1e-9, 24)
+}
+
+// simpson is adaptive Simpson quadrature with a recursion-depth cap.
+func simpson(f func(float64) float64, a, b, eps float64, depth int) float64 {
+	c := (a + b) / 2
+	fa, fb, fc := f(a), f(b), f(c)
+	whole := (b - a) / 6 * (fa + 4*fc + fb)
+	return simpsonAux(f, a, b, eps, whole, fa, fb, fc, depth)
+}
+
+func simpsonAux(f func(float64) float64, a, b, eps, whole, fa, fb, fc float64, depth int) float64 {
+	c := (a + b) / 2
+	d, e := (a+c)/2, (c+b)/2
+	fd, fe := f(d), f(e)
+	left := (c - a) / 6 * (fa + 4*fd + fc)
+	right := (b - c) / 6 * (fc + 4*fe + fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*eps {
+		return left + right + (left+right-whole)/15
+	}
+	return simpsonAux(f, a, c, eps/2, left, fa, fc, fd, depth-1) +
+		simpsonAux(f, c, b, eps/2, right, fc, fb, fe, depth-1)
+}
+
+// Mean returns the average value of s over one full period.
+func Mean(s Schedule) float64 {
+	return Integrate(s, 0, s.Period()) / s.Period()
+}
+
+// combined implements pointwise arithmetic on two schedules with the
+// same period.
+type combined struct {
+	a, b Schedule
+	op   func(x, y float64) float64
+	t    float64
+}
+
+func (c combined) At(t float64) float64 { return c.op(c.a.At(t), c.b.At(t)) }
+func (c combined) Period() float64      { return c.t }
+
+func combine(a, b Schedule, op func(x, y float64) float64) Schedule {
+	if a.Period() != b.Period() {
+		panic(fmt.Sprintf("schedule: combining periods %g and %g", a.Period(), b.Period()))
+	}
+	return combined{a: a, b: b, op: op, t: a.Period()}
+}
+
+// Add returns the pointwise sum a + b. Both must share a period.
+func Add(a, b Schedule) Schedule { return combine(a, b, func(x, y float64) float64 { return x + y }) }
+
+// Sub returns the pointwise difference a - b. Both must share a period.
+func Sub(a, b Schedule) Schedule { return combine(a, b, func(x, y float64) float64 { return x - y }) }
+
+// Mul returns the pointwise product a * b. Both must share a period.
+// The paper's weighted power-usage function WPUF(t) = u(t)·w(t)
+// (Eq. 7) is exactly this operation.
+func Mul(a, b Schedule) Schedule { return combine(a, b, func(x, y float64) float64 { return x * y }) }
+
+// Scale returns s multiplied by the constant k.
+func Scale(s Schedule, k float64) Schedule {
+	return Func{F: func(t float64) float64 { return k * s.At(t) }, T: s.Period()}
+}
+
+// Sample evaluates s at n uniformly spaced times starting at 0
+// (t_i = i·T/n) and returns the samples.
+func Sample(s Schedule, n int) []float64 {
+	if n <= 0 {
+		panic("schedule: Sample with non-positive count")
+	}
+	out := make([]float64, n)
+	step := s.Period() / float64(n)
+	for i := range out {
+		out[i] = s.At(float64(i) * step)
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestConst(t *testing.T) {
+	c := NewConst(2.36, 57.6)
+	if c.At(0) != 2.36 || c.At(30) != 2.36 || c.At(-5) != 2.36 {
+		t.Error("constant schedule must return its value everywhere")
+	}
+	if c.Period() != 57.6 {
+		t.Errorf("Period = %g", c.Period())
+	}
+	if got := Integrate(c, 0, 57.6); !almostEqual(got, 2.36*57.6, 1e-9) {
+		t.Errorf("Integrate = %g, want %g", got, 2.36*57.6)
+	}
+}
+
+func TestConstPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewConst(_, 0) must panic")
+		}
+	}()
+	NewConst(1, 0)
+}
+
+func TestFuncWraps(t *testing.T) {
+	f := NewFunc(func(t float64) float64 { return t }, 10)
+	if got := f.At(12); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("At(12) = %g, want wraparound to 2", got)
+	}
+	if got := f.At(-1); !almostEqual(got, 9, 1e-12) {
+		t.Errorf("At(-1) = %g, want wraparound to 9", got)
+	}
+}
+
+func TestFuncPanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFunc(nil, T) must panic")
+		}
+	}()
+	NewFunc(nil, 1)
+}
+
+func TestPiecewiseConstantAt(t *testing.T) {
+	p, err := NewPiecewiseConstant([]float64{0, 10, 20}, []float64{1, 2, 3}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{0, 1}, {9.99, 1}, {10, 2}, {19.99, 2}, {20, 3}, {29.99, 3},
+		{30, 1}, // wraps
+		{-1, 3}, // wraps backward
+		{35, 1}, // wraps
+		{50, 3}, // wraps
+	}
+	for _, c := range cases {
+		if got := p.At(c.t); got != c.want {
+			t.Errorf("At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPiecewiseConstantIntegrate(t *testing.T) {
+	p, err := NewPiecewiseConstant([]float64{0, 10, 20}, []float64{1, 2, 3}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Integrate(p, 0, 30); !almostEqual(got, 60, 1e-9) {
+		t.Errorf("full-period integral = %g, want 60", got)
+	}
+	if got := Integrate(p, 5, 15); !almostEqual(got, 5+10, 1e-9) {
+		t.Errorf("Integrate(5,15) = %g, want 15", got)
+	}
+	// Reversed bounds negate.
+	if got := Integrate(p, 15, 5); !almostEqual(got, -15, 1e-9) {
+		t.Errorf("Integrate(15,5) = %g, want -15", got)
+	}
+}
+
+func TestPiecewiseConstantValidation(t *testing.T) {
+	if _, err := NewPiecewiseConstant([]float64{1, 2}, []float64{1, 2}, 10); err == nil {
+		t.Error("first break != 0 must be rejected")
+	}
+	if _, err := NewPiecewiseConstant([]float64{0, 5, 5}, []float64{1, 2, 3}, 10); err == nil {
+		t.Error("non-increasing breaks must be rejected")
+	}
+	if _, err := NewPiecewiseConstant([]float64{0, 15}, []float64{1, 2}, 10); err == nil {
+		t.Error("break beyond the period must be rejected")
+	}
+	if _, err := NewPiecewiseConstant([]float64{0}, []float64{1, 2}, 10); err == nil {
+		t.Error("mismatched lengths must be rejected")
+	}
+	if _, err := NewPiecewiseConstant(nil, nil, 10); err == nil {
+		t.Error("empty breaks must be rejected")
+	}
+	if _, err := NewPiecewiseConstant([]float64{0}, []float64{1}, -1); err == nil {
+		t.Error("negative period must be rejected")
+	}
+}
+
+func TestPiecewiseLinearInterpolates(t *testing.T) {
+	p, err := NewPiecewiseLinear([]float64{0, 10}, []float64{0, 10}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.At(5); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("At(5) = %g, want 5 (linear ramp)", got)
+	}
+	// Beyond the last break, interpolate back to Values[0] at t=Period.
+	if got := p.At(15); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("At(15) = %g, want 5 (ramp back down)", got)
+	}
+	if got := p.At(0); got != 0 {
+		t.Errorf("At(0) = %g", got)
+	}
+}
+
+func TestPiecewiseLinearIntegrate(t *testing.T) {
+	// Triangle: 0 at t=0, 10 at t=10, back to 0 at t=20. Area = 100.
+	p, err := NewPiecewiseLinear([]float64{0, 10}, []float64{0, 10}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Integrate(p, 0, 20); !almostEqual(got, 100, 1e-6) {
+		t.Errorf("triangle area = %g, want 100", got)
+	}
+	if got := Integrate(p, 0, 10); !almostEqual(got, 50, 1e-6) {
+		t.Errorf("half triangle = %g, want 50", got)
+	}
+}
+
+func TestSimpsonFallback(t *testing.T) {
+	// sin over [0, π] integrates to 2; Func has no exact integrator.
+	s := NewFunc(math.Sin, math.Pi)
+	if got := Integrate(s, 0, math.Pi); !almostEqual(got, 2, 1e-6) {
+		t.Errorf("∫ sin over [0,π] = %g, want 2", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	p, err := NewPiecewiseConstant([]float64{0, 10}, []float64{0, 4}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Mean(p); !almostEqual(got, 2, 1e-9) {
+		t.Errorf("Mean = %g, want 2", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := NewConst(3, 10)
+	b := NewConst(2, 10)
+	if got := Add(a, b).At(5); got != 5 {
+		t.Errorf("Add = %g", got)
+	}
+	if got := Sub(a, b).At(5); got != 1 {
+		t.Errorf("Sub = %g", got)
+	}
+	if got := Mul(a, b).At(5); got != 6 {
+		t.Errorf("Mul = %g", got)
+	}
+	if got := Scale(a, 10).At(5); got != 30 {
+		t.Errorf("Scale = %g", got)
+	}
+}
+
+func TestArithmeticPeriodMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("combining different periods must panic")
+		}
+	}()
+	Add(NewConst(1, 10), NewConst(1, 20))
+}
+
+func TestSample(t *testing.T) {
+	p, err := NewPiecewiseConstant([]float64{0, 5}, []float64{1, 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Sample(p, 4)
+	want := []float64{1, 1, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Sample[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntegrateAdditiveProperty(t *testing.T) {
+	// ∫[a,c] = ∫[a,b] + ∫[b,c] for piecewise-constant schedules.
+	p, err := NewPiecewiseConstant(
+		[]float64{0, 4.8, 9.6, 14.4}, []float64{2.36, 1.18, 0.79, 0.49}, 19.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x, y, z float64) bool {
+		T := p.Period()
+		// Map arbitrary floats into [0, T] and order them.
+		pts := []float64{wrap(math.Abs(x), T), wrap(math.Abs(y), T), wrap(math.Abs(z), T)}
+		a := math.Min(pts[0], math.Min(pts[1], pts[2]))
+		c := math.Max(pts[0], math.Max(pts[1], pts[2]))
+		b := pts[0] + pts[1] + pts[2] - a - c
+		whole := Integrate(p, a, c)
+		split := Integrate(p, a, b) + Integrate(p, b, c)
+		return almostEqual(whole, split, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapProperty(t *testing.T) {
+	f := func(t64 float64) bool {
+		if math.IsNaN(t64) || math.IsInf(t64, 0) {
+			return true
+		}
+		w := wrap(t64, 57.6)
+		return w >= 0 && w < 57.6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

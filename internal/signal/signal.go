@@ -1,0 +1,219 @@
+// Package signal synthesizes the RF inputs of the paper's FORTE
+// application: the satellite watches for broadband radio-frequency
+// transients (lightning discharges dispersed by the ionosphere) in a
+// noisy band that also contains narrowband carriers. This package
+// generates all three signal classes deterministically so the
+// detection pipeline in package forte has realistic inputs without
+// the (unavailable) satellite data — the substitution is recorded in
+// DESIGN.md.
+package signal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dpm/internal/fixed"
+)
+
+// Kind labels the synthetic signal classes.
+type Kind int
+
+const (
+	// NoiseOnly is band noise with no embedded signal.
+	NoiseOnly Kind = iota
+	// Transient is a dispersed broadband chirp — the event FORTE
+	// wants to record.
+	Transient
+	// Carrier is a narrowband interferer that must not trigger a
+	// recording.
+	Carrier
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case NoiseOnly:
+		return "noise"
+	case Transient:
+		return "transient"
+	case Carrier:
+		return "carrier"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ChirpParams describes a dispersed transient. Frequencies are
+// normalized to cycles per sample (Nyquist = 0.5).
+type ChirpParams struct {
+	// StartFreq and EndFreq bound the sweep; ionospheric dispersion
+	// makes high frequencies arrive first, so StartFreq > EndFreq
+	// for a physical event, but any ordering is accepted.
+	StartFreq, EndFreq float64
+	// Amplitude is the peak envelope amplitude (Q15-safe values are
+	// well below 1 to leave noise headroom).
+	Amplitude float64
+	// Center is the envelope peak's sample index.
+	Center int
+	// Width is the Gaussian envelope's standard deviation in
+	// samples.
+	Width int
+}
+
+func (p ChirpParams) validate(n int) error {
+	if p.StartFreq < 0 || p.StartFreq > 0.5 || p.EndFreq < 0 || p.EndFreq > 0.5 {
+		return fmt.Errorf("signal: chirp frequencies (%g, %g) outside [0, 0.5]", p.StartFreq, p.EndFreq)
+	}
+	if p.Amplitude <= 0 || p.Amplitude >= 1 {
+		return fmt.Errorf("signal: chirp amplitude %g outside (0, 1)", p.Amplitude)
+	}
+	if p.Center < 0 || p.Center >= n {
+		return fmt.Errorf("signal: chirp center %d outside [0, %d)", p.Center, n)
+	}
+	if p.Width <= 0 {
+		return fmt.Errorf("signal: non-positive chirp width %d", p.Width)
+	}
+	return nil
+}
+
+// Chirp synthesizes an n-sample dispersed transient: a linear
+// frequency sweep under a Gaussian envelope.
+func Chirp(n int, p ChirpParams) ([]complex128, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("signal: non-positive length %d", n)
+	}
+	if err := p.validate(n); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, n)
+	phase := 0.0
+	for i := range out {
+		frac := float64(i) / float64(n)
+		freq := p.StartFreq + (p.EndFreq-p.StartFreq)*frac
+		phase += 2 * math.Pi * freq
+		d := float64(i-p.Center) / float64(p.Width)
+		env := p.Amplitude * math.Exp(-0.5*d*d)
+		out[i] = complex(env*math.Cos(phase), env*math.Sin(phase))
+	}
+	return out, nil
+}
+
+// CarrierTone synthesizes an n-sample constant-amplitude narrowband
+// carrier at the normalized frequency.
+func CarrierTone(n int, freq, amplitude float64) ([]complex128, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("signal: non-positive length %d", n)
+	}
+	if freq < 0 || freq > 0.5 {
+		return nil, fmt.Errorf("signal: carrier frequency %g outside [0, 0.5]", freq)
+	}
+	if amplitude <= 0 || amplitude >= 1 {
+		return nil, fmt.Errorf("signal: carrier amplitude %g outside (0, 1)", amplitude)
+	}
+	out := make([]complex128, n)
+	for i := range out {
+		phase := 2 * math.Pi * freq * float64(i)
+		out[i] = complex(amplitude*math.Cos(phase), amplitude*math.Sin(phase))
+	}
+	return out, nil
+}
+
+// Noise synthesizes n samples of complex Gaussian noise with the
+// given per-component standard deviation, deterministic in seed.
+func Noise(n int, sigma float64, seed int64) ([]complex128, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("signal: non-positive length %d", n)
+	}
+	if sigma < 0 {
+		return nil, fmt.Errorf("signal: negative noise sigma %g", sigma)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(sigma*rng.NormFloat64(), sigma*rng.NormFloat64())
+	}
+	return out, nil
+}
+
+// Mix adds src into dst sample-wise. Lengths must match.
+func Mix(dst, src []complex128) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("signal: mixing lengths %d and %d", len(dst), len(src))
+	}
+	for i := range dst {
+		dst[i] += src[i]
+	}
+	return nil
+}
+
+// ToFixed quantizes float samples to Q15 complex with saturation.
+func ToFixed(x []complex128) []fixed.Complex {
+	out := make([]fixed.Complex, len(x))
+	for i, c := range x {
+		out[i] = fixed.CFromFloat(c)
+	}
+	return out
+}
+
+// Config bundles the defaults Synthesize uses per kind.
+type Config struct {
+	// NoiseSigma is the per-component noise standard deviation.
+	NoiseSigma float64
+	// TransientAmplitude is the chirp envelope peak.
+	TransientAmplitude float64
+	// CarrierAmplitude is the interferer amplitude.
+	CarrierAmplitude float64
+}
+
+// DefaultConfig returns amplitudes that give a clearly detectable but
+// not saturating transient over the noise floor.
+func DefaultConfig() Config {
+	return Config{
+		NoiseSigma:         0.02,
+		TransientAmplitude: 0.35,
+		CarrierAmplitude:   0.3,
+	}
+}
+
+// Synthesize produces an n-sample Q15 capture buffer of the given
+// kind: band noise plus, for Transient and Carrier, the embedded
+// signal. The seed determines the noise and the event's placement
+// and sweep parameters.
+func Synthesize(kind Kind, n int, cfg Config, seed int64) ([]fixed.Complex, error) {
+	base, err := Noise(n, cfg.NoiseSigma, seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5f3759df))
+	switch kind {
+	case NoiseOnly:
+		// nothing to add
+	case Transient:
+		p := ChirpParams{
+			StartFreq: 0.35 + 0.1*rng.Float64(),
+			EndFreq:   0.05 + 0.05*rng.Float64(),
+			Amplitude: cfg.TransientAmplitude,
+			Center:    n/4 + rng.Intn(n/2),
+			Width:     n / 8,
+		}
+		chirp, err := Chirp(n, p)
+		if err != nil {
+			return nil, err
+		}
+		if err := Mix(base, chirp); err != nil {
+			return nil, err
+		}
+	case Carrier:
+		tone, err := CarrierTone(n, 0.05+0.4*rng.Float64(), cfg.CarrierAmplitude)
+		if err != nil {
+			return nil, err
+		}
+		if err := Mix(base, tone); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("signal: unknown kind %d", int(kind))
+	}
+	return ToFixed(base), nil
+}

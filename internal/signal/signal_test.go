@@ -1,0 +1,177 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if NoiseOnly.String() != "noise" || Transient.String() != "transient" || Carrier.String() != "carrier" {
+		t.Error("kind names wrong")
+	}
+	if Kind(7).String() != "Kind(7)" {
+		t.Error("unknown kind formatting wrong")
+	}
+}
+
+func TestChirpEnvelope(t *testing.T) {
+	p := ChirpParams{StartFreq: 0.4, EndFreq: 0.05, Amplitude: 0.5, Center: 512, Width: 128}
+	x, err := Chirp(1024, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak magnitude near the center, small at the edges.
+	if m := cmplx.Abs(x[512]); math.Abs(m-0.5) > 0.01 {
+		t.Errorf("center magnitude = %g, want ≈ 0.5", m)
+	}
+	if m := cmplx.Abs(x[0]); m > 0.01 {
+		t.Errorf("edge magnitude = %g, want ≈ 0", m)
+	}
+}
+
+func TestChirpValidation(t *testing.T) {
+	good := ChirpParams{StartFreq: 0.4, EndFreq: 0.1, Amplitude: 0.5, Center: 10, Width: 5}
+	if _, err := Chirp(0, good); err == nil {
+		t.Error("zero length must error")
+	}
+	bad := good
+	bad.StartFreq = 0.7
+	if _, err := Chirp(100, bad); err == nil {
+		t.Error("frequency above Nyquist must error")
+	}
+	bad = good
+	bad.Amplitude = 1.5
+	if _, err := Chirp(100, bad); err == nil {
+		t.Error("amplitude >= 1 must error")
+	}
+	bad = good
+	bad.Center = 200
+	if _, err := Chirp(100, bad); err == nil {
+		t.Error("center beyond buffer must error")
+	}
+	bad = good
+	bad.Width = 0
+	if _, err := Chirp(100, bad); err == nil {
+		t.Error("zero width must error")
+	}
+}
+
+func TestCarrierTone(t *testing.T) {
+	x, err := CarrierTone(256, 0.25, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant magnitude.
+	for i, c := range x {
+		if math.Abs(cmplx.Abs(c)-0.3) > 1e-9 {
+			t.Fatalf("sample %d magnitude %g", i, cmplx.Abs(c))
+		}
+	}
+	if _, err := CarrierTone(0, 0.25, 0.3); err == nil {
+		t.Error("zero length must error")
+	}
+	if _, err := CarrierTone(10, 0.9, 0.3); err == nil {
+		t.Error("frequency above Nyquist must error")
+	}
+	if _, err := CarrierTone(10, 0.25, 0); err == nil {
+		t.Error("zero amplitude must error")
+	}
+}
+
+func TestNoiseDeterministicAndScaled(t *testing.T) {
+	a, err := Noise(1000, 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Noise(1000, 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+	// Empirical sigma close to requested.
+	var sum float64
+	for _, c := range a {
+		sum += real(c) * real(c)
+	}
+	sigma := math.Sqrt(sum / 1000)
+	if sigma < 0.08 || sigma > 0.12 {
+		t.Errorf("noise sigma = %g, want ≈ 0.1", sigma)
+	}
+	if _, err := Noise(-1, 0.1, 1); err == nil {
+		t.Error("negative length must error")
+	}
+	if _, err := Noise(10, -0.1, 1); err == nil {
+		t.Error("negative sigma must error")
+	}
+}
+
+func TestMix(t *testing.T) {
+	a := []complex128{1, 2}
+	b := []complex128{10, 20}
+	if err := Mix(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 11 || a[1] != 22 {
+		t.Errorf("Mix = %v", a)
+	}
+	if err := Mix(a, b[:1]); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestToFixedSaturates(t *testing.T) {
+	x := ToFixed([]complex128{complex(2.0, -2.0)})
+	f := x[0].Float()
+	if real(f) < 0.99 || imag(f) > -0.99 {
+		t.Errorf("saturation failed: %v", f)
+	}
+}
+
+func TestSynthesizeKinds(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, kind := range []Kind{NoiseOnly, Transient, Carrier} {
+		x, err := Synthesize(kind, 2048, cfg, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(x) != 2048 {
+			t.Fatalf("%v: length %d", kind, len(x))
+		}
+		// Peak magnitude separates noise from events.
+		peak := 0.0
+		for _, s := range x {
+			peak = math.Max(peak, cmplx.Abs(s.Float()))
+		}
+		if kind == NoiseOnly && peak > 0.15 {
+			t.Errorf("noise-only peak %g too hot", peak)
+		}
+		if kind != NoiseOnly && peak < 0.2 {
+			t.Errorf("%v peak %g too cold", kind, peak)
+		}
+	}
+	if _, err := Synthesize(Kind(99), 128, cfg, 1); err == nil {
+		t.Error("unknown kind must error")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := Synthesize(Transient, 512, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(Transient, 512, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Synthesize must be deterministic in seed")
+		}
+	}
+}

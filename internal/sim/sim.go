@@ -1,0 +1,175 @@
+// Package sim is a minimal discrete-event simulation kernel: a clock
+// and a time-ordered event queue with stable FIFO ordering for
+// simultaneous events and O(log n) cancellation. The machine package
+// builds the PAMA board model on top of it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Handle identifies a scheduled event so it can be cancelled (e.g. a
+// task-completion event invalidated by a mid-task frequency change).
+type Handle struct {
+	ev *event
+}
+
+// Cancel removes the event from the queue if it has not fired yet.
+// Cancelling a fired or already-cancelled event is a no-op. A nil or
+// zero Handle is also a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.cancelled = true
+	}
+}
+
+// Cancelled reports whether the handle's event was cancelled.
+func (h Handle) Cancelled() bool { return h.ev != nil && h.ev.cancelled }
+
+type event struct {
+	at        float64
+	seq       uint64
+	action    func()
+	cancelled bool
+	index     int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the simulation clock and queue. It is not safe for
+// concurrent use: a discrete-event simulation is sequential by
+// construction.
+type Engine struct {
+	now   float64
+	queue eventHeap
+	seq   uint64
+	fired uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of queued (uncancelled firings may be
+// fewer) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule enqueues action to run at absolute time at, which must not
+// precede the current clock. Simultaneous events fire in scheduling
+// order.
+func (e *Engine) Schedule(at float64, action func()) Handle {
+	if action == nil {
+		panic("sim: Schedule with nil action")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %g before now %g", at, e.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("sim: scheduling at non-finite time %g", at))
+	}
+	ev := &event{at: at, seq: e.seq, action: action}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev: ev}
+}
+
+// ScheduleAfter enqueues action to run delay seconds from now.
+func (e *Engine) ScheduleAfter(delay float64, action func()) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	return e.Schedule(e.now+delay, action)
+}
+
+// Step fires the next event, advancing the clock to it. It returns
+// false when the queue is empty. Cancelled events are skipped
+// silently.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.action()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue empties or the next event lies
+// beyond until; the clock is then advanced to exactly until. It
+// returns the number of events fired.
+func (e *Engine) Run(until float64) int {
+	if until < e.now {
+		panic(fmt.Sprintf("sim: running until %g before now %g", until, e.now))
+	}
+	fired := 0
+	for len(e.queue) > 0 {
+		// Peek: skip cancelled heads without advancing time.
+		head := e.queue[0]
+		if head.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if head.at > until {
+			break
+		}
+		e.Step()
+		fired++
+	}
+	e.now = until
+	return fired
+}
+
+// RunAll fires every queued event (including ones scheduled while
+// running) up to a safety cap, returning the number fired. It panics
+// if the cap is hit — an unbounded self-rescheduling loop is a bug in
+// the model, not a load condition.
+func (e *Engine) RunAll(maxEvents int) int {
+	if maxEvents <= 0 {
+		panic(fmt.Sprintf("sim: non-positive event cap %d", maxEvents))
+	}
+	fired := 0
+	for e.Step() {
+		fired++
+		if fired > maxEvents {
+			panic(fmt.Sprintf("sim: exceeded %d events; runaway schedule", maxEvents))
+		}
+	}
+	return fired
+}

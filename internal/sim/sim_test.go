@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	if n := e.Run(10); n != 3 {
+		t.Fatalf("fired %d events", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 10 {
+		t.Errorf("clock = %g, want advanced to until", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(1, func() { order = append(order, i) })
+	}
+	e.Run(1)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(5, func() { fired++ })
+	e.Schedule(15, func() { fired++ })
+	if n := e.Run(10); n != 1 {
+		t.Errorf("fired %d, want 1", n)
+	}
+	if fired != 1 || e.Pending() != 1 {
+		t.Errorf("fired=%d pending=%d", fired, e.Pending())
+	}
+	// The later event still fires on the next window.
+	e.Run(20)
+	if fired != 2 {
+		t.Errorf("second window fired=%d", fired)
+	}
+}
+
+func TestScheduleAfter(t *testing.T) {
+	e := NewEngine()
+	var at float64
+	e.Schedule(5, func() {
+		e.ScheduleAfter(2.5, func() { at = e.Now() })
+	})
+	e.Run(100)
+	if at != 7.5 {
+		t.Errorf("nested ScheduleAfter fired at %g, want 7.5", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	h := e.Schedule(1, func() { fired = true })
+	h.Cancel()
+	if !h.Cancelled() {
+		t.Error("handle must report cancellation")
+	}
+	e.Run(10)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancelling twice or after running is harmless.
+	h.Cancel()
+	var zero Handle
+	zero.Cancel() // no panic
+	if zero.Cancelled() {
+		t.Error("zero handle is not cancelled")
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(1, func() { order = append(order, 1) })
+	h := e.Schedule(2, func() { order = append(order, 2) })
+	e.Schedule(3, func() { order = append(order, 3) })
+	h.Cancel()
+	e.Run(10)
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestPanicsOnPastSchedule(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past must panic")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestPanicsOnNilAction(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil action must panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestPanicsOnNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay must panic")
+		}
+	}()
+	e.ScheduleAfter(-1, func() {})
+}
+
+func TestPanicsOnPastRun(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("running into the past must panic")
+		}
+	}()
+	e.Run(1)
+}
+
+func TestRunAll(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 10 {
+			e.ScheduleAfter(1, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	if n := e.RunAll(100); n != 10 {
+		t.Errorf("RunAll fired %d", n)
+	}
+	if e.Fired() != 10 {
+		t.Errorf("Fired = %d", e.Fired())
+	}
+}
+
+func TestRunAllCapPanics(t *testing.T) {
+	e := NewEngine()
+	var loop func()
+	loop = func() { e.ScheduleAfter(1, loop) }
+	e.Schedule(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("runaway schedule must panic at the cap")
+		}
+	}()
+	e.RunAll(50)
+}
+
+func TestStepEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty queue must return false")
+	}
+}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"dpm/internal/schedule"
+)
+
+// Builder assembles custom scenarios fluently: pick a charging
+// profile (measured grid, orbit model, or any schedule), a demand
+// pattern, optional weighting, and battery limits, then Build. Errors
+// accumulate and surface once, so call sites stay linear.
+//
+//	s, err := trace.NewBuilder("leo-sensor", 4.8, 12).
+//	    OrbitCharging(0.5, 3.0).
+//	    TwinPeakDemand(0.3, 2.0).
+//	    Battery(17.3, 0.5, 0.5).
+//	    Build()
+type Builder struct {
+	name     string
+	tau      float64
+	slots    int
+	charging *schedule.Grid
+	usage    *schedule.Grid
+	weight   *schedule.Grid
+	cmax     float64
+	cmin     float64
+	initial  float64
+	err      error
+}
+
+// NewBuilder starts a scenario with the given slot width and count.
+func NewBuilder(name string, tau float64, slots int) *Builder {
+	b := &Builder{name: name, tau: tau, slots: slots}
+	if tau <= 0 {
+		b.fail(fmt.Errorf("trace: non-positive tau %g", tau))
+	}
+	if slots <= 0 {
+		b.fail(fmt.Errorf("trace: non-positive slot count %d", slots))
+	}
+	return b
+}
+
+func (b *Builder) fail(err error) *Builder {
+	if b.err == nil {
+		b.err = err
+	}
+	return b
+}
+
+// period returns the scenario length.
+func (b *Builder) period() float64 { return b.tau * float64(b.slots) }
+
+// ChargingGrid sets the charging schedule from explicit per-slot
+// watts.
+func (b *Builder) ChargingGrid(watts []float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(watts) != b.slots {
+		return b.fail(fmt.Errorf("trace: %d charging slots, want %d", len(watts), b.slots))
+	}
+	b.charging = schedule.NewGrid(b.tau, watts)
+	return b
+}
+
+// OrbitCharging sets the charging schedule from the parametric
+// orbit model: a half-sine sunlit arc peaking at peakWatts with the
+// final eclipseFraction dark.
+func (b *Builder) OrbitCharging(eclipseFraction, peakWatts float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	s, err := OrbitCharging(b.period(), eclipseFraction, peakWatts)
+	if err != nil {
+		return b.fail(err)
+	}
+	b.charging = schedule.FromSchedule(s, b.slots)
+	return b
+}
+
+// ChargingSchedule discretizes an arbitrary schedule (period must
+// match the builder's).
+func (b *Builder) ChargingSchedule(s schedule.Schedule) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if math.Abs(s.Period()-b.period()) > 1e-9 {
+		return b.fail(fmt.Errorf("trace: schedule period %g, want %g", s.Period(), b.period()))
+	}
+	b.charging = schedule.FromSchedule(s, b.slots)
+	return b
+}
+
+// ConstantDemand sets a flat usage shape.
+func (b *Builder) ConstantDemand(watts float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if watts < 0 {
+		return b.fail(fmt.Errorf("trace: negative demand %g", watts))
+	}
+	b.usage = schedule.NewUniformGrid(b.tau, b.slots, watts)
+	return b
+}
+
+// TwinPeakDemand sets the paper's scenario I shape: demand dips
+// mid-half and peaks at the half boundaries, between base and peak
+// watts.
+func (b *Builder) TwinPeakDemand(base, peak float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if base < 0 || peak < base {
+		return b.fail(fmt.Errorf("trace: invalid twin-peak range [%g, %g]", base, peak))
+	}
+	values := make([]float64, b.slots)
+	for i := range values {
+		// |cos| over each half-period: peaks at slot 0 and slots/2.
+		phase := 2 * math.Pi * float64(i) / float64(b.slots)
+		values[i] = base + (peak-base)*math.Abs(math.Cos(phase))
+	}
+	b.usage = schedule.NewGrid(b.tau, values)
+	return b
+}
+
+// BurstDemand sets demand that is idle except for a burst of the
+// given width starting at startSlot.
+func (b *Builder) BurstDemand(idle, burst float64, startSlot, widthSlots int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if idle < 0 || burst < idle {
+		return b.fail(fmt.Errorf("trace: invalid burst range [%g, %g]", idle, burst))
+	}
+	if startSlot < 0 || widthSlots <= 0 || startSlot+widthSlots > b.slots {
+		return b.fail(fmt.Errorf("trace: burst [%d, %d) outside [0, %d)", startSlot, startSlot+widthSlots, b.slots))
+	}
+	values := make([]float64, b.slots)
+	for i := range values {
+		values[i] = idle
+	}
+	for i := startSlot; i < startSlot+widthSlots; i++ {
+		values[i] = burst
+	}
+	b.usage = schedule.NewGrid(b.tau, values)
+	return b
+}
+
+// UsageGrid sets the usage shape from explicit per-slot watts.
+func (b *Builder) UsageGrid(watts []float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(watts) != b.slots {
+		return b.fail(fmt.Errorf("trace: %d usage slots, want %d", len(watts), b.slots))
+	}
+	b.usage = schedule.NewGrid(b.tau, watts)
+	return b
+}
+
+// Weight sets the per-slot weight function w(t).
+func (b *Builder) Weight(weights []float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(weights) != b.slots {
+		return b.fail(fmt.Errorf("trace: %d weight slots, want %d", len(weights), b.slots))
+	}
+	b.weight = schedule.NewGrid(b.tau, weights)
+	return b
+}
+
+// Battery sets the capacity band and initial charge in joules.
+func (b *Builder) Battery(cmax, cmin, initial float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if cmax <= cmin || cmin < 0 {
+		return b.fail(fmt.Errorf("trace: invalid battery band [%g, %g]", cmin, cmax))
+	}
+	b.cmax, b.cmin, b.initial = cmax, cmin, initial
+	return b
+}
+
+// Build validates and returns the scenario. Battery defaults to the
+// paper's band when unset; charging and usage are required.
+func (b *Builder) Build() (Scenario, error) {
+	if b.err != nil {
+		return Scenario{}, b.err
+	}
+	if b.charging == nil {
+		return Scenario{}, fmt.Errorf("trace: scenario %q has no charging schedule", b.name)
+	}
+	if b.usage == nil {
+		return Scenario{}, fmt.Errorf("trace: scenario %q has no demand shape", b.name)
+	}
+	cmax, cmin, initial := b.cmax, b.cmin, b.initial
+	if cmax == 0 && cmin == 0 {
+		cmax, cmin, initial = DefaultCapacityMax, DefaultCapacityMin, DefaultCapacityMin
+	}
+	return Scenario{
+		Name:          b.name,
+		Charging:      b.charging,
+		Usage:         b.usage,
+		Weight:        b.weight,
+		CapacityMax:   cmax,
+		CapacityMin:   cmin,
+		InitialCharge: initial,
+	}, nil
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuilderHappyPath(t *testing.T) {
+	s, err := NewBuilder("leo", 4.8, 12).
+		OrbitCharging(0.5, 3.0).
+		TwinPeakDemand(0.3, 2.0).
+		Battery(17.3, 0.5, 0.5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "leo" || s.Charging.Len() != 12 || s.Usage.Len() != 12 {
+		t.Errorf("scenario = %+v", s)
+	}
+	if s.CapacityMax != 17.3 || s.CapacityMin != 0.5 {
+		t.Errorf("battery = [%g, %g]", s.CapacityMin, s.CapacityMax)
+	}
+	// Eclipse half is dark.
+	if s.Charging.Values[11] != 0 {
+		t.Errorf("eclipse slot charging = %g", s.Charging.Values[11])
+	}
+	// Twin peaks at slots 0 and 6.
+	if s.Usage.Values[0] < s.Usage.Values[3] || s.Usage.Values[6] < s.Usage.Values[3] {
+		t.Errorf("demand shape wrong: %v", s.Usage.Values)
+	}
+}
+
+func TestBuilderDefaultsBattery(t *testing.T) {
+	s, err := NewBuilder("x", 1, 4).
+		ChargingGrid([]float64{1, 1, 0, 0}).
+		ConstantDemand(0.5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CapacityMax != DefaultCapacityMax || s.CapacityMin != DefaultCapacityMin {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+}
+
+func TestBuilderBurstDemand(t *testing.T) {
+	s, err := NewBuilder("burst", 1, 8).
+		ChargingGrid([]float64{1, 1, 1, 1, 1, 1, 1, 1}).
+		BurstDemand(0.1, 3.0, 2, 3).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s.Usage.Values {
+		want := 0.1
+		if i >= 2 && i < 5 {
+			want = 3.0
+		}
+		if v != want {
+			t.Errorf("slot %d = %g, want %g", i, v, want)
+		}
+	}
+}
+
+func TestBuilderUsageGridAndWeight(t *testing.T) {
+	s, err := NewBuilder("w", 1, 2).
+		ChargingGrid([]float64{1, 1}).
+		UsageGrid([]float64{1, 2}).
+		Weight([]float64{1, 3}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Weight == nil || s.Weight.Values[1] != 3 {
+		t.Errorf("weight lost: %+v", s.Weight)
+	}
+}
+
+func TestBuilderChargingSchedule(t *testing.T) {
+	orbit, err := OrbitCharging(8, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewBuilder("sched", 1, 8).
+		ChargingSchedule(orbit).
+		ConstantDemand(1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy preserved by the discretization.
+	if math.Abs(s.Charging.Total()-2*6/math.Pi*2) > 1.0 {
+		// Half-sine over 6 s at peak 2: area = 2·(2/π)·6 ≈ 7.64 J.
+		t.Errorf("orbit energy = %g", s.Charging.Total())
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := map[string]func() (Scenario, error){
+		"bad tau":       func() (Scenario, error) { return NewBuilder("x", 0, 4).Build() },
+		"bad slots":     func() (Scenario, error) { return NewBuilder("x", 1, 0).Build() },
+		"no charging":   func() (Scenario, error) { return NewBuilder("x", 1, 2).ConstantDemand(1).Build() },
+		"no demand":     func() (Scenario, error) { return NewBuilder("x", 1, 2).ChargingGrid([]float64{1, 1}).Build() },
+		"grid length":   func() (Scenario, error) { return NewBuilder("x", 1, 2).ChargingGrid([]float64{1}).Build() },
+		"usage length":  func() (Scenario, error) { return NewBuilder("x", 1, 2).UsageGrid([]float64{1}).Build() },
+		"weight length": func() (Scenario, error) { return NewBuilder("x", 1, 2).Weight([]float64{1}).Build() },
+		"neg demand":    func() (Scenario, error) { return NewBuilder("x", 1, 2).ConstantDemand(-1).Build() },
+		"bad twinpeak":  func() (Scenario, error) { return NewBuilder("x", 1, 2).TwinPeakDemand(2, 1).Build() },
+		"burst range": func() (Scenario, error) {
+			return NewBuilder("x", 1, 4).BurstDemand(0, 1, 3, 2).Build()
+		},
+		"burst values": func() (Scenario, error) {
+			return NewBuilder("x", 1, 4).BurstDemand(2, 1, 0, 2).Build()
+		},
+		"bad battery": func() (Scenario, error) {
+			return NewBuilder("x", 1, 2).ChargingGrid([]float64{1, 1}).ConstantDemand(1).Battery(1, 2, 1).Build()
+		},
+		"bad orbit": func() (Scenario, error) { return NewBuilder("x", 1, 4).OrbitCharging(1.5, 2).Build() },
+		"sched period": func() (Scenario, error) {
+			orbit, _ := OrbitCharging(99, 0.2, 1)
+			return NewBuilder("x", 1, 4).ChargingSchedule(orbit).Build()
+		},
+	}
+	for name, build := range cases {
+		if _, err := build(); err == nil {
+			t.Errorf("%s: invalid scenario accepted", name)
+		}
+	}
+}
+
+func TestBuilderFirstErrorWins(t *testing.T) {
+	_, err := NewBuilder("x", 0, 4). // tau error first
+						ChargingGrid([]float64{1}). // would be a length error
+						Build()
+	if err == nil || err.Error() != "trace: non-positive tau 0" {
+		t.Errorf("first error not preserved: %v", err)
+	}
+}
+
+func TestBuilderScenarioRunsEndToEnd(t *testing.T) {
+	// A built scenario must plug straight into the allocator.
+	s, err := NewBuilder("endtoend", 4.8, 12).
+		OrbitCharging(0.4, 2.5).
+		TwinPeakDemand(0.2, 1.8).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Charging.Total() <= 0 || s.Usage.Total() <= 0 {
+		t.Fatalf("degenerate scenario: %+v", s)
+	}
+}

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScenarioJSON exercises the scenario decoder against arbitrary
+// bytes: it must never panic, and anything it accepts must satisfy
+// the scenario invariants.
+func FuzzScenarioJSON(f *testing.F) {
+	good, err := json.Marshal(ScenarioI())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","charging":{"step":1,"values":[1]},"usage":{"step":1,"values":[1]}}`))
+	f.Add([]byte(`{"charging":{"step":-1,"values":[]}}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Scenario
+		if err := json.Unmarshal(data, &s); err != nil {
+			return // rejected is fine
+		}
+		// Accepted scenarios must be internally consistent.
+		if s.Charging == nil || s.Usage == nil {
+			t.Fatalf("accepted scenario with missing schedules: %q", data)
+		}
+		if s.Charging.Step <= 0 || s.Charging.Len() == 0 {
+			t.Fatalf("accepted degenerate charging grid: %+v", s.Charging)
+		}
+		if s.Charging.Len() != s.Usage.Len() || s.Charging.Step != s.Usage.Step {
+			t.Fatalf("accepted mismatched geometry: %+v", s)
+		}
+		if s.CapacityMax <= s.CapacityMin {
+			t.Fatalf("accepted inverted battery band: %+v", s)
+		}
+	})
+}

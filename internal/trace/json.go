@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dpm/internal/schedule"
+)
+
+// scenarioJSON is the wire form of a Scenario. Weight may be omitted
+// (uniform); battery fields fall back to the package defaults when
+// zero.
+type scenarioJSON struct {
+	Name          string         `json:"name"`
+	Charging      *schedule.Grid `json:"charging"`
+	Usage         *schedule.Grid `json:"usage"`
+	Weight        *schedule.Grid `json:"weight,omitempty"`
+	CapacityMax   float64        `json:"capacityMax,omitempty"`
+	CapacityMin   float64        `json:"capacityMin,omitempty"`
+	InitialCharge float64        `json:"initialCharge,omitempty"`
+}
+
+// MarshalJSON encodes the scenario.
+func (s Scenario) MarshalJSON() ([]byte, error) {
+	return json.Marshal(scenarioJSON{
+		Name:          s.Name,
+		Charging:      s.Charging,
+		Usage:         s.Usage,
+		Weight:        s.Weight,
+		CapacityMax:   s.CapacityMax,
+		CapacityMin:   s.CapacityMin,
+		InitialCharge: s.InitialCharge,
+	})
+}
+
+// UnmarshalJSON decodes and validates a scenario: charging and usage
+// are required and must share geometry; zero battery fields take the
+// paper defaults.
+func (s *Scenario) UnmarshalJSON(data []byte) error {
+	var w scenarioJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("trace: decoding scenario: %w", err)
+	}
+	if w.Charging == nil || w.Usage == nil {
+		return fmt.Errorf("trace: scenario %q needs charging and usage schedules", w.Name)
+	}
+	if w.Charging.Step != w.Usage.Step || w.Charging.Len() != w.Usage.Len() {
+		return fmt.Errorf("trace: scenario %q: charging %d×%gs vs usage %d×%gs",
+			w.Name, w.Charging.Len(), w.Charging.Step, w.Usage.Len(), w.Usage.Step)
+	}
+	if w.Weight != nil && (w.Weight.Step != w.Usage.Step || w.Weight.Len() != w.Usage.Len()) {
+		return fmt.Errorf("trace: scenario %q: weight geometry mismatch", w.Name)
+	}
+	if w.CapacityMax == 0 {
+		w.CapacityMax = DefaultCapacityMax
+	}
+	if w.CapacityMin == 0 {
+		w.CapacityMin = DefaultCapacityMin
+	}
+	if w.InitialCharge == 0 {
+		w.InitialCharge = w.CapacityMin
+	}
+	if w.CapacityMax <= w.CapacityMin {
+		return fmt.Errorf("trace: scenario %q: Cmax %g must exceed Cmin %g",
+			w.Name, w.CapacityMax, w.CapacityMin)
+	}
+	*s = Scenario{
+		Name:          w.Name,
+		Charging:      w.Charging,
+		Usage:         w.Usage,
+		Weight:        w.Weight,
+		CapacityMax:   w.CapacityMax,
+		CapacityMin:   w.CapacityMin,
+		InitialCharge: w.InitialCharge,
+	}
+	return nil
+}
+
+// LoadScenario reads a scenario from a JSON file, letting deployments
+// define custom environments without recompiling.
+func LoadScenario(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("trace: %w", err)
+	}
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// SaveScenario writes a scenario to a JSON file.
+func SaveScenario(s Scenario, path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

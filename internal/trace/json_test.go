@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	orig := ScenarioII()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Scenario
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.CapacityMax != orig.CapacityMax {
+		t.Errorf("metadata lost: %+v", got)
+	}
+	if !got.Charging.Equal(orig.Charging, 0) || !got.Usage.Equal(orig.Usage, 0) {
+		t.Error("schedules lost in round trip")
+	}
+}
+
+func TestScenarioJSONDefaults(t *testing.T) {
+	raw := `{
+		"name": "custom",
+		"charging": {"step": 4.8, "values": [2, 2, 0, 0]},
+		"usage":    {"step": 4.8, "values": [1, 1, 1, 1]}
+	}`
+	var s Scenario
+	if err := json.Unmarshal([]byte(raw), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.CapacityMax != DefaultCapacityMax || s.CapacityMin != DefaultCapacityMin {
+		t.Errorf("battery defaults not applied: %+v", s)
+	}
+	if s.InitialCharge != DefaultCapacityMin {
+		t.Errorf("initial charge default = %g", s.InitialCharge)
+	}
+}
+
+func TestScenarioJSONValidation(t *testing.T) {
+	cases := map[string]string{
+		"missing usage":    `{"name":"x","charging":{"step":1,"values":[1]}}`,
+		"geometry":         `{"name":"x","charging":{"step":1,"values":[1]},"usage":{"step":1,"values":[1,2]}}`,
+		"weight geometry":  `{"name":"x","charging":{"step":1,"values":[1]},"usage":{"step":1,"values":[1]},"weight":{"step":2,"values":[1]}}`,
+		"inverted battery": `{"name":"x","charging":{"step":1,"values":[1]},"usage":{"step":1,"values":[1]},"capacityMax":1,"capacityMin":5}`,
+		"bad grid step":    `{"name":"x","charging":{"step":0,"values":[1]},"usage":{"step":1,"values":[1]}}`,
+		"empty grid":       `{"name":"x","charging":{"step":1,"values":[]},"usage":{"step":1,"values":[1]}}`,
+		"not json":         `{`,
+	}
+	for name, raw := range cases {
+		var s Scenario
+		if err := json.Unmarshal([]byte(raw), &s); err == nil {
+			t.Errorf("%s: accepted invalid scenario", name)
+		}
+	}
+}
+
+func TestSaveLoadScenario(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	orig := ScenarioI()
+	if err := SaveScenario(orig, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "I" || !got.Charging.Equal(orig.Charging, 0) {
+		t.Errorf("load mismatch: %+v", got)
+	}
+	if _, err := LoadScenario(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestScenarioJSONIsReadable(t *testing.T) {
+	data, err := json.MarshalIndent(ScenarioI(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"step": 4.8`) {
+		t.Errorf("unexpected wire format:\n%s", data)
+	}
+}

@@ -1,0 +1,225 @@
+// Package trace provides the workload and environment inputs for the
+// paper's evaluation (§5): the two charging/usage scenarios shown in
+// Figures 3 and 4 (digitized from the tables), a parametric
+// solar-orbit charging model, and Poisson event traces driven by an
+// event-rate schedule.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dpm/internal/schedule"
+)
+
+// Tau is the paper's parameter-update interval τ: the measured
+// execution time of the 2K-sample fixed-point FFT at 20 MHz.
+const Tau = 4.8
+
+// Period is the paper's charging period T = 12·τ.
+const Period = 57.6
+
+// Slots is the number of parameter updates per period.
+const Slots = 12
+
+// The paper reports its battery trajectory in units of W·τ (its
+// "Integration" rows are cumulative sums of per-slot powers). The
+// minimum requirement it quotes, 0.098, and the observed trajectory
+// ceiling near 3.6 convert to joules by multiplying with τ.
+const (
+	// DefaultCapacityMin is Cmin in joules (0.098 W·τ).
+	DefaultCapacityMin = 0.098 * Tau
+	// DefaultCapacityMax is Cmax in joules (3.6 W·τ).
+	DefaultCapacityMax = 3.6 * Tau
+)
+
+// Scenario bundles one experiment's environment: what §2 calls the
+// expected charging schedule, expected event-rate schedule, weight
+// function, and battery limits.
+type Scenario struct {
+	// Name identifies the scenario in reports.
+	Name string
+	// Charging is c(t) in watts per slot.
+	Charging *schedule.Grid
+	// Usage is the desired power-usage shape (the paper's Figure
+	// 3/4 "use schedule"), which doubles as the event-rate shape
+	// u(t) — Eq. 8 rescales it anyway.
+	Usage *schedule.Grid
+	// Weight is w(t); nil means uniform.
+	Weight *schedule.Grid
+	// CapacityMax, CapacityMin and InitialCharge are the battery
+	// parameters in joules.
+	CapacityMax   float64
+	CapacityMin   float64
+	InitialCharge float64
+}
+
+// ScenarioI returns the paper's first scenario (Figure 3): the
+// charger delivers a constant 2.36 W for the first half of the orbit
+// and nothing in eclipse, while demand peaks at both ends of the
+// period.
+func ScenarioI() Scenario {
+	return Scenario{
+		Name: "I",
+		Charging: schedule.NewGrid(Tau, []float64{
+			2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0, 0, 0, 0, 0, 0,
+		}),
+		Usage: schedule.NewGrid(Tau, []float64{
+			1.89, 1.21, 0.32, 0.32, 1.21, 2.03, 1.9, 1.21, 0.32, 0.32, 1.21, 2.03,
+		}),
+		CapacityMax:   DefaultCapacityMax,
+		CapacityMin:   DefaultCapacityMin,
+		InitialCharge: DefaultCapacityMin,
+	}
+}
+
+// ScenarioII returns the paper's second scenario (Figure 4): a
+// ramped charging profile with a short eclipse and a demand spike in
+// the middle of the period.
+func ScenarioII() Scenario {
+	return Scenario{
+		Name: "II",
+		Charging: schedule.NewGrid(Tau, []float64{
+			3.24, 3.54, 3.54, 3.54, 0.88, 0, 0, 0, 0.88, 0.88, 1.77, 2.36,
+		}),
+		Usage: schedule.NewGrid(Tau, []float64{
+			0.59, 0.88, 0.88, 0.59, 3.54, 3.54, 2.95, 0, 0.59, 1.77, 2.95, 2.36,
+		}),
+		CapacityMax:   DefaultCapacityMax,
+		CapacityMin:   DefaultCapacityMin,
+		InitialCharge: DefaultCapacityMin,
+	}
+}
+
+// Scenarios returns both paper scenarios, in order.
+func Scenarios() []Scenario { return []Scenario{ScenarioI(), ScenarioII()} }
+
+// ByName returns the scenario with the given name ("I" or "II").
+func ByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("trace: unknown scenario %q", name)
+}
+
+// OrbitCharging models a solar panel over one orbit: zero power
+// while the satellite is in eclipse (the final eclipseFraction of
+// the period) and a half-sine profile peaking at peakWatts while in
+// sunlight, approximating the incidence angle sweep.
+func OrbitCharging(period, eclipseFraction, peakWatts float64) (schedule.Schedule, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("trace: non-positive orbit period %g", period)
+	}
+	if eclipseFraction < 0 || eclipseFraction >= 1 {
+		return nil, fmt.Errorf("trace: eclipse fraction %g outside [0, 1)", eclipseFraction)
+	}
+	if peakWatts <= 0 {
+		return nil, fmt.Errorf("trace: non-positive peak power %g", peakWatts)
+	}
+	sunlight := period * (1 - eclipseFraction)
+	return schedule.NewFunc(func(t float64) float64 {
+		if t >= sunlight {
+			return 0
+		}
+		return peakWatts * math.Sin(math.Pi*t/sunlight)
+	}, period), nil
+}
+
+// Event is one computation-triggering event (an RF transient in the
+// paper's FORTE application).
+type Event struct {
+	// Time is the arrival time within the trace, in seconds.
+	Time float64
+	// Seed individualizes the event's payload generation.
+	Seed int64
+}
+
+// PoissonEvents draws a non-homogeneous Poisson arrival trace over
+// [0, duration) whose instantaneous rate is rate.At(t)·scale events
+// per second. It uses thinning against the schedule's maximum, so
+// the trace is exact for any bounded rate schedule. The generator is
+// fully determined by seed.
+func PoissonEvents(rate schedule.Schedule, scale, duration float64, seed int64) ([]Event, error) {
+	if scale < 0 {
+		return nil, fmt.Errorf("trace: negative rate scale %g", scale)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("trace: non-positive duration %g", duration)
+	}
+	// Find the rate ceiling by dense sampling over one period.
+	const probes = 4096
+	maxRate := 0.0
+	for i := 0; i < probes; i++ {
+		r := rate.At(float64(i) / probes * rate.Period())
+		if r < 0 {
+			return nil, fmt.Errorf("trace: negative event rate %g at t=%g", r, float64(i)/probes*rate.Period())
+		}
+		maxRate = math.Max(maxRate, r)
+	}
+	maxRate *= scale
+	if maxRate == 0 {
+		return nil, nil
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var events []Event
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / maxRate
+		if t >= duration {
+			break
+		}
+		if rng.Float64()*maxRate <= rate.At(t)*scale {
+			events = append(events, Event{Time: t, Seed: rng.Int63()})
+		}
+	}
+	return events, nil
+}
+
+// EventsPerSlot bins events into slots of width tau over duration
+// and returns the per-slot counts. Events beyond the last full slot
+// are dropped.
+func EventsPerSlot(events []Event, tau, duration float64) []int {
+	if tau <= 0 || duration <= 0 {
+		panic(fmt.Sprintf("trace: invalid binning (τ=%g, duration=%g)", tau, duration))
+	}
+	n := int(duration / tau)
+	counts := make([]int, n)
+	for _, e := range events {
+		i := int(e.Time / tau)
+		if i >= 0 && i < n {
+			counts[i]++
+		}
+	}
+	return counts
+}
+
+// Perturb returns a copy of g with each slot multiplied by a factor
+// drawn uniformly from [1−jitter, 1+jitter], clamped non-negative.
+// It models the run-time deviation between expected and actual
+// schedules that §4.3 exists to absorb. Deterministic in seed.
+func Perturb(g *schedule.Grid, jitter float64, seed int64) *schedule.Grid {
+	if jitter < 0 {
+		panic(fmt.Sprintf("trace: negative jitter %g", jitter))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := g.Clone()
+	for i := range out.Values {
+		f := 1 + jitter*(2*rng.Float64()-1)
+		out.Values[i] *= f
+		if out.Values[i] < 0 {
+			out.Values[i] = 0
+		}
+	}
+	return out
+}
+
+// SortEvents orders events by arrival time (PoissonEvents already
+// returns them sorted; this is for merged traces).
+func SortEvents(events []Event) {
+	sort.Slice(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+}

@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"dpm/internal/schedule"
+)
+
+func TestScenarioIDigitization(t *testing.T) {
+	s := ScenarioI()
+	if s.Charging.Len() != Slots || s.Usage.Len() != Slots {
+		t.Fatal("scenario I must have 12 slots")
+	}
+	if s.Charging.Step != Tau {
+		t.Errorf("step = %g", s.Charging.Step)
+	}
+	// Charging: 2.36 W for six slots, then eclipse.
+	for i := 0; i < 6; i++ {
+		if s.Charging.Values[i] != 2.36 {
+			t.Errorf("charging[%d] = %g", i, s.Charging.Values[i])
+		}
+	}
+	for i := 6; i < 12; i++ {
+		if s.Charging.Values[i] != 0 {
+			t.Errorf("eclipse charging[%d] = %g", i, s.Charging.Values[i])
+		}
+	}
+	// Supply and demand are near-balanced (paper's Figure 3).
+	if math.Abs(s.Charging.Total()-s.Usage.Total()) > 1.0 {
+		t.Errorf("supply %g J vs demand %g J", s.Charging.Total(), s.Usage.Total())
+	}
+}
+
+func TestScenarioIIDigitization(t *testing.T) {
+	s := ScenarioII()
+	if s.Charging.Len() != Slots || s.Usage.Len() != Slots {
+		t.Fatal("scenario II must have 12 slots")
+	}
+	if s.Charging.Values[0] != 3.24 || s.Usage.Values[4] != 3.54 {
+		t.Error("scenario II values do not match Table 4/5 digitization")
+	}
+	if math.Abs(s.Charging.Total()-s.Usage.Total()) > 2.0 {
+		t.Errorf("supply %g J vs demand %g J", s.Charging.Total(), s.Usage.Total())
+	}
+}
+
+func TestScenariosAndByName(t *testing.T) {
+	all := Scenarios()
+	if len(all) != 2 || all[0].Name != "I" || all[1].Name != "II" {
+		t.Fatalf("Scenarios() = %v", all)
+	}
+	if _, err := ByName("I"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("II"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("III"); err == nil {
+		t.Error("unknown scenario must error")
+	}
+}
+
+func TestCapacityConstants(t *testing.T) {
+	if DefaultCapacityMin >= DefaultCapacityMax {
+		t.Error("Cmin must be below Cmax")
+	}
+	// Cmin is the paper's 0.098 W·τ in joules.
+	if math.Abs(DefaultCapacityMin-0.098*4.8) > 1e-12 {
+		t.Errorf("Cmin = %g", DefaultCapacityMin)
+	}
+}
+
+func TestOrbitCharging(t *testing.T) {
+	s, err := OrbitCharging(5400, 0.35, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Period() != 5400 {
+		t.Errorf("period = %g", s.Period())
+	}
+	// Eclipse: last 35% is dark.
+	if got := s.At(5400 * 0.9); got != 0 {
+		t.Errorf("eclipse power = %g", got)
+	}
+	// Sunlight peak near the middle of the lit arc.
+	mid := 5400 * 0.65 / 2
+	if got := s.At(mid); math.Abs(got-100) > 1 {
+		t.Errorf("peak power = %g, want ~100", got)
+	}
+	// Non-negative everywhere.
+	for i := 0; i < 100; i++ {
+		if v := s.At(float64(i) * 54); v < 0 {
+			t.Errorf("negative charging %g at t=%d", v, i*54)
+		}
+	}
+}
+
+func TestOrbitChargingValidation(t *testing.T) {
+	if _, err := OrbitCharging(0, 0.3, 100); err == nil {
+		t.Error("zero period must error")
+	}
+	if _, err := OrbitCharging(100, 1.0, 100); err == nil {
+		t.Error("eclipse fraction 1 must error")
+	}
+	if _, err := OrbitCharging(100, -0.1, 100); err == nil {
+		t.Error("negative eclipse must error")
+	}
+	if _, err := OrbitCharging(100, 0.3, 0); err == nil {
+		t.Error("zero peak must error")
+	}
+}
+
+func TestPoissonEventsDeterministic(t *testing.T) {
+	rate := schedule.NewConst(1.0, Period)
+	a, err := PoissonEvents(rate, 1, 2*Period, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PoissonEvents(rate, 1, 2*Period, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different event %d", i)
+		}
+	}
+	// Different seed differs (overwhelmingly likely).
+	c, err := PoissonEvents(rate, 1, 2*Period, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i].Time != c[i].Time {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestPoissonEventsRate(t *testing.T) {
+	// Mean count over a long window ≈ rate × duration.
+	rate := schedule.NewConst(2.0, 100)
+	events, err := PoissonEvents(rate, 1, 10000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 20000.0
+	got := float64(len(events))
+	if got < 0.9*want || got > 1.1*want {
+		t.Errorf("Poisson count %g, want ≈ %g", got, want)
+	}
+	// Sorted and within range.
+	for i, e := range events {
+		if e.Time < 0 || e.Time >= 10000 {
+			t.Fatalf("event %d out of range: %g", i, e.Time)
+		}
+		if i > 0 && e.Time < events[i-1].Time {
+			t.Fatalf("events unsorted at %d", i)
+		}
+	}
+}
+
+func TestPoissonEventsThinning(t *testing.T) {
+	// A rate that is zero half the time must produce no events there.
+	rate, err := schedule.NewPiecewiseConstant([]float64{0, 50}, []float64{5, 0}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := PoissonEvents(rate, 1, 1000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		phase := math.Mod(e.Time, 100)
+		if phase >= 50 {
+			t.Fatalf("event at %g lands in the zero-rate half", e.Time)
+		}
+	}
+}
+
+func TestPoissonEventsValidation(t *testing.T) {
+	rate := schedule.NewConst(1, 10)
+	if _, err := PoissonEvents(rate, -1, 10, 1); err == nil {
+		t.Error("negative scale must error")
+	}
+	if _, err := PoissonEvents(rate, 1, 0, 1); err == nil {
+		t.Error("zero duration must error")
+	}
+	neg := schedule.NewConst(-1, 10)
+	if _, err := PoissonEvents(neg, 1, 10, 1); err == nil {
+		t.Error("negative rate must error")
+	}
+	// Zero rate: no events, no error.
+	zero := schedule.NewConst(0, 10)
+	events, err := PoissonEvents(zero, 1, 10, 1)
+	if err != nil || len(events) != 0 {
+		t.Errorf("zero rate: %v, %v", events, err)
+	}
+}
+
+func TestEventsPerSlot(t *testing.T) {
+	events := []Event{{Time: 0.5}, {Time: 1.5}, {Time: 1.7}, {Time: 9.9}, {Time: 10.1}}
+	counts := EventsPerSlot(events, 1, 10)
+	if len(counts) != 10 {
+		t.Fatalf("bins = %d", len(counts))
+	}
+	if counts[0] != 1 || counts[1] != 2 || counts[9] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 4 { // the event at 10.1 is beyond the window
+		t.Errorf("total binned = %d", sum)
+	}
+}
+
+func TestEventsPerSlotPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid binning must panic")
+		}
+	}()
+	EventsPerSlot(nil, 0, 10)
+}
+
+func TestPerturbBounded(t *testing.T) {
+	g := ScenarioI().Charging
+	p := Perturb(g, 0.2, 99)
+	for i := range g.Values {
+		lo, hi := g.Values[i]*0.8, g.Values[i]*1.2
+		if p.Values[i] < lo-1e-9 || p.Values[i] > hi+1e-9 {
+			t.Errorf("slot %d: %g outside [%g, %g]", i, p.Values[i], lo, hi)
+		}
+	}
+	// Deterministic.
+	q := Perturb(g, 0.2, 99)
+	if !p.Equal(q, 0) {
+		t.Error("Perturb must be deterministic in seed")
+	}
+	// Original untouched.
+	if g.Values[0] != 2.36 {
+		t.Error("Perturb must not mutate its input")
+	}
+}
+
+func TestPerturbPanicsOnNegativeJitter(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative jitter must panic")
+		}
+	}()
+	Perturb(ScenarioI().Charging, -0.1, 1)
+}
+
+func TestSortEvents(t *testing.T) {
+	events := []Event{{Time: 3}, {Time: 1}, {Time: 2}}
+	SortEvents(events)
+	if events[0].Time != 1 || events[2].Time != 3 {
+		t.Errorf("SortEvents = %v", events)
+	}
+}

@@ -1,0 +1,144 @@
+// Package units provides the physical-quantity conventions used
+// throughout the repository and small helpers for converting and
+// formatting them.
+//
+// All simulation code uses SI base units carried in float64 values:
+//
+//   - power in watts (W)
+//   - energy in joules (J)
+//   - voltage in volts (V)
+//   - frequency in hertz (Hz)
+//   - time in seconds (s)
+//
+// The constants below exist so call sites can say 80*units.MHz or
+// 546*units.MilliWatt instead of spelling out exponents.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frequency multipliers, in hertz.
+const (
+	Hz  = 1.0
+	KHz = 1e3
+	MHz = 1e6
+	GHz = 1e9
+)
+
+// Power multipliers, in watts.
+const (
+	MicroWatt = 1e-6
+	MilliWatt = 1e-3
+	Watt      = 1.0
+	KiloWatt  = 1e3
+)
+
+// Energy multipliers, in joules.
+const (
+	MilliJoule = 1e-3
+	Joule      = 1.0
+	KiloJoule  = 1e3
+	// WattHour is the energy delivered by one watt for one hour.
+	WattHour = 3600.0
+)
+
+// Time multipliers, in seconds.
+const (
+	Microsecond = 1e-6
+	Millisecond = 1e-3
+	Second      = 1.0
+	Minute      = 60.0
+	Hour        = 3600.0
+)
+
+// FormatFrequency renders a frequency in hertz with an appropriate
+// SI prefix, e.g. FormatFrequency(80e6) == "80 MHz".
+func FormatFrequency(hz float64) string {
+	return formatSI(hz, "Hz")
+}
+
+// FormatPower renders a power in watts with an appropriate SI prefix,
+// e.g. FormatPower(0.546) == "546 mW".
+func FormatPower(w float64) string {
+	return formatSI(w, "W")
+}
+
+// FormatEnergy renders an energy in joules with an appropriate SI
+// prefix, e.g. FormatEnergy(13.68) == "13.68 J".
+func FormatEnergy(j float64) string {
+	return formatSI(j, "J")
+}
+
+// FormatDuration renders a duration in seconds, e.g. "4.8 s".
+func FormatDuration(s float64) string {
+	switch {
+	case s == 0:
+		return "0 s"
+	case math.Abs(s) < Millisecond:
+		return trim(s/Microsecond) + " µs"
+	case math.Abs(s) < Second:
+		return trim(s/Millisecond) + " ms"
+	default:
+		return trim(s) + " s"
+	}
+}
+
+// formatSI picks among µ, m, (none), k, M, G prefixes.
+func formatSI(v float64, unit string) string {
+	abs := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0 " + unit
+	case abs < 1e-3:
+		return trim(v*1e6) + " µ" + unit
+	case abs < 1:
+		return trim(v*1e3) + " m" + unit
+	case abs < 1e3:
+		return trim(v) + " " + unit
+	case abs < 1e6:
+		return trim(v/1e3) + " k" + unit
+	case abs < 1e9:
+		return trim(v/1e6) + " M" + unit
+	default:
+		return trim(v/1e9) + " G" + unit
+	}
+}
+
+// trim formats with up to four significant decimals, dropping
+// trailing zeros ("80", "4.8", "13.68").
+func trim(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	// Drop trailing zeros and a dangling decimal point.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// ApproxEqual reports whether a and b agree within tol. It treats the
+// comparison symmetrically and tolerates exact zero operands, which a
+// naive relative comparison does not.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if a == 0 || b == 0 {
+		return diff < tol
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// Clamp limits v to the closed interval [lo, hi]. It panics if
+// lo > hi, since that is always a programming error.
+func Clamp(v, lo, hi float64) float64 {
+	if lo > hi {
+		panic(fmt.Sprintf("units.Clamp: inverted interval [%g, %g]", lo, hi))
+	}
+	return math.Min(math.Max(v, lo), hi)
+}

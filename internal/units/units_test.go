@@ -1,0 +1,143 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatFrequency(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0 Hz"},
+		{20 * MHz, "20 MHz"},
+		{80 * MHz, "80 MHz"},
+		{1.5 * GHz, "1.5 GHz"},
+		{440, "440 Hz"},
+		{2.2 * KHz, "2.2 kHz"},
+	}
+	for _, c := range cases {
+		if got := FormatFrequency(c.in); got != c.want {
+			t.Errorf("FormatFrequency(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatPower(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0 W"},
+		{546 * MilliWatt, "546 mW"},
+		{6.6 * MilliWatt, "6.6 mW"},
+		{2.36, "2.36 W"},
+		{1.2 * KiloWatt, "1.2 kW"},
+		{5 * MicroWatt, "5 µW"},
+	}
+	for _, c := range cases {
+		if got := FormatPower(c.in); got != c.want {
+			t.Errorf("FormatPower(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatEnergy(t *testing.T) {
+	if got := FormatEnergy(13.68); got != "13.68 J" {
+		t.Errorf("FormatEnergy(13.68) = %q", got)
+	}
+	if got := FormatEnergy(WattHour); got != "3.6 kJ" {
+		t.Errorf("FormatEnergy(WattHour) = %q", got)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0 s"},
+		{4.8, "4.8 s"},
+		{57.6, "57.6 s"},
+		{0.0032, "3.2 ms"},
+		{25e-6, "25 µs"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.in); got != c.want {
+			t.Errorf("FormatDuration(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatNegative(t *testing.T) {
+	if got := FormatPower(-546 * MilliWatt); got != "-546 mW" {
+		t.Errorf("FormatPower(-0.546) = %q", got)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0, 0) {
+		t.Error("identical values must compare equal at zero tolerance")
+	}
+	if !ApproxEqual(100, 100.5, 0.01) {
+		t.Error("0.5%% apart should pass 1%% tolerance")
+	}
+	if ApproxEqual(100, 103, 0.01) {
+		t.Error("3%% apart should fail 1%% tolerance")
+	}
+	if !ApproxEqual(0, 1e-12, 1e-9) {
+		t.Error("near-zero vs zero should use absolute tolerance")
+	}
+	if ApproxEqual(0, 1e-6, 1e-9) {
+		t.Error("zero comparison should respect absolute tolerance")
+	}
+}
+
+func TestApproxEqualSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		return ApproxEqual(a, b, 1e-6) == ApproxEqual(b, a, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 3); got != 3 {
+		t.Errorf("Clamp(5,0,3) = %g", got)
+	}
+	if got := Clamp(-1, 0, 3); got != 0 {
+		t.Errorf("Clamp(-1,0,3) = %g", got)
+	}
+	if got := Clamp(2, 0, 3); got != 2 {
+		t.Errorf("Clamp(2,0,3) = %g", got)
+	}
+}
+
+func TestClampPanicsOnInvertedInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp with lo > hi must panic")
+		}
+	}()
+	Clamp(1, 3, 0)
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		got := Clamp(v, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
