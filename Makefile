@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench tables cover clean
+.PHONY: all build vet test race bench tables golden cover clean
 
 all: build vet test
 

@@ -8,6 +8,7 @@
 //	dpmsim -scenario I  -jitter 0.2 -seed 7   # perturbed supply
 //	dpmsim -scenario I  -policy even          # Algorithm 3 ablation
 //	dpmsim -scenario I  -trace                # per-slot rows
+//	dpmsim -scenario I  -machine -faultrate 2 # seeded fault injection
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"dpm/internal/dpm"
 	"dpm/internal/experiments"
+	"dpm/internal/faults"
 	"dpm/internal/machine"
 	"dpm/internal/report"
 	"dpm/internal/schedule"
@@ -37,16 +39,20 @@ func main() {
 	gang := flag.Bool("gang", false, "gang-schedule each capture across all active workers (machine mode)")
 	showTrace := flag.Bool("trace", false, "print per-slot records")
 	plot := flag.Bool("plot", false, "render plan vs used power as an ASCII chart (analytic mode)")
+	faultRate := flag.Float64("faultrate", 0, "fault-rate multiplier for seeded fault injection (machine mode; 0 disables)")
+	faultSeed := flag.Int64("faultseed", 1, "random seed for the generated fault plan")
+	noReplan := flag.Bool("noreplan", false, "disable the degraded re-plan after a worker death (ablation)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *scenario, *configPath, *periods, *useMachine, *jitter, *seed, *policy, *eventScale, *gang, *showTrace, *plot); err != nil {
+	if err := run(os.Stdout, *scenario, *configPath, *periods, *useMachine, *jitter, *seed, *policy, *eventScale, *gang, *showTrace, *plot, *faultRate, *faultSeed, *noReplan); err != nil {
 		fmt.Fprintln(os.Stderr, "dpmsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(w io.Writer, scenarioName, configPath string, periods int, useMachine bool,
-	jitter float64, seed int64, policy string, eventScale float64, gang, showTrace, plot bool) error {
+	jitter float64, seed int64, policy string, eventScale float64, gang, showTrace, plot bool,
+	faultRate float64, faultSeed int64, noReplan bool) error {
 
 	var s trace.Scenario
 	var err error
@@ -72,8 +78,12 @@ func run(w io.Writer, scenarioName, configPath string, periods int, useMachine b
 		actual = trace.Perturb(s.Charging, jitter, seed)
 	}
 
+	if !useMachine && faultRate > 0 {
+		return fmt.Errorf("fault injection requires -machine")
+	}
 	if useMachine {
-		return runMachine(w, s, cfg, actual, periods, seed, eventScale, gang, showTrace)
+		return runMachine(w, s, cfg, actual, periods, seed, eventScale, gang, showTrace,
+			faultRate, faultSeed, noReplan)
 	}
 	return runAnalytic(w, s, cfg, actual, periods, showTrace, plot)
 }
@@ -126,19 +136,29 @@ func runAnalytic(w io.Writer, s trace.Scenario, cfg dpm.Config,
 }
 
 func runMachine(w io.Writer, s trace.Scenario, cfg dpm.Config, actual *schedule.Grid,
-	periods int, seed int64, eventScale float64, gang, showTrace bool) error {
+	periods int, seed int64, eventScale float64, gang, showTrace bool,
+	faultRate float64, faultSeed int64, noReplan bool) error {
 
 	events, err := trace.PoissonEvents(s.Usage, eventScale, float64(periods)*trace.Period, seed)
 	if err != nil {
 		return err
 	}
+	var plan *faults.Plan
+	if faultRate > 0 {
+		plan, err = experiments.FaultPlanFor(s, faultRate, periods, faultSeed)
+		if err != nil {
+			return err
+		}
+	}
 	board, err := machine.New(machine.Config{
-		Manager:        cfg,
-		ActualCharging: actual,
-		Events:         events,
-		Periods:        periods,
-		ExecuteDSP:     true,
-		GangScheduled:  gang,
+		Manager:               cfg,
+		ActualCharging:        actual,
+		Events:                events,
+		Periods:               periods,
+		ExecuteDSP:            true,
+		GangScheduled:         gang,
+		Faults:                plan,
+		DisableDegradedReplan: noReplan,
 	})
 	if err != nil {
 		return err
@@ -160,6 +180,14 @@ func runMachine(w io.Writer, s trace.Scenario, cfg dpm.Config, actual *schedule.
 	fmt.Fprintf(w, "  wasted           %s\n", units.FormatEnergy(res.Battery.Wasted))
 	fmt.Fprintf(w, "  undersupplied    %s\n", units.FormatEnergy(res.Battery.Undersupplied))
 	fmt.Fprintf(w, "  utilization      %.1f%%\n", 100*res.Battery.Utilization)
+	if plan != nil {
+		fmt.Fprintf(w, "  faults injected  %d\n", plan.Len())
+		fmt.Fprintf(w, "  %s\n", res.Faults)
+		if res.Faults.ControllerReboots > 0 {
+			fmt.Fprintf(w, "  checkpoints      %d restored, %d rejected\n",
+				res.Faults.CheckpointRestores, res.Faults.CheckpointRejects)
+		}
+	}
 	if !showTrace {
 		return nil
 	}

@@ -3,6 +3,7 @@ package dpm
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"dpm/internal/params"
 )
@@ -49,10 +50,17 @@ func (m *Manager) MarshalCheckpoint() ([]byte, error) {
 	return json.MarshalIndent(m.Checkpoint(), "", "  ")
 }
 
+// maxCheckpointSlot bounds the restored slot counter. At the paper's
+// τ = 4.8 s, 2^40 slots is over 150 000 years of mission time; any
+// larger value is checkpoint corruption, not history.
+const maxCheckpointSlot = 1 << 40
+
 // Restore applies a previously captured state to a freshly
 // constructed manager with the same configuration. It validates the
-// plan geometry and re-resolves the operating point against the
-// table so a restored manager cannot carry an impossible point.
+// plan geometry, rejects non-finite energies (the exact artifact a
+// radiation-upset reboot produces in a corrupted checkpoint) and
+// re-resolves the operating point against the table so a restored
+// manager cannot carry an impossible point into the re-planning loop.
 func (m *Manager) Restore(s State) error {
 	if len(s.Plan) != m.nSlots {
 		return fmt.Errorf("dpm: checkpoint has %d slots, manager has %d", len(s.Plan), m.nSlots)
@@ -60,7 +68,16 @@ func (m *Manager) Restore(s State) error {
 	if s.Slot < 0 {
 		return fmt.Errorf("dpm: negative slot counter %d", s.Slot)
 	}
+	if s.Slot > maxCheckpointSlot {
+		return fmt.Errorf("dpm: slot counter %d beyond sane bounds", s.Slot)
+	}
+	if math.IsNaN(s.Charge) || math.IsInf(s.Charge, 0) {
+		return fmt.Errorf("dpm: checkpoint charge %g is not finite", s.Charge)
+	}
 	for i, v := range s.Plan {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dpm: checkpoint plan[%d] = %g is not finite", i, v)
+		}
 		if v < 0 {
 			return fmt.Errorf("dpm: checkpoint plan[%d] = %g negative", i, v)
 		}

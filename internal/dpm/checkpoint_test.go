@@ -85,6 +85,42 @@ func TestRestoreValidation(t *testing.T) {
 	if err := m.UnmarshalCheckpoint([]byte("{")); err == nil {
 		t.Error("malformed JSON must be rejected")
 	}
+	bad = good
+	bad.Charge = math.NaN()
+	if err := m.Restore(bad); err == nil {
+		t.Error("NaN charge must be rejected")
+	}
+	bad = good
+	bad.Charge = math.Inf(1)
+	if err := m.Restore(bad); err == nil {
+		t.Error("infinite charge must be rejected")
+	}
+	bad = good
+	bad.Plan = append([]float64(nil), good.Plan...)
+	bad.Plan[3] = math.NaN()
+	if err := m.Restore(bad); err == nil {
+		t.Error("NaN plan slot must be rejected")
+	}
+	bad = good
+	bad.Plan = append([]float64(nil), good.Plan...)
+	bad.Plan[7] = math.Inf(-1)
+	if err := m.Restore(bad); err == nil {
+		t.Error("infinite plan slot must be rejected")
+	}
+	bad = good
+	bad.Slot = maxCheckpointSlot + 1
+	if err := m.Restore(bad); err == nil {
+		t.Error("insane slot counter must be rejected")
+	}
+	// The rejected restores must not have poisoned the manager.
+	if err := m.Restore(good); err != nil {
+		t.Fatalf("good state no longer restorable: %v", err)
+	}
+	for i, v := range m.PlanSnapshot() {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("plan[%d] = %g after rejected restores", i, v)
+		}
+	}
 }
 
 func TestCheckpointChargeClamped(t *testing.T) {

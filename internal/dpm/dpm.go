@@ -311,6 +311,97 @@ func (m *Manager) redistribute(ediff float64) {
 	}
 }
 
+// rotated returns a copy of g whose slot 0 is g's slot start — the
+// view of the period that begins at the current slot, which is what
+// a mid-period re-plan hands to Algorithm 1.
+func rotated(g *schedule.Grid, start int) *schedule.Grid {
+	out := g.Clone()
+	n := g.Len()
+	for k := 0; k < n; k++ {
+		out.Values[k] = g.Values[(start+k)%n]
+	}
+	return out
+}
+
+// Replan is the degraded-mode entry point: when the board loses
+// capability (dead worker PIMs), the controller calls Replan with the
+// surviving processor count. The manager rebuilds the Algorithm 2
+// operating-point table with n capped at maxProcs and re-runs
+// Algorithm 1 over the upcoming period — the expected schedules
+// rotated so the current slot is the plan's origin, starting from the
+// current charge estimate — then clamps any remaining plan slot that
+// exceeds the degraded board's maximum draw.
+//
+// It returns the number of plan slots that were infeasible for the
+// degraded board (clamped to the new ceiling; the surplus surfaces as
+// wasted energy), so callers can count plan-infeasibility events. The
+// slot counter, charge estimate and accumulated run-time state are
+// preserved; only the plan and table change.
+func (m *Manager) Replan(maxProcs int) (infeasible int, err error) {
+	pcfg := m.cfg.Params
+	if maxProcs < 1 {
+		maxProcs = 1
+	}
+	if maxProcs > pcfg.MaxProcessors {
+		maxProcs = pcfg.MaxProcessors
+	}
+	pcfg.MaxProcessors = maxProcs
+	if pcfg.MinProcessors > maxProcs {
+		pcfg.MinProcessors = maxProcs
+	}
+	table, err := params.BuildTable(pcfg)
+	if err != nil {
+		return 0, fmt.Errorf("dpm: degraded table: %w", err)
+	}
+	m.table = table
+	m.cfg.Params = pcfg
+
+	start := m.slot % m.nSlots
+	var weight *schedule.Grid
+	if m.cfg.Weight != nil {
+		weight = rotated(m.cfg.Weight, start)
+	}
+	res, aerr := alloc.Compute(alloc.Inputs{
+		Charging:      rotated(m.cfg.Charging, start),
+		EventRate:     rotated(m.cfg.EventRate, start),
+		Weight:        weight,
+		CapacityMax:   m.cfg.CapacityMax,
+		CapacityMin:   m.cfg.CapacityMin,
+		InitialCharge: m.charge,
+		MaxIterations: m.cfg.AllocIterations,
+		Margin:        m.cfg.PlanningMargin,
+	})
+	if aerr == nil {
+		for k := 0; k < m.nSlots; k++ {
+			m.plan.Values[(start+k)%m.nSlots] = res.Allocation.Values[k]
+		}
+		if !res.Feasible {
+			infeasible++
+		}
+	} else {
+		// Algorithm 1 could not produce a plan at all; keep the old
+		// one — the ceiling clamp below bounds it to what the
+		// degraded board can actually execute.
+		infeasible++
+	}
+
+	maxPower := table.Points()[table.Len()-1].Power
+	const eps = 1e-9
+	for i := range m.plan.Values {
+		if m.plan.Values[i] > maxPower+eps {
+			infeasible++
+			m.plan.Values[i] = maxPower
+		}
+	}
+	// The active operating point may name more processors than
+	// survive; snap it onto the degraded table so the next switching
+	// decision compares against a reachable point.
+	if m.started && m.current.N > maxProcs {
+		m.current = table.Select(m.current.Power)
+	}
+	return infeasible, nil
+}
+
 // findWindow projects the battery trajectory forward from the current
 // charge using the expected charging schedule and the current plan,
 // and returns the plan indices of the slots between now and the first

@@ -1,0 +1,96 @@
+package dpm
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"dpm/internal/params"
+	"dpm/internal/perf"
+	"dpm/internal/power"
+	"dpm/internal/trace"
+)
+
+// fuzzConfig mirrors managerConfig without needing a *testing.T.
+func fuzzConfig() (Config, error) {
+	w, err := perf.NewWorkload(4.8, 0.48)
+	if err != nil {
+		return Config{}, err
+	}
+	s := trace.ScenarioI()
+	return Config{
+		Charging:      s.Charging,
+		EventRate:     s.Usage,
+		Weight:        s.Weight,
+		CapacityMax:   s.CapacityMax,
+		CapacityMin:   s.CapacityMin,
+		InitialCharge: s.InitialCharge,
+		Params: params.Config{
+			System:        power.PAMA(),
+			Curve:         power.NewFixedVoltage(3.3, 80e6),
+			Workload:      w,
+			Frequencies:   []float64{20e6, 40e6, 80e6},
+			MaxProcessors: 7,
+			MinProcessors: 0,
+		},
+	}, nil
+}
+
+// FuzzUnmarshalCheckpoint feeds arbitrary bytes to the checkpoint
+// decoder: it must never panic, and every accepted checkpoint must
+// leave the manager in a sane state (finite non-negative plan, charge
+// inside the battery band, bounded slot counter) — a corrupted
+// checkpoint from a radiation-upset reboot must not poison the
+// re-planning loop.
+func FuzzUnmarshalCheckpoint(f *testing.F) {
+	cfg, err := fuzzConfig()
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedMgr, err := New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if valid, err := seedMgr.MarshalCheckpoint(); err == nil {
+		f.Add(valid)
+	}
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"plan":[1,2,3],"slot":1}`))
+	f.Add([]byte(`{"plan":[0,0,0,0,0,0,0,0,0,0,0,0],"slot":-4,"charge":1}`))
+	f.Add([]byte(`{"plan":[0,0,0,0,0,0,0,0,0,0,0,0],"slot":1099511627777,"charge":1}`))
+	f.Add([]byte(`{"plan":[0,0,0,0,0,0,0,0,0,0,0,0],"slot":3,"charge":1e308,"started":true,"currentN":3,"currentF":4e7,"currentV":3.3}`))
+	f.Add([]byte(`{"plan":[-5,0,0,0,0,0,0,0,0,0,0,0],"slot":0,"charge":0.5}`))
+	f.Add([]byte(`{"plan":[1e309,0,0,0,0,0,0,0,0,0,0,0],"slot":0,"charge":0.5}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.UnmarshalCheckpoint(data); err != nil {
+			return // rejected; nothing else to check
+		}
+		if m.Slot() < 0 || m.Slot() > maxCheckpointSlot {
+			t.Fatalf("accepted checkpoint left slot counter %d", m.Slot())
+		}
+		c := m.Charge()
+		if math.IsNaN(c) || c < cfg.CapacityMin-1e-9 || c > cfg.CapacityMax+1e-9 {
+			t.Fatalf("accepted checkpoint left charge %g outside [%g, %g]",
+				c, cfg.CapacityMin, cfg.CapacityMax)
+		}
+		for i, v := range m.PlanSnapshot() {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("accepted checkpoint left plan[%d] = %g", i, v)
+			}
+		}
+		// The accepted state must also round-trip.
+		out, err := m.MarshalCheckpoint()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted state failed: %v", err)
+		}
+		var s State
+		if err := json.Unmarshal(out, &s); err != nil {
+			t.Fatalf("re-marshaled checkpoint unparsable: %v", err)
+		}
+	})
+}

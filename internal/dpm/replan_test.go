@@ -1,0 +1,185 @@
+package dpm
+
+import (
+	"testing"
+
+	"dpm/internal/trace"
+)
+
+// driveSlots runs the manager closed-loop for n slots assuming the
+// plan holds and the expected supply arrives.
+func driveSlots(t *testing.T, m *Manager, n int) {
+	t.Helper()
+	for s := 0; s < n; s++ {
+		pt, _ := m.BeginSlot()
+		idx := s % m.Slots()
+		m.EndSlot(pt.Power*m.Tau(), m.cfg.Charging.Values[idx]*m.Tau())
+	}
+}
+
+func TestReplanOneDeathStaysFeasible(t *testing.T) {
+	// Losing one of seven workers leaves enough capability to absorb
+	// scenario I's supply: the re-plan must be fully feasible.
+	m, err := New(managerConfig(t, trace.ScenarioI()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSlots(t, m, 5)
+	slot, charge := m.Slot(), m.Charge()
+
+	inf, err := m.Replan(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf != 0 {
+		t.Errorf("one-death replan reported %d infeasible slots, want 0", inf)
+	}
+	for _, p := range m.Table().Points() {
+		if p.N > 6 {
+			t.Fatalf("degraded table still offers n = %d", p.N)
+		}
+	}
+	if m.Slot() != slot {
+		t.Errorf("slot counter changed: %d -> %d", slot, m.Slot())
+	}
+	if m.Charge() != charge {
+		t.Errorf("charge estimate changed: %g -> %g", charge, m.Charge())
+	}
+
+	// The projected trajectory under the new plan stays inside the
+	// battery band — the planner never pins the battery outside
+	// [Cmin, Cmax].
+	cfg := m.cfg
+	ch := m.Charge()
+	start := m.Slot() % m.Slots()
+	for k := 0; k < m.Slots(); k++ {
+		i := (start + k) % m.Slots()
+		ch += (cfg.Charging.Values[i] - m.PlanSnapshot()[i]) * m.Tau()
+		if ch < cfg.CapacityMin-1e-6 || ch > cfg.CapacityMax+1e-6 {
+			t.Errorf("projected charge %g at slot +%d outside [%g, %g]",
+				ch, k, cfg.CapacityMin, cfg.CapacityMax)
+		}
+	}
+
+	// The manager keeps planning without error after the cap.
+	driveSlots(t, m, 12)
+	pt, _ := m.BeginSlot()
+	if pt.N > 6 {
+		t.Errorf("post-replan point uses n = %d > 6", pt.N)
+	}
+}
+
+func TestReplanDeepCutClampsToCeiling(t *testing.T) {
+	// With only three workers left the board cannot spend scenario
+	// I's sunlight supply: the re-plan clamps those slots to the
+	// degraded ceiling (the surplus becomes wasted energy at Cmax)
+	// and reports them as infeasibility events — but it must never
+	// plan to draw the battery below Cmin.
+	m, err := New(managerConfig(t, trace.ScenarioI()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSlots(t, m, 5)
+
+	inf, err := m.Replan(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf == 0 {
+		t.Error("deep capability cut should report infeasible slots")
+	}
+	maxPower := m.Table().Points()[m.Table().Len()-1].Power
+	for i, v := range m.PlanSnapshot() {
+		if v < 0 || v > maxPower+1e-9 {
+			t.Errorf("plan[%d] = %g outside [0, %g]", i, v, maxPower)
+		}
+	}
+	cfg := m.cfg
+	ch := m.Charge()
+	start := m.Slot() % m.Slots()
+	for k := 0; k < m.Slots(); k++ {
+		i := (start + k) % m.Slots()
+		ch += (cfg.Charging.Values[i] - m.PlanSnapshot()[i]) * m.Tau()
+		if ch > cfg.CapacityMax {
+			ch = cfg.CapacityMax // overflow is waste, not planner error
+		}
+		if ch < cfg.CapacityMin-1e-6 {
+			t.Errorf("planner draws the battery to %g at slot +%d, below Cmin %g",
+				ch, k, cfg.CapacityMin)
+		}
+	}
+}
+
+func TestReplanMidPeriodRotation(t *testing.T) {
+	// Replanning at slot 0 and at slot 6 must both produce plans
+	// aligned to absolute slot indices: the eclipse half of scenario
+	// I (slots 6..11) can never out-spend the battery.
+	for _, at := range []int{0, 6} {
+		m, err := New(managerConfig(t, trace.ScenarioI()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveSlots(t, m, at)
+		if _, err := m.Replan(5); err != nil {
+			t.Fatal(err)
+		}
+		plan := m.PlanSnapshot()
+		var sunlight, eclipse float64
+		for i := 0; i < 6; i++ {
+			sunlight += plan[i]
+		}
+		for i := 6; i < 12; i++ {
+			eclipse += plan[i]
+		}
+		if eclipse > sunlight {
+			t.Errorf("replan at slot %d allocated more power to eclipse (%g) than sunlight (%g); rotation misaligned",
+				at, eclipse, sunlight)
+		}
+	}
+}
+
+func TestReplanCurrentPointSnapped(t *testing.T) {
+	m, err := New(managerConfig(t, trace.ScenarioI()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSlots(t, m, 1)
+	if m.CurrentPoint().N == 0 {
+		t.Skip("scenario start chose the off point; nothing to snap")
+	}
+	if _, err := m.Replan(1); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.CurrentPoint().N; n > 1 {
+		t.Errorf("current point still names %d processors after Replan(1)", n)
+	}
+}
+
+func TestReplanClampsAboveConfig(t *testing.T) {
+	m, err := New(managerConfig(t, trace.ScenarioI()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asking for more processors than configured is a no-op cap.
+	if _, err := m.Replan(99); err != nil {
+		t.Fatal(err)
+	}
+	maxN := 0
+	for _, p := range m.Table().Points() {
+		if p.N > maxN {
+			maxN = p.N
+		}
+	}
+	if maxN != 7 {
+		t.Errorf("table max n = %d, want the configured 7", maxN)
+	}
+	// And zero is clamped to the minimum viable single processor.
+	if _, err := m.Replan(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m.Table().Points() {
+		if p.N > 1 {
+			t.Fatalf("Replan(0) left n = %d in the table", p.N)
+		}
+	}
+}

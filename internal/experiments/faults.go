@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dpm/internal/baseline"
+	"dpm/internal/faults"
+	"dpm/internal/machine"
+	"dpm/internal/metrics"
+	"dpm/internal/params"
+	"dpm/internal/report"
+	"dpm/internal/trace"
+)
+
+// Fault-injection experiment: the paper's evaluation assumes perfect
+// hardware; this sweep asks how the proposed manager degrades when the
+// PAMA board misbehaves. For each escalating fault rate the full board
+// simulation runs under a seeded fault plan, while the static baseline
+// runs with its fleet permanently shrunk by the same worker deaths —
+// the static algorithm has no re-planning step, so a dead PIM simply
+// caps its table for good.
+
+// Per-period base fault rates at multiplier 1; the sweep scales them.
+const (
+	baseDeathsPerPeriod  = 0.5
+	baseSEUsPerPeriod    = 3
+	baseDropsPerPeriod   = 3
+	baseSensorsPerPeriod = 1
+	baseRebootsPerPeriod = 0.5
+)
+
+// FaultPlanFor generates a deterministic fault plan for a scenario:
+// rate scales the per-period base rates of every fault class over the
+// full horizon.
+func FaultPlanFor(s trace.Scenario, rate float64, periods int, seed int64) (*faults.Plan, error) {
+	if rate < 0 {
+		return nil, fmt.Errorf("experiments: negative fault rate %g", rate)
+	}
+	horizon := float64(periods) * trace.Period
+	perSecond := rate / trace.Period
+	return faults.Generate(faults.GenConfig{
+		Horizon:         horizon,
+		Workers:         PaperParams().MaxProcessors,
+		DeathRate:       baseDeathsPerPeriod * perSecond,
+		SEURate:         baseSEUsPerPeriod * perSecond,
+		CommandLossRate: baseDropsPerPeriod * perSecond,
+		SensorRate:      baseSensorsPerPeriod * perSecond,
+		RebootRate:      baseRebootsPerPeriod * perSecond,
+	}, seed)
+}
+
+// FaultRun is one row of the sweep.
+type FaultRun struct {
+	// Rate is the fault-rate multiplier.
+	Rate float64
+	// Injected is the generated plan's event count.
+	Injected int
+	// Stats is the machine run's fault accounting.
+	Stats metrics.FaultStats
+	// Proposed and Static are the two systems' energy metrics.
+	Proposed, Static metrics.Energy
+	// TasksCompleted counts the proposed run's finished captures.
+	TasksCompleted int
+}
+
+// RunFaultSweep executes the proposed manager on the board simulation
+// under each fault-rate multiplier, against the static baseline with
+// the same permanent deaths.
+func RunFaultSweep(s trace.Scenario, rates []float64, periods int, seed int64) ([]FaultRun, error) {
+	var runs []FaultRun
+	for _, rate := range rates {
+		var plan *faults.Plan
+		if rate > 0 {
+			p, err := FaultPlanFor(s, rate, periods, seed)
+			if err != nil {
+				return nil, err
+			}
+			plan = p
+		}
+		events, err := trace.PoissonEvents(s.Usage, 0.1, float64(periods)*trace.Period, seed)
+		if err != nil {
+			return nil, err
+		}
+		board, err := machine.New(machine.Config{
+			Manager:        ManagerConfig(s),
+			Events:         events,
+			Periods:        periods,
+			Faults:         plan,
+			ActualCharging: s.Charging,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fault sweep rate %g: %w", rate, err)
+		}
+		res, err := board.Run()
+		if err != nil {
+			return nil, err
+		}
+
+		// The static baseline cannot re-plan: the same deaths cap its
+		// parameter table for the whole run.
+		pcfg := PaperParams()
+		if plan != nil {
+			survivors := pcfg.MaxProcessors - plan.DistinctDeaths()
+			if survivors < 1 {
+				survivors = 1
+			}
+			pcfg.MaxProcessors = survivors
+		}
+		tbl, err := params.BuildTable(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		static, err := baseline.Run(baseline.Config{
+			Table:          tbl,
+			Usage:          s.Usage,
+			ActualCharging: s.Charging,
+			CapacityMax:    s.CapacityMax,
+			CapacityMin:    s.CapacityMin,
+			InitialCharge:  s.InitialCharge,
+			Periods:        periods,
+		})
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, FaultRun{
+			Rate:           rate,
+			Injected:       plan.Len(),
+			Stats:          res.Faults,
+			Proposed:       metrics.FromSnapshot(res.Battery),
+			Static:         metrics.FromSnapshot(static.Battery),
+			TasksCompleted: res.TasksCompleted,
+		})
+	}
+	return runs, nil
+}
+
+// FaultTable renders the sweep for a scenario: proposed vs static
+// badness (wasted + undersupplied energy) under escalating fault
+// rates, with the recovery accounting alongside.
+func FaultTable(s trace.Scenario, periods int, seed int64) (*report.Table, []FaultRun, error) {
+	runs, err := RunFaultSweep(s, []float64{0, 0.5, 1, 2, 4}, periods, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Fault sweep: proposed vs static under escalating fault rates, scenario %s, %d period(s) (energy in J)",
+			s.Name, periods),
+		"Rate", "Faults", "Deaths", "Replans", "Recovery (s)", "Lost",
+		"Proposed bad", "Static bad", "Tasks")
+	for _, r := range runs {
+		t.AddRow(
+			report.F1(r.Rate),
+			report.I(r.Injected),
+			report.I(r.Stats.WorkerDeaths),
+			report.I(r.Stats.Replans),
+			report.F2(r.Stats.MeanRecoverySeconds()),
+			report.F2(r.Stats.EnergyLostJ),
+			report.F2(r.Proposed.Badness()),
+			report.F2(r.Static.Badness()),
+			report.I(r.TasksCompleted),
+		)
+	}
+	return t, runs, nil
+}

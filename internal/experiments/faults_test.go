@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dpm/internal/trace"
+)
+
+func TestFaultPlanForScalesWithRate(t *testing.T) {
+	s := trace.ScenarioI()
+	low, err := FaultPlanFor(s, 0.5, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := FaultPlanFor(s, 4, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Len() <= low.Len() {
+		t.Errorf("rate 4 produced %d events, rate 0.5 produced %d", high.Len(), low.Len())
+	}
+	if _, err := FaultPlanFor(s, -1, 2, 7); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestRunFaultSweep(t *testing.T) {
+	runs, err := RunFaultSweep(trace.ScenarioI(), []float64{0, 2}, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	clean, faulted := runs[0], runs[1]
+	if clean.Injected != 0 || clean.Stats.Any() {
+		t.Errorf("rate 0 injected faults: %+v", clean.Stats)
+	}
+	if faulted.Injected == 0 {
+		t.Error("rate 2 injected nothing")
+	}
+	// The fault-free run must match a plain board run: the sweep's
+	// rate-0 row is the undisturbed reference.
+	if clean.TasksCompleted == 0 {
+		t.Error("reference run completed no tasks")
+	}
+	for _, r := range runs {
+		if r.Proposed.Badness() < 0 || r.Static.Badness() < 0 {
+			t.Errorf("negative badness at rate %g", r.Rate)
+		}
+	}
+}
+
+func TestFaultTableRenders(t *testing.T) {
+	tbl, runs, err := FaultTable(trace.ScenarioI(), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 5 {
+		t.Fatalf("got %d sweep rows", len(runs))
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fault sweep") || !strings.Contains(out, "Static bad") {
+		t.Errorf("table missing expected headers:\n%s", out)
+	}
+	// Deterministic: same seed, same sweep.
+	_, runs2, err := FaultTable(trace.ScenarioI(), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range runs {
+		if runs[i].Stats != runs2[i].Stats || runs[i].TasksCompleted != runs2[i].TasksCompleted {
+			t.Errorf("sweep row %d not deterministic", i)
+		}
+	}
+}

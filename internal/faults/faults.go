@@ -1,0 +1,319 @@
+// Package faults defines deterministic, reproducible fault plans for
+// the PAMA board simulation. The paper's target platform is a
+// satellite signal processor, where radiation upsets, dead PIMs and
+// sensor dropouts are the operating norm; this package provides the
+// fault vocabulary the machine model injects and the manager must
+// degrade gracefully under:
+//
+//   - WorkerDeath: a PIM fails permanently; the controller's
+//     heartbeat notices, shrinks the fleet and triggers a degraded
+//     re-plan with the processor count capped.
+//   - TaskSEU: a single-event upset corrupts the task in flight on a
+//     worker; the result check at completion detects the garbage and
+//     the task is re-executed with bounded retries.
+//   - CommandLoss: a ring mode/frequency command is dropped in
+//     transit; the controller retries after a timeout with backoff
+//     measured in ring-hop latencies.
+//   - SensorDropout / SensorBias: the charging-telemetry sensor reads
+//     zero (dropout) or a scaled value (bias) for a window; the
+//     manager plans from the faulted telemetry while the battery sees
+//     the true supply.
+//   - ControllerReboot: the controller's watchdog fires; after a
+//     short outage it restores from its last dpm.State checkpoint and
+//     resumes mid-period.
+//
+// A Plan is either hand-built (Add) or drawn from per-class Poisson
+// processes (Generate); both are fully determined by their inputs, so
+// every faulted run is reproducible from a seed.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Kind enumerates the fault classes.
+type Kind int
+
+const (
+	// WorkerDeath permanently kills the target worker PIM.
+	WorkerDeath Kind = iota
+	// TaskSEU corrupts the task in flight on the target worker.
+	TaskSEU
+	// CommandLoss drops the next ring command addressed to the
+	// target worker.
+	CommandLoss
+	// SensorDropout makes the charging telemetry read zero for
+	// Duration seconds.
+	SensorDropout
+	// SensorBias scales the charging telemetry by Bias for Duration
+	// seconds.
+	SensorBias
+	// ControllerReboot fires the controller's watchdog; the
+	// controller restores from its last checkpoint after the outage.
+	ControllerReboot
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case WorkerDeath:
+		return "worker-death"
+	case TaskSEU:
+		return "task-seu"
+	case CommandLoss:
+		return "command-loss"
+	case SensorDropout:
+		return "sensor-dropout"
+	case SensorBias:
+		return "sensor-bias"
+	case ControllerReboot:
+		return "controller-reboot"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// targetsWorker reports whether the kind addresses a specific PIM.
+func (k Kind) targetsWorker() bool {
+	return k == WorkerDeath || k == TaskSEU || k == CommandLoss
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// Time is the injection time in seconds from simulation start.
+	Time float64
+	// Kind is the fault class.
+	Kind Kind
+	// Worker is the target PIM's ring position (1..workers) for the
+	// worker-targeted kinds; ignored otherwise.
+	Worker int
+	// Duration is the telemetry-fault window length in seconds
+	// (SensorDropout, SensorBias).
+	Duration float64
+	// Bias is the multiplicative telemetry factor for SensorBias.
+	Bias float64
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	switch {
+	case e.Kind.targetsWorker():
+		return fmt.Sprintf("%s@%.2fs worker %d", e.Kind, e.Time, e.Worker)
+	case e.Kind == SensorBias:
+		return fmt.Sprintf("%s@%.2fs ×%.2f for %.2fs", e.Kind, e.Time, e.Bias, e.Duration)
+	case e.Kind == SensorDropout:
+		return fmt.Sprintf("%s@%.2fs for %.2fs", e.Kind, e.Time, e.Duration)
+	default:
+		return fmt.Sprintf("%s@%.2fs", e.Kind, e.Time)
+	}
+}
+
+// Plan is a deterministic fault schedule, sorted by injection time.
+type Plan struct {
+	// Events holds the scheduled faults.
+	Events []Event
+}
+
+// Add appends an event and returns the plan for chaining. Call Sort
+// (or let Validate check ordering) after hand-building.
+func (p *Plan) Add(ev Event) *Plan {
+	p.Events = append(p.Events, ev)
+	return p
+}
+
+// Len returns the number of scheduled faults.
+func (p *Plan) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.Events)
+}
+
+// Sort orders events by time, stably, so simultaneous faults keep
+// their insertion order.
+func (p *Plan) Sort() {
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].Time < p.Events[j].Time })
+}
+
+// Count returns the number of events of the given kind.
+func (p *Plan) Count(kind Kind) int {
+	n := 0
+	for _, ev := range p.Events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// DistinctDeaths returns the number of distinct workers killed by the
+// plan — the capability the board permanently loses.
+func (p *Plan) DistinctDeaths() int {
+	dead := map[int]bool{}
+	for _, ev := range p.Events {
+		if ev.Kind == WorkerDeath {
+			dead[ev.Worker] = true
+		}
+	}
+	return len(dead)
+}
+
+// Validate checks the plan against a board with the given worker
+// count (ring positions 1..workers).
+func (p *Plan) Validate(workers int) error {
+	if workers < 1 {
+		return fmt.Errorf("faults: board has %d workers", workers)
+	}
+	for i, ev := range p.Events {
+		if math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) || ev.Time < 0 {
+			return fmt.Errorf("faults: event %d (%s) at invalid time %g", i, ev.Kind, ev.Time)
+		}
+		if ev.Kind < WorkerDeath || ev.Kind > ControllerReboot {
+			return fmt.Errorf("faults: event %d has unknown kind %d", i, int(ev.Kind))
+		}
+		if ev.Kind.targetsWorker() && (ev.Worker < 1 || ev.Worker > workers) {
+			return fmt.Errorf("faults: event %d (%s) targets worker %d outside [1, %d]",
+				i, ev.Kind, ev.Worker, workers)
+		}
+		if ev.Kind == SensorDropout || ev.Kind == SensorBias {
+			if math.IsNaN(ev.Duration) || math.IsInf(ev.Duration, 0) || ev.Duration <= 0 {
+				return fmt.Errorf("faults: event %d (%s) has invalid duration %g", i, ev.Kind, ev.Duration)
+			}
+		}
+		if ev.Kind == SensorBias && (math.IsNaN(ev.Bias) || math.IsInf(ev.Bias, 0) || ev.Bias < 0) {
+			return fmt.Errorf("faults: event %d has invalid bias %g", i, ev.Bias)
+		}
+	}
+	for i := 1; i < len(p.Events); i++ {
+		if p.Events[i].Time < p.Events[i-1].Time {
+			return fmt.Errorf("faults: events out of order at %d (%.3f s after %.3f s); call Sort",
+				i, p.Events[i].Time, p.Events[i-1].Time)
+		}
+	}
+	return nil
+}
+
+// GenConfig parameterizes Generate. Each class is an independent
+// Poisson process with the given rate in expected events per second;
+// a zero rate disables the class.
+type GenConfig struct {
+	// Horizon is the simulated time span covered by the plan in
+	// seconds.
+	Horizon float64
+	// Workers is the worker count; targets are drawn uniformly from
+	// ring positions 1..Workers.
+	Workers int
+	// DeathRate, SEURate, CommandLossRate, SensorRate and RebootRate
+	// are the per-class intensities in events per second.
+	DeathRate, SEURate, CommandLossRate, SensorRate, RebootRate float64
+	// SensorDuration is the mean telemetry-fault window in seconds;
+	// windows are drawn exponentially around it. Zero means 10 s.
+	SensorDuration float64
+	// BiasSpread bounds the multiplicative bias of non-dropout
+	// sensor faults: bias is uniform in [1−s, 1+s]. Zero means 0.5.
+	BiasSpread float64
+	// MaxDeaths caps permanent worker deaths so the board is never
+	// annihilated. Zero means Workers−1 (at least one survivor).
+	MaxDeaths int
+}
+
+func (c GenConfig) validate() error {
+	if c.Horizon <= 0 || math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0) {
+		return fmt.Errorf("faults: invalid horizon %g", c.Horizon)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("faults: %d workers", c.Workers)
+	}
+	for _, r := range []float64{c.DeathRate, c.SEURate, c.CommandLossRate, c.SensorRate, c.RebootRate} {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("faults: invalid rate %g", r)
+		}
+	}
+	if c.SensorDuration < 0 || c.BiasSpread < 0 || c.BiasSpread >= 1 {
+		return fmt.Errorf("faults: invalid sensor parameters (duration %g, spread %g)",
+			c.SensorDuration, c.BiasSpread)
+	}
+	if c.MaxDeaths < 0 || c.MaxDeaths > c.Workers {
+		return fmt.Errorf("faults: MaxDeaths %d outside [0, %d]", c.MaxDeaths, c.Workers)
+	}
+	return nil
+}
+
+// Generate draws a fault plan from per-class Poisson processes. The
+// result is fully determined by cfg and seed: classes are drawn in a
+// fixed order from a single generator, then merged by time.
+func Generate(cfg GenConfig, seed int64) (*Plan, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SensorDuration == 0 {
+		cfg.SensorDuration = 10
+	}
+	if cfg.BiasSpread == 0 {
+		cfg.BiasSpread = 0.5
+	}
+	maxDeaths := cfg.MaxDeaths
+	if maxDeaths == 0 {
+		maxDeaths = cfg.Workers - 1
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	plan := &Plan{}
+
+	// Arrival times of one Poisson process over the horizon.
+	arrivals := func(rate float64) []float64 {
+		var ts []float64
+		if rate <= 0 {
+			return ts
+		}
+		t := 0.0
+		for {
+			t += rng.ExpFloat64() / rate
+			if t >= cfg.Horizon {
+				return ts
+			}
+			ts = append(ts, t)
+		}
+	}
+
+	// Deaths: distinct victims, capped so the board survives.
+	dead := map[int]bool{}
+	for _, t := range arrivals(cfg.DeathRate) {
+		if len(dead) >= maxDeaths {
+			break
+		}
+		w := rng.Intn(cfg.Workers) + 1
+		for dead[w] {
+			w = rng.Intn(cfg.Workers) + 1
+		}
+		dead[w] = true
+		plan.Add(Event{Time: t, Kind: WorkerDeath, Worker: w})
+	}
+	for _, t := range arrivals(cfg.SEURate) {
+		plan.Add(Event{Time: t, Kind: TaskSEU, Worker: rng.Intn(cfg.Workers) + 1})
+	}
+	for _, t := range arrivals(cfg.CommandLossRate) {
+		plan.Add(Event{Time: t, Kind: CommandLoss, Worker: rng.Intn(cfg.Workers) + 1})
+	}
+	for _, t := range arrivals(cfg.SensorRate) {
+		dur := rng.ExpFloat64() * cfg.SensorDuration
+		if dur < 1e-3 {
+			dur = 1e-3
+		}
+		if rng.Float64() < 0.5 {
+			plan.Add(Event{Time: t, Kind: SensorDropout, Duration: dur})
+		} else {
+			bias := 1 + cfg.BiasSpread*(2*rng.Float64()-1)
+			plan.Add(Event{Time: t, Kind: SensorBias, Duration: dur, Bias: bias})
+		}
+	}
+	for _, t := range arrivals(cfg.RebootRate) {
+		plan.Add(Event{Time: t, Kind: ControllerReboot})
+	}
+
+	plan.Sort()
+	return plan, nil
+}

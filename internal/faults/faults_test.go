@@ -1,0 +1,173 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{
+		Horizon:         115.2,
+		Workers:         7,
+		DeathRate:       0.02,
+		SEURate:         0.05,
+		CommandLossRate: 0.05,
+		SensorRate:      0.02,
+		RebootRate:      0.01,
+	}
+	a, err := Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must yield identical plans")
+	}
+	c, err := Generate(cfg, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() > 0 && reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds yielded identical non-empty plans")
+	}
+	if err := a.Validate(7); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+}
+
+func TestGenerateSorted(t *testing.T) {
+	p, err := Generate(GenConfig{
+		Horizon: 500, Workers: 7,
+		DeathRate: 0.01, SEURate: 0.1, CommandLossRate: 0.1,
+		SensorRate: 0.05, RebootRate: 0.02,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(p.Events); i++ {
+		if p.Events[i].Time < p.Events[i-1].Time {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	if p.Len() == 0 {
+		t.Fatal("expected a non-empty plan at these rates")
+	}
+}
+
+func TestGenerateDeathCap(t *testing.T) {
+	p, err := Generate(GenConfig{Horizon: 1e4, Workers: 3, DeathRate: 1}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.DistinctDeaths(); d > 2 {
+		t.Fatalf("deaths = %d, want at most workers-1 = 2", d)
+	}
+	p, err = Generate(GenConfig{Horizon: 1e4, Workers: 5, DeathRate: 1, MaxDeaths: 1}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.DistinctDeaths(); d != 1 {
+		t.Fatalf("deaths = %d, want MaxDeaths = 1", d)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenConfig{
+		{Horizon: 0, Workers: 7},
+		{Horizon: 10, Workers: 0},
+		{Horizon: 10, Workers: 7, DeathRate: -1},
+		{Horizon: 10, Workers: 7, SEURate: math.NaN()},
+		{Horizon: 10, Workers: 7, BiasSpread: 1.5},
+		{Horizon: 10, Workers: 7, MaxDeaths: 8},
+		{Horizon: math.Inf(1), Workers: 7},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg, 1); err == nil {
+			t.Errorf("config %d must be rejected", i)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	good := (&Plan{}).
+		Add(Event{Time: 1, Kind: WorkerDeath, Worker: 3}).
+		Add(Event{Time: 2, Kind: SensorBias, Duration: 5, Bias: 0.7}).
+		Add(Event{Time: 3, Kind: ControllerReboot})
+	if err := good.Validate(7); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		plan *Plan
+	}{
+		{"negative time", (&Plan{}).Add(Event{Time: -1, Kind: ControllerReboot})},
+		{"NaN time", (&Plan{}).Add(Event{Time: math.NaN(), Kind: TaskSEU, Worker: 1})},
+		{"worker zero", (&Plan{}).Add(Event{Time: 1, Kind: WorkerDeath, Worker: 0})},
+		{"worker out of range", (&Plan{}).Add(Event{Time: 1, Kind: CommandLoss, Worker: 8})},
+		{"zero duration", (&Plan{}).Add(Event{Time: 1, Kind: SensorDropout})},
+		{"negative bias", (&Plan{}).Add(Event{Time: 1, Kind: SensorBias, Duration: 1, Bias: -2})},
+		{"unknown kind", (&Plan{}).Add(Event{Time: 1, Kind: Kind(99)})},
+		{"out of order", (&Plan{}).
+			Add(Event{Time: 5, Kind: ControllerReboot}).
+			Add(Event{Time: 1, Kind: ControllerReboot})},
+	}
+	for _, tc := range cases {
+		if err := tc.plan.Validate(7); err == nil {
+			t.Errorf("%s must be rejected", tc.name)
+		}
+	}
+}
+
+func TestPlanHelpers(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Len() != 0 {
+		t.Error("nil plan must have length 0")
+	}
+	p := (&Plan{}).
+		Add(Event{Time: 2, Kind: WorkerDeath, Worker: 1}).
+		Add(Event{Time: 1, Kind: WorkerDeath, Worker: 1}).
+		Add(Event{Time: 3, Kind: TaskSEU, Worker: 2})
+	p.Sort()
+	if p.Events[0].Time != 1 {
+		t.Error("Sort did not order by time")
+	}
+	if p.Count(WorkerDeath) != 2 {
+		t.Errorf("Count(WorkerDeath) = %d", p.Count(WorkerDeath))
+	}
+	if p.DistinctDeaths() != 1 {
+		t.Errorf("DistinctDeaths = %d, want 1 (same worker twice)", p.DistinctDeaths())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{WorkerDeath, TaskSEU, CommandLoss, SensorDropout, SensorBias, ControllerReboot}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has empty or duplicate name %q", int(k), s)
+		}
+		seen[s] = true
+	}
+	if Kind(42).String() == ControllerReboot.String() {
+		t.Error("unknown kind collides with a named one")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	for _, ev := range []Event{
+		{Time: 1, Kind: WorkerDeath, Worker: 2},
+		{Time: 1, Kind: SensorDropout, Duration: 3},
+		{Time: 1, Kind: SensorBias, Duration: 3, Bias: 0.8},
+		{Time: 1, Kind: ControllerReboot},
+	} {
+		if ev.String() == "" {
+			t.Errorf("empty String for %v kind", ev.Kind)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package machine
+
+import (
+	"testing"
+
+	"dpm/internal/trace"
+)
+
+// burstEvents packs count arrivals into a tight window starting at
+// start — far more than the capture memory can hold.
+func burstEvents(count int, start, spacing float64) []trace.Event {
+	events := make([]trace.Event, count)
+	for i := range events {
+		events[i] = trace.Event{Time: start + float64(i)*spacing, Seed: int64(i + 1)}
+	}
+	return events
+}
+
+// TestBacklogLimitBurstAccounting drives a burst of arrivals against a
+// small BacklogLimit and checks the drop accounting balances: every
+// arrival is either completed, dropped, or still queued at the end —
+// no task leaks, none is double-counted.
+func TestBacklogLimitBurstAccounting(t *testing.T) {
+	cfg := boardConfig(t, trace.ScenarioI(), 1)
+	cfg.Events = burstEvents(200, 5.0, 0.01) // 200 arrivals in 2 s
+	cfg.BacklogLimit = 8
+	cfg.ExecuteDSP = false
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventsArrived != 200 {
+		t.Fatalf("EventsArrived = %d, want 200", res.EventsArrived)
+	}
+	if res.EventsDropped == 0 {
+		t.Fatal("a 200-event burst against limit 8 dropped nothing")
+	}
+	final := res.Records[len(res.Records)-1]
+	if got := res.TasksCompleted + res.EventsDropped + final.Backlog; got != res.EventsArrived {
+		t.Errorf("accounting leak: completed %d + dropped %d + queued %d = %d, want %d arrivals",
+			res.TasksCompleted, res.EventsDropped, final.Backlog, got, res.EventsArrived)
+	}
+	// The limit was honored while the burst was in flight: the
+	// post-burst slot records never show more queued than the cap.
+	for _, rec := range res.Records {
+		if rec.Backlog > cfg.BacklogLimit {
+			t.Errorf("backlog %d above limit %d at %.1fs", rec.Backlog, cfg.BacklogLimit, rec.Time)
+		}
+	}
+}
+
+// TestBacklogLimitBurstGangMode is the same invariant for the
+// gang-scheduled board, whose backlog lives in the program queue.
+func TestBacklogLimitBurstGangMode(t *testing.T) {
+	cfg := boardConfig(t, trace.ScenarioI(), 1)
+	cfg.Events = burstEvents(200, 5.0, 0.01)
+	cfg.BacklogLimit = 8
+	cfg.ExecuteDSP = false
+	cfg.GangScheduled = true
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventsDropped == 0 {
+		t.Fatal("gang burst dropped nothing")
+	}
+	final := res.Records[len(res.Records)-1]
+	if got := res.TasksCompleted + res.EventsDropped + final.Backlog; got != res.EventsArrived {
+		t.Errorf("gang accounting leak: completed %d + dropped %d + queued %d = %d, want %d",
+			res.TasksCompleted, res.EventsDropped, final.Backlog, got, res.EventsArrived)
+	}
+}
+
+// TestBacklogUnlimitedNeverDrops is the control: without a limit the
+// same burst is fully admitted.
+func TestBacklogUnlimitedNeverDrops(t *testing.T) {
+	cfg := boardConfig(t, trace.ScenarioI(), 1)
+	cfg.Events = burstEvents(200, 5.0, 0.01)
+	cfg.ExecuteDSP = false
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventsDropped != 0 {
+		t.Errorf("unlimited backlog dropped %d events", res.EventsDropped)
+	}
+	final := res.Records[len(res.Records)-1]
+	if got := res.TasksCompleted + final.Backlog; got != res.EventsArrived {
+		t.Errorf("accounting leak without limit: %d completed + %d queued != %d arrived",
+			res.TasksCompleted, final.Backlog, res.EventsArrived)
+	}
+}

@@ -1,0 +1,431 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"dpm/internal/faults"
+	"dpm/internal/trace"
+)
+
+// faultBoard builds a scenario-I board with the given fault plan.
+func faultBoard(t *testing.T, plan *faults.Plan, periods int) *Board {
+	t.Helper()
+	cfg := boardConfig(t, trace.ScenarioI(), periods)
+	cfg.Faults = plan
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestEmptyFaultPlanIsTransparent(t *testing.T) {
+	// An armed but empty fault plan must not perturb the simulation:
+	// the heartbeat and checkpoint machinery are pure observers.
+	clean, err := New(boardConfig(t, trace.ScenarioI(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRes, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := faultBoard(t, &faults.Plan{}, 2)
+	faultedRes, err := faulted.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cleanRes.Records) != len(faultedRes.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(cleanRes.Records), len(faultedRes.Records))
+	}
+	for i := range cleanRes.Records {
+		if cleanRes.Records[i] != faultedRes.Records[i] {
+			t.Errorf("record %d differs: %+v vs %+v", i, cleanRes.Records[i], faultedRes.Records[i])
+		}
+	}
+	if cleanRes.EnergyUsed != faultedRes.EnergyUsed {
+		t.Errorf("energy differs: %g vs %g", cleanRes.EnergyUsed, faultedRes.EnergyUsed)
+	}
+	if cleanRes.TasksCompleted != faultedRes.TasksCompleted {
+		t.Errorf("tasks differ: %d vs %d", cleanRes.TasksCompleted, faultedRes.TasksCompleted)
+	}
+	if faultedRes.Faults.Any() {
+		t.Errorf("empty plan reported faults: %+v", faultedRes.Faults)
+	}
+}
+
+// TestWorkerDeathReplanFeasible is the issue's acceptance scenario: a
+// seeded scenario-I run with one permanent worker death mid-period
+// completes with a feasible degraded re-plan, visible recovery
+// latency, and retried ring commands.
+func TestWorkerDeathReplanFeasible(t *testing.T) {
+	s := trace.ScenarioI()
+	plan := (&faults.Plan{}).
+		Add(faults.Event{Time: 26.4, Kind: faults.WorkerDeath, Worker: 3}).
+		Add(faults.Event{Time: 27.0, Kind: faults.CommandLoss, Worker: 2}).
+		Add(faults.Event{Time: 33.5, Kind: faults.CommandLoss, Worker: 5})
+	b := faultBoard(t, plan, 2)
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Faults.WorkerDeaths != 1 {
+		t.Errorf("WorkerDeaths = %d, want 1", res.Faults.WorkerDeaths)
+	}
+	if res.Faults.Recoveries == 0 || res.Faults.MeanRecoverySeconds() <= 0 {
+		t.Errorf("no recovery recorded: %+v", res.Faults)
+	}
+	if res.Faults.Replans == 0 {
+		t.Error("death did not trigger a degraded re-plan")
+	}
+	if res.Faults.PlanInfeasible != 0 {
+		t.Errorf("one-death re-plan reported %d infeasible slots, want 0", res.Faults.PlanInfeasible)
+	}
+	if res.Faults.CommandsDropped == 0 || res.Faults.CommandsRetried == 0 {
+		t.Errorf("command loss not exercised: dropped %d, retried %d",
+			res.Faults.CommandsDropped, res.Faults.CommandsRetried)
+	}
+
+	// The degraded table caps the fleet: no post-death slot commands
+	// more workers than survive.
+	for _, rec := range res.Records {
+		if rec.Time > 28.8 && rec.TargetN > 6 {
+			t.Errorf("slot at %.1fs commands %d workers after the death", rec.Time, rec.TargetN)
+		}
+	}
+	// The battery never leaves the feasible band.
+	for _, rec := range res.Records {
+		if rec.Charge == 0 {
+			continue // the final boundary row closes without opening
+		}
+		if rec.Charge < s.CapacityMin-1e-6 || rec.Charge > s.CapacityMax+1e-6 {
+			t.Errorf("charge %g at %.1fs outside [%g, %g]",
+				rec.Charge, rec.Time, s.CapacityMin, s.CapacityMax)
+		}
+	}
+	// The dead worker stopped mid-run; the others kept computing.
+	if res.Workers[2].TasksDone == 0 {
+		t.Log("worker 3 completed no tasks before dying (acceptable)")
+	}
+	if res.TasksCompleted == 0 {
+		t.Error("degraded board completed no tasks")
+	}
+}
+
+// TestControllerRebootRestoresFromCheckpoint exercises Checkpoint /
+// Restore end-to-end inside the machine simulation: the outage spans a
+// slot boundary, so the restored manager must dead-reckon the missed
+// slot before resuming.
+func TestControllerRebootRestoresFromCheckpoint(t *testing.T) {
+	plan := (&faults.Plan{}).
+		Add(faults.Event{Time: 10.0, Kind: faults.ControllerReboot})
+	cfg := boardConfig(t, trace.ScenarioI(), 2)
+	cfg.Faults = plan
+	cfg.RebootSeconds = 6 // spans the boundary at 14.4 s
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Faults.ControllerReboots != 1 {
+		t.Errorf("ControllerReboots = %d, want 1", res.Faults.ControllerReboots)
+	}
+	if res.Faults.CheckpointRestores != 1 {
+		t.Errorf("CheckpointRestores = %d, want 1 (rejects: %d)",
+			res.Faults.CheckpointRestores, res.Faults.CheckpointRejects)
+	}
+	if res.Faults.Recoveries == 0 {
+		t.Error("reboot recovery not recorded")
+	}
+	if got := res.Faults.RecoverySeconds; math.Abs(got-6) > 1e-9 {
+		t.Errorf("RecoverySeconds = %g, want 6", got)
+	}
+
+	// The boundary at 14.4 s fired while the controller was down: its
+	// record carries no plan, only the held configuration.
+	var downRow bool
+	for _, rec := range res.Records {
+		if math.Abs(rec.Time-14.4) < 1e-9 {
+			downRow = rec.Planned == 0
+		}
+	}
+	if !downRow {
+		t.Error("no plan-less record for the boundary inside the outage")
+	}
+	// Planning resumes afterwards.
+	var resumed bool
+	for _, rec := range res.Records {
+		if rec.Time > 19.2 && rec.Planned > 0 {
+			resumed = true
+			break
+		}
+	}
+	if !resumed {
+		t.Error("manager never planned again after the reboot")
+	}
+}
+
+func TestSEURetry(t *testing.T) {
+	s := trace.ScenarioI()
+	// Pepper the sunlight slots with upsets so at least one lands on
+	// an in-flight capture.
+	plan := &faults.Plan{}
+	for i, tm := range []float64{6, 8, 10, 12, 14, 16, 18, 20} {
+		plan.Add(faults.Event{Time: tm, Kind: faults.TaskSEU, Worker: 1 + i%7})
+	}
+	b := faultBoard(t, plan, 2)
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.TasksCorrupted == 0 {
+		t.Fatal("no SEU landed on an in-flight task; retune the injection times")
+	}
+	if res.Faults.TasksRetried == 0 && res.Faults.RetriesExhausted == 0 {
+		t.Error("corrupted tasks neither retried nor dropped")
+	}
+	if res.Faults.EnergyLostJ <= 0 {
+		t.Error("discarded passes cost no energy")
+	}
+	_ = s
+}
+
+func TestSEURetryExhaustion(t *testing.T) {
+	plan := &faults.Plan{}
+	for _, tm := range []float64{6, 8, 10, 12, 14, 16, 18, 20} {
+		plan.Add(faults.Event{Time: tm, Kind: faults.TaskSEU, Worker: 1})
+	}
+	cfg := boardConfig(t, trace.ScenarioI(), 2)
+	cfg.Faults = plan
+	cfg.MaxTaskRetries = -1 // no retry budget: every corruption is fatal
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.TasksCorrupted == 0 {
+		t.Fatal("no SEU landed on an in-flight task")
+	}
+	if res.Faults.RetriesExhausted != res.Faults.TasksCorrupted {
+		t.Errorf("RetriesExhausted = %d, want %d (no budget)",
+			res.Faults.RetriesExhausted, res.Faults.TasksCorrupted)
+	}
+	if res.Faults.TasksRetried != 0 {
+		t.Errorf("TasksRetried = %d with retries disabled", res.Faults.TasksRetried)
+	}
+}
+
+func TestGangSEURetry(t *testing.T) {
+	// A gang capture completes in well under a millisecond, so pin
+	// the arrivals and strike each program moments after it starts.
+	var events []trace.Event
+	plan := &faults.Plan{}
+	for i, tm := range []float64{6, 8, 10, 12, 14, 16, 18, 20} {
+		events = append(events, trace.Event{Time: tm, Seed: int64(i + 1)})
+		plan.Add(faults.Event{Time: tm + 1e-5, Kind: faults.TaskSEU, Worker: 1})
+	}
+	cfg := boardConfig(t, trace.ScenarioI(), 2)
+	cfg.Events = events
+	cfg.Faults = plan
+	cfg.GangScheduled = true
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.TasksCorrupted == 0 {
+		t.Fatal("no SEU landed on the gang's program")
+	}
+	if res.Faults.TasksRetried == 0 && res.Faults.RetriesExhausted == 0 {
+		t.Error("corrupted gang program neither retried nor dropped")
+	}
+}
+
+func TestWorkerDeathInGangMode(t *testing.T) {
+	plan := (&faults.Plan{}).
+		Add(faults.Event{Time: 26.4, Kind: faults.WorkerDeath, Worker: 2})
+	cfg := boardConfig(t, trace.ScenarioI(), 2)
+	cfg.Faults = plan
+	cfg.GangScheduled = true
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.WorkerDeaths != 1 {
+		t.Errorf("WorkerDeaths = %d, want 1", res.Faults.WorkerDeaths)
+	}
+	if res.Faults.Recoveries == 0 {
+		t.Error("gang-mode death never recovered")
+	}
+	if res.TasksCompleted == 0 {
+		t.Error("gang completed nothing after losing one worker")
+	}
+}
+
+func TestSensorBiasSkewsPlanning(t *testing.T) {
+	plan := (&faults.Plan{}).
+		Add(faults.Event{Time: 1.0, Kind: faults.SensorBias, Duration: 20, Bias: 0.5})
+	clean, err := New(boardConfig(t, trace.ScenarioI(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRes, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := faultBoard(t, plan, 2)
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.SensorFaultSeconds != 20 {
+		t.Errorf("SensorFaultSeconds = %g, want 20", res.Faults.SensorFaultSeconds)
+	}
+	// The manager planned from halved supply readings: some slot's
+	// allocation must diverge from the clean run while the battery
+	// (fed by the true supply) stays inside its band.
+	var diverged bool
+	for i := range res.Records {
+		if res.Records[i].Planned != cleanRes.Records[i].Planned {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("biased telemetry did not change any planning decision")
+	}
+	s := trace.ScenarioI()
+	for _, rec := range res.Records {
+		if rec.Charge < s.CapacityMin-1e-6 || rec.Charge > s.CapacityMax+1e-6 {
+			t.Errorf("charge %g outside the physical band", rec.Charge)
+		}
+	}
+}
+
+func TestSensorDropoutReadsZero(t *testing.T) {
+	plan := (&faults.Plan{}).
+		Add(faults.Event{Time: 1.0, Kind: faults.SensorDropout, Duration: 10})
+	b := faultBoard(t, plan, 1)
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.SensorFaultSeconds != 10 {
+		t.Errorf("SensorFaultSeconds = %g, want 10", res.Faults.SensorFaultSeconds)
+	}
+	// The manager saw zero supply during sunlight: it must have
+	// banked a (spurious) deficit and cut some later allocation
+	// relative to the expectation-fed plan; the run still completes.
+	if len(res.Records) == 0 {
+		t.Fatal("no records")
+	}
+}
+
+func TestCommandAbandonAfterRetryLimit(t *testing.T) {
+	// Arm far more drops than the retry budget can absorb: at least
+	// one command must be abandoned, leaving its worker in the stale
+	// configuration until the next boundary.
+	plan := &faults.Plan{}
+	for i := 0; i < 40; i++ {
+		plan.Add(faults.Event{Time: 1 + float64(i)*0.1, Kind: faults.CommandLoss, Worker: 1 + i%7})
+	}
+	cfg := boardConfig(t, trace.ScenarioI(), 2)
+	cfg.Faults = plan
+	cfg.CommandRetryLimit = 1
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.CommandsDropped == 0 {
+		t.Fatal("no command was ever dropped")
+	}
+	if res.Faults.CommandsAbandoned == 0 {
+		t.Error("retry limit 1 with 40 drops abandoned nothing")
+	}
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	cfg := boardConfig(t, trace.ScenarioI(), 1)
+	cfg.Faults = (&faults.Plan{}).
+		Add(faults.Event{Time: 1, Kind: faults.WorkerDeath, Worker: 9})
+	if _, err := New(cfg); err == nil {
+		t.Error("out-of-range fault target accepted")
+	}
+	cfg = boardConfig(t, trace.ScenarioI(), 1)
+	cfg.HeartbeatSeconds = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative heartbeat accepted")
+	}
+	cfg = boardConfig(t, trace.ScenarioI(), 1)
+	cfg.RebootSeconds = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative reboot outage accepted")
+	}
+}
+
+func TestGeneratedPlanRuns(t *testing.T) {
+	// A generator-produced plan with every fault class drives the
+	// board to completion with sane accounting.
+	horizon := 2 * trace.Period
+	plan, err := faults.Generate(faults.GenConfig{
+		Horizon:         horizon,
+		Workers:         7,
+		DeathRate:       1.5 / horizon,
+		SEURate:         6 / horizon,
+		CommandLossRate: 6 / horizon,
+		SensorRate:      2 / horizon,
+		RebootRate:      1.5 / horizon,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := faultBoard(t, plan, 2)
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.WorkerDeaths > 6 {
+		t.Errorf("more deaths than workers: %d", res.Faults.WorkerDeaths)
+	}
+	if res.Faults.RecoverySeconds < 0 || res.Faults.EnergyLostJ < 0 {
+		t.Errorf("negative accounting: %+v", res.Faults)
+	}
+	s := trace.ScenarioI()
+	for _, rec := range res.Records {
+		if rec.Charge < s.CapacityMin-1e-6 || rec.Charge > s.CapacityMax+1e-6 {
+			t.Errorf("charge %g outside the physical band at %.1fs", rec.Charge, rec.Time)
+		}
+	}
+	// Determinism: the same plan replays to the same result.
+	b2 := faultBoard(t, plan, 2)
+	res2, err := b2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults != res2.Faults {
+		t.Errorf("fault accounting not deterministic:\n%+v\n%+v", res.Faults, res2.Faults)
+	}
+	if res.TasksCompleted != res2.TasksCompleted || res.EnergyUsed != res2.EnergyUsed {
+		t.Error("faulted run not deterministic")
+	}
+}

@@ -1,0 +1,327 @@
+package machine
+
+import (
+	"math"
+	"sort"
+
+	"dpm/internal/dpm"
+	"dpm/internal/faults"
+	"dpm/internal/metrics"
+	"dpm/internal/power"
+)
+
+// Fault delivery and graceful degradation. Everything in this file is
+// reached only when Config.Faults is non-nil: a fault-free run never
+// allocates a faultState, never schedules a heartbeat, and never takes
+// a checkpoint, so the no-fault simulation is byte-identical to one
+// built without the subsystem.
+//
+// The degradation story follows the paper's controller architecture:
+// processor 0 owns the plan, so every recovery is a controller action
+// — a heartbeat notices a dead PIM and re-runs Algorithms 1/2 with a
+// shrunken fleet; a dropped ring command is re-sent after a round-trip
+// timeout; a watchdog reboot restores the manager from its last
+// slot-boundary checkpoint and dead-reckons the missed boundaries.
+
+// faultState is the board's fault bookkeeping.
+type faultState struct {
+	plan  *faults.Plan
+	stats metrics.FaultStats
+
+	// pendingDrops arms the next ring deliveries to be lost; each
+	// CommandLoss event in the plan eats exactly one delivery.
+	pendingDrops int
+
+	// Sensor-fault window: until sensorUntil the charging telemetry
+	// reads supplied·sensorBias (0 for a dropout).
+	sensorUntil float64
+	sensorBias  float64
+
+	// Controller reboot state.
+	controllerDown bool
+	downSince      float64
+	checkpoint     []byte // last slot-boundary dpm.State snapshot
+
+	// deathPending maps a dead worker's ring position to its death
+	// time until the heartbeat notices it.
+	deathPending map[int]float64
+}
+
+// refreshCheckpoint snapshots the manager at a slot open; the
+// controller restores from it after a watchdog reboot.
+func (f *faultState) refreshCheckpoint(mgr *dpm.Manager) {
+	if data, err := mgr.MarshalCheckpoint(); err == nil {
+		f.checkpoint = data
+	}
+}
+
+// senseSupplied filters the charging telemetry through the sensor
+// fault window: faulted reports carry the configured bias (zero for a
+// dropout) and flag the charge estimate as untrustworthy.
+func (f *faultState) senseSupplied(now, supplied float64) (reported float64, faulted bool) {
+	if now > f.sensorUntil {
+		return supplied, false
+	}
+	return supplied * f.sensorBias, true
+}
+
+// onFault dispatches one planned fault event.
+func (b *Board) onFault(ev faults.Event) {
+	f := b.flt
+	switch ev.Kind {
+	case faults.WorkerDeath:
+		b.killWorker(ev.Worker)
+	case faults.TaskSEU:
+		b.corruptTask(ev.Worker)
+	case faults.CommandLoss:
+		// The loss is observed on the shared ring: the next command
+		// delivery, whichever worker it addresses, is eaten.
+		f.pendingDrops++
+	case faults.SensorDropout, faults.SensorBias:
+		until := b.engine.Now() + ev.Duration
+		if until > f.sensorUntil {
+			f.sensorUntil = until
+		}
+		if ev.Kind == faults.SensorDropout {
+			f.sensorBias = 0
+		} else {
+			f.sensorBias = ev.Bias
+		}
+		f.stats.SensorFaultSeconds += ev.Duration
+	case faults.ControllerReboot:
+		b.rebootController()
+	}
+}
+
+// aliveWorkers counts the workers that have not failed.
+func (b *Board) aliveWorkers() int {
+	n := 0
+	for _, p := range b.workers() {
+		if !p.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// killWorker delivers a permanent PIM failure: the chip goes dark, its
+// in-flight task and queued captures die with its DRAM, and the
+// heartbeat will notice on its next poll.
+func (b *Board) killWorker(id int) {
+	p := b.procs[id]
+	if p.dead {
+		return
+	}
+	now := b.engine.Now()
+	b.gangAdvance(now)
+	p.pause(now)
+	if p.current != nil {
+		// Progress already paid for is wasted energy.
+		if rate := p.effectiveRate(); rate > 0 && p.current.Work > 0 {
+			consumed := p.current.Work - p.current.Cycles
+			if consumed > 0 {
+				b.flt.stats.EnergyLostJ += consumed / rate *
+					p.model.Power(power.ModeActive, p.freq, p.volt)
+			}
+		}
+		b.flt.stats.TasksLost++
+		p.current = nil
+	}
+	b.flt.stats.TasksLost += len(p.queue)
+	p.queue = nil
+	p.dead = true
+	p.mode = power.ModeStandby
+	b.flt.stats.WorkerDeaths++
+	b.flt.deathPending[id] = now
+	b.updateMeter()
+	b.gangReschedule()
+}
+
+// corruptTask delivers an SEU to an in-flight capture: the targeted
+// worker's, or (when that PIM is idle) the first busy one in ring
+// order — the upset hit memory somewhere. In gang mode the single
+// program spans the fleet. An SEU into idle silicon is harmless. The
+// corruption surfaces at the completion's result check.
+func (b *Board) corruptTask(worker int) {
+	if b.gang != nil {
+		if t := b.gang.task; t != nil {
+			t.Corrupted = true
+			b.flt.stats.TasksCorrupted++
+		}
+		return
+	}
+	if p := b.procs[worker]; p.running() {
+		p.current.Corrupted = true
+		b.flt.stats.TasksCorrupted++
+		return
+	}
+	for _, p := range b.workers() {
+		if p.running() {
+			p.current.Corrupted = true
+			b.flt.stats.TasksCorrupted++
+			return
+		}
+	}
+}
+
+// faultRetry handles a failed result check on a worker: discard the
+// corrupted pass and re-execute from scratch, up to the retry budget.
+func (b *Board) faultRetry(p *Processor, task *Task, now float64) {
+	f := b.flt
+	f.stats.EnergyLostJ += (now - p.resumedAt) * p.power()
+	task.Corrupted = false
+	task.Retries++
+	if task.Retries > b.cfg.MaxTaskRetries {
+		f.stats.RetriesExhausted++
+		f.stats.TasksLost++
+		p.current = nil
+		b.resume(p)
+		return
+	}
+	f.stats.TasksRetried++
+	task.Cycles = task.Work
+	p.resumedAt = now
+	p.completion = b.engine.ScheduleAfter(task.Cycles/p.effectiveRate(), func() { b.complete(p, task) })
+}
+
+// gangFaultRetry is faultRetry for the gang-scheduled program: the
+// whole serial–parallel graph restarts.
+func (b *Board) gangFaultRetry(task *Task, now float64) {
+	f := b.flt
+	g := b.gang
+	if _, sumRate, maxRate := b.gangRates(); sumRate > 0 {
+		// Estimate the discarded pass's energy from the full program
+		// at the current rates and active draw.
+		serial, parallel := b.gangSplit(task.Work)
+		var draw float64
+		for _, p := range b.workers() {
+			if p.mode == power.ModeActive && p.freq > 0 {
+				draw += p.power()
+			}
+		}
+		f.stats.EnergyLostJ += (serial/maxRate + parallel/sumRate) * draw
+	}
+	task.Corrupted = false
+	task.Retries++
+	if task.Retries > b.cfg.MaxTaskRetries {
+		f.stats.RetriesExhausted++
+		f.stats.TasksLost++
+		g.task = nil
+		b.gangReschedule()
+		return
+	}
+	f.stats.TasksRetried++
+	g.serialRemaining, g.parallelRemaining = b.gangSplit(task.Work)
+	g.lastT = now
+	b.gangReschedule()
+}
+
+// deliverCommand ships one ring command under fault injection: an
+// armed command-loss fault eats the delivery, and the controller
+// re-sends after a round-trip timeout with exponential backoff, paying
+// the ring latency again for each attempt.
+func (b *Board) deliverCommand(p *Processor, hopDelay float64, apply func(), attempt int) {
+	f := b.flt
+	if f.pendingDrops > 0 {
+		f.pendingDrops--
+		f.stats.CommandsDropped++
+		if attempt >= b.cfg.CommandRetryLimit {
+			f.stats.CommandsAbandoned++
+			return
+		}
+		timeout := 2 * hopDelay * float64(uint(1)<<uint(attempt))
+		if timeout <= 0 {
+			timeout = 1e-6
+		}
+		b.engine.ScheduleAfter(timeout, func() {
+			if p.dead {
+				return
+			}
+			f.stats.CommandsRetried++
+			b.deliverCommand(p, b.commandLatency(p.ID), apply, attempt+1)
+		})
+		return
+	}
+	b.engine.ScheduleAfter(hopDelay, apply)
+}
+
+// heartbeat is the controller's periodic worker poll: it detects dead
+// PIMs, shrinks the fleet, re-runs Algorithms 1/2 against the reduced
+// parameter table, and re-commands the board.
+func (b *Board) heartbeat() {
+	f := b.flt
+	now := b.engine.Now()
+	if !f.controllerDown && len(f.deathPending) > 0 {
+		ids := make([]int, 0, len(f.deathPending))
+		for id := range f.deathPending {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			f.stats.Recoveries++
+			f.stats.RecoverySeconds += now - f.deathPending[id]
+			delete(f.deathPending, id)
+		}
+		alive := b.aliveWorkers()
+		if alive < 1 {
+			alive = 1
+		}
+		if !b.cfg.DisableDegradedReplan {
+			if inf, err := b.mgr.Replan(alive); err == nil {
+				f.stats.Replans++
+				f.stats.PlanInfeasible += inf
+				f.refreshCheckpoint(b.mgr)
+			}
+		}
+		pt := b.mgr.CurrentPoint()
+		b.command(pt.N, pt.F, pt.V)
+	}
+	b.engine.ScheduleAfter(b.cfg.HeartbeatSeconds, b.heartbeat)
+}
+
+// rebootController starts a watchdog reboot: the manager goes silent
+// for RebootSeconds while the board keeps its last configuration.
+func (b *Board) rebootController() {
+	f := b.flt
+	if f.controllerDown {
+		return
+	}
+	f.controllerDown = true
+	f.downSince = b.engine.Now()
+	f.stats.ControllerReboots++
+	b.engine.ScheduleAfter(b.cfg.RebootSeconds, b.restoreController)
+}
+
+// restoreController brings the controller back: restore the manager
+// from the last checkpoint (counted as a reject when it fails
+// validation), dead-reckon the slot boundaries missed during the
+// outage against the expected schedules, resync the charge estimate
+// with the measurement board, and re-command the fleet.
+func (b *Board) restoreController() {
+	f := b.flt
+	now := b.engine.Now()
+	tau := b.mgr.Tau()
+	if f.checkpoint != nil {
+		if err := b.mgr.UnmarshalCheckpoint(f.checkpoint); err == nil {
+			f.stats.CheckpointRestores++
+		} else {
+			f.stats.CheckpointRejects++
+		}
+	}
+	target := int(math.Floor(now/tau + 1e-9))
+	for b.mgr.Slot() < target {
+		pt := b.mgr.CurrentPoint()
+		idx := b.mgr.Slot() % b.mgr.Slots()
+		b.mgr.EndSlot(pt.Power*tau, b.cfg.Manager.Charging.Values[idx]*tau)
+		b.mgr.BeginSlot()
+	}
+	if now > f.sensorUntil {
+		b.mgr.SyncCharge(b.bat.Charge())
+	}
+	f.controllerDown = false
+	f.stats.Recoveries++
+	f.stats.RecoverySeconds += now - f.downSince
+	pt := b.mgr.CurrentPoint()
+	b.command(pt.N, pt.F, pt.V)
+	f.refreshCheckpoint(b.mgr)
+}

@@ -147,6 +147,12 @@ func (b *Board) gangComplete() {
 	if task == nil {
 		return
 	}
+	if b.flt != nil && task.Corrupted {
+		// Result check failed on the gang's capture: re-execute the
+		// whole serial–parallel program.
+		b.gangFaultRetry(task, now)
+		return
+	}
 	g.task = nil
 	b.result.TasksCompleted++
 	b.totalLatency += now - task.Arrived

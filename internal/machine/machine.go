@@ -20,8 +20,10 @@ import (
 
 	"dpm/internal/battery"
 	"dpm/internal/dpm"
+	"dpm/internal/faults"
 	"dpm/internal/fft"
 	"dpm/internal/forte"
+	"dpm/internal/metrics"
 	"dpm/internal/power"
 	"dpm/internal/ring"
 	"dpm/internal/schedule"
@@ -98,6 +100,28 @@ type Config struct {
 	// Signal configures the synthetic buffers; the zero value uses
 	// signal.DefaultConfig.
 	Signal signal.Config
+
+	// Faults injects a deterministic fault plan (package faults).
+	// Nil disables every fault path: the simulation is byte-identical
+	// to a build without the subsystem.
+	Faults *faults.Plan
+	// HeartbeatSeconds is the controller's worker-poll interval, used
+	// to detect dead PIMs. Zero means τ/4. Only read when Faults is
+	// set.
+	HeartbeatSeconds float64
+	// MaxTaskRetries bounds re-executions after a failed result check
+	// (an SEU-corrupted pass). Zero means 2; negative disables
+	// retries.
+	MaxTaskRetries int
+	// CommandRetryLimit bounds controller re-sends of a dropped ring
+	// command. Zero means 3; negative disables retries.
+	CommandRetryLimit int
+	// RebootSeconds is the controller's watchdog-reboot outage before
+	// it restores from its last checkpoint. Zero means τ/8.
+	RebootSeconds float64
+	// DisableDegradedReplan keeps the original plan after a worker
+	// death (for ablation); the fleet still shrinks.
+	DisableDegradedReplan bool
 }
 
 // SlotRecord extends the manager's per-slot trace with machine-level
@@ -149,6 +173,9 @@ type Result struct {
 	Energy EnergyBreakdown
 	// BusySeconds sums worker active-compute time.
 	BusySeconds float64
+	// Faults is the fault-injection accounting; zero when Config.Faults
+	// was nil.
+	Faults metrics.FaultStats
 }
 
 // WorkerStats summarizes one worker processor's run.
@@ -173,7 +200,8 @@ type Board struct {
 	procs    []*Processor
 	detector *forte.Detector
 	backlog  []*Task
-	gang     *gangState // non-nil in gang-scheduled mode
+	gang     *gangState  // non-nil in gang-scheduled mode
+	flt      *faultState // non-nil when Config.Faults is set
 
 	actual       *schedule.Grid
 	workerOrder  []int         // worker activation priority (indices into workers())
@@ -237,6 +265,13 @@ func New(cfg Config) (*Board, error) {
 	}
 	if cfg.Signal == (signal.Config{}) {
 		cfg.Signal = signal.DefaultConfig()
+	}
+
+	if cfg.HeartbeatSeconds < 0 {
+		return nil, fmt.Errorf("machine: negative heartbeat interval %g", cfg.HeartbeatSeconds)
+	}
+	if cfg.RebootSeconds < 0 {
+		return nil, fmt.Errorf("machine: negative reboot outage %g", cfg.RebootSeconds)
 	}
 
 	mgr, err := dpm.New(cfg.Manager)
@@ -310,6 +345,29 @@ func New(cfg Config) (*Board, error) {
 			return nil, fmt.Errorf("machine: interconnect: %w", err)
 		}
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(workerCount); err != nil {
+			return nil, fmt.Errorf("machine: %w", err)
+		}
+		if cfg.HeartbeatSeconds == 0 {
+			cfg.HeartbeatSeconds = mgr.Tau() / 4
+		}
+		if cfg.MaxTaskRetries == 0 {
+			cfg.MaxTaskRetries = 2
+		}
+		if cfg.MaxTaskRetries < 0 {
+			cfg.MaxTaskRetries = 0
+		}
+		if cfg.CommandRetryLimit == 0 {
+			cfg.CommandRetryLimit = 3
+		}
+		if cfg.CommandRetryLimit < 0 {
+			cfg.CommandRetryLimit = 0
+		}
+		if cfg.RebootSeconds == 0 {
+			cfg.RebootSeconds = mgr.Tau() / 8
+		}
+	}
 	b := &Board{
 		cfg:        cfg,
 		network:    network,
@@ -325,6 +383,9 @@ func New(cfg Config) (*Board, error) {
 	}
 	if cfg.GangScheduled {
 		b.gang = &gangState{}
+	}
+	if cfg.Faults != nil {
+		b.flt = &faultState{plan: cfg.Faults, deathPending: map[int]float64{}}
 	}
 	// Activation priority: speed per active watt, descending; a
 	// uniform fleet keeps ring order (stable sort).
@@ -399,6 +460,18 @@ func (b *Board) Run() (*Result, error) {
 		s := s
 		b.engine.Schedule(float64(s)*tau, func() { b.onSlotBoundary(s, slots) })
 	}
+	// Fault deliveries and the controller heartbeat (faults only; the
+	// fault-free event timeline is untouched).
+	if b.flt != nil {
+		for _, ev := range b.flt.plan.Events {
+			if ev.Time >= horizon {
+				continue
+			}
+			ev := ev
+			b.engine.Schedule(ev.Time, func() { b.onFault(ev) })
+		}
+		b.engine.Schedule(b.cfg.HeartbeatSeconds, b.heartbeat)
+	}
 	b.engine.Run(horizon)
 
 	// Final bookkeeping.
@@ -416,6 +489,9 @@ func (b *Board) Run() (*Result, error) {
 	}
 	if b.result.TasksCompleted > 0 {
 		b.result.MeanLatencySeconds = b.totalLatency / float64(b.result.TasksCompleted)
+	}
+	if b.flt != nil {
+		b.result.Faults = b.flt.stats
 	}
 	return b.result, nil
 }
@@ -436,8 +512,24 @@ func (b *Board) onSlotBoundary(s, totalSlots int) {
 		// Supply and load flow simultaneously; only the net moves
 		// the battery.
 		delivered := b.bat.StepNet(supplied/tau, usedJ/tau, tau)
-		b.mgr.EndSlot(delivered, supplied)
-		b.mgr.SyncCharge(b.bat.Charge())
+		switch {
+		case b.flt == nil:
+			b.mgr.EndSlot(delivered, supplied)
+			b.mgr.SyncCharge(b.bat.Charge())
+		case b.flt.controllerDown:
+			// The controller is mid-reboot: the battery physics
+			// continues, the manager misses the accounting and will
+			// restore from its checkpoint.
+		default:
+			// The manager plans from the measurement board's
+			// telemetry; a faulted charging sensor feeds it a biased
+			// (or zero) supply reading and an untrustworthy charge.
+			reported, faulted := b.flt.senseSupplied(now, supplied)
+			b.mgr.EndSlot(delivered, reported)
+			if !faulted {
+				b.mgr.SyncCharge(b.bat.Charge())
+			}
+		}
 
 		rec := &b.result.Records[len(b.result.Records)-1]
 		rec.UsedPower = usedJ / tau
@@ -449,6 +541,17 @@ func (b *Board) onSlotBoundary(s, totalSlots int) {
 		return
 	}
 
+	if b.flt != nil && b.flt.controllerDown {
+		// Nobody opens the slot: workers keep their last commanded
+		// configuration until the controller comes back.
+		pt := b.mgr.CurrentPoint()
+		b.result.Records = append(b.result.Records, SlotRecord{
+			Time:    now,
+			TargetN: pt.N,
+			TargetF: pt.F,
+		})
+		return
+	}
 	planned := b.mgr.PlannedPower()
 	point, _ := b.mgr.BeginSlot()
 	b.command(point.N, point.F, point.V)
@@ -458,6 +561,9 @@ func (b *Board) onSlotBoundary(s, totalSlots int) {
 		TargetN: point.N,
 		TargetF: point.F,
 	})
+	if b.flt != nil {
+		b.flt.refreshCheckpoint(b.mgr)
+	}
 }
 
 // command ships the (n, f) configuration to the workers over the
@@ -469,30 +575,50 @@ func (b *Board) command(n int, f, v float64) {
 	if n > len(workers) {
 		n = len(workers)
 	}
+	// Rank the living workers; dead PIMs neither rank nor receive
+	// commands (the loop below skips them too, so with no faults this
+	// is the original ranking).
 	rank := make(map[*Processor]int, len(workers))
-	for order, idx := range b.workerOrder {
+	order := 0
+	for _, idx := range b.workerOrder {
+		if workers[idx].dead {
+			continue
+		}
 		rank[workers[idx]] = order
+		order++
 	}
 	for _, p := range workers {
 		p := p
+		if p.dead {
+			continue
+		}
 		active := rank[p] < n
 		hopDelay := b.commandLatency(p.ID)
+		var apply func()
 		switch {
 		case !active:
-			b.engine.ScheduleAfter(hopDelay, func() { b.setStandby(p) })
+			apply = func() { b.setStandby(p) }
 		case p.freq == f && p.mode == power.ModeActive:
 			// Already configured; nothing to deliver.
 		case p.freq == f:
-			b.engine.ScheduleAfter(hopDelay, func() { b.wake(p, f, v) })
+			apply = func() { b.wake(p, f, v) }
 		default:
 			// Frequency change: write the word, drop to stand-by,
 			// FPGA wakes the processor FreqChangeCycles later on
 			// the new clock.
 			wake := float64(b.cfg.FreqChangeCycles) / f
-			b.engine.ScheduleAfter(hopDelay, func() {
+			apply = func() {
 				b.setStandby(p)
 				b.engine.ScheduleAfter(wake, func() { b.wake(p, f, v) })
-			})
+			}
+		}
+		if apply == nil {
+			continue
+		}
+		if b.flt == nil {
+			b.engine.ScheduleAfter(hopDelay, apply)
+		} else {
+			b.deliverCommand(p, hopDelay, apply, 0)
 		}
 	}
 }
@@ -500,6 +626,9 @@ func (b *Board) command(n int, f, v float64) {
 // setStandby pauses the worker's task and parks it in the configured
 // idle mode (stand-by, or sleep when IdleSleep keeps the DRAM warm).
 func (b *Board) setStandby(p *Processor) {
+	if p.dead {
+		return
+	}
 	now := b.engine.Now()
 	b.gangAdvance(now)
 	p.pause(now)
@@ -517,6 +646,9 @@ func (b *Board) setStandby(p *Processor) {
 // Waking from stand-by (DRAM lost) charges the in-flight task the
 // memory-reload penalty; waking from sleep does not.
 func (b *Board) wake(p *Processor, f, v float64) {
+	if p.dead {
+		return
+	}
 	now := b.engine.Now()
 	b.gangAdvance(now)
 	p.pause(now)
@@ -559,6 +691,12 @@ func (b *Board) resume(p *Processor) {
 func (b *Board) complete(p *Processor, task *Task) {
 	now := b.engine.Now()
 	p.busySeconds += now - p.resumedAt
+	if b.flt != nil && task.Corrupted {
+		// The result check caught an SEU-corrupted pass: the work is
+		// discarded and the task retried from scratch.
+		b.faultRetry(p, task, now)
+		return
+	}
 	p.current = nil
 	p.tasksDone++
 	b.result.TasksCompleted++
@@ -595,6 +733,7 @@ func (b *Board) onEvent(ev trace.Event) {
 	task := &Task{
 		ID:      b.nextTaskID,
 		Cycles:  b.taskCycles,
+		Work:    b.taskCycles,
 		Kind:    kind,
 		Seed:    ev.Seed,
 		Arrived: b.engine.Now(),

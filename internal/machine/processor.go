@@ -13,11 +13,19 @@ type Task struct {
 	ID int
 	// Cycles is the remaining work in processor cycles.
 	Cycles float64
+	// Work is the task's full cycle cost, kept so a fault-corrupted
+	// execution can be restarted from scratch.
+	Work float64
 	// Kind and Seed reproduce the buffer contents for the detector.
 	Kind signal.Kind
 	Seed int64
 	// Arrived is the event's arrival time, for latency accounting.
 	Arrived float64
+	// Corrupted marks an execution hit by an SEU: the result check
+	// at completion fails and the task is retried.
+	Corrupted bool
+	// Retries counts re-executions after failed result checks.
+	Retries int
 }
 
 // Processor models one M32R/D PIM: an operating mode, a clock, a
@@ -38,6 +46,7 @@ type Processor struct {
 	idleSince  float64 // when the processor last entered stand-by
 	completion sim.Handle
 	queue      []*Task
+	dead       bool // permanent hardware failure (fault injection)
 
 	// Stats.
 	busySeconds float64
@@ -65,8 +74,15 @@ func (p *Processor) BusySeconds() float64 { return p.busySeconds }
 // TasksDone returns the number of completed tasks.
 func (p *Processor) TasksDone() int { return p.tasksDone }
 
-// power returns the processor's current draw in watts.
+// Dead reports whether the processor has failed permanently.
+func (p *Processor) Dead() bool { return p.dead }
+
+// power returns the processor's current draw in watts. A dead chip
+// draws nothing.
 func (p *Processor) power() float64 {
+	if p.dead {
+		return 0
+	}
 	return p.model.Power(p.mode, p.freq, p.volt)
 }
 

@@ -82,6 +82,83 @@ func (c Comparison) String() string {
 		c.Baseline.Wasted, c.Baseline.Undersupplied)
 }
 
+// Fault accounting ---------------------------------------------------
+
+// FaultStats aggregates one run's fault-injection accounting: what
+// was injected, what the degradation machinery did about it, and what
+// it cost. The zero value means a fault-free run.
+type FaultStats struct {
+	// WorkerDeaths counts permanent PIM failures delivered.
+	WorkerDeaths int
+	// TasksLost counts captures abandoned outright: lost with a dead
+	// worker's memory or dropped after exhausting SEU retries.
+	TasksLost int
+	// TasksCorrupted counts in-flight tasks hit by an SEU.
+	TasksCorrupted int
+	// TasksRetried counts re-executions after a failed result check.
+	TasksRetried int
+	// RetriesExhausted counts tasks whose retry budget ran out.
+	RetriesExhausted int
+	// CommandsDropped counts ring commands lost in transit.
+	CommandsDropped int
+	// CommandsRetried counts re-sends after a delivery timeout.
+	CommandsRetried int
+	// CommandsAbandoned counts commands given up after the retry
+	// limit.
+	CommandsAbandoned int
+	// SensorFaultSeconds totals the charging-telemetry outage
+	// windows (dropout or bias).
+	SensorFaultSeconds float64
+	// ControllerReboots counts watchdog firings.
+	ControllerReboots int
+	// CheckpointRestores counts successful mid-run dpm.State
+	// restores after a reboot.
+	CheckpointRestores int
+	// CheckpointRejects counts checkpoints refused as corrupt (the
+	// controller cold-started instead).
+	CheckpointRejects int
+	// Replans counts degraded re-planning passes (Algorithm 1/2
+	// re-run with reduced capability).
+	Replans int
+	// PlanInfeasible counts plan slots the degraded board could not
+	// execute (clamped to its ceiling) plus allocation passes that
+	// failed outright.
+	PlanInfeasible int
+	// Recoveries counts completed recovery actions (death detected
+	// and re-planned, controller restored).
+	Recoveries int
+	// RecoverySeconds sums fault-to-recovery latencies.
+	RecoverySeconds float64
+	// EnergyLostJ estimates energy spent on work that faults
+	// discarded: corrupted passes re-executed and partial progress
+	// lost with dead workers.
+	EnergyLostJ float64
+}
+
+// Any reports whether any fault was delivered.
+func (s FaultStats) Any() bool {
+	return s.WorkerDeaths+s.TasksCorrupted+s.CommandsDropped+s.ControllerReboots > 0 ||
+		s.SensorFaultSeconds > 0
+}
+
+// MeanRecoverySeconds returns the average fault-to-recovery latency,
+// or 0 when nothing needed recovering.
+func (s FaultStats) MeanRecoverySeconds() float64 {
+	if s.Recoveries == 0 {
+		return 0
+	}
+	return s.RecoverySeconds / float64(s.Recoveries)
+}
+
+// String summarizes the fault accounting.
+func (s FaultStats) String() string {
+	return fmt.Sprintf(
+		"faults: %d deaths, %d SEU (%d retried, %d lost), %d cmds dropped (%d retried), %d reboots, %d replans (%d infeasible), mean recovery %.2fs, %.2f J lost",
+		s.WorkerDeaths, s.TasksCorrupted, s.TasksRetried, s.TasksLost,
+		s.CommandsDropped, s.CommandsRetried, s.ControllerReboots,
+		s.Replans, s.PlanInfeasible, s.MeanRecoverySeconds(), s.EnergyLostJ)
+}
+
 // Series statistics -------------------------------------------------
 
 // Mean returns the arithmetic mean of xs; 0 for an empty slice.

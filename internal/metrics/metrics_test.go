@@ -112,3 +112,47 @@ func TestTrackingError(t *testing.T) {
 		t.Errorf("TrackingError = %g, %v", got, err)
 	}
 }
+
+func TestFaultStatsAny(t *testing.T) {
+	var s FaultStats
+	if s.Any() {
+		t.Error("zero value reports faults")
+	}
+	for _, mutated := range []FaultStats{
+		{WorkerDeaths: 1},
+		{TasksCorrupted: 2},
+		{CommandsDropped: 1},
+		{ControllerReboots: 1},
+		{SensorFaultSeconds: 0.5},
+	} {
+		if !mutated.Any() {
+			t.Errorf("%+v not reported as faulted", mutated)
+		}
+	}
+}
+
+func TestFaultStatsMeanRecovery(t *testing.T) {
+	var s FaultStats
+	if got := s.MeanRecoverySeconds(); got != 0 {
+		t.Errorf("zero recoveries mean = %g", got)
+	}
+	s = FaultStats{Recoveries: 4, RecoverySeconds: 6}
+	if got := s.MeanRecoverySeconds(); got != 1.5 {
+		t.Errorf("mean = %g, want 1.5", got)
+	}
+}
+
+func TestFaultStatsString(t *testing.T) {
+	s := FaultStats{
+		WorkerDeaths: 1, TasksCorrupted: 3, TasksRetried: 2, TasksLost: 1,
+		CommandsDropped: 4, CommandsRetried: 3, ControllerReboots: 1,
+		Replans: 1, PlanInfeasible: 2, Recoveries: 2, RecoverySeconds: 3,
+		EnergyLostJ: 0.25,
+	}
+	out := s.String()
+	for _, want := range []string{"1 deaths", "3 SEU", "2 retried", "4 cmds dropped", "1 reboots", "1 replans", "1.50s", "0.25 J"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q: %s", want, out)
+		}
+	}
+}
