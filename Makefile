@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench tables golden cover clean
+.PHONY: all build vet test race bench tables golden cover clean serve
 
 all: build vet test
 
@@ -20,6 +20,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Run the planning service in the foreground (Ctrl-C to stop).
+serve:
+	$(GO) run ./cmd/dpmd -addr :8080
 
 # Regenerate every table and figure from the paper's evaluation.
 tables:

@@ -9,8 +9,12 @@
 package dpm
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"dpm/internal/baseline"
@@ -23,6 +27,7 @@ import (
 	"dpm/internal/power"
 	"dpm/internal/predict"
 	"dpm/internal/schedule"
+	"dpm/internal/server"
 	"dpm/internal/trace"
 )
 
@@ -467,6 +472,71 @@ func BenchmarkAblationPredictors(b *testing.B) {
 				b.ReportMetric(predict.MeanRMSE(errs), "W-RMSE")
 			}
 		})
+	}
+}
+
+// Service benches ---------------------------------------------------
+
+// postPlanBench drives one /v1/plan request through the service
+// handler and fails the benchmark unless it succeeds with the
+// expected cache disposition.
+func postPlanBench(b *testing.B, h http.Handler, body []byte, wantCache string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("plan status = %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	if got := rec.Header().Get("X-Dpmd-Cache"); got != wantCache {
+		b.Fatalf("cache disposition = %q, want %q", got, wantCache)
+	}
+}
+
+// BenchmarkPlanCacheHit measures a /v1/plan round trip served from
+// the scenario plan cache: one priming miss, then every timed
+// iteration is a hit returning the stored bytes.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	srv, err := server.New(server.Config{CacheEntries: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	body, err := json.Marshal(server.PlanRequest{Scenario: trace.ScenarioI()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	postPlanBench(b, h, body, "miss")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postPlanBench(b, h, body, "hit")
+	}
+}
+
+// BenchmarkPlanCold measures the same round trip when every request
+// misses — each iteration carries a distinct scenario name, so the
+// full Algorithm 1 computation runs every time. The gap against
+// BenchmarkPlanCacheHit is what the cache buys.
+func BenchmarkPlanCold(b *testing.B) {
+	srv, err := server.New(server.Config{CacheEntries: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	bodies := make([][]byte, b.N)
+	for i := range bodies {
+		s := trace.ScenarioI()
+		s.Name = fmt.Sprintf("cold-%d", i)
+		body, err := json.Marshal(server.PlanRequest{Scenario: s})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = body
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postPlanBench(b, h, bodies[i], "miss")
 	}
 }
 

@@ -1,0 +1,78 @@
+// Command dpmd serves the dynamic power manager as a long-running
+// HTTP JSON service: Algorithm 1 plans (/v1/plan), Algorithm 2
+// parameter schedules (/v1/params), Algorithm 3 runtime updates
+// (/v1/replan) and bounded simulations (/v1/simulate), with
+// /healthz and plain-text /metrics. Repeated plan requests for the
+// same scenario are served from an LRU cache.
+//
+//	dpmd -addr :8080                       # defaults
+//	dpmd -addr 127.0.0.1:0 -pool 16        # bigger worker pool
+//	dpmd -cache 1024 -timeout 5s           # larger cache, tighter SLO
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dpm/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port)")
+	pool := flag.Int("pool", 8, "worker pool size (max concurrent planning requests)")
+	cacheEntries := flag.Int("cache", 256, "plan cache capacity in entries")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout, including pool wait")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain deadline")
+	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
+	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dpmd ", log.LstdFlags|log.Lmsgprefix)
+	if *quiet {
+		logger = nil
+	}
+	if err := run(*addr, *pool, *cacheEntries, *timeout, *shutdownTimeout, *maxBody, logger); err != nil {
+		fmt.Fprintln(os.Stderr, "dpmd:", err)
+		os.Exit(1)
+	}
+}
+
+// testReady, when non-nil, receives the bound listen address once
+// the server is up. Only tests set it.
+var testReady func(addr string)
+
+func run(addr string, pool, cacheEntries int, timeout, shutdownTimeout time.Duration,
+	maxBody int64, logger *log.Logger) error {
+
+	srv, err := server.New(server.Config{
+		Addr:           addr,
+		PoolSize:       pool,
+		CacheEntries:   cacheEntries,
+		RequestTimeout: timeout,
+		MaxBodyBytes:   maxBody,
+		Logger:         logger,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if testReady != nil {
+		go func() {
+			for srv.Addr() == "" {
+				time.Sleep(time.Millisecond)
+			}
+			testReady(srv.Addr())
+		}()
+	}
+	return srv.Run(ctx, shutdownTimeout)
+}

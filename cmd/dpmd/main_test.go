@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndStopsOnSIGTERM is the daemon smoke test: bring up
+// run() on a loopback port, hit /healthz and /v1/plan with the
+// checked-in example body, then deliver SIGTERM and require a clean
+// exit — the same lifecycle CI drives against the built binary.
+func TestRunServesAndStopsOnSIGTERM(t *testing.T) {
+	addrCh := make(chan string, 1)
+	testReady = func(addr string) { addrCh <- addr }
+	defer func() { testReady = nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", 2, 16, 5*time.Second, 5*time.Second, 1<<20, nil)
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not come up")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200", resp.StatusCode)
+	}
+
+	body, err := os.ReadFile("../../examples/service/plan_request.json")
+	if err != nil {
+		t.Fatalf("reading example plan request: %v", err)
+	}
+	resp, err = http.Post(base+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	planBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading plan response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan status = %d, body %s", resp.StatusCode, planBody)
+	}
+	var plan struct {
+		Allocation []float64 `json:"allocation"`
+		Feasible   bool      `json:"feasible"`
+	}
+	if err := json.Unmarshal(planBody, &plan); err != nil {
+		t.Fatalf("decoding plan response: %v", err)
+	}
+	if len(plan.Allocation) == 0 || !plan.Feasible {
+		t.Fatalf("unexpected plan: %s", planBody)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("sending SIGTERM: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned error after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGTERM")
+	}
+
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}

@@ -1,0 +1,116 @@
+// Service walkthrough: run dpmd in-process and drive it with the
+// typed client the way a fleet node would — plan, parameterize,
+// report a slot, simulate, and read the metrics.
+//
+//	go run ./examples/service
+//
+// The same requests work over the wire against a standalone daemon
+// (`make serve`, or `go run ./cmd/dpmd`); plan_request.json in this
+// directory is the /v1/plan body used below, ready for curl.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"dpm/internal/schedule"
+	"dpm/internal/server"
+	"dpm/internal/server/client"
+	"dpm/internal/trace"
+)
+
+func main() {
+	// 1. Start the service on a loopback port, as cmd/dpmd would.
+	srv, err := server.New(server.Config{Addr: "127.0.0.1:0", PoolSize: 4, CacheEntries: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	c := client.New("http://"+srv.Addr(), nil)
+	if err := c.Healthz(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dpmd up at %s\n\n", srv.Addr())
+
+	// 2. Ask for the Algorithm 1 power allocation of the paper's
+	// Scenario I — the charging forecast a satellite would upload.
+	planReq := server.PlanRequest{Scenario: trace.ScenarioI()}
+	plan, state, err := c.Plan(ctx, planReq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan (%s): feasible=%v iterations=%d\n", state, plan.Feasible, plan.Iterations)
+	for i, p := range plan.Allocation {
+		fmt.Printf("  slot %2d  %.3f W\n", i, p)
+	}
+
+	// A second identical request is served from the scenario cache.
+	if _, state, err = c.Plan(ctx, planReq); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same forecast again: cache %s\n\n", state)
+
+	// 3. Turn the plan into the Algorithm 2 (n, f) schedule for the
+	// PAMA board (the default hardware block).
+	ps, _, err := c.Params(ctx, server.ParamsRequest{
+		Allocation: schedule.NewGrid(plan.Tau, plan.Allocation),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("operating points per slot:")
+	for _, st := range ps.Steps {
+		fmt.Printf("  slot %2d  n=%d f=%2.0f MHz  (%.3f W)\n",
+			st.Slot, st.N, st.FrequencyHz/1e6, st.PowerW)
+	}
+	fmt.Println()
+
+	// 4. Close a slot: the node measured its real consumption and
+	// charge, and Algorithm 3 redistributes the deviation.
+	rep, err := c.Replan(ctx, server.ReplanRequest{
+		Scenario: trace.ScenarioI(),
+		Slots:    []server.SlotReport{{UsedJ: 9.0, SuppliedJ: 10.5}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after slot 0 (used 9.0 J, got 10.5 J): charge %.2f J, next slot %d\n",
+		rep.ChargeJ, rep.Slot)
+	fmt.Printf("updated plan: %.3f W in slot 1 (was %.3f W)\n\n",
+		rep.Plan[1], plan.Allocation[1])
+
+	// 5. Dry-run two periods closed-loop before committing.
+	sim, err := c.Simulate(ctx, server.SimulateRequest{
+		Scenario: trace.ScenarioI(),
+		Periods:  2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated 2 periods: wasted %.3f J, undersupplied %.3f J, utilization %.1f%%\n\n",
+		sim.WastedJ, sim.UndersuppliedJ, 100*sim.Utilization)
+
+	// 6. The metrics endpoint shows the cache doing its job.
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "dpmd_plancache_") {
+			fmt.Println(line)
+		}
+	}
+}

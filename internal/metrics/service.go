@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Service-side observability --------------------------------------
+//
+// The dpmd planning service (internal/server) reports its request
+// and cache accounting through this file so the service reuses the
+// repo's one metrics package instead of inventing a second
+// convention. Counters are exported on GET /metrics in a flat
+// plain-text form, one "name value" pair per line with an optional
+// {endpoint="..."} label — trivially scrapable and diff-friendly.
+
+// CacheStats mirrors the plan-cache counters (internal/plancache
+// reports them; metrics renders them — the dependency points this
+// way so plancache stays free-standing).
+type CacheStats struct {
+	// Hits and Misses count cache lookups by outcome.
+	Hits, Misses uint64
+	// Evictions counts entries displaced by capacity pressure.
+	Evictions uint64
+	// Puts counts insertions.
+	Puts uint64
+	// Len and Capacity are the current and maximum entry counts.
+	Len, Capacity int
+}
+
+// EndpointStats aggregates one endpoint's request accounting.
+type EndpointStats struct {
+	// Requests counts completed requests.
+	Requests uint64
+	// Errors counts requests answered with a non-2xx status.
+	Errors uint64
+	// TotalSeconds sums request latencies.
+	TotalSeconds float64
+	// MaxSeconds is the slowest request seen.
+	MaxSeconds float64
+}
+
+// MeanSeconds returns the average request latency, or 0 before any
+// request.
+func (e EndpointStats) MeanSeconds() float64 {
+	if e.Requests == 0 {
+		return 0
+	}
+	return e.TotalSeconds / float64(e.Requests)
+}
+
+// ServiceStats collects per-endpoint request counters. The zero
+// value is not usable; call NewServiceStats. All methods are safe
+// for concurrent use.
+type ServiceStats struct {
+	mu        sync.Mutex
+	endpoints map[string]*EndpointStats
+}
+
+// NewServiceStats returns an empty collector.
+func NewServiceStats() *ServiceStats {
+	return &ServiceStats{endpoints: make(map[string]*EndpointStats)}
+}
+
+// Observe records one completed request.
+func (s *ServiceStats) Observe(endpoint string, status int, seconds float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.endpoints[endpoint]
+	if e == nil {
+		e = &EndpointStats{}
+		s.endpoints[endpoint] = e
+	}
+	e.Requests++
+	if status < 200 || status >= 300 {
+		e.Errors++
+	}
+	e.TotalSeconds += seconds
+	if seconds > e.MaxSeconds {
+		e.MaxSeconds = seconds
+	}
+}
+
+// Snapshot copies the per-endpoint counters.
+func (s *ServiceStats) Snapshot() map[string]EndpointStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]EndpointStats, len(s.endpoints))
+	for k, v := range s.endpoints {
+		out[k] = *v
+	}
+	return out
+}
+
+// WriteServiceText renders the cache and endpoint counters as plain
+// text, endpoints sorted by path for a stable layout.
+func WriteServiceText(w io.Writer, cache CacheStats, endpoints map[string]EndpointStats) error {
+	total := cache.Hits + cache.Misses
+	hitRate := 0.0
+	if total > 0 {
+		hitRate = float64(cache.Hits) / float64(total)
+	}
+	if _, err := fmt.Fprintf(w,
+		"dpmd_plancache_hits %d\ndpmd_plancache_misses %d\ndpmd_plancache_evictions %d\ndpmd_plancache_puts %d\ndpmd_plancache_entries %d\ndpmd_plancache_capacity %d\ndpmd_plancache_hit_rate %.4f\n",
+		cache.Hits, cache.Misses, cache.Evictions, cache.Puts, cache.Len, cache.Capacity, hitRate); err != nil {
+		return err
+	}
+	paths := make([]string, 0, len(endpoints))
+	for p := range endpoints {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		e := endpoints[p]
+		if _, err := fmt.Fprintf(w,
+			"dpmd_requests_total{endpoint=%q} %d\ndpmd_request_errors_total{endpoint=%q} %d\ndpmd_request_seconds_mean{endpoint=%q} %.6f\ndpmd_request_seconds_max{endpoint=%q} %.6f\n",
+			p, e.Requests, p, e.Errors, p, e.MeanSeconds(), p, e.MaxSeconds); err != nil {
+			return err
+		}
+	}
+	return nil
+}

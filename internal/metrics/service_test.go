@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestServiceStatsObserve(t *testing.T) {
+	s := NewServiceStats()
+	s.Observe("/v1/plan", 200, 0.010)
+	s.Observe("/v1/plan", 200, 0.030)
+	s.Observe("/v1/plan", 400, 0.002)
+	s.Observe("/healthz", 200, 0.001)
+
+	snap := s.Snapshot()
+	plan := snap["/v1/plan"]
+	if plan.Requests != 3 || plan.Errors != 1 {
+		t.Fatalf("plan stats = %+v", plan)
+	}
+	if got := plan.MeanSeconds(); got < 0.0139 || got > 0.0141 {
+		t.Fatalf("mean = %g", got)
+	}
+	if plan.MaxSeconds != 0.030 {
+		t.Fatalf("max = %g", plan.MaxSeconds)
+	}
+	if snap["/healthz"].Requests != 1 {
+		t.Fatalf("healthz stats = %+v", snap["/healthz"])
+	}
+	if (EndpointStats{}).MeanSeconds() != 0 {
+		t.Fatal("zero-value mean not 0")
+	}
+}
+
+func TestServiceStatsConcurrent(t *testing.T) {
+	s := NewServiceStats()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Observe("/v1/plan", 200, 0.001)
+				s.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Snapshot()["/v1/plan"].Requests; got != 4000 {
+		t.Fatalf("requests = %d, want 4000", got)
+	}
+}
+
+func TestWriteServiceText(t *testing.T) {
+	var sb strings.Builder
+	cache := CacheStats{Hits: 3, Misses: 1, Evictions: 2, Puts: 5, Len: 4, Capacity: 8}
+	eps := map[string]EndpointStats{
+		"/v1/plan": {Requests: 2, Errors: 1, TotalSeconds: 0.4, MaxSeconds: 0.3},
+		"/healthz": {Requests: 9},
+	}
+	if err := WriteServiceText(&sb, cache, eps); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dpmd_plancache_hits 3",
+		"dpmd_plancache_misses 1",
+		"dpmd_plancache_evictions 2",
+		"dpmd_plancache_entries 4",
+		"dpmd_plancache_capacity 8",
+		"dpmd_plancache_hit_rate 0.7500",
+		`dpmd_requests_total{endpoint="/v1/plan"} 2`,
+		`dpmd_request_errors_total{endpoint="/v1/plan"} 1`,
+		`dpmd_request_seconds_mean{endpoint="/v1/plan"} 0.200000`,
+		`dpmd_request_seconds_max{endpoint="/v1/plan"} 0.300000`,
+		`dpmd_requests_total{endpoint="/healthz"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+	// Endpoints render sorted for a stable scrape diff.
+	if strings.Index(out, "/healthz") > strings.Index(out, "/v1/plan") {
+		t.Fatal("endpoints not sorted")
+	}
+}

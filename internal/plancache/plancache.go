@@ -1,0 +1,169 @@
+// Package plancache is a concurrency-safe LRU cache for computed
+// power plans. Many nodes of a fleet share hardware configurations
+// and charging forecasts, so the planning service (internal/server)
+// keys each scenario by a canonical hash of everything Algorithm 1/2
+// consumes — battery band, parameter table, schedules, τ — and serves
+// repeated requests from the cache instead of re-running the
+// allocation pipeline.
+//
+// The cache is generic over the stored value. A clone function,
+// supplied at construction, is applied on every Put and Get so a
+// caller mutating a returned plan can never poison the cached copy;
+// pass nil only for values that are immutable by construction
+// (e.g. never-mutated byte slices are NOT immutable — clone them).
+package plancache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses uint64
+	// Evictions counts entries displaced by capacity pressure.
+	Evictions uint64
+	// Puts counts insertions (including overwrites).
+	Puts uint64
+	// Len and Capacity are the current and maximum entry counts.
+	Len, Capacity int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a fixed-capacity LRU map from canonical scenario keys to
+// computed plans. All methods are safe for concurrent use.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	clone    func(V) V
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions, puts uint64
+}
+
+type entry[V any] struct {
+	key   string
+	value V
+}
+
+// New returns a cache holding at most capacity entries. clone is
+// applied to values on the way in and on the way out; nil means the
+// values are shared as-is (only safe for immutable values).
+func New[V any](capacity int, clone func(V) V) (*Cache[V], error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("plancache: capacity %d must be at least 1", capacity)
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		clone:    clone,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}, nil
+}
+
+// Get returns a private copy of the value stored under key and marks
+// the entry most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	v := el.Value.(*entry[V]).value
+	if c.clone != nil {
+		v = c.clone(v)
+	}
+	return v, true
+}
+
+// Put stores a private copy of value under key, overwriting any
+// existing entry, and evicts the least recently used entry if the
+// cache is over capacity.
+func (c *Cache[V]) Put(key string, value V) {
+	if c.clone != nil {
+		value = c.clone(value)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[V]).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&entry[V]{key: key, value: value})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[V]).key)
+		c.evictions++
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Keys returns the keys from most to least recently used — the
+// eviction order reversed. Intended for tests and diagnostics.
+func (c *Cache[V]) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry[V]).key)
+	}
+	return keys
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Puts:      c.puts,
+		Len:       c.order.Len(),
+		Capacity:  c.capacity,
+	}
+}
+
+// Key derives the canonical cache key for a scenario: the hex SHA-256
+// of the JSON encoding of parts, in order. encoding/json emits struct
+// fields in declaration order and map keys sorted, so two requests
+// that decode to the same planning inputs — whatever their original
+// field order or whitespace — hash identically.
+func Key(parts ...any) (string, error) {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			return "", fmt.Errorf("plancache: hashing key part: %w", err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

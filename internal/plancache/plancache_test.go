@@ -1,0 +1,201 @@
+package plancache
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func clonePlan(p []float64) []float64 { return append([]float64(nil), p...) }
+
+func TestNewRejectsBadCapacity(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if _, err := New[int](n, nil); err == nil {
+			t.Errorf("New(%d) accepted", n)
+		}
+	}
+}
+
+func TestGetPutBasics(t *testing.T) {
+	c, err := New(4, clonePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []float64{1, 2, 3})
+	got, ok := c.Get("a")
+	if !ok || !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Fatalf("Get(a) = %v, %v", got, ok)
+	}
+	// Overwrite keeps one entry.
+	c.Put("a", []float64{9})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite", c.Len())
+	}
+	got, _ = c.Get("a")
+	if !reflect.DeepEqual(got, []float64{9}) {
+		t.Fatalf("overwritten value = %v", got)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Puts != 2 || s.Capacity != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if r := s.HitRate(); r < 0.66 || r > 0.67 {
+		t.Fatalf("hit rate = %g", r)
+	}
+}
+
+// TestLRUEvictionOrder fills the cache past capacity and checks that
+// the least recently *used* entry goes first — a Get refreshes
+// recency, not just a Put.
+func TestLRUEvictionOrder(t *testing.T) {
+	c, err := New(3, clonePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []float64{1})
+	c.Put("b", []float64{2})
+	c.Put("c", []float64{3})
+	c.Get("a") // recency now a, c, b
+
+	c.Put("d", []float64{4}) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if got, want := c.Keys(), []string{"a", "d", "c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recency order = %v, want %v", got, want)
+	}
+
+	c.Put("e", []float64{5}) // evicts c
+	c.Put("f", []float64{6}) // evicts d
+	for _, key := range []string{"c", "d"} {
+		if _, ok := c.Get(key); ok {
+			t.Fatalf("%s survived eviction", key)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3", s.Evictions)
+	}
+	if s.Len != 3 {
+		t.Fatalf("len = %d, want 3", s.Len)
+	}
+}
+
+// TestDeepCopySafety mutates both the slice passed to Put and the
+// slice returned by Get; neither write may reach the cached copy.
+func TestDeepCopySafety(t *testing.T) {
+	c, err := New(2, clonePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	original := []float64{1, 2, 3}
+	c.Put("plan", original)
+	original[0] = -999 // caller reuses its buffer
+
+	got, _ := c.Get("plan")
+	if got[0] != 1 {
+		t.Fatalf("Put aliased the caller's slice: got[0] = %g", got[0])
+	}
+	got[1] = -999 // caller mutates the returned plan
+
+	again, _ := c.Get("plan")
+	if !reflect.DeepEqual(again, []float64{1, 2, 3}) {
+		t.Fatalf("Get aliased the cached slice: %v", again)
+	}
+}
+
+// TestConcurrentHammer drives the cache from many goroutines with a
+// shared small key space so gets, puts, evictions and overwrites all
+// interleave. Run under -race (the repo's race target does); the
+// assertions check the counters stay coherent and every returned
+// value is the one stored under its key.
+func TestConcurrentHammer(t *testing.T) {
+	const (
+		workers = 16
+		ops     = 2000
+		keys    = 32
+		cap     = 8
+	)
+	c, err := New(cap, clonePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				k := rng.Intn(keys)
+				key := fmt.Sprintf("scenario-%d", k)
+				if rng.Intn(2) == 0 {
+					c.Put(key, []float64{float64(k), float64(k) * 2})
+				} else if v, ok := c.Get(key); ok {
+					if len(v) != 2 || v[0] != float64(k) || v[1] != float64(k)*2 {
+						t.Errorf("key %s returned foreign value %v", key, v)
+						return
+					}
+					v[0] = -1 // must not poison the cache
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+
+	if n := c.Len(); n > cap {
+		t.Fatalf("len %d exceeds capacity %d", n, cap)
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses == 0 || s.Puts == 0 {
+		t.Fatalf("implausible stats %+v", s)
+	}
+	if int(s.Puts)-int(s.Evictions) < s.Len {
+		t.Fatalf("counter mismatch: %+v", s)
+	}
+}
+
+// TestKeyCanonical checks that the canonical hash ignores data that
+// is semantically absent and distinguishes data that differs.
+func TestKeyCanonical(t *testing.T) {
+	type scenario struct {
+		Tau    float64   `json:"tau"`
+		Values []float64 `json:"values"`
+	}
+	a1, err := Key("plan", scenario{Tau: 4.8, Values: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Key("plan", scenario{Tau: 4.8, Values: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("identical inputs hashed differently")
+	}
+	b, err := Key("plan", scenario{Tau: 4.8, Values: []float64{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == b {
+		t.Fatal("different inputs collided")
+	}
+	c, err := Key("params", scenario{Tau: 4.8, Values: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == c {
+		t.Fatal("endpoint tag ignored")
+	}
+	if _, err := Key(func() {}); err == nil {
+		t.Fatal("unencodable key part accepted")
+	}
+}

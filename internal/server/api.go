@@ -1,0 +1,522 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"dpm/internal/alloc"
+	"dpm/internal/dpm"
+	"dpm/internal/params"
+	"dpm/internal/perf"
+	"dpm/internal/power"
+	"dpm/internal/schedule"
+	"dpm/internal/trace"
+)
+
+// Wire types for the dpmd JSON API. Each request embeds the same
+// trace.Scenario wire form cmd/dpmsim -config loads, so a scenario
+// file works unchanged as a request body; schedules use the
+// schedule.Grid form {"step": τ, "values": [...]}.
+
+// Request bounds. The HTTP body limit (Config.MaxBodyBytes) already
+// caps raw size; these bound the *work* a single request may demand.
+const (
+	// maxSlots caps schedule and plan lengths per request.
+	maxSlots = 4096
+	// maxPeriods caps /v1/simulate analytic horizons.
+	maxPeriods = 64
+	// maxMachinePeriods caps the discrete-event board simulation,
+	// which costs orders of magnitude more per period.
+	maxMachinePeriods = 8
+	// maxFrequencies caps the Algorithm 2 enumeration per request.
+	maxFrequencies = 64
+	// maxRecords caps the per-slot rows a simulate response carries.
+	maxRecords = 1024
+	// maxPowerW, maxTauS and maxEnergyJ bound the physical
+	// magnitudes a request may carry. They are far beyond any real
+	// deployment (a gigawatt, a ~11-day slot, a petajoule) but small
+	// enough that the planning arithmetic cannot overflow float64
+	// into the NaN/Inf range JSON cannot carry.
+	maxPowerW  = 1e9
+	maxTauS    = 1e6
+	maxEnergyJ = 1e15
+)
+
+// apiError is the structured error body every non-2xx response
+// carries.
+type apiError struct {
+	// Error is a human-readable description of what was wrong with
+	// the request (or, for 5xx, with the server).
+	Error string `json:"error"`
+	// Status echoes the HTTP status code.
+	Status int `json:"status"`
+}
+
+// badRequest wraps a client-input error so handlers can distinguish
+// it from internal failures.
+type badRequest struct{ err error }
+
+func (b badRequest) Error() string { return b.err.Error() }
+func (b badRequest) Unwrap() error { return b.err }
+
+// badRequestf builds a 400-class error.
+func badRequestf(format string, args ...any) error {
+	return badRequest{fmt.Errorf(format, args...)}
+}
+
+// Hardware describes the board Algorithm 2 optimizes for. The zero
+// value (or a nil pointer) means the paper's PAMA configuration:
+// eight M32R/D chips of which seven are workers, voltage pinned at
+// 3.3 V, clocks of 20/40/80 MHz, the FORTE FFT workload, and no
+// switching overheads.
+type Hardware struct {
+	// VoltageV is the pinned supply voltage in volts.
+	VoltageV float64 `json:"voltageV,omitempty"`
+	// MaxFrequencyHz is the VF-curve ceiling in hertz.
+	MaxFrequencyHz float64 `json:"maxFrequencyHz,omitempty"`
+	// FrequenciesHz are the selectable clocks in hertz.
+	FrequenciesHz []float64 `json:"frequenciesHz,omitempty"`
+	// MaxProcessors and MinProcessors bound the active-count range.
+	MaxProcessors int `json:"maxProcessors,omitempty"`
+	MinProcessors int `json:"minProcessors,omitempty"`
+	// OverheadProcJ and OverheadFreqJ are the switching energies OHn
+	// and OHf in joules.
+	OverheadProcJ float64 `json:"overheadProcJ,omitempty"`
+	OverheadFreqJ float64 `json:"overheadFreqJ,omitempty"`
+	// PerfValue converts performance×τ into joules for the
+	// Algorithm 2 switching test.
+	PerfValue float64 `json:"perfValue,omitempty"`
+	// IdleSleep parks inactive processors in sleep instead of
+	// stand-by.
+	IdleSleep bool `json:"idleSleep,omitempty"`
+	// WorkloadTotalS and WorkloadSerialS are the Amdahl profile:
+	// single-processor time and its serial part, in seconds.
+	WorkloadTotalS  float64 `json:"workloadTotalS,omitempty"`
+	WorkloadSerialS float64 `json:"workloadSerialS,omitempty"`
+}
+
+// withDefaults returns a copy with every zero field set to the paper
+// value, so the canonical cache key treats an omitted hardware block
+// and an explicitly spelled-out PAMA block as the same scenario.
+func (h *Hardware) withDefaults() Hardware {
+	out := Hardware{}
+	if h != nil {
+		out = *h
+	}
+	if out.VoltageV == 0 {
+		out.VoltageV = 3.3
+	}
+	if out.MaxFrequencyHz == 0 {
+		out.MaxFrequencyHz = 80e6
+	}
+	if len(out.FrequenciesHz) == 0 {
+		out.FrequenciesHz = []float64{20e6, 40e6, 80e6}
+	}
+	if out.MaxProcessors == 0 {
+		out.MaxProcessors = 7
+	}
+	if out.WorkloadTotalS == 0 {
+		out.WorkloadTotalS = 4.8
+	}
+	if out.WorkloadSerialS == 0 {
+		out.WorkloadSerialS = 0.48
+	}
+	return out
+}
+
+// paramsConfig validates the hardware block and assembles the
+// Algorithm 2 configuration. All errors are client errors.
+func (h Hardware) paramsConfig() (params.Config, error) {
+	if !isFinite(h.VoltageV) || h.VoltageV <= 0 {
+		return params.Config{}, badRequestf("hardware: voltage %g must be positive", h.VoltageV)
+	}
+	if !isFinite(h.MaxFrequencyHz) || h.MaxFrequencyHz <= 0 {
+		return params.Config{}, badRequestf("hardware: max frequency %g must be positive", h.MaxFrequencyHz)
+	}
+	if len(h.FrequenciesHz) > maxFrequencies {
+		return params.Config{}, badRequestf("hardware: %d frequencies exceed the limit of %d", len(h.FrequenciesHz), maxFrequencies)
+	}
+	for _, f := range h.FrequenciesHz {
+		if !isFinite(f) || f <= 0 {
+			return params.Config{}, badRequestf("hardware: non-positive frequency %g", f)
+		}
+	}
+	for name, v := range map[string]float64{
+		"overheadProcJ": h.OverheadProcJ, "overheadFreqJ": h.OverheadFreqJ, "perfValue": h.PerfValue,
+	} {
+		if !isFinite(v) || v < 0 {
+			return params.Config{}, badRequestf("hardware: %s %g must be non-negative", name, v)
+		}
+	}
+	w, err := perf.NewWorkload(h.WorkloadTotalS, h.WorkloadSerialS)
+	if err != nil {
+		return params.Config{}, badRequest{err}
+	}
+	cfg := params.Config{
+		System:        power.PAMA(),
+		Curve:         power.NewFixedVoltage(h.VoltageV, h.MaxFrequencyHz),
+		Workload:      w,
+		Frequencies:   h.FrequenciesHz,
+		MaxProcessors: h.MaxProcessors,
+		MinProcessors: h.MinProcessors,
+		OverheadProc:  h.OverheadProcJ,
+		OverheadFreq:  h.OverheadFreqJ,
+		PerfValue:     h.PerfValue,
+		IdleSleep:     h.IdleSleep,
+	}
+	// BuildTable re-validates; run it here so every config error
+	// surfaces as a 400 at decode time rather than a 500 later.
+	if _, err := params.BuildTable(cfg); err != nil {
+		return params.Config{}, badRequest{err}
+	}
+	return cfg, nil
+}
+
+// PlanRequest asks for an Algorithm 1 power allocation.
+type PlanRequest struct {
+	// Scenario is the planning environment: charging and usage
+	// schedules, optional weight, battery band.
+	Scenario trace.Scenario `json:"scenario"`
+	// Strategy selects the arc-reshaping flavor: "proportional"
+	// (default, the paper's formula) or "even".
+	Strategy string `json:"strategy,omitempty"`
+	// MaxIterations bounds the Algorithm 1 driver (0 = default 16).
+	MaxIterations int `json:"maxIterations,omitempty"`
+	// Margin keeps a fraction of the battery band clear at each end
+	// (0 ≤ margin < 0.5).
+	Margin float64 `json:"margin,omitempty"`
+}
+
+// PlanResponse is the computed allocation.
+type PlanResponse struct {
+	// Scenario echoes the request's scenario name.
+	Scenario string `json:"scenario,omitempty"`
+	// Tau is the slot width in seconds.
+	Tau float64 `json:"tau"`
+	// Allocation is the per-slot power plan in watts.
+	Allocation []float64 `json:"allocation"`
+	// Trajectory is the battery energy at the len+1 slot boundaries
+	// in joules.
+	Trajectory []float64 `json:"trajectory"`
+	// Iterations counts Algorithm 1 driver rounds.
+	Iterations int `json:"iterations"`
+	// Feasible reports whether the trajectory stays inside the band.
+	Feasible bool `json:"feasible"`
+}
+
+// ParamsRequest asks for an Algorithm 2 (n, f) schedule for a plan.
+type ParamsRequest struct {
+	// Allocation is the power plan to parameterize, typically a
+	// PlanResponse's allocation re-wrapped as a grid.
+	Allocation *schedule.Grid `json:"allocation"`
+	// Hardware describes the board; nil means the PAMA defaults.
+	Hardware *Hardware `json:"hardware,omitempty"`
+}
+
+// ParamsStep is one slot of the (n, f) schedule.
+type ParamsStep struct {
+	// Slot indexes the period.
+	Slot int `json:"slot"`
+	// AllocatedW is the slot's power budget in watts.
+	AllocatedW float64 `json:"allocatedW"`
+	// N, FrequencyHz and VoltageV are the chosen operating point.
+	N           int     `json:"n"`
+	FrequencyHz float64 `json:"frequencyHz"`
+	VoltageV    float64 `json:"voltageV"`
+	// PowerW and Perf are the point's draw and Eq. 3 performance.
+	PowerW float64 `json:"powerW"`
+	Perf   float64 `json:"perf"`
+	// Switched reports an operating-point change at this boundary;
+	// OverheadJ is the switching energy charged for it.
+	Switched  bool    `json:"switched"`
+	OverheadJ float64 `json:"overheadJ"`
+}
+
+// ParamsResponse is the per-slot schedule plus the Pareto table it
+// was selected from.
+type ParamsResponse struct {
+	// Steps is the per-slot (n, f) schedule.
+	Steps []ParamsStep `json:"steps"`
+	// Table is the Pareto frontier of operating points.
+	Table []params.OperatingPoint `json:"table"`
+}
+
+// SlotReport is one completed slot's measured energies.
+type SlotReport struct {
+	// UsedJ is the energy the system actually consumed in joules.
+	UsedJ float64 `json:"usedJ"`
+	// SuppliedJ is the energy the source actually delivered.
+	SuppliedJ float64 `json:"suppliedJ"`
+}
+
+// ReplanRequest applies Algorithm 3: given the manager's run-time
+// state and one or more completed slots' planned-vs-actual energies,
+// redistribute the deviation over the future window.
+type ReplanRequest struct {
+	// Scenario is the planning environment the state belongs to.
+	Scenario trace.Scenario `json:"scenario"`
+	// Hardware describes the board; nil means the PAMA defaults.
+	Hardware *Hardware `json:"hardware,omitempty"`
+	// Policy selects the redistribution flavor: "proportional"
+	// (default) or "even".
+	Policy string `json:"policy,omitempty"`
+	// State is the manager checkpoint to resume from; nil means a
+	// fresh period start.
+	State *dpm.State `json:"state,omitempty"`
+	// Slots reports the completed slots, oldest first.
+	Slots []SlotReport `json:"slots"`
+}
+
+// ReplanResponse carries the updated plan and the checkpoint to send
+// with the next replan call.
+type ReplanResponse struct {
+	// Plan is the updated per-period allocation in watts.
+	Plan []float64 `json:"plan"`
+	// ChargeJ is the manager's battery-charge estimate in joules.
+	ChargeJ float64 `json:"chargeJ"`
+	// Slot is the absolute slot counter after the reports.
+	Slot int `json:"slot"`
+	// State is the full checkpoint for the next request.
+	State dpm.State `json:"state"`
+}
+
+// SimulateRequest runs a bounded closed-loop simulation.
+type SimulateRequest struct {
+	// Scenario is the planning environment.
+	Scenario trace.Scenario `json:"scenario"`
+	// Hardware describes the board; nil means the PAMA defaults.
+	Hardware *Hardware `json:"hardware,omitempty"`
+	// Periods is the horizon in charging periods (1 ≤ p ≤ 64
+	// analytic, ≤ 8 machine).
+	Periods int `json:"periods"`
+	// Policy selects the Algorithm 3 flavor: "proportional"
+	// (default) or "even".
+	Policy string `json:"policy,omitempty"`
+	// Battery selects intra-slot semantics: "net-flow" (default) or
+	// "sequential".
+	Battery string `json:"battery,omitempty"`
+	// ActualCharging is what the source really delivers; nil means
+	// the expectation holds.
+	ActualCharging *schedule.Grid `json:"actualCharging,omitempty"`
+	// Machine runs the discrete-event PAMA board simulation with a
+	// Poisson event trace instead of the analytic model.
+	Machine bool `json:"machine,omitempty"`
+	// EventScale and Seed drive the machine-mode event trace.
+	EventScale float64 `json:"eventScale,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	// IncludeRecords returns per-slot rows (bounded to 1024 slots).
+	IncludeRecords bool `json:"includeRecords,omitempty"`
+}
+
+// SimulateRecord is one per-slot row of a simulate response.
+type SimulateRecord struct {
+	// TimeS is the slot start in seconds.
+	TimeS float64 `json:"timeS"`
+	// PlannedW and UsedW are the plan's and the realized draw.
+	PlannedW float64 `json:"plannedW"`
+	UsedW    float64 `json:"usedW"`
+	// N and FrequencyHz are the operating point run.
+	N           int     `json:"n"`
+	FrequencyHz float64 `json:"frequencyHz"`
+	// ChargeJ is the battery at slot end.
+	ChargeJ float64 `json:"chargeJ"`
+}
+
+// SimulateResponse summarizes the run in the paper's §5 metrics.
+type SimulateResponse struct {
+	// Mode is "analytic" or "machine".
+	Mode string `json:"mode"`
+	// WastedJ and UndersuppliedJ are the Table 1 penalties.
+	WastedJ        float64          `json:"wastedJ"`
+	UndersuppliedJ float64          `json:"undersuppliedJ"`
+	SuppliedJ      float64          `json:"suppliedJ"`
+	DeliveredJ     float64          `json:"deliveredJ"`
+	Utilization    float64          `json:"utilization"`
+	Switches       int              `json:"switches,omitempty"`
+	PerfSeconds    float64          `json:"perfSeconds,omitempty"`
+	EventsArrived  int              `json:"eventsArrived,omitempty"`
+	TasksCompleted int              `json:"tasksCompleted,omitempty"`
+	MeanLatencyS   float64          `json:"meanLatencyS,omitempty"`
+	EnergyUsedJ    float64          `json:"energyUsedJ,omitempty"`
+	Records        []SimulateRecord `json:"records,omitempty"`
+}
+
+// decodeJSON reads one JSON value from the (already size-limited)
+// body into dst, rejecting trailing garbage. Decode errors are
+// client errors.
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return badRequestf("request body exceeds %d bytes", maxErr.Limit)
+		}
+		return badRequestf("decoding request: %v", err)
+	}
+	if dec.More() {
+		return badRequestf("request body has trailing data after the JSON value")
+	}
+	// Drain any whitespace so keep-alive connections stay reusable.
+	io.Copy(io.Discard, r.Body) //nolint:errcheck
+	return nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// canonicalJSON marshals v compactly with a trailing newline — the
+// byte form the cache stores and the wire carries, so a cached reply
+// is byte-identical to the cold one. A JSON-unsupported value (NaN
+// or ±Inf that slipped through the input bounds into a computed
+// plan) is reported as a client error: the inputs were numerically
+// out of range, not the server broken.
+func canonicalJSON(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		var unsup *json.UnsupportedValueError
+		if errors.As(err, &unsup) {
+			return nil, badRequestf("inputs are numerically out of range: computed plan contains %s", unsup.Str)
+		}
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// validateGrid rejects grids the planner cannot safely consume:
+// missing, over-long, non-finite or negative. (The JSON decoder
+// already rejects literal NaN/Inf tokens and overflowing numbers;
+// the checks here are the backstop for programmatic callers.)
+func validateGrid(name string, g *schedule.Grid, requireNonNegative bool) error {
+	if g == nil {
+		return badRequestf("%s schedule is required", name)
+	}
+	if g.Len() > maxSlots {
+		return badRequestf("%s schedule has %d slots; the limit is %d", name, g.Len(), maxSlots)
+	}
+	if !isFinite(g.Step) || g.Step <= 0 || g.Step > maxTauS {
+		return badRequestf("%s schedule step %g outside (0, %g] seconds", name, g.Step, float64(maxTauS))
+	}
+	for i, v := range g.Values {
+		if !isFinite(v) || v > maxPowerW {
+			return badRequestf("%s[%d] = %g outside the supported power range", name, i, v)
+		}
+		if requireNonNegative && v < 0 {
+			return badRequestf("%s[%d] = %g is negative", name, i, v)
+		}
+	}
+	return nil
+}
+
+// validateScenario applies the server-side bounds on top of the
+// trace-level geometry checks its UnmarshalJSON already ran.
+func validateScenario(s trace.Scenario) error {
+	if err := validateGrid("charging", s.Charging, true); err != nil {
+		return err
+	}
+	if err := validateGrid("usage", s.Usage, true); err != nil {
+		return err
+	}
+	if s.Weight != nil {
+		if err := validateGrid("weight", s.Weight, true); err != nil {
+			return err
+		}
+	}
+	for name, v := range map[string]float64{
+		"capacityMax": s.CapacityMax, "capacityMin": s.CapacityMin, "initialCharge": s.InitialCharge,
+	} {
+		if !isFinite(v) || v < 0 || v > maxEnergyJ {
+			return badRequestf("%s %g outside [0, %g] joules", name, v, float64(maxEnergyJ))
+		}
+	}
+	if s.CapacityMax <= s.CapacityMin {
+		return badRequestf("capacityMax %g must exceed capacityMin %g", s.CapacityMax, s.CapacityMin)
+	}
+	return nil
+}
+
+// parseStrategy maps the wire name onto the alloc constant.
+func parseStrategy(s string) (alloc.AdjustStrategy, error) {
+	switch s {
+	case "", "proportional":
+		return alloc.RemapProportional, nil
+	case "even":
+		return alloc.RemapEven, nil
+	default:
+		return 0, badRequestf("unknown strategy %q (want proportional or even)", s)
+	}
+}
+
+// parsePolicy maps the wire name onto the dpm constant.
+func parsePolicy(s string) (dpm.RedistributePolicy, error) {
+	switch s {
+	case "", "proportional":
+		return dpm.Proportional, nil
+	case "even":
+		return dpm.Even, nil
+	default:
+		return 0, badRequestf("unknown policy %q (want proportional or even)", s)
+	}
+}
+
+// parseBattery maps the wire name onto the dpm battery model.
+func parseBattery(s string) (dpm.BatteryModel, error) {
+	switch s {
+	case "", "net-flow":
+		return dpm.NetFlow, nil
+	case "sequential":
+		return dpm.Sequential, nil
+	default:
+		return 0, badRequestf("unknown battery model %q (want net-flow or sequential)", s)
+	}
+}
+
+// validatePlanRequest normalizes and bounds a plan request; the
+// returned request has defaults applied so it canonicalizes for the
+// cache key.
+func validatePlanRequest(req *PlanRequest) error {
+	if err := validateScenario(req.Scenario); err != nil {
+		return err
+	}
+	if _, err := parseStrategy(req.Strategy); err != nil {
+		return err
+	}
+	if req.Strategy == "" {
+		req.Strategy = "proportional"
+	}
+	if req.MaxIterations < 0 || req.MaxIterations > 1024 {
+		return badRequestf("maxIterations %d outside [0, 1024]", req.MaxIterations)
+	}
+	if !isFinite(req.Margin) || req.Margin < 0 || req.Margin >= 0.5 {
+		return badRequestf("margin %g outside [0, 0.5)", req.Margin)
+	}
+	return nil
+}
+
+// managerConfig assembles the dpm manager configuration shared by
+// the replan and simulate endpoints.
+func managerConfig(s trace.Scenario, hw *Hardware, policy string) (dpm.Config, error) {
+	if err := validateScenario(s); err != nil {
+		return dpm.Config{}, err
+	}
+	pol, err := parsePolicy(policy)
+	if err != nil {
+		return dpm.Config{}, err
+	}
+	pcfg, err := hw.withDefaults().paramsConfig()
+	if err != nil {
+		return dpm.Config{}, err
+	}
+	return dpm.Config{
+		Charging:      s.Charging,
+		EventRate:     s.Usage,
+		Weight:        s.Weight,
+		CapacityMax:   s.CapacityMax,
+		CapacityMin:   s.CapacityMin,
+		InitialCharge: s.InitialCharge,
+		Params:        pcfg,
+		Policy:        pol,
+	}, nil
+}

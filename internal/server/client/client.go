@@ -1,0 +1,176 @@
+// Package client is a small typed client for the dpmd planning
+// service (internal/server). Tests and the examples/service
+// walkthrough use it; fleet nodes would embed something like it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dpm/internal/server"
+)
+
+// CacheState reports whether a response was served from the plan
+// cache.
+type CacheState string
+
+const (
+	// CacheHit means the response came from the cache.
+	CacheHit CacheState = "hit"
+	// CacheMiss means the response was computed for this request.
+	CacheMiss CacheState = "miss"
+	// CacheNone means the endpoint does not cache.
+	CacheNone CacheState = ""
+)
+
+// Client talks to one dpmd instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the service at base (e.g.
+// "http://127.0.0.1:8080"). A nil httpClient uses a default with a
+// 30 s timeout.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// apiError mirrors the server's structured error body.
+type apiError struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// StatusError is a non-2xx response from the service.
+type StatusError struct {
+	// Code is the HTTP status.
+	Code int
+	// Message is the server's structured error text.
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("dpmd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
+}
+
+// post sends a JSON request and decodes the JSON response into out.
+func (c *Client) post(ctx context.Context, path string, in, out any) (CacheState, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return CacheNone, fmt.Errorf("client: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return CacheNone, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return CacheNone, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	state := CacheState(resp.Header.Get("X-Dpmd-Cache"))
+	if resp.StatusCode != http.StatusOK {
+		return state, decodeError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return state, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return state, nil
+}
+
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var ae apiError
+	if err := json.Unmarshal(data, &ae); err == nil && ae.Error != "" {
+		return &StatusError{Code: resp.StatusCode, Message: ae.Error}
+	}
+	return &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+}
+
+// Plan requests an Algorithm 1 power allocation.
+func (c *Client) Plan(ctx context.Context, req server.PlanRequest) (*server.PlanResponse, CacheState, error) {
+	var out server.PlanResponse
+	state, err := c.post(ctx, "/v1/plan", req, &out)
+	if err != nil {
+		return nil, state, err
+	}
+	return &out, state, nil
+}
+
+// Params requests an Algorithm 2 (n, f) schedule for a plan.
+func (c *Client) Params(ctx context.Context, req server.ParamsRequest) (*server.ParamsResponse, CacheState, error) {
+	var out server.ParamsResponse
+	state, err := c.post(ctx, "/v1/params", req, &out)
+	if err != nil {
+		return nil, state, err
+	}
+	return &out, state, nil
+}
+
+// Replan applies the Algorithm 3 runtime update.
+func (c *Client) Replan(ctx context.Context, req server.ReplanRequest) (*server.ReplanResponse, error) {
+	var out server.ReplanResponse
+	if _, err := c.post(ctx, "/v1/replan", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Simulate runs a bounded closed-loop simulation.
+func (c *Client) Simulate(ctx context.Context, req server.SimulateRequest) (*server.SimulateResponse, error) {
+	var out server.SimulateResponse
+	if _, err := c.post(ctx, "/v1/simulate", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return &StatusError{Code: resp.StatusCode, Message: "health check failed"}
+	}
+	return nil
+}
+
+// Metrics fetches the plain-text counters.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	return string(data), nil
+}

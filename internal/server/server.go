@@ -1,0 +1,681 @@
+// Package server implements dpmd, the long-running power-planning
+// service. A fleet of battery-backed nodes shares one deployment: a
+// node POSTs its charging forecast and battery band and receives the
+// paper's plans back as JSON — the Algorithm 1 power allocation
+// (/v1/plan), the Algorithm 2 (n, f) schedule for a plan
+// (/v1/params), the Algorithm 3 runtime update given planned-vs-
+// actual energies (/v1/replan) and a bounded closed-loop simulation
+// (/v1/simulate) — plus /healthz and a plain-text /metrics.
+//
+// Because many nodes share hardware configurations and charging
+// forecasts, plan and params responses are cached in a
+// concurrency-safe LRU (internal/plancache) keyed by a canonical
+// hash of the scenario; repeated requests are served byte-identical
+// from memory. Handlers run behind a bounded worker pool with
+// per-request timeouts and body-size limits, and shutdown drains
+// in-flight requests before returning.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"dpm/internal/alloc"
+	"dpm/internal/dpm"
+	"dpm/internal/machine"
+	"dpm/internal/metrics"
+	"dpm/internal/params"
+	"dpm/internal/plancache"
+	"dpm/internal/trace"
+)
+
+// cacheHeader reports whether a response came from the plan cache.
+const cacheHeader = "X-Dpmd-Cache"
+
+// Config tunes the service.
+type Config struct {
+	// Addr is the listen address (host:port); ":8080" by default.
+	Addr string
+	// PoolSize bounds concurrently executing planning requests;
+	// excess requests wait (up to the request timeout) for a slot.
+	// Default 8.
+	PoolSize int
+	// CacheEntries is the plan-cache capacity. Default 256.
+	CacheEntries int
+	// RequestTimeout bounds one request end to end, including any
+	// wait for a pool slot. Default 10 s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies. Default 1 MiB.
+	MaxBodyBytes int64
+	// Logger receives one line per request; nil disables logging.
+	Logger *log.Logger
+}
+
+func (c *Config) setDefaults() {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 8
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+}
+
+// Server is one dpmd instance.
+type Server struct {
+	cfg   Config
+	cache *plancache.Cache[[]byte]
+	stats *metrics.ServiceStats
+	sem   chan struct{}
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	listener net.Listener
+	httpSrv  *http.Server
+	serveErr chan error
+
+	// testDelay, when non-nil, runs inside every pooled handler
+	// after the pool slot is acquired — tests use it to hold
+	// requests in flight across a Shutdown.
+	testDelay func()
+}
+
+// New validates the configuration and assembles the handler tree.
+func New(cfg Config) (*Server, error) {
+	cfg.setDefaults()
+	if cfg.PoolSize < 1 {
+		return nil, fmt.Errorf("server: pool size %d must be at least 1", cfg.PoolSize)
+	}
+	if cfg.RequestTimeout < 0 {
+		return nil, fmt.Errorf("server: negative request timeout %s", cfg.RequestTimeout)
+	}
+	if cfg.MaxBodyBytes < 1024 {
+		return nil, fmt.Errorf("server: max body %d bytes is below the 1 KiB floor", cfg.MaxBodyBytes)
+	}
+	cache, err := plancache.New(cfg.CacheEntries, func(b []byte) []byte {
+		return append([]byte(nil), b...)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cache,
+		stats: metrics.NewServiceStats(),
+		sem:   make(chan struct{}, cfg.PoolSize),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.Handle("/v1/plan", s.endpoint(http.MethodPost, true, s.handlePlan))
+	s.mux.Handle("/v1/params", s.endpoint(http.MethodPost, true, s.handleParams))
+	s.mux.Handle("/v1/replan", s.endpoint(http.MethodPost, true, s.handleReplan))
+	s.mux.Handle("/v1/simulate", s.endpoint(http.MethodPost, true, s.handleSimulate))
+	s.mux.Handle("/healthz", s.endpoint(http.MethodGet, false, s.handleHealthz))
+	s.mux.Handle("/metrics", s.endpoint(http.MethodGet, false, s.handleMetrics))
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (for tests and
+// in-process embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats snapshots the plan-cache counters.
+func (s *Server) CacheStats() plancache.Stats { return s.cache.Stats() }
+
+// statusWriter records the status code and body size for logging and
+// metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// endpoint wraps a handler with the service middleware: method
+// check, body-size limit, per-request timeout, the bounded worker
+// pool (for planning endpoints), request accounting and logging.
+func (s *Server) endpoint(method string, pooled bool, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		func() {
+			if r.Method != method {
+				sw.Header().Set("Allow", method)
+				writeError(sw, http.StatusMethodNotAllowed,
+					fmt.Sprintf("method %s not allowed; use %s", r.Method, method))
+				return
+			}
+			if r.Body != nil {
+				r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+			}
+			ctx := r.Context()
+			if s.cfg.RequestTimeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+			if pooled {
+				select {
+				case s.sem <- struct{}{}:
+					defer func() { <-s.sem }()
+				case <-ctx.Done():
+					writeError(sw, http.StatusServiceUnavailable,
+						"worker pool saturated; retry later")
+					return
+				}
+				if s.testDelay != nil {
+					s.testDelay()
+				}
+			}
+			h(sw, r)
+		}()
+		dur := time.Since(start)
+		s.stats.Observe(r.URL.Path, sw.status, dur.Seconds())
+		if s.cfg.Logger != nil {
+			cache := sw.Header().Get(cacheHeader)
+			if cache == "" {
+				cache = "-"
+			}
+			s.cfg.Logger.Printf("method=%s path=%s status=%d bytes=%d dur_ms=%.3f cache=%s remote=%s",
+				r.Method, r.URL.Path, sw.status, sw.bytes, float64(dur.Microseconds())/1000, cache, r.RemoteAddr)
+		}
+	})
+}
+
+// writeError emits the structured error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":%q,\"status\":%d}\n", msg, status)
+}
+
+// fail maps an error onto 400 (client input) or 500 (internal).
+func fail(w http.ResponseWriter, err error) {
+	var br badRequest
+	if errors.As(err, &br) {
+		writeError(w, http.StatusBadRequest, br.Error())
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err.Error())
+}
+
+// writeJSONBytes writes a pre-marshaled JSON body.
+func writeJSONBytes(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body) //nolint:errcheck
+}
+
+// marshalBody renders a response exactly as the cache stores it, so
+// cold and cached replies are byte-identical.
+func marshalBody(v any) ([]byte, error) {
+	b, err := canonicalJSON(v)
+	if err != nil {
+		return nil, fmt.Errorf("encoding response: %w", err)
+	}
+	return b, nil
+}
+
+// respondCached serves the computed-or-cached flow shared by the
+// plan and params endpoints: look the canonical key up, compute and
+// insert on a miss, and tag the response with the X-Dpmd-Cache
+// header either way.
+func (s *Server) respondCached(w http.ResponseWriter, key string, compute func() (any, error)) {
+	if body, ok := s.cache.Get(key); ok {
+		w.Header().Set(cacheHeader, "hit")
+		writeJSONBytes(w, body)
+		return
+	}
+	resp, err := compute()
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	body, err := marshalBody(resp)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	s.cache.Put(key, body)
+	w.Header().Set(cacheHeader, "miss")
+	writeJSONBytes(w, body)
+}
+
+// handlePlan runs Algorithm 1 (§4.1): WPUF → balancing → feasible
+// per-slot power allocation.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if err := decodeJSON(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	if err := validatePlanRequest(&req); err != nil {
+		fail(w, err)
+		return
+	}
+	key, err := plancache.Key("plan", req)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	s.respondCached(w, key, func() (any, error) {
+		strategy, _ := parseStrategy(req.Strategy)
+		res, err := alloc.Compute(alloc.Inputs{
+			Charging:      req.Scenario.Charging,
+			EventRate:     req.Scenario.Usage,
+			Weight:        req.Scenario.Weight,
+			CapacityMax:   req.Scenario.CapacityMax,
+			CapacityMin:   req.Scenario.CapacityMin,
+			InitialCharge: req.Scenario.InitialCharge,
+			MaxIterations: req.MaxIterations,
+			Margin:        req.Margin,
+			Strategy:      strategy,
+		})
+		if err != nil {
+			return nil, badRequest{err}
+		}
+		return &PlanResponse{
+			Scenario:   req.Scenario.Name,
+			Tau:        res.Allocation.Step,
+			Allocation: res.Allocation.Values,
+			Trajectory: res.Trajectory,
+			Iterations: len(res.Iterations),
+			Feasible:   res.Feasible,
+		}, nil
+	})
+}
+
+// handleParams runs Algorithm 2 (§4.2): enumerate and Pareto-prune
+// the (n, f) table, then walk the allocation with the
+// overhead-aware switching rule.
+func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
+	var req ParamsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	if err := validateGrid("allocation", req.Allocation, true); err != nil {
+		fail(w, err)
+		return
+	}
+	hw := req.Hardware.withDefaults()
+	req.Hardware = &hw // canonicalize for the cache key
+	pcfg, err := hw.paramsConfig()
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	key, err := plancache.Key("params", req)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	s.respondCached(w, key, func() (any, error) {
+		table, err := params.BuildTable(pcfg)
+		if err != nil {
+			return nil, badRequest{err}
+		}
+		steps := table.Plan(req.Allocation.Values, req.Allocation.Step)
+		resp := &ParamsResponse{
+			Steps: make([]ParamsStep, len(steps)),
+			Table: table.Points(),
+		}
+		for i, st := range steps {
+			resp.Steps[i] = ParamsStep{
+				Slot:        st.Slot,
+				AllocatedW:  st.Allocated,
+				N:           st.Point.N,
+				FrequencyHz: st.Point.F,
+				VoltageV:    st.Point.V,
+				PowerW:      st.Point.Power,
+				Perf:        st.Point.Perf,
+				Switched:    st.Switched,
+				OverheadJ:   st.OverheadEnergy,
+			}
+		}
+		return resp, nil
+	})
+}
+
+// handleReplan runs the Algorithm 3 runtime update (§4.3): restore
+// the manager's state, apply the reported planned-vs-actual slot
+// energies, and return the redistributed plan plus the next
+// checkpoint.
+func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
+	var req ReplanRequest
+	if err := decodeJSON(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	cfg, err := managerConfig(req.Scenario, req.Hardware, req.Policy)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if len(req.Slots) == 0 {
+		fail(w, badRequestf("at least one slot report is required"))
+		return
+	}
+	if len(req.Slots) > maxSlots {
+		fail(w, badRequestf("%d slot reports exceed the limit of %d", len(req.Slots), maxSlots))
+		return
+	}
+	for i, rep := range req.Slots {
+		if !isFinite(rep.UsedJ) || rep.UsedJ < 0 || rep.UsedJ > maxEnergyJ ||
+			!isFinite(rep.SuppliedJ) || rep.SuppliedJ < 0 || rep.SuppliedJ > maxEnergyJ {
+			fail(w, badRequestf("slots[%d] energies (%g, %g) outside [0, %g] joules",
+				i, rep.UsedJ, rep.SuppliedJ, float64(maxEnergyJ)))
+			return
+		}
+	}
+	mgr, err := dpm.New(cfg)
+	if err != nil {
+		fail(w, badRequest{err})
+		return
+	}
+	if req.State != nil {
+		if err := mgr.Restore(*req.State); err != nil {
+			fail(w, badRequest{err})
+			return
+		}
+	}
+	for _, rep := range req.Slots {
+		mgr.EndSlot(rep.UsedJ, rep.SuppliedJ)
+	}
+	body, err := marshalBody(&ReplanResponse{
+		Plan:    mgr.PlanSnapshot(),
+		ChargeJ: mgr.Charge(),
+		Slot:    mgr.Slot(),
+		State:   mgr.Checkpoint(),
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSONBytes(w, body)
+}
+
+// handleSimulate runs a bounded closed-loop simulation: the analytic
+// manager/battery model by default, or the discrete-event PAMA board
+// when machine is set.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	cfg, err := managerConfig(req.Scenario, req.Hardware, req.Policy)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	limit := maxPeriods
+	if req.Machine {
+		limit = maxMachinePeriods
+	}
+	if req.Periods < 1 || req.Periods > limit {
+		fail(w, badRequestf("periods %d outside [1, %d]", req.Periods, limit))
+		return
+	}
+	if req.ActualCharging != nil {
+		if err := validateGrid("actualCharging", req.ActualCharging, true); err != nil {
+			fail(w, err)
+			return
+		}
+	}
+	var resp *SimulateResponse
+	if req.Machine {
+		resp, err = s.simulateMachine(req, cfg)
+	} else {
+		resp, err = simulateAnalytic(req, cfg)
+	}
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	body, err := marshalBody(resp)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSONBytes(w, body)
+}
+
+func simulateAnalytic(req SimulateRequest, cfg dpm.Config) (*SimulateResponse, error) {
+	bm, err := parseBattery(req.Battery)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dpm.Simulate(dpm.SimConfig{
+		Battery:        bm,
+		Manager:        cfg,
+		ActualCharging: req.ActualCharging,
+		Periods:        req.Periods,
+		SyncCharge:     true,
+	})
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	e := metrics.FromSnapshot(res.Battery)
+	resp := &SimulateResponse{
+		Mode:           "analytic",
+		WastedJ:        e.Wasted,
+		UndersuppliedJ: e.Undersupplied,
+		SuppliedJ:      e.Supplied,
+		DeliveredJ:     e.Delivered,
+		Utilization:    e.Utilization,
+		Switches:       res.Switches,
+		PerfSeconds:    res.PerfSeconds,
+	}
+	if req.IncludeRecords && len(res.Records) <= maxRecords {
+		resp.Records = make([]SimulateRecord, len(res.Records))
+		for i, rec := range res.Records {
+			resp.Records[i] = SimulateRecord{
+				TimeS:       rec.Time,
+				PlannedW:    rec.Planned,
+				UsedW:       rec.UsedPower,
+				N:           rec.Point.N,
+				FrequencyHz: rec.Point.F,
+				ChargeJ:     rec.Charge,
+			}
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) simulateMachine(req SimulateRequest, cfg dpm.Config) (*SimulateResponse, error) {
+	if req.Battery != "" && req.Battery != "net-flow" {
+		return nil, badRequestf("machine mode models the battery itself; battery %q is not selectable", req.Battery)
+	}
+	scale := req.EventScale
+	if scale == 0 {
+		scale = 0.1
+	}
+	if !isFinite(scale) || scale < 0 || scale > 10 {
+		return nil, badRequestf("eventScale %g outside [0, 10]", scale)
+	}
+	horizon := float64(req.Periods) * req.Scenario.Charging.Period()
+	events, err := trace.PoissonEvents(req.Scenario.Usage, scale, horizon, req.Seed)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	board, err := machine.New(machine.Config{
+		Manager:        cfg,
+		ActualCharging: req.ActualCharging,
+		Events:         events,
+		Periods:        req.Periods,
+		ExecuteDSP:     false,
+	})
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	res, err := board.Run()
+	if err != nil {
+		return nil, fmt.Errorf("machine run: %w", err)
+	}
+	e := metrics.FromSnapshot(res.Battery)
+	resp := &SimulateResponse{
+		Mode:           "machine",
+		WastedJ:        e.Wasted,
+		UndersuppliedJ: e.Undersupplied,
+		SuppliedJ:      e.Supplied,
+		DeliveredJ:     e.Delivered,
+		Utilization:    e.Utilization,
+		EventsArrived:  res.EventsArrived,
+		TasksCompleted: res.TasksCompleted,
+		MeanLatencyS:   res.MeanLatencySeconds,
+		EnergyUsedJ:    res.EnergyUsed,
+	}
+	if req.IncludeRecords && len(res.Records) <= maxRecords {
+		resp.Records = make([]SimulateRecord, len(res.Records))
+		for i, rec := range res.Records {
+			resp.Records[i] = SimulateRecord{
+				TimeS:       rec.Time,
+				PlannedW:    rec.Planned,
+				UsedW:       rec.UsedPower,
+				N:           rec.TargetN,
+				FrequencyHz: rec.TargetF,
+				ChargeJ:     rec.Charge,
+			}
+		}
+	}
+	return resp, nil
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleMetrics renders the cache and per-endpoint counters as plain
+// text via internal/metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	cs := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	metrics.WriteServiceText(w, metrics.CacheStats{ //nolint:errcheck
+		Hits:      cs.Hits,
+		Misses:    cs.Misses,
+		Evictions: cs.Evictions,
+		Puts:      cs.Puts,
+		Len:       cs.Len,
+		Capacity:  cs.Capacity,
+	}, s.stats.Snapshot())
+}
+
+// Start binds the configured address and serves in the background.
+// Use Addr to learn the bound address (":0" picks a free port) and
+// Shutdown to stop.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener != nil {
+		return fmt.Errorf("server: already started")
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.listener = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	s.serveErr = make(chan error, 1)
+	go func() {
+		err := s.httpSrv.Serve(ln)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr <- err
+		}
+		close(s.serveErr)
+	}()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("listening addr=%s pool=%d cache=%d timeout=%s",
+			ln.Addr(), s.cfg.PoolSize, s.cfg.CacheEntries, s.cfg.RequestTimeout)
+	}
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Shutdown stops accepting connections and drains in-flight requests
+// until they complete or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	errCh := s.serveErr
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	if errCh != nil {
+		if err, ok := <-errCh; ok && err != nil {
+			return err
+		}
+	}
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("shutdown complete")
+	}
+	return nil
+}
+
+// Run starts the server and blocks until ctx is cancelled, then
+// shuts down gracefully within shutdownTimeout.
+func (s *Server) Run(ctx context.Context, shutdownTimeout time.Duration) error {
+	if err := s.Start(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	errCh := s.serveErr
+	s.mu.Unlock()
+	select {
+	case <-ctx.Done():
+	case err, ok := <-errCh:
+		if ok && err != nil {
+			return err
+		}
+		return nil
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	return s.Shutdown(sctx)
+}
