@@ -12,6 +12,7 @@
 package alloc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -362,6 +363,14 @@ func feasible(traj []float64, cmin, cmax, tol float64) bool {
 // Algorithm 1 until the trajectory is feasible or MaxIterations is
 // reached. The returned history reproduces the paper's Tables 2/4.
 func Compute(in Inputs) (*Result, error) {
+	return ComputeContext(context.Background(), in)
+}
+
+// ComputeContext is Compute with cooperative cancellation: ctx is
+// polled once per Algorithm 1 iteration and the computation aborts
+// with ctx.Err() when it is cancelled, so a server can bound a
+// planning request by deadline.
+func ComputeContext(ctx context.Context, in Inputs) (*Result, error) {
 	if in.Charging == nil || in.EventRate == nil {
 		return nil, fmt.Errorf("alloc: charging and event-rate grids are required")
 	}
@@ -394,6 +403,9 @@ func Compute(in Inputs) (*Result, error) {
 
 	res := &Result{}
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		traj := Trajectory(in.Charging, current, initial)
 		adjusted, nViol := AdjustOnceStrategy(in.Charging, current, initial,
 			in.CapacityMin, in.CapacityMax, tol, in.Strategy)

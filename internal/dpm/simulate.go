@@ -1,6 +1,7 @@
 package dpm
 
 import (
+	"context"
 	"fmt"
 
 	"dpm/internal/battery"
@@ -106,6 +107,16 @@ type SimResult struct {
 // Simulate runs the manager closed-loop for the configured number of
 // periods and returns the per-slot trace plus final accounting.
 func Simulate(cfg SimConfig) (*SimResult, error) {
+	return SimulateContext(context.Background(), cfg)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: ctx is
+// polled once per simulated slot and the run aborts with ctx.Err()
+// when it is cancelled. Each slot's Algorithm 3 update and plan
+// snapshot are O(slots), so a long horizon over a fine grid is
+// quadratic work — a server bounding requests by deadline needs this
+// variant.
+func SimulateContext(ctx context.Context, cfg SimConfig) (*SimResult, error) {
 	if cfg.Periods <= 0 {
 		return nil, fmt.Errorf("dpm: non-positive period count %d", cfg.Periods)
 	}
@@ -134,6 +145,9 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	totalSlots := cfg.Periods * mgr.Slots()
 	var prev params.OperatingPoint
 	for s := 0; s < totalSlots; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		idx := s % mgr.Slots()
 		planned := mgr.PlannedPower()
 		point, overhead := mgr.BeginSlot()

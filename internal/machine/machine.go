@@ -15,6 +15,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -443,6 +444,15 @@ func (b *Board) updateMeter() {
 
 // Run executes the configured simulation and returns its results.
 func (b *Board) Run() (*Result, error) {
+	return b.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the event loop
+// polls ctx between batches of fired events and aborts with ctx.Err()
+// when it is cancelled, so a caller serving untrusted workloads (the
+// dpmd /v1/simulate endpoint) can bound a run by deadline. The board
+// is not reusable after an aborted run.
+func (b *Board) RunContext(ctx context.Context) (*Result, error) {
 	tau := b.mgr.Tau()
 	slots := b.cfg.Periods * b.mgr.Slots()
 	horizon := float64(slots) * tau
@@ -472,7 +482,9 @@ func (b *Board) Run() (*Result, error) {
 		}
 		b.engine.Schedule(b.cfg.HeartbeatSeconds, b.heartbeat)
 	}
-	b.engine.Run(horizon)
+	if _, err := b.engine.RunContext(ctx, horizon, 0); err != nil {
+		return nil, fmt.Errorf("machine: run aborted: %w", err)
+	}
 
 	// Final bookkeeping.
 	b.result.Battery = b.bat.Snapshot()

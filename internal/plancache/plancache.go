@@ -15,6 +15,7 @@ package plancache
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -24,7 +25,9 @@ import (
 
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
-	// Hits and Misses count Get outcomes.
+	// Hits and Misses count lookup outcomes (Get and GetOrCompute).
+	// A GetOrCompute call coalesced onto another caller's in-flight
+	// computation counts as a hit: it was served without computing.
 	Hits, Misses uint64
 	// Evictions counts entries displaced by capacity pressure.
 	Evictions uint64
@@ -51,6 +54,7 @@ type Cache[V any] struct {
 	clone    func(V) V
 	order    *list.List // front = most recently used
 	items    map[string]*list.Element
+	flights  map[string]*flight[V]
 
 	hits, misses, evictions, puts uint64
 }
@@ -58,6 +62,14 @@ type Cache[V any] struct {
 type entry[V any] struct {
 	key   string
 	value V
+}
+
+// flight is one in-progress GetOrCompute computation; concurrent
+// callers for the same key wait on done instead of recomputing.
+type flight[V any] struct {
+	done  chan struct{}
+	value V
+	err   error
 }
 
 // New returns a cache holding at most capacity entries. clone is
@@ -72,6 +84,7 @@ func New[V any](capacity int, clone func(V) V) (*Cache[V], error) {
 		clone:    clone,
 		order:    list.New(),
 		items:    make(map[string]*list.Element, capacity),
+		flights:  make(map[string]*flight[V]),
 	}, nil
 }
 
@@ -104,6 +117,11 @@ func (c *Cache[V]) Put(key string, value V) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(key, value)
+}
+
+// putLocked inserts an already-cloned value; c.mu must be held.
+func (c *Cache[V]) putLocked(key string, value V) {
 	c.puts++
 	if el, ok := c.items[key]; ok {
 		el.Value.(*entry[V]).value = value
@@ -117,6 +135,70 @@ func (c *Cache[V]) Put(key string, value V) {
 		delete(c.items, oldest.Value.(*entry[V]).key)
 		c.evictions++
 	}
+}
+
+// GetOrCompute returns the value under key, computing and caching it
+// on a miss. Concurrent callers for the same key are coalesced: one
+// runs compute, the rest wait for its result (or until their ctx is
+// cancelled, in which case they return ctx.Err() without a value).
+// The returned bool reports whether the caller was served without
+// computing — from the cache or from another caller's in-flight
+// computation. A failed compute is not cached; its error propagates
+// to every coalesced waiter.
+func (c *Cache[V]) GetOrCompute(ctx context.Context, key string, compute func() (V, error)) (V, bool, error) {
+	var zero V
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		v := el.Value.(*entry[V]).value
+		if c.clone != nil {
+			v = c.clone(v)
+		}
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return zero, false, ctx.Err()
+		}
+		if f.err != nil {
+			return zero, true, f.err
+		}
+		v := f.value
+		if c.clone != nil {
+			v = c.clone(v)
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	c.misses++
+	f := &flight[V]{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	v, err := compute()
+	stored := v
+	if err == nil && c.clone != nil {
+		stored = c.clone(v)
+	}
+	c.mu.Lock()
+	delete(c.flights, key)
+	if err == nil {
+		c.putLocked(key, stored)
+	}
+	c.mu.Unlock()
+	f.value, f.err = stored, err
+	close(f.done)
+	if err != nil {
+		return zero, false, err
+	}
+	return v, false, nil
 }
 
 // Len returns the current entry count.

@@ -1,11 +1,14 @@
 package plancache
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func clonePlan(p []float64) []float64 { return append([]float64(nil), p...) }
@@ -197,5 +200,129 @@ func TestKeyCanonical(t *testing.T) {
 	}
 	if _, err := Key(func() {}); err == nil {
 		t.Fatal("unencodable key part accepted")
+	}
+}
+
+// TestGetOrComputeSingleflight hammers one key from many goroutines
+// and checks the value is computed exactly once, everyone gets the
+// right answer, and only the computing caller reports a miss.
+func TestGetOrComputeSingleflight(t *testing.T) {
+	c, err := New[[]float64](4, clonePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const callers = 16
+	var mu sync.Mutex
+	misses := 0
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, served, err := c.GetOrCompute(context.Background(), "k", func() ([]float64, error) {
+				close(started)
+				<-release
+				atomic.AddInt32(&computes, 1)
+				return []float64{1, 2, 3}, nil
+			})
+			if err != nil {
+				t.Errorf("GetOrCompute: %v", err)
+				return
+			}
+			if !reflect.DeepEqual(v, []float64{1, 2, 3}) {
+				t.Errorf("got %v", v)
+			}
+			// Mutating the returned value must not poison the cache.
+			v[0] = -99
+			if !served {
+				mu.Lock()
+				misses++
+				mu.Unlock()
+			}
+		}()
+	}
+	// Let one caller enter compute, give the rest a moment to pile
+	// up as coalesced waiters, then release.
+	<-started
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := atomic.LoadInt32(&computes); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	if misses != 1 {
+		t.Fatalf("%d callers computed, want exactly 1", misses)
+	}
+	if v, ok := c.Get("k"); !ok || !reflect.DeepEqual(v, []float64{1, 2, 3}) {
+		t.Fatalf("cache holds %v after caller mutation", v)
+	}
+}
+
+// TestGetOrComputeErrorNotCached propagates a compute failure to all
+// coalesced waiters without inserting anything.
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	c, err := New[[]float64](4, clonePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("boom")
+	if _, _, err := c.GetOrCompute(context.Background(), "k", func() ([]float64, error) {
+		return nil, boom
+	}); err != boom {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("failed compute was cached")
+	}
+	// A later call retries the computation.
+	v, served, err := c.GetOrCompute(context.Background(), "k", func() ([]float64, error) {
+		return []float64{7}, nil
+	})
+	if err != nil || served || !reflect.DeepEqual(v, []float64{7}) {
+		t.Fatalf("retry got (%v, served=%v, %v)", v, served, err)
+	}
+}
+
+// TestGetOrComputeWaiterCancellation releases a coalesced waiter when
+// its context is cancelled while the computing caller is stuck.
+func TestGetOrComputeWaiterCancellation(t *testing.T) {
+	c, err := New[[]float64](4, clonePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		c.GetOrCompute(context.Background(), "k", func() ([]float64, error) { //nolint:errcheck
+			close(started)
+			<-release
+			return []float64{1}, nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute(ctx, "k", func() ([]float64, error) {
+			t.Error("waiter must not compute")
+			return nil, nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != context.DeadlineExceeded {
+			t.Fatalf("waiter returned %v, want deadline exceeded", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter never returned")
 	}
 }

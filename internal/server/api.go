@@ -44,6 +44,12 @@ const (
 	maxPowerW  = 1e9
 	maxTauS    = 1e6
 	maxEnergyJ = 1e15
+	// maxMachineEvents caps the event trace one machine-mode simulate
+	// request may generate. The per-magnitude bounds above still
+	// admit a huge *product* (rate × horizon), so the expected event
+	// count is checked against this cap before any trace is drawn,
+	// and the trace generator enforces it again as a hard backstop.
+	maxMachineEvents = 1 << 18
 )
 
 // apiError is the structured error body every non-2xx response
@@ -67,6 +73,16 @@ func (b badRequest) Unwrap() error { return b.err }
 func badRequestf(format string, args ...any) error {
 	return badRequest{fmt.Errorf(format, args...)}
 }
+
+// httpError pins an explicit status code onto an error, for the
+// non-400/500 cases (oversized body → 413, expired deadline → 503).
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e httpError) Error() string { return e.err.Error() }
+func (e httpError) Unwrap() error { return e.err }
 
 // Hardware describes the board Algorithm 2 optimizes for. The zero
 // value (or a nil pointer) means the paper's PAMA configuration:
@@ -347,13 +363,18 @@ type SimulateResponse struct {
 
 // decodeJSON reads one JSON value from the (already size-limited)
 // body into dst, rejecting trailing garbage. Decode errors are
-// client errors.
+// client errors; an oversized body gets the conventional 413 so
+// clients and proxies can tell "shrink the payload" from "malformed
+// JSON".
 func decodeJSON(r *http.Request, dst any) error {
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(dst); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			return badRequestf("request body exceeds %d bytes", maxErr.Limit)
+			return httpError{
+				status: http.StatusRequestEntityTooLarge,
+				err:    fmt.Errorf("request body exceeds %d bytes", maxErr.Limit),
+			}
 		}
 		return badRequestf("decoding request: %v", err)
 	}
@@ -474,8 +495,9 @@ func parseBattery(s string) (dpm.BatteryModel, error) {
 }
 
 // validatePlanRequest normalizes and bounds a plan request; the
-// returned request has defaults applied so it canonicalizes for the
-// cache key.
+// returned request has every default spelled out (strategy,
+// maxIterations) so semantically identical requests canonicalize to
+// one cache key.
 func validatePlanRequest(req *PlanRequest) error {
 	if err := validateScenario(req.Scenario); err != nil {
 		return err
@@ -488,6 +510,9 @@ func validatePlanRequest(req *PlanRequest) error {
 	}
 	if req.MaxIterations < 0 || req.MaxIterations > 1024 {
 		return badRequestf("maxIterations %d outside [0, 1024]", req.MaxIterations)
+	}
+	if req.MaxIterations == 0 {
+		req.MaxIterations = 16 // alloc.Compute's documented default
 	}
 	if !isFinite(req.Margin) || req.Margin < 0 || req.Margin >= 0.5 {
 		return badRequestf("margin %g outside [0, 0.5)", req.Margin)

@@ -18,9 +18,11 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"sync"
@@ -48,8 +50,13 @@ type Config struct {
 	PoolSize int
 	// CacheEntries is the plan-cache capacity. Default 256.
 	CacheEntries int
-	// RequestTimeout bounds one request end to end, including any
-	// wait for a pool slot. Default 10 s.
+	// RequestTimeout bounds one request end to end: the wait for a
+	// pool slot plus the planning or simulation work itself. The
+	// work is cancelled cooperatively — the deadline is checked
+	// between Algorithm 1 iterations, simulated slots, machine-sim
+	// events and trace draws — and a request whose deadline has
+	// expired is answered 503 rather than having its response
+	// written after the SLO. Default 10 s.
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps request bodies. Default 1 MiB.
 	MaxBodyBytes int64
@@ -218,8 +225,21 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	fmt.Fprintf(w, "{\"error\":%q,\"status\":%d}\n", msg, status)
 }
 
-// fail maps an error onto 400 (client input) or 500 (internal).
+// fail maps an error onto its HTTP status: an explicit httpError
+// keeps its code, a context cancellation (the request deadline
+// expired or the client went away mid-computation) becomes 503, a
+// badRequest becomes 400, anything else is a 500.
 func fail(w http.ResponseWriter, err error) {
+	var he httpError
+	if errors.As(err, &he) {
+		writeError(w, he.status, he.Error())
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusServiceUnavailable,
+			"request deadline exceeded; computation aborted")
+		return
+	}
 	var br badRequest
 	if errors.As(err, &br) {
 		writeError(w, http.StatusBadRequest, br.Error())
@@ -227,6 +247,7 @@ func fail(w http.ResponseWriter, err error) {
 	}
 	writeError(w, http.StatusInternalServerError, err.Error())
 }
+
 
 // writeJSONBytes writes a pre-marshaled JSON body.
 func writeJSONBytes(w http.ResponseWriter, body []byte) {
@@ -247,31 +268,49 @@ func marshalBody(v any) ([]byte, error) {
 
 // respondCached serves the computed-or-cached flow shared by the
 // plan and params endpoints: look the canonical key up, compute and
-// insert on a miss, and tag the response with the X-Dpmd-Cache
-// header either way.
-func (s *Server) respondCached(w http.ResponseWriter, key string, compute func() (any, error)) {
-	if body, ok := s.cache.Get(key); ok {
-		w.Header().Set(cacheHeader, "hit")
-		writeJSONBytes(w, body)
-		return
-	}
-	resp, err := compute()
+// insert on a miss — coalescing concurrent identical misses onto one
+// computation — and tag the response with the X-Dpmd-Cache header
+// either way. decorate, when non-nil, rewrites the cached body into
+// the final wire form (e.g. splicing the request's scenario name
+// back in); it must be deterministic so hits stay byte-identical to
+// the miss that populated them. The response is never written after
+// the request's deadline has expired.
+func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, key string, decorate func([]byte) []byte, compute func(ctx context.Context) (any, error)) {
+	ctx := r.Context()
+	body, served, err := s.cache.GetOrCompute(ctx, key, func() ([]byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(resp)
+	})
 	if err != nil {
 		fail(w, err)
 		return
 	}
-	body, err := marshalBody(resp)
-	if err != nil {
+	if err := ctx.Err(); err != nil {
 		fail(w, err)
 		return
 	}
-	s.cache.Put(key, body)
-	w.Header().Set(cacheHeader, "miss")
+	state := "miss"
+	if served {
+		state = "hit"
+	}
+	if decorate != nil {
+		body = decorate(body)
+	}
+	w.Header().Set(cacheHeader, state)
 	writeJSONBytes(w, body)
 }
 
 // handlePlan runs Algorithm 1 (§4.1): WPUF → balancing → feasible
-// per-slot power allocation.
+// per-slot power allocation. The scenario name is presentation, not
+// a planning input: the cache key and the cached body both exclude
+// it, so every node naming the same scenario differently shares one
+// LRU entry, and the name is spliced back in per response.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req PlanRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -282,14 +321,17 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	key, err := plancache.Key("plan", req)
+	keyReq := req
+	keyReq.Scenario.Name = ""
+	key, err := plancache.Key("plan", keyReq)
 	if err != nil {
 		fail(w, err)
 		return
 	}
-	s.respondCached(w, key, func() (any, error) {
+	decorate := func(body []byte) []byte { return withScenarioName(req.Scenario.Name, body) }
+	s.respondCached(w, r, key, decorate, func(ctx context.Context) (any, error) {
 		strategy, _ := parseStrategy(req.Strategy)
-		res, err := alloc.Compute(alloc.Inputs{
+		res, err := alloc.ComputeContext(ctx, alloc.Inputs{
 			Charging:      req.Scenario.Charging,
 			EventRate:     req.Scenario.Usage,
 			Weight:        req.Scenario.Weight,
@@ -301,10 +343,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			Strategy:      strategy,
 		})
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
 			return nil, badRequest{err}
 		}
 		return &PlanResponse{
-			Scenario:   req.Scenario.Name,
 			Tau:        res.Allocation.Step,
 			Allocation: res.Allocation.Values,
 			Trajectory: res.Trajectory,
@@ -312,6 +356,27 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			Feasible:   res.Feasible,
 		}, nil
 	})
+}
+
+// withScenarioName splices a scenario name into a cached, name-free
+// plan body. PlanResponse declares "scenario" as its first field
+// with omitempty, so the cached bytes open with {"tau":...; re-adding
+// the field in declaration position yields exactly the bytes
+// json.Marshal would produce for the named response, keeping hits
+// byte-identical to a cold, named computation.
+func withScenarioName(name string, body []byte) []byte {
+	if name == "" || len(body) < 2 || body[0] != '{' || body[1] == '}' {
+		return body
+	}
+	quoted, err := json.Marshal(name)
+	if err != nil {
+		return body
+	}
+	out := make([]byte, 0, len(body)+len(quoted)+13)
+	out = append(out, `{"scenario":`...)
+	out = append(out, quoted...)
+	out = append(out, ',')
+	return append(out, body[1:]...)
 }
 
 // handleParams runs Algorithm 2 (§4.2): enumerate and Pareto-prune
@@ -339,7 +404,7 @@ func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	s.respondCached(w, key, func() (any, error) {
+	s.respondCached(w, r, key, nil, func(_ context.Context) (any, error) {
 		table, err := params.BuildTable(pcfg)
 		if err != nil {
 			return nil, badRequest{err}
@@ -421,6 +486,10 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
+	if err := r.Context().Err(); err != nil {
+		fail(w, err)
+		return
+	}
 	writeJSONBytes(w, body)
 }
 
@@ -454,9 +523,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	var resp *SimulateResponse
 	if req.Machine {
-		resp, err = s.simulateMachine(req, cfg)
+		resp, err = s.simulateMachine(r.Context(), req, cfg)
 	} else {
-		resp, err = simulateAnalytic(req, cfg)
+		resp, err = simulateAnalytic(r.Context(), req, cfg)
 	}
 	if err != nil {
 		fail(w, err)
@@ -467,15 +536,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
+	if err := r.Context().Err(); err != nil {
+		fail(w, err)
+		return
+	}
 	writeJSONBytes(w, body)
 }
 
-func simulateAnalytic(req SimulateRequest, cfg dpm.Config) (*SimulateResponse, error) {
+func simulateAnalytic(ctx context.Context, req SimulateRequest, cfg dpm.Config) (*SimulateResponse, error) {
 	bm, err := parseBattery(req.Battery)
 	if err != nil {
 		return nil, err
 	}
-	res, err := dpm.Simulate(dpm.SimConfig{
+	res, err := dpm.SimulateContext(ctx, dpm.SimConfig{
 		Battery:        bm,
 		Manager:        cfg,
 		ActualCharging: req.ActualCharging,
@@ -483,6 +556,9 @@ func simulateAnalytic(req SimulateRequest, cfg dpm.Config) (*SimulateResponse, e
 		SyncCharge:     true,
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, badRequest{err}
 	}
 	e := metrics.FromSnapshot(res.Battery)
@@ -512,7 +588,7 @@ func simulateAnalytic(req SimulateRequest, cfg dpm.Config) (*SimulateResponse, e
 	return resp, nil
 }
 
-func (s *Server) simulateMachine(req SimulateRequest, cfg dpm.Config) (*SimulateResponse, error) {
+func (s *Server) simulateMachine(ctx context.Context, req SimulateRequest, cfg dpm.Config) (*SimulateResponse, error) {
 	if req.Battery != "" && req.Battery != "net-flow" {
 		return nil, badRequestf("machine mode models the battery itself; battery %q is not selectable", req.Battery)
 	}
@@ -524,8 +600,27 @@ func (s *Server) simulateMachine(req SimulateRequest, cfg dpm.Config) (*Simulate
 		return nil, badRequestf("eventScale %g outside [0, 10]", scale)
 	}
 	horizon := float64(req.Periods) * req.Scenario.Charging.Period()
-	events, err := trace.PoissonEvents(req.Scenario.Usage, scale, horizon, req.Seed)
+	// The per-magnitude input bounds still admit an enormous
+	// rate × horizon product, and the Poisson thinning loop iterates
+	// ~maxRate·scale·horizon times while materializing every accepted
+	// arrival. Bound the expected event count before drawing anything
+	// so a hostile scenario is a cheap 400, not a wedged pool slot.
+	maxRate := 0.0
+	for _, v := range req.Scenario.Usage.Values {
+		maxRate = math.Max(maxRate, v)
+	}
+	if expected := maxRate * scale * horizon; expected > maxMachineEvents {
+		return nil, badRequestf("scenario implies ~%.3g events over the %g s horizon; the limit is %d — lower the usage rates, eventScale or periods",
+			expected, horizon, maxMachineEvents)
+	}
+	// The generator re-enforces the cap (with slack for Poisson
+	// fluctuation around the expectation) and honors the request
+	// deadline while drawing.
+	events, err := trace.PoissonEventsBounded(ctx, req.Scenario.Usage, scale, horizon, req.Seed, 2*maxMachineEvents)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, badRequest{err}
 	}
 	board, err := machine.New(machine.Config{
@@ -538,8 +633,11 @@ func (s *Server) simulateMachine(req SimulateRequest, cfg dpm.Config) (*Simulate
 	if err != nil {
 		return nil, badRequest{err}
 	}
-	res, err := board.Run()
+	res, err := board.RunContext(ctx)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("machine run: %w", err)
 	}
 	e := metrics.FromSnapshot(res.Battery)

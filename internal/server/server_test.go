@@ -483,8 +483,34 @@ func TestErrorPaths(t *testing.T) {
 		huge := []byte(`{"scenario":{"charging":{"step":4.8,"values":[` +
 			strings.Repeat("1,", 4000) + `1]}}}`)
 		status, _, body := postJSON(t, base, "/v1/plan", huge)
+		if status != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status %d, want 413: %s", status, body)
+		}
+		assertStructuredError(t, body, http.StatusRequestEntityTooLarge)
+	})
+	t.Run("machine work bound", func(t *testing.T) {
+		// Every magnitude is individually in range, but the
+		// rate × horizon product implies ~4e11 Poisson events.
+		req, _ := canonicalJSON(SimulateRequest{
+			Scenario: trace.Scenario{
+				Charging:    schedule.NewGrid(1e5, []float64{1, 1, 1, 1}),
+				Usage:       schedule.NewGrid(1e5, []float64{1e6, 1e6, 1e6, 1e6}),
+				CapacityMax: 1e9,
+			},
+			Periods:    1,
+			Machine:    true,
+			EventScale: 1,
+		})
+		start := time.Now()
+		status, _, body := postJSON(t, base, "/v1/simulate", req)
 		if status != http.StatusBadRequest {
-			t.Fatalf("status %d: %s", status, body)
+			t.Fatalf("status %d, want 400: %s", status, body)
+		}
+		if !strings.Contains(string(body), "events over") {
+			t.Fatalf("unexpected error body: %s", body)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("rejection took %s; the bound must fire before any simulation work", elapsed)
 		}
 	})
 	t.Run("bad policy", func(t *testing.T) {
@@ -517,6 +543,103 @@ func TestErrorPaths(t *testing.T) {
 			t.Fatalf("status %d", status)
 		}
 	})
+}
+
+// TestPlanCacheKeyCanonical checks that semantically identical plan
+// requests share one cache entry: an omitted maxIterations vs the
+// explicit default, and scenario names, must not fragment the LRU —
+// while each response still echoes its own request's name.
+func TestPlanCacheKeyCanonical(t *testing.T) {
+	srv, base := startServer(t, Config{})
+	s := trace.ScenarioI()
+
+	prime, err := canonicalJSON(PlanRequest{Scenario: s}) // maxIterations omitted
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, hdr, primeBody := postJSON(t, base, "/v1/plan", prime)
+	if status != http.StatusOK || hdr.Get(cacheHeader) != "miss" {
+		t.Fatalf("prime: status %d cache %q", status, hdr.Get(cacheHeader))
+	}
+
+	// Explicit default maxIterations: same planning work, must hit.
+	explicit, err := canonicalJSON(PlanRequest{Scenario: s, MaxIterations: 16, Strategy: "proportional"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, hdr, body := postJSON(t, base, "/v1/plan", explicit)
+	if status != http.StatusOK || hdr.Get(cacheHeader) != "hit" {
+		t.Fatalf("explicit defaults: status %d cache %q, want hit", status, hdr.Get(cacheHeader))
+	}
+	if !bytes.Equal(body, primeBody) {
+		t.Fatalf("explicit-defaults body differs:\ngot  %s\nwant %s", body, primeBody)
+	}
+
+	// Same planning inputs under a different name: must hit, and the
+	// response must echo the new name, not the cached one.
+	renamed := s
+	renamed.Name = "node-7-forecast"
+	renamedReq, err := canonicalJSON(PlanRequest{Scenario: renamed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, hdr, body = postJSON(t, base, "/v1/plan", renamedReq)
+	if status != http.StatusOK || hdr.Get(cacheHeader) != "hit" {
+		t.Fatalf("renamed scenario: status %d cache %q, want hit", status, hdr.Get(cacheHeader))
+	}
+	var resp PlanResponse
+	if err := decodeInto(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Scenario != "node-7-forecast" {
+		t.Fatalf("renamed response echoes %q, want node-7-forecast", resp.Scenario)
+	}
+	var primeResp PlanResponse
+	if err := decodeInto(primeBody, &primeResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Allocation) != len(primeResp.Allocation) {
+		t.Fatalf("renamed allocation length %d, want %d", len(resp.Allocation), len(primeResp.Allocation))
+	}
+	for i := range resp.Allocation {
+		if resp.Allocation[i] != primeResp.Allocation[i] {
+			t.Fatalf("renamed allocation[%d] = %g, want %g", i, resp.Allocation[i], primeResp.Allocation[i])
+		}
+	}
+
+	if stats := srv.CacheStats(); stats.Len != 1 || stats.Misses != 1 {
+		t.Fatalf("cache has %d entries after %d misses, want 1 entry from 1 miss", stats.Len, stats.Misses)
+	}
+}
+
+// TestDeadlineExpiredNot200 holds the pool slot past the request
+// deadline and checks the response is a 503, not a late 200 written
+// after the SLO expired.
+func TestDeadlineExpiredNot200(t *testing.T) {
+	s, err := New(Config{
+		Addr:           "127.0.0.1:0",
+		PoolSize:       1,
+		RequestTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.testDelay = func() { time.Sleep(250 * time.Millisecond) }
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	}()
+	base := "http://" + s.Addr()
+
+	status, _, body := postJSON(t, base, "/v1/plan", planBody(t))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("expired request got status %d: %s", status, body)
+	}
+	assertStructuredError(t, body, http.StatusServiceUnavailable)
 }
 
 // TestPoolSaturation holds the single pool slot and checks that the

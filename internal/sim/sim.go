@@ -6,6 +6,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 )
@@ -135,8 +136,21 @@ func (e *Engine) Step() bool {
 // beyond until; the clock is then advanced to exactly until. It
 // returns the number of events fired.
 func (e *Engine) Run(until float64) int {
+	n, _ := e.RunContext(context.Background(), until, 0)
+	return n
+}
+
+// RunContext is Run with cooperative cancellation: ctx is polled
+// every checkEvery fired events (0 means a default of 1024) and the
+// run stops early with ctx.Err() when it is cancelled. On early stop
+// the clock stays at the last fired event instead of advancing to
+// until, so the simulation state is an honest prefix of the full run.
+func (e *Engine) RunContext(ctx context.Context, until float64, checkEvery int) (int, error) {
 	if until < e.now {
 		panic(fmt.Sprintf("sim: running until %g before now %g", until, e.now))
+	}
+	if checkEvery <= 0 {
+		checkEvery = 1024
 	}
 	fired := 0
 	for len(e.queue) > 0 {
@@ -149,11 +163,16 @@ func (e *Engine) Run(until float64) int {
 		if head.at > until {
 			break
 		}
+		if fired%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return fired, err
+			}
+		}
 		e.Step()
 		fired++
 	}
 	e.now = until
-	return fired
+	return fired, nil
 }
 
 // RunAll fires every queued event (including ones scheduled while

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 )
 
@@ -180,5 +181,37 @@ func TestStepEmptyQueue(t *testing.T) {
 	e := NewEngine()
 	if e.Step() {
 		t.Error("Step on empty queue must return false")
+	}
+}
+
+// TestRunContextCancellation stops the event loop early with the
+// context's error and leaves the clock at the last fired event.
+func TestRunContextCancellation(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		at := float64(i)
+		e.Schedule(at, func() {
+			fired++
+			if fired == 3 {
+				cancel()
+			}
+		})
+	}
+	n, err := e.RunContext(ctx, 100, 1)
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n != 3 || fired != 3 {
+		t.Fatalf("fired %d/%d events before stopping, want 3", n, fired)
+	}
+	if e.Now() == 100 {
+		t.Fatal("clock advanced to the horizon despite the abort")
+	}
+	// The remaining events are still runnable afterwards.
+	if n, err := e.RunContext(context.Background(), 100, 1); err != nil || n != 7 {
+		t.Fatalf("resume fired %d (%v), want 7", n, err)
 	}
 }

@@ -6,6 +6,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -144,6 +145,17 @@ type Event struct {
 // the trace is exact for any bounded rate schedule. The generator is
 // fully determined by seed.
 func PoissonEvents(rate schedule.Schedule, scale, duration float64, seed int64) ([]Event, error) {
+	return PoissonEventsBounded(context.Background(), rate, scale, duration, seed, 0)
+}
+
+// PoissonEventsBounded is PoissonEvents with two safety rails for
+// serving untrusted inputs: the generation aborts with ctx.Err() when
+// ctx is cancelled (polled every few thousand candidate arrivals),
+// and it fails once more than maxEvents arrivals are accepted instead
+// of growing the slice without bound (0 means unlimited). The
+// accepted trace for a given (rate, scale, duration, seed) is
+// identical to PoissonEvents's.
+func PoissonEventsBounded(ctx context.Context, rate schedule.Schedule, scale, duration float64, seed int64, maxEvents int) ([]Event, error) {
 	if scale < 0 {
 		return nil, fmt.Errorf("trace: negative rate scale %g", scale)
 	}
@@ -165,15 +177,24 @@ func PoissonEvents(rate schedule.Schedule, scale, duration float64, seed int64) 
 		return nil, nil
 	}
 
+	const ctxCheckEvery = 4096
 	rng := rand.New(rand.NewSource(seed))
 	var events []Event
 	t := 0.0
-	for {
+	for i := 0; ; i++ {
+		if i%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		t += rng.ExpFloat64() / maxRate
 		if t >= duration {
 			break
 		}
 		if rng.Float64()*maxRate <= rate.At(t)*scale {
+			if maxEvents > 0 && len(events) >= maxEvents {
+				return nil, fmt.Errorf("trace: event trace exceeds %d events over %g s (rate ceiling %g/s); shorten the horizon or lower the rate", maxEvents, duration, maxRate)
+			}
 			events = append(events, Event{Time: t, Seed: rng.Int63()})
 		}
 	}

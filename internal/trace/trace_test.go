@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"context"
 	"math"
+	"strings"
 	"testing"
 
 	"dpm/internal/schedule"
@@ -270,5 +272,51 @@ func TestSortEvents(t *testing.T) {
 	SortEvents(events)
 	if events[0].Time != 1 || events[2].Time != 3 {
 		t.Errorf("SortEvents = %v", events)
+	}
+}
+
+// TestPoissonEventsBoundedMatchesUnbounded: the safety rails must not
+// change the drawn trace.
+func TestPoissonEventsBoundedMatchesUnbounded(t *testing.T) {
+	s := ScenarioI()
+	want, err := PoissonEvents(s.Usage, 0.1, 2*Period, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PoissonEventsBounded(context.Background(), s.Usage, 0.1, 2*Period, 42, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("bounded drew %d events, unbounded %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPoissonEventsBoundedCap fails fast once the accepted trace
+// exceeds the cap instead of growing without bound.
+func TestPoissonEventsBoundedCap(t *testing.T) {
+	rate := schedule.NewGrid(1, []float64{1000})
+	_, err := PoissonEventsBounded(context.Background(), rate, 1, 100, 7, 10)
+	if err == nil {
+		t.Fatal("cap exceeded without error")
+	}
+	if !strings.Contains(err.Error(), "exceeds 10 events") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestPoissonEventsBoundedCancellation aborts generation when the
+// context is already cancelled.
+func TestPoissonEventsBoundedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rate := schedule.NewGrid(1, []float64{1000})
+	if _, err := PoissonEventsBounded(ctx, rate, 1, 1e6, 7, 0); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }
