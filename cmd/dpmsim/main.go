@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -19,9 +20,9 @@ import (
 
 	"dpm/internal/dpm"
 	"dpm/internal/experiments"
-	"dpm/internal/faults"
-	"dpm/internal/machine"
+	"dpm/internal/pipeline"
 	"dpm/internal/report"
+	scen "dpm/internal/scenario"
 	"dpm/internal/schedule"
 	"dpm/internal/trace"
 	"dpm/internal/units"
@@ -64,12 +65,15 @@ func run(w io.Writer, scenarioName, configPath string, periods int, useMachine b
 	if err != nil {
 		return err
 	}
-	cfg := experiments.ManagerConfig(s)
+	if err := scen.Validate(s); err != nil {
+		return err
+	}
+	var pol dpm.RedistributePolicy
 	switch policy {
 	case "proportional":
-		cfg.Policy = dpm.Proportional
+		pol = dpm.Proportional
 	case "even":
-		cfg.Policy = dpm.Even
+		pol = dpm.Even
 	default:
 		return fmt.Errorf("unknown policy %q", policy)
 	}
@@ -82,17 +86,19 @@ func run(w io.Writer, scenarioName, configPath string, periods int, useMachine b
 		return fmt.Errorf("fault injection requires -machine")
 	}
 	if useMachine {
-		return runMachine(w, s, cfg, actual, periods, seed, eventScale, gang, showTrace,
+		return runMachine(w, s, pol, actual, periods, seed, eventScale, gang, showTrace,
 			faultRate, faultSeed, noReplan)
 	}
-	return runAnalytic(w, s, cfg, actual, periods, showTrace, plot)
+	return runAnalytic(w, s, pol, actual, periods, showTrace, plot)
 }
 
-func runAnalytic(w io.Writer, s trace.Scenario, cfg dpm.Config,
+func runAnalytic(w io.Writer, s trace.Scenario, pol dpm.RedistributePolicy,
 	actual *schedule.Grid, periods int, showTrace, plot bool) error {
 
-	res, err := dpm.Simulate(dpm.SimConfig{
-		Manager:        cfg,
+	res, err := pipeline.Simulate(context.Background(), pipeline.SimSpec{
+		Scenario:       s,
+		Params:         experiments.PaperParams(),
+		Policy:         pol,
 		ActualCharging: actual,
 		Periods:        periods,
 		SyncCharge:     true,
@@ -135,35 +141,30 @@ func runAnalytic(w io.Writer, s trace.Scenario, cfg dpm.Config,
 	return t.Render(w)
 }
 
-func runMachine(w io.Writer, s trace.Scenario, cfg dpm.Config, actual *schedule.Grid,
+func runMachine(w io.Writer, s trace.Scenario, pol dpm.RedistributePolicy, actual *schedule.Grid,
 	periods int, seed int64, eventScale float64, gang, showTrace bool,
 	faultRate float64, faultSeed int64, noReplan bool) error {
 
-	events, err := trace.PoissonEvents(s.Usage, eventScale, float64(periods)*trace.Period, seed)
-	if err != nil {
-		return err
+	spec := pipeline.MachineSpec{
+		Scenario:              s,
+		Params:                experiments.PaperParams(),
+		Policy:                pol,
+		ActualCharging:        actual,
+		Periods:               periods,
+		EventScale:            eventScale,
+		Seed:                  seed,
+		ExecuteDSP:            true,
+		GangScheduled:         gang,
+		DisableDegradedReplan: noReplan,
 	}
-	var plan *faults.Plan
 	if faultRate > 0 {
-		plan, err = experiments.FaultPlanFor(s, faultRate, periods, faultSeed)
+		plan, err := experiments.FaultPlanFor(s, faultRate, periods, faultSeed)
 		if err != nil {
 			return err
 		}
+		spec.Faults = plan
 	}
-	board, err := machine.New(machine.Config{
-		Manager:               cfg,
-		ActualCharging:        actual,
-		Events:                events,
-		Periods:               periods,
-		ExecuteDSP:            true,
-		GangScheduled:         gang,
-		Faults:                plan,
-		DisableDegradedReplan: noReplan,
-	})
-	if err != nil {
-		return err
-	}
-	res, err := board.Run()
+	res, err := pipeline.SimulateMachine(context.Background(), spec)
 	if err != nil {
 		return err
 	}
@@ -180,8 +181,8 @@ func runMachine(w io.Writer, s trace.Scenario, cfg dpm.Config, actual *schedule.
 	fmt.Fprintf(w, "  wasted           %s\n", units.FormatEnergy(res.Battery.Wasted))
 	fmt.Fprintf(w, "  undersupplied    %s\n", units.FormatEnergy(res.Battery.Undersupplied))
 	fmt.Fprintf(w, "  utilization      %.1f%%\n", 100*res.Battery.Utilization)
-	if plan != nil {
-		fmt.Fprintf(w, "  faults injected  %d\n", plan.Len())
+	if spec.Faults != nil {
+		fmt.Fprintf(w, "  faults injected  %d\n", spec.Faults.Len())
 		fmt.Fprintf(w, "  %s\n", res.Faults)
 		if res.Faults.ControllerReboots > 0 {
 			fmt.Fprintf(w, "  checkpoints      %d restored, %d rejected\n",

@@ -6,6 +6,7 @@
 //	sweep -kind capacity -scenario I
 //	sweep -kind jitter   -scenario II -periods 4
 //	sweep -kind overhead -scenario I -csv
+//	sweep -kind capacity -config scenario.json   # same JSON file as dpmsim/dpmd
 package main
 
 import (
@@ -18,26 +19,37 @@ import (
 	"dpm/internal/experiments"
 	"dpm/internal/predict"
 	"dpm/internal/report"
+	scen "dpm/internal/scenario"
 	"dpm/internal/trace"
 )
 
 func main() {
 	kind := flag.String("kind", "capacity", "sweep kind: capacity|jitter|overhead|tau|endurance|montecarlo")
 	scenario := flag.String("scenario", "I", "scenario name (I or II)")
+	configPath := flag.String("config", "", "load a custom scenario from a JSON file (overrides -scenario)")
 	periods := flag.Int("periods", 2, "periods per point (endurance: mission length, default 40)")
 	seed := flag.Int64("seed", 1, "seed for jitter realization")
 	csv := flag.Bool("csv", false, "emit CSV")
 	flag.Parse()
 
-	if err := run(os.Stdout, *kind, *scenario, *periods, *seed, *csv); err != nil {
+	if err := run(os.Stdout, *kind, *scenario, *configPath, *periods, *seed, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, kind, scenarioName string, periods int, seed int64, csv bool) error {
-	s, err := trace.ByName(scenarioName)
+func run(w io.Writer, kind, scenarioName, configPath string, periods int, seed int64, csv bool) error {
+	var s trace.Scenario
+	var err error
+	if configPath != "" {
+		s, err = trace.LoadScenario(configPath)
+	} else {
+		s, err = trace.ByName(scenarioName)
+	}
 	if err != nil {
+		return err
+	}
+	if err := scen.Validate(s); err != nil {
 		return err
 	}
 	var (

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"dpm/internal/trace"
 )
 
 func TestRunKinds(t *testing.T) {
@@ -12,7 +15,7 @@ func TestRunKinds(t *testing.T) {
 		"overhead": "Switching-overhead sweep",
 	} {
 		var sb strings.Builder
-		if err := run(&sb, kind, "I", 1, 1, false); err != nil {
+		if err := run(&sb, kind, "I", "", 1, 1, false); err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
 		if !strings.Contains(sb.String(), marker) {
@@ -23,7 +26,7 @@ func TestRunKinds(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "overhead", "II", 1, 1, true); err != nil {
+	if err := run(&sb, "overhead", "II", "", 1, 1, true); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(sb.String(), "Overhead (J),") {
@@ -33,17 +36,17 @@ func TestRunCSV(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "bogus", "I", 1, 1, false); err == nil {
+	if err := run(&sb, "bogus", "I", "", 1, 1, false); err == nil {
 		t.Error("unknown kind must error")
 	}
-	if err := run(&sb, "capacity", "X", 1, 1, false); err == nil {
+	if err := run(&sb, "capacity", "X", "", 1, 1, false); err == nil {
 		t.Error("unknown scenario must error")
 	}
 }
 
 func TestRunEndurance(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "endurance", "I", 10, 1, false); err != nil {
+	if err := run(&sb, "endurance", "I", "", 10, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Endurance") {
@@ -53,7 +56,7 @@ func TestRunEndurance(t *testing.T) {
 
 func TestRunMonteCarlo(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "montecarlo", "I", 2, 1, false); err != nil {
+	if err := run(&sb, "montecarlo", "I", "", 2, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Monte-Carlo") {
@@ -63,10 +66,47 @@ func TestRunMonteCarlo(t *testing.T) {
 
 func TestRunTau(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "tau", "I", 2, 1, false); err != nil {
+	if err := run(&sb, "tau", "I", "", 2, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "granularity") {
 		t.Errorf("tau sweep output wrong:\n%s", sb.String())
+	}
+}
+
+func TestRunCustomConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "custom.json")
+	if err := trace.SaveScenario(trace.ScenarioII(), path); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(&sb, "capacity", "", path, 1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "scenario II") {
+		t.Errorf("custom config not loaded:\n%s", sb.String())
+	}
+	if err := run(&sb, "capacity", "", filepath.Join(t.TempDir(), "nope.json"), 1, 1, false); err == nil {
+		t.Error("missing config file must error")
+	}
+}
+
+func TestRunRejectsUnphysicalConfig(t *testing.T) {
+	s := trace.ScenarioI()
+	grid := *s.Charging
+	grid.Values = append([]float64(nil), s.Charging.Values...)
+	grid.Values[0] = 1e308 // the fuzzer's overflow find: reject before planning
+	s.Charging = &grid
+	path := filepath.Join(t.TempDir(), "hostile.json")
+	if err := trace.SaveScenario(s, path); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run(&sb, "capacity", "", path, 1, 1, false)
+	if err == nil {
+		t.Fatal("unphysical charging power must be rejected")
+	}
+	if !strings.Contains(err.Error(), "charging") {
+		t.Errorf("error %q does not name the offending schedule", err)
 	}
 }

@@ -297,3 +297,39 @@ func TestFacadeHeteroManager(t *testing.T) {
 		t.Errorf("assignment uses %d of 4 processors", vp.N())
 	}
 }
+
+// TestFacadeRejectsUnphysicalInputs mirrors the service fuzzer's
+// 1e308 find at the library boundary: NaN, Inf and
+// magnitude-overflow inputs must be rejected by validation, not
+// propagated into the planner.
+func TestFacadeRejectsUnphysicalInputs(t *testing.T) {
+	for name, poison := range map[string]float64{
+		"nan":      math.NaN(),
+		"inf":      math.Inf(1),
+		"overflow": 1e308,
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := facadeConfig(t)
+			grid := *cfg.Charging
+			grid.Values = append([]float64(nil), cfg.Charging.Values...)
+			grid.Values[0] = poison
+			cfg.Charging = &grid
+			if _, err := NewManager(cfg); err == nil {
+				t.Errorf("NewManager accepted charging value %g", poison)
+			}
+			if _, err := Simulate(SimConfig{Manager: cfg, Periods: 1}); err == nil {
+				t.Errorf("Simulate accepted charging value %g", poison)
+			}
+			s := ScenarioI()
+			s.Charging = &grid
+			if err := ValidateScenario(s); err == nil {
+				t.Errorf("ValidateScenario accepted charging value %g", poison)
+			}
+		})
+	}
+	cfg := facadeConfig(t)
+	cfg.InitialCharge = math.Inf(1)
+	if _, err := NewManager(cfg); err == nil {
+		t.Error("NewManager accepted infinite initial charge")
+	}
+}

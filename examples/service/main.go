@@ -5,8 +5,9 @@
 //	go run ./examples/service
 //
 // The same requests work over the wire against a standalone daemon
-// (`make serve`, or `go run ./cmd/dpmd`); plan_request.json in this
-// directory is the /v1/plan body used below, ready for curl.
+// (`make serve`, or `go run ./cmd/dpmd`); plan_request.json and
+// batch_request.json in this directory are the /v1/plan and
+// /v1/batch bodies used below, ready for curl.
 package main
 
 import (
@@ -62,6 +63,23 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("same forecast again: cache %s\n\n", state)
+
+	// A whole constellation of forecasts goes through /v1/batch in
+	// one round trip; each item reports its own cache disposition.
+	batch, err := c.PlanBatch(ctx, []server.PlanRequest{
+		{Scenario: trace.ScenarioI()},
+		{Scenario: trace.ScenarioII()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, item := range batch {
+		if item.Err != nil {
+			log.Fatal(item.Err)
+		}
+		fmt.Printf("batch item %d (%s): feasible=%v\n", i, item.Cache, item.Plan.Feasible)
+	}
+	fmt.Println()
 
 	// 3. Turn the plan into the Algorithm 2 (n, f) schedule for the
 	// PAMA board (the default hardware block).

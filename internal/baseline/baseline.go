@@ -20,6 +20,7 @@ import (
 	"dpm/internal/battery"
 	"dpm/internal/dpm"
 	"dpm/internal/params"
+	"dpm/internal/scenario"
 	"dpm/internal/schedule"
 )
 
@@ -57,6 +58,23 @@ func (c Config) validate() error {
 	}
 	if c.Usage == nil {
 		return fmt.Errorf("baseline: nil usage grid")
+	}
+	if err := scenario.ValidateGrid("usage", c.Usage, true); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	if c.ActualCharging != nil {
+		if err := scenario.ValidateGrid("charging", c.ActualCharging, true); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+	}
+	for name, v := range map[string]float64{
+		"capacityMax":   c.CapacityMax,
+		"capacityMin":   c.CapacityMin,
+		"initialCharge": c.InitialCharge,
+	} {
+		if err := scenario.ValidateEnergy(name, v); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
 	}
 	if c.Periods <= 0 {
 		return fmt.Errorf("baseline: non-positive period count %d", c.Periods)

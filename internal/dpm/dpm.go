@@ -21,6 +21,7 @@ import (
 
 	"dpm/internal/alloc"
 	"dpm/internal/params"
+	"dpm/internal/scenario"
 	"dpm/internal/schedule"
 )
 
@@ -95,11 +96,22 @@ type Manager struct {
 	charge  float64 // manager's estimate of the battery charge
 	current params.OperatingPoint
 	started bool
+
+	// windowBuf is the reusable scratch for findWindow, so the
+	// Algorithm 3 redistribution that runs every slot allocates
+	// nothing in steady state.
+	windowBuf []int
 }
 
 // New computes the initial allocation and operating-point table and
-// returns a ready manager.
+// returns a ready manager. Inputs are bounds-checked through
+// internal/scenario, so library callers get the same NaN/Inf and
+// magnitude rejections as the HTTP service.
 func New(cfg Config) (*Manager, error) {
+	if err := scenario.ValidateInputs(cfg.Charging, cfg.EventRate, cfg.Weight,
+		cfg.CapacityMax, cfg.CapacityMin, cfg.InitialCharge); err != nil {
+		return nil, fmt.Errorf("dpm: %w", err)
+	}
 	res, err := alloc.Compute(alloc.Inputs{
 		Charging:      cfg.Charging,
 		EventRate:     cfg.EventRate,
@@ -119,13 +131,14 @@ func New(cfg Config) (*Manager, error) {
 	}
 	charge := math.Min(math.Max(cfg.InitialCharge, cfg.CapacityMin), cfg.CapacityMax)
 	return &Manager{
-		cfg:    cfg,
-		table:  table,
-		init:   res,
-		plan:   res.Allocation.Clone(),
-		tau:    res.Allocation.Step,
-		nSlots: res.Allocation.Len(),
-		charge: charge,
+		cfg:       cfg,
+		table:     table,
+		init:      res,
+		plan:      res.Allocation.Clone(),
+		tau:       res.Allocation.Step,
+		nSlots:    res.Allocation.Len(),
+		charge:    charge,
+		windowBuf: make([]int, 0, res.Allocation.Len()),
 	}, nil
 }
 
@@ -408,10 +421,12 @@ func (m *Manager) Replan(maxProcs int) (infeasible int, err error) {
 // boundary where the trajectory reaches Cmax (for a surplus) or Cmin
 // (for a deficit). If the trajectory never pins within one period,
 // the whole next period is the window.
+// The returned slice aliases the manager's scratch buffer: it is
+// valid until the next findWindow call and must not be retained.
 func (m *Manager) findWindow(start int, ediff float64) []int {
 	const eps = 1e-9
 	ch := m.charge
-	var window []int
+	window := m.windowBuf[:0]
 	for k := 0; k < m.nSlots; k++ {
 		i := (start + k) % m.nSlots
 		window = append(window, i)

@@ -64,6 +64,12 @@ type SimConfig struct {
 	// manager after every slot, mimicking the PAMA power-measurement
 	// board. Without it the manager trusts its own bookkeeping.
 	SyncCharge bool
+	// OmitPlanSnapshots leaves each SlotRecord's Plan field nil
+	// instead of copying the full per-period plan every slot. The
+	// snapshot exists for the paper's Tables 3/5; callers that only
+	// consume the scalar columns (the service, batch sweeps) skip the
+	// per-slot clone.
+	OmitPlanSnapshots bool
 }
 
 // SlotRecord is one row of the paper's Tables 3/5.
@@ -140,9 +146,9 @@ func SimulateContext(ctx context.Context, cfg SimConfig) (*SimResult, error) {
 		return nil, fmt.Errorf("dpm: battery: %w", err)
 	}
 
-	res := &SimResult{}
 	tau := mgr.Tau()
 	totalSlots := cfg.Periods * mgr.Slots()
+	res := &SimResult{Records: make([]SlotRecord, 0, totalSlots)}
 	var prev params.OperatingPoint
 	for s := 0; s < totalSlots; s++ {
 		if err := ctx.Err(); err != nil {
@@ -171,6 +177,10 @@ func SimulateContext(ctx context.Context, cfg SimConfig) (*SimResult, error) {
 		if cfg.SyncCharge {
 			mgr.SyncCharge(bat.Charge())
 		}
+		var planCopy []float64
+		if !cfg.OmitPlanSnapshots {
+			planCopy = mgr.PlanSnapshot()
+		}
 		res.Records = append(res.Records, SlotRecord{
 			Time:          float64(s) * tau,
 			Planned:       planned,
@@ -178,7 +188,7 @@ func SimulateContext(ctx context.Context, cfg SimConfig) (*SimResult, error) {
 			UsedPower:     usedPower,
 			SuppliedPower: supplyPower,
 			Charge:        bat.Charge(),
-			Plan:          mgr.PlanSnapshot(),
+			Plan:          planCopy,
 		})
 	}
 	res.Battery = bat.Snapshot()

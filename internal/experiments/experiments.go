@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dpm/internal/alloc"
@@ -16,6 +17,7 @@ import (
 	"dpm/internal/metrics"
 	"dpm/internal/params"
 	"dpm/internal/perf"
+	"dpm/internal/pipeline"
 	"dpm/internal/power"
 	"dpm/internal/report"
 	"dpm/internal/trace"
@@ -50,17 +52,9 @@ func PaperParams() params.Config {
 }
 
 // ManagerConfig assembles the dpm configuration for a scenario with
-// the paper's parameters.
+// the paper's parameters, via the shared pipeline assembly.
 func ManagerConfig(s trace.Scenario) dpm.Config {
-	return dpm.Config{
-		Charging:      s.Charging,
-		EventRate:     s.Usage,
-		Weight:        s.Weight,
-		CapacityMax:   s.CapacityMax,
-		CapacityMin:   s.CapacityMin,
-		InitialCharge: s.InitialCharge,
-		Params:        PaperParams(),
-	}
+	return pipeline.ManagerConfig(s, PaperParams(), dpm.Proportional)
 }
 
 // Mode selects between the paper-faithful reproduction and this
@@ -89,13 +83,17 @@ func (m Mode) String() string {
 // RunComparison executes the proposed manager and the static
 // baseline on one scenario for the given number of periods.
 func RunComparison(s trace.Scenario, periods int, mode Mode) (metrics.Comparison, error) {
-	mcfg := ManagerConfig(s)
 	bmodel := dpm.NetFlow
 	if mode == PaperFaithful {
-		mcfg.DisableSlotGuards = true
 		bmodel = dpm.Sequential
 	}
-	proposed, err := dpm.Simulate(dpm.SimConfig{Manager: mcfg, Periods: periods, Battery: bmodel})
+	proposed, err := pipeline.Simulate(context.Background(), pipeline.SimSpec{
+		Scenario:          s,
+		Params:            PaperParams(),
+		Battery:           bmodel,
+		Periods:           periods,
+		DisableSlotGuards: mode == PaperFaithful,
+	})
 	if err != nil {
 		return metrics.Comparison{}, fmt.Errorf("experiments: proposed on scenario %s: %w", s.Name, err)
 	}
@@ -158,14 +156,7 @@ func table1(mode Mode) (*report.Table, []metrics.Comparison, error) {
 // InitialAllocation runs §4.1 on a scenario and returns the raw
 // result (Tables 2 and 4 print its iteration history).
 func InitialAllocation(s trace.Scenario) (*alloc.Result, error) {
-	return alloc.Compute(alloc.Inputs{
-		Charging:      s.Charging,
-		EventRate:     s.Usage,
-		Weight:        s.Weight,
-		CapacityMax:   s.CapacityMax,
-		CapacityMin:   s.CapacityMin,
-		InitialCharge: s.InitialCharge,
-	})
+	return pipeline.Plan(context.Background(), pipeline.PlanSpec{Scenario: s})
 }
 
 // AllocationTable reproduces Table 2 (scenario I) or Table 4
@@ -200,9 +191,16 @@ func AllocationTable(s trace.Scenario, tableNumber int) (*report.Table, error) {
 }
 
 // DynamicUpdate runs the closed-loop simulation for two periods and
-// returns the slot records behind Tables 3 and 5.
+// returns the slot records behind Tables 3 and 5 (plan snapshots on:
+// the tables print the full Pinit(0..11) columns).
 func DynamicUpdate(s trace.Scenario) (*dpm.SimResult, error) {
-	return dpm.Simulate(dpm.SimConfig{Manager: ManagerConfig(s), Periods: 2, SyncCharge: true})
+	return pipeline.Simulate(context.Background(), pipeline.SimSpec{
+		Scenario:      s,
+		Params:        PaperParams(),
+		Periods:       2,
+		SyncCharge:    true,
+		PlanSnapshots: true,
+	})
 }
 
 // UpdateTable reproduces Table 3 (scenario I) or Table 5

@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dpm/internal/baseline"
 	"dpm/internal/faults"
-	"dpm/internal/machine"
 	"dpm/internal/metrics"
 	"dpm/internal/params"
+	"dpm/internal/pipeline"
 	"dpm/internal/report"
 	"dpm/internal/trace"
 )
@@ -77,23 +78,17 @@ func RunFaultSweep(s trace.Scenario, rates []float64, periods int, seed int64) (
 			}
 			plan = p
 		}
-		events, err := trace.PoissonEvents(s.Usage, 0.1, float64(periods)*trace.Period, seed)
-		if err != nil {
-			return nil, err
-		}
-		board, err := machine.New(machine.Config{
-			Manager:        ManagerConfig(s),
-			Events:         events,
-			Periods:        periods,
-			Faults:         plan,
+		res, err := pipeline.SimulateMachine(context.Background(), pipeline.MachineSpec{
+			Scenario:       s,
+			Params:         PaperParams(),
 			ActualCharging: s.Charging,
+			Periods:        periods,
+			EventScale:     0.1,
+			Seed:           seed,
+			Faults:         plan,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fault sweep rate %g: %w", rate, err)
-		}
-		res, err := board.Run()
-		if err != nil {
-			return nil, err
 		}
 
 		// The static baseline cannot re-plan: the same deaths cap its

@@ -1,13 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
-	"dpm/internal/dpm"
 	"dpm/internal/metrics"
+	"dpm/internal/pipeline"
 	"dpm/internal/report"
 	"dpm/internal/trace"
 )
@@ -18,24 +17,11 @@ import (
 // but is reported after all tasks finish. workers <= 0 uses
 // GOMAXPROCS.
 func RunConcurrent[T any](tasks []func() (T, error), workers int) ([]T, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	results := make([]T, len(tasks))
 	errs := make([]error, len(tasks))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, task := range tasks {
-		i, task := i, task
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = task()
-		}()
-	}
-	wg.Wait()
+	pipeline.ForEach(context.Background(), len(tasks), workers, func(_ context.Context, i int) {
+		results[i], errs[i] = tasks[i]()
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: task %d: %w", i, err)
@@ -78,8 +64,9 @@ func MonteCarlo(s trace.Scenario, jitter float64, runs, periods int, baseSeed in
 			if jitter > 0 {
 				actual = trace.Perturb(s.Charging, jitter, seed)
 			}
-			res, err := dpm.Simulate(dpm.SimConfig{
-				Manager:        ManagerConfig(s),
+			res, err := pipeline.Simulate(context.Background(), pipeline.SimSpec{
+				Scenario:       s,
+				Params:         PaperParams(),
 				ActualCharging: actual,
 				Periods:        periods,
 				SyncCharge:     true,

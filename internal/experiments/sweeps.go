@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"dpm/internal/dpm"
 	"dpm/internal/metrics"
+	"dpm/internal/pipeline"
 	"dpm/internal/report"
 	"dpm/internal/trace"
 )
@@ -37,12 +38,14 @@ func CapacitySweep(s trace.Scenario, multiples []float64, periods int) ([]SweepP
 		if m <= 0 {
 			return nil, fmt.Errorf("experiments: non-positive capacity multiple %g", m)
 		}
-		cfg := ManagerConfig(s)
-		cfg.CapacityMax = s.CapacityMax * m
-		if cfg.CapacityMax <= cfg.CapacityMin {
+		scaled := s
+		scaled.CapacityMax = s.CapacityMax * m
+		if scaled.CapacityMax <= scaled.CapacityMin {
 			return nil, fmt.Errorf("experiments: capacity multiple %g collapses the battery band", m)
 		}
-		res, err := dpm.Simulate(dpm.SimConfig{Manager: cfg, Periods: periods})
+		res, err := pipeline.Simulate(context.Background(), pipeline.SimSpec{
+			Scenario: scaled, Params: PaperParams(), Periods: periods,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -67,8 +70,9 @@ func JitterSweep(s trace.Scenario, jitters []float64, periods int, seed int64) (
 		if j > 0 {
 			actual = trace.Perturb(s.Charging, j, seed)
 		}
-		res, err := dpm.Simulate(dpm.SimConfig{
-			Manager:        ManagerConfig(s),
+		res, err := pipeline.Simulate(context.Background(), pipeline.SimSpec{
+			Scenario:       s,
+			Params:         PaperParams(),
 			ActualCharging: actual,
 			Periods:        periods,
 			SyncCharge:     true,
@@ -93,10 +97,12 @@ func OverheadSweep(s trace.Scenario, overheads []float64, periods int) ([]SweepP
 		if oh < 0 {
 			return nil, fmt.Errorf("experiments: negative overhead %g", oh)
 		}
-		cfg := ManagerConfig(s)
-		cfg.Params.OverheadProc = oh
-		cfg.Params.OverheadFreq = oh
-		res, err := dpm.Simulate(dpm.SimConfig{Manager: cfg, Periods: periods})
+		pcfg := PaperParams()
+		pcfg.OverheadProc = oh
+		pcfg.OverheadFreq = oh
+		res, err := pipeline.Simulate(context.Background(), pipeline.SimSpec{
+			Scenario: s, Params: pcfg, Periods: periods,
+		})
 		if err != nil {
 			return nil, err
 		}

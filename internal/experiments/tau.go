@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"dpm/internal/dpm"
 	"dpm/internal/metrics"
+	"dpm/internal/pipeline"
 	"dpm/internal/report"
 	"dpm/internal/schedule"
 	"dpm/internal/trace"
@@ -44,7 +45,9 @@ func TauSweep(s trace.Scenario, slotCounts []int, periods int) ([]SweepPoint, er
 		if err != nil {
 			return nil, err
 		}
-		res, err := dpm.Simulate(dpm.SimConfig{Manager: ManagerConfig(rs), Periods: periods})
+		res, err := pipeline.Simulate(context.Background(), pipeline.SimSpec{
+			Scenario: rs, Params: PaperParams(), Periods: periods,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: tau sweep at %d slots: %w", slots, err)
 		}

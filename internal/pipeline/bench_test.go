@@ -1,0 +1,81 @@
+// Benchmarks for the shared engine. BENCH_pipeline.json at the repo
+// root records the pre-refactor baseline these are compared against;
+// the headline number is BenchmarkReplan's allocs/op — the Algorithm 3
+// hot path now reuses the manager's scratch buffers.
+package pipeline_test
+
+import (
+	"context"
+	"testing"
+
+	"dpm/internal/dpm"
+	"dpm/internal/experiments"
+	"dpm/internal/pipeline"
+	"dpm/internal/trace"
+)
+
+// BenchmarkPipelinePlan measures one validated Algorithm 1 run on
+// scenario I (validation + WPUF + balancing + iteration).
+func BenchmarkPipelinePlan(b *testing.B) {
+	spec := pipeline.PlanSpec{Scenario: trace.ScenarioI()}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Plan(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplan measures the per-slot Algorithm 3 update alone: a
+// long-lived manager absorbing alternating ±10% deviations, the hot
+// loop of both the closed-loop simulator and dpmd's /v1/replan. The
+// alternating sign keeps the plan oscillating around feasibility so
+// redistribute always has real work (a constant sign drains the plan
+// into a no-op after a few slots).
+func BenchmarkReplan(b *testing.B) {
+	s := trace.ScenarioI()
+	mgr, err := dpm.New(pipeline.ManagerConfig(s, experiments.PaperParams(), dpm.Proportional))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tau := mgr.Tau()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % s.Charging.Len()
+		supplied := s.Charging.Values[idx] * tau
+		factor := 0.9
+		if i%2 == 1 {
+			factor = 1.1
+		}
+		mgr.BeginSlot()
+		mgr.EndSlot(s.Usage.Values[idx]*tau*factor+1e-9, supplied)
+	}
+}
+
+// BenchmarkBatchPlan measures PlanMany over a mixed batch of eight
+// specs across a pool of four workers — the engine under
+// POST /v1/batch.
+func BenchmarkBatchPlan(b *testing.B) {
+	specs := make([]pipeline.PlanSpec, 8)
+	for i := range specs {
+		s := trace.ScenarioI()
+		if i%2 == 1 {
+			s = trace.ScenarioII()
+		}
+		specs[i] = pipeline.PlanSpec{Scenario: s, Margin: 0.01 * float64(i)}
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := pipeline.PlanMany(ctx, specs, 4)
+		for _, o := range out {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Tests for the shared plan → params → simulate engine. The test
+// package is external so it can borrow the paper constants from
+// internal/experiments (which itself imports pipeline).
+package pipeline_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dpm/internal/dpm"
+	"dpm/internal/experiments"
+	"dpm/internal/pipeline"
+	"dpm/internal/scenario"
+	"dpm/internal/trace"
+)
+
+func TestPlanMatchesLegacyCompute(t *testing.T) {
+	for _, s := range trace.Scenarios() {
+		res, err := pipeline.Plan(context.Background(), pipeline.PlanSpec{Scenario: s})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if res.Allocation.Len() != s.Charging.Len() {
+			t.Errorf("%s: allocation has %d slots, want %d", s.Name, res.Allocation.Len(), s.Charging.Len())
+		}
+		if !res.Feasible {
+			t.Errorf("%s: paper scenario must be feasible", s.Name)
+		}
+	}
+}
+
+func TestPlanValidates(t *testing.T) {
+	s := trace.ScenarioI()
+	grid := *s.Charging
+	grid.Values = append([]float64(nil), s.Charging.Values...)
+	grid.Values[0] = math.Inf(1)
+	bad := s
+	bad.Charging = &grid
+
+	cases := map[string]pipeline.PlanSpec{
+		"infinite charging": {Scenario: bad},
+		"negative iters":    {Scenario: s, MaxIterations: -1},
+		"huge iters":        {Scenario: s, MaxIterations: scenario.MaxIterationsLimit + 1},
+		"margin too big":    {Scenario: s, Margin: 0.5},
+		"margin nan":        {Scenario: s, Margin: math.NaN()},
+	}
+	for name, spec := range cases {
+		if _, err := pipeline.Plan(context.Background(), spec); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else {
+			var ve *scenario.Error
+			if !errors.As(err, &ve) {
+				t.Errorf("%s: error %v is not a *scenario.Error", name, err)
+			}
+		}
+	}
+}
+
+func TestPlanHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pipeline.Plan(ctx, pipeline.PlanSpec{Scenario: trace.ScenarioI()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestTableDefaultsToPAMA(t *testing.T) {
+	tbl, cfg, err := pipeline.Table(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Points()) == 0 {
+		t.Fatal("empty operating-point table")
+	}
+	if cfg.MaxProcessors != 7 {
+		t.Errorf("default worker count %d, want the PAMA 7", cfg.MaxProcessors)
+	}
+}
+
+func TestReplayAppliesReports(t *testing.T) {
+	s := trace.ScenarioI()
+	pcfg := experiments.PaperParams()
+	tau := s.Charging.Step
+	reports := []pipeline.SlotReport{
+		{UsedJ: s.Usage.Values[0] * tau, SuppliedJ: s.Charging.Values[0] * tau},
+		{UsedJ: s.Usage.Values[1] * tau * 1.2, SuppliedJ: s.Charging.Values[1] * tau},
+	}
+	mgr, err := pipeline.Replay(s, pcfg, dpm.Proportional, nil, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Slot() != len(reports)%mgr.Slots() {
+		t.Errorf("manager at slot %d after %d reports", mgr.Slot(), len(reports))
+	}
+
+	// Restoring the checkpoint and replaying one more slot must
+	// continue from where the first replay stopped.
+	state := mgr.Checkpoint()
+	next, err := pipeline.Replay(s, pcfg, dpm.Proportional, &state,
+		[]pipeline.SlotReport{{UsedJ: 1, SuppliedJ: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Slot() != (mgr.Slot()+1)%mgr.Slots() {
+		t.Errorf("restored manager at slot %d, want %d", next.Slot(), (mgr.Slot()+1)%mgr.Slots())
+	}
+}
+
+func TestReplayValidatesReports(t *testing.T) {
+	s := trace.ScenarioI()
+	pcfg := experiments.PaperParams()
+	if _, err := pipeline.Replay(s, pcfg, dpm.Proportional, nil, nil); err == nil {
+		t.Error("empty report list accepted")
+	}
+	bad := []pipeline.SlotReport{{UsedJ: math.NaN(), SuppliedJ: 0}}
+	if _, err := pipeline.Replay(s, pcfg, dpm.Proportional, nil, bad); err == nil {
+		t.Error("NaN slot energy accepted")
+	}
+	huge := make([]pipeline.SlotReport, scenario.MaxSlots+1)
+	if _, err := pipeline.Replay(s, pcfg, dpm.Proportional, nil, huge); err == nil {
+		t.Error("oversized report list accepted")
+	}
+}
+
+func TestSimulateMatchesDirectCall(t *testing.T) {
+	s := trace.ScenarioII()
+	got, err := pipeline.Simulate(context.Background(), pipeline.SimSpec{
+		Scenario:   s,
+		Params:     experiments.PaperParams(),
+		Periods:    2,
+		SyncCharge: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dpm.Simulate(dpm.SimConfig{
+		Manager:           experiments.ManagerConfig(s),
+		Periods:           2,
+		SyncCharge:        true,
+		OmitPlanSnapshots: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Battery != want.Battery {
+		t.Errorf("battery accounting diverged: %+v vs %+v", got.Battery, want.Battery)
+	}
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("record count %d vs %d", len(got.Records), len(want.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i].Plan != nil {
+			t.Fatalf("slot %d carries a plan snapshot without PlanSnapshots", i)
+		}
+	}
+}
+
+func TestSimulateValidatesActualCharging(t *testing.T) {
+	s := trace.ScenarioI()
+	grid := *s.Charging
+	grid.Values = append([]float64(nil), s.Charging.Values...)
+	grid.Values[3] = -1
+	_, err := pipeline.Simulate(context.Background(), pipeline.SimSpec{
+		Scenario:       s,
+		Params:         experiments.PaperParams(),
+		ActualCharging: &grid,
+		Periods:        1,
+	})
+	var ve *scenario.Error
+	if !errors.As(err, &ve) {
+		t.Fatalf("want a validation error for negative actual charging, got %v", err)
+	}
+}
+
+func TestSimulateMachineRunsAndBounds(t *testing.T) {
+	s := trace.ScenarioI()
+	res, err := pipeline.SimulateMachine(context.Background(), pipeline.MachineSpec{
+		Scenario:          s,
+		Params:            experiments.PaperParams(),
+		Periods:           1,
+		EventScale:        0.05,
+		Seed:              7,
+		MaxExpectedEvents: scenario.MaxMachineEvents,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventsArrived == 0 {
+		t.Error("no events arrived")
+	}
+
+	// A tiny expected-events budget must reject the spec before any
+	// trace is drawn.
+	_, err = pipeline.SimulateMachine(context.Background(), pipeline.MachineSpec{
+		Scenario:          s,
+		Params:            experiments.PaperParams(),
+		Periods:           1,
+		EventScale:        0.05,
+		MaxExpectedEvents: 1,
+	})
+	var ve *scenario.Error
+	if !errors.As(err, &ve) || !strings.Contains(err.Error(), "events over") {
+		t.Fatalf("want an expected-events validation error, got %v", err)
+	}
+}
+
+func TestForEachRunsEveryIndexBounded(t *testing.T) {
+	const n, par = 64, 3
+	var ran [n]int32
+	var active, peak int32
+	var mu sync.Mutex
+	pipeline.ForEach(context.Background(), n, par, func(ctx context.Context, i int) {
+		cur := atomic.AddInt32(&active, 1)
+		mu.Lock()
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		atomic.AddInt32(&ran[i], 1)
+		atomic.AddInt32(&active, -1)
+	})
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+	if peak > par {
+		t.Errorf("observed %d concurrent workers, cap is %d", peak, par)
+	}
+}
+
+func TestPlanManyOrderAndIsolation(t *testing.T) {
+	bad := trace.ScenarioI()
+	grid := *bad.Charging
+	grid.Values = append([]float64(nil), bad.Charging.Values...)
+	grid.Values[0] = math.Inf(1)
+	bad.Charging = &grid
+
+	specs := []pipeline.PlanSpec{
+		{Scenario: trace.ScenarioI()},
+		{Scenario: bad},
+		{Scenario: trace.ScenarioII()},
+	}
+	out := pipeline.PlanMany(context.Background(), specs, 2)
+	if len(out) != len(specs) {
+		t.Fatalf("%d outcomes for %d specs", len(out), len(specs))
+	}
+	if out[0].Err != nil || out[0].Result == nil {
+		t.Errorf("spec 0 failed: %v", out[0].Err)
+	}
+	if out[1].Err == nil {
+		t.Error("hostile spec 1 planned successfully")
+	}
+	if out[2].Err != nil || out[2].Result == nil {
+		t.Errorf("spec 2 failed: %v", out[2].Err)
+	}
+
+	// The batch result must match a sequential plan of the same spec.
+	solo, err := pipeline.Plan(context.Background(), specs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[2].Result.Allocation.Len() != solo.Allocation.Len() {
+		t.Error("batch and solo allocations differ in length")
+	}
+	for i := range solo.Allocation.Values {
+		if out[2].Result.Allocation.Values[i] != solo.Allocation.Values[i] {
+			t.Fatalf("slot %d: batch %g vs solo %g", i,
+				out[2].Result.Allocation.Values[i], solo.Allocation.Values[i])
+		}
+	}
+}

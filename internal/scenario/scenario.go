@@ -1,0 +1,260 @@
+// Package scenario is the canonical, validated scenario specification
+// shared by every entry point into the planning pipeline — the HTTP
+// service (internal/server), the library facade (package dpm), the
+// experiment harness (internal/experiments) and the command-line
+// tools. A scenario (trace.Scenario) bundles the expected charging and
+// event-rate schedules, an optional weight function and the battery
+// band; a Hardware block describes the board Algorithm 2 optimizes
+// for.
+//
+// The package owns the input bounds the dpmd fuzzing campaign proved
+// necessary (FuzzDecodePlanRequest's 1e308 find): every magnitude is
+// capped far beyond any real deployment but small enough that the
+// planning arithmetic cannot overflow float64 into the NaN/Inf range
+// JSON cannot carry. Validation happens here once, identically, for
+// every caller — a scenario rejected over HTTP is rejected by the
+// library and the CLI with the same message.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"dpm/internal/params"
+	"dpm/internal/perf"
+	"dpm/internal/power"
+	"dpm/internal/schedule"
+	"dpm/internal/trace"
+)
+
+// Shared request bounds. Transport layers may additionally cap raw
+// payload sizes; these bound the *work* one scenario may demand.
+const (
+	// MaxSlots caps schedule and plan lengths.
+	MaxSlots = 4096
+	// MaxPeriods caps analytic simulation horizons.
+	MaxPeriods = 64
+	// MaxMachinePeriods caps the discrete-event board simulation,
+	// which costs orders of magnitude more per period.
+	MaxMachinePeriods = 8
+	// MaxFrequencies caps the Algorithm 2 enumeration.
+	MaxFrequencies = 64
+	// MaxRecords caps the per-slot rows a simulate response carries.
+	MaxRecords = 1024
+	// MaxPowerW, MaxTauS and MaxEnergyJ bound the physical magnitudes
+	// a scenario may carry. They are far beyond any real deployment
+	// (a gigawatt, a ~11-day slot, a petajoule) but small enough that
+	// the planning arithmetic cannot overflow float64 into the
+	// NaN/Inf range JSON cannot carry.
+	MaxPowerW  = 1e9
+	MaxTauS    = 1e6
+	MaxEnergyJ = 1e15
+	// MaxMachineEvents caps the event trace one machine-mode
+	// simulation may generate. The per-magnitude bounds above still
+	// admit a huge *product* (rate × horizon), so the expected event
+	// count must be checked against this cap before any trace is
+	// drawn.
+	MaxMachineEvents = 1 << 18
+	// MaxBatch caps the scenarios one batch planning request may
+	// carry.
+	MaxBatch = 256
+	// MaxIterationsLimit caps the Algorithm 1 driver bound a caller
+	// may request.
+	MaxIterationsLimit = 1024
+)
+
+// Error is an input-validation failure. Transport layers map it onto
+// their client-error channel (the HTTP server answers 400); library
+// callers get it as a plain error.
+type Error struct{ msg string }
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.msg }
+
+// Errorf builds a validation error.
+func Errorf(format string, args ...any) *Error {
+	return &Error{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsFinite reports whether v is neither NaN nor ±Inf.
+func IsFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// ValidateGrid rejects grids the planner cannot safely consume:
+// missing, over-long, non-finite or out of the supported magnitude
+// range. (JSON decoders already reject literal NaN/Inf tokens and
+// overflowing numbers; these checks are the backstop for programmatic
+// callers.)
+func ValidateGrid(name string, g *schedule.Grid, requireNonNegative bool) error {
+	if g == nil {
+		return Errorf("%s schedule is required", name)
+	}
+	if g.Len() > MaxSlots {
+		return Errorf("%s schedule has %d slots; the limit is %d", name, g.Len(), MaxSlots)
+	}
+	if !IsFinite(g.Step) || g.Step <= 0 || g.Step > MaxTauS {
+		return Errorf("%s schedule step %g outside (0, %g] seconds", name, g.Step, float64(MaxTauS))
+	}
+	for i, v := range g.Values {
+		if !IsFinite(v) || v > MaxPowerW {
+			return Errorf("%s[%d] = %g outside the supported power range", name, i, v)
+		}
+		if requireNonNegative && v < 0 {
+			return Errorf("%s[%d] = %g is negative", name, i, v)
+		}
+	}
+	return nil
+}
+
+// ValidateEnergy bounds one energy magnitude into [0, MaxEnergyJ]
+// joules.
+func ValidateEnergy(name string, v float64) error {
+	if !IsFinite(v) || v < 0 || v > MaxEnergyJ {
+		return Errorf("%s %g outside [0, %g] joules", name, v, float64(MaxEnergyJ))
+	}
+	return nil
+}
+
+// ValidateInputs applies the canonical bounds to raw planning inputs:
+// the grids every pipeline stage consumes plus the battery band.
+// weight may be nil (uniform). This is the library-level twin of
+// Validate for callers assembling configurations field by field
+// (dpm.ManagerConfig, alloc.Inputs).
+func ValidateInputs(charging, usage, weight *schedule.Grid, capacityMax, capacityMin, initialCharge float64) error {
+	if err := ValidateGrid("charging", charging, true); err != nil {
+		return err
+	}
+	if err := ValidateGrid("usage", usage, true); err != nil {
+		return err
+	}
+	if weight != nil {
+		if err := ValidateGrid("weight", weight, true); err != nil {
+			return err
+		}
+	}
+	for name, v := range map[string]float64{
+		"capacityMax": capacityMax, "capacityMin": capacityMin, "initialCharge": initialCharge,
+	} {
+		if err := ValidateEnergy(name, v); err != nil {
+			return err
+		}
+	}
+	if capacityMax <= capacityMin {
+		return Errorf("capacityMax %g must exceed capacityMin %g", capacityMax, capacityMin)
+	}
+	return nil
+}
+
+// Validate applies the canonical bounds on top of the trace-level
+// geometry checks a scenario's UnmarshalJSON already ran. Every entry
+// point — HTTP, library, CLI — runs exactly this check.
+func Validate(s trace.Scenario) error {
+	return ValidateInputs(s.Charging, s.Usage, s.Weight, s.CapacityMax, s.CapacityMin, s.InitialCharge)
+}
+
+// Hardware describes the board Algorithm 2 optimizes for. The zero
+// value (or a nil pointer) means the paper's PAMA configuration:
+// eight M32R/D chips of which seven are workers, voltage pinned at
+// 3.3 V, clocks of 20/40/80 MHz, the FORTE FFT workload, and no
+// switching overheads.
+type Hardware struct {
+	// VoltageV is the pinned supply voltage in volts.
+	VoltageV float64 `json:"voltageV,omitempty"`
+	// MaxFrequencyHz is the VF-curve ceiling in hertz.
+	MaxFrequencyHz float64 `json:"maxFrequencyHz,omitempty"`
+	// FrequenciesHz are the selectable clocks in hertz.
+	FrequenciesHz []float64 `json:"frequenciesHz,omitempty"`
+	// MaxProcessors and MinProcessors bound the active-count range.
+	MaxProcessors int `json:"maxProcessors,omitempty"`
+	MinProcessors int `json:"minProcessors,omitempty"`
+	// OverheadProcJ and OverheadFreqJ are the switching energies OHn
+	// and OHf in joules.
+	OverheadProcJ float64 `json:"overheadProcJ,omitempty"`
+	OverheadFreqJ float64 `json:"overheadFreqJ,omitempty"`
+	// PerfValue converts performance×τ into joules for the
+	// Algorithm 2 switching test.
+	PerfValue float64 `json:"perfValue,omitempty"`
+	// IdleSleep parks inactive processors in sleep instead of
+	// stand-by.
+	IdleSleep bool `json:"idleSleep,omitempty"`
+	// WorkloadTotalS and WorkloadSerialS are the Amdahl profile:
+	// single-processor time and its serial part, in seconds.
+	WorkloadTotalS  float64 `json:"workloadTotalS,omitempty"`
+	WorkloadSerialS float64 `json:"workloadSerialS,omitempty"`
+}
+
+// WithDefaults returns a copy with every zero field set to the paper
+// value, so a canonical cache key treats an omitted hardware block
+// and an explicitly spelled-out PAMA block as the same scenario.
+func (h *Hardware) WithDefaults() Hardware {
+	out := Hardware{}
+	if h != nil {
+		out = *h
+	}
+	if out.VoltageV == 0 {
+		out.VoltageV = 3.3
+	}
+	if out.MaxFrequencyHz == 0 {
+		out.MaxFrequencyHz = 80e6
+	}
+	if len(out.FrequenciesHz) == 0 {
+		out.FrequenciesHz = []float64{20e6, 40e6, 80e6}
+	}
+	if out.MaxProcessors == 0 {
+		out.MaxProcessors = 7
+	}
+	if out.WorkloadTotalS == 0 {
+		out.WorkloadTotalS = 4.8
+	}
+	if out.WorkloadSerialS == 0 {
+		out.WorkloadSerialS = 0.48
+	}
+	return out
+}
+
+// ParamsConfig validates the hardware block and assembles the
+// Algorithm 2 configuration. All errors are validation errors.
+func (h Hardware) ParamsConfig() (params.Config, error) {
+	if !IsFinite(h.VoltageV) || h.VoltageV <= 0 {
+		return params.Config{}, Errorf("hardware: voltage %g must be positive", h.VoltageV)
+	}
+	if !IsFinite(h.MaxFrequencyHz) || h.MaxFrequencyHz <= 0 {
+		return params.Config{}, Errorf("hardware: max frequency %g must be positive", h.MaxFrequencyHz)
+	}
+	if len(h.FrequenciesHz) > MaxFrequencies {
+		return params.Config{}, Errorf("hardware: %d frequencies exceed the limit of %d", len(h.FrequenciesHz), MaxFrequencies)
+	}
+	for _, f := range h.FrequenciesHz {
+		if !IsFinite(f) || f <= 0 {
+			return params.Config{}, Errorf("hardware: non-positive frequency %g", f)
+		}
+	}
+	for name, v := range map[string]float64{
+		"overheadProcJ": h.OverheadProcJ, "overheadFreqJ": h.OverheadFreqJ, "perfValue": h.PerfValue,
+	} {
+		if !IsFinite(v) || v < 0 {
+			return params.Config{}, Errorf("hardware: %s %g must be non-negative", name, v)
+		}
+	}
+	w, err := perf.NewWorkload(h.WorkloadTotalS, h.WorkloadSerialS)
+	if err != nil {
+		return params.Config{}, Errorf("%v", err)
+	}
+	cfg := params.Config{
+		System:        power.PAMA(),
+		Curve:         power.NewFixedVoltage(h.VoltageV, h.MaxFrequencyHz),
+		Workload:      w,
+		Frequencies:   h.FrequenciesHz,
+		MaxProcessors: h.MaxProcessors,
+		MinProcessors: h.MinProcessors,
+		OverheadProc:  h.OverheadProcJ,
+		OverheadFreq:  h.OverheadFreqJ,
+		PerfValue:     h.PerfValue,
+		IdleSleep:     h.IdleSleep,
+	}
+	// BuildTable re-validates; run it here so every configuration
+	// error surfaces at validation time rather than deep in a run.
+	if _, err := params.BuildTable(cfg); err != nil {
+		return params.Config{}, Errorf("%v", err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dpm/internal/schedule"
+	"dpm/internal/trace"
+)
+
+func TestValidateAcceptsPaperScenarios(t *testing.T) {
+	for _, s := range trace.Scenarios() {
+		if err := Validate(s); err != nil {
+			t.Errorf("scenario %s rejected: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateGridRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		grid *schedule.Grid
+		want string
+	}{
+		{"nil", nil, "required"},
+		{"nan value", &schedule.Grid{Step: 4.8, Values: []float64{math.NaN()}}, "outside the supported power range"},
+		{"inf value", &schedule.Grid{Step: 4.8, Values: []float64{math.Inf(1)}}, "outside the supported power range"},
+		{"overflow magnitude", &schedule.Grid{Step: 4.8, Values: []float64{1e308}}, "outside the supported power range"},
+		{"negative", &schedule.Grid{Step: 4.8, Values: []float64{-1}}, "is negative"},
+		{"zero step", &schedule.Grid{Step: 0, Values: []float64{1}}, "outside (0,"},
+		{"nan step", &schedule.Grid{Step: math.NaN(), Values: []float64{1}}, "outside (0,"},
+		{"huge step", &schedule.Grid{Step: 1e308, Values: []float64{1}}, "outside (0,"},
+		{"over-long", &schedule.Grid{Step: 4.8, Values: make([]float64, MaxSlots+1)}, "the limit is"},
+	}
+	for _, c := range cases {
+		err := ValidateGrid("charging", c.grid, true)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+		var ve *Error
+		if !errorsAs(err, &ve) {
+			t.Errorf("%s: error is %T, not *scenario.Error", c.name, err)
+		}
+	}
+}
+
+// errorsAs avoids importing errors just for the assertion helper.
+func errorsAs(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestValidateInputsBatteryBounds(t *testing.T) {
+	g := schedule.NewGrid(4.8, []float64{1, 1})
+	cases := []struct {
+		name             string
+		cmax, cmin, init float64
+		want             string
+	}{
+		{"1e308 capacity", 1e308, 1, 1, "outside [0,"},
+		{"nan capacity", math.NaN(), 1, 1, "outside [0,"},
+		{"negative charge", 10, 1, -1, "outside [0,"},
+		{"inverted band", 1, 2, 1, "must exceed"},
+	}
+	for _, c := range cases {
+		err := ValidateInputs(g, g, nil, c.cmax, c.cmin, c.init)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+	if err := ValidateInputs(g, g, nil, 10, 1, 1); err != nil {
+		t.Errorf("valid inputs rejected: %v", err)
+	}
+}
+
+func TestHardwareDefaultsAndValidation(t *testing.T) {
+	var nilHW *Hardware
+	hw := nilHW.WithDefaults()
+	if hw.VoltageV != 3.3 || hw.MaxProcessors != 7 || len(hw.FrequenciesHz) != 3 {
+		t.Fatalf("nil hardware did not default to PAMA: %+v", hw)
+	}
+	if _, err := hw.ParamsConfig(); err != nil {
+		t.Fatalf("default hardware rejected: %v", err)
+	}
+	bad := hw
+	bad.VoltageV = math.Inf(1)
+	if _, err := bad.ParamsConfig(); err == nil {
+		t.Fatal("infinite voltage accepted")
+	}
+	bad = hw
+	bad.FrequenciesHz = make([]float64, MaxFrequencies+1)
+	for i := range bad.FrequenciesHz {
+		bad.FrequenciesHz[i] = 20e6
+	}
+	if _, err := bad.ParamsConfig(); err == nil {
+		t.Fatal("over-long frequency list accepted")
+	}
+	bad = hw
+	bad.WorkloadSerialS = 100 // serial part exceeds total
+	if _, err := bad.ParamsConfig(); err == nil {
+		t.Fatal("inconsistent workload accepted")
+	}
+}

@@ -5,14 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 
 	"dpm/internal/alloc"
 	"dpm/internal/dpm"
 	"dpm/internal/params"
-	"dpm/internal/perf"
-	"dpm/internal/power"
+	"dpm/internal/pipeline"
+	"dpm/internal/scenario"
 	"dpm/internal/schedule"
 	"dpm/internal/trace"
 )
@@ -21,36 +20,11 @@ import (
 // trace.Scenario wire form cmd/dpmsim -config loads, so a scenario
 // file works unchanged as a request body; schedules use the
 // schedule.Grid form {"step": τ, "values": [...]}.
-
-// Request bounds. The HTTP body limit (Config.MaxBodyBytes) already
-// caps raw size; these bound the *work* a single request may demand.
-const (
-	// maxSlots caps schedule and plan lengths per request.
-	maxSlots = 4096
-	// maxPeriods caps /v1/simulate analytic horizons.
-	maxPeriods = 64
-	// maxMachinePeriods caps the discrete-event board simulation,
-	// which costs orders of magnitude more per period.
-	maxMachinePeriods = 8
-	// maxFrequencies caps the Algorithm 2 enumeration per request.
-	maxFrequencies = 64
-	// maxRecords caps the per-slot rows a simulate response carries.
-	maxRecords = 1024
-	// maxPowerW, maxTauS and maxEnergyJ bound the physical
-	// magnitudes a request may carry. They are far beyond any real
-	// deployment (a gigawatt, a ~11-day slot, a petajoule) but small
-	// enough that the planning arithmetic cannot overflow float64
-	// into the NaN/Inf range JSON cannot carry.
-	maxPowerW  = 1e9
-	maxTauS    = 1e6
-	maxEnergyJ = 1e15
-	// maxMachineEvents caps the event trace one machine-mode simulate
-	// request may generate. The per-magnitude bounds above still
-	// admit a huge *product* (rate × horizon), so the expected event
-	// count is checked against this cap before any trace is drawn,
-	// and the trace generator enforces it again as a hard backstop.
-	maxMachineEvents = 1 << 18
-)
+//
+// Input bounds live in internal/scenario — the canonical validation
+// path shared with the library facade and the CLI tools. The HTTP
+// body limit (Config.MaxBodyBytes) caps raw size; the scenario bounds
+// cap the *work* a single request may demand.
 
 // apiError is the structured error body every non-2xx response
 // carries.
@@ -84,113 +58,10 @@ type httpError struct {
 func (e httpError) Error() string { return e.err.Error() }
 func (e httpError) Unwrap() error { return e.err }
 
-// Hardware describes the board Algorithm 2 optimizes for. The zero
-// value (or a nil pointer) means the paper's PAMA configuration:
-// eight M32R/D chips of which seven are workers, voltage pinned at
-// 3.3 V, clocks of 20/40/80 MHz, the FORTE FFT workload, and no
-// switching overheads.
-type Hardware struct {
-	// VoltageV is the pinned supply voltage in volts.
-	VoltageV float64 `json:"voltageV,omitempty"`
-	// MaxFrequencyHz is the VF-curve ceiling in hertz.
-	MaxFrequencyHz float64 `json:"maxFrequencyHz,omitempty"`
-	// FrequenciesHz are the selectable clocks in hertz.
-	FrequenciesHz []float64 `json:"frequenciesHz,omitempty"`
-	// MaxProcessors and MinProcessors bound the active-count range.
-	MaxProcessors int `json:"maxProcessors,omitempty"`
-	MinProcessors int `json:"minProcessors,omitempty"`
-	// OverheadProcJ and OverheadFreqJ are the switching energies OHn
-	// and OHf in joules.
-	OverheadProcJ float64 `json:"overheadProcJ,omitempty"`
-	OverheadFreqJ float64 `json:"overheadFreqJ,omitempty"`
-	// PerfValue converts performance×τ into joules for the
-	// Algorithm 2 switching test.
-	PerfValue float64 `json:"perfValue,omitempty"`
-	// IdleSleep parks inactive processors in sleep instead of
-	// stand-by.
-	IdleSleep bool `json:"idleSleep,omitempty"`
-	// WorkloadTotalS and WorkloadSerialS are the Amdahl profile:
-	// single-processor time and its serial part, in seconds.
-	WorkloadTotalS  float64 `json:"workloadTotalS,omitempty"`
-	WorkloadSerialS float64 `json:"workloadSerialS,omitempty"`
-}
-
-// withDefaults returns a copy with every zero field set to the paper
-// value, so the canonical cache key treats an omitted hardware block
-// and an explicitly spelled-out PAMA block as the same scenario.
-func (h *Hardware) withDefaults() Hardware {
-	out := Hardware{}
-	if h != nil {
-		out = *h
-	}
-	if out.VoltageV == 0 {
-		out.VoltageV = 3.3
-	}
-	if out.MaxFrequencyHz == 0 {
-		out.MaxFrequencyHz = 80e6
-	}
-	if len(out.FrequenciesHz) == 0 {
-		out.FrequenciesHz = []float64{20e6, 40e6, 80e6}
-	}
-	if out.MaxProcessors == 0 {
-		out.MaxProcessors = 7
-	}
-	if out.WorkloadTotalS == 0 {
-		out.WorkloadTotalS = 4.8
-	}
-	if out.WorkloadSerialS == 0 {
-		out.WorkloadSerialS = 0.48
-	}
-	return out
-}
-
-// paramsConfig validates the hardware block and assembles the
-// Algorithm 2 configuration. All errors are client errors.
-func (h Hardware) paramsConfig() (params.Config, error) {
-	if !isFinite(h.VoltageV) || h.VoltageV <= 0 {
-		return params.Config{}, badRequestf("hardware: voltage %g must be positive", h.VoltageV)
-	}
-	if !isFinite(h.MaxFrequencyHz) || h.MaxFrequencyHz <= 0 {
-		return params.Config{}, badRequestf("hardware: max frequency %g must be positive", h.MaxFrequencyHz)
-	}
-	if len(h.FrequenciesHz) > maxFrequencies {
-		return params.Config{}, badRequestf("hardware: %d frequencies exceed the limit of %d", len(h.FrequenciesHz), maxFrequencies)
-	}
-	for _, f := range h.FrequenciesHz {
-		if !isFinite(f) || f <= 0 {
-			return params.Config{}, badRequestf("hardware: non-positive frequency %g", f)
-		}
-	}
-	for name, v := range map[string]float64{
-		"overheadProcJ": h.OverheadProcJ, "overheadFreqJ": h.OverheadFreqJ, "perfValue": h.PerfValue,
-	} {
-		if !isFinite(v) || v < 0 {
-			return params.Config{}, badRequestf("hardware: %s %g must be non-negative", name, v)
-		}
-	}
-	w, err := perf.NewWorkload(h.WorkloadTotalS, h.WorkloadSerialS)
-	if err != nil {
-		return params.Config{}, badRequest{err}
-	}
-	cfg := params.Config{
-		System:        power.PAMA(),
-		Curve:         power.NewFixedVoltage(h.VoltageV, h.MaxFrequencyHz),
-		Workload:      w,
-		Frequencies:   h.FrequenciesHz,
-		MaxProcessors: h.MaxProcessors,
-		MinProcessors: h.MinProcessors,
-		OverheadProc:  h.OverheadProcJ,
-		OverheadFreq:  h.OverheadFreqJ,
-		PerfValue:     h.PerfValue,
-		IdleSleep:     h.IdleSleep,
-	}
-	// BuildTable re-validates; run it here so every config error
-	// surfaces as a 400 at decode time rather than a 500 later.
-	if _, err := params.BuildTable(cfg); err != nil {
-		return params.Config{}, badRequest{err}
-	}
-	return cfg, nil
-}
+// Hardware is the canonical hardware block (internal/scenario): the
+// board Algorithm 2 optimizes for, defaulting to the paper's PAMA
+// configuration.
+type Hardware = scenario.Hardware
 
 // PlanRequest asks for an Algorithm 1 power allocation.
 type PlanRequest struct {
@@ -222,6 +93,33 @@ type PlanResponse struct {
 	Iterations int `json:"iterations"`
 	// Feasible reports whether the trajectory stays inside the band.
 	Feasible bool `json:"feasible"`
+}
+
+// BatchRequest plans many scenarios in one call. Each item is
+// processed exactly as an individual /v1/plan request — same
+// validation, same cache, same bytes — across dpmd's bounded worker
+// pool.
+type BatchRequest struct {
+	// Requests are the individual plan requests, answered in order.
+	Requests []PlanRequest `json:"requests"`
+}
+
+// BatchItem is one batched request's outcome.
+type BatchItem struct {
+	// Status is the HTTP status the item would have received from
+	// /v1/plan.
+	Status int `json:"status"`
+	// Cache is "hit" or "miss" for successful items.
+	Cache string `json:"cache,omitempty"`
+	// Body is the exact /v1/plan response body for this item —
+	// a PlanResponse on success, the structured error otherwise.
+	Body json.RawMessage `json:"body"`
+}
+
+// BatchResponse carries one result per request, in request order.
+type BatchResponse struct {
+	// Results are the per-item outcomes.
+	Results []BatchItem `json:"results"`
 }
 
 // ParamsRequest asks for an Algorithm 2 (n, f) schedule for a plan.
@@ -386,8 +284,6 @@ func decodeJSON(r *http.Request, dst any) error {
 	return nil
 }
 
-func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
-
 // canonicalJSON marshals v compactly with a trailing newline — the
 // byte form the cache stores and the wire carries, so a cached reply
 // is byte-identical to the cold one. A JSON-unsupported value (NaN
@@ -404,58 +300,6 @@ func canonicalJSON(v any) ([]byte, error) {
 		return nil, err
 	}
 	return append(b, '\n'), nil
-}
-
-// validateGrid rejects grids the planner cannot safely consume:
-// missing, over-long, non-finite or negative. (The JSON decoder
-// already rejects literal NaN/Inf tokens and overflowing numbers;
-// the checks here are the backstop for programmatic callers.)
-func validateGrid(name string, g *schedule.Grid, requireNonNegative bool) error {
-	if g == nil {
-		return badRequestf("%s schedule is required", name)
-	}
-	if g.Len() > maxSlots {
-		return badRequestf("%s schedule has %d slots; the limit is %d", name, g.Len(), maxSlots)
-	}
-	if !isFinite(g.Step) || g.Step <= 0 || g.Step > maxTauS {
-		return badRequestf("%s schedule step %g outside (0, %g] seconds", name, g.Step, float64(maxTauS))
-	}
-	for i, v := range g.Values {
-		if !isFinite(v) || v > maxPowerW {
-			return badRequestf("%s[%d] = %g outside the supported power range", name, i, v)
-		}
-		if requireNonNegative && v < 0 {
-			return badRequestf("%s[%d] = %g is negative", name, i, v)
-		}
-	}
-	return nil
-}
-
-// validateScenario applies the server-side bounds on top of the
-// trace-level geometry checks its UnmarshalJSON already ran.
-func validateScenario(s trace.Scenario) error {
-	if err := validateGrid("charging", s.Charging, true); err != nil {
-		return err
-	}
-	if err := validateGrid("usage", s.Usage, true); err != nil {
-		return err
-	}
-	if s.Weight != nil {
-		if err := validateGrid("weight", s.Weight, true); err != nil {
-			return err
-		}
-	}
-	for name, v := range map[string]float64{
-		"capacityMax": s.CapacityMax, "capacityMin": s.CapacityMin, "initialCharge": s.InitialCharge,
-	} {
-		if !isFinite(v) || v < 0 || v > maxEnergyJ {
-			return badRequestf("%s %g outside [0, %g] joules", name, v, float64(maxEnergyJ))
-		}
-	}
-	if s.CapacityMax <= s.CapacityMin {
-		return badRequestf("capacityMax %g must exceed capacityMin %g", s.CapacityMax, s.CapacityMin)
-	}
-	return nil
 }
 
 // parseStrategy maps the wire name onto the alloc constant.
@@ -494,54 +338,46 @@ func parseBattery(s string) (dpm.BatteryModel, error) {
 	}
 }
 
-// validatePlanRequest normalizes and bounds a plan request; the
-// returned request has every default spelled out (strategy,
-// maxIterations) so semantically identical requests canonicalize to
-// one cache key.
+// validatePlanRequest normalizes and bounds a plan request through
+// the canonical pipeline validation; the returned request has every
+// default spelled out (strategy, maxIterations) so semantically
+// identical requests canonicalize to one cache key.
 func validatePlanRequest(req *PlanRequest) error {
-	if err := validateScenario(req.Scenario); err != nil {
+	strategy, err := parseStrategy(req.Strategy)
+	if err != nil {
 		return err
 	}
-	if _, err := parseStrategy(req.Strategy); err != nil {
+	spec := pipeline.PlanSpec{
+		Scenario:      req.Scenario,
+		Strategy:      strategy,
+		MaxIterations: req.MaxIterations,
+		Margin:        req.Margin,
+	}
+	if err := spec.Validate(); err != nil {
 		return err
 	}
 	if req.Strategy == "" {
 		req.Strategy = "proportional"
 	}
-	if req.MaxIterations < 0 || req.MaxIterations > 1024 {
-		return badRequestf("maxIterations %d outside [0, 1024]", req.MaxIterations)
-	}
 	if req.MaxIterations == 0 {
 		req.MaxIterations = 16 // alloc.Compute's documented default
-	}
-	if !isFinite(req.Margin) || req.Margin < 0 || req.Margin >= 0.5 {
-		return badRequestf("margin %g outside [0, 0.5)", req.Margin)
 	}
 	return nil
 }
 
-// managerConfig assembles the dpm manager configuration shared by
-// the replan and simulate endpoints.
-func managerConfig(s trace.Scenario, hw *Hardware, policy string) (dpm.Config, error) {
-	if err := validateScenario(s); err != nil {
-		return dpm.Config{}, err
+// scenarioParams validates a request's scenario, policy and hardware
+// block and returns the pieces the pipeline specs consume.
+func scenarioParams(s trace.Scenario, hw *Hardware, policy string) (params.Config, dpm.RedistributePolicy, error) {
+	if err := scenario.Validate(s); err != nil {
+		return params.Config{}, 0, err
 	}
 	pol, err := parsePolicy(policy)
 	if err != nil {
-		return dpm.Config{}, err
+		return params.Config{}, 0, err
 	}
-	pcfg, err := hw.withDefaults().paramsConfig()
+	pcfg, err := hw.WithDefaults().ParamsConfig()
 	if err != nil {
-		return dpm.Config{}, err
+		return params.Config{}, 0, err
 	}
-	return dpm.Config{
-		Charging:      s.Charging,
-		EventRate:     s.Usage,
-		Weight:        s.Weight,
-		CapacityMax:   s.CapacityMax,
-		CapacityMin:   s.CapacityMin,
-		InitialCharge: s.InitialCharge,
-		Params:        pcfg,
-		Policy:        pol,
-	}, nil
+	return pcfg, pol, nil
 }

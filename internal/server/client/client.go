@@ -108,6 +108,45 @@ func (c *Client) Plan(ctx context.Context, req server.PlanRequest) (*server.Plan
 	return &out, state, nil
 }
 
+// BatchResult is one item of a PlanBatch call: exactly one of Plan
+// and Err is set. Cache reports the item's plan-cache disposition.
+type BatchResult struct {
+	Plan  *server.PlanResponse
+	Cache CacheState
+	Err   error
+}
+
+// PlanBatch answers many plan requests in one round trip. The
+// returned slice is in request order; a failed item carries a
+// *StatusError in Err and does not disturb its siblings.
+func (c *Client) PlanBatch(ctx context.Context, reqs []server.PlanRequest) ([]BatchResult, error) {
+	var out server.BatchResponse
+	if _, err := c.post(ctx, "/v1/batch", server.BatchRequest{Requests: reqs}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(reqs) {
+		return nil, fmt.Errorf("client: %d batch results for %d requests", len(out.Results), len(reqs))
+	}
+	res := make([]BatchResult, len(out.Results))
+	for i, item := range out.Results {
+		if item.Status != http.StatusOK {
+			msg := strings.TrimSpace(string(item.Body))
+			var ae apiError
+			if err := json.Unmarshal(item.Body, &ae); err == nil && ae.Error != "" {
+				msg = ae.Error
+			}
+			res[i] = BatchResult{Err: &StatusError{Code: item.Status, Message: msg}}
+			continue
+		}
+		var pr server.PlanResponse
+		if err := json.Unmarshal(item.Body, &pr); err != nil {
+			return nil, fmt.Errorf("client: decoding batch item %d: %w", i, err)
+		}
+		res[i] = BatchResult{Plan: &pr, Cache: CacheState(item.Cache)}
+	}
+	return res, nil
+}
+
 // Params requests an Algorithm 2 (n, f) schedule for a plan.
 func (c *Client) Params(ctx context.Context, req server.ParamsRequest) (*server.ParamsResponse, CacheState, error) {
 	var out server.ParamsResponse

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"dpm/internal/scenario"
 	"dpm/internal/trace"
 )
 
@@ -38,9 +39,9 @@ func FuzzDecodePlanRequest(f *testing.F) {
 	// Geometry mismatch and zero-demand balancing failure.
 	f.Add([]byte(`{"scenario":{"charging":{"step":4.8,"values":[1,2,3]},"usage":{"step":2.4,"values":[1]}}}`))
 	f.Add([]byte(`{"scenario":{"charging":{"step":4.8,"values":[1,1]},"usage":{"step":4.8,"values":[0,0]}}}`))
-	// Absurd length (over maxSlots) and trailing garbage.
+	// Absurd length (over scenario.MaxSlots) and trailing garbage.
 	f.Add([]byte(`{"scenario":{"charging":{"step":4.8,"values":[` +
-		strings.Repeat("0,", maxSlots) + `0]},"usage":{"step":4.8,"values":[1]}}}`))
+		strings.Repeat("0,", scenario.MaxSlots) + `0]},"usage":{"step":4.8,"values":[1]}}}`))
 	f.Add([]byte(`{"scenario":{"charging":{"step":4.8,"values":[1]},"usage":{"step":4.8,"values":[1]}}}{"again":true}`))
 	// Out-of-range tuning knobs.
 	f.Add([]byte(`{"scenario":{"charging":{"step":4.8,"values":[1]},"usage":{"step":4.8,"values":[1]}},"margin":0.9}`))

@@ -17,24 +17,23 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
-	"math"
 	"net"
 	"net/http"
 	"sync"
 	"time"
 
-	"dpm/internal/alloc"
 	"dpm/internal/dpm"
-	"dpm/internal/machine"
 	"dpm/internal/metrics"
 	"dpm/internal/params"
+	"dpm/internal/pipeline"
 	"dpm/internal/plancache"
-	"dpm/internal/trace"
+	"dpm/internal/scenario"
 )
 
 // cacheHeader reports whether a response came from the plan cache.
@@ -127,6 +126,7 @@ func New(cfg Config) (*Server, error) {
 		mux:   http.NewServeMux(),
 	}
 	s.mux.Handle("/v1/plan", s.endpoint(http.MethodPost, true, s.handlePlan))
+	s.mux.Handle("/v1/batch", s.endpoint(http.MethodPost, true, s.handleBatch))
 	s.mux.Handle("/v1/params", s.endpoint(http.MethodPost, true, s.handleParams))
 	s.mux.Handle("/v1/replan", s.endpoint(http.MethodPost, true, s.handleReplan))
 	s.mux.Handle("/v1/simulate", s.endpoint(http.MethodPost, true, s.handleSimulate))
@@ -218,36 +218,50 @@ func (s *Server) endpoint(method string, pooled bool, h http.HandlerFunc) http.H
 	})
 }
 
+// errorJSON renders the structured error body exactly as writeError
+// sends it, without the trailing newline — the form batch items
+// embed.
+func errorJSON(status int, msg string) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf("{\"error\":%q,\"status\":%d}", msg, status))
+}
+
 // writeError emits the structured error body.
 func writeError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	fmt.Fprintf(w, "{\"error\":%q,\"status\":%d}\n", msg, status)
+	w.Write(append(errorJSON(status, msg), '\n')) //nolint:errcheck
 }
 
-// fail maps an error onto its HTTP status: an explicit httpError
-// keeps its code, a context cancellation (the request deadline
-// expired or the client went away mid-computation) becomes 503, a
-// badRequest becomes 400, anything else is a 500.
-func fail(w http.ResponseWriter, err error) {
+// errorBody maps an error onto its HTTP status and client-facing
+// message: an explicit httpError keeps its code, a context
+// cancellation (the request deadline expired or the client went away
+// mid-computation) becomes 503, a validation failure
+// (scenario.Error) or badRequest becomes 400, anything else is a
+// 500.
+func errorBody(err error) (int, string) {
 	var he httpError
 	if errors.As(err, &he) {
-		writeError(w, he.status, he.Error())
-		return
+		return he.status, he.Error()
 	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		writeError(w, http.StatusServiceUnavailable,
-			"request deadline exceeded; computation aborted")
-		return
+		return http.StatusServiceUnavailable, "request deadline exceeded; computation aborted"
+	}
+	var ve *scenario.Error
+	if errors.As(err, &ve) {
+		return http.StatusBadRequest, ve.Error()
 	}
 	var br badRequest
 	if errors.As(err, &br) {
-		writeError(w, http.StatusBadRequest, br.Error())
-		return
+		return http.StatusBadRequest, br.Error()
 	}
-	writeError(w, http.StatusInternalServerError, err.Error())
+	return http.StatusInternalServerError, err.Error()
 }
 
+// fail writes the structured error response for err.
+func fail(w http.ResponseWriter, err error) {
+	status, msg := errorBody(err)
+	writeError(w, status, msg)
+}
 
 // writeJSONBytes writes a pre-marshaled JSON body.
 func writeJSONBytes(w http.ResponseWriter, body []byte) {
@@ -306,6 +320,59 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, key strin
 	writeJSONBytes(w, body)
 }
 
+// planBody answers one plan request through the shared
+// validate → cache → pipeline flow: validate and normalize, look the
+// canonical key up, compute and insert on a miss (coalescing
+// concurrent identical misses onto one computation), and splice the
+// request's scenario name back into the cached, name-free body. It
+// returns the exact wire body (with trailing newline) plus the cache
+// disposition, and is shared verbatim by /v1/plan and every
+// /v1/batch item so the two are byte-identical.
+func (s *Server) planBody(ctx context.Context, req *PlanRequest) ([]byte, string, error) {
+	if err := validatePlanRequest(req); err != nil {
+		return nil, "", err
+	}
+	keyReq := *req
+	keyReq.Scenario.Name = ""
+	key, err := plancache.Key("plan", keyReq)
+	if err != nil {
+		return nil, "", err
+	}
+	body, served, err := s.cache.GetOrCompute(ctx, key, func() ([]byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		strategy, _ := parseStrategy(req.Strategy)
+		res, err := pipeline.Plan(ctx, pipeline.PlanSpec{
+			Scenario:      keyReq.Scenario,
+			Strategy:      strategy,
+			MaxIterations: req.MaxIterations,
+			Margin:        req.Margin,
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			return nil, badRequest{err}
+		}
+		return marshalBody(&PlanResponse{
+			Tau:        res.Allocation.Step,
+			Allocation: res.Allocation.Values,
+			Trajectory: res.Trajectory,
+			Iterations: len(res.Iterations),
+			Feasible:   res.Feasible,
+		})
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	state := "miss"
+	if served {
+		state = "hit"
+	}
+	return withScenarioName(req.Scenario.Name, body), state, nil
+}
+
 // handlePlan runs Algorithm 1 (§4.1): WPUF → balancing → feasible
 // per-slot power allocation. The scenario name is presentation, not
 // a planning input: the cache key and the cached body both exclude
@@ -317,45 +384,67 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	if err := validatePlanRequest(&req); err != nil {
-		fail(w, err)
-		return
-	}
-	keyReq := req
-	keyReq.Scenario.Name = ""
-	key, err := plancache.Key("plan", keyReq)
+	body, state, err := s.planBody(r.Context(), &req)
 	if err != nil {
 		fail(w, err)
 		return
 	}
-	decorate := func(body []byte) []byte { return withScenarioName(req.Scenario.Name, body) }
-	s.respondCached(w, r, key, decorate, func(ctx context.Context) (any, error) {
-		strategy, _ := parseStrategy(req.Strategy)
-		res, err := alloc.ComputeContext(ctx, alloc.Inputs{
-			Charging:      req.Scenario.Charging,
-			EventRate:     req.Scenario.Usage,
-			Weight:        req.Scenario.Weight,
-			CapacityMax:   req.Scenario.CapacityMax,
-			CapacityMin:   req.Scenario.CapacityMin,
-			InitialCharge: req.Scenario.InitialCharge,
-			MaxIterations: req.MaxIterations,
-			Margin:        req.Margin,
-			Strategy:      strategy,
-		})
+	if err := r.Context().Err(); err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set(cacheHeader, state)
+	writeJSONBytes(w, body)
+}
+
+// handleBatch answers N plan requests in one call. Every item runs
+// the exact /v1/plan flow — same validation, same plan cache, same
+// bytes — fanned across a bounded set of workers (pipeline.ForEach),
+// and failures are reported per item so one bad scenario does not
+// void the rest of the batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		fail(w, badRequestf("at least one plan request is required"))
+		return
+	}
+	if len(req.Requests) > scenario.MaxBatch {
+		fail(w, badRequestf("%d plan requests exceed the batch limit of %d",
+			len(req.Requests), scenario.MaxBatch))
+		return
+	}
+	ctx := r.Context()
+	results := make([]BatchItem, len(req.Requests))
+	// The batch holds one worker-pool slot; its items fan out across
+	// at most the same parallelism the pool would grant individual
+	// requests.
+	pipeline.ForEach(ctx, len(req.Requests), s.cfg.PoolSize, func(ctx context.Context, i int) {
+		body, state, err := s.planBody(ctx, &req.Requests[i])
 		if err != nil {
-			if ctx.Err() != nil {
-				return nil, err
-			}
-			return nil, badRequest{err}
+			status, msg := errorBody(err)
+			results[i] = BatchItem{Status: status, Body: errorJSON(status, msg)}
+			return
 		}
-		return &PlanResponse{
-			Tau:        res.Allocation.Step,
-			Allocation: res.Allocation.Values,
-			Trajectory: res.Trajectory,
-			Iterations: len(res.Iterations),
-			Feasible:   res.Feasible,
-		}, nil
+		results[i] = BatchItem{
+			Status: http.StatusOK,
+			Cache:  state,
+			Body:   json.RawMessage(bytes.TrimSuffix(body, []byte("\n"))),
+		}
 	})
+	if err := ctx.Err(); err != nil {
+		fail(w, err)
+		return
+	}
+	body, err := marshalBody(&BatchResponse{Results: results})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSONBytes(w, body)
 }
 
 // withScenarioName splices a scenario name into a cached, name-free
@@ -388,14 +477,13 @@ func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	if err := validateGrid("allocation", req.Allocation, true); err != nil {
+	if err := scenario.ValidateGrid("allocation", req.Allocation, true); err != nil {
 		fail(w, err)
 		return
 	}
-	hw := req.Hardware.withDefaults()
+	hw := req.Hardware.WithDefaults()
 	req.Hardware = &hw // canonicalize for the cache key
-	pcfg, err := hw.paramsConfig()
-	if err != nil {
+	if _, err := hw.ParamsConfig(); err != nil {
 		fail(w, err)
 		return
 	}
@@ -405,9 +493,9 @@ func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.respondCached(w, r, key, nil, func(_ context.Context) (any, error) {
-		table, err := params.BuildTable(pcfg)
+		table, _, err := pipeline.Table(req.Hardware)
 		if err != nil {
-			return nil, badRequest{err}
+			return nil, err
 		}
 		steps := table.Plan(req.Allocation.Values, req.Allocation.Step)
 		resp := &ParamsResponse{
@@ -441,40 +529,19 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	cfg, err := managerConfig(req.Scenario, req.Hardware, req.Policy)
+	pcfg, pol, err := scenarioParams(req.Scenario, req.Hardware, req.Policy)
 	if err != nil {
 		fail(w, err)
 		return
 	}
-	if len(req.Slots) == 0 {
-		fail(w, badRequestf("at least one slot report is required"))
-		return
-	}
-	if len(req.Slots) > maxSlots {
-		fail(w, badRequestf("%d slot reports exceed the limit of %d", len(req.Slots), maxSlots))
-		return
-	}
+	reports := make([]pipeline.SlotReport, len(req.Slots))
 	for i, rep := range req.Slots {
-		if !isFinite(rep.UsedJ) || rep.UsedJ < 0 || rep.UsedJ > maxEnergyJ ||
-			!isFinite(rep.SuppliedJ) || rep.SuppliedJ < 0 || rep.SuppliedJ > maxEnergyJ {
-			fail(w, badRequestf("slots[%d] energies (%g, %g) outside [0, %g] joules",
-				i, rep.UsedJ, rep.SuppliedJ, float64(maxEnergyJ)))
-			return
-		}
+		reports[i] = pipeline.SlotReport(rep)
 	}
-	mgr, err := dpm.New(cfg)
+	mgr, err := pipeline.Replay(req.Scenario, pcfg, pol, req.State, reports)
 	if err != nil {
 		fail(w, badRequest{err})
 		return
-	}
-	if req.State != nil {
-		if err := mgr.Restore(*req.State); err != nil {
-			fail(w, badRequest{err})
-			return
-		}
-	}
-	for _, rep := range req.Slots {
-		mgr.EndSlot(rep.UsedJ, rep.SuppliedJ)
 	}
 	body, err := marshalBody(&ReplanResponse{
 		Plan:    mgr.PlanSnapshot(),
@@ -502,30 +569,24 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	cfg, err := managerConfig(req.Scenario, req.Hardware, req.Policy)
+	pcfg, pol, err := scenarioParams(req.Scenario, req.Hardware, req.Policy)
 	if err != nil {
 		fail(w, err)
 		return
 	}
-	limit := maxPeriods
+	limit := scenario.MaxPeriods
 	if req.Machine {
-		limit = maxMachinePeriods
+		limit = scenario.MaxMachinePeriods
 	}
 	if req.Periods < 1 || req.Periods > limit {
 		fail(w, badRequestf("periods %d outside [1, %d]", req.Periods, limit))
 		return
 	}
-	if req.ActualCharging != nil {
-		if err := validateGrid("actualCharging", req.ActualCharging, true); err != nil {
-			fail(w, err)
-			return
-		}
-	}
 	var resp *SimulateResponse
 	if req.Machine {
-		resp, err = s.simulateMachine(r.Context(), req, cfg)
+		resp, err = simulateMachine(r.Context(), req, pcfg, pol)
 	} else {
-		resp, err = simulateAnalytic(r.Context(), req, cfg)
+		resp, err = simulateAnalytic(r.Context(), req, pcfg, pol)
 	}
 	if err != nil {
 		fail(w, err)
@@ -543,14 +604,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	writeJSONBytes(w, body)
 }
 
-func simulateAnalytic(ctx context.Context, req SimulateRequest, cfg dpm.Config) (*SimulateResponse, error) {
+func simulateAnalytic(ctx context.Context, req SimulateRequest, pcfg params.Config, pol dpm.RedistributePolicy) (*SimulateResponse, error) {
 	bm, err := parseBattery(req.Battery)
 	if err != nil {
 		return nil, err
 	}
-	res, err := dpm.SimulateContext(ctx, dpm.SimConfig{
+	res, err := pipeline.Simulate(ctx, pipeline.SimSpec{
+		Scenario:       req.Scenario,
+		Params:         pcfg,
+		Policy:         pol,
 		Battery:        bm,
-		Manager:        cfg,
 		ActualCharging: req.ActualCharging,
 		Periods:        req.Periods,
 		SyncCharge:     true,
@@ -572,7 +635,7 @@ func simulateAnalytic(ctx context.Context, req SimulateRequest, cfg dpm.Config) 
 		Switches:       res.Switches,
 		PerfSeconds:    res.PerfSeconds,
 	}
-	if req.IncludeRecords && len(res.Records) <= maxRecords {
+	if req.IncludeRecords && len(res.Records) <= scenario.MaxRecords {
 		resp.Records = make([]SimulateRecord, len(res.Records))
 		for i, rec := range res.Records {
 			resp.Records[i] = SimulateRecord{
@@ -588,7 +651,7 @@ func simulateAnalytic(ctx context.Context, req SimulateRequest, cfg dpm.Config) 
 	return resp, nil
 }
 
-func (s *Server) simulateMachine(ctx context.Context, req SimulateRequest, cfg dpm.Config) (*SimulateResponse, error) {
+func simulateMachine(ctx context.Context, req SimulateRequest, pcfg params.Config, pol dpm.RedistributePolicy) (*SimulateResponse, error) {
 	if req.Battery != "" && req.Battery != "net-flow" {
 		return nil, badRequestf("machine mode models the battery itself; battery %q is not selectable", req.Battery)
 	}
@@ -596,46 +659,29 @@ func (s *Server) simulateMachine(ctx context.Context, req SimulateRequest, cfg d
 	if scale == 0 {
 		scale = 0.1
 	}
-	if !isFinite(scale) || scale < 0 || scale > 10 {
+	if !scenario.IsFinite(scale) || scale < 0 || scale > 10 {
 		return nil, badRequestf("eventScale %g outside [0, 10]", scale)
 	}
-	horizon := float64(req.Periods) * req.Scenario.Charging.Period()
-	// The per-magnitude input bounds still admit an enormous
-	// rate × horizon product, and the Poisson thinning loop iterates
-	// ~maxRate·scale·horizon times while materializing every accepted
-	// arrival. Bound the expected event count before drawing anything
-	// so a hostile scenario is a cheap 400, not a wedged pool slot.
-	maxRate := 0.0
-	for _, v := range req.Scenario.Usage.Values {
-		maxRate = math.Max(maxRate, v)
-	}
-	if expected := maxRate * scale * horizon; expected > maxMachineEvents {
-		return nil, badRequestf("scenario implies ~%.3g events over the %g s horizon; the limit is %d — lower the usage rates, eventScale or periods",
-			expected, horizon, maxMachineEvents)
-	}
-	// The generator re-enforces the cap (with slack for Poisson
-	// fluctuation around the expectation) and honors the request
-	// deadline while drawing.
-	events, err := trace.PoissonEventsBounded(ctx, req.Scenario.Usage, scale, horizon, req.Seed, 2*maxMachineEvents)
+	res, err := pipeline.SimulateMachine(ctx, pipeline.MachineSpec{
+		Scenario:       req.Scenario,
+		Params:         pcfg,
+		Policy:         pol,
+		ActualCharging: req.ActualCharging,
+		Periods:        req.Periods,
+		EventScale:     scale,
+		Seed:           req.Seed,
+		// Hostile rate × horizon products are rejected before any
+		// trace is drawn, so they cost a cheap 400, not a wedged pool
+		// slot.
+		MaxExpectedEvents: scenario.MaxMachineEvents,
+		ExecuteDSP:        false,
+	})
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, err
 		}
-		return nil, badRequest{err}
-	}
-	board, err := machine.New(machine.Config{
-		Manager:        cfg,
-		ActualCharging: req.ActualCharging,
-		Events:         events,
-		Periods:        req.Periods,
-		ExecuteDSP:     false,
-	})
-	if err != nil {
-		return nil, badRequest{err}
-	}
-	res, err := board.RunContext(ctx)
-	if err != nil {
-		if ctx.Err() != nil {
+		var ve *scenario.Error
+		if errors.As(err, &ve) {
 			return nil, err
 		}
 		return nil, fmt.Errorf("machine run: %w", err)
@@ -653,7 +699,7 @@ func (s *Server) simulateMachine(ctx context.Context, req SimulateRequest, cfg d
 		MeanLatencyS:   res.MeanLatencySeconds,
 		EnergyUsedJ:    res.EnergyUsed,
 	}
-	if req.IncludeRecords && len(res.Records) <= maxRecords {
+	if req.IncludeRecords && len(res.Records) <= scenario.MaxRecords {
 		resp.Records = make([]SimulateRecord, len(res.Records))
 		for i, rec := range res.Records {
 			resp.Records[i] = SimulateRecord{

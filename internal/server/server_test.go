@@ -14,6 +14,7 @@ import (
 
 	"dpm/internal/alloc"
 	"dpm/internal/dpm"
+	"dpm/internal/pipeline"
 	"dpm/internal/schedule"
 	"dpm/internal/trace"
 )
@@ -331,10 +332,11 @@ func TestParamsEndpoint(t *testing.T) {
 func TestReplanEndpoint(t *testing.T) {
 	_, base := startServer(t, Config{})
 	s := trace.ScenarioI()
-	cfg, err := managerConfig(s, nil, "")
+	pcfg, pol, err := scenarioParams(s, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg := pipeline.ManagerConfig(s, pcfg, pol)
 	mgr, err := dpm.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -403,10 +405,11 @@ func TestReplanEndpoint(t *testing.T) {
 func TestSimulateEndpoint(t *testing.T) {
 	_, base := startServer(t, Config{})
 	s := trace.ScenarioII()
-	cfg, err := managerConfig(s, nil, "")
+	pcfg, pol, err := scenarioParams(s, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg := pipeline.ManagerConfig(s, pcfg, pol)
 	want, err := dpm.Simulate(dpm.SimConfig{Manager: cfg, Periods: 2, SyncCharge: true})
 	if err != nil {
 		t.Fatal(err)
