@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"dpm/internal/baseline"
@@ -537,6 +538,50 @@ func BenchmarkPlanCold(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		postPlanBench(b, h, bodies[i], "miss")
+	}
+}
+
+// BenchmarkPlanParallel measures concurrent warm-cache /v1/plan round
+// trips (b.RunParallel): a primed working set of distinct scenarios,
+// every timed request a hit, so the plan cache's lock discipline is
+// the bottleneck. shards=1 serializes every reader through one mutex;
+// the sharded variant routes keys across shard locks. Run with
+// -cpu N to scale the parallelism beyond GOMAXPROCS' default.
+func BenchmarkPlanParallel(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{{"shards=1", 1}, {"shards=8", 8}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			srv, err := server.New(server.Config{CacheEntries: 64, CacheShards: tc.shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := srv.Handler()
+			const working = 16
+			bodies := make([][]byte, working)
+			for i := range bodies {
+				s := trace.ScenarioI()
+				// Distinct planning input → distinct cache key, so
+				// parallel readers spread across shards.
+				s.CapacityMax += float64(i)
+				body, err := json.Marshal(server.PlanRequest{Scenario: s})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bodies[i] = body
+				postPlanBench(b, h, body, "miss")
+			}
+			var ctr atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := ctr.Add(1)
+					postPlanBench(b, h, bodies[i%working], "hit")
+				}
+			})
+		})
 	}
 }
 

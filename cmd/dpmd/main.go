@@ -8,6 +8,8 @@
 //	dpmd -addr :8080                       # defaults
 //	dpmd -addr 127.0.0.1:0 -pool 16        # bigger worker pool
 //	dpmd -cache 1024 -timeout 5s           # larger cache, tighter SLO
+//	dpmd -cache-shards 1                   # single-lock plan cache
+//	dpmd -table-cache 512                  # more memoized (n,f) tables
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // requests.
@@ -23,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"dpm/internal/params"
 	"dpm/internal/server"
 )
 
@@ -30,6 +33,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address (host:port)")
 	pool := flag.Int("pool", 8, "worker pool size (max concurrent planning requests)")
 	cacheEntries := flag.Int("cache", 256, "plan cache capacity in entries")
+	cacheShards := flag.Int("cache-shards", 0,
+		"plan cache shard count, rounded up to a power of two (0 = GOMAXPROCS rounded up, capped at 16; 1 = single lock)")
+	tableCache := flag.Int("table-cache", params.DefaultTableCacheEntries,
+		"memoized Algorithm 2 table cache capacity in hardware blocks")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout, including pool wait")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain deadline")
 	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
@@ -40,7 +47,16 @@ func main() {
 	if *quiet {
 		logger = nil
 	}
-	if err := run(*addr, *pool, *cacheEntries, *timeout, *shutdownTimeout, *maxBody, logger); err != nil {
+	cfg := server.Config{
+		Addr:           *addr,
+		PoolSize:       *pool,
+		CacheEntries:   *cacheEntries,
+		CacheShards:    *cacheShards,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		Logger:         logger,
+	}
+	if err := run(cfg, *tableCache, *shutdownTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "dpmd:", err)
 		os.Exit(1)
 	}
@@ -50,17 +66,11 @@ func main() {
 // the server is up. Only tests set it.
 var testReady func(addr string)
 
-func run(addr string, pool, cacheEntries int, timeout, shutdownTimeout time.Duration,
-	maxBody int64, logger *log.Logger) error {
-
-	srv, err := server.New(server.Config{
-		Addr:           addr,
-		PoolSize:       pool,
-		CacheEntries:   cacheEntries,
-		RequestTimeout: timeout,
-		MaxBodyBytes:   maxBody,
-		Logger:         logger,
-	})
+func run(cfg server.Config, tableCacheEntries int, shutdownTimeout time.Duration) error {
+	if err := params.ResizeSharedTableCache(tableCacheEntries); err != nil {
+		return fmt.Errorf("table cache: %w", err)
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,9 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"dpm/internal/params"
+	"dpm/internal/server"
 )
 
 // TestRunServesAndStopsOnSIGTERM is the daemon smoke test: bring up
@@ -22,7 +25,13 @@ func TestRunServesAndStopsOnSIGTERM(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", 2, 16, 5*time.Second, 5*time.Second, 1<<20, nil)
+		done <- run(server.Config{
+			Addr:           "127.0.0.1:0",
+			PoolSize:       2,
+			CacheEntries:   16,
+			RequestTimeout: 5 * time.Second,
+			MaxBodyBytes:   1 << 20,
+		}, params.DefaultTableCacheEntries, 5*time.Second)
 	}()
 
 	var addr string

@@ -8,6 +8,20 @@
 // (`make serve`, or `go run ./cmd/dpmd`); plan_request.json and
 // batch_request.json in this directory are the /v1/plan and
 // /v1/batch bodies used below, ready for curl.
+//
+// The daemon's hot-path tuning knobs (all optional — the defaults
+// fit a small deployment):
+//
+//	-cache 256        plan-cache capacity, entries (LRU per shard)
+//	-cache-shards 0   lock shards for the plan cache; 0 picks
+//	                  min(pow2(GOMAXPROCS), 16), 1 = single lock
+//	-table-cache 128  memoized Algorithm 2 tables kept resident,
+//	                  one per distinct hardware config
+//	-pool 8           concurrent planning workers
+//
+// In-process embedders set the same things via server.Config
+// (CacheEntries, CacheShards, PoolSize) and
+// params.ResizeSharedTableCache, as below.
 package main
 
 import (
@@ -25,7 +39,9 @@ import (
 
 func main() {
 	// 1. Start the service on a loopback port, as cmd/dpmd would.
-	srv, err := server.New(server.Config{Addr: "127.0.0.1:0", PoolSize: 4, CacheEntries: 64})
+	// CacheShards: 0 lets the server pick its GOMAXPROCS-scaled
+	// default; set 1 to force a single-lock cache.
+	srv, err := server.New(server.Config{Addr: "127.0.0.1:0", PoolSize: 4, CacheEntries: 64, CacheShards: 0})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,7 +15,7 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"dpm/internal/schedule"
 )
@@ -154,15 +154,54 @@ type extremum struct {
 	high  bool    // true: local max above Cmax; false: local min below Cmin
 }
 
+// computeScratch holds the per-call working buffers of the
+// Algorithm 1 driver. Every slice here is transient — overwritten on
+// each use and never retained by a Result — so pooling them makes
+// the plan hot path allocate only what it actually returns (the
+// iteration history and the final allocation).
+type computeScratch struct {
+	surplus []float64
+	orig    []float64
+	work    []float64
+	ext     []extremum
+	deduped []extremum
+	anchors []anchorPoint
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(computeScratch) }}
+
+// floatsBuf returns s resized to n entries, reallocating only when
+// the capacity is insufficient. Contents are unspecified.
+func floatsBuf(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// cumulativeInto returns the running integral of surplus sampled at
+// slot boundaries (Grid.Cumulative over a raw slice): out[0] =
+// initial, out[i+1] = out[i] + surplus[i]·step. The result is freshly
+// allocated — trajectories are retained by the iteration history.
+func cumulativeInto(surplus []float64, initial, step float64) []float64 {
+	out := make([]float64, len(surplus)+1)
+	out[0] = initial
+	for i, v := range surplus {
+		out[i+1] = out[i] + v*step
+	}
+	return out
+}
+
 // findViolations locates the violating local extrema of the
-// trajectory (Algorithm 1, lines 1–2). The trajectory is treated
-// circularly over n slots: boundary k's left derivative is the
-// surplus of slot (k−1+n) mod n and its right derivative that of
-// slot k mod n. Endpoints participate through the wraparound, which
-// is what lines 19–20 of the paper's listing arrange.
-func findViolations(traj []float64, surplus []float64, cmin, cmax, tol float64) []extremum {
+// trajectory (Algorithm 1, lines 1–2), appending to dst. The
+// trajectory is treated circularly over n slots: boundary k's left
+// derivative is the surplus of slot (k−1+n) mod n and its right
+// derivative that of slot k mod n. Endpoints participate through the
+// wraparound, which is what lines 19–20 of the paper's listing
+// arrange.
+func findViolations(dst []extremum, traj []float64, surplus []float64, cmin, cmax, tol float64) []extremum {
 	n := len(surplus)
-	var out []extremum
+	out := dst
 	for k := 0; k < n; k++ {
 		left := surplus[(k-1+n)%n]
 		right := surplus[k]
@@ -188,10 +227,15 @@ func findViolations(traj []float64, surplus []float64, cmin, cmax, tol float64) 
 // of two highs, the smaller of two lows). The result alternates
 // high/low around the circle.
 func dedupe(ext []extremum) []extremum {
+	return dedupeInto(make([]extremum, 0, len(ext)), ext)
+}
+
+// dedupeInto is dedupe writing into dst (which must not overlap ext).
+func dedupeInto(dst, ext []extremum) []extremum {
 	if len(ext) < 2 {
-		return ext
+		return append(dst, ext...)
 	}
-	out := make([]extremum, 0, len(ext))
+	out := dst
 	for _, e := range ext {
 		if len(out) > 0 && out[len(out)-1].high == e.high {
 			last := &out[len(out)-1]
@@ -261,23 +305,44 @@ func AdjustOnce(charging, alloc *schedule.Grid, initial, cmin, cmax, tol float64
 // returns the adjusted allocation and the number of violations found
 // (0 means the input was already feasible and is returned unchanged).
 func AdjustOnceStrategy(charging, alloc *schedule.Grid, initial, cmin, cmax, tol float64, strategy AdjustStrategy) (*schedule.Grid, int) {
+	sc := scratchPool.Get().(*computeScratch)
+	defer scratchPool.Put(sc)
 	n := alloc.Len()
-	surplus := Surplus(charging, alloc)
-	traj := surplus.Cumulative(initial)
-
-	ext := dedupe(findViolations(traj, surplus.Values, cmin, cmax, tol))
-	if len(ext) == 0 {
+	sc.surplus = floatsBuf(sc.surplus, n)
+	for i := range sc.surplus {
+		sc.surplus[i] = charging.Values[i] - alloc.Values[i]
+	}
+	traj := cumulativeInto(sc.surplus, initial, alloc.Step)
+	out, nViol := adjustWith(sc, charging, alloc, traj, cmin, cmax, tol, strategy)
+	if out == nil {
 		return alloc.Clone(), 0
+	}
+	return out, nViol
+}
+
+// adjustWith is the scratch-buffer core of AdjustOnceStrategy: the
+// caller supplies the surplus (in sc.surplus) and trajectory it
+// already computed, and a nil grid comes back when there is nothing
+// to adjust — the Compute driver's common warm-path case — so the
+// feasible round allocates nothing.
+func adjustWith(sc *computeScratch, charging, alloc *schedule.Grid, traj []float64, cmin, cmax, tol float64, strategy AdjustStrategy) (*schedule.Grid, int) {
+	n := alloc.Len()
+	sc.ext = findViolations(sc.ext[:0], traj, sc.surplus, cmin, cmax, tol)
+	sc.deduped = dedupeInto(sc.deduped[:0], sc.ext)
+	ext := sc.deduped
+	if len(ext) == 0 {
+		return nil, 0
 	}
 	nViol := len(ext)
 
-	orig := append([]float64(nil), traj[:n]...) // circular view
-	work := append([]float64(nil), orig...)
+	sc.orig = append(sc.orig[:0], traj[:n]...) // circular view
+	sc.work = append(sc.work[:0], sc.orig...)
+	orig, work := sc.orig, sc.work
 
 	// Build the pinned points: each violator goes to its bound; t = 0
 	// stays at the battery's actual starting charge (clamped into the
 	// band) because the plan cannot rewrite the present.
-	var anchors []anchorPoint
+	anchors := sc.anchors[:0]
 	haveZero := false
 	for _, e := range ext {
 		target := cmax
@@ -297,7 +362,15 @@ func AdjustOnceStrategy(charging, alloc *schedule.Grid, initial, cmin, cmax, tol
 			target: math.Min(math.Max(orig[0], cmin), cmax),
 		})
 	}
-	sort.Slice(anchors, func(i, j int) bool { return anchors[i].index < anchors[j].index })
+	sc.anchors = anchors
+	// Insertion sort by boundary index (indices are unique, so the
+	// order is total); inlined to keep sort.Slice's closure allocation
+	// off the per-iteration path.
+	for i := 1; i < len(anchors); i++ {
+		for j := i; j > 0 && anchors[j].index < anchors[j-1].index; j-- {
+			anchors[j], anchors[j-1] = anchors[j-1], anchors[j]
+		}
+	}
 
 	if len(anchors) == 1 {
 		// Only t = 0 is pinned and it is itself the violator (a flat
@@ -313,7 +386,7 @@ func AdjustOnceStrategy(charging, alloc *schedule.Grid, initial, cmin, cmax, tol
 
 	// Recover the allocation from the reshaped trajectory:
 	// alloc[i] = c[i] − (P[i+1] − P[i])/τ, circularly.
-	out := alloc.Clone()
+	out := &schedule.Grid{Step: alloc.Step, Values: make([]float64, n)}
 	for i := 0; i < n; i++ {
 		next := work[(i+1)%n]
 		out.Values[i] = charging.Values[i] - (next-work[i])/alloc.Step
@@ -395,43 +468,91 @@ func ComputeContext(ctx context.Context, in Inputs) (*Result, error) {
 	}
 	initial := math.Min(math.Max(in.InitialCharge, in.CapacityMin), in.CapacityMax)
 
-	wpuf := WPUF(in.EventRate, in.Weight)
-	current, err := Balance(wpuf, in.Charging)
-	if err != nil {
-		return nil, err
+	// Fused Eq. 7 + Eq. 8: the weighted usage grid is freshly built
+	// either way, so the balancing rescale can run in place on it
+	// instead of cloning a second time. One multiply per slot, exactly
+	// as Scale does, so the values are bit-identical to the
+	// WPUF → Balance composition.
+	var current *schedule.Grid
+	if in.Weight == nil {
+		current = in.EventRate.Clone()
+	} else {
+		current = in.EventRate.Mul(in.Weight)
+	}
+	demand := current.Total()
+	supply := in.Charging.Total()
+	if demand <= 0 {
+		if supply != 0 {
+			return nil, fmt.Errorf("alloc: weighted usage integrates to %g; cannot balance against supply %g", demand, supply)
+		}
+	} else {
+		k := supply / demand
+		for i := range current.Values {
+			current.Values[i] *= k
+		}
 	}
 
-	res := &Result{}
+	n := in.Charging.Len()
+	if in.Charging.Step != current.Step || n != current.Len() {
+		// Mirror the panic the grid algebra raised here before the
+		// loop went scratch-based.
+		panic(fmt.Sprintf("schedule: incompatible grids (%d slots × %g s vs %d slots × %g s)",
+			n, in.Charging.Step, current.Len(), current.Step))
+	}
+
+	sc := scratchPool.Get().(*computeScratch)
+	defer scratchPool.Put(sc)
+
+	res := &Result{Iterations: make([]Iteration, 0, 4)}
 	for iter := 0; iter < maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		traj := Trajectory(in.Charging, current, initial)
-		adjusted, nViol := AdjustOnceStrategy(in.Charging, current, initial,
+		sc.surplus = floatsBuf(sc.surplus, n)
+		for i := range sc.surplus {
+			sc.surplus[i] = in.Charging.Values[i] - current.Values[i]
+		}
+		traj := cumulativeInto(sc.surplus, initial, in.Charging.Step)
+		adjusted, nViol := adjustWith(sc, in.Charging, current, traj,
 			in.CapacityMin, in.CapacityMax, tol, in.Strategy)
+		// The history takes ownership of current — no defensive clone.
+		// Each round either replaces current with the freshly built
+		// adjusted grid or clones it below, so a recorded grid is
+		// never written again.
 		res.Iterations = append(res.Iterations, Iteration{
-			Allocation: current.Clone(),
+			Allocation: current,
 			Trajectory: traj,
 			Violations: nViol,
 		})
 		if nViol == 0 && feasible(traj, in.CapacityMin, in.CapacityMax, tol) {
-			res.Allocation = current
+			res.Allocation = current.Clone()
 			res.Trajectory = traj
 			res.Feasible = true
 			return res, nil
 		}
-		current = adjusted
+		if adjusted != nil {
+			current = adjusted
+		} else {
+			// No violating extrema yet still infeasible (an in-band
+			// plateau within tolerance of a bound): iterate on a copy
+			// so the history entry stays immutable.
+			current = current.Clone()
+		}
 	}
 	// The remapping rounds did not converge: project onto the
 	// feasible set directly.
 	current = Repair(in.Charging, current, initial, in.CapacityMin, in.CapacityMax)
-	traj := Trajectory(in.Charging, current, initial)
+	sc.surplus = floatsBuf(sc.surplus, n)
+	for i := range sc.surplus {
+		sc.surplus[i] = in.Charging.Values[i] - current.Values[i]
+	}
+	traj := cumulativeInto(sc.surplus, initial, in.Charging.Step)
 	res.Iterations = append(res.Iterations, Iteration{
-		Allocation: current.Clone(),
+		Allocation: current,
 		Trajectory: traj,
 		Violations: 0,
 	})
-	res.Allocation = current
+	res.Allocation = current.Clone()
 	res.Trajectory = traj
 	res.Feasible = feasible(traj, in.CapacityMin, in.CapacityMax, tol)
 	return res, nil

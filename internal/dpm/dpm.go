@@ -125,7 +125,11 @@ func New(cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dpm: initial allocation: %w", err)
 	}
-	table, err := params.BuildTable(cfg.Params)
+	// The operating-point table depends only on the hardware block and
+	// is immutable once built, so managers for the same hardware share
+	// one memoized table instead of re-running the Algorithm 2
+	// enumeration per construction.
+	table, err := params.SharedTable(cfg.Params)
 	if err != nil {
 		return nil, fmt.Errorf("dpm: parameter table: %w", err)
 	}
@@ -362,7 +366,7 @@ func (m *Manager) Replan(maxProcs int) (infeasible int, err error) {
 	if pcfg.MinProcessors > maxProcs {
 		pcfg.MinProcessors = maxProcs
 	}
-	table, err := params.BuildTable(pcfg)
+	table, err := params.SharedTable(pcfg)
 	if err != nil {
 		return 0, fmt.Errorf("dpm: degraded table: %w", err)
 	}

@@ -3,8 +3,10 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Service-side observability --------------------------------------
@@ -51,45 +53,97 @@ func (e EndpointStats) MeanSeconds() float64 {
 	return e.TotalSeconds / float64(e.Requests)
 }
 
+// endpointCounters is the lock-free accumulator behind one
+// endpoint's EndpointStats. Latency sums and maxima are float64s
+// stored as bit patterns and updated by compare-and-swap, so Observe
+// never takes a lock once the endpoint's entry exists.
+type endpointCounters struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	// totalBits and maxBits hold math.Float64bits of the running sum
+	// and maximum of request latencies in seconds.
+	totalBits atomic.Uint64
+	maxBits   atomic.Uint64
+}
+
+func (c *endpointCounters) observe(status int, seconds float64) {
+	c.requests.Add(1)
+	if status < 200 || status >= 300 {
+		c.errors.Add(1)
+	}
+	for {
+		old := c.totalBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + seconds)
+		if c.totalBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := c.maxBits.Load()
+		if seconds <= math.Float64frombits(old) {
+			break
+		}
+		if c.maxBits.CompareAndSwap(old, math.Float64bits(seconds)) {
+			break
+		}
+	}
+}
+
+func (c *endpointCounters) snapshot() EndpointStats {
+	return EndpointStats{
+		Requests:     c.requests.Load(),
+		Errors:       c.errors.Load(),
+		TotalSeconds: math.Float64frombits(c.totalBits.Load()),
+		MaxSeconds:   math.Float64frombits(c.maxBits.Load()),
+	}
+}
+
 // ServiceStats collects per-endpoint request counters. The zero
 // value is not usable; call NewServiceStats. All methods are safe
-// for concurrent use.
+// for concurrent use; the RWMutex guards only the map's shape — the
+// service sees a handful of distinct paths, so after warmup every
+// Observe is a read-lock plus four atomic updates and concurrent
+// requests to the same endpoint never serialize on a mutex.
 type ServiceStats struct {
-	mu        sync.Mutex
-	endpoints map[string]*EndpointStats
+	mu        sync.RWMutex
+	endpoints map[string]*endpointCounters
 }
 
 // NewServiceStats returns an empty collector.
 func NewServiceStats() *ServiceStats {
-	return &ServiceStats{endpoints: make(map[string]*EndpointStats)}
+	return &ServiceStats{endpoints: make(map[string]*endpointCounters)}
+}
+
+// counters returns the endpoint's accumulator, creating it on first
+// sight.
+func (s *ServiceStats) counters(endpoint string) *endpointCounters {
+	s.mu.RLock()
+	c := s.endpoints[endpoint]
+	s.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c = s.endpoints[endpoint]; c == nil {
+		c = &endpointCounters{}
+		s.endpoints[endpoint] = c
+	}
+	return c
 }
 
 // Observe records one completed request.
 func (s *ServiceStats) Observe(endpoint string, status int, seconds float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.endpoints[endpoint]
-	if e == nil {
-		e = &EndpointStats{}
-		s.endpoints[endpoint] = e
-	}
-	e.Requests++
-	if status < 200 || status >= 300 {
-		e.Errors++
-	}
-	e.TotalSeconds += seconds
-	if seconds > e.MaxSeconds {
-		e.MaxSeconds = seconds
-	}
+	s.counters(endpoint).observe(status, seconds)
 }
 
 // Snapshot copies the per-endpoint counters.
 func (s *ServiceStats) Snapshot() map[string]EndpointStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make(map[string]EndpointStats, len(s.endpoints))
 	for k, v := range s.endpoints {
-		out[k] = *v
+		out[k] = v.snapshot()
 	}
 	return out
 }

@@ -1,0 +1,121 @@
+// Table memoization ------------------------------------------------
+//
+// Algorithm 2's enumerate + Pareto-prune step depends only on the
+// hardware block — the board's power model, VF curve, workload and
+// switching overheads — and a deployment sees very few distinct
+// hardware blocks compared to the number of plans it computes. A
+// TableCache keys the built *Table by a canonical hash of the
+// configuration (the same canonicalization style as the plan-cache
+// key: a hex SHA-256 over a deterministic encoding), so the
+// enumeration runs once per distinct hardware block and every
+// subsequent caller walks a shared immutable table.
+//
+// Tables are safe to share: once built they are never mutated —
+// Points is documented read-only, and Plan/Select/SwitchCost only
+// read — and BuildTable deep-copies the slices it retains, so a
+// caller mutating its Config after the fact cannot corrupt a cached
+// table.
+
+package params
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+
+	"dpm/internal/plancache"
+)
+
+// DefaultTableCacheEntries is the shared table cache's default
+// capacity. Distinct hardware blocks are rare (a fleet typically
+// ships a handful of board revisions), so a small cache holds the
+// entire working set.
+const DefaultTableCacheEntries = 128
+
+// CacheKey returns the canonical cache key for a configuration: the
+// hex SHA-256 of a deterministic encoding of every field Algorithm 2
+// reads, including the dynamic type and parameters of the VF curve.
+// Two configs that build identical tables because their fields are
+// equal hash identically; the key is computed from the values at call
+// time, so later mutation of the caller's Config cannot alias a
+// cached entry.
+func CacheKey(cfg Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "sys=%+v|curve=%T:%+v|work=%+v|freqs=%v|n=[%d,%d]|oh=(%g,%g)|pv=%g|sleep=%t",
+		cfg.System, cfg.Curve, cfg.Curve, cfg.Workload, cfg.Frequencies,
+		cfg.MinProcessors, cfg.MaxProcessors, cfg.OverheadProc, cfg.OverheadFreq,
+		cfg.PerfValue, cfg.IdleSleep)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TableCache memoizes BuildTable by canonical configuration key. All
+// methods are safe for concurrent use; cached tables are shared (not
+// cloned) because a built Table is immutable.
+type TableCache struct {
+	cache *plancache.Sharded[*Table]
+}
+
+// NewTableCache returns a cache holding at most capacity tables.
+func NewTableCache(capacity int) (*TableCache, error) {
+	// Tables are immutable once built, so no clone function is needed.
+	c, err := plancache.NewSharded[*Table](capacity, 0, nil)
+	if err != nil {
+		return nil, fmt.Errorf("params: %w", err)
+	}
+	return &TableCache{cache: c}, nil
+}
+
+// Get returns the memoized table for cfg, building and caching it on
+// the first request. Concurrent first requests for the same
+// configuration are coalesced onto one BuildTable run. A
+// configuration BuildTable rejects is not cached; the error is
+// returned as-is.
+func (tc *TableCache) Get(cfg Config) (*Table, error) {
+	tbl, _, err := tc.cache.GetOrCompute(context.Background(), CacheKey(cfg), func() (*Table, error) {
+		return BuildTable(cfg)
+	})
+	return tbl, err
+}
+
+// Stats snapshots the cache counters.
+func (tc *TableCache) Stats() plancache.Stats { return tc.cache.Stats() }
+
+// shared is the process-wide table cache behind SharedTable. It is
+// swapped atomically so ResizeSharedTableCache is safe against
+// concurrent SharedTable calls.
+var shared atomic.Pointer[TableCache]
+
+func init() {
+	tc, err := NewTableCache(DefaultTableCacheEntries)
+	if err != nil {
+		panic(err) // unreachable: the default capacity is valid
+	}
+	shared.Store(tc)
+}
+
+// SharedTable returns the process-wide memoized table for cfg. It is
+// the drop-in replacement for BuildTable on paths that run per
+// request: the enumerate + Pareto-prune step runs once per distinct
+// hardware block for the lifetime of the process (bounded by the
+// shared cache's capacity).
+func SharedTable(cfg Config) (*Table, error) {
+	return shared.Load().Get(cfg)
+}
+
+// SharedTableStats snapshots the process-wide table cache counters.
+func SharedTableStats() plancache.Stats { return shared.Load().Stats() }
+
+// ResizeSharedTableCache replaces the process-wide table cache with a
+// fresh one of the given capacity (entries; minimum 1). Existing
+// memoized tables are dropped; in-flight SharedTable calls finish
+// against the cache they started with.
+func ResizeSharedTableCache(capacity int) error {
+	tc, err := NewTableCache(capacity)
+	if err != nil {
+		return err
+	}
+	shared.Store(tc)
+	return nil
+}

@@ -1,0 +1,230 @@
+package params
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"dpm/internal/power"
+)
+
+// TestCacheKeyCanonical checks the canonical key separates every
+// field Algorithm 2 reads — including the dynamic VF-curve type —
+// and identifies configurations built independently from the same
+// values.
+func TestCacheKeyCanonical(t *testing.T) {
+	base := pamaConfig(t)
+	if CacheKey(base) != CacheKey(pamaConfig(t)) {
+		t.Fatal("identical configs hashed differently")
+	}
+
+	lin, err := power.NewLinearVF(1.0, 3.3, 20e6, 80e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(c *Config){
+		"frequencies":  func(c *Config) { c.Frequencies = []float64{20e6, 40e6} },
+		"maxProc":      func(c *Config) { c.MaxProcessors = 4 },
+		"minProc":      func(c *Config) { c.MinProcessors = 1 },
+		"overheadProc": func(c *Config) { c.OverheadProc = 0.5 },
+		"overheadFreq": func(c *Config) { c.OverheadFreq = 0.5 },
+		"perfValue":    func(c *Config) { c.PerfValue = 2 },
+		"idleSleep":    func(c *Config) { c.IdleSleep = true },
+		"curveParams":  func(c *Config) { c.Curve = power.NewFixedVoltage(5.0, 80e6) },
+		"curveType":    func(c *Config) { c.Curve = lin },
+	}
+	for name, mutate := range mutations {
+		cfg := pamaConfig(t)
+		mutate(&cfg)
+		if CacheKey(cfg) == CacheKey(base) {
+			t.Errorf("%s: mutated config collided with base key", name)
+		}
+	}
+}
+
+// TestTableCacheMemoizes checks the second Get for the same hardware
+// is a cache hit returning the same shared immutable table, while a
+// distinct hardware block builds a distinct table.
+func TestTableCacheMemoizes(t *testing.T) {
+	tc, err := NewTableCache(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pamaConfig(t)
+	first, err := tc.Get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := tc.Get(pamaConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("memoized table rebuilt for an identical config")
+	}
+	s := tc.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 put", s)
+	}
+
+	other := pamaConfig(t)
+	other.MaxProcessors = 3
+	third, err := tc.Get(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third == first {
+		t.Fatal("distinct hardware shared a table")
+	}
+	if len(third.Points()) == len(first.Points()) &&
+		reflect.DeepEqual(third.Points(), first.Points()) {
+		t.Fatal("distinct hardware produced identical points")
+	}
+}
+
+// TestTableCacheMutatedInputIsolation mutates the caller's Config
+// (its Frequencies slice) after the table is cached; the cached table
+// must keep serving the original enumeration.
+func TestTableCacheMutatedInputIsolation(t *testing.T) {
+	tc, err := NewTableCache(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pamaConfig(t)
+	tbl, err := tc.Get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]OperatingPoint(nil), tbl.Points()...)
+
+	cfg.Frequencies[0] = 77e6 // caller reuses its slice
+
+	again, err := tc.Get(pamaConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Points(), want) {
+		t.Fatal("caller mutation reached the cached table")
+	}
+}
+
+// TestSharedTableParity checks the memoized path returns exactly the
+// table the unmemoized Algorithm 2 builds, for the paper's PAMA
+// block and a variant with switching overheads and sleep parking.
+func TestSharedTableParity(t *testing.T) {
+	overhead := pamaConfig(t)
+	overhead.OverheadProc = 0.12
+	overhead.OverheadFreq = 0.05
+	overhead.PerfValue = 1.5
+	overhead.IdleSleep = true
+	for name, cfg := range map[string]Config{
+		"pama":     pamaConfig(t),
+		"overhead": overhead,
+	} {
+		memo, err := SharedTable(cfg)
+		if err != nil {
+			t.Fatalf("%s: SharedTable: %v", name, err)
+		}
+		direct, err := BuildTable(cfg)
+		if err != nil {
+			t.Fatalf("%s: BuildTable: %v", name, err)
+		}
+		if !reflect.DeepEqual(memo.Points(), direct.Points()) {
+			t.Fatalf("%s: memoized table diverges from direct build:\nmemo   %v\ndirect %v",
+				name, memo.Points(), direct.Points())
+		}
+	}
+}
+
+// TestSharedTableRejectsInvalid checks errors pass through uncached:
+// the same bad config fails identically twice and inserts nothing.
+func TestSharedTableRejectsInvalid(t *testing.T) {
+	bad := pamaConfig(t)
+	bad.Frequencies = nil
+	before := SharedTableStats()
+	_, err1 := SharedTable(bad)
+	_, err2 := SharedTable(bad)
+	if err1 == nil || err2 == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if err1.Error() != err2.Error() {
+		t.Fatalf("error not stable: %v vs %v", err1, err2)
+	}
+	after := SharedTableStats()
+	if after.Puts != before.Puts {
+		t.Fatal("failed build was cached")
+	}
+}
+
+// TestResizeSharedTableCache swaps the process-wide cache and checks
+// the fresh cache starts cold, still serves tables, and rejects a
+// non-positive capacity.
+func TestResizeSharedTableCache(t *testing.T) {
+	if err := ResizeSharedTableCache(0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if err := ResizeSharedTableCache(4); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := ResizeSharedTableCache(DefaultTableCacheEntries); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if s := SharedTableStats(); s.Hits != 0 || s.Misses != 0 || s.Len != 0 {
+		t.Fatalf("resized cache not cold: %+v", s)
+	}
+	if _, err := SharedTable(pamaConfig(t)); err != nil {
+		t.Fatal(err)
+	}
+	if s := SharedTableStats(); s.Misses != 1 || s.Len != 1 {
+		t.Fatalf("stats after one build: %+v", s)
+	}
+}
+
+// TestTableCacheConcurrent hammers one TableCache with a mix of
+// repeated and distinct configurations; run under -race. Every
+// returned table must match a direct build for its configuration.
+func TestTableCacheConcurrent(t *testing.T) {
+	tc, err := NewTableCache(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := make([]Config, 4)
+	wants := make([][]OperatingPoint, 4)
+	for i := range configs {
+		cfg := pamaConfig(t)
+		cfg.MaxProcessors = i + 2
+		configs[i] = cfg
+		direct, err := BuildTable(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = direct.Points()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				idx := (w + i) % len(configs)
+				tbl, err := tc.Get(configs[idx])
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if !reflect.DeepEqual(tbl.Points(), wants[idx]) {
+					t.Errorf("config %d returned a foreign table", idx)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := tc.Stats()
+	if s.Misses != uint64(len(configs)) {
+		t.Fatalf("misses = %d, want %d (one build per distinct config): %+v",
+			s.Misses, len(configs), s)
+	}
+}

@@ -195,6 +195,11 @@ func BuildTable(cfg Config) (*Table, error) {
 			frontier = append(frontier, p)
 		}
 	}
+	// The table may outlive (and be shared across) callers — see
+	// TableCache — so deep-copy the one slice the retained cfg holds:
+	// a caller mutating its Frequencies afterwards must not reach into
+	// the built table.
+	cfg.Frequencies = append([]float64(nil), cfg.Frequencies...)
 	return &Table{points: append([]OperatingPoint(nil), frontier...), cfg: cfg}, nil
 }
 

@@ -83,14 +83,17 @@ func Plan(ctx context.Context, spec PlanSpec) (*alloc.Result, error) {
 }
 
 // Table validates a hardware block (nil means the PAMA defaults) and
-// builds the Algorithm 2 operating-point table plus the params
-// configuration it came from.
+// returns the Algorithm 2 operating-point table plus the params
+// configuration it came from. The table comes from the process-wide
+// memoizer (params.SharedTable): the enumerate + Pareto-prune step
+// runs once per distinct hardware block, and every caller walks the
+// same immutable table.
 func Table(hw *scenario.Hardware) (*params.Table, params.Config, error) {
 	cfg, err := hw.WithDefaults().ParamsConfig()
 	if err != nil {
 		return nil, params.Config{}, err
 	}
-	tbl, err := params.BuildTable(cfg)
+	tbl, err := params.SharedTable(cfg)
 	if err != nil {
 		return nil, params.Config{}, err
 	}

@@ -1,0 +1,40 @@
+package plancache
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkShardedGetParallel isolates the cache-lock cost the
+// service benches see end to end: parallel warm-cache Gets over a
+// working set of keys, single-lock versus sharded. Run with -cpu N;
+// on one CPU the two are equivalent by construction.
+func BenchmarkShardedGetParallel(b *testing.B) {
+	const working = 64
+	for _, shards := range []int{1, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, err := NewSharded(4*working, shards, cloneBytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys := make([]string, working)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("scenario-%d", i)
+				c.Put(keys[i], shardedValueFor(i))
+			}
+			var ctr atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := ctr.Add(1)
+					if _, ok := c.Get(keys[i%working]); !ok {
+						b.Errorf("warm key %d missed", i%working)
+						return
+					}
+				}
+			})
+		})
+	}
+}

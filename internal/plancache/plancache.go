@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats is a point-in-time snapshot of the cache counters.
@@ -56,7 +57,11 @@ type Cache[V any] struct {
 	items    map[string]*list.Element
 	flights  map[string]*flight[V]
 
-	hits, misses, evictions, puts uint64
+	// The counters are atomics, not mutex-guarded fields: the
+	// coalesced-waiter path of GetOrCompute and cross-shard stats
+	// aggregation (Sharded.Stats) read and bump them without taking
+	// the LRU lock, keeping accounting off the hot path and race-free.
+	hits, misses, evictions, puts atomic.Uint64
 }
 
 type entry[V any] struct {
@@ -92,16 +97,22 @@ func New[V any](capacity int, clone func(V) V) (*Cache[V], error) {
 // the entry most recently used.
 func (c *Cache[V]) Get(key string) (V, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.misses++
+		c.mu.Unlock()
+		c.misses.Add(1)
 		var zero V
 		return zero, false
 	}
-	c.hits++
 	c.order.MoveToFront(el)
 	v := el.Value.(*entry[V]).value
+	// Clone outside the lock: the value reference read under the lock
+	// stays valid even if a concurrent Put overwrites the entry (the
+	// overwrite installs a new value; this one is the pre-overwrite
+	// snapshot), and copying a multi-KiB plan body must not serialize
+	// other readers.
+	c.mu.Unlock()
+	c.hits.Add(1)
 	if c.clone != nil {
 		v = c.clone(v)
 	}
@@ -122,7 +133,7 @@ func (c *Cache[V]) Put(key string, value V) {
 
 // putLocked inserts an already-cloned value; c.mu must be held.
 func (c *Cache[V]) putLocked(key string, value V) {
-	c.puts++
+	c.puts.Add(1)
 	if el, ok := c.items[key]; ok {
 		el.Value.(*entry[V]).value = value
 		c.order.MoveToFront(el)
@@ -133,7 +144,7 @@ func (c *Cache[V]) putLocked(key string, value V) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*entry[V]).key)
-		c.evictions++
+		c.evictions.Add(1)
 	}
 }
 
@@ -149,13 +160,13 @@ func (c *Cache[V]) GetOrCompute(ctx context.Context, key string, compute func() 
 	var zero V
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
-		c.hits++
 		c.order.MoveToFront(el)
 		v := el.Value.(*entry[V]).value
+		c.mu.Unlock()
+		c.hits.Add(1)
 		if c.clone != nil {
 			v = c.clone(v)
 		}
-		c.mu.Unlock()
 		return v, true, nil
 	}
 	if f, ok := c.flights[key]; ok {
@@ -168,16 +179,14 @@ func (c *Cache[V]) GetOrCompute(ctx context.Context, key string, compute func() 
 		if f.err != nil {
 			return zero, true, f.err
 		}
+		c.hits.Add(1)
 		v := f.value
 		if c.clone != nil {
 			v = c.clone(v)
 		}
-		c.mu.Lock()
-		c.hits++
-		c.mu.Unlock()
 		return v, true, nil
 	}
-	c.misses++
+	c.misses.Add(1)
 	f := &flight[V]{done: make(chan struct{})}
 	c.flights[key] = f
 	c.mu.Unlock()
@@ -223,13 +232,14 @@ func (c *Cache[V]) Keys() []string {
 // Stats snapshots the counters.
 func (c *Cache[V]) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	n := c.order.Len()
+	c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Puts:      c.puts,
-		Len:       c.order.Len(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Puts:      c.puts.Load(),
+		Len:       n,
 		Capacity:  c.capacity,
 	}
 }

@@ -131,12 +131,17 @@ func ValidateInputs(charging, usage, weight *schedule.Grid, capacityMax, capacit
 			return err
 		}
 	}
-	for name, v := range map[string]float64{
-		"capacityMax": capacityMax, "capacityMin": capacityMin, "initialCharge": initialCharge,
-	} {
-		if err := ValidateEnergy(name, v); err != nil {
-			return err
-		}
+	// Unrolled (no map literal): this runs on every plan request, and
+	// a fixed check order also makes the first-failure message
+	// deterministic.
+	if err := ValidateEnergy("capacityMax", capacityMax); err != nil {
+		return err
+	}
+	if err := ValidateEnergy("capacityMin", capacityMin); err != nil {
+		return err
+	}
+	if err := ValidateEnergy("initialCharge", initialCharge); err != nil {
+		return err
 	}
 	if capacityMax <= capacityMin {
 		return Errorf("capacityMax %g must exceed capacityMin %g", capacityMax, capacityMin)
@@ -228,11 +233,16 @@ func (h Hardware) ParamsConfig() (params.Config, error) {
 			return params.Config{}, Errorf("hardware: non-positive frequency %g", f)
 		}
 	}
-	for name, v := range map[string]float64{
-		"overheadProcJ": h.OverheadProcJ, "overheadFreqJ": h.OverheadFreqJ, "perfValue": h.PerfValue,
+	for _, c := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"overheadProcJ", h.OverheadProcJ},
+		{"overheadFreqJ", h.OverheadFreqJ},
+		{"perfValue", h.PerfValue},
 	} {
-		if !IsFinite(v) || v < 0 {
-			return params.Config{}, Errorf("hardware: %s %g must be non-negative", name, v)
+		if !IsFinite(c.v) || c.v < 0 {
+			return params.Config{}, Errorf("hardware: %s %g must be non-negative", c.name, c.v)
 		}
 	}
 	w, err := perf.NewWorkload(h.WorkloadTotalS, h.WorkloadSerialS)
@@ -251,9 +261,13 @@ func (h Hardware) ParamsConfig() (params.Config, error) {
 		PerfValue:     h.PerfValue,
 		IdleSleep:     h.IdleSleep,
 	}
-	// BuildTable re-validates; run it here so every configuration
-	// error surfaces at validation time rather than deep in a run.
-	if _, err := params.BuildTable(cfg); err != nil {
+	// Building the table re-validates everything Algorithm 2 reads;
+	// run it here so every configuration error surfaces at validation
+	// time rather than deep in a run. The memoized SharedTable makes
+	// this a cache hit for every request after the first with a given
+	// hardware block — previously the full enumerate + Pareto-prune
+	// ran on every validation.
+	if _, err := params.SharedTable(cfg); err != nil {
 		return params.Config{}, Errorf("%v", err)
 	}
 	return cfg, nil

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 
 	"dpm/internal/alloc"
 	"dpm/internal/dpm"
@@ -291,16 +293,38 @@ func decodeJSON(r *http.Request, dst any) error {
 // plan) is reported as a client error: the inputs were numerically
 // out of range, not the server broken.
 func canonicalJSON(v any) ([]byte, error) {
-	b, err := json.Marshal(v)
-	if err != nil {
+	e := encoderPool.Get().(*pooledEncoder)
+	defer encoderPool.Put(e)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
 		var unsup *json.UnsupportedValueError
 		if errors.As(err, &unsup) {
 			return nil, badRequestf("inputs are numerically out of range: computed plan contains %s", unsup.Str)
 		}
 		return nil, err
 	}
-	return append(b, '\n'), nil
+	// One exact-size copy out of the pooled buffer: the caller (and
+	// the plan cache) owns the result outright.
+	out := make([]byte, e.buf.Len())
+	copy(out, e.buf.Bytes())
+	return out, nil
 }
+
+// pooledEncoder reuses the encode buffer across responses.
+// json.Encoder produces exactly json.Marshal's bytes plus the
+// trailing newline the wire form wants, and a value error (the only
+// kind bytes.Buffer can surface) does not latch, so a pooled encoder
+// stays reusable after rejecting a NaN.
+type pooledEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encoderPool = sync.Pool{New: func() any {
+	e := new(pooledEncoder)
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
 
 // parseStrategy maps the wire name onto the alloc constant.
 func parseStrategy(s string) (alloc.AdjustStrategy, error) {

@@ -49,6 +49,10 @@ type Config struct {
 	PoolSize int
 	// CacheEntries is the plan-cache capacity. Default 256.
 	CacheEntries int
+	// CacheShards is the number of plan-cache shards (rounded up to a
+	// power of two). 0 picks the default: GOMAXPROCS rounded up to a
+	// power of two, capped at 16. 1 restores the single-lock cache.
+	CacheShards int
 	// RequestTimeout bounds one request end to end: the wait for a
 	// pool slot plus the planning or simulation work itself. The
 	// work is cancelled cooperatively — the deadline is checked
@@ -84,7 +88,7 @@ func (c *Config) setDefaults() {
 // Server is one dpmd instance.
 type Server struct {
 	cfg   Config
-	cache *plancache.Cache[[]byte]
+	cache *plancache.Sharded[[]byte]
 	stats *metrics.ServiceStats
 	sem   chan struct{}
 	mux   *http.ServeMux
@@ -112,7 +116,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes < 1024 {
 		return nil, fmt.Errorf("server: max body %d bytes is below the 1 KiB floor", cfg.MaxBodyBytes)
 	}
-	cache, err := plancache.New(cfg.CacheEntries, func(b []byte) []byte {
+	cache, err := plancache.NewSharded(cfg.CacheEntries, cfg.CacheShards, func(b []byte) []byte {
 		return append([]byte(nil), b...)
 	})
 	if err != nil {
