@@ -2,7 +2,8 @@
 // HTTP JSON service: Algorithm 1 plans (/v1/plan), Algorithm 2
 // parameter schedules (/v1/params), Algorithm 3 runtime updates
 // (/v1/replan) and bounded simulations (/v1/simulate), with
-// /healthz and plain-text /metrics. Repeated plan requests for the
+// /healthz and a /metrics page carrying both the legacy flat counters
+// and Prometheus-format histograms. Repeated plan requests for the
 // same scenario are served from an LRU cache.
 //
 //	dpmd -addr :8080                       # defaults
@@ -10,6 +11,8 @@
 //	dpmd -cache 1024 -timeout 5s           # larger cache, tighter SLO
 //	dpmd -cache-shards 1                   # single-lock plan cache
 //	dpmd -table-cache 512                  # more memoized (n,f) tables
+//	dpmd -log-json                         # structured JSON request logs
+//	dpmd -debug-addr 127.0.0.1:6060        # pprof on a second listener
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // requests.
@@ -25,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"dpm/internal/obs"
 	"dpm/internal/params"
 	"dpm/internal/server"
 )
@@ -41,12 +45,11 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain deadline")
 	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	logJSON := flag.Bool("log-json", false, "emit structured JSON log lines instead of plain text")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof on this address (empty disables the profiler)")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "dpmd ", log.LstdFlags|log.Lmsgprefix)
-	if *quiet {
-		logger = nil
-	}
 	cfg := server.Config{
 		Addr:           *addr,
 		PoolSize:       *pool,
@@ -54,11 +57,50 @@ func main() {
 		CacheShards:    *cacheShards,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
-		Logger:         logger,
+		DebugAddr:      *debugAddr,
 	}
+	if !*quiet {
+		if *logJSON {
+			cfg.AccessLog = obs.NewLogger(os.Stderr, true)
+		} else {
+			cfg.Logger = log.New(os.Stderr, "dpmd ", log.LstdFlags|log.Lmsgprefix)
+		}
+	}
+	logStartupConfig(cfg, *tableCache, *shutdownTimeout)
 	if err := run(cfg, *tableCache, *shutdownTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "dpmd:", err)
 		os.Exit(1)
+	}
+}
+
+// logStartupConfig emits the effective configuration once at startup —
+// every tunable that shapes capacity or latency, resolved after flag
+// parsing — so a deployment's settings are recoverable from its first
+// log line.
+func logStartupConfig(cfg server.Config, tableCacheEntries int, shutdownTimeout time.Duration) {
+	fields := []obs.Field{
+		obs.F("addr", cfg.Addr),
+		obs.F("pool", cfg.PoolSize),
+		obs.F("cache_entries", cfg.CacheEntries),
+		obs.F("cache_shards", cfg.CacheShards),
+		obs.F("table_cache_entries", tableCacheEntries),
+		obs.F("request_timeout", cfg.RequestTimeout.String()),
+		obs.F("shutdown_timeout", shutdownTimeout.String()),
+		obs.F("max_body_bytes", cfg.MaxBodyBytes),
+		obs.F("debug_addr", cfg.DebugAddr),
+		obs.F("log_json", cfg.AccessLog != nil),
+	}
+	if cfg.AccessLog != nil {
+		cfg.AccessLog.Event("config", fields...)
+		return
+	}
+	if cfg.Logger != nil {
+		// Render the same fields in the legacy logger's key=value style.
+		line := "config"
+		for _, f := range fields {
+			line += fmt.Sprintf(" %s=%v", f.Key, f.Value)
+		}
+		cfg.Logger.Print(line)
 	}
 }
 

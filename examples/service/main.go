@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"dpm/internal/obs"
 	"dpm/internal/schedule"
 	"dpm/internal/server"
 	"dpm/internal/server/client"
@@ -126,7 +127,24 @@ func main() {
 	fmt.Printf("updated plan: %.3f W in slot 1 (was %.3f W)\n\n",
 		rep.Plan[1], plan.Allocation[1])
 
-	// 5. Dry-run two periods closed-loop before committing.
+	// 5. Debug a request: X-Dpmd-Trace: 1 attaches the span tree —
+	// per-stage durations and Algorithm 1's per-iteration telemetry —
+	// while the embedded plan stays byte-identical to what an untraced
+	// request gets. A fresh margin forces a cache miss so the whole
+	// pipeline shows up; tracing a warm scenario shows just the
+	// plan.cache hit.
+	traced, state, err := c.PlanTraced(ctx, server.PlanRequest{
+		Scenario: trace.ScenarioII(),
+		Margin:   0.02,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traced request %s (cache %s):\n", traced.Trace.RequestID, state)
+	printSpans(traced.Trace.Spans, 1)
+	fmt.Println()
+
+	// 6. Dry-run two periods closed-loop before committing.
 	sim, err := c.Simulate(ctx, server.SimulateRequest{
 		Scenario: trace.ScenarioI(),
 		Periods:  2,
@@ -137,14 +155,32 @@ func main() {
 	fmt.Printf("simulated 2 periods: wasted %.3f J, undersupplied %.3f J, utilization %.1f%%\n\n",
 		sim.WastedJ, sim.UndersuppliedJ, 100*sim.Utilization)
 
-	// 6. The metrics endpoint shows the cache doing its job.
+	// 7. The metrics endpoint shows the cache doing its job — the
+	// legacy flat counters plus the Prometheus histogram families a
+	// scraper would ingest.
 	text, err := c.Metrics(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
-		if strings.HasPrefix(line, "dpmd_plancache_") {
+		if strings.HasPrefix(line, "dpmd_plancache_") ||
+			strings.HasPrefix(line, "# TYPE dpmd_") ||
+			strings.HasPrefix(line, "dpmd_uptime_seconds") {
 			fmt.Println(line)
 		}
+	}
+}
+
+// printSpans renders a span forest indented by depth, with the
+// annotations the pipeline attached (cache disposition, iteration and
+// violation counts, memo hits).
+func printSpans(spans []obs.SpanNode, depth int) {
+	for _, s := range spans {
+		fmt.Printf("%s%-18s %6d µs", strings.Repeat("  ", depth), s.Name, s.DurUS)
+		if len(s.Attrs) > 0 {
+			fmt.Printf("  %v", s.Attrs)
+		}
+		fmt.Println()
+		printSpans(s.Spans, depth+1)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"math"
 	"sync"
 
+	"dpm/internal/obs"
 	"dpm/internal/schedule"
 )
 
@@ -443,7 +444,15 @@ func Compute(in Inputs) (*Result, error) {
 // polled once per Algorithm 1 iteration and the computation aborts
 // with ctx.Err() when it is cancelled, so a server can bound a
 // planning request by deadline.
+//
+// Telemetry: the run is wrapped in an "alloc.Compute" span and each
+// driver round in an "alloc.iteration" span annotated with its
+// violation count (internal/obs). Without a Recorder on ctx the span
+// calls are a nil fast path — one context lookup per site — so
+// library callers pay essentially nothing.
 func ComputeContext(ctx context.Context, in Inputs) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "alloc.Compute")
+	defer span.End()
 	if in.Charging == nil || in.EventRate == nil {
 		return nil, fmt.Errorf("alloc: charging and event-rate grids are required")
 	}
@@ -508,6 +517,7 @@ func ComputeContext(ctx context.Context, in Inputs) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		_, ispan := obs.StartSpan(ctx, "alloc.iteration")
 		sc.surplus = floatsBuf(sc.surplus, n)
 		for i := range sc.surplus {
 			sc.surplus[i] = in.Charging.Values[i] - current.Values[i]
@@ -515,6 +525,9 @@ func ComputeContext(ctx context.Context, in Inputs) (*Result, error) {
 		traj := cumulativeInto(sc.surplus, initial, in.Charging.Step)
 		adjusted, nViol := adjustWith(sc, in.Charging, current, traj,
 			in.CapacityMin, in.CapacityMax, tol, in.Strategy)
+		ispan.SetAttr("iteration", iter)
+		ispan.SetAttr("violations", nViol)
+		ispan.End()
 		// The history takes ownership of current — no defensive clone.
 		// Each round either replaces current with the freshly built
 		// adjusted grid or clones it below, so a recorded grid is
@@ -528,6 +541,8 @@ func ComputeContext(ctx context.Context, in Inputs) (*Result, error) {
 			res.Allocation = current.Clone()
 			res.Trajectory = traj
 			res.Feasible = true
+			span.SetAttr("iterations", len(res.Iterations))
+			span.SetAttr("feasible", true)
 			return res, nil
 		}
 		if adjusted != nil {
@@ -541,7 +556,9 @@ func ComputeContext(ctx context.Context, in Inputs) (*Result, error) {
 	}
 	// The remapping rounds did not converge: project onto the
 	// feasible set directly.
+	_, rspan := obs.StartSpan(ctx, "alloc.repair")
 	current = Repair(in.Charging, current, initial, in.CapacityMin, in.CapacityMax)
+	rspan.End()
 	sc.surplus = floatsBuf(sc.surplus, n)
 	for i := range sc.surplus {
 		sc.surplus[i] = in.Charging.Values[i] - current.Values[i]
@@ -555,5 +572,7 @@ func ComputeContext(ctx context.Context, in Inputs) (*Result, error) {
 	res.Allocation = current.Clone()
 	res.Trajectory = traj
 	res.Feasible = feasible(traj, in.CapacityMin, in.CapacityMax, tol)
+	span.SetAttr("iterations", len(res.Iterations))
+	span.SetAttr("feasible", res.Feasible)
 	return res, nil
 }

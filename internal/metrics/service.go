@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Service-side observability --------------------------------------
@@ -107,11 +108,35 @@ func (c *endpointCounters) snapshot() EndpointStats {
 type ServiceStats struct {
 	mu        sync.RWMutex
 	endpoints map[string]*endpointCounters
+	start     time.Time
 }
 
-// NewServiceStats returns an empty collector.
+// NewServiceStats returns an empty collector whose start time is now.
 func NewServiceStats() *ServiceStats {
-	return &ServiceStats{endpoints: make(map[string]*endpointCounters)}
+	return &ServiceStats{endpoints: make(map[string]*endpointCounters), start: time.Now()}
+}
+
+// StartTime returns the instant the collector was created (or last
+// Reset) — the service's start time for uptime reporting.
+func (s *ServiceStats) StartTime() time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.start
+}
+
+// Uptime returns the time elapsed since StartTime.
+func (s *ServiceStats) Uptime() time.Duration { return time.Since(s.StartTime()) }
+
+// Reset drops every endpoint's counters — including the max-latency
+// watermark, which otherwise never decays — and restarts the uptime
+// clock. Intended for tests and for operators snapshotting between
+// load phases; concurrent Observe calls racing a Reset land on either
+// side of it, never in between.
+func (s *ServiceStats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.endpoints = make(map[string]*endpointCounters)
+	s.start = time.Now()
 }
 
 // counters returns the endpoint's accumulator, creating it on first

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestServiceStatsObserve(t *testing.T) {
@@ -82,5 +83,39 @@ func TestWriteServiceText(t *testing.T) {
 	// Endpoints render sorted for a stable scrape diff.
 	if strings.Index(out, "/healthz") > strings.Index(out, "/v1/plan") {
 		t.Fatal("endpoints not sorted")
+	}
+}
+
+// TestServiceStatsResetAndUptime covers the max-latency watermark
+// fix: before Reset existed, MaxSeconds could only grow for the life
+// of the process. Reset must drop it (and every other counter) and
+// restart the uptime clock.
+func TestServiceStatsResetAndUptime(t *testing.T) {
+	s := NewServiceStats()
+	if s.StartTime().IsZero() {
+		t.Fatal("start time not recorded")
+	}
+	s.Observe("/v1/plan", 200, 0.5)
+	s.Observe("/v1/plan", 500, 0.1)
+	before := s.Snapshot()["/v1/plan"]
+	if before.MaxSeconds != 0.5 || before.Requests != 2 || before.Errors != 1 {
+		t.Fatalf("pre-reset snapshot %+v", before)
+	}
+	firstStart := s.StartTime()
+	time.Sleep(time.Millisecond)
+	if s.Uptime() <= 0 {
+		t.Fatal("uptime not advancing")
+	}
+	s.Reset()
+	if len(s.Snapshot()) != 0 {
+		t.Fatalf("counters survive Reset: %v", s.Snapshot())
+	}
+	if !s.StartTime().After(firstStart) {
+		t.Fatal("Reset did not restart the uptime clock")
+	}
+	// The watermark genuinely re-learns from zero.
+	s.Observe("/v1/plan", 200, 0.05)
+	if got := s.Snapshot()["/v1/plan"].MaxSeconds; got != 0.05 {
+		t.Fatalf("max after reset = %g, want 0.05 (old watermark leaked)", got)
 	}
 }

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Structured logging -----------------------------------------------
+//
+// The Logger writes one event per line in either JSON (machine
+// ingestion: one object with "ts" and "msg" first, then the event's
+// fields in call order) or logfmt-style text (human tails). dpmd uses
+// it for request access logs and the one startup configuration line;
+// the -log-json flag picks the encoding.
+
+// Field is one structured log field.
+type Field struct {
+	// Key names the field.
+	Key string
+	// Value is the payload; anything json.Marshal accepts.
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Logger writes structured events. Safe for concurrent use; each
+// event is written in one Write call so lines from concurrent
+// requests never interleave.
+type Logger struct {
+	mu   sync.Mutex
+	w    io.Writer
+	json bool
+	// now is stubbed by tests for deterministic timestamps.
+	now func() time.Time
+}
+
+// NewLogger returns a logger writing to w; jsonMode selects JSON
+// lines over logfmt text.
+func NewLogger(w io.Writer, jsonMode bool) *Logger {
+	return &Logger{w: w, json: jsonMode, now: time.Now}
+}
+
+// JSON reports whether the logger emits JSON lines.
+func (l *Logger) JSON() bool { return l.json }
+
+// Event writes one log line. Fields render in call order; values that
+// fail to marshal render as their error string rather than dropping
+// the line.
+func (l *Logger) Event(msg string, fields ...Field) {
+	if l == nil {
+		return
+	}
+	var buf bytes.Buffer
+	ts := l.now().UTC().Format(time.RFC3339Nano)
+	if l.json {
+		buf.WriteString(`{"ts":`)
+		buf.Write(mustJSON(ts))
+		buf.WriteString(`,"msg":`)
+		buf.Write(mustJSON(msg))
+		for _, f := range fields {
+			buf.WriteByte(',')
+			buf.Write(mustJSON(f.Key))
+			buf.WriteByte(':')
+			buf.Write(mustJSON(f.Value))
+		}
+		buf.WriteString("}\n")
+	} else {
+		buf.WriteString(ts)
+		buf.WriteByte(' ')
+		buf.WriteString(msg)
+		for _, f := range fields {
+			fmt.Fprintf(&buf, " %s=%v", f.Key, f.Value)
+		}
+		buf.WriteByte('\n')
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(buf.Bytes()) //nolint:errcheck
+}
+
+// mustJSON marshals v, falling back to a quoted error description so
+// a bad value never drops a log line.
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprintf("!marshal: %v", err))
+	}
+	return b
+}
+
+// Request IDs ------------------------------------------------------
+
+// idPrefix is a per-process random prefix; idCounter disambiguates
+// requests within the process. Together they make ids unique across
+// restarts without per-request entropy draws.
+var (
+	idPrefix  = newIDPrefix()
+	idCounter atomic.Uint64
+)
+
+func newIDPrefix() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; fall back to
+		// the process start time so ids stay distinguishable.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewRequestID returns a fresh request id: a per-process random
+// prefix plus a monotone counter, e.g. "9f1c2ab34d5e-000042".
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", idPrefix, idCounter.Add(1))
+}
+
+// MaxRequestIDLen bounds inbound X-Request-Id values; longer ids are
+// replaced rather than truncated so logs never carry half an id.
+const MaxRequestIDLen = 64
+
+// SanitizeRequestID returns s if it is usable as a request id —
+// non-empty, at most MaxRequestIDLen characters, drawn from
+// [A-Za-z0-9._-] — and "" otherwise. Callers generate a fresh id on
+// "".
+func SanitizeRequestID(s string) string {
+	if s == "" || len(s) > MaxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return s
+}

@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Prometheus-format metrics ----------------------------------------
+//
+// A Registry is an ordered list of Collectors, each of which writes
+// one or more metric families in the Prometheus text exposition
+// format (# HELP / # TYPE headers, cumulative _bucket/_sum/_count
+// lines for histograms). Histograms and counters are lock-free on the
+// observation path: fixed bucket bounds chosen at construction,
+// atomic bucket counters, and a CAS loop for the float64 sum — the
+// same discipline internal/metrics uses for its endpoint counters.
+
+// DefaultLatencyBuckets spans 100 µs to 10 s in a coarse 1-2.5-5
+// progression — wide enough for a cache hit (~100 µs) and a worst-case
+// machine simulation (seconds) to land in distinct buckets.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Collector writes metric families in Prometheus text exposition
+// format.
+type Collector interface {
+	WriteProm(w io.Writer) error
+}
+
+// CollectorFunc adapts a function to the Collector interface —
+// registries use it for scrape-time families (runtime gauges, cache
+// counters snapshotted from their owners).
+type CollectorFunc func(w io.Writer) error
+
+// WriteProm implements Collector.
+func (f CollectorFunc) WriteProm(w io.Writer) error { return f(w) }
+
+// Registry is an ordered set of collectors. Registration order is
+// exposition order, so /metrics output is stable.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register appends a collector.
+func (r *Registry) Register(c Collector) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// WriteProm renders every registered collector in registration order.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+	for _, c := range collectors {
+		if err := c.WriteProm(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Histogram is one fixed-bucket latency histogram. Observations are
+// lock-free; the exposition is cumulative per Prometheus convention.
+type Histogram struct {
+	// bounds are the inclusive bucket upper bounds, ascending.
+	bounds []float64
+	// counts has len(bounds)+1 entries; the last is the +Inf bucket.
+	// Each entry counts observations landing in that bucket alone
+	// (cumulation happens at exposition time).
+	counts []atomic.Uint64
+	// sumBits is math.Float64bits of the running observation sum.
+	sumBits atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending bucket
+// bounds (DefaultLatencyBuckets when nil).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; most observations are
+	// small, so the search beats a linear scan only marginally, but it
+	// keeps Observe O(log n) for any bucket layout.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// HistogramVec is a family of histograms sharing a name and bucket
+// layout, keyed by one label value (endpoint path, pipeline stage).
+// Series are created on first observation; the label cardinality is
+// bounded by the caller (span names and endpoint paths form small
+// fixed sets).
+type HistogramVec struct {
+	name, help, label string
+	bounds            []float64
+
+	mu     sync.RWMutex
+	series map[string]*Histogram
+}
+
+// NewHistogramVec returns an empty family. bounds nil means
+// DefaultLatencyBuckets.
+func NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	return &HistogramVec{
+		name:   name,
+		help:   help,
+		label:  label,
+		bounds: append([]float64(nil), bounds...),
+		series: make(map[string]*Histogram),
+	}
+}
+
+// With returns the histogram for the label value, creating it on
+// first sight.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h := v.series[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.series[value]; h == nil {
+		h = NewHistogram(v.bounds)
+		v.series[value] = h
+	}
+	return h
+}
+
+// Observe records one value for the label value.
+func (v *HistogramVec) Observe(value string, x float64) {
+	v.With(value).Observe(x)
+}
+
+// WriteProm renders the family: HELP/TYPE once, then per-series
+// cumulative _bucket lines plus _sum and _count, series sorted by
+// label value.
+func (v *HistogramVec) WriteProm(w io.Writer) error {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.series))
+	for k := range v.series {
+		keys = append(keys, k)
+	}
+	hists := make([]*Histogram, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		hists = append(hists, v.series[k])
+	}
+	v.mu.RUnlock()
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", v.name, v.help, v.name); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		h := hists[i]
+		var cum uint64
+		for j, bound := range h.bounds {
+			cum += h.counts[j].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n",
+				v.name, v.label, escapeLabel(k), formatFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", v.name, v.label, escapeLabel(k), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{%s=%q} %s\n%s_count{%s=%q} %d\n",
+			v.name, v.label, escapeLabel(k), formatFloat(h.Sum()),
+			v.name, v.label, escapeLabel(k), cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ n atomic.Uint64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// CounterVec is a family of counters keyed by one label value.
+type CounterVec struct {
+	name, help, label string
+
+	mu     sync.RWMutex
+	series map[string]*Counter
+}
+
+// NewCounterVec returns an empty counter family.
+func NewCounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{name: name, help: help, label: label, series: make(map[string]*Counter)}
+}
+
+// With returns the counter for the label value, creating it on first
+// sight.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c := v.series[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.series[value]; c == nil {
+		c = &Counter{}
+		v.series[value] = c
+	}
+	return c
+}
+
+// Add increments the label value's counter.
+func (v *CounterVec) Add(value string, delta uint64) { v.With(value).Add(delta) }
+
+// WriteProm renders the family, series sorted by label value.
+func (v *CounterVec) WriteProm(w io.Writer) error {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.series))
+	for k := range v.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	counts := make([]uint64, len(keys))
+	for i, k := range keys {
+		counts[i] = v.series[k].Value()
+	}
+	v.mu.RUnlock()
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", v.name, v.help, v.name); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, escapeLabel(k), counts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteGauge writes one unlabeled gauge with its HELP/TYPE header —
+// the building block for scrape-time collectors (runtime stats,
+// uptime).
+func WriteGauge(w io.Writer, name, help string, value float64) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+		name, help, name, name, formatFloat(value))
+	return err
+}
+
+// WriteLabeledCounter writes one counter sample with explicit label
+// pairs, without headers — callers writing a family themselves (e.g.
+// per-shard cache counters) emit the header once and then a run of
+// these.
+func WriteLabeledCounter(w io.Writer, name string, labels [][2]string, value uint64) error {
+	var sb strings.Builder
+	for i, kv := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", kv[0], escapeLabel(kv[1]))
+	}
+	_, err := fmt.Fprintf(w, "%s{%s} %d\n", name, sb.String(), value)
+	return err
+}
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest exact decimal form ('g' with -1 precision).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes backslash, double quote and newline in a label
+// value per the exposition format. %q adds the surrounding quotes and
+// handles " and \ itself, so this only normalizes newlines (which %q
+// would render as \n anyway); kept explicit for clarity and for
+// callers composing label strings manually.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\n") {
+		return v
+	}
+	return strings.ReplaceAll(v, "\n", " ")
+}

@@ -1,0 +1,141 @@
+package obs_test
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"dpm/internal/obs"
+)
+
+// TestPrometheusGolden locks the full exposition format: HELP/TYPE
+// headers, cumulative buckets, _sum/_count, counters, gauges — the
+// exact bytes a scrape sees for a deterministic set of observations.
+func TestPrometheusGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	hist := obs.NewHistogramVec("dpmd_http_request_duration_seconds",
+		"Request latency by endpoint.", "endpoint", []float64{0.001, 0.01, 0.1})
+	hist.Observe("/v1/plan", 0.0005)
+	hist.Observe("/v1/plan", 0.0005)
+	hist.Observe("/v1/plan", 0.05)
+	hist.Observe("/v1/plan", 2)
+	hist.Observe("/healthz", 0.002)
+	reg.Register(hist)
+
+	counters := obs.NewCounterVec("dpmd_http_request_errors_total",
+		"Non-2xx responses by endpoint.", "endpoint")
+	counters.Add("/v1/plan", 3)
+	reg.Register(counters)
+
+	reg.Register(obs.CollectorFunc(func(w io.Writer) error {
+		return obs.WriteGauge(w, "dpmd_pool_size", "Configured worker pool size.", 8)
+	}))
+
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP dpmd_http_request_duration_seconds Request latency by endpoint.
+# TYPE dpmd_http_request_duration_seconds histogram
+dpmd_http_request_duration_seconds_bucket{endpoint="/healthz",le="0.001"} 0
+dpmd_http_request_duration_seconds_bucket{endpoint="/healthz",le="0.01"} 1
+dpmd_http_request_duration_seconds_bucket{endpoint="/healthz",le="0.1"} 1
+dpmd_http_request_duration_seconds_bucket{endpoint="/healthz",le="+Inf"} 1
+dpmd_http_request_duration_seconds_sum{endpoint="/healthz"} 0.002
+dpmd_http_request_duration_seconds_count{endpoint="/healthz"} 1
+dpmd_http_request_duration_seconds_bucket{endpoint="/v1/plan",le="0.001"} 2
+dpmd_http_request_duration_seconds_bucket{endpoint="/v1/plan",le="0.01"} 2
+dpmd_http_request_duration_seconds_bucket{endpoint="/v1/plan",le="0.1"} 3
+dpmd_http_request_duration_seconds_bucket{endpoint="/v1/plan",le="+Inf"} 4
+dpmd_http_request_duration_seconds_sum{endpoint="/v1/plan"} 2.051
+dpmd_http_request_duration_seconds_count{endpoint="/v1/plan"} 4
+# HELP dpmd_http_request_errors_total Non-2xx responses by endpoint.
+# TYPE dpmd_http_request_errors_total counter
+dpmd_http_request_errors_total{endpoint="/v1/plan"} 3
+# HELP dpmd_pool_size Configured worker pool size.
+# TYPE dpmd_pool_size gauge
+dpmd_pool_size 8
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// under -race this proves the observation path is race-free, and the
+// final count/sum prove no observation was lost.
+func TestHistogramConcurrent(t *testing.T) {
+	h := obs.NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	const goroutines, perG = 16, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g%5) * 0.005)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	var wantSum float64
+	for g := 0; g < goroutines; g++ {
+		wantSum += float64(g%5) * 0.005 * perG
+	}
+	if got := h.Sum(); got < wantSum*0.999999 || got > wantSum*1.000001 {
+		t.Fatalf("sum = %g, want ~%g", got, wantSum)
+	}
+}
+
+// TestHistogramVecConcurrent exercises concurrent series creation and
+// observation across label values under -race.
+func TestHistogramVecConcurrent(t *testing.T) {
+	v := obs.NewHistogramVec("x_seconds", "x", "stage", nil)
+	stages := []string{"validate", "plan", "params", "simulate"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v.Observe(stages[(g+i)%len(stages)], 0.001)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for _, s := range stages {
+		total += v.With(s).Count()
+	}
+	if total != 8*1000 {
+		t.Fatalf("total observations = %d, want 8000", total)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := obs.NewHistogram([]float64{1, 2})
+	h.Observe(1)   // on the bound: le="1" is inclusive
+	h.Observe(1.5) // second bucket
+	h.Observe(3)   // +Inf
+	var sb strings.Builder
+	v := obs.NewHistogramVec("edge_seconds", "e", "l", []float64{1, 2})
+	v.With("a") // empty series still renders
+	v.Observe("b", 1)
+	if err := v.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `edge_seconds_bucket{l="b",le="1"} 1`) {
+		t.Fatalf("le=\"1\" must include an observation of exactly 1:\n%s", out)
+	}
+	if !strings.Contains(out, `edge_seconds_count{l="a"} 0`) {
+		t.Fatalf("empty series must render a zero count:\n%s", out)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+}

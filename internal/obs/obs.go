@@ -1,0 +1,228 @@
+// Package obs is the repo's zero-dependency telemetry layer: span
+// tracing threaded through context.Context, fixed-bucket latency
+// histograms and counters rendered in the Prometheus text exposition
+// format, structured JSON logging, and request-id plumbing. The dpmd
+// service (internal/server) owns one Registry and attaches a Recorder
+// to every request context; the planning pipeline (internal/pipeline,
+// internal/alloc, internal/params) marks its phases with StartSpan and
+// stays completely ignorant of where the measurements go.
+//
+// The hot path is guarded by a nil fast path: a context without a
+// Recorder makes StartSpan return (ctx, nil) after one context lookup,
+// and every method on a nil *Span is a no-op — library callers that
+// never attach a Recorder (the experiment harness, the CLI tools, the
+// benchmarks) pay one pointer-typed context.Value per span site and
+// nothing else. With a Recorder attached but tracing off (the service
+// default), spans record only their duration into a per-stage
+// histogram; the span tree itself is materialized only for requests
+// that opt in (dpmd's X-Dpmd-Trace: 1 header).
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// recorderKey carries the *Recorder; spanKey carries the current
+// parent *Span (only when a span tree is being collected).
+type recorderKey struct{}
+type spanKey struct{}
+
+// Recorder is what a context needs for StartSpan to do work. Both
+// fields are optional: Stages alone records per-stage duration
+// histograms (the service's always-on mode); Trace additionally
+// collects the span tree for debug responses.
+type Recorder struct {
+	// Stages receives one observation per ended span, labeled by the
+	// span's name. May be nil.
+	Stages *HistogramVec
+	// Trace, when non-nil, collects the span tree.
+	Trace *Trace
+}
+
+// WithRecorder returns a context carrying rec. A nil rec returns ctx
+// unchanged.
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey{}, rec)
+}
+
+// RecorderFrom returns the context's Recorder, or nil.
+func RecorderFrom(ctx context.Context) *Recorder {
+	rec, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return rec
+}
+
+// Trace collects one request's span tree. The zero value is not
+// usable; call NewTrace. All methods are safe for concurrent use —
+// batch fan-out may end sibling spans from different goroutines.
+type Trace struct {
+	start time.Time
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTrace returns an empty trace whose span offsets are measured
+// from now.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// Start returns the trace's epoch: the instant span offsets are
+// measured from.
+func (t *Trace) Start() time.Time { return t.start }
+
+func (t *Trace) addRoot(s *Span) {
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+}
+
+// Span is one timed region. A nil *Span is valid and inert, so call
+// sites never branch on whether telemetry is attached.
+type Span struct {
+	rec   *Recorder
+	name  string
+	start time.Time
+
+	// The fields below are used only when rec.Trace is non-nil.
+	mu       sync.Mutex
+	ended    bool
+	duration time.Duration
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one span annotation.
+type Attr struct {
+	// Key names the annotation (e.g. "violations").
+	Key string
+	// Value is the annotation payload; kept as any so counts, flags
+	// and cache dispositions all fit.
+	Value any
+}
+
+// StartSpan begins a span named name. Without a Recorder in ctx it
+// returns (ctx, nil) — the nil fast path. With one, the span's
+// duration is observed into Recorder.Stages on End, and when a Trace
+// is being collected the span joins the tree under the nearest
+// enclosing span (the returned context carries it as the new parent).
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	rec, _ := ctx.Value(recorderKey{}).(*Recorder)
+	if rec == nil {
+		return ctx, nil
+	}
+	s := &Span{rec: rec, name: name, start: time.Now()}
+	if rec.Trace != nil {
+		if parent, _ := ctx.Value(spanKey{}).(*Span); parent != nil {
+			parent.addChild(s)
+		} else {
+			rec.Trace.addRoot(s)
+		}
+		ctx = context.WithValue(ctx, spanKey{}, s)
+	}
+	return ctx, s
+}
+
+func (s *Span) addChild(c *Span) {
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span. It is a no-op on a nil span and when no
+// span tree is being collected (annotations exist for trace output,
+// not histograms).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil || s.rec.Trace == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span: its duration lands in the per-stage histogram
+// and, when a tree is being collected, in the trace. End is
+// idempotent for the tree (the first call wins) but should be called
+// exactly once; nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if s.rec.Trace != nil {
+		s.mu.Lock()
+		if !s.ended {
+			s.ended = true
+			s.duration = d
+		}
+		s.mu.Unlock()
+	}
+	if s.rec.Stages != nil {
+		s.rec.Stages.Observe(s.name, d.Seconds())
+	}
+}
+
+// SpanNode is the wire form of one span: name, offset from the trace
+// start, duration, annotations, children. Durations are microseconds
+// so the JSON stays integral and compact.
+type SpanNode struct {
+	// Name is the span name (e.g. "alloc.Compute").
+	Name string `json:"name"`
+	// StartUS is the span's start offset from the trace epoch in
+	// microseconds.
+	StartUS int64 `json:"startUs"`
+	// DurUS is the span's duration in microseconds.
+	DurUS int64 `json:"durUs"`
+	// Attrs carries the annotations (JSON objects marshal with sorted
+	// keys, so the wire form is deterministic for a given span).
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// Spans are the child spans, in start order.
+	Spans []SpanNode `json:"spans,omitempty"`
+}
+
+// Tree snapshots the collected spans as a forest of SpanNodes. Spans
+// that have not Ended yet report the duration so far.
+func (t *Trace) Tree() []SpanNode {
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	t.mu.Unlock()
+	out := make([]SpanNode, len(roots))
+	for i, s := range roots {
+		out[i] = s.node(t.start)
+	}
+	return out
+}
+
+func (s *Span) node(epoch time.Time) SpanNode {
+	s.mu.Lock()
+	d := s.duration
+	if !s.ended {
+		d = time.Since(s.start)
+	}
+	n := SpanNode{
+		Name:    s.name,
+		StartUS: s.start.Sub(epoch).Microseconds(),
+		DurUS:   d.Microseconds(),
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			n.Attrs[a.Key] = a.Value
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if len(children) > 0 {
+		n.Spans = make([]SpanNode, len(children))
+		for i, c := range children {
+			n.Spans[i] = c.node(epoch)
+		}
+	}
+	return n
+}

@@ -1,0 +1,136 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dpm/internal/obs"
+)
+
+// TestNilFastPath: without a Recorder, StartSpan must return the
+// context unchanged and a nil span whose methods are all no-ops.
+func TestNilFastPath(t *testing.T) {
+	ctx := context.Background()
+	ctx2, span := obs.StartSpan(ctx, "anything")
+	if ctx2 != ctx {
+		t.Fatal("StartSpan without a recorder must return the context unchanged")
+	}
+	if span != nil {
+		t.Fatal("StartSpan without a recorder must return a nil span")
+	}
+	// All nil-span methods must be safe.
+	span.SetAttr("k", 1)
+	span.End()
+}
+
+// TestSpanTree checks parent/child linkage, attrs, and the stage
+// histogram observations.
+func TestSpanTree(t *testing.T) {
+	stages := obs.NewHistogramVec("stage_seconds", "per-stage", "stage", nil)
+	tr := obs.NewTrace()
+	ctx := obs.WithRecorder(context.Background(), &obs.Recorder{Stages: stages, Trace: tr})
+
+	ctx, root := obs.StartSpan(ctx, "root")
+	cctx, child := obs.StartSpan(ctx, "child")
+	_, grand := obs.StartSpan(cctx, "grandchild")
+	grand.SetAttr("violations", 3)
+	grand.End()
+	child.End()
+	_, sib := obs.StartSpan(ctx, "sibling")
+	sib.End()
+	root.End()
+
+	tree := tr.Tree()
+	if len(tree) != 1 || tree[0].Name != "root" {
+		t.Fatalf("tree roots = %+v, want single root", tree)
+	}
+	r := tree[0]
+	if len(r.Spans) != 2 || r.Spans[0].Name != "child" || r.Spans[1].Name != "sibling" {
+		t.Fatalf("root children = %+v", r.Spans)
+	}
+	g := r.Spans[0].Spans
+	if len(g) != 1 || g[0].Name != "grandchild" {
+		t.Fatalf("grandchildren = %+v", g)
+	}
+	if got := g[0].Attrs["violations"]; got != 3 {
+		t.Fatalf("violations attr = %v, want 3", got)
+	}
+	if g[0].DurUS < 0 || r.DurUS < 0 {
+		t.Fatal("negative span durations")
+	}
+	for _, name := range []string{"root", "child", "grandchild", "sibling"} {
+		if stages.With(name).Count() != 1 {
+			t.Fatalf("stage %q count = %d, want 1", name, stages.With(name).Count())
+		}
+	}
+	// The tree must survive JSON marshaling (the wire path).
+	if _, err := json.Marshal(tree); err != nil {
+		t.Fatalf("marshal tree: %v", err)
+	}
+}
+
+// TestStagesOnlyRecorder: with a Recorder but no Trace, spans observe
+// durations without building a tree and SetAttr stays cheap/no-op.
+func TestStagesOnlyRecorder(t *testing.T) {
+	stages := obs.NewHistogramVec("stage_seconds", "per-stage", "stage", nil)
+	ctx := obs.WithRecorder(context.Background(), &obs.Recorder{Stages: stages})
+	ctx2, span := obs.StartSpan(ctx, "work")
+	if ctx2 != ctx {
+		t.Fatal("stages-only StartSpan should not derive a new context")
+	}
+	span.SetAttr("ignored", true)
+	span.End()
+	if stages.With("work").Count() != 1 {
+		t.Fatal("stage observation missing")
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l := obs.NewLogger(&buf, true)
+	l.Event("request", obs.F("method", "POST"), obs.F("status", 200), obs.F("dur_ms", 1.25))
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatalf("log line not newline-terminated: %q", line)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, line)
+	}
+	if m["msg"] != "request" || m["method"] != "POST" || m["status"] != float64(200) {
+		t.Fatalf("unexpected fields: %v", m)
+	}
+	if _, ok := m["ts"]; !ok {
+		t.Fatal("missing ts")
+	}
+}
+
+func TestLoggerText(t *testing.T) {
+	var buf bytes.Buffer
+	l := obs.NewLogger(&buf, false)
+	l.Event("config", obs.F("pool", 8))
+	if got := buf.String(); !strings.Contains(got, "config") || !strings.Contains(got, "pool=8") {
+		t.Fatalf("unexpected text line: %q", got)
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	a, b := obs.NewRequestID(), obs.NewRequestID()
+	if a == b || a == "" {
+		t.Fatalf("ids not unique: %q %q", a, b)
+	}
+	if obs.SanitizeRequestID(a) != a {
+		t.Fatalf("generated id %q rejected by sanitizer", a)
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", "new\nline", strings.Repeat("x", 65)} {
+		if got := obs.SanitizeRequestID(bad); got != "" {
+			t.Fatalf("SanitizeRequestID(%q) = %q, want \"\"", bad, got)
+		}
+	}
+	if got := obs.SanitizeRequestID("node-42.fleet_A"); got != "node-42.fleet_A" {
+		t.Fatalf("valid id rejected: %q", got)
+	}
+}

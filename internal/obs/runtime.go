@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"io"
+	"runtime"
+	"time"
+)
+
+// RuntimeCollector writes the Go runtime gauges a scrape wants next
+// to the service's own counters: goroutine count, heap occupancy, GC
+// activity, plus the process start-time/uptime pair (the Prometheus
+// convention for detecting restarts and rate() resets).
+type RuntimeCollector struct {
+	// Start is the process (or server) start instant.
+	Start time.Time
+	// Now is stubbed by tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// WriteProm implements Collector.
+func (rc RuntimeCollector) WriteProm(w io.Writer) error {
+	now := time.Now
+	if rc.Now != nil {
+		now = rc.Now
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for _, g := range []struct {
+		name, help string
+		value      float64
+	}{
+		{"dpmd_start_time_seconds", "Unix time the service started.", float64(rc.Start.UnixNano()) / 1e9},
+		{"dpmd_uptime_seconds", "Seconds since the service started.", now().Sub(rc.Start).Seconds()},
+		{"go_goroutines", "Number of goroutines.", float64(runtime.NumGoroutine())},
+		{"go_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc)},
+		{"go_heap_sys_bytes", "Bytes of heap obtained from the OS.", float64(ms.HeapSys)},
+		{"go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC)},
+		{"go_gc_pause_seconds_total", "Cumulative GC pause time.", float64(ms.PauseTotalNs) / 1e9},
+	} {
+		if err := WriteGauge(w, g.name, g.help, g.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"dpm/internal/obs"
 	"dpm/internal/plancache"
 )
 
@@ -73,14 +74,38 @@ func NewTableCache(capacity int) (*TableCache, error) {
 // configuration BuildTable rejects is not cached; the error is
 // returned as-is.
 func (tc *TableCache) Get(cfg Config) (*Table, error) {
-	tbl, _, err := tc.cache.GetOrCompute(context.Background(), CacheKey(cfg), func() (*Table, error) {
+	tbl, _, err := tc.GetContext(context.Background(), cfg)
+	return tbl, err
+}
+
+// GetContext is Get with telemetry threaded through ctx: the lookup
+// is wrapped in a "params.table" span annotated "memo"="hit"|"miss",
+// and a miss's enumerate + Pareto-prune step runs inside a
+// "params.BuildTable" span. The returned bool reports a memo hit.
+// Without a Recorder on ctx the spans are the nil fast path.
+func (tc *TableCache) GetContext(ctx context.Context, cfg Config) (*Table, bool, error) {
+	ctx, span := obs.StartSpan(ctx, "params.table")
+	defer span.End()
+	tbl, hit, err := tc.cache.GetOrCompute(ctx, CacheKey(cfg), func() (*Table, error) {
+		_, bspan := obs.StartSpan(ctx, "params.BuildTable")
+		defer bspan.End()
 		return BuildTable(cfg)
 	})
-	return tbl, err
+	if hit {
+		span.SetAttr("memo", "hit")
+	} else {
+		span.SetAttr("memo", "miss")
+	}
+	return tbl, hit, err
 }
 
 // Stats snapshots the cache counters.
 func (tc *TableCache) Stats() plancache.Stats { return tc.cache.Stats() }
+
+// ShardStats snapshots the per-shard counters, shard order. The
+// service's /metrics exposes them so shard-routing imbalance is
+// visible per shard, not just in aggregate.
+func (tc *TableCache) ShardStats() []plancache.Stats { return tc.cache.ShardStats() }
 
 // shared is the process-wide table cache behind SharedTable. It is
 // swapped atomically so ResizeSharedTableCache is safe against
@@ -104,8 +129,19 @@ func SharedTable(cfg Config) (*Table, error) {
 	return shared.Load().Get(cfg)
 }
 
+// SharedTableContext is SharedTable with telemetry threaded through
+// ctx; the returned bool reports a memo hit. See
+// TableCache.GetContext.
+func SharedTableContext(ctx context.Context, cfg Config) (*Table, bool, error) {
+	return shared.Load().GetContext(ctx, cfg)
+}
+
 // SharedTableStats snapshots the process-wide table cache counters.
 func SharedTableStats() plancache.Stats { return shared.Load().Stats() }
+
+// SharedTableShardStats snapshots the process-wide table cache's
+// per-shard counters.
+func SharedTableShardStats() []plancache.Stats { return shared.Load().ShardStats() }
 
 // ResizeSharedTableCache replaces the process-wide table cache with a
 // fresh one of the given capacity (entries; minimum 1). Existing

@@ -10,12 +10,16 @@ import (
 
 	"dpm/internal/dpm"
 	"dpm/internal/experiments"
+	"dpm/internal/obs"
 	"dpm/internal/pipeline"
 	"dpm/internal/trace"
 )
 
 // BenchmarkPipelinePlan measures one validated Algorithm 1 run on
-// scenario I (validation + WPUF + balancing + iteration).
+// scenario I (validation + WPUF + balancing + iteration) with no
+// telemetry attached — the nil fast path every library caller and the
+// experiment harness take. This is the row cmd/benchdiff guards:
+// instrumenting the pipeline must not move its allocs/op.
 func BenchmarkPipelinePlan(b *testing.B) {
 	spec := pipeline.PlanSpec{Scenario: trace.ScenarioI()}
 	ctx := context.Background()
@@ -24,6 +28,44 @@ func BenchmarkPipelinePlan(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := pipeline.Plan(ctx, spec); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelinePlanObserved is the same run with the service's
+// always-on telemetry attached: per-stage duration histograms, no span
+// tree. The delta against BenchmarkPipelinePlan is what every dpmd
+// request pays for /metrics' stage histograms.
+func BenchmarkPipelinePlanObserved(b *testing.B) {
+	spec := pipeline.PlanSpec{Scenario: trace.ScenarioI()}
+	stages := obs.NewHistogramVec("stage_seconds", "bench", "stage", nil)
+	ctx := obs.WithRecorder(context.Background(), &obs.Recorder{Stages: stages})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Plan(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelinePlanTraced measures the opt-in debug mode: a fresh
+// span tree per run, as one X-Dpmd-Trace request costs. Allocation
+// here is expected (the tree is materialized); the number exists to
+// keep the debug path's cost visible, not to gate it.
+func BenchmarkPipelinePlanTraced(b *testing.B) {
+	spec := pipeline.PlanSpec{Scenario: trace.ScenarioI()}
+	stages := obs.NewHistogramVec("stage_seconds", "bench", "stage", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := &obs.Recorder{Stages: stages, Trace: obs.NewTrace()}
+		ctx := obs.WithRecorder(context.Background(), rec)
+		if _, err := pipeline.Plan(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+		if len(rec.Trace.Tree()) == 0 {
+			b.Fatal("empty trace")
 		}
 	}
 }

@@ -27,10 +27,27 @@ import (
 	"dpm/internal/dpm"
 	"dpm/internal/faults"
 	"dpm/internal/machine"
+	"dpm/internal/obs"
 	"dpm/internal/params"
 	"dpm/internal/scenario"
 	"dpm/internal/schedule"
 	"dpm/internal/trace"
+)
+
+// Span names recorded by the engine (internal/obs). Every entry point
+// wraps its phases in these spans; with no Recorder on the context
+// the calls collapse to the nil fast path. The per-iteration
+// Algorithm 1 spans ("alloc.iteration") and the Algorithm 2 memoizer
+// spans ("params.table", "params.BuildTable") are recorded by
+// internal/alloc and internal/params respectively.
+const (
+	spanValidate = "pipeline.validate"
+	spanPlan     = "pipeline.plan"
+	spanParams   = "pipeline.params"
+	spanReplay   = "pipeline.replay"
+	spanSimulate = "pipeline.simulate"
+	spanEvents   = "pipeline.events"
+	spanMachine  = "pipeline.machine"
 )
 
 // PlanSpec asks for an Algorithm 1 power allocation.
@@ -66,7 +83,12 @@ func (p PlanSpec) Validate() error {
 // balancing → feasible per-slot power allocation. ctx is polled
 // between driver iterations.
 func Plan(ctx context.Context, spec PlanSpec) (*alloc.Result, error) {
-	if err := spec.Validate(); err != nil {
+	ctx, span := obs.StartSpan(ctx, spanPlan)
+	defer span.End()
+	_, vspan := obs.StartSpan(ctx, spanValidate)
+	err := spec.Validate()
+	vspan.End()
+	if err != nil {
 		return nil, err
 	}
 	return alloc.ComputeContext(ctx, alloc.Inputs{
@@ -87,13 +109,17 @@ func Plan(ctx context.Context, spec PlanSpec) (*alloc.Result, error) {
 // configuration it came from. The table comes from the process-wide
 // memoizer (params.SharedTable): the enumerate + Pareto-prune step
 // runs once per distinct hardware block, and every caller walks the
-// same immutable table.
-func Table(hw *scenario.Hardware) (*params.Table, params.Config, error) {
+// same immutable table. ctx carries telemetry (the memoizer records a
+// "params.table" span with its hit/miss disposition) and cancels a
+// coalesced build wait.
+func Table(ctx context.Context, hw *scenario.Hardware) (*params.Table, params.Config, error) {
+	ctx, span := obs.StartSpan(ctx, spanParams)
+	defer span.End()
 	cfg, err := hw.WithDefaults().ParamsConfig()
 	if err != nil {
 		return nil, params.Config{}, err
 	}
-	tbl, err := params.SharedTable(cfg)
+	tbl, _, err := params.SharedTableContext(ctx, cfg)
 	if err != nil {
 		return nil, params.Config{}, err
 	}
@@ -129,7 +155,12 @@ type SlotReport struct {
 // for the scenario, restore the optional checkpoint, and apply the
 // reported planned-vs-actual slot energies oldest first. The returned
 // manager carries the redistributed plan and the next checkpoint.
-func Replay(s trace.Scenario, pcfg params.Config, policy dpm.RedistributePolicy, state *dpm.State, reports []SlotReport) (*dpm.Manager, error) {
+// ctx carries telemetry only — the replay itself is a short,
+// non-blocking computation.
+func Replay(ctx context.Context, s trace.Scenario, pcfg params.Config, policy dpm.RedistributePolicy, state *dpm.State, reports []SlotReport) (*dpm.Manager, error) {
+	_, span := obs.StartSpan(ctx, spanReplay)
+	defer span.End()
+	span.SetAttr("slots", len(reports))
 	if len(reports) == 0 {
 		return nil, scenario.Errorf("at least one slot report is required")
 	}
@@ -189,11 +220,17 @@ type SimSpec struct {
 // Simulate validates the spec and runs the analytic closed-loop
 // simulation. ctx is polled once per simulated slot.
 func Simulate(ctx context.Context, spec SimSpec) (*dpm.SimResult, error) {
+	ctx, span := obs.StartSpan(ctx, spanSimulate)
+	defer span.End()
 	if spec.ActualCharging != nil {
-		if err := scenario.ValidateGrid("actualCharging", spec.ActualCharging, true); err != nil {
+		_, vspan := obs.StartSpan(ctx, spanValidate)
+		err := scenario.ValidateGrid("actualCharging", spec.ActualCharging, true)
+		vspan.End()
+		if err != nil {
 			return nil, err
 		}
 	}
+	span.SetAttr("periods", spec.Periods)
 	cfg := ManagerConfig(spec.Scenario, spec.Params, spec.Policy)
 	cfg.DisableSlotGuards = spec.DisableSlotGuards
 	return dpm.SimulateContext(ctx, dpm.SimConfig{
@@ -243,13 +280,16 @@ type MachineSpec struct {
 // the board simulation. ctx is honored while drawing the trace and
 // between simulated events.
 func SimulateMachine(ctx context.Context, spec MachineSpec) (*machine.Result, error) {
-	if err := scenario.Validate(spec.Scenario); err != nil {
-		return nil, err
+	ctx, span := obs.StartSpan(ctx, spanMachine)
+	defer span.End()
+	_, vspan := obs.StartSpan(ctx, spanValidate)
+	err := scenario.Validate(spec.Scenario)
+	if err == nil && spec.ActualCharging != nil {
+		err = scenario.ValidateGrid("actualCharging", spec.ActualCharging, true)
 	}
-	if spec.ActualCharging != nil {
-		if err := scenario.ValidateGrid("actualCharging", spec.ActualCharging, true); err != nil {
-			return nil, err
-		}
+	vspan.End()
+	if err != nil {
+		return nil, err
 	}
 	if !scenario.IsFinite(spec.EventScale) || spec.EventScale < 0 {
 		return nil, scenario.Errorf("eventScale %g must be non-negative", spec.EventScale)
@@ -275,7 +315,10 @@ func SimulateMachine(ctx context.Context, spec MachineSpec) (*machine.Result, er
 		}
 		maxEvents = 2 * spec.MaxExpectedEvents
 	}
+	_, espan := obs.StartSpan(ctx, spanEvents)
 	events, err := trace.PoissonEventsBounded(ctx, spec.Scenario.Usage, spec.EventScale, horizon, spec.Seed, maxEvents)
+	espan.SetAttr("events", len(events))
+	espan.End()
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, err

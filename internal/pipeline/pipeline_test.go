@@ -70,7 +70,7 @@ func TestPlanHonorsContext(t *testing.T) {
 }
 
 func TestTableDefaultsToPAMA(t *testing.T) {
-	tbl, cfg, err := pipeline.Table(nil)
+	tbl, cfg, err := pipeline.Table(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestReplayAppliesReports(t *testing.T) {
 		{UsedJ: s.Usage.Values[0] * tau, SuppliedJ: s.Charging.Values[0] * tau},
 		{UsedJ: s.Usage.Values[1] * tau * 1.2, SuppliedJ: s.Charging.Values[1] * tau},
 	}
-	mgr, err := pipeline.Replay(s, pcfg, dpm.Proportional, nil, reports)
+	mgr, err := pipeline.Replay(context.Background(), s, pcfg, dpm.Proportional, nil, reports)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestReplayAppliesReports(t *testing.T) {
 	// Restoring the checkpoint and replaying one more slot must
 	// continue from where the first replay stopped.
 	state := mgr.Checkpoint()
-	next, err := pipeline.Replay(s, pcfg, dpm.Proportional, &state,
+	next, err := pipeline.Replay(context.Background(), s, pcfg, dpm.Proportional, &state,
 		[]pipeline.SlotReport{{UsedJ: 1, SuppliedJ: 1}})
 	if err != nil {
 		t.Fatal(err)
@@ -114,15 +114,15 @@ func TestReplayAppliesReports(t *testing.T) {
 func TestReplayValidatesReports(t *testing.T) {
 	s := trace.ScenarioI()
 	pcfg := experiments.PaperParams()
-	if _, err := pipeline.Replay(s, pcfg, dpm.Proportional, nil, nil); err == nil {
+	if _, err := pipeline.Replay(context.Background(), s, pcfg, dpm.Proportional, nil, nil); err == nil {
 		t.Error("empty report list accepted")
 	}
 	bad := []pipeline.SlotReport{{UsedJ: math.NaN(), SuppliedJ: 0}}
-	if _, err := pipeline.Replay(s, pcfg, dpm.Proportional, nil, bad); err == nil {
+	if _, err := pipeline.Replay(context.Background(), s, pcfg, dpm.Proportional, nil, bad); err == nil {
 		t.Error("NaN slot energy accepted")
 	}
 	huge := make([]pipeline.SlotReport, scenario.MaxSlots+1)
-	if _, err := pipeline.Replay(s, pcfg, dpm.Proportional, nil, huge); err == nil {
+	if _, err := pipeline.Replay(context.Background(), s, pcfg, dpm.Proportional, nil, huge); err == nil {
 		t.Error("oversized report list accepted")
 	}
 }

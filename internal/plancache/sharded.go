@@ -136,6 +136,18 @@ func (s *Sharded[V]) Keys() []string {
 	return keys
 }
 
+// ShardStats snapshots each shard's counters individually, in shard
+// order. The service's /metrics renders these as per-shard counter
+// series so hot-shard imbalance (a skewed key distribution) is
+// visible without a debugger; Stats remains the aggregate view.
+func (s *Sharded[V]) ShardStats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i, c := range s.shards {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
 // Stats aggregates the per-shard counters into one snapshot. The
 // counters are atomics, so the aggregate is race-free (each counter
 // is individually consistent; the snapshot is not a single atomic

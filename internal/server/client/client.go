@@ -64,7 +64,8 @@ func (e *StatusError) Error() string {
 }
 
 // post sends a JSON request and decodes the JSON response into out.
-func (c *Client) post(ctx context.Context, path string, in, out any) (CacheState, error) {
+// Extra headers (key/value pairs) are set on the request.
+func (c *Client) post(ctx context.Context, path string, in, out any, headers ...[2]string) (CacheState, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return CacheNone, fmt.Errorf("client: encoding request: %w", err)
@@ -74,6 +75,9 @@ func (c *Client) post(ctx context.Context, path string, in, out any) (CacheState
 		return CacheNone, fmt.Errorf("client: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for _, h := range headers {
+		req.Header.Set(h[0], h[1])
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return CacheNone, fmt.Errorf("client: %w", err)
@@ -102,6 +106,20 @@ func decodeError(resp *http.Response) error {
 func (c *Client) Plan(ctx context.Context, req server.PlanRequest) (*server.PlanResponse, CacheState, error) {
 	var out server.PlanResponse
 	state, err := c.post(ctx, "/v1/plan", req, &out)
+	if err != nil {
+		return nil, state, err
+	}
+	return &out, state, nil
+}
+
+// PlanTraced is Plan with the debug span tree attached: it sets
+// "X-Dpmd-Trace: 1" and decodes the wrapped response. The embedded
+// plan bytes are exactly what Plan would have returned — tracing never
+// perturbs the cached payload — with the request's span tree and
+// request id alongside.
+func (c *Client) PlanTraced(ctx context.Context, req server.PlanRequest) (*server.TracedPlanResponse, CacheState, error) {
+	var out server.TracedPlanResponse
+	state, err := c.post(ctx, "/v1/plan", req, &out, [2]string{"X-Dpmd-Trace", "1"})
 	if err != nil {
 		return nil, state, err
 	}

@@ -25,11 +25,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
 	"dpm/internal/dpm"
 	"dpm/internal/metrics"
+	"dpm/internal/obs"
 	"dpm/internal/params"
 	"dpm/internal/pipeline"
 	"dpm/internal/plancache"
@@ -64,7 +66,17 @@ type Config struct {
 	// MaxBodyBytes caps request bodies. Default 1 MiB.
 	MaxBodyBytes int64
 	// Logger receives one line per request; nil disables logging.
+	// Ignored when AccessLog is set.
 	Logger *log.Logger
+	// AccessLog, when non-nil, replaces Logger with structured events:
+	// one "request" event per request (request_id, method, path,
+	// status, bytes, dur_ms, cache, remote) plus "listening" and
+	// "shutdown" lifecycle events.
+	AccessLog *obs.Logger
+	// DebugAddr, when non-empty, serves net/http/pprof on a second
+	// listener at that address. The profiling mux is deliberately
+	// separate from the API listener so operators can firewall it.
+	DebugAddr string
 }
 
 func (c *Config) setDefaults() {
@@ -90,6 +102,7 @@ type Server struct {
 	cfg   Config
 	cache *plancache.Sharded[[]byte]
 	stats *metrics.ServiceStats
+	tel   *telemetry
 	sem   chan struct{}
 	mux   *http.ServeMux
 
@@ -97,6 +110,8 @@ type Server struct {
 	listener net.Listener
 	httpSrv  *http.Server
 	serveErr chan error
+	debugLn  net.Listener
+	debugSrv *http.Server
 
 	// testDelay, when non-nil, runs inside every pooled handler
 	// after the pool slot is acquired — tests use it to hold
@@ -129,6 +144,7 @@ func New(cfg Config) (*Server, error) {
 		sem:   make(chan struct{}, cfg.PoolSize),
 		mux:   http.NewServeMux(),
 	}
+	s.tel = newTelemetry(s)
 	s.mux.Handle("/v1/plan", s.endpoint(http.MethodPost, true, s.handlePlan))
 	s.mux.Handle("/v1/batch", s.endpoint(http.MethodPost, true, s.handleBatch))
 	s.mux.Handle("/v1/params", s.endpoint(http.MethodPost, true, s.handleParams))
@@ -172,11 +188,20 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 
 // endpoint wraps a handler with the service middleware: method
 // check, body-size limit, per-request timeout, the bounded worker
-// pool (for planning endpoints), request accounting and logging.
+// pool (for planning endpoints), request-id propagation, telemetry
+// attachment, request accounting and logging.
 func (s *Server) endpoint(method string, pooled bool, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		// Honor a well-formed inbound X-Request-Id, generate one
+		// otherwise, and echo it on the response before the handler can
+		// write headers.
+		reqID := obs.SanitizeRequestID(r.Header.Get(requestIDHeader))
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		sw.Header().Set(requestIDHeader, reqID)
 		func() {
 			if r.Method != method {
 				sw.Header().Set("Allow", method)
@@ -192,9 +217,17 @@ func (s *Server) endpoint(method string, pooled bool, h http.HandlerFunc) http.H
 				var cancel context.CancelFunc
 				ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 				defer cancel()
-				r = r.WithContext(ctx)
 			}
 			if pooled {
+				// Planning endpoints always record per-stage latencies;
+				// the span tree is materialized only for requests that
+				// opt in with the trace header.
+				rec := &obs.Recorder{Stages: s.tel.stages}
+				if r.Header.Get(traceHeader) == "1" {
+					rec.Trace = obs.NewTrace()
+				}
+				ctx = obs.WithRecorder(ctx, rec)
+				r = r.WithContext(ctx)
 				select {
 				case s.sem <- struct{}{}:
 					defer func() { <-s.sem }()
@@ -206,18 +239,34 @@ func (s *Server) endpoint(method string, pooled bool, h http.HandlerFunc) http.H
 				if s.testDelay != nil {
 					s.testDelay()
 				}
+			} else {
+				r = r.WithContext(ctx)
 			}
 			h(sw, r)
 		}()
 		dur := time.Since(start)
 		s.stats.Observe(r.URL.Path, sw.status, dur.Seconds())
-		if s.cfg.Logger != nil {
-			cache := sw.Header().Get(cacheHeader)
-			if cache == "" {
-				cache = "-"
-			}
-			s.cfg.Logger.Printf("method=%s path=%s status=%d bytes=%d dur_ms=%.3f cache=%s remote=%s",
-				r.Method, r.URL.Path, sw.status, sw.bytes, float64(dur.Microseconds())/1000, cache, r.RemoteAddr)
+		s.tel.reqHist.Observe(r.URL.Path, dur.Seconds())
+		if sw.status >= 400 {
+			s.tel.errTotal.Add(r.URL.Path, 1)
+		}
+		cache := sw.Header().Get(cacheHeader)
+		if cache == "" {
+			cache = "-"
+		}
+		if s.cfg.AccessLog != nil {
+			s.cfg.AccessLog.Event("request",
+				obs.F("request_id", reqID),
+				obs.F("method", r.Method),
+				obs.F("path", r.URL.Path),
+				obs.F("status", sw.status),
+				obs.F("bytes", sw.bytes),
+				obs.F("dur_ms", float64(dur.Microseconds())/1000),
+				obs.F("cache", cache),
+				obs.F("remote", r.RemoteAddr))
+		} else if s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("method=%s path=%s status=%d bytes=%d dur_ms=%.3f cache=%s remote=%s request_id=%s",
+				r.Method, r.URL.Path, sw.status, sw.bytes, float64(dur.Microseconds())/1000, cache, r.RemoteAddr, reqID)
 		}
 	})
 }
@@ -342,6 +391,8 @@ func (s *Server) planBody(ctx context.Context, req *PlanRequest) ([]byte, string
 	if err != nil {
 		return nil, "", err
 	}
+	ctx, cspan := obs.StartSpan(ctx, "plan.cache")
+	defer cspan.End()
 	body, served, err := s.cache.GetOrCompute(ctx, key, func() ([]byte, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -374,6 +425,7 @@ func (s *Server) planBody(ctx context.Context, req *PlanRequest) ([]byte, string
 	if served {
 		state = "hit"
 	}
+	cspan.SetAttr("state", state)
 	return withScenarioName(req.Scenario.Name, body), state, nil
 }
 
@@ -397,8 +449,35 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
+	if rec := obs.RecorderFrom(r.Context()); rec != nil && rec.Trace != nil {
+		s.writeTracedPlan(w, r, body, state, rec.Trace)
+		return
+	}
 	w.Header().Set(cacheHeader, state)
 	writeJSONBytes(w, body)
+}
+
+// writeTracedPlan answers a /v1/plan request that opted in with
+// "X-Dpmd-Trace: 1": the default body bytes are embedded verbatim
+// (minus the trailing newline) under "response" and the span tree
+// rides alongside under "trace". The plan cache stores and serves the
+// same bytes whether or not the request was traced — tracing decorates
+// the response, it never forks the cached payload.
+func (s *Server) writeTracedPlan(w http.ResponseWriter, r *http.Request, body []byte, state string, tr *obs.Trace) {
+	out, err := marshalBody(&TracedPlanResponse{
+		Response: json.RawMessage(bytes.TrimSuffix(body, []byte("\n"))),
+		Trace: TraceInfo{
+			RequestID: w.Header().Get(requestIDHeader),
+			Spans:     tr.Tree(),
+		},
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set(cacheHeader, state)
+	w.Header().Set(traceHeader, "1")
+	writeJSONBytes(w, out)
 }
 
 // handleBatch answers N plan requests in one call. Every item runs
@@ -496,8 +575,8 @@ func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	s.respondCached(w, r, key, nil, func(_ context.Context) (any, error) {
-		table, _, err := pipeline.Table(req.Hardware)
+	s.respondCached(w, r, key, nil, func(ctx context.Context) (any, error) {
+		table, _, err := pipeline.Table(ctx, req.Hardware)
 		if err != nil {
 			return nil, err
 		}
@@ -542,7 +621,7 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 	for i, rep := range req.Slots {
 		reports[i] = pipeline.SlotReport(rep)
 	}
-	mgr, err := pipeline.Replay(req.Scenario, pcfg, pol, req.State, reports)
+	mgr, err := pipeline.Replay(r.Context(), req.Scenario, pcfg, pol, req.State, reports)
 	if err != nil {
 		fail(w, badRequest{err})
 		return
@@ -726,8 +805,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
-// handleMetrics renders the cache and per-endpoint counters as plain
-// text via internal/metrics.
+// handleMetrics renders the legacy flat counters first (the original
+// scrape surface, kept for compatibility), then the typed Prometheus
+// families from the registry: request and pipeline-stage histograms,
+// error counters, per-shard cache counters and runtime gauges. The
+// legacy lines are unlabeled or labeled samples without TYPE
+// annotations, which the exposition format permits, so the whole body
+// remains a valid scrape target.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	cs := s.cache.Stats()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -740,6 +824,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Len:       cs.Len,
 		Capacity:  cs.Capacity,
 	}, s.stats.Snapshot())
+	s.tel.registry.WriteProm(w) //nolint:errcheck
 }
 
 // Start binds the configured address and serves in the background.
@@ -755,6 +840,16 @@ func (s *Server) Start() error {
 	if err != nil {
 		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
 	}
+	if s.cfg.DebugAddr != "" {
+		dln, err := net.Listen("tcp", s.cfg.DebugAddr)
+		if err != nil {
+			ln.Close() //nolint:errcheck
+			return fmt.Errorf("server: listen debug %s: %w", s.cfg.DebugAddr, err)
+		}
+		s.debugLn = dln
+		s.debugSrv = &http.Server{Handler: debugMux()}
+		go s.debugSrv.Serve(dln) //nolint:errcheck
+	}
 	s.listener = ln
 	s.httpSrv = &http.Server{Handler: s.mux}
 	s.serveErr = make(chan error, 1)
@@ -765,11 +860,35 @@ func (s *Server) Start() error {
 		}
 		close(s.serveErr)
 	}()
-	if s.cfg.Logger != nil {
+	debugAddr := ""
+	if s.debugLn != nil {
+		debugAddr = s.debugLn.Addr().String()
+	}
+	if s.cfg.AccessLog != nil {
+		s.cfg.AccessLog.Event("listening",
+			obs.F("addr", ln.Addr().String()),
+			obs.F("pool", s.cfg.PoolSize),
+			obs.F("cache", s.cfg.CacheEntries),
+			obs.F("timeout", s.cfg.RequestTimeout.String()),
+			obs.F("debug_addr", debugAddr))
+	} else if s.cfg.Logger != nil {
 		s.cfg.Logger.Printf("listening addr=%s pool=%d cache=%d timeout=%s",
 			ln.Addr(), s.cfg.PoolSize, s.cfg.CacheEntries, s.cfg.RequestTimeout)
 	}
 	return nil
+}
+
+// debugMux builds the pprof handler tree on a private mux rather than
+// http.DefaultServeMux, so importing net/http/pprof never leaks the
+// profiler onto the API listener.
+func debugMux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/debug/pprof/", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return m
 }
 
 // Addr returns the bound listen address, or "" before Start.
@@ -782,15 +901,32 @@ func (s *Server) Addr() string {
 	return s.listener.Addr().String()
 }
 
+// DebugAddr returns the bound pprof listener address, or "" when no
+// debug listener is configured or the server has not started.
+func (s *Server) DebugAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.debugLn == nil {
+		return ""
+	}
+	return s.debugLn.Addr().String()
+}
+
 // Shutdown stops accepting connections and drains in-flight requests
 // until they complete or ctx expires.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	srv := s.httpSrv
 	errCh := s.serveErr
+	debugSrv := s.debugSrv
 	s.mu.Unlock()
 	if srv == nil {
 		return nil
+	}
+	if debugSrv != nil {
+		// The profiler has no in-flight work worth draining; close it
+		// immediately so a hung profile stream cannot stall shutdown.
+		debugSrv.Close() //nolint:errcheck
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("server: shutdown: %w", err)
@@ -800,7 +936,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			return err
 		}
 	}
-	if s.cfg.Logger != nil {
+	if s.cfg.AccessLog != nil {
+		s.cfg.AccessLog.Event("shutdown")
+	} else if s.cfg.Logger != nil {
 		s.cfg.Logger.Printf("shutdown complete")
 	}
 	return nil
