@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench tables golden cover clean serve
+.PHONY: all build vet test race bench tables golden cover clean serve soak
 
 all: build vet test
 
@@ -24,6 +24,11 @@ bench:
 # Run the planning service in the foreground (Ctrl-C to stop).
 serve:
 	$(GO) run ./cmd/dpmd -addr :8080
+
+# Chaos soak: a live server behind seeded fault injection, hammered by
+# retrying clients under the race detector (-short bounds iterations).
+soak:
+	$(GO) test -race -count=1 -run TestChaosSoak ./internal/chaostest/
 
 # Regenerate every table and figure from the paper's evaluation.
 tables:

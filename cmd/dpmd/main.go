@@ -2,9 +2,12 @@
 // HTTP JSON service: Algorithm 1 plans (/v1/plan), Algorithm 2
 // parameter schedules (/v1/params), Algorithm 3 runtime updates
 // (/v1/replan) and bounded simulations (/v1/simulate), with
-// /healthz and a /metrics page carrying both the legacy flat counters
+// /healthz (liveness), /readyz (readiness — 503 the moment a drain
+// begins) and a /metrics page carrying both the legacy flat counters
 // and Prometheus-format histograms. Repeated plan requests for the
-// same scenario are served from an LRU cache.
+// same scenario are served from an LRU cache, and a deadline-aware
+// admission controller sheds saturated requests that cannot finish
+// inside their deadline, with Retry-After on every overload 503.
 //
 //	dpmd -addr :8080                       # defaults
 //	dpmd -addr 127.0.0.1:0 -pool 16        # bigger worker pool
@@ -13,9 +16,11 @@
 //	dpmd -table-cache 512                  # more memoized (n,f) tables
 //	dpmd -log-json                         # structured JSON request logs
 //	dpmd -debug-addr 127.0.0.1:6060        # pprof on a second listener
+//	dpmd -drain-grace 5s                   # readiness flips before the listener closes
+//	dpmd -no-shed                          # queue-until-expired instead of shedding
 //
-// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
-// requests.
+// SIGINT/SIGTERM trigger a graceful shutdown that flips /readyz,
+// waits out -drain-grace, then drains in-flight requests.
 package main
 
 import (
@@ -48,16 +53,25 @@ func main() {
 	logJSON := flag.Bool("log-json", false, "emit structured JSON log lines instead of plain text")
 	debugAddr := flag.String("debug-addr", "",
 		"serve net/http/pprof on this address (empty disables the profiler)")
+	drainGrace := flag.Duration("drain-grace", 0,
+		"keep the listener open this long after /readyz flips to 503 at shutdown, so load balancers observe not-ready before connections fail")
+	noShed := flag.Bool("no-shed", false,
+		"disable deadline-aware admission shedding; saturated requests queue until admitted or expired")
+	chaosHold := flag.Duration("chaos-hold", 0,
+		"hold every pooled request this long after it takes a worker slot — overload drills only")
 	flag.Parse()
 
 	cfg := server.Config{
-		Addr:           *addr,
-		PoolSize:       *pool,
-		CacheEntries:   *cacheEntries,
-		CacheShards:    *cacheShards,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		DebugAddr:      *debugAddr,
+		Addr:            *addr,
+		PoolSize:        *pool,
+		CacheEntries:    *cacheEntries,
+		CacheShards:     *cacheShards,
+		RequestTimeout:  *timeout,
+		MaxBodyBytes:    *maxBody,
+		DebugAddr:       *debugAddr,
+		DrainGrace:      *drainGrace,
+		DisableShedding: *noShed,
+		ChaosHold:       *chaosHold,
 	}
 	if !*quiet {
 		if *logJSON {
@@ -88,6 +102,8 @@ func logStartupConfig(cfg server.Config, tableCacheEntries int, shutdownTimeout 
 		obs.F("shutdown_timeout", shutdownTimeout.String()),
 		obs.F("max_body_bytes", cfg.MaxBodyBytes),
 		obs.F("debug_addr", cfg.DebugAddr),
+		obs.F("drain_grace", cfg.DrainGrace.String()),
+		obs.F("no_shed", cfg.DisableShedding),
 		obs.F("log_json", cfg.AccessLog != nil),
 	}
 	if cfg.AccessLog != nil {

@@ -28,10 +28,13 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net/http"
 	"strings"
 	"time"
 
+	"dpm/internal/chaostest"
 	"dpm/internal/obs"
+	"dpm/internal/resilience"
 	"dpm/internal/schedule"
 	"dpm/internal/server"
 	"dpm/internal/server/client"
@@ -169,6 +172,37 @@ func main() {
 			fmt.Println(line)
 		}
 	}
+	fmt.Println()
+
+	// 8. Ride out a flaky network: the same plan request through a
+	// transport that resets connections, truncates bodies and injects
+	// spurious 5xx. client.NewWithRetry absorbs all of it — exponential
+	// backoff with full jitter, Retry-After honored, a per-host circuit
+	// breaker guarding against a dead host — and every dpmd endpoint is
+	// idempotent, so retrying is always safe.
+	flakyHTTP := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: chaostest.NewTransport(nil, chaostest.FaultConfig{
+			Seed:         42,
+			ResetProb:    0.3,
+			TruncateProb: 0.2,
+			Err503Prob:   0.2,
+		}),
+	}
+	rc := client.NewWithRetry("http://"+srv.Addr(), flakyHTTP, resilience.RetryPolicy{
+		MaxAttempts: resilience.UnlimitedAttempts, // context-bounded
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    100 * time.Millisecond,
+		Seed:        1,
+	})
+	for i := 0; i < 10; i++ {
+		if _, _, err := rc.Plan(ctx, planReq); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := flakyHTTP.Transport.(*chaostest.Transport).Stats()
+	fmt.Printf("10 plans through a flaky wire: %d round trips (%d resets, %d truncations, %d injected 503s), all succeeded\n",
+		st.Requests, st.Resets, st.Truncations, st.Err503s)
 }
 
 // printSpans renders a span forest indented by depth, with the

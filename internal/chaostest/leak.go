@@ -1,0 +1,115 @@
+package chaostest
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Goroutine-leak checking ------------------------------------------
+//
+// SnapshotGoroutines records the ids of every live goroutine;
+// CheckGoroutines later re-dumps the stacks and fails the test if
+// goroutines born since the snapshot are still alive after a grace
+// period. The checker is stdlib-only: it parses runtime.Stack's
+// "goroutine N [state]:" headers. Transient goroutines (an HTTP
+// keep-alive connection draining, a timer firing) get up to
+// leakGrace of settle time before they count as leaks.
+
+// leakGrace is how long CheckGoroutines polls before declaring a
+// leak.
+const leakGrace = 3 * time.Second
+
+// goroutineDump captures every goroutine's stack.
+func goroutineDump() []byte {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return buf[:n]
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+}
+
+// parseGoroutines splits a dump into per-goroutine stacks keyed by
+// goroutine id.
+func parseGoroutines(dump []byte) map[int]string {
+	out := make(map[int]string)
+	for _, g := range strings.Split(string(dump), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		var id int
+		if _, err := fmt.Sscanf(g, "goroutine %d ", &id); err != nil {
+			continue
+		}
+		out[id] = g
+	}
+	return out
+}
+
+// ignorable reports stacks the checker never counts as leaks: the
+// runtime's own workers and the testing harness.
+func ignorable(stack string) bool {
+	for _, marker := range []string{
+		"runtime.gc",
+		"runtime.forcegchelper",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime/trace",
+		"testing.(*T).Run",
+		"testing.runTests",
+		"testing.(*M).",
+		"os/signal.",
+		"chaostest.goroutineDump",
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// SnapshotGoroutines records the currently live goroutine ids. Take
+// it before starting the servers, clients and workers under test.
+func SnapshotGoroutines() map[int]bool {
+	ids := make(map[int]bool)
+	for id := range parseGoroutines(goroutineDump()) {
+		ids[id] = true
+	}
+	return ids
+}
+
+// CheckGoroutines fails t if goroutines created since the snapshot
+// are still running after everything under test was shut down. It
+// polls for up to leakGrace so connections mid-teardown can finish
+// dying before they are judged.
+func CheckGoroutines(t testing.TB, before map[int]bool) {
+	t.Helper()
+	deadline := time.Now().Add(leakGrace)
+	var leaked []string
+	for {
+		leaked = leaked[:0]
+		for id, stack := range parseGoroutines(goroutineDump()) {
+			if before[id] || ignorable(stack) {
+				continue
+			}
+			leaked = append(leaked, stack)
+		}
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	sort.Strings(leaked)
+	t.Errorf("%d goroutine(s) leaked after drain:\n\n%s",
+		len(leaked), strings.Join(leaked, "\n\n"))
+}

@@ -1,0 +1,264 @@
+package chaostest_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dpm/internal/chaostest"
+	"dpm/internal/resilience"
+	"dpm/internal/server"
+	"dpm/internal/server/client"
+	"dpm/internal/trace"
+)
+
+// TestChaosSoak is the overload drill: a live dpmd instance behind
+// fault-injecting server middleware, driven by retrying clients whose
+// transports inject their own faults, with concurrent plan, batch and
+// replan traffic. Every endpoint is idempotent, so with unlimited
+// (context-bounded) attempts each logical request must eventually
+// succeed; /v1/plan answers must stay byte-identical to a golden body
+// captured before the storm; and after a graceful drain nothing may
+// leak. Both injectors are seeded, so a failure replays exactly.
+func TestChaosSoak(t *testing.T) {
+	snap := chaostest.SnapshotGoroutines()
+
+	workers, iters := 8, 40
+	if testing.Short() {
+		workers, iters = 4, 10
+	}
+
+	srv, err := server.New(server.Config{
+		Addr:           "127.0.0.1:0",
+		PoolSize:       4,
+		RequestTimeout: 10 * time.Second,
+		Wrap: func(next http.Handler) http.Handler {
+			return chaostest.Middleware(next, chaostest.FaultConfig{
+				Seed:        101,
+				LatencyProb: 0.10,
+				LatencyMin:  time.Millisecond,
+				LatencyMax:  5 * time.Millisecond,
+				Err503Prob:  0.08,
+				ResetProb:   0.05,
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	// Golden /v1/plan bytes over a clean connection, before any chaos
+	// traffic touches the cache.
+	golden := rawPlan(t, base)
+
+	policy := resilience.RetryPolicy{
+		MaxAttempts:      resilience.UnlimitedAttempts,
+		BaseDelay:        2 * time.Millisecond,
+		MaxDelay:         50 * time.Millisecond,
+		BreakerThreshold: 20,
+		BreakerCooldown:  20 * time.Millisecond,
+		Seed:             7,
+	}
+	chaosHTTP := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: chaostest.NewTransport(nil, chaostest.FaultConfig{
+			Seed:         202,
+			LatencyProb:  0.10,
+			LatencyMin:   time.Millisecond,
+			LatencyMax:   5 * time.Millisecond,
+			ResetProb:    0.08,
+			TruncateProb: 0.08,
+			Err500Prob:   0.04,
+			Err503Prob:   0.04,
+		}),
+	}
+	c := client.NewWithRetry(base, chaosHTTP, policy)
+
+	scenarios := trace.Scenarios()
+	errs := make(chan error, workers*iters)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+				var err error
+				switch (w + i) % 3 {
+				case 0:
+					err = soakPlan(ctx, c, scenarios[i%len(scenarios)])
+				case 1:
+					err = soakBatch(ctx, c, scenarios)
+				default:
+					err = soakReplan(ctx, c, scenarios[0])
+				}
+				cancel()
+				if err != nil {
+					errs <- fmt.Errorf("worker %d iter %d: %w", w, i, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	failed := 0
+	for err := range errs {
+		failed++
+		if failed <= 5 {
+			t.Error(err)
+		}
+	}
+	if failed > 0 {
+		t.Fatalf("%d of %d idempotent requests never succeeded", failed, workers*iters)
+	}
+
+	// The storm must not have perturbed the canonical plan bytes.
+	if got := rawPlan(t, base); !bytes.Equal(got, golden) {
+		t.Errorf("/v1/plan diverged from golden after soak:\n got: %s\nwant: %s", got, golden)
+	}
+
+	// Server-side admission families are on /metrics; the client's
+	// breaker families render from its group.
+	metricsBody := rawGet(t, base+"/metrics")
+	for _, want := range []string{
+		"dpmd_admission_admitted_total",
+		"dpmd_admission_shed_total",
+		"dpmd_admission_expired_total",
+		"dpmd_admission_queue_depth",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	var prom bytes.Buffer
+	if err := c.Breakers().WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "dpmd_client_breaker_state{host=") {
+		t.Errorf("breaker exposition missing state family:\n%s", prom.String())
+	}
+
+	// Drain and prove nothing outlived it.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	chaosHTTP.CloseIdleConnections()
+	http.DefaultClient.CloseIdleConnections()
+	chaostest.CheckGoroutines(t, snap)
+}
+
+// soakPlan plans one scenario and sanity-checks the result shape.
+func soakPlan(ctx context.Context, c *client.Client, s trace.Scenario) error {
+	resp, _, err := c.Plan(ctx, server.PlanRequest{Scenario: s})
+	if err != nil {
+		return fmt.Errorf("plan: %w", err)
+	}
+	if len(resp.Allocation) == 0 || len(resp.Trajectory) != len(resp.Allocation)+1 {
+		return fmt.Errorf("plan: malformed response %+v", resp)
+	}
+	return nil
+}
+
+// soakBatch plans every scenario in one call and checks per-item
+// success.
+func soakBatch(ctx context.Context, c *client.Client, scenarios []trace.Scenario) error {
+	reqs := make([]server.PlanRequest, len(scenarios))
+	for i, s := range scenarios {
+		reqs[i] = server.PlanRequest{Scenario: s}
+	}
+	results, err := c.PlanBatch(ctx, reqs)
+	if err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("batch item %d: %w", i, r.Err)
+		}
+		if r.Plan == nil || len(r.Plan.Allocation) == 0 {
+			return fmt.Errorf("batch item %d: empty plan", i)
+		}
+	}
+	return nil
+}
+
+// soakReplan round-trips a checkpoint through two replan calls — the
+// Algorithm 3 loop a fleet node runs every slot.
+func soakReplan(ctx context.Context, c *client.Client, s trace.Scenario) error {
+	first, err := c.Replan(ctx, server.ReplanRequest{
+		Scenario: s,
+		Slots:    []server.SlotReport{{UsedJ: 9.5, SuppliedJ: 11.0}},
+	})
+	if err != nil {
+		return fmt.Errorf("replan: %w", err)
+	}
+	second, err := c.Replan(ctx, server.ReplanRequest{
+		Scenario: s,
+		State:    &first.State,
+		Slots:    []server.SlotReport{{UsedJ: 8.0, SuppliedJ: 10.0}},
+	})
+	if err != nil {
+		return fmt.Errorf("replan resume: %w", err)
+	}
+	if second.Slot != first.Slot+1 {
+		return fmt.Errorf("replan: slot %d after %d, want +1", second.Slot, first.Slot)
+	}
+	return nil
+}
+
+// rawPlan fetches /v1/plan over a clean client and returns the exact
+// body bytes.
+func rawPlan(t *testing.T, base string) []byte {
+	t.Helper()
+	body := []byte(`{"scenario":` + scenarioIJSON(t) + `}`)
+	resp, err := http.Post(base+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean /v1/plan status %d: %s", resp.StatusCode, data)
+	}
+	return data
+}
+
+// scenarioIJSON renders Scenario I in its wire form.
+func scenarioIJSON(t *testing.T) string {
+	t.Helper()
+	data, err := json.Marshal(trace.ScenarioI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// rawGet fetches a URL over a clean client.
+func rawGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

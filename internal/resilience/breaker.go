@@ -1,0 +1,233 @@
+// Package resilience is the overload-survival toolkit shared by the
+// dpmd server and its typed client. The paper's §4.3 runtime loop
+// assumes the planner answers every τ tick; at fleet scale that
+// assumption only holds if the service sheds work it cannot finish in
+// time (deadline-aware admission control, Controller) and clients
+// ride out transient faults instead of giving up on the first error
+// (RetryPolicy/Retrier with exponential backoff and full jitter,
+// gated by a per-host circuit Breaker). The pieces are
+// transport-agnostic: the server wires the controller in front of its
+// worker pool, the client wraps its HTTP round trips, and both expose
+// their counters for /metrics.
+package resilience
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BreakerState enumerates the circuit-breaker states.
+type BreakerState int32
+
+const (
+	// BreakerClosed is the healthy state: every request proceeds.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails requests fast after too many consecutive
+	// failures; the circuit stays open for the cooldown.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through after the
+	// cooldown; its outcome closes or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int32(s))
+	}
+}
+
+// OpenError is returned by Breaker.Allow while the circuit is open
+// (or a half-open probe is already in flight). It is retryable: a
+// caller on a retry loop should wait RetryIn and try again rather
+// than give up.
+type OpenError struct {
+	// RetryIn is how long until the breaker will next admit a probe.
+	RetryIn time.Duration
+}
+
+func (e *OpenError) Error() string {
+	return fmt.Sprintf("circuit breaker open; retry in %s", e.RetryIn)
+}
+
+// Breaker is one consecutive-failure circuit breaker:
+// closed → open after Threshold consecutive failures, open → half-open
+// after Cooldown, half-open → closed on a successful probe or back to
+// open on a failed one. All methods are safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	// now is the clock, swappable in tests.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+	opens    uint64
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures and probes again after cooldown. threshold < 1
+// is clamped to 1, cooldown <= 0 gets a 1 s default.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may proceed. nil means go (and the
+// caller must report the outcome via Success or Failure); an
+// *OpenError means fail fast and retry no sooner than RetryIn.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		remaining := b.cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			return &OpenError{RetryIn: remaining}
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	default: // BreakerHalfOpen
+		if b.probing {
+			// One probe at a time; tell siblings to check back after a
+			// probe round trip's worth of cooldown.
+			return &OpenError{RetryIn: b.cooldown / 4}
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Success reports a successful request: the circuit closes and the
+// failure run resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure reports a failed request: a failed half-open probe re-opens
+// the circuit immediately; in the closed state the consecutive-failure
+// count advances and trips the breaker at the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.trip()
+		return
+	}
+	b.failures++
+	if b.state == BreakerClosed && b.failures >= b.threshold {
+		b.trip()
+	}
+}
+
+// trip opens the circuit; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.probing = false
+	b.failures = 0
+	b.opens++
+}
+
+// State returns the current state (resolving an elapsed cooldown to
+// half-open is Allow's job; State reports the stored state).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens counts closed/half-open → open transitions.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// BreakerGroup keys breakers by host so one client instance talking
+// to several dpmd deployments isolates their failures.
+type BreakerGroup struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewBreakerGroup returns an empty group; each host's breaker is
+// created on first use with the given threshold and cooldown.
+func NewBreakerGroup(threshold int, cooldown time.Duration) *BreakerGroup {
+	return &BreakerGroup{threshold: threshold, cooldown: cooldown, m: make(map[string]*Breaker)}
+}
+
+// For returns the host's breaker, creating it on first sight.
+func (g *BreakerGroup) For(host string) *Breaker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.m[host]
+	if b == nil {
+		b = NewBreaker(g.threshold, g.cooldown)
+		g.m[host] = b
+	}
+	return b
+}
+
+// WriteProm renders the group's state as Prometheus families:
+// dpmd_client_breaker_state{host} (0 closed, 1 open, 2 half-open) and
+// dpmd_client_breaker_opens_total{host}. Embedders with a /metrics
+// page register this next to their other collectors.
+func (g *BreakerGroup) WriteProm(w io.Writer) error {
+	g.mu.Lock()
+	hosts := make([]string, 0, len(g.m))
+	for h := range g.m {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	breakers := make([]*Breaker, len(hosts))
+	for i, h := range hosts {
+		breakers[i] = g.m[h]
+	}
+	g.mu.Unlock()
+	if _, err := fmt.Fprint(w, "# HELP dpmd_client_breaker_state Circuit-breaker state by host (0 closed, 1 open, 2 half-open).\n# TYPE dpmd_client_breaker_state gauge\n"); err != nil {
+		return err
+	}
+	for i, h := range hosts {
+		if _, err := fmt.Fprintf(w, "dpmd_client_breaker_state{host=%q} %d\n", h, int32(breakers[i].State())); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "# HELP dpmd_client_breaker_opens_total Circuit-breaker open transitions by host.\n# TYPE dpmd_client_breaker_opens_total counter\n"); err != nil {
+		return err
+	}
+	for i, h := range hosts {
+		if _, err := fmt.Fprintf(w, "dpmd_client_breaker_opens_total{host=%q} %d\n", h, breakers[i].Opens()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package resilience
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps time manually so breaker cooldowns are
+// deterministic.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker refused request %d: %v", i, err)
+		}
+		b.Failure()
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %v after 2/3 failures, want closed", got)
+	}
+	b.Failure() // third consecutive failure trips it
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state %v after threshold failures, want open", got)
+	}
+	err := b.Allow()
+	var oe *OpenError
+	if !errors.As(err, &oe) {
+		t.Fatalf("open breaker allowed a request (err=%v)", err)
+	}
+	if oe.RetryIn <= 0 || oe.RetryIn > time.Second {
+		t.Fatalf("RetryIn %s outside (0, cooldown]", oe.RetryIn)
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens %d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %v, want closed: success must reset the run", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker not open")
+	}
+	// Before cooldown: still open.
+	if err := b.Allow(); err == nil {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	clk.advance(time.Second + time.Millisecond)
+	// After cooldown: exactly one probe goes through.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open breaker refused the probe: %v", err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if err := b.Allow(); err == nil {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Failed probe re-opens immediately.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("opens %d, want 2", b.Opens())
+	}
+	// Next probe succeeds and closes the circuit.
+	clk.advance(time.Second + time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker refused: %v", err)
+	}
+}
+
+func TestBreakerGroupIsolatesHosts(t *testing.T) {
+	g := NewBreakerGroup(1, time.Minute)
+	g.For("a:1").Failure()
+	if g.For("a:1").State() != BreakerOpen {
+		t.Fatal("host a breaker not open")
+	}
+	if g.For("b:1").State() != BreakerClosed {
+		t.Fatal("host b breaker affected by host a failures")
+	}
+	if g.For("a:1") != g.For("a:1") {
+		t.Fatal("group did not reuse the host breaker")
+	}
+}
+
+func TestBreakerGroupWriteProm(t *testing.T) {
+	g := NewBreakerGroup(1, time.Minute)
+	g.For("a:1").Failure()
+	g.For("b:1")
+	var sb strings.Builder
+	if err := g.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE dpmd_client_breaker_state gauge",
+		`dpmd_client_breaker_state{host="a:1"} 1`,
+		`dpmd_client_breaker_state{host="b:1"} 0`,
+		"# TYPE dpmd_client_breaker_opens_total counter",
+		`dpmd_client_breaker_opens_total{host="a:1"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Retry defaults. A zero RetryPolicy resolves to these — a small,
+// bounded budget suitable for interactive callers; batch drivers that
+// must eventually succeed set UnlimitedAttempts and let the request
+// context bound the loop instead.
+const (
+	// DefaultMaxAttempts is the total number of tries, including the
+	// first.
+	DefaultMaxAttempts = 4
+	// DefaultBaseDelay seeds the exponential backoff.
+	DefaultBaseDelay = 50 * time.Millisecond
+	// DefaultMaxDelay caps any single backoff sleep.
+	DefaultMaxDelay = 2 * time.Second
+	// DefaultMultiplier is the backoff growth factor.
+	DefaultMultiplier = 2.0
+	// DefaultBreakerThreshold is the consecutive-failure count that
+	// opens the circuit.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerCooldown is how long the circuit stays open before
+	// admitting a half-open probe.
+	DefaultBreakerCooldown = 2 * time.Second
+	// UnlimitedAttempts makes the retry loop context-bounded only.
+	UnlimitedAttempts = -1
+)
+
+// RetryPolicy tunes the client's retry loop and circuit breaker.
+// Every knob has a safe default (the Default* constants); the zero
+// value is a usable bounded policy.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (0 = DefaultMaxAttempts, UnlimitedAttempts = retry until the
+	// request context expires).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff; attempt k sleeps a
+	// uniformly random duration in [0, min(MaxDelay, BaseDelay·Multiplier^(k-1))]
+	// ("full jitter"), so a fleet of clients retrying the same outage
+	// does not stampede in lockstep.
+	BaseDelay time.Duration
+	// MaxDelay caps any single sleep.
+	MaxDelay time.Duration
+	// Multiplier is the backoff growth factor (must be ≥ 1; 0 =
+	// DefaultMultiplier).
+	Multiplier float64
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// per-host circuit (0 = DefaultBreakerThreshold).
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open delay (0 =
+	// DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// Seed, when non-zero, makes the jitter deterministic — for tests
+	// and reproducible drills. 0 uses the process-global source.
+	Seed int64
+}
+
+// withDefaults resolves zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = DefaultMultiplier
+	}
+	if p.BreakerThreshold == 0 {
+		p.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = DefaultBreakerCooldown
+	}
+	return p
+}
+
+// Retrier computes backoff delays for one resolved policy. It is safe
+// for concurrent use.
+type Retrier struct {
+	p RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand // nil → process-global source
+}
+
+// NewRetrier resolves the policy's defaults and returns a delay
+// calculator.
+func NewRetrier(p RetryPolicy) *Retrier {
+	r := &Retrier{p: p.withDefaults()}
+	if p.Seed != 0 {
+		r.rng = rand.New(rand.NewSource(p.Seed))
+	}
+	return r
+}
+
+// Policy returns the resolved policy.
+func (r *Retrier) Policy() RetryPolicy { return r.p }
+
+// NewBreakerGroup builds the breaker group the policy describes.
+func (r *Retrier) NewBreakerGroup() *BreakerGroup {
+	return NewBreakerGroup(r.p.BreakerThreshold, r.p.BreakerCooldown)
+}
+
+// Delay returns how long to sleep before retrying after `attempts`
+// completed tries, and whether the budget allows another try at all.
+// retryAfter, when positive, is a server-provided hint (Retry-After
+// or a breaker's RetryIn) that becomes the floor of the sleep: the
+// backoff never undercuts what the server asked for.
+func (r *Retrier) Delay(attempts int, retryAfter time.Duration) (time.Duration, bool) {
+	if r.p.MaxAttempts != UnlimitedAttempts && attempts >= r.p.MaxAttempts {
+		return 0, false
+	}
+	ceil := float64(r.p.BaseDelay)
+	for i := 1; i < attempts; i++ {
+		ceil *= r.p.Multiplier
+		if ceil >= float64(r.p.MaxDelay) {
+			ceil = float64(r.p.MaxDelay)
+			break
+		}
+	}
+	if ceil > float64(r.p.MaxDelay) {
+		ceil = float64(r.p.MaxDelay)
+	}
+	d := time.Duration(r.int63n(int64(ceil) + 1))
+	if retryAfter > 0 && d < retryAfter {
+		d = retryAfter
+	}
+	return d, true
+}
+
+// int63n draws from the policy's seeded source, or the process-global
+// one when no seed was set.
+func (r *Retrier) int63n(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if r.rng == nil {
+		return rand.Int63n(n)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Int63n(n)
+}

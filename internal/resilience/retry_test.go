@@ -1,0 +1,97 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetrierDefaults(t *testing.T) {
+	r := NewRetrier(RetryPolicy{})
+	p := r.Policy()
+	if p.MaxAttempts != DefaultMaxAttempts || p.BaseDelay != DefaultBaseDelay ||
+		p.MaxDelay != DefaultMaxDelay || p.Multiplier != DefaultMultiplier ||
+		p.BreakerThreshold != DefaultBreakerThreshold || p.BreakerCooldown != DefaultBreakerCooldown {
+		t.Fatalf("zero policy resolved to %+v", p)
+	}
+}
+
+func TestRetrierBudgetExhausted(t *testing.T) {
+	r := NewRetrier(RetryPolicy{MaxAttempts: 3, Seed: 1})
+	if _, ok := r.Delay(1, 0); !ok {
+		t.Fatal("retry refused after 1 of 3 attempts")
+	}
+	if _, ok := r.Delay(2, 0); !ok {
+		t.Fatal("retry refused after 2 of 3 attempts")
+	}
+	if _, ok := r.Delay(3, 0); ok {
+		t.Fatal("retry allowed after the budget was spent")
+	}
+}
+
+func TestRetrierUnlimitedAttempts(t *testing.T) {
+	r := NewRetrier(RetryPolicy{MaxAttempts: UnlimitedAttempts, Seed: 1})
+	for _, attempts := range []int{1, 10, 1000} {
+		if _, ok := r.Delay(attempts, 0); !ok {
+			t.Fatalf("unlimited policy refused retry after %d attempts", attempts)
+		}
+	}
+}
+
+// TestRetrierFullJitterBounds checks every drawn delay lands in
+// [0, min(MaxDelay, Base·Mult^(k-1))] and that the ceiling actually
+// grows with the attempt count.
+func TestRetrierFullJitterBounds(t *testing.T) {
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts: UnlimitedAttempts,
+		BaseDelay:   base, MaxDelay: max, Multiplier: 2,
+		Seed: 42,
+	})
+	ceilings := []time.Duration{base, 2 * base, 4 * base, max, max}
+	for k, ceil := range ceilings {
+		for i := 0; i < 200; i++ {
+			d, ok := r.Delay(k+1, 0)
+			if !ok {
+				t.Fatal("unexpected budget exhaustion")
+			}
+			if d < 0 || d > ceil {
+				t.Fatalf("attempt %d delay %s outside [0, %s]", k+1, d, ceil)
+			}
+		}
+	}
+}
+
+func TestRetrierHonorsRetryAfterFloor(t *testing.T) {
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts: UnlimitedAttempts,
+		BaseDelay:   time.Millisecond, MaxDelay: 2 * time.Millisecond,
+		Seed: 7,
+	})
+	ra := 500 * time.Millisecond
+	for i := 0; i < 50; i++ {
+		d, ok := r.Delay(1, ra)
+		if !ok {
+			t.Fatal("unexpected budget exhaustion")
+		}
+		if d < ra {
+			t.Fatalf("delay %s undercuts the server's Retry-After %s", d, ra)
+		}
+	}
+}
+
+func TestRetrierSeededDeterminism(t *testing.T) {
+	draw := func() []time.Duration {
+		r := NewRetrier(RetryPolicy{MaxAttempts: UnlimitedAttempts, Seed: 99})
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i], _ = r.Delay(i+1, 0)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded retriers diverged at draw %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

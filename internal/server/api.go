@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"dpm/internal/alloc"
 	"dpm/internal/dpm"
@@ -259,6 +260,31 @@ type SimulateResponse struct {
 	MeanLatencyS   float64          `json:"meanLatencyS,omitempty"`
 	EnergyUsedJ    float64          `json:"energyUsedJ,omitempty"`
 	Records        []SimulateRecord `json:"records,omitempty"`
+}
+
+// deadlineHeader lets a client declare its remaining time budget as
+// a Go duration string (e.g. "750ms"). The server clamps the
+// request's effective timeout to it, so admission control can shed a
+// request whose predicted queue wait already exceeds what the caller
+// will tolerate — instead of burning a worker slot on an answer
+// nobody is waiting for.
+const deadlineHeader = "X-Dpmd-Deadline"
+
+// clientDeadline parses the deadline header; absent means no client
+// bound (0). Malformed or non-positive values are client errors.
+func clientDeadline(r *http.Request) (time.Duration, error) {
+	v := r.Header.Get(deadlineHeader)
+	if v == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, badRequestf("invalid %s header %q: %v", deadlineHeader, v, err)
+	}
+	if d <= 0 {
+		return 0, badRequestf("invalid %s header %q: duration must be positive", deadlineHeader, v)
+	}
+	return d, nil
 }
 
 // decodeJSON reads one JSON value from the (already size-limited)

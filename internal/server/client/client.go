@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"dpm/internal/resilience"
 	"dpm/internal/server"
 )
 
@@ -33,6 +35,12 @@ const (
 type Client struct {
 	base string
 	http *http.Client
+
+	// retrier and breakers are set by NewWithRetry; nil means every
+	// request is a single attempt (the New behavior).
+	retrier  *resilience.Retrier
+	breakers *resilience.BreakerGroup
+	host     string
 }
 
 // New returns a client for the service at base (e.g.
@@ -57,24 +65,50 @@ type StatusError struct {
 	Code int
 	// Message is the server's structured error text.
 	Message string
+	// RetryAfter is the server's Retry-After hint (0 when absent); the
+	// retry loop uses it as the floor of its backoff sleep.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("dpmd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
 }
 
-// post sends a JSON request and decodes the JSON response into out.
-// Extra headers (key/value pairs) are set on the request.
+// post sends a JSON request and decodes the JSON response into out,
+// under the retry policy when one is configured (NewWithRetry). Extra
+// headers (key/value pairs) are set on the request. Every dpmd
+// endpoint is idempotent — planning is stateless compute and replan
+// round-trips its checkpoint — so re-executing a request whose
+// response was lost is always safe.
 func (c *Client) post(ctx context.Context, path string, in, out any, headers ...[2]string) (CacheState, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return CacheNone, fmt.Errorf("client: encoding request: %w", err)
 	}
+	var state CacheState
+	err = c.withRetry(ctx, func() error {
+		st, err := c.postOnce(ctx, path, body, out, headers)
+		state = st
+		return err
+	})
+	return state, err
+}
+
+// postOnce is one request/response round trip.
+func (c *Client) postOnce(ctx context.Context, path string, body []byte, out any, headers [][2]string) (CacheState, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return CacheNone, fmt.Errorf("client: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Declare the remaining budget so the server can shed the request
+	// instead of queueing it past its deadline. Recomputed per attempt:
+	// each retry has less budget than the last.
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			req.Header.Set(deadlineHeader, rem.String())
+		}
+	}
 	for _, h := range headers {
 		req.Header.Set(h[0], h[1])
 	}
@@ -95,11 +129,17 @@ func (c *Client) post(ctx context.Context, path string, in, out any, headers ...
 
 func decodeError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	se := &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
 	var ae apiError
 	if err := json.Unmarshal(data, &ae); err == nil && ae.Error != "" {
-		return &StatusError{Code: resp.StatusCode, Message: ae.Error}
+		se.Message = ae.Error
 	}
-	return &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return se
 }
 
 // Plan requests an Algorithm 1 power allocation.
@@ -193,22 +233,25 @@ func (c *Client) Simulate(ctx context.Context, req server.SimulateRequest) (*ser
 	return &out, nil
 }
 
-// Healthz checks liveness.
+// Healthz checks liveness (retried under the client's policy when one
+// is configured — a GET is trivially idempotent).
 func (c *Client) Healthz(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
-	if err != nil {
-		return fmt.Errorf("client: %w", err)
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return fmt.Errorf("client: %w", err)
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck
-	if resp.StatusCode != http.StatusOK {
-		return &StatusError{Code: resp.StatusCode, Message: "health check failed"}
-	}
-	return nil
+	return c.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		if resp.StatusCode != http.StatusOK {
+			return &StatusError{Code: resp.StatusCode, Message: "health check failed"}
+		}
+		return nil
+	})
 }
 
 // Metrics fetches the plain-text counters.

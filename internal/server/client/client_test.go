@@ -1,0 +1,248 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpm/internal/chaostest"
+	"dpm/internal/resilience"
+	"dpm/internal/server"
+	"dpm/internal/trace"
+)
+
+// planJSON is a minimal valid /v1/plan response body.
+const planJSON = `{"tau":14400,"allocation":[1,1],"trajectory":[0,1,1],"iterations":1,"feasible":true}`
+
+// fastPolicy keeps retry sleeps microscopic and deterministic.
+func fastPolicy() resilience.RetryPolicy {
+	return resilience.RetryPolicy{
+		BaseDelay: time.Millisecond,
+		MaxDelay:  5 * time.Millisecond,
+		Seed:      1,
+	}
+}
+
+func planReq() server.PlanRequest { return server.PlanRequest{Scenario: trace.ScenarioI()} }
+
+func TestRetryRecoversFromTransientFailures(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			io.WriteString(w, `{"error":"transient","status":500}`) //nolint:errcheck
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, planJSON) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	c := NewWithRetry(srv.URL, nil, fastPolicy())
+	resp, _, err := c.Plan(context.Background(), planReq())
+	if err != nil {
+		t.Fatalf("plan after transient failures: %v", err)
+	}
+	if !resp.Feasible || len(resp.Allocation) != 2 {
+		t.Fatalf("unexpected plan %+v", resp)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + success)", n)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		io.WriteString(w, `{"error":"down","status":500}`) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	p := fastPolicy()
+	p.MaxAttempts = 3
+	c := NewWithRetry(srv.URL, nil, p)
+	_, _, err := c.Plan(context.Background(), planReq())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusInternalServerError {
+		t.Fatalf("err %v, want StatusError 500", err)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want exactly MaxAttempts=3", n)
+	}
+}
+
+func TestNoRetryOnClientError(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		io.WriteString(w, `{"error":"bad scenario","status":400}`) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	c := NewWithRetry(srv.URL, nil, fastPolicy())
+	_, _, err := c.Plan(context.Background(), planReq())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err %v, want StatusError 400", err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d requests for a 400, want 1 (no retries)", n)
+	}
+}
+
+func TestRetryAfterParsedIntoStatusError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":"saturated","status":503}`) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	// Plain client: one attempt, error carries the hint.
+	c := New(srv.URL, nil)
+	_, _, err := c.Plan(context.Background(), planReq())
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err %v, want StatusError", err)
+	}
+	if se.RetryAfter != 2*time.Second {
+		t.Fatalf("RetryAfter %s, want 2s", se.RetryAfter)
+	}
+}
+
+func TestTruncatedResponseRetried(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if hits.Add(1) == 1 {
+			io.WriteString(w, `{"tau":14400,"alloc`) //nolint:errcheck
+			return
+		}
+		io.WriteString(w, planJSON) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	c := NewWithRetry(srv.URL, nil, fastPolicy())
+	if _, _, err := c.Plan(context.Background(), planReq()); err != nil {
+		t.Fatalf("plan after truncated body: %v", err)
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("server saw %d requests, want 2", n)
+	}
+}
+
+func TestDeadlineHeaderDeclaresBudget(t *testing.T) {
+	var header atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		header.Store(r.Header.Get(deadlineHeader))
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, planJSON) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	c := NewWithRetry(srv.URL, nil, fastPolicy())
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if _, _, err := c.Plan(ctx, planReq()); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := header.Load().(string)
+	if got == "" {
+		t.Fatal("request carried no X-Dpmd-Deadline despite a context deadline")
+	}
+	d, err := time.ParseDuration(got)
+	if err != nil || d <= 0 || d > 3*time.Second {
+		t.Fatalf("deadline header %q (parsed %s, err %v), want a positive duration <= 3s", got, d, err)
+	}
+}
+
+// TestBreakerFailFastAndHalfOpenRecovery drives the breaker through
+// its full cycle against one flaky server: consecutive failures open
+// it mid-retry-loop, a later call waits out the cooldown, probes
+// half-open and closes on success — leaking no goroutines.
+func TestBreakerFailFastAndHalfOpenRecovery(t *testing.T) {
+	snap := chaostest.SnapshotGoroutines()
+	var hits atomic.Int64
+	var healthy atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			io.WriteString(w, `{"error":"down","status":500}`) //nolint:errcheck
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, planJSON) //nolint:errcheck
+	}))
+
+	p := fastPolicy()
+	p.MaxAttempts = 2
+	p.BreakerThreshold = 2
+	p.BreakerCooldown = 50 * time.Millisecond
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	c := NewWithRetry(srv.URL, httpc, p)
+	u := c.host
+
+	// Phase 1: both attempts fail, tripping the threshold-2 breaker.
+	if _, _, err := c.Plan(context.Background(), planReq()); err == nil {
+		t.Fatal("plan against a down server succeeded")
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("server saw %d requests, want 2", n)
+	}
+	if st := c.Breakers().For(u).State(); st != resilience.BreakerOpen {
+		t.Fatalf("breaker state %s after consecutive failures, want open", st)
+	}
+
+	// Phase 2: the server recovers. The next call is first blocked by
+	// the open circuit, sleeps out the cooldown (the OpenError's
+	// RetryIn floors the backoff), probes half-open and closes.
+	healthy.Store(true)
+	if _, _, err := c.Plan(context.Background(), planReq()); err != nil {
+		t.Fatalf("plan after recovery: %v", err)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3 (probe only)", n)
+	}
+	if st := c.Breakers().For(u).State(); st != resilience.BreakerClosed {
+		t.Fatalf("breaker state %s after successful probe, want closed", st)
+	}
+
+	srv.Close()
+	httpc.CloseIdleConnections()
+	chaostest.CheckGoroutines(t, snap)
+}
+
+// TestBreakerStateOnMetrics renders the group and checks the family
+// names the README documents.
+func TestBreakerStateOnMetrics(t *testing.T) {
+	p := fastPolicy()
+	p.MaxAttempts = 1
+	p.BreakerThreshold = 1
+	c := NewWithRetry("http://127.0.0.1:0", nil, p) // nothing listens: dial errors
+	c.Plan(context.Background(), planReq())         //nolint:errcheck
+	var buf writerBuf
+	if err := c.Breakers().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := string(buf)
+	for _, want := range []string{"dpmd_client_breaker_state{host=", "dpmd_client_breaker_opens_total{host="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breaker families missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+type writerBuf []byte
+
+func (b *writerBuf) Write(p []byte) (int, error) { *b = append(*b, p...); return len(p), nil }

@@ -1,0 +1,124 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"dpm/internal/resilience"
+)
+
+// deadlineHeader mirrors the server's X-Dpmd-Deadline contract: the
+// client's remaining time budget as a Go duration string, letting the
+// admission controller shed requests it cannot serve in time.
+const deadlineHeader = "X-Dpmd-Deadline"
+
+// NewWithRetry returns a client whose requests retry transient
+// failures — transport errors, truncated responses and 5xx answers —
+// with exponential backoff and full jitter, honoring the server's
+// Retry-After, behind a per-host circuit breaker. The zero RetryPolicy
+// gives the documented safe defaults. Retrying is safe because every
+// dpmd endpoint is idempotent: planning is stateless compute keyed by
+// its inputs, and replan round-trips the manager checkpoint instead of
+// holding server-side state.
+func NewWithRetry(base string, httpClient *http.Client, policy resilience.RetryPolicy) *Client {
+	c := New(base, httpClient)
+	c.retrier = resilience.NewRetrier(policy)
+	c.breakers = c.retrier.NewBreakerGroup()
+	c.host = c.base
+	if u, err := url.Parse(c.base); err == nil && u.Host != "" {
+		c.host = u.Host
+	}
+	return c
+}
+
+// Breakers exposes the per-host circuit breakers (nil for a plain New
+// client) — for state assertions and for registering WriteProm on an
+// embedder's /metrics page.
+func (c *Client) Breakers() *resilience.BreakerGroup { return c.breakers }
+
+// retryable classifies an attempt error: true for failures a fresh
+// attempt can fix (transport errors, truncated bodies, 5xx), and the
+// server's Retry-After hint when it sent one. Context expiry is never
+// retryable — the caller's budget is gone.
+func retryable(err error) (bool, time.Duration) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false, 0
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		switch se.Code {
+		case http.StatusInternalServerError, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true, se.RetryAfter
+		default:
+			return false, 0
+		}
+	}
+	var oe *resilience.OpenError
+	if errors.As(err, &oe) {
+		return true, oe.RetryIn
+	}
+	// Everything else that isn't an HTTP status is wire trouble:
+	// dial/reset errors from the transport, io.ErrUnexpectedEOF from a
+	// truncated body surfacing through the JSON decoder.
+	var ue *url.Error
+	if errors.As(err, &ue) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true, 0
+	}
+	return false, 0
+}
+
+// withRetry runs attempt under the client's policy. Without a retrier
+// (plain New) it is a single pass-through attempt. With one, failed
+// attempts back off exponentially with full jitter (floored at the
+// server's Retry-After), the per-host breaker fails fast during an
+// outage and admits a single half-open probe after its cooldown, and
+// the loop ends when an attempt succeeds, the attempt budget is
+// spent, a non-retryable error surfaces, or ctx expires.
+func (c *Client) withRetry(ctx context.Context, attempt func() error) error {
+	if c.retrier == nil {
+		return attempt()
+	}
+	br := c.breakers.For(c.host)
+	attempts := 0
+	for {
+		err := br.Allow()
+		if err == nil {
+			err = attempt()
+			switch canRetry, _ := retryable(err); {
+			case err == nil:
+				br.Success()
+				return nil
+			case canRetry:
+				br.Failure()
+			default:
+				// The host answered conclusively (4xx, or the caller's
+				// context died): not a host failure.
+				if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+					br.Success()
+				}
+				return err
+			}
+		}
+		canRetry, retryAfter := retryable(err)
+		if !canRetry {
+			return err
+		}
+		attempts++
+		delay, ok := c.retrier.Delay(attempts, retryAfter)
+		if !ok {
+			return err
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"dpm/internal/obs"
 	"dpm/internal/params"
 	"dpm/internal/plancache"
+	"dpm/internal/resilience"
 )
 
 // Observability assembly -------------------------------------------
@@ -62,10 +63,60 @@ func newTelemetry(s *Server) *telemetry {
 	t.registry.Register(t.errTotal)
 	t.registry.Register(t.stages)
 	t.registry.Register(obs.CollectorFunc(s.writeCacheProm))
+	t.registry.Register(obs.CollectorFunc(s.writeAdmissionProm))
 	t.registry.Register(obs.CollectorFunc(func(w io.Writer) error {
 		return obs.RuntimeCollector{Start: s.stats.StartTime()}.WriteProm(w)
 	}))
 	return t
+}
+
+// writeAdmissionProm renders the admission controller's per-endpoint
+// outcome counters, the live queue depth, and the rolling
+// service-time estimate the shed prediction runs on:
+//
+//   - dpmd_admission_admitted_total{endpoint}  counter
+//   - dpmd_admission_shed_total{endpoint}      counter
+//   - dpmd_admission_expired_total{endpoint}   counter
+//   - dpmd_admission_queue_depth               gauge
+//   - dpmd_admission_service_time_seconds{endpoint} gauge
+func (s *Server) writeAdmissionProm(w io.Writer) error {
+	snap := s.adm.Snapshot()
+	for _, c := range []struct {
+		suffix, help string
+		value        func(resilience.EndpointAdmission) uint64
+	}{
+		{"admitted", "Requests granted a worker slot, by endpoint.",
+			func(ea resilience.EndpointAdmission) uint64 { return ea.Admitted }},
+		{"shed", "Requests rejected up front because the predicted queue wait exceeded their deadline, by endpoint.",
+			func(ea resilience.EndpointAdmission) uint64 { return ea.Shed }},
+		{"expired", "Requests whose deadline expired while queued for a slot, by endpoint.",
+			func(ea resilience.EndpointAdmission) uint64 { return ea.Expired }},
+	} {
+		name := "dpmd_admission_" + c.suffix + "_total"
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, c.help, name); err != nil {
+			return err
+		}
+		for _, ea := range snap {
+			if err := obs.WriteLabeledCounter(w, name, [][2]string{{"endpoint", ea.Endpoint}}, c.value(ea)); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP dpmd_admission_queue_depth Requests currently waiting for a worker slot.\n# TYPE dpmd_admission_queue_depth gauge\ndpmd_admission_queue_depth %d\n",
+		s.adm.QueueDepth()); err != nil {
+		return err
+	}
+	const est = "dpmd_admission_service_time_seconds"
+	if _, err := fmt.Fprintf(w, "# HELP %s Rolling per-endpoint service-time estimate driving shed prediction.\n# TYPE %s gauge\n", est, est); err != nil {
+		return err
+	}
+	for _, ea := range snap {
+		if _, err := fmt.Fprintf(w, "%s{endpoint=%q} %g\n", est, ea.Endpoint, ea.ServiceTimeSeconds); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeCacheProm renders the plan-cache and Algorithm 2 table-cache

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpm/internal/chaostest"
+)
+
+// Admission-control and readiness tests ----------------------------
+
+// TestReadyzDrainOrdering checks the readiness contract: /readyz is
+// 200 while serving, flips to 503 the instant Shutdown begins, and —
+// thanks to DrainGrace — stays reachable long enough for a load
+// balancer to observe the flip before the listener closes. /healthz
+// must keep reporting liveness throughout.
+func TestReadyzDrainOrdering(t *testing.T) {
+	s, err := New(Config{Addr: "127.0.0.1:0", DrainGrace: 700 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+
+	status, body := getBody(t, base, "/readyz")
+	if status != http.StatusOK || !strings.Contains(string(body), `"ready"`) {
+		t.Fatalf("/readyz before drain: status %d body %s", status, body)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// Within the grace window /readyz must answer 503 with Retry-After
+	// while the listener is still accepting.
+	deadline := time.Now().Add(500 * time.Millisecond)
+	sawNotReady := false
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatalf("/readyz unreachable during drain grace: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("draining /readyz missing Retry-After")
+			}
+			sawNotReady = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawNotReady {
+		t.Fatal("/readyz never flipped to 503 during the drain grace window")
+	}
+	// Liveness is a separate signal: still 200 mid-drain.
+	if status, _ := getBody(t, base, "/healthz"); status != http.StatusOK {
+		t.Fatalf("/healthz during drain: status %d, want 200", status)
+	}
+
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown never returned")
+	}
+}
+
+// TestShedDoomedRequest saturates a 1-slot pool after seeding a
+// ~300 ms service-time estimate, then sends a request whose declared
+// deadline (X-Dpmd-Deadline) is far below the predicted wait: it must
+// be shed immediately with a 503 + Retry-After, not queued to die.
+func TestShedDoomedRequest(t *testing.T) {
+	s, err := New(Config{Addr: "127.0.0.1:0", PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var n atomic.Int64
+	s.testDelay = func() {
+		if n.Add(1) == 1 {
+			// First request seeds the service-time estimate.
+			time.Sleep(300 * time.Millisecond)
+			return
+		}
+		entered <- struct{}{}
+		<-release
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	}()
+	base := "http://" + s.Addr()
+	req := planBody(t)
+
+	// Seed the estimate with one completed slow request.
+	if status, _, body := postJSON(t, base, "/v1/plan", req); status != http.StatusOK {
+		t.Fatalf("seed request status %d: %s", status, body)
+	}
+
+	// Saturate the single slot.
+	go http.Post(base+"/v1/plan", "application/json", bytes.NewReader(req)) //nolint:errcheck
+	<-entered
+	defer close(release)
+
+	// 50 ms of budget against a ~300 ms predicted wait: shed, fast.
+	hr, err := http.NewRequest(http.MethodPost, base+"/v1/plan", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set(deadlineHeader, "50ms")
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("doomed request got status %d, want 503", resp.StatusCode)
+	}
+	if elapsed > 40*time.Millisecond {
+		t.Errorf("shed took %s; it must reject without queueing", elapsed)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("shed 503 missing Retry-After")
+	}
+	for _, ea := range s.AdmissionStats() {
+		if ea.Endpoint == "/v1/plan" {
+			if ea.Shed == 0 {
+				t.Errorf("admission stats recorded no shed: %+v", ea)
+			}
+			return
+		}
+	}
+	t.Fatal("no admission stats for /v1/plan")
+}
+
+// TestClientDeadlineHeader covers the header contract: malformed and
+// non-positive values are 400s, a generous value leaves a fast
+// request unharmed.
+func TestClientDeadlineHeader(t *testing.T) {
+	_, base := startServer(t, Config{})
+	req := planBody(t)
+	for _, bad := range []string{"banana", "-5s", "0s"} {
+		hr, err := http.NewRequest(http.MethodPost, base+"/v1/plan", bytes.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		hr.Header.Set(deadlineHeader, bad)
+		resp, err := http.DefaultClient.Do(hr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("deadline %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	hr, err := http.NewRequest(http.MethodPost, base+"/v1/plan", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set(deadlineHeader, "5s")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("generous deadline rejected: status %d", resp.StatusCode)
+	}
+}
+
+// TestAdmissionMetricsExposed drives one request and checks the
+// admission families render on /metrics.
+func TestAdmissionMetricsExposed(t *testing.T) {
+	_, base := startServer(t, Config{})
+	if status, _, body := postJSON(t, base, "/v1/plan", planBody(t)); status != http.StatusOK {
+		t.Fatalf("plan status %d: %s", status, body)
+	}
+	_, body := getBody(t, base, "/metrics")
+	for _, want := range []string{
+		`dpmd_admission_admitted_total{endpoint="/v1/plan"} 1`,
+		"dpmd_admission_shed_total",
+		"dpmd_admission_expired_total",
+		"dpmd_admission_queue_depth 0",
+		`dpmd_admission_service_time_seconds{endpoint="/v1/plan"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestShutdownLeaksNothing boots and drains a server with chaos hold
+// configured, checking no goroutines outlive the drain.
+func TestShutdownLeaksNothing(t *testing.T) {
+	snap := chaostest.SnapshotGoroutines()
+	s, err := New(Config{
+		Addr:       "127.0.0.1:0",
+		PoolSize:   2,
+		ChaosHold:  10 * time.Millisecond,
+		DrainGrace: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+	if status, _, body := postJSON(t, base, "/v1/plan", planBody(t)); status != http.StatusOK {
+		t.Fatalf("plan status %d: %s", status, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	chaostest.CheckGoroutines(t, snap)
+}

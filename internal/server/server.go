@@ -26,7 +26,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpm/internal/dpm"
@@ -35,6 +37,7 @@ import (
 	"dpm/internal/params"
 	"dpm/internal/pipeline"
 	"dpm/internal/plancache"
+	"dpm/internal/resilience"
 	"dpm/internal/scenario"
 )
 
@@ -77,6 +80,26 @@ type Config struct {
 	// listener at that address. The profiling mux is deliberately
 	// separate from the API listener so operators can firewall it.
 	DebugAddr string
+	// DrainGrace delays the listener close at shutdown: /readyz flips
+	// to 503 the moment Shutdown is called, then the server keeps
+	// accepting for DrainGrace so load balancers polling readiness
+	// stop routing before connections start failing. 0 closes the
+	// listener immediately.
+	DrainGrace time.Duration
+	// DisableShedding turns off predictive admission shedding.
+	// Requests then queue until a worker slot frees or their deadline
+	// expires — the pre-admission-control behavior.
+	DisableShedding bool
+	// ChaosHold, when positive, holds every pooled request for that
+	// long (or until its deadline expires) after it takes a worker
+	// slot. It exists to drive the pool into saturation
+	// deterministically — overload drills and the CI smoke test
+	// (cmd/dpmd -chaos-hold). 0 disables.
+	ChaosHold time.Duration
+	// Wrap, when non-nil, wraps the assembled handler tree — the hook
+	// chaos middleware (internal/chaostest.Middleware) and embedder
+	// instrumentation attach to.
+	Wrap func(http.Handler) http.Handler
 }
 
 func (c *Config) setDefaults() {
@@ -103,8 +126,12 @@ type Server struct {
 	cache *plancache.Sharded[[]byte]
 	stats *metrics.ServiceStats
 	tel   *telemetry
-	sem   chan struct{}
+	adm   *resilience.Controller
 	mux   *http.ServeMux
+
+	// draining flips the moment Shutdown begins; /readyz answers 503
+	// from then on while /healthz keeps reporting liveness.
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -141,7 +168,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		cache: cache,
 		stats: metrics.NewServiceStats(),
-		sem:   make(chan struct{}, cfg.PoolSize),
+		adm:   resilience.NewController(cfg.PoolSize, cfg.DisableShedding),
 		mux:   http.NewServeMux(),
 	}
 	s.tel = newTelemetry(s)
@@ -151,13 +178,23 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("/v1/replan", s.endpoint(http.MethodPost, true, s.handleReplan))
 	s.mux.Handle("/v1/simulate", s.endpoint(http.MethodPost, true, s.handleSimulate))
 	s.mux.Handle("/healthz", s.endpoint(http.MethodGet, false, s.handleHealthz))
+	s.mux.Handle("/readyz", s.endpoint(http.MethodGet, false, s.handleReadyz))
 	s.mux.Handle("/metrics", s.endpoint(http.MethodGet, false, s.handleMetrics))
 	return s, nil
 }
 
 // Handler returns the service's HTTP handler (for tests and
-// in-process embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// in-process embedding), with Config.Wrap applied when set.
+func (s *Server) Handler() http.Handler {
+	if s.cfg.Wrap != nil {
+		return s.cfg.Wrap(s.mux)
+	}
+	return s.mux
+}
+
+// AdmissionStats snapshots the admission controller's per-endpoint
+// counters.
+func (s *Server) AdmissionStats() []resilience.EndpointAdmission { return s.adm.Snapshot() }
 
 // CacheStats snapshots the plan-cache counters.
 func (s *Server) CacheStats() plancache.Stats { return s.cache.Stats() }
@@ -213,9 +250,24 @@ func (s *Server) endpoint(method string, pooled bool, h http.HandlerFunc) http.H
 				r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 			}
 			ctx := r.Context()
-			if s.cfg.RequestTimeout > 0 {
+			// The effective deadline is the tighter of the server's
+			// RequestTimeout and the client's own remaining budget
+			// (X-Dpmd-Deadline) — a reply the client will have stopped
+			// waiting for is not worth computing.
+			timeout := s.cfg.RequestTimeout
+			if pooled {
+				d, derr := clientDeadline(r)
+				if derr != nil {
+					s.fail(sw, r, derr)
+					return
+				}
+				if d > 0 && (timeout == 0 || d < timeout) {
+					timeout = d
+				}
+			}
+			if timeout > 0 {
 				var cancel context.CancelFunc
-				ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+				ctx, cancel = context.WithTimeout(ctx, timeout)
 				defer cancel()
 			}
 			if pooled {
@@ -228,13 +280,24 @@ func (s *Server) endpoint(method string, pooled bool, h http.HandlerFunc) http.H
 				}
 				ctx = obs.WithRecorder(ctx, rec)
 				r = r.WithContext(ctx)
-				select {
-				case s.sem <- struct{}{}:
-					defer func() { <-s.sem }()
-				case <-ctx.Done():
-					writeError(sw, http.StatusServiceUnavailable,
-						"worker pool saturated; retry later")
+				// Deadline-aware admission: take a worker slot, or be
+				// shed right away when the predicted queue wait already
+				// overruns the deadline — a queued-to-die request costs
+				// a connection and a queue position for nothing.
+				slot, verdict, retryAfter := s.adm.Acquire(ctx, r.URL.Path)
+				switch verdict {
+				case resilience.Shed:
+					writeUnavailable(sw, retryAfter,
+						"worker pool saturated and predicted wait exceeds the request deadline; request shed")
 					return
+				case resilience.Expired:
+					writeUnavailable(sw, retryAfter,
+						"worker pool saturated; request deadline expired while queued")
+					return
+				}
+				defer slot.Release()
+				if s.cfg.ChaosHold > 0 {
+					holdCtx(ctx, s.cfg.ChaosHold)
 				}
 				if s.testDelay != nil {
 					s.testDelay()
@@ -285,6 +348,36 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	w.Write(append(errorJSON(status, msg), '\n')) //nolint:errcheck
 }
 
+// setRetryAfter stamps the Retry-After header in whole seconds with a
+// 1 s floor — the granularity the header speaks.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// writeUnavailable emits a 503 with the structured error body and a
+// Retry-After computed from the admission controller's queue state,
+// so a well-behaved client backs off by the server's own estimate
+// instead of guessing.
+func writeUnavailable(w http.ResponseWriter, retryAfter time.Duration, msg string) {
+	setRetryAfter(w, retryAfter)
+	writeError(w, http.StatusServiceUnavailable, msg)
+}
+
+// holdCtx sleeps d or until ctx is done — the drain-grace and
+// chaos-hold timer.
+func holdCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
 // errorBody maps an error onto its HTTP status and client-facing
 // message: an explicit httpError keeps its code, a context
 // cancellation (the request deadline expired or the client went away
@@ -310,9 +403,15 @@ func errorBody(err error) (int, string) {
 	return http.StatusInternalServerError, err.Error()
 }
 
-// fail writes the structured error response for err.
-func fail(w http.ResponseWriter, err error) {
+// fail writes the structured error response for err. Every 503 —
+// notably a deadline that expired mid-computation — carries a
+// Retry-After from the admission controller's current estimate, so
+// all overload responses are uniformly retryable.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 	status, msg := errorBody(err)
+	if status == http.StatusServiceUnavailable {
+		setRetryAfter(w, s.adm.RetryAfter(r.URL.Path))
+	}
 	writeError(w, status, msg)
 }
 
@@ -355,11 +454,11 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, key strin
 		return marshalBody(resp)
 	})
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	if err := ctx.Err(); err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	state := "miss"
@@ -437,16 +536,16 @@ func (s *Server) planBody(ctx context.Context, req *PlanRequest) ([]byte, string
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req PlanRequest
 	if err := decodeJSON(r, &req); err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	body, state, err := s.planBody(r.Context(), &req)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	if err := r.Context().Err(); err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	if rec := obs.RecorderFrom(r.Context()); rec != nil && rec.Trace != nil {
@@ -472,7 +571,7 @@ func (s *Server) writeTracedPlan(w http.ResponseWriter, r *http.Request, body []
 		},
 	})
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	w.Header().Set(cacheHeader, state)
@@ -488,15 +587,15 @@ func (s *Server) writeTracedPlan(w http.ResponseWriter, r *http.Request, body []
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := decodeJSON(r, &req); err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	if len(req.Requests) == 0 {
-		fail(w, badRequestf("at least one plan request is required"))
+		s.fail(w, r, badRequestf("at least one plan request is required"))
 		return
 	}
 	if len(req.Requests) > scenario.MaxBatch {
-		fail(w, badRequestf("%d plan requests exceed the batch limit of %d",
+		s.fail(w, r, badRequestf("%d plan requests exceed the batch limit of %d",
 			len(req.Requests), scenario.MaxBatch))
 		return
 	}
@@ -519,12 +618,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if err := ctx.Err(); err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	body, err := marshalBody(&BatchResponse{Results: results})
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	writeJSONBytes(w, body)
@@ -557,22 +656,22 @@ func withScenarioName(name string, body []byte) []byte {
 func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 	var req ParamsRequest
 	if err := decodeJSON(r, &req); err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	if err := scenario.ValidateGrid("allocation", req.Allocation, true); err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	hw := req.Hardware.WithDefaults()
 	req.Hardware = &hw // canonicalize for the cache key
 	if _, err := hw.ParamsConfig(); err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	key, err := plancache.Key("params", req)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	s.respondCached(w, r, key, nil, func(ctx context.Context) (any, error) {
@@ -609,12 +708,12 @@ func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 	var req ReplanRequest
 	if err := decodeJSON(r, &req); err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	pcfg, pol, err := scenarioParams(req.Scenario, req.Hardware, req.Policy)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	reports := make([]pipeline.SlotReport, len(req.Slots))
@@ -623,7 +722,7 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 	}
 	mgr, err := pipeline.Replay(r.Context(), req.Scenario, pcfg, pol, req.State, reports)
 	if err != nil {
-		fail(w, badRequest{err})
+		s.fail(w, r, badRequest{err})
 		return
 	}
 	body, err := marshalBody(&ReplanResponse{
@@ -633,11 +732,11 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 		State:   mgr.Checkpoint(),
 	})
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	if err := r.Context().Err(); err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	writeJSONBytes(w, body)
@@ -649,12 +748,12 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
 	if err := decodeJSON(r, &req); err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	pcfg, pol, err := scenarioParams(req.Scenario, req.Hardware, req.Policy)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	limit := scenario.MaxPeriods
@@ -662,7 +761,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		limit = scenario.MaxMachinePeriods
 	}
 	if req.Periods < 1 || req.Periods > limit {
-		fail(w, badRequestf("periods %d outside [1, %d]", req.Periods, limit))
+		s.fail(w, r, badRequestf("periods %d outside [1, %d]", req.Periods, limit))
 		return
 	}
 	var resp *SimulateResponse
@@ -672,16 +771,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		resp, err = simulateAnalytic(r.Context(), req, pcfg, pol)
 	}
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	body, err := marshalBody(resp)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	if err := r.Context().Err(); err != nil {
-		fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
 	writeJSONBytes(w, body)
@@ -798,11 +897,27 @@ func simulateMachine(ctx context.Context, req SimulateRequest, pcfg params.Confi
 	return resp, nil
 }
 
-// handleHealthz reports liveness.
+// handleHealthz reports liveness: the process is up and serving.
+// It stays 200 through a graceful drain — restarting an instance
+// because it is draining would defeat the drain.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleReadyz reports readiness: 200 while accepting work, 503 the
+// moment graceful drain begins, so load balancers stop routing to
+// this instance before its listener closes. Liveness (/healthz) and
+// readiness are deliberately separate signals.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeUnavailable(w, time.Second, "draining; not ready")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, `{"status":"ready"}`)
 }
 
 // handleMetrics renders the legacy flat counters first (the original
@@ -851,7 +966,7 @@ func (s *Server) Start() error {
 		go s.debugSrv.Serve(dln) //nolint:errcheck
 	}
 	s.listener = ln
-	s.httpSrv = &http.Server{Handler: s.mux}
+	s.httpSrv = &http.Server{Handler: s.Handler()}
 	s.serveErr = make(chan error, 1)
 	go func() {
 		err := s.httpSrv.Serve(ln)
@@ -913,7 +1028,10 @@ func (s *Server) DebugAddr() string {
 }
 
 // Shutdown stops accepting connections and drains in-flight requests
-// until they complete or ctx expires.
+// until they complete or ctx expires. Readiness flips first: /readyz
+// answers 503 immediately, then the listener stays open for
+// Config.DrainGrace so load balancers polling readiness observe
+// not-ready before connections start being refused.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	srv := s.httpSrv
@@ -927,6 +1045,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// The profiler has no in-flight work worth draining; close it
 		// immediately so a hung profile stream cannot stall shutdown.
 		debugSrv.Close() //nolint:errcheck
+	}
+	// Flip readiness before closing anything; the grace window runs
+	// only on the first Shutdown call so concurrent callers do not
+	// stack delays.
+	if s.draining.CompareAndSwap(false, true) && s.cfg.DrainGrace > 0 {
+		holdCtx(ctx, s.cfg.DrainGrace)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("server: shutdown: %w", err)

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"dpm/internal/alloc"
+	"dpm/internal/chaostest"
 	"dpm/internal/dpm"
 	"dpm/internal/pipeline"
 	"dpm/internal/schedule"
@@ -203,6 +205,7 @@ func TestEndToEndPlanConcurrencyAndCache(t *testing.T) {
 // starts a shutdown, then releases them: every request must complete
 // with 200 and the shutdown must return cleanly.
 func TestGracefulShutdownDrains(t *testing.T) {
+	snap := chaostest.SnapshotGoroutines()
 	const inflight = 4
 	s, err := New(Config{Addr: "127.0.0.1:0", PoolSize: inflight})
 	if err != nil {
@@ -281,6 +284,9 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	if _, err := http.Post(base+"/v1/plan", "application/json", bytes.NewReader(req)); err == nil {
 		t.Error("request accepted after shutdown")
 	}
+	// Everything the server and its requests spawned must be gone.
+	http.DefaultClient.CloseIdleConnections()
+	chaostest.CheckGoroutines(t, snap)
 }
 
 // TestParamsEndpoint checks the (n, f) schedule against the params
@@ -677,11 +683,17 @@ func TestPoolSaturation(t *testing.T) {
 	go http.Post(base+"/v1/plan", "application/json", bytes.NewReader(req)) //nolint:errcheck
 	<-entered
 
-	status, _, body := postJSON(t, base, "/v1/plan", req)
+	status, hdr, body := postJSON(t, base, "/v1/plan", req)
 	if status != http.StatusServiceUnavailable {
 		t.Fatalf("saturated pool returned %d: %s", status, body)
 	}
 	assertStructuredError(t, body, http.StatusServiceUnavailable)
+	// Every overload 503 must tell the client when to come back.
+	if ra := hdr.Get("Retry-After"); ra == "" {
+		t.Error("saturation 503 missing Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After %q, want whole seconds >= 1", ra)
+	}
 }
 
 func TestHealthz(t *testing.T) {
