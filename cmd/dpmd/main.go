@@ -1,7 +1,10 @@
 // Command dpmd serves the dynamic power manager as a long-running
 // HTTP JSON service: Algorithm 1 plans (/v1/plan), Algorithm 2
 // parameter schedules (/v1/params), Algorithm 3 runtime updates
-// (/v1/replan) and bounded simulations (/v1/simulate), with
+// (/v1/replan) and bounded simulations (/v1/simulate), plus the
+// stateful fleet session layer (/v1/fleet/register, /v1/fleet/tick,
+// /v1/fleet/bulk-tick, /v1/fleet/drain) that keeps a live Algorithm 3
+// manager per device so ticks need no checkpoint round-trip, with
 // /healthz (liveness), /readyz (readiness — 503 the moment a drain
 // begins) and a /metrics page carrying both the legacy flat counters
 // and Prometheus-format histograms. Repeated plan requests for the
@@ -18,6 +21,8 @@
 //	dpmd -debug-addr 127.0.0.1:6060        # pprof on a second listener
 //	dpmd -drain-grace 5s                   # readiness flips before the listener closes
 //	dpmd -no-shed                          # queue-until-expired instead of shedding
+//	dpmd -fleet-max-sessions 100000        # cap fleet sessions (503 + Retry-After beyond)
+//	dpmd -fleet-idle-ttl 1h                # park idle sessions' checkpoints after an hour
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that flips /readyz,
 // waits out -drain-grace, then drains in-flight requests.
@@ -59,19 +64,28 @@ func main() {
 		"disable deadline-aware admission shedding; saturated requests queue until admitted or expired")
 	chaosHold := flag.Duration("chaos-hold", 0,
 		"hold every pooled request this long after it takes a worker slot — overload drills only")
+	fleetPartitions := flag.Int("fleet-partitions", 0,
+		"fleet session partition count, rounded up to a power of two (0 = GOMAXPROCS rounded up, capped at 16)")
+	fleetMaxSessions := flag.Int("fleet-max-sessions", 0,
+		"cap on live fleet sessions; registrations beyond it answer 503 with Retry-After (0 = unlimited)")
+	fleetIdleTTL := flag.Duration("fleet-idle-ttl", 0,
+		"evict fleet sessions untouched this long, parking their checkpoints for handback on re-register (0 = never evict)")
 	flag.Parse()
 
 	cfg := server.Config{
-		Addr:            *addr,
-		PoolSize:        *pool,
-		CacheEntries:    *cacheEntries,
-		CacheShards:     *cacheShards,
-		RequestTimeout:  *timeout,
-		MaxBodyBytes:    *maxBody,
-		DebugAddr:       *debugAddr,
-		DrainGrace:      *drainGrace,
-		DisableShedding: *noShed,
-		ChaosHold:       *chaosHold,
+		Addr:             *addr,
+		PoolSize:         *pool,
+		CacheEntries:     *cacheEntries,
+		CacheShards:      *cacheShards,
+		RequestTimeout:   *timeout,
+		MaxBodyBytes:     *maxBody,
+		DebugAddr:        *debugAddr,
+		DrainGrace:       *drainGrace,
+		DisableShedding:  *noShed,
+		ChaosHold:        *chaosHold,
+		FleetPartitions:  *fleetPartitions,
+		FleetMaxSessions: *fleetMaxSessions,
+		FleetIdleTTL:     *fleetIdleTTL,
 	}
 	if !*quiet {
 		if *logJSON {
@@ -104,6 +118,9 @@ func logStartupConfig(cfg server.Config, tableCacheEntries int, shutdownTimeout 
 		obs.F("debug_addr", cfg.DebugAddr),
 		obs.F("drain_grace", cfg.DrainGrace.String()),
 		obs.F("no_shed", cfg.DisableShedding),
+		obs.F("fleet_partitions", cfg.FleetPartitions),
+		obs.F("fleet_max_sessions", cfg.FleetMaxSessions),
+		obs.F("fleet_idle_ttl", cfg.FleetIdleTTL.String()),
 		obs.F("log_json", cfg.AccessLog != nil),
 	}
 	if cfg.AccessLog != nil {

@@ -201,8 +201,46 @@ func main() {
 		}
 	}
 	st := flakyHTTP.Transport.(*chaostest.Transport).Stats()
-	fmt.Printf("10 plans through a flaky wire: %d round trips (%d resets, %d truncations, %d injected 503s), all succeeded\n",
+	fmt.Printf("10 plans through a flaky wire: %d round trips (%d resets, %d truncations, %d injected 503s), all succeeded\n\n",
 		st.Requests, st.Resets, st.Truncations, st.Err503s)
+
+	// 9. The fleet layer: the same Algorithm 3 loop as step 4, but the
+	// checkpoint stays server-side. A device registers once (the body
+	// in fleet_register.json works over curl too), then streams bare
+	// slot reports — no checkpoint on the wire — and the drain hands
+	// every session's final checkpoint back exactly once, ready to
+	// re-register here or anywhere else. Seq on each tick makes
+	// retries safe: a duplicate is answered from session memory.
+	reg, err := c.FleetRegister(ctx, server.FleetRegisterRequest{
+		DeviceID: "sat-007",
+		Scenario: trace.ScenarioI(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet: registered %s at slot %d\n", reg.DeviceID, reg.Slot)
+	for i, r := range []server.SlotReport{
+		{UsedJ: 9.0, SuppliedJ: 10.5},
+		{UsedJ: 8.2, SuppliedJ: 10.1},
+		{UsedJ: 11.4, SuppliedJ: 9.6},
+	} {
+		tk, err := c.FleetTick(ctx, server.FleetTickRequest{
+			DeviceID: "sat-007",
+			Seq:      uint64(i) + 1,
+			Slots:    []server.SlotReport{r},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fleet: tick %d → slot %d, charge %.2f J, %d replan(s)\n",
+			i+1, tk.Slot, tk.ChargeJ, tk.Replans)
+	}
+	drainedFleet, err := c.FleetDrain(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet: drained %d session(s); %s stopped at slot %d with its checkpoint in hand\n",
+		drainedFleet.Count, drainedFleet.Devices[0].DeviceID, drainedFleet.Devices[0].Slot)
 }
 
 // printSpans renders a span forest indented by depth, with the

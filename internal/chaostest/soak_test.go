@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -21,12 +22,16 @@ import (
 
 // TestChaosSoak is the overload drill: a live dpmd instance behind
 // fault-injecting server middleware, driven by retrying clients whose
-// transports inject their own faults, with concurrent plan, batch and
-// replan traffic. Every endpoint is idempotent, so with unlimited
+// transports inject their own faults, with concurrent plan, batch,
+// replan and fleet-session traffic. The stateless endpoints are
+// idempotent; fleet ticks carry Seq so retried ticks are answered
+// from session memory rather than double-applied. With unlimited
 // (context-bounded) attempts each logical request must eventually
 // succeed; /v1/plan answers must stay byte-identical to a golden body
-// captured before the storm; and after a graceful drain nothing may
-// leak. Both injectors are seeded, so a failure replays exactly.
+// captured before the storm; a post-storm fleet drain must return
+// each surviving session exactly once; and after a graceful drain
+// nothing may leak. Both injectors are seeded, so a failure replays
+// exactly.
 func TestChaosSoak(t *testing.T) {
 	snap := chaostest.SnapshotGoroutines()
 
@@ -95,13 +100,15 @@ func TestChaosSoak(t *testing.T) {
 			for i := 0; i < iters; i++ {
 				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
 				var err error
-				switch (w + i) % 3 {
+				switch (w + i) % 4 {
 				case 0:
 					err = soakPlan(ctx, c, scenarios[i%len(scenarios)])
 				case 1:
 					err = soakBatch(ctx, c, scenarios)
-				default:
+				case 2:
 					err = soakReplan(ctx, c, scenarios[0])
+				default:
+					err = soakFleet(ctx, c, fmt.Sprintf("soak-fleet-%d", w), uint64(i)+1, scenarios[0])
 				}
 				cancel()
 				if err != nil {
@@ -123,6 +130,27 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("%d of %d idempotent requests never succeeded", failed, workers*iters)
 	}
 
+	// Drain the fleet through the chaos client: each surviving session
+	// comes back exactly once, all from the soak's device namespace.
+	// (A drain retried after a truncated response legitimately finds
+	// the fleet already empty, so the count itself is not asserted.)
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 20*time.Second)
+	drained, err := c.FleetDrain(drainCtx)
+	drainCancel()
+	if err != nil {
+		t.Fatalf("fleet drain after soak: %v", err)
+	}
+	seen := make(map[string]bool)
+	for _, d := range drained.Devices {
+		if !strings.HasPrefix(d.DeviceID, "soak-fleet-") {
+			t.Errorf("drained unexpected device %q", d.DeviceID)
+		}
+		if seen[d.DeviceID] {
+			t.Errorf("device %q drained twice", d.DeviceID)
+		}
+		seen[d.DeviceID] = true
+	}
+
 	// The storm must not have perturbed the canonical plan bytes.
 	if got := rawPlan(t, base); !bytes.Equal(got, golden) {
 		t.Errorf("/v1/plan diverged from golden after soak:\n got: %s\nwant: %s", got, golden)
@@ -136,6 +164,8 @@ func TestChaosSoak(t *testing.T) {
 		"dpmd_admission_shed_total",
 		"dpmd_admission_expired_total",
 		"dpmd_admission_queue_depth",
+		"dpmd_fleet_ticks_total",
+		"dpmd_fleet_drained_sessions_total",
 	} {
 		if !strings.Contains(metricsBody, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -214,6 +244,34 @@ func soakReplan(ctx context.Context, c *client.Client, s trace.Scenario) error {
 	}
 	if second.Slot != first.Slot+1 {
 		return fmt.Errorf("replan: slot %d after %d, want +1", second.Slot, first.Slot)
+	}
+	return nil
+}
+
+// soakFleet drives one worker's session: tick with a distinct seq; on
+// 404 (never registered, or drained by a concurrent soak iteration)
+// or 410 (idle-evicted) register — resuming any parked checkpoint —
+// and tick again. Seq makes the tick safe under the retrying client:
+// a retry whose original was applied is answered from session memory.
+func soakFleet(ctx context.Context, c *client.Client, device string, seq uint64, s trace.Scenario) error {
+	tick := server.FleetTickRequest{
+		DeviceID: device,
+		Seq:      seq,
+		Slots:    []server.SlotReport{{UsedJ: 9.0, SuppliedJ: 10.5}},
+	}
+	if _, err := c.FleetTick(ctx, tick); err == nil {
+		return nil
+	} else {
+		var se *client.StatusError
+		if !errors.As(err, &se) || (se.Code != http.StatusNotFound && se.Code != http.StatusGone) {
+			return fmt.Errorf("fleet tick: %w", err)
+		}
+	}
+	if _, err := c.FleetRegister(ctx, server.FleetRegisterRequest{DeviceID: device, Scenario: s}); err != nil {
+		return fmt.Errorf("fleet register: %w", err)
+	}
+	if _, err := c.FleetTick(ctx, tick); err != nil {
+		return fmt.Errorf("fleet tick after register: %w", err)
 	}
 	return nil
 }

@@ -147,8 +147,16 @@ func New(cfg Config) (*Manager, error) {
 }
 
 // InitialAllocation returns the §4.1 result, including the iteration
-// history that reproduces the paper's Tables 2 and 4.
+// history that reproduces the paper's Tables 2 and 4. It is nil after
+// ReleaseInitial.
 func (m *Manager) InitialAllocation() *alloc.Result { return m.init }
+
+// ReleaseInitial drops the §4.1 allocation result — iteration history
+// kept only for presentation. Long-lived managers (fleet sessions)
+// call it after construction so a session's steady-state footprint is
+// just the plan and table references; every runtime method keeps
+// working.
+func (m *Manager) ReleaseInitial() { m.init = nil }
 
 // Table returns the Algorithm 2 operating-point frontier.
 func (m *Manager) Table() *params.Table { return m.table }
@@ -269,6 +277,15 @@ func (m *Manager) CurrentPoint() params.OperatingPoint { return m.current }
 // a positive value meaning surplus energy that future slots should
 // spend, a negative one a deficit they must save.
 func (m *Manager) EndSlot(usedEnergy, suppliedEnergy float64) {
+	m.EndSlotReplan(usedEnergy, suppliedEnergy)
+}
+
+// EndSlotReplan is EndSlot, additionally reporting whether the slot's
+// deviation actually triggered an Algorithm 3 redistribution that
+// touched the plan — the signal fleet sessions export as a replan
+// count. A false return means the slot closed on-plan (or the
+// redistribution window was empty) and the plan bytes are unchanged.
+func (m *Manager) EndSlotReplan(usedEnergy, suppliedEnergy float64) bool {
 	if usedEnergy < 0 || suppliedEnergy < 0 {
 		panic(fmt.Sprintf("dpm: negative slot energies (%g, %g)", usedEnergy, suppliedEnergy))
 	}
@@ -283,19 +300,21 @@ func (m *Manager) EndSlot(usedEnergy, suppliedEnergy float64) {
 	ediff := (planned - usedEnergy) + (suppliedEnergy - expected)
 	m.slot++
 	if math.Abs(ediff) > 1e-12 {
-		m.redistribute(ediff)
+		return m.redistribute(ediff)
 	}
+	return false
 }
 
 // redistribute implements Algorithm 3: find the window from the next
 // slot to the first future boundary where the projected trajectory
 // pins at the relevant capacity bound, then spread ediff over the
 // window's slots (proportionally to their planned power, or evenly).
-func (m *Manager) redistribute(ediff float64) {
+// It reports whether any plan slot was modified.
+func (m *Manager) redistribute(ediff float64) bool {
 	start := m.slot % m.nSlots
 	window := m.findWindow(start, ediff)
 	if len(window) == 0 {
-		return
+		return false
 	}
 	switch m.cfg.Policy {
 	case Even:
@@ -317,7 +336,7 @@ func (m *Manager) redistribute(ediff float64) {
 			for _, i := range window {
 				m.plan.Values[i] = math.Max(m.plan.Values[i]+delta, 0)
 			}
-			return
+			return true
 		}
 		for _, i := range window {
 			m.plan.Values[i] += ediff * m.plan.Values[i] / (sum * m.tau)
@@ -326,6 +345,7 @@ func (m *Manager) redistribute(ediff float64) {
 			}
 		}
 	}
+	return true
 }
 
 // rotated returns a copy of g whose slot 0 is g's slot start — the

@@ -1,0 +1,60 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"dpm/internal/pipeline"
+)
+
+// BenchmarkFleetTick measures the steady-state session tick: one slot
+// report through the partition event loop and Algorithm 3, no
+// checkpoint on either side. This is the per-device per-τ cost the
+// fleet layer buys versus the stateless /v1/replan round-trip.
+func BenchmarkFleetTick(b *testing.B) {
+	ctx := context.Background()
+	m := newTestManager(b, Config{})
+	spec := registerSpec(b, "bench-device")
+	if _, err := m.Register(ctx, spec); err != nil {
+		b.Fatal(err)
+	}
+	rep := []pipeline.SlotReport{{UsedJ: 9.5, SuppliedJ: 11.0}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Tick(ctx, TickSpec{DeviceID: spec.DeviceID, Reports: rep}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetTickParallel measures aggregate throughput with many
+// devices ticking concurrently across partitions.
+func BenchmarkFleetTickParallel(b *testing.B) {
+	ctx := context.Background()
+	m := newTestManager(b, Config{})
+	const devices = 64
+	ids := make([]string, devices)
+	for i := range ids {
+		spec := registerSpec(b, fmt.Sprintf("bench-par-%02d", i))
+		ids[i] = spec.DeviceID
+		if _, err := m.Register(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rep := []pipeline.SlotReport{{UsedJ: 9.5, SuppliedJ: 11.0}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		id := ids[int(next.Add(1))%devices]
+		for pb.Next() {
+			if _, err := m.Tick(ctx, TickSpec{DeviceID: id, Reports: rep}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

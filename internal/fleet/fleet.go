@@ -1,0 +1,860 @@
+// Package fleet is dpmd's stateful session layer: the paper's §4.3
+// runtime manager (Figure 1) is a *long-lived* control loop, and this
+// package makes it one server-side. Where POST /v1/replan round-trips
+// a full checkpoint per call — every device paying
+// serialize/validate/deserialize on every τ tick — a fleet session
+// owns a live dpm.Manager: a device registers once (scenario plus
+// optional checkpoint) and thereafter streams lightweight telemetry
+// ticks, getting delta replans back with no checkpoint on the wire.
+//
+// Session state is sharded across goroutine-owned partitions routed
+// by FNV-1a hash on the device id (mirroring plancache.Sharded's
+// routing). Each partition is a single-writer event loop: every
+// operation on a session executes inside its partition's goroutine,
+// so sessions need no per-session locks and a tick is a channel
+// round-trip plus a few hundred nanoseconds of Algorithm 3. Idle
+// sessions are evicted on a TTL with their checkpoint parked for
+// handback — a re-register resumes exactly where the evicted session
+// stopped — and Drain removes every live session at once, returning
+// each final checkpoint exactly once. Close stops the partition
+// goroutines for shutdown.
+//
+// Semantics are pinned to the stateless path: a session fed N slot
+// reports yields byte-identical replan output to N /v1/replan calls
+// round-tripping checkpoints (the parity tests in this package and
+// internal/server enforce it).
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpm/internal/dpm"
+	"dpm/internal/obs"
+	"dpm/internal/params"
+	"dpm/internal/pipeline"
+	"dpm/internal/scenario"
+	"dpm/internal/trace"
+)
+
+// Sentinel errors callers map onto transport statuses.
+var (
+	// ErrUnknownDevice means no session (live or parked) exists for
+	// the device id — the device must register first. → 404.
+	ErrUnknownDevice = errors.New("fleet: unknown device; register first")
+	// ErrEvicted means the session was idle-evicted; its checkpoint is
+	// parked and a re-register resumes it. → 410.
+	ErrEvicted = errors.New("fleet: session evicted for idleness; re-register to resume from the parked checkpoint")
+	// ErrFull means the session cap is reached and the device has no
+	// existing session to replace. → 503 + Retry-After.
+	ErrFull = errors.New("fleet: session capacity reached")
+	// ErrClosed means the manager has shut down. → 503.
+	ErrClosed = errors.New("fleet: manager closed")
+)
+
+// BadCheckpointError wraps a checkpoint the manager refused to
+// restore — corrupt or mismatched state is a client error, not a
+// server failure.
+type BadCheckpointError struct{ Err error }
+
+func (e *BadCheckpointError) Error() string {
+	return fmt.Sprintf("fleet: checkpoint rejected: %v", e.Err)
+}
+func (e *BadCheckpointError) Unwrap() error { return e.Err }
+
+// MaxPartitions caps the partition count, mirroring
+// plancache.MaxShards.
+const MaxPartitions = 256
+
+// DefaultPartitions mirrors plancache.DefaultShards: one partition
+// per runnable goroutine removes cross-device contention; the cap
+// keeps the fan-in manageable on large hosts. Session routing stays
+// stable only within one process lifetime, so the count is free to
+// vary with GOMAXPROCS.
+func DefaultPartitions() int { return defaultPow2Capped(16) }
+
+// Config tunes one fleet manager.
+type Config struct {
+	// Partitions is the number of session partitions, rounded up to a
+	// power of two. 0 means DefaultPartitions().
+	Partitions int
+	// MaxSessions caps live sessions across all partitions; a register
+	// beyond the cap (for a device with no existing session) fails
+	// with ErrFull. 0 means unlimited.
+	MaxSessions int
+	// IdleTTL evicts sessions untouched for this long, parking their
+	// checkpoints for handback on re-register. 0 disables eviction.
+	IdleTTL time.Duration
+	// ParkedCapacity bounds parked (evicted) checkpoints per
+	// partition; the oldest parked entry is dropped when full.
+	// 0 means 1024 per partition.
+	ParkedCapacity int
+	// SweepInterval is how often each partition scans for idle
+	// sessions; 0 means max(IdleTTL/4, 1s). Ignored when IdleTTL is 0.
+	SweepInterval time.Duration
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// defaultPow2Capped returns GOMAXPROCS rounded up to a power of two,
+// capped.
+func defaultPow2Capped(max int) int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+// counters is the manager's monotonic activity record (atomics; read
+// by Stats from any goroutine).
+type counters struct {
+	registered, resumed, replaced, rejected     atomic.Uint64
+	ticks, slotReports, replans, replays        atomic.Uint64
+	evictions, parkedDrops, drains, drainedSess atomic.Uint64
+}
+
+// Stats is a snapshot of the manager's counters and gauges.
+type Stats struct {
+	// SessionsLive and SessionsParked are current gauges.
+	SessionsLive, SessionsParked int
+	// Registered counts successful register calls; Resumed those that
+	// restored a checkpoint (explicit or parked); Replaced those that
+	// displaced an existing live session; Rejected those refused at
+	// the session cap.
+	Registered, Resumed, Replaced, Rejected uint64
+	// Ticks counts tick operations, SlotReports the individual slot
+	// reports applied, Replans the reports whose deviation triggered
+	// an Algorithm 3 redistribution, and Replays duplicate-seq ticks
+	// answered from session memory without re-applying.
+	Ticks, SlotReports, Replans, Replays uint64
+	// Evictions counts idle-TTL evictions, ParkedDrops parked
+	// checkpoints displaced by capacity, Drains drain operations and
+	// DrainedSessions the sessions they removed.
+	Evictions, ParkedDrops, Drains, DrainedSessions uint64
+}
+
+// PartitionStats is one partition's gauges.
+type PartitionStats struct {
+	// Sessions and Parked are the partition's current session and
+	// parked-checkpoint counts.
+	Sessions, Parked int
+	// Depth is the number of commands queued for the partition's
+	// event loop right now.
+	Depth int
+}
+
+// lifecycle states.
+const (
+	lifeIdle = iota
+	lifeRunning
+	lifeClosed
+)
+
+// Manager owns the fleet's live sessions.
+type Manager struct {
+	cfg   Config
+	parts []*partition
+	mask  uint64
+	now   func() time.Time
+
+	live atomic.Int64
+	ctr  counters
+
+	mu   sync.Mutex // guards life
+	life int
+
+	stop   chan struct{}
+	closed atomic.Bool
+}
+
+// New validates the configuration and returns a manager. Partition
+// goroutines start lazily on first use, so an unused fleet layer
+// costs nothing.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Partitions < 0 || cfg.Partitions > MaxPartitions {
+		return nil, fmt.Errorf("fleet: partition count %d outside [0, %d]", cfg.Partitions, MaxPartitions)
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = DefaultPartitions()
+	}
+	n := 1
+	for n < cfg.Partitions {
+		n <<= 1
+	}
+	cfg.Partitions = n
+	if cfg.MaxSessions < 0 {
+		return nil, fmt.Errorf("fleet: negative session cap %d", cfg.MaxSessions)
+	}
+	if cfg.IdleTTL < 0 {
+		return nil, fmt.Errorf("fleet: negative idle TTL %s", cfg.IdleTTL)
+	}
+	if cfg.ParkedCapacity == 0 {
+		cfg.ParkedCapacity = 1024
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = cfg.IdleTTL / 4
+		if cfg.SweepInterval < time.Second {
+			cfg.SweepInterval = time.Second
+		}
+	}
+	m := &Manager{
+		cfg:  cfg,
+		mask: uint64(n - 1),
+		now:  cfg.Now,
+		stop: make(chan struct{}),
+	}
+	if m.now == nil {
+		m.now = time.Now
+	}
+	m.parts = make([]*partition, n)
+	for i := range m.parts {
+		m.parts[i] = &partition{
+			m:        m,
+			id:       i,
+			cmds:     make(chan command, partitionQueue),
+			exited:   make(chan struct{}),
+			sessions: make(map[string]*session),
+			parked:   make(map[string]*parkedState),
+		}
+	}
+	return m, nil
+}
+
+// partitionQueue is each partition's command-channel depth. A full
+// queue applies backpressure to senders (bounded by their contexts),
+// and the live depth is exported as dpmd_fleet_partition_depth.
+const partitionQueue = 256
+
+// Partitions returns the (power-of-two) partition count.
+func (m *Manager) Partitions() int { return len(m.parts) }
+
+// Live returns the current live-session count.
+func (m *Manager) Live() int { return int(m.live.Load()) }
+
+// Stats snapshots the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		SessionsLive:    int(m.live.Load()),
+		SessionsParked:  int(m.parkedTotal()),
+		Registered:      m.ctr.registered.Load(),
+		Resumed:         m.ctr.resumed.Load(),
+		Replaced:        m.ctr.replaced.Load(),
+		Rejected:        m.ctr.rejected.Load(),
+		Ticks:           m.ctr.ticks.Load(),
+		SlotReports:     m.ctr.slotReports.Load(),
+		Replans:         m.ctr.replans.Load(),
+		Replays:         m.ctr.replays.Load(),
+		Evictions:       m.ctr.evictions.Load(),
+		ParkedDrops:     m.ctr.parkedDrops.Load(),
+		Drains:          m.ctr.drains.Load(),
+		DrainedSessions: m.ctr.drainedSess.Load(),
+	}
+}
+
+// PartitionStats snapshots each partition's gauges, in partition
+// order.
+func (m *Manager) PartitionStats() []PartitionStats {
+	out := make([]PartitionStats, len(m.parts))
+	for i, p := range m.parts {
+		out[i] = PartitionStats{
+			Sessions: int(p.nSessions.Load()),
+			Parked:   int(p.nParked.Load()),
+			Depth:    len(p.cmds),
+		}
+	}
+	return out
+}
+
+// partitionFor routes a device id to its partition by FNV-1a hash —
+// the same routing plancache.Sharded uses for cache keys.
+func (m *Manager) partitionFor(deviceID string) *partition {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(deviceID); i++ {
+		h ^= uint64(deviceID[i])
+		h *= prime64
+	}
+	return m.parts[h&m.mask]
+}
+
+// start launches the partition loops on first use; it reports false
+// once the manager is closed. Lazy start keeps an unused fleet layer
+// goroutine-free (most servers, benchmarks and tests never touch it).
+func (m *Manager) start() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch m.life {
+	case lifeClosed:
+		return false
+	case lifeIdle:
+		m.life = lifeRunning
+		for _, p := range m.parts {
+			go p.loop()
+		}
+	}
+	return true
+}
+
+// command is one unit of work executed inside a partition's event
+// loop. run executes single-writer against the partition's state;
+// done is closed when it has run.
+type command struct {
+	run  func(p *partition)
+	done chan struct{}
+}
+
+// session is one device's live manager. All fields are owned by the
+// partition goroutine.
+type session struct {
+	deviceID   string
+	mgr        *dpm.Manager
+	lastActive time.Time
+
+	// lastSeq and lastResult memoize the most recent deduplicated
+	// tick, so a retry of a tick whose response was lost on the wire
+	// replays the answer instead of double-applying the slot reports.
+	lastSeq    uint64
+	lastResult TickResult
+}
+
+// parkedState is an evicted session's handed-back checkpoint.
+type parkedState struct {
+	state    dpm.State
+	slot     int
+	charge   float64
+	parkedAt time.Time
+}
+
+// partition is one goroutine-owned shard of the session table.
+type partition struct {
+	m      *Manager
+	id     int
+	cmds   chan command
+	exited chan struct{}
+
+	// Owned by the loop goroutine.
+	sessions    map[string]*session
+	parked      map[string]*parkedState
+	parkedOrder []string
+
+	// Gauges mirrored for lock-free Stats reads.
+	nSessions atomic.Int64
+	nParked   atomic.Int64
+}
+
+// loop is the partition's single-writer event loop.
+func (p *partition) loop() {
+	var sweep <-chan time.Time
+	if p.m.cfg.IdleTTL > 0 {
+		t := time.NewTicker(p.m.cfg.SweepInterval)
+		defer t.Stop()
+		sweep = t.C
+	}
+	for {
+		select {
+		case cmd := <-p.cmds:
+			cmd.run(p)
+			close(cmd.done)
+		case <-sweep:
+			p.sweepIdle(p.m.now())
+		case <-p.m.stop:
+			close(p.exited)
+			return
+		}
+	}
+}
+
+// do runs fn inside the partition loop and waits for it, honoring ctx
+// and manager shutdown.
+func (p *partition) do(ctx context.Context, fn func(p *partition)) error {
+	if !p.m.start() {
+		return ErrClosed
+	}
+	cmd := command{run: fn, done: make(chan struct{})}
+	select {
+	case p.cmds <- cmd:
+	case <-p.exited:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-cmd.done:
+		return nil
+	case <-p.exited:
+		// The loop exited with the command still queued; it will never
+		// run.
+		select {
+		case <-cmd.done:
+			return nil
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// sweepIdle evicts sessions idle past the TTL, parking their
+// checkpoints.
+func (p *partition) sweepIdle(now time.Time) {
+	ttl := p.m.cfg.IdleTTL
+	if ttl <= 0 {
+		return
+	}
+	for id, s := range p.sessions {
+		if now.Sub(s.lastActive) >= ttl {
+			p.park(id, s, now)
+		}
+	}
+}
+
+// park moves one session's checkpoint into the parked table and
+// removes the live session.
+func (p *partition) park(id string, s *session, now time.Time) {
+	if _, exists := p.parked[id]; !exists {
+		for len(p.parked) >= p.parkedCap() {
+			oldest := p.parkedOrder[0]
+			p.parkedOrder = p.parkedOrder[1:]
+			if _, ok := p.parked[oldest]; ok {
+				delete(p.parked, oldest)
+				p.m.ctr.parkedDrops.Add(1)
+			}
+		}
+		p.parkedOrder = append(p.parkedOrder, id)
+	}
+	p.parked[id] = &parkedState{
+		state:    s.mgr.Checkpoint(),
+		slot:     s.mgr.Slot(),
+		charge:   s.mgr.Charge(),
+		parkedAt: now,
+	}
+	delete(p.sessions, id)
+	p.m.live.Add(-1)
+	p.nSessions.Store(int64(len(p.sessions)))
+	p.nParked.Store(int64(len(p.parked)))
+	p.m.ctr.evictions.Add(1)
+}
+
+// parkedCap is this partition's share of the parked capacity.
+func (p *partition) parkedCap() int {
+	per := p.m.cfg.ParkedCapacity / len(p.m.parts)
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// unpark removes and returns a parked checkpoint.
+func (p *partition) unpark(id string) (*parkedState, bool) {
+	ps, ok := p.parked[id]
+	if !ok {
+		return nil, false
+	}
+	delete(p.parked, id)
+	// parkedOrder may still name id; the capacity loop in park
+	// tolerates stale entries.
+	p.nParked.Store(int64(len(p.parked)))
+	return ps, true
+}
+
+// parkedTotal recounts parked entries across partitions. Called only
+// from partition loops right after a mutation; each nParked gauge is
+// authoritative per partition.
+func (m *Manager) parkedTotal() int64 {
+	var n int64
+	for _, p := range m.parts {
+		n += p.nParked.Load()
+	}
+	return n
+}
+
+// RegisterSpec asks for a session.
+type RegisterSpec struct {
+	// DeviceID identifies the device; it is the session key.
+	DeviceID string
+	// Scenario is the device's planning environment (validated).
+	Scenario trace.Scenario
+	// Params is the Algorithm 2 hardware configuration.
+	Params params.Config
+	// Policy selects the Algorithm 3 redistribution flavor.
+	Policy dpm.RedistributePolicy
+	// State, when non-nil, is a checkpoint to resume from — a device
+	// migrating in from the stateless /v1/replan flow, or re-joining
+	// after a drain handed its checkpoint back.
+	State *dpm.State
+}
+
+// RegisterResult reports the session's post-register state.
+type RegisterResult struct {
+	// Slot, ChargeJ and Plan mirror the session manager.
+	Slot    int
+	ChargeJ float64
+	Plan    []float64
+	// Resumed reports that a checkpoint (explicit or parked) was
+	// restored; Replaced that an existing live session was displaced.
+	Resumed  bool
+	Replaced bool
+}
+
+// MaxDeviceID bounds device-id length.
+const MaxDeviceID = 256
+
+// ValidateDeviceID applies the device-id bounds.
+func ValidateDeviceID(id string) error {
+	if id == "" {
+		return scenario.Errorf("deviceId is required")
+	}
+	if len(id) > MaxDeviceID {
+		return scenario.Errorf("deviceId length %d exceeds %d", len(id), MaxDeviceID)
+	}
+	return nil
+}
+
+// Register creates (or replaces) the device's session. The manager is
+// constructed — Algorithm 1 plus the memoized Algorithm 2 table — in
+// the caller's goroutine so partition loops stay fast; only the
+// install runs inside the partition. An explicit checkpoint that the
+// manager rejects fails with *BadCheckpointError before any session
+// state changes. With no explicit checkpoint, a parked (evicted)
+// checkpoint for the device is restored and consumed — the eviction
+// handback path.
+func (m *Manager) Register(ctx context.Context, spec RegisterSpec) (RegisterResult, error) {
+	if m.closed.Load() {
+		return RegisterResult{}, ErrClosed
+	}
+	if err := ValidateDeviceID(spec.DeviceID); err != nil {
+		return RegisterResult{}, err
+	}
+	if err := scenario.Validate(spec.Scenario); err != nil {
+		return RegisterResult{}, err
+	}
+	_, span := obs.StartSpan(ctx, "fleet.register")
+	defer span.End()
+	mgr, err := dpm.New(pipeline.ManagerConfig(spec.Scenario, spec.Params, spec.Policy))
+	if err != nil {
+		return RegisterResult{}, err
+	}
+	if spec.State != nil {
+		if err := mgr.Restore(*spec.State); err != nil {
+			return RegisterResult{}, &BadCheckpointError{Err: err}
+		}
+	}
+	// Sessions live for hours; the Algorithm 1 iteration history is
+	// presentation-only and would multiply per-session memory at
+	// fleet scale.
+	mgr.ReleaseInitial()
+
+	var (
+		res  RegisterResult
+		rerr error
+	)
+	p := m.partitionFor(spec.DeviceID)
+	err = p.do(ctx, func(p *partition) {
+		_, replaced := p.sessions[spec.DeviceID]
+		if !replaced {
+			if n, max := m.live.Add(1), int64(m.cfg.MaxSessions); max > 0 && n > max {
+				m.live.Add(-1)
+				m.ctr.rejected.Add(1)
+				rerr = ErrFull
+				return
+			}
+		}
+		resumed := spec.State != nil
+		if spec.State == nil {
+			if ps, ok := p.unpark(spec.DeviceID); ok {
+				// The parked checkpoint came from a manager with the same
+				// session key; a restore failure means the device
+				// re-registered with a different scenario — start fresh.
+				if err := mgr.Restore(ps.state); err == nil {
+					resumed = true
+				}
+			}
+		} else {
+			// An explicit checkpoint supersedes any parked one.
+			p.unpark(spec.DeviceID)
+		}
+		p.sessions[spec.DeviceID] = &session{
+			deviceID:   spec.DeviceID,
+			mgr:        mgr,
+			lastActive: m.now(),
+		}
+		p.nSessions.Store(int64(len(p.sessions)))
+		m.ctr.registered.Add(1)
+		if resumed {
+			m.ctr.resumed.Add(1)
+		}
+		if replaced {
+			m.ctr.replaced.Add(1)
+		}
+		res = RegisterResult{
+			Slot:     mgr.Slot(),
+			ChargeJ:  mgr.Charge(),
+			Plan:     mgr.PlanSnapshot(),
+			Resumed:  resumed,
+			Replaced: replaced,
+		}
+	})
+	if err != nil {
+		return RegisterResult{}, err
+	}
+	if rerr != nil {
+		return RegisterResult{}, rerr
+	}
+	span.SetAttr("resumed", res.Resumed)
+	return res, nil
+}
+
+// TickSpec streams one device's completed-slot telemetry.
+type TickSpec struct {
+	// DeviceID names the session.
+	DeviceID string
+	// Seq, when non-zero, deduplicates retries: a tick repeating the
+	// session's last seq is answered from memory without re-applying
+	// its reports. Clients retrying ticks over a lossy wire must set
+	// it.
+	Seq uint64
+	// Reports are the completed slots, oldest first (same bounds as
+	// /v1/replan).
+	Reports []pipeline.SlotReport
+	// IncludeState returns the full checkpoint with the result — the
+	// escape hatch back to the stateless flow.
+	IncludeState bool
+}
+
+// TickResult is the delta replan a tick returns.
+type TickResult struct {
+	// Slot, ChargeJ and Plan mirror the session manager after the
+	// reports are applied.
+	Slot    int
+	ChargeJ float64
+	Plan    []float64
+	// Replans counts the reports whose deviation triggered an
+	// Algorithm 3 redistribution.
+	Replans int
+	// Replayed reports a duplicate-seq tick answered from session
+	// memory.
+	Replayed bool
+	// State is the checkpoint, only when requested.
+	State *dpm.State
+}
+
+// Tick applies the reports inside the session's partition and returns
+// the updated plan. Unknown devices fail with ErrUnknownDevice;
+// idle-evicted ones with ErrEvicted (their checkpoint is parked and a
+// re-register resumes it).
+func (m *Manager) Tick(ctx context.Context, spec TickSpec) (TickResult, error) {
+	if m.closed.Load() {
+		return TickResult{}, ErrClosed
+	}
+	if err := ValidateDeviceID(spec.DeviceID); err != nil {
+		return TickResult{}, err
+	}
+	if err := pipeline.ValidateReports(spec.Reports); err != nil {
+		return TickResult{}, err
+	}
+	ctx, span := obs.StartSpan(ctx, "fleet.tick")
+	defer span.End()
+	span.SetAttr("slots", len(spec.Reports))
+	var (
+		res  TickResult
+		rerr error
+	)
+	p := m.partitionFor(spec.DeviceID)
+	err := p.do(ctx, func(p *partition) {
+		s, ok := p.sessions[spec.DeviceID]
+		if !ok {
+			if _, parked := p.parked[spec.DeviceID]; parked {
+				rerr = ErrEvicted
+			} else {
+				rerr = ErrUnknownDevice
+			}
+			return
+		}
+		s.lastActive = m.now()
+		if spec.Seq != 0 && spec.Seq == s.lastSeq {
+			res = s.lastResult
+			res.Replayed = true
+			if !spec.IncludeState {
+				res.State = nil
+			}
+			m.ctr.replays.Add(1)
+			return
+		}
+		_, rspan := obs.StartSpan(ctx, "fleet.replan")
+		replans := 0
+		for _, rep := range spec.Reports {
+			if s.mgr.EndSlotReplan(rep.UsedJ, rep.SuppliedJ) {
+				replans++
+			}
+		}
+		rspan.SetAttr("replans", replans)
+		rspan.End()
+		res = TickResult{
+			Slot:    s.mgr.Slot(),
+			ChargeJ: s.mgr.Charge(),
+			Plan:    s.mgr.PlanSnapshot(),
+			Replans: replans,
+		}
+		if spec.IncludeState || spec.Seq != 0 {
+			st := s.mgr.Checkpoint()
+			res.State = &st
+		}
+		if spec.Seq != 0 {
+			s.lastSeq = spec.Seq
+			s.lastResult = res
+		}
+		if !spec.IncludeState {
+			res.State = nil
+		}
+		m.ctr.ticks.Add(1)
+		m.ctr.slotReports.Add(uint64(len(spec.Reports)))
+		m.ctr.replans.Add(uint64(replans))
+	})
+	if err != nil {
+		return TickResult{}, err
+	}
+	if rerr != nil {
+		return TickResult{}, rerr
+	}
+	return res, nil
+}
+
+// Drained is one removed session's final checkpoint.
+type Drained struct {
+	// DeviceID names the session.
+	DeviceID string
+	// Slot and ChargeJ summarize where it stopped.
+	Slot    int
+	ChargeJ float64
+	// State is the full checkpoint.
+	State dpm.State
+	// Evicted marks checkpoints recovered from the parked (idle-
+	// evicted) table rather than a live session.
+	Evicted bool
+}
+
+// Drain removes every session — live and parked — and returns each
+// final checkpoint exactly once, sorted by device id. Each
+// partition's removal is atomic under its single-writer loop:
+// a concurrent tick is either applied before the drain (and included
+// in the checkpoint) or answered ErrUnknownDevice after it. The
+// manager stays usable; devices may re-register.
+func (m *Manager) Drain(ctx context.Context) ([]Drained, error) {
+	if m.closed.Load() {
+		return nil, ErrClosed
+	}
+	_, span := obs.StartSpan(ctx, "fleet.drain")
+	defer span.End()
+	out := make([][]Drained, len(m.parts))
+	for i, p := range m.parts {
+		i, p := i, p
+		if err := p.do(ctx, func(p *partition) {
+			out[i] = p.drainLocked()
+		}); err != nil {
+			return nil, err
+		}
+	}
+	var all []Drained
+	for _, d := range out {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].DeviceID < all[j].DeviceID })
+	m.ctr.drains.Add(1)
+	m.ctr.drainedSess.Add(uint64(len(all)))
+	span.SetAttr("sessions", len(all))
+	return all, nil
+}
+
+// drainLocked removes and checkpoints every session and parked entry
+// in one partition. Runs inside the loop goroutine.
+func (p *partition) drainLocked() []Drained {
+	out := make([]Drained, 0, len(p.sessions)+len(p.parked))
+	for id, s := range p.sessions {
+		out = append(out, Drained{
+			DeviceID: id,
+			Slot:     s.mgr.Slot(),
+			ChargeJ:  s.mgr.Charge(),
+			State:    s.mgr.Checkpoint(),
+		})
+		delete(p.sessions, id)
+		p.m.live.Add(-1)
+	}
+	for id, ps := range p.parked {
+		out = append(out, Drained{
+			DeviceID: id,
+			Slot:     ps.slot,
+			ChargeJ:  ps.charge,
+			State:    ps.state,
+			Evicted:  true,
+		})
+		delete(p.parked, id)
+	}
+	p.parkedOrder = p.parkedOrder[:0]
+	p.nSessions.Store(0)
+	p.nParked.Store(0)
+	return out
+}
+
+// SweepNow forces an idle sweep on every partition — deterministic
+// eviction for tests and operational tooling.
+func (m *Manager) SweepNow(ctx context.Context) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	now := m.now()
+	for _, p := range m.parts {
+		if err := p.do(ctx, func(p *partition) { p.sweepIdle(now) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops every partition goroutine and returns the final
+// checkpoints of whatever sessions remained — the shutdown drain. It
+// is idempotent; after Close every operation fails with ErrClosed.
+// Callers that want the checkpoints on an orderly shutdown should
+// Drain first (over HTTP: POST /v1/fleet/drain during the drain-grace
+// window), since Close's return value has nowhere to go once the
+// listener is down.
+func (m *Manager) Close() []Drained {
+	m.mu.Lock()
+	if m.life == lifeClosed {
+		m.mu.Unlock()
+		return nil
+	}
+	wasRunning := m.life == lifeRunning
+	m.life = lifeClosed
+	m.closed.Store(true)
+	m.mu.Unlock()
+
+	close(m.stop)
+	if wasRunning {
+		// Each loop finishes any in-flight command, observes stop, and
+		// closes exited; queued-but-unserved senders get ErrClosed via
+		// the same channel.
+		for _, p := range m.parts {
+			<-p.exited
+		}
+	}
+	// No goroutine owns the partition maps anymore (loops exited, or
+	// never started and do() now refuses), so direct reads are safe.
+	var out []Drained
+	for _, p := range m.parts {
+		out = append(out, p.drainLocked()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DeviceID < out[j].DeviceID })
+	return out
+}

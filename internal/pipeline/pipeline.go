@@ -151,6 +151,27 @@ type SlotReport struct {
 	SuppliedJ float64
 }
 
+// ValidateReports applies the slot-report bounds shared by the
+// stateless /v1/replan path (Replay) and the fleet tick path: at
+// least one report, at most scenario.MaxSlots, every energy finite
+// and within [0, scenario.MaxEnergyJ].
+func ValidateReports(reports []SlotReport) error {
+	if len(reports) == 0 {
+		return scenario.Errorf("at least one slot report is required")
+	}
+	if len(reports) > scenario.MaxSlots {
+		return scenario.Errorf("%d slot reports exceed the limit of %d", len(reports), scenario.MaxSlots)
+	}
+	for i, rep := range reports {
+		if !scenario.IsFinite(rep.UsedJ) || rep.UsedJ < 0 || rep.UsedJ > scenario.MaxEnergyJ ||
+			!scenario.IsFinite(rep.SuppliedJ) || rep.SuppliedJ < 0 || rep.SuppliedJ > scenario.MaxEnergyJ {
+			return scenario.Errorf("slots[%d] energies (%g, %g) outside [0, %g] joules",
+				i, rep.UsedJ, rep.SuppliedJ, float64(scenario.MaxEnergyJ))
+		}
+	}
+	return nil
+}
+
 // Replay runs the Algorithm 3 runtime update (§4.3): build a manager
 // for the scenario, restore the optional checkpoint, and apply the
 // reported planned-vs-actual slot energies oldest first. The returned
@@ -161,18 +182,8 @@ func Replay(ctx context.Context, s trace.Scenario, pcfg params.Config, policy dp
 	_, span := obs.StartSpan(ctx, spanReplay)
 	defer span.End()
 	span.SetAttr("slots", len(reports))
-	if len(reports) == 0 {
-		return nil, scenario.Errorf("at least one slot report is required")
-	}
-	if len(reports) > scenario.MaxSlots {
-		return nil, scenario.Errorf("%d slot reports exceed the limit of %d", len(reports), scenario.MaxSlots)
-	}
-	for i, rep := range reports {
-		if !scenario.IsFinite(rep.UsedJ) || rep.UsedJ < 0 || rep.UsedJ > scenario.MaxEnergyJ ||
-			!scenario.IsFinite(rep.SuppliedJ) || rep.SuppliedJ < 0 || rep.SuppliedJ > scenario.MaxEnergyJ {
-			return nil, scenario.Errorf("slots[%d] energies (%g, %g) outside [0, %g] joules",
-				i, rep.UsedJ, rep.SuppliedJ, float64(scenario.MaxEnergyJ))
-		}
+	if err := ValidateReports(reports); err != nil {
+		return nil, err
 	}
 	mgr, err := dpm.New(ManagerConfig(s, pcfg, policy))
 	if err != nil {

@@ -129,6 +129,22 @@ func (c *Controller) state(endpoint string) *endpointState {
 	return st
 }
 
+// Prime eagerly creates per-endpoint state for the named endpoints so
+// each learns its own EWMA service time from its first request — and
+// appears on /metrics from startup — rather than depending on
+// first-sight creation order. Registering a route table should prime
+// every path it serves; state() still auto-creates anything missed,
+// so Prime is about exposition and explicitness, not correctness.
+func (c *Controller) Prime(endpoints ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ep := range endpoints {
+		if c.eps[ep] == nil {
+			c.eps[ep] = &endpointState{}
+		}
+	}
+}
+
 // Slot is one admitted request's pool slot. The zero Slot (from a
 // non-admitted decision) is a no-op to Release.
 type Slot struct {

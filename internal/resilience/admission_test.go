@@ -187,3 +187,45 @@ func TestCeilSeconds(t *testing.T) {
 		}
 	}
 }
+
+// TestAdmissionPrime: primed endpoints appear in the snapshot before
+// any traffic reaches them (startup exposition on /metrics), priming
+// an already-seen endpoint does not reset its estimate, and distinct
+// endpoints keep distinct EWMA states.
+func TestAdmissionPrime(t *testing.T) {
+	c := NewController(2, false)
+	c.Prime("/v1/fleet/register", "/v1/fleet/tick")
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d endpoints, want the 2 primed: %+v", len(snap), snap)
+	}
+	for _, ea := range snap {
+		if ea.Admitted != 0 || ea.ServiceTimeSeconds != 0 {
+			t.Fatalf("primed endpoint %q not zero-valued: %+v", ea.Endpoint, ea)
+		}
+	}
+
+	// Each primed endpoint learns its own estimate, not a shared one.
+	c.state("/v1/fleet/register").observe(2.0)
+	c.state("/v1/fleet/tick").observe(0.25)
+	var reg, tick float64
+	for _, ea := range c.Snapshot() {
+		switch ea.Endpoint {
+		case "/v1/fleet/register":
+			reg = ea.ServiceTimeSeconds
+		case "/v1/fleet/tick":
+			tick = ea.ServiceTimeSeconds
+		}
+	}
+	if reg == 0 || tick == 0 || reg == tick {
+		t.Fatalf("estimates not independent: register=%g tick=%g", reg, tick)
+	}
+
+	// Re-priming is a no-op on live state.
+	c.Prime("/v1/fleet/register")
+	for _, ea := range c.Snapshot() {
+		if ea.Endpoint == "/v1/fleet/register" && ea.ServiceTimeSeconds != reg {
+			t.Fatalf("re-prime reset the estimate: %g → %g", reg, ea.ServiceTimeSeconds)
+		}
+	}
+}

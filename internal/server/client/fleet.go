@@ -1,0 +1,95 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"dpm/internal/server"
+)
+
+// Fleet session methods --------------------------------------------
+//
+// A device registers once, then streams ticks — no checkpoint on the
+// wire. Ticks mutate server-side session state, so unlike the
+// stateless endpoints they are NOT naturally idempotent: a client
+// built with NewWithRetry MUST set a distinct FleetTickRequest.Seq
+// per logical tick, which lets the server answer a retried tick from
+// session memory instead of double-applying its slot reports. The
+// register, bulk-tick and drain calls are safe to retry as-is
+// (register replaces the same session; drain of a drained fleet is
+// empty).
+
+// FleetRegister creates (or resumes, or replaces) one device's
+// session. A 503 with Retry-After means the session cap is reached.
+func (c *Client) FleetRegister(ctx context.Context, req server.FleetRegisterRequest) (*server.FleetRegisterResponse, error) {
+	var out server.FleetRegisterResponse
+	if _, err := c.post(ctx, "/v1/fleet/register", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FleetTick streams one device's completed-slot telemetry and returns
+// the delta replan. A 404 means the device never registered (or was
+// drained); a 410 that its session was idle-evicted — re-register to
+// resume from the parked checkpoint. Set req.Seq when the client
+// retries (see the package note above).
+func (c *Client) FleetTick(ctx context.Context, req server.FleetTickRequest) (*server.FleetTickResponse, error) {
+	var out server.FleetTickResponse
+	if _, err := c.post(ctx, "/v1/fleet/tick", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FleetTickResult is one item of a FleetBulkTick call: exactly one of
+// Tick and Err is set.
+type FleetTickResult struct {
+	Tick *server.FleetTickResponse
+	Err  error
+}
+
+// FleetBulkTick ticks many devices in one round trip. The returned
+// slice is in request order; a failed item carries a *StatusError in
+// Err and does not disturb its siblings.
+func (c *Client) FleetBulkTick(ctx context.Context, ticks []server.FleetTickRequest) ([]FleetTickResult, error) {
+	var out server.FleetBulkTickResponse
+	if _, err := c.post(ctx, "/v1/fleet/bulk-tick", server.FleetBulkTickRequest{Ticks: ticks}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(ticks) {
+		return nil, fmt.Errorf("client: %d bulk-tick results for %d ticks", len(out.Results), len(ticks))
+	}
+	res := make([]FleetTickResult, len(out.Results))
+	for i, item := range out.Results {
+		if item.Status != http.StatusOK {
+			msg := strings.TrimSpace(string(item.Body))
+			var ae apiError
+			if err := json.Unmarshal(item.Body, &ae); err == nil && ae.Error != "" {
+				msg = ae.Error
+			}
+			res[i] = FleetTickResult{Err: &StatusError{Code: item.Status, Message: msg}}
+			continue
+		}
+		var tr server.FleetTickResponse
+		if err := json.Unmarshal(item.Body, &tr); err != nil {
+			return nil, fmt.Errorf("client: decoding bulk-tick item %d: %w", i, err)
+		}
+		res[i] = FleetTickResult{Tick: &tr}
+	}
+	return res, nil
+}
+
+// FleetDrain removes every session and returns each final checkpoint
+// exactly once. Call it during the server's drain-grace window to
+// recover the whole fleet's state before the process exits.
+func (c *Client) FleetDrain(ctx context.Context) (*server.FleetDrainResponse, error) {
+	var out server.FleetDrainResponse
+	if _, err := c.post(ctx, "/v1/fleet/drain", struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

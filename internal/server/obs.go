@@ -64,6 +64,7 @@ func newTelemetry(s *Server) *telemetry {
 	t.registry.Register(t.stages)
 	t.registry.Register(obs.CollectorFunc(s.writeCacheProm))
 	t.registry.Register(obs.CollectorFunc(s.writeAdmissionProm))
+	t.registry.Register(obs.CollectorFunc(s.writeFleetProm))
 	t.registry.Register(obs.CollectorFunc(func(w io.Writer) error {
 		return obs.RuntimeCollector{Start: s.stats.StartTime()}.WriteProm(w)
 	}))

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"dpm/internal/dpm"
+	"dpm/internal/fleet"
 	"dpm/internal/metrics"
 	"dpm/internal/obs"
 	"dpm/internal/params"
@@ -100,6 +101,16 @@ type Config struct {
 	// chaos middleware (internal/chaostest.Middleware) and embedder
 	// instrumentation attach to.
 	Wrap func(http.Handler) http.Handler
+	// FleetPartitions is the fleet session partition count, rounded up
+	// to a power of two. 0 picks fleet.DefaultPartitions().
+	FleetPartitions int
+	// FleetMaxSessions caps live fleet sessions; a register beyond the
+	// cap answers 503 with Retry-After. 0 means unlimited.
+	FleetMaxSessions int
+	// FleetIdleTTL evicts fleet sessions untouched for this long,
+	// parking their checkpoints for handback on re-register. 0
+	// disables eviction.
+	FleetIdleTTL time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -127,6 +138,7 @@ type Server struct {
 	stats *metrics.ServiceStats
 	tel   *telemetry
 	adm   *resilience.Controller
+	fleet *fleet.Manager
 	mux   *http.ServeMux
 
 	// draining flips the moment Shutdown begins; /readyz answers 503
@@ -164,11 +176,20 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	fm, err := fleet.New(fleet.Config{
+		Partitions:  cfg.FleetPartitions,
+		MaxSessions: cfg.FleetMaxSessions,
+		IdleTTL:     cfg.FleetIdleTTL,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	s := &Server{
 		cfg:   cfg,
 		cache: cache,
 		stats: metrics.NewServiceStats(),
 		adm:   resilience.NewController(cfg.PoolSize, cfg.DisableShedding),
+		fleet: fm,
 		mux:   http.NewServeMux(),
 	}
 	s.tel = newTelemetry(s)
@@ -177,9 +198,20 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("/v1/params", s.endpoint(http.MethodPost, true, s.handleParams))
 	s.mux.Handle("/v1/replan", s.endpoint(http.MethodPost, true, s.handleReplan))
 	s.mux.Handle("/v1/simulate", s.endpoint(http.MethodPost, true, s.handleSimulate))
+	s.mux.Handle("/v1/fleet/register", s.endpoint(http.MethodPost, true, s.handleFleetRegister))
+	s.mux.Handle("/v1/fleet/tick", s.endpoint(http.MethodPost, true, s.handleFleetTick))
+	s.mux.Handle("/v1/fleet/bulk-tick", s.endpoint(http.MethodPost, true, s.handleFleetBulkTick))
+	s.mux.Handle("/v1/fleet/drain", s.endpoint(http.MethodPost, true, s.handleFleetDrain))
 	s.mux.Handle("/healthz", s.endpoint(http.MethodGet, false, s.handleHealthz))
 	s.mux.Handle("/readyz", s.endpoint(http.MethodGet, false, s.handleReadyz))
 	s.mux.Handle("/metrics", s.endpoint(http.MethodGet, false, s.handleMetrics))
+	// Prime every pooled route so each endpoint learns its own EWMA
+	// service time from its first request and appears on /metrics from
+	// startup — new endpoints must never share another's estimate.
+	s.adm.Prime(
+		"/v1/plan", "/v1/batch", "/v1/params", "/v1/replan", "/v1/simulate",
+		"/v1/fleet/register", "/v1/fleet/tick", "/v1/fleet/bulk-tick", "/v1/fleet/drain",
+	)
 	return s, nil
 }
 
@@ -1039,6 +1071,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	debugSrv := s.debugSrv
 	s.mu.Unlock()
 	if srv == nil {
+		// Never started (handler-only embedding): there are no in-flight
+		// requests to drain, but the fleet partitions may be running.
+		s.fleet.Close()
 		return nil
 	}
 	if debugSrv != nil {
@@ -1053,13 +1088,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		holdCtx(ctx, s.cfg.DrainGrace)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
+		s.fleet.Close()
 		return fmt.Errorf("server: shutdown: %w", err)
 	}
 	if errCh != nil {
 		if err, ok := <-errCh; ok && err != nil {
+			s.fleet.Close()
 			return err
 		}
 	}
+	// In-flight ticks have drained with the listener; stopping the
+	// partition goroutines last means no request ever observes a
+	// closed fleet during a graceful shutdown. Checkpoints still live
+	// here had no /v1/fleet/drain call during the grace window; they
+	// are dropped with the process, exactly like the stateless flow
+	// dropping an unsent checkpoint.
+	s.fleet.Close()
 	if s.cfg.AccessLog != nil {
 		s.cfg.AccessLog.Event("shutdown")
 	} else if s.cfg.Logger != nil {
