@@ -7,6 +7,7 @@
 //	dpmsim -scenario II -machine -periods 4   # full board simulation
 //	dpmsim -scenario I  -jitter 0.2 -seed 7   # perturbed supply
 //	dpmsim -scenario I  -policy even          # Algorithm 3 ablation
+//	dpmsim -scenario I  -strategy yds         # alternative planner backend
 //	dpmsim -scenario I  -trace                # per-slot rows
 //	dpmsim -scenario I  -machine -faultrate 2 # seeded fault injection
 package main
@@ -26,6 +27,10 @@ import (
 	"dpm/internal/schedule"
 	"dpm/internal/trace"
 	"dpm/internal/units"
+
+	// Register the alternative planner backends (yds, bunde) for
+	// -strategy.
+	_ "dpm/internal/strategy"
 )
 
 func main() {
@@ -36,6 +41,7 @@ func main() {
 	jitter := flag.Float64("jitter", 0, "multiplicative jitter on the actual charging schedule [0,1)")
 	seed := flag.Int64("seed", 1, "random seed for jitter and event traces")
 	policy := flag.String("policy", "proportional", "Algorithm 3 redistribution policy (proportional|even)")
+	strategy := flag.String("strategy", "", "planner strategy for the initial allocation (paper|yds|bunde; default paper)")
 	eventScale := flag.Float64("events", 0.1, "event-rate scale (events/s per W of scheduled usage)")
 	gang := flag.Bool("gang", false, "gang-schedule each capture across all active workers (machine mode)")
 	showTrace := flag.Bool("trace", false, "print per-slot records")
@@ -45,15 +51,19 @@ func main() {
 	noReplan := flag.Bool("noreplan", false, "disable the degraded re-plan after a worker death (ablation)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *scenario, *configPath, *periods, *useMachine, *jitter, *seed, *policy, *eventScale, *gang, *showTrace, *plot, *faultRate, *faultSeed, *noReplan); err != nil {
+	if err := run(os.Stdout, *scenario, *configPath, *periods, *useMachine, *jitter, *seed, *policy, *strategy, *eventScale, *gang, *showTrace, *plot, *faultRate, *faultSeed, *noReplan); err != nil {
 		fmt.Fprintln(os.Stderr, "dpmsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(w io.Writer, scenarioName, configPath string, periods int, useMachine bool,
-	jitter float64, seed int64, policy string, eventScale float64, gang, showTrace, plot bool,
+	jitter float64, seed int64, policy, strategy string, eventScale float64, gang, showTrace, plot bool,
 	faultRate float64, faultSeed int64, noReplan bool) error {
+
+	if _, err := pipeline.StrategyByName(strategy); err != nil {
+		return err
+	}
 
 	var s trace.Scenario
 	var err error
@@ -86,19 +96,20 @@ func run(w io.Writer, scenarioName, configPath string, periods int, useMachine b
 		return fmt.Errorf("fault injection requires -machine")
 	}
 	if useMachine {
-		return runMachine(w, s, pol, actual, periods, seed, eventScale, gang, showTrace,
+		return runMachine(w, s, pol, strategy, actual, periods, seed, eventScale, gang, showTrace,
 			faultRate, faultSeed, noReplan)
 	}
-	return runAnalytic(w, s, pol, actual, periods, showTrace, plot)
+	return runAnalytic(w, s, pol, strategy, actual, periods, showTrace, plot)
 }
 
-func runAnalytic(w io.Writer, s trace.Scenario, pol dpm.RedistributePolicy,
+func runAnalytic(w io.Writer, s trace.Scenario, pol dpm.RedistributePolicy, strategy string,
 	actual *schedule.Grid, periods int, showTrace, plot bool) error {
 
 	res, err := pipeline.Simulate(context.Background(), pipeline.SimSpec{
 		Scenario:       s,
 		Params:         experiments.PaperParams(),
 		Policy:         pol,
+		Planner:        strategy,
 		ActualCharging: actual,
 		Periods:        periods,
 		SyncCharge:     true,
@@ -141,14 +152,15 @@ func runAnalytic(w io.Writer, s trace.Scenario, pol dpm.RedistributePolicy,
 	return t.Render(w)
 }
 
-func runMachine(w io.Writer, s trace.Scenario, pol dpm.RedistributePolicy, actual *schedule.Grid,
-	periods int, seed int64, eventScale float64, gang, showTrace bool,
+func runMachine(w io.Writer, s trace.Scenario, pol dpm.RedistributePolicy, strategy string,
+	actual *schedule.Grid, periods int, seed int64, eventScale float64, gang, showTrace bool,
 	faultRate float64, faultSeed int64, noReplan bool) error {
 
 	spec := pipeline.MachineSpec{
 		Scenario:              s,
 		Params:                experiments.PaperParams(),
 		Policy:                pol,
+		Planner:               strategy,
 		ActualCharging:        actual,
 		Periods:               periods,
 		EventScale:            eventScale,

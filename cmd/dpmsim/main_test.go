@@ -10,7 +10,7 @@ import (
 
 func TestRunAnalytic(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "I", "", 2, false, 0, 1, "proportional", 0.1, false, false, false, 0, 1, false); err != nil {
+	if err := run(&sb, "I", "", 2, false, 0, 1, "proportional", "", 0.1, false, false, false, 0, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -23,7 +23,7 @@ func TestRunAnalytic(t *testing.T) {
 
 func TestRunAnalyticWithTrace(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "II", "", 1, false, 0, 1, "even", 0.1, false, true, false, 0, 1, false); err != nil {
+	if err := run(&sb, "II", "", 1, false, 0, 1, "even", "", 0.1, false, true, false, 0, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "plan (W)") {
@@ -33,7 +33,7 @@ func TestRunAnalyticWithTrace(t *testing.T) {
 
 func TestRunMachine(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "I", "", 1, true, 0.1, 7, "proportional", 0.1, false, true, false, 0, 1, false); err != nil {
+	if err := run(&sb, "I", "", 1, true, 0.1, 7, "proportional", "", 0.1, false, true, false, 0, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -46,17 +46,17 @@ func TestRunMachine(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "III", "", 1, false, 0, 1, "proportional", 0.1, false, false, false, 0, 1, false); err == nil {
+	if err := run(&sb, "III", "", 1, false, 0, 1, "proportional", "", 0.1, false, false, false, 0, 1, false); err == nil {
 		t.Error("unknown scenario must error")
 	}
-	if err := run(&sb, "I", "", 1, false, 0, 1, "bogus", 0.1, false, false, false, 0, 1, false); err == nil {
+	if err := run(&sb, "I", "", 1, false, 0, 1, "bogus", "", 0.1, false, false, false, 0, 1, false); err == nil {
 		t.Error("unknown policy must error")
 	}
 }
 
 func TestRunMachineGang(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "I", "", 1, true, 0, 3, "proportional", 0.1, true, false, false, 0, 1, false); err != nil {
+	if err := run(&sb, "I", "", 1, true, 0, 3, "proportional", "", 0.1, true, false, false, 0, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "confusion") {
@@ -70,20 +70,20 @@ func TestRunCustomConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := run(&sb, "", path, 1, false, 0, 1, "proportional", 0.1, false, false, false, 0, 1, false); err != nil {
+	if err := run(&sb, "", path, 1, false, 0, 1, "proportional", "", 0.1, false, false, false, 0, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "scenario II") {
 		t.Errorf("custom config not loaded:\n%s", sb.String())
 	}
-	if err := run(&sb, "", filepath.Join(t.TempDir(), "nope.json"), 1, false, 0, 1, "proportional", 0.1, false, false, false, 0, 1, false); err == nil {
+	if err := run(&sb, "", filepath.Join(t.TempDir(), "nope.json"), 1, false, 0, 1, "proportional", "", 0.1, false, false, false, 0, 1, false); err == nil {
 		t.Error("missing config file must error")
 	}
 }
 
 func TestRunMachineFaults(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "I", "", 2, true, 0, 7, "proportional", 0.1, false, false, false, 2, 42, false); err != nil {
+	if err := run(&sb, "I", "", 2, true, 0, 7, "proportional", "", 0.1, false, false, false, 2, 42, false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -96,17 +96,30 @@ func TestRunMachineFaults(t *testing.T) {
 
 func TestRunFaultsRequireMachine(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "I", "", 1, false, 0, 1, "proportional", 0.1, false, false, false, 2, 1, false); err == nil {
+	if err := run(&sb, "I", "", 1, false, 0, 1, "proportional", "", 0.1, false, false, false, 2, 1, false); err == nil {
 		t.Error("analytic mode with -faultrate must error")
 	}
 }
 
 func TestRunAnalyticPlot(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "I", "", 1, false, 0, 1, "proportional", 0.1, false, false, true, 0, 1, false); err != nil {
+	if err := run(&sb, "I", "", 1, false, 0, 1, "proportional", "", 0.1, false, false, true, 0, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "plan vs used") {
 		t.Errorf("plot missing:\n%s", sb.String())
+	}
+}
+
+func TestRunStrategy(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "I", "", 1, false, 0, 1, "proportional", "bunde", 0.1, false, false, false, 0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "analytic model") {
+		t.Errorf("strategy run output wrong:\n%s", sb.String())
+	}
+	if err := run(&sb, "I", "", 1, false, 0, 1, "proportional", "vaporware", 0.1, false, false, false, 0, 1, false); err == nil {
+		t.Error("unknown strategy must error")
 	}
 }

@@ -7,9 +7,12 @@
 //	sweep -kind jitter   -scenario II -periods 4
 //	sweep -kind overhead -scenario I -csv
 //	sweep -kind capacity -config scenario.json   # same JSON file as dpmsim/dpmd
+//	sweep -kind capacity -strategy yds           # swept sims plan with YDS
+//	sweep -compare                               # rank all planner backends
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -17,10 +20,15 @@ import (
 
 	"dpm/internal/battery"
 	"dpm/internal/experiments"
+	"dpm/internal/pipeline"
 	"dpm/internal/predict"
 	"dpm/internal/report"
 	scen "dpm/internal/scenario"
 	"dpm/internal/trace"
+
+	// Register the alternative planner backends (yds, bunde) for
+	// -strategy and -compare.
+	_ "dpm/internal/strategy"
 )
 
 func main() {
@@ -30,15 +38,30 @@ func main() {
 	periods := flag.Int("periods", 2, "periods per point (endurance: mission length, default 40)")
 	seed := flag.Int64("seed", 1, "seed for jitter realization")
 	csv := flag.Bool("csv", false, "emit CSV")
+	strategy := flag.String("strategy", "", "planner strategy for the swept simulations (paper|yds|bunde; default paper)")
+	compare := flag.Bool("compare", false, "rank every registered planner strategy on the paper scenarios and exit")
 	flag.Parse()
 
-	if err := run(os.Stdout, *kind, *scenario, *configPath, *periods, *seed, *csv); err != nil {
+	if err := run(os.Stdout, *kind, *scenario, *configPath, *periods, *seed, *csv, *strategy, *compare); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, kind, scenarioName, configPath string, periods int, seed int64, csv bool) error {
+func run(w io.Writer, kind, scenarioName, configPath string, periods int, seed int64, csv bool, strategy string, compare bool) error {
+	if _, err := pipeline.StrategyByName(strategy); err != nil {
+		return err
+	}
+	if compare {
+		table, _, err := experiments.StrategyTable(context.Background(), periods)
+		if err != nil {
+			return err
+		}
+		if csv {
+			return table.CSV(w)
+		}
+		return table.Render(w)
+	}
 	var s trace.Scenario
 	var err error
 	if configPath != "" {
@@ -58,7 +81,7 @@ func run(w io.Writer, kind, scenarioName, configPath string, periods int, seed i
 	switch kind {
 	case "capacity":
 		points, err := experiments.CapacitySweep(s,
-			[]float64{0.25, 0.5, 0.75, 1, 1.5, 2, 4}, periods)
+			[]float64{0.25, 0.5, 0.75, 1, 1.5, 2, 4}, periods, strategy)
 		if err != nil {
 			return err
 		}
@@ -68,7 +91,7 @@ func run(w io.Writer, kind, scenarioName, configPath string, periods int, seed i
 			"Cmax ×", points)
 	case "jitter":
 		points, err := experiments.JitterSweep(s,
-			[]float64{0, 0.05, 0.1, 0.2, 0.3, 0.5}, periods, seed)
+			[]float64{0, 0.05, 0.1, 0.2, 0.3, 0.5}, periods, seed, strategy)
 		if err != nil {
 			return err
 		}
@@ -77,7 +100,7 @@ func run(w io.Writer, kind, scenarioName, configPath string, periods int, seed i
 			"Jitter", points)
 	case "overhead":
 		points, err := experiments.OverheadSweep(s,
-			[]float64{0, 0.01, 0.05, 0.2, 1, 5}, periods)
+			[]float64{0, 0.01, 0.05, 0.2, 1, 5}, periods, strategy)
 		if err != nil {
 			return err
 		}
@@ -85,12 +108,18 @@ func run(w io.Writer, kind, scenarioName, configPath string, periods int, seed i
 			fmt.Sprintf("Switching-overhead sweep, scenario %s (OHn = OHf)", s.Name),
 			"Overhead (J)", points)
 	case "tau":
+		if strategy != "" && strategy != pipeline.DefaultStrategy {
+			return fmt.Errorf("-strategy applies to the capacity, jitter and overhead sweeps")
+		}
 		t, err := experiments.TauSweepTable(s, []int{4, 6, 12, 24, 48}, periods)
 		if err != nil {
 			return err
 		}
 		table = t
 	case "montecarlo":
+		if strategy != "" && strategy != pipeline.DefaultStrategy {
+			return fmt.Errorf("-strategy applies to the capacity, jitter and overhead sweeps")
+		}
 		t, err := experiments.MonteCarloTable(s,
 			[]float64{0, 0.05, 0.1, 0.2, 0.3, 0.5}, 32, periods, seed)
 		if err != nil {
@@ -98,6 +127,9 @@ func run(w io.Writer, kind, scenarioName, configPath string, periods int, seed i
 		}
 		table = t
 	case "endurance":
+		if strategy != "" && strategy != pipeline.DefaultStrategy {
+			return fmt.Errorf("-strategy applies to the capacity, jitter and overhead sweeps")
+		}
 		missionPeriods := periods
 		if missionPeriods <= 2 {
 			missionPeriods = 40

@@ -15,7 +15,7 @@ func TestRunKinds(t *testing.T) {
 		"overhead": "Switching-overhead sweep",
 	} {
 		var sb strings.Builder
-		if err := run(&sb, kind, "I", "", 1, 1, false); err != nil {
+		if err := run(&sb, kind, "I", "", 1, 1, false, "", false); err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
 		if !strings.Contains(sb.String(), marker) {
@@ -26,7 +26,7 @@ func TestRunKinds(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "overhead", "II", "", 1, 1, true); err != nil {
+	if err := run(&sb, "overhead", "II", "", 1, 1, true, "", false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(sb.String(), "Overhead (J),") {
@@ -36,17 +36,17 @@ func TestRunCSV(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "bogus", "I", "", 1, 1, false); err == nil {
+	if err := run(&sb, "bogus", "I", "", 1, 1, false, "", false); err == nil {
 		t.Error("unknown kind must error")
 	}
-	if err := run(&sb, "capacity", "X", "", 1, 1, false); err == nil {
+	if err := run(&sb, "capacity", "X", "", 1, 1, false, "", false); err == nil {
 		t.Error("unknown scenario must error")
 	}
 }
 
 func TestRunEndurance(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "endurance", "I", "", 10, 1, false); err != nil {
+	if err := run(&sb, "endurance", "I", "", 10, 1, false, "", false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Endurance") {
@@ -56,7 +56,7 @@ func TestRunEndurance(t *testing.T) {
 
 func TestRunMonteCarlo(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "montecarlo", "I", "", 2, 1, false); err != nil {
+	if err := run(&sb, "montecarlo", "I", "", 2, 1, false, "", false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Monte-Carlo") {
@@ -66,7 +66,7 @@ func TestRunMonteCarlo(t *testing.T) {
 
 func TestRunTau(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "tau", "I", "", 2, 1, false); err != nil {
+	if err := run(&sb, "tau", "I", "", 2, 1, false, "", false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "granularity") {
@@ -80,13 +80,13 @@ func TestRunCustomConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := run(&sb, "capacity", "", path, 1, 1, false); err != nil {
+	if err := run(&sb, "capacity", "", path, 1, 1, false, "", false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "scenario II") {
 		t.Errorf("custom config not loaded:\n%s", sb.String())
 	}
-	if err := run(&sb, "capacity", "", filepath.Join(t.TempDir(), "nope.json"), 1, 1, false); err == nil {
+	if err := run(&sb, "capacity", "", filepath.Join(t.TempDir(), "nope.json"), 1, 1, false, "", false); err == nil {
 		t.Error("missing config file must error")
 	}
 }
@@ -102,11 +102,40 @@ func TestRunRejectsUnphysicalConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	err := run(&sb, "capacity", "", path, 1, 1, false)
+	err := run(&sb, "capacity", "", path, 1, 1, false, "", false)
 	if err == nil {
 		t.Fatal("unphysical charging power must be rejected")
 	}
 	if !strings.Contains(err.Error(), "charging") {
 		t.Errorf("error %q does not name the offending schedule", err)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "capacity", "I", "", 1, 1, false, "", true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"paper", "yds", "bunde", "Rank"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("comparison report missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunStrategy(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "capacity", "I", "", 1, 1, false, "yds", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Battery capacity sweep") {
+		t.Errorf("strategy sweep output wrong:\n%s", sb.String())
+	}
+	if err := run(&sb, "capacity", "I", "", 1, 1, false, "vaporware", false); err == nil {
+		t.Error("unknown strategy must error")
+	}
+	if err := run(&sb, "tau", "I", "", 1, 1, false, "yds", false); err == nil {
+		t.Error("tau sweep with a non-default strategy must error")
 	}
 }

@@ -4,6 +4,7 @@
 package dpm
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -331,5 +332,50 @@ func TestFacadeRejectsUnphysicalInputs(t *testing.T) {
 	cfg.InitialCharge = math.Inf(1)
 	if _, err := NewManager(cfg); err == nil {
 		t.Error("NewManager accepted infinite initial charge")
+	}
+}
+
+// TestPlannerStrategyFacade drives the pluggable-planner surface a
+// downstream user sees: list the backends, plan with each, and run a
+// manager seeded from a non-default plan through a full period.
+func TestPlannerStrategyFacade(t *testing.T) {
+	names := PlannerStrategies()
+	if len(names) < 3 {
+		t.Fatalf("registered strategies %v, want at least paper, yds, bunde", names)
+	}
+	s := ScenarioI()
+	for _, name := range names {
+		res, err := PlanWithStrategy(context.Background(), name, s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Feasible {
+			t.Errorf("%s plan infeasible on scenario I", name)
+		}
+	}
+	mgr, err := NewManagerWithStrategy(context.Background(), "yds", s, experiments.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PlanWithStrategy(context.Background(), "yds", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range mgr.PlanSnapshot() {
+		if math.Abs(p-want.Allocation.Values[i]) > 1e-12 {
+			t.Errorf("manager adopted plan[%d] = %g, yds planned %g", i, p, want.Allocation.Values[i])
+		}
+	}
+	tau := s.Charging.Step
+	for slot := 0; slot < mgr.Slots(); slot++ {
+		point, _ := mgr.BeginSlot()
+		mgr.EndSlot(point.Power*tau, s.Charging.Values[slot]*tau)
+		if c := mgr.Charge(); c < s.CapacityMin-1e-9 || c > s.CapacityMax+1e-9 {
+			t.Errorf("slot %d: charge %g J outside [%g, %g]", slot, c, s.CapacityMin, s.CapacityMax)
+		}
+	}
+
+	if _, err := PlanWithStrategy(context.Background(), "vaporware", s); err == nil {
+		t.Error("unknown strategy accepted")
 	}
 }

@@ -1,6 +1,7 @@
 // Service walkthrough: run dpmd in-process and drive it with the
-// typed client the way a fleet node would — plan, parameterize,
-// report a slot, simulate, and read the metrics.
+// typed client the way a fleet node would — plan (including a
+// non-default planner strategy via the planner field / ?strategy=),
+// parameterize, report a slot, simulate, and read the metrics.
 //
 //	go run ./examples/service
 //
@@ -26,6 +27,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -83,6 +85,22 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("same forecast again: cache %s\n\n", state)
+
+	// The planner is pluggable: the same forecast through the YDS
+	// taut-string backend (?strategy=yds on the wire) gets its own
+	// cache entry and names its planner; an unknown name is a typed
+	// 400 listing the registered backends.
+	ydsPlan, state, err := c.Plan(ctx, server.PlanRequest{Scenario: trace.ScenarioI(), Planner: "yds"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("yds plan (%s): planner=%s feasible=%v\n", state, ydsPlan.Planner, ydsPlan.Feasible)
+	if _, _, err := c.Plan(ctx, server.PlanRequest{Scenario: trace.ScenarioI(), Planner: "vaporware"}); err != nil {
+		var se *client.StatusError
+		if errors.As(err, &se) {
+			fmt.Printf("unknown strategy → %d: %s\n\n", se.Code, se.Message)
+		}
+	}
 
 	// A whole constellation of forecasts goes through /v1/batch in
 	// one round trip; each item reports its own cache disposition.

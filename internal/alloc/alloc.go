@@ -422,6 +422,28 @@ func Repair(charging, alloc *schedule.Grid, initial, cmin, cmax float64) *schedu
 	return out
 }
 
+// ResultFromPlan wraps an externally computed per-slot power plan in
+// the canonical Result shape: the battery trajectory under the plan
+// and its feasibility against [cmin, cmax]. Alternative planner
+// backends (internal/strategy) and managers seeded with an injected
+// plan (dpm.Config.InitialPlan) use it so every downstream consumer —
+// params selection, simulation, replay — sees exactly the structure
+// Compute produces. The initial charge is clamped into the band, and
+// tol 0 means the Compute default of 1e-9 J. The plan grid is
+// retained, not copied.
+func ResultFromPlan(charging, plan *schedule.Grid, initial, cmin, cmax, tol float64) *Result {
+	if tol == 0 {
+		tol = 1e-9
+	}
+	initial = math.Min(math.Max(initial, cmin), cmax)
+	traj := Trajectory(charging, plan, initial)
+	return &Result{
+		Allocation: plan,
+		Trajectory: traj,
+		Feasible:   feasible(traj, cmin, cmax, tol),
+	}
+}
+
 // feasible reports whether every trajectory point lies within
 // [cmin−tol, cmax+tol].
 func feasible(traj []float64, cmin, cmax, tol float64) bool {

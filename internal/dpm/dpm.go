@@ -63,6 +63,15 @@ type Config struct {
 	CapacityMax   float64
 	CapacityMin   float64
 	InitialCharge float64
+	// InitialPlan, when set, is an externally computed per-slot power
+	// plan the manager adopts instead of running the §4.1 Algorithm 1
+	// computation — the hook alternative planner strategies
+	// (internal/pipeline.NewManager, internal/strategy) inject their
+	// allocations through. It must share the charging grid's step and
+	// length. Runtime behavior is unchanged: Algorithm 3 still
+	// redistributes per-slot deviations over the injected plan, and a
+	// degraded-mode Replan re-plans with the paper's Algorithm 1.
+	InitialPlan *schedule.Grid
 	// Params configures the Algorithm 2 operating-point table.
 	Params params.Config
 	// Policy selects the Algorithm 3 redistribution flavor.
@@ -112,18 +121,32 @@ func New(cfg Config) (*Manager, error) {
 		cfg.CapacityMax, cfg.CapacityMin, cfg.InitialCharge); err != nil {
 		return nil, fmt.Errorf("dpm: %w", err)
 	}
-	res, err := alloc.Compute(alloc.Inputs{
-		Charging:      cfg.Charging,
-		EventRate:     cfg.EventRate,
-		Weight:        cfg.Weight,
-		CapacityMax:   cfg.CapacityMax,
-		CapacityMin:   cfg.CapacityMin,
-		InitialCharge: cfg.InitialCharge,
-		MaxIterations: cfg.AllocIterations,
-		Margin:        cfg.PlanningMargin,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("dpm: initial allocation: %w", err)
+	var res *alloc.Result
+	if cfg.InitialPlan != nil {
+		if err := scenario.ValidateGrid("initialPlan", cfg.InitialPlan, true); err != nil {
+			return nil, fmt.Errorf("dpm: %w", err)
+		}
+		if cfg.InitialPlan.Step != cfg.Charging.Step || cfg.InitialPlan.Len() != cfg.Charging.Len() {
+			return nil, fmt.Errorf("dpm: initial plan grid (τ=%g, %d slots) does not match the charging grid (τ=%g, %d slots)",
+				cfg.InitialPlan.Step, cfg.InitialPlan.Len(), cfg.Charging.Step, cfg.Charging.Len())
+		}
+		res = alloc.ResultFromPlan(cfg.Charging, cfg.InitialPlan.Clone(),
+			cfg.InitialCharge, cfg.CapacityMin, cfg.CapacityMax, 0)
+	} else {
+		var err error
+		res, err = alloc.Compute(alloc.Inputs{
+			Charging:      cfg.Charging,
+			EventRate:     cfg.EventRate,
+			Weight:        cfg.Weight,
+			CapacityMax:   cfg.CapacityMax,
+			CapacityMin:   cfg.CapacityMin,
+			InitialCharge: cfg.InitialCharge,
+			MaxIterations: cfg.AllocIterations,
+			Margin:        cfg.PlanningMargin,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dpm: initial allocation: %w", err)
+		}
 	}
 	// The operating-point table depends only on the hardware block and
 	// is immutable once built, so managers for the same hardware share

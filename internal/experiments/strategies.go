@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"dpm/internal/metrics"
+	"dpm/internal/pipeline"
+	"dpm/internal/report"
+	"dpm/internal/trace"
+
+	// Register the alternative planner backends so the comparison
+	// sweeps every strategy, not just the paper's.
+	_ "dpm/internal/strategy"
+)
+
+// StrategyScore is one (strategy, scenario) cell of the planner
+// comparison: the plan's feasibility and iteration count from the
+// planning stage, and the closed-loop energy outcome from the
+// Algorithm 3 simulation that adopted the plan.
+type StrategyScore struct {
+	// Strategy is the backend name ("paper", "yds", "bunde", …).
+	Strategy string
+	// Scenario is the trace the backend planned for.
+	Scenario string
+	// Feasible reports whether the initial plan kept the trajectory
+	// inside the battery band.
+	Feasible bool
+	// Iterations is the planning iteration count (1 for the
+	// single-pass backends).
+	Iterations int
+	// WastedJ is the energy discarded against the full battery over
+	// the simulated horizon.
+	WastedJ float64
+	// UndersuppliedJ is the demand the battery could not cover.
+	UndersuppliedJ float64
+	// Utilization is delivered/supplied energy in [0, 1].
+	Utilization float64
+}
+
+// StrategyComparison aggregates a full strategies × scenarios sweep.
+type StrategyComparison struct {
+	// Scores holds every cell, grouped by strategy in ranked order.
+	Scores []StrategyScore
+	// Ranking lists the strategies best-first by total wasted +
+	// undersupplied energy across all scenarios (utilization breaks
+	// ties, higher first).
+	Ranking []string
+}
+
+// Totals sums a strategy's wasted and undersupplied energy across the
+// swept scenarios.
+func (c StrategyComparison) Totals(strategy string) (wasted, undersupplied float64) {
+	for _, sc := range c.Scores {
+		if sc.Strategy == strategy {
+			wasted += sc.WastedJ
+			undersupplied += sc.UndersuppliedJ
+		}
+	}
+	return wasted, undersupplied
+}
+
+// CompareStrategies runs every registered planner backend on every
+// paper scenario for the given number of periods: each backend plans
+// the period, the Algorithm 3 manager adopts the plan and runs the
+// closed-loop simulation (synchronous charge, like the paper's
+// tables), and the battery audit scores the outcome.
+func CompareStrategies(ctx context.Context, periods int) (StrategyComparison, error) {
+	var cmp StrategyComparison
+	type agg struct {
+		burden      float64 // wasted + undersupplied, lower is better
+		utilization float64
+	}
+	totals := map[string]*agg{}
+	for _, name := range pipeline.Strategies() {
+		totals[name] = &agg{}
+		for _, s := range trace.Scenarios() {
+			res, err := pipeline.PlanWith(ctx, name, pipeline.PlanSpec{Scenario: s})
+			if err != nil {
+				return cmp, fmt.Errorf("experiments: %s plan on scenario %s: %w", name, s.Name, err)
+			}
+			sim, err := pipeline.Simulate(ctx, pipeline.SimSpec{
+				Scenario:   s,
+				Params:     PaperParams(),
+				Planner:    name,
+				Periods:    periods,
+				SyncCharge: true,
+			})
+			if err != nil {
+				return cmp, fmt.Errorf("experiments: %s simulate on scenario %s: %w", name, s.Name, err)
+			}
+			e := metrics.FromSnapshot(sim.Battery)
+			cmp.Scores = append(cmp.Scores, StrategyScore{
+				Strategy:       name,
+				Scenario:       s.Name,
+				Feasible:       res.Feasible,
+				Iterations:     len(res.Iterations),
+				WastedJ:        e.Wasted,
+				UndersuppliedJ: e.Undersupplied,
+				Utilization:    e.Utilization,
+			})
+			totals[name].burden += e.Wasted + e.Undersupplied
+			totals[name].utilization += e.Utilization
+		}
+	}
+	cmp.Ranking = pipeline.Strategies()
+	sort.SliceStable(cmp.Ranking, func(i, j int) bool {
+		a, b := totals[cmp.Ranking[i]], totals[cmp.Ranking[j]]
+		if a.burden != b.burden {
+			return a.burden < b.burden
+		}
+		return a.utilization > b.utilization
+	})
+	sort.SliceStable(cmp.Scores, func(i, j int) bool {
+		ri := rankIndex(cmp.Ranking, cmp.Scores[i].Strategy)
+		rj := rankIndex(cmp.Ranking, cmp.Scores[j].Strategy)
+		if ri != rj {
+			return ri < rj
+		}
+		return cmp.Scores[i].Scenario < cmp.Scores[j].Scenario
+	})
+	return cmp, nil
+}
+
+func rankIndex(ranking []string, name string) int {
+	for i, n := range ranking {
+		if n == name {
+			return i
+		}
+	}
+	return len(ranking)
+}
+
+// StrategyTable renders the comparison in the evaluation tables'
+// style: one row per (rank, strategy, scenario) with the energy
+// scores, best strategy first.
+func StrategyTable(ctx context.Context, periods int) (*report.Table, StrategyComparison, error) {
+	cmp, err := CompareStrategies(ctx, periods)
+	if err != nil {
+		return nil, cmp, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Planner strategy comparison over %d period(s) (energy in J)", periods),
+		"Rank", "Strategy", "Scenario", "Feasible", "Iterations",
+		"Wasted", "Undersupplied", "Utilization")
+	for _, sc := range cmp.Scores {
+		t.AddRow(
+			report.I(rankIndex(cmp.Ranking, sc.Strategy)+1),
+			sc.Strategy,
+			sc.Scenario,
+			fmt.Sprintf("%t", sc.Feasible),
+			report.I(sc.Iterations),
+			report.F2(sc.WastedJ),
+			report.F2(sc.UndersuppliedJ),
+			fmt.Sprintf("%.3f", sc.Utilization),
+		)
+	}
+	return t, cmp, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"dpm/internal/pipeline"
+)
+
+// TestCompareStrategiesCoversRegistry: the sweep scores every
+// registered backend on both paper scenarios and ranks them all.
+func TestCompareStrategiesCoversRegistry(t *testing.T) {
+	cmp, err := CompareStrategies(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := pipeline.Strategies()
+	if len(cmp.Ranking) != len(strategies) {
+		t.Fatalf("ranking %v does not cover registry %v", cmp.Ranking, strategies)
+	}
+	ranked := map[string]bool{}
+	for _, name := range cmp.Ranking {
+		ranked[name] = true
+	}
+	for _, name := range strategies {
+		if !ranked[name] {
+			t.Errorf("strategy %q missing from ranking %v", name, cmp.Ranking)
+		}
+	}
+	if want := 2 * len(strategies); len(cmp.Scores) != want {
+		t.Fatalf("got %d scores, want %d (strategies × scenarios)", len(cmp.Scores), want)
+	}
+	for _, sc := range cmp.Scores {
+		if !sc.Feasible {
+			t.Errorf("%s on scenario %s: infeasible plan", sc.Strategy, sc.Scenario)
+		}
+		if sc.Utilization <= 0 || sc.Utilization > 1 {
+			t.Errorf("%s on scenario %s: utilization %g outside (0, 1]", sc.Strategy, sc.Scenario, sc.Utilization)
+		}
+		if sc.WastedJ < 0 || sc.UndersuppliedJ < 0 {
+			t.Errorf("%s on scenario %s: negative energy score %+v", sc.Strategy, sc.Scenario, sc)
+		}
+	}
+
+	// Ranking is genuinely ordered by total burden.
+	for i := 1; i < len(cmp.Ranking); i++ {
+		wPrev, uPrev := cmp.Totals(cmp.Ranking[i-1])
+		wCur, uCur := cmp.Totals(cmp.Ranking[i])
+		if wPrev+uPrev > wCur+uCur+1e-9 {
+			t.Errorf("ranking out of order: %s (%.3f J) before %s (%.3f J)",
+				cmp.Ranking[i-1], wPrev+uPrev, cmp.Ranking[i], wCur+uCur)
+		}
+	}
+}
+
+// TestStrategyTableListsAllBackends: the rendered report names every
+// registered strategy.
+func TestStrategyTableListsAllBackends(t *testing.T) {
+	tbl, cmp, err := StrategyTable(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range pipeline.Strategies() {
+		if !strings.Contains(out, name) {
+			t.Errorf("table output missing strategy %q:\n%s", name, out)
+		}
+	}
+	if len(cmp.Ranking) == 0 || cmp.Ranking[0] == "" {
+		t.Errorf("empty ranking: %v", cmp.Ranking)
+	}
+}

@@ -28,8 +28,9 @@ type SweepPoint struct {
 // CapacitySweep varies the battery capacity Cmax (as a multiple of
 // the scenario default) and reports the manager's residual energy.
 // Undersized batteries cannot buffer the eclipse; the sweep locates
-// the knee.
-func CapacitySweep(s trace.Scenario, multiples []float64, periods int) ([]SweepPoint, error) {
+// the knee. planner selects the backend the initial plan comes from
+// ("" = the paper's Algorithm 1).
+func CapacitySweep(s trace.Scenario, multiples []float64, periods int, planner string) ([]SweepPoint, error) {
 	if len(multiples) == 0 {
 		return nil, fmt.Errorf("experiments: empty capacity sweep")
 	}
@@ -44,7 +45,7 @@ func CapacitySweep(s trace.Scenario, multiples []float64, periods int) ([]SweepP
 			return nil, fmt.Errorf("experiments: capacity multiple %g collapses the battery band", m)
 		}
 		res, err := pipeline.Simulate(context.Background(), pipeline.SimSpec{
-			Scenario: scaled, Params: PaperParams(), Periods: periods,
+			Scenario: scaled, Params: PaperParams(), Planner: planner, Periods: periods,
 		})
 		if err != nil {
 			return nil, err
@@ -57,7 +58,7 @@ func CapacitySweep(s trace.Scenario, multiples []float64, periods int) ([]SweepP
 // JitterSweep varies the multiplicative error between the expected
 // and actual charging schedules and reports how well Algorithm 3
 // absorbs it.
-func JitterSweep(s trace.Scenario, jitters []float64, periods int, seed int64) ([]SweepPoint, error) {
+func JitterSweep(s trace.Scenario, jitters []float64, periods int, seed int64, planner string) ([]SweepPoint, error) {
 	if len(jitters) == 0 {
 		return nil, fmt.Errorf("experiments: empty jitter sweep")
 	}
@@ -88,7 +89,7 @@ func JitterSweep(s trace.Scenario, jitters []float64, periods int, seed int64) (
 // OverheadSweep varies the Algorithm 2 switching overhead (applied to
 // both OHn and OHf, in joules) and reports switch counts and residual
 // energy.
-func OverheadSweep(s trace.Scenario, overheads []float64, periods int) ([]SweepPoint, error) {
+func OverheadSweep(s trace.Scenario, overheads []float64, periods int, planner string) ([]SweepPoint, error) {
 	if len(overheads) == 0 {
 		return nil, fmt.Errorf("experiments: empty overhead sweep")
 	}
@@ -101,7 +102,7 @@ func OverheadSweep(s trace.Scenario, overheads []float64, periods int) ([]SweepP
 		pcfg.OverheadProc = oh
 		pcfg.OverheadFreq = oh
 		res, err := pipeline.Simulate(context.Background(), pipeline.SimSpec{
-			Scenario: s, Params: pcfg, Periods: periods,
+			Scenario: s, Params: pcfg, Planner: planner, Periods: periods,
 		})
 		if err != nil {
 			return nil, err

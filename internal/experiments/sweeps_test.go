@@ -8,7 +8,7 @@ import (
 )
 
 func TestCapacitySweep(t *testing.T) {
-	points, err := CapacitySweep(trace.ScenarioI(), []float64{0.5, 1, 2}, 2)
+	points, err := CapacitySweep(trace.ScenarioI(), []float64{0.5, 1, 2}, 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,11 +21,11 @@ func TestCapacitySweep(t *testing.T) {
 		}
 	}
 	// A huge battery must waste at most as much as a tiny one.
-	tiny, err := CapacitySweep(trace.ScenarioI(), []float64{0.1}, 2)
+	tiny, err := CapacitySweep(trace.ScenarioI(), []float64{0.1}, 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	huge, err := CapacitySweep(trace.ScenarioI(), []float64{10}, 2)
+	huge, err := CapacitySweep(trace.ScenarioI(), []float64{10}, 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,19 +35,19 @@ func TestCapacitySweep(t *testing.T) {
 }
 
 func TestCapacitySweepValidation(t *testing.T) {
-	if _, err := CapacitySweep(trace.ScenarioI(), nil, 2); err == nil {
+	if _, err := CapacitySweep(trace.ScenarioI(), nil, 2, ""); err == nil {
 		t.Error("empty sweep must error")
 	}
-	if _, err := CapacitySweep(trace.ScenarioI(), []float64{-1}, 2); err == nil {
+	if _, err := CapacitySweep(trace.ScenarioI(), []float64{-1}, 2, ""); err == nil {
 		t.Error("negative multiple must error")
 	}
-	if _, err := CapacitySweep(trace.ScenarioI(), []float64{0.001}, 2); err == nil {
+	if _, err := CapacitySweep(trace.ScenarioI(), []float64{0.001}, 2, ""); err == nil {
 		t.Error("band-collapsing multiple must error")
 	}
 }
 
 func TestJitterSweepDegradesGracefully(t *testing.T) {
-	points, err := JitterSweep(trace.ScenarioII(), []float64{0, 0.3}, 2, 1)
+	points, err := JitterSweep(trace.ScenarioII(), []float64{0, 0.3}, 2, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,16 +62,16 @@ func TestJitterSweepDegradesGracefully(t *testing.T) {
 }
 
 func TestJitterSweepValidation(t *testing.T) {
-	if _, err := JitterSweep(trace.ScenarioI(), nil, 2, 1); err == nil {
+	if _, err := JitterSweep(trace.ScenarioI(), nil, 2, 1, ""); err == nil {
 		t.Error("empty sweep must error")
 	}
-	if _, err := JitterSweep(trace.ScenarioI(), []float64{1.5}, 2, 1); err == nil {
+	if _, err := JitterSweep(trace.ScenarioI(), []float64{1.5}, 2, 1, ""); err == nil {
 		t.Error("jitter >= 1 must error")
 	}
 }
 
 func TestOverheadSweepReducesSwitches(t *testing.T) {
-	points, err := OverheadSweep(trace.ScenarioI(), []float64{0, 5}, 2)
+	points, err := OverheadSweep(trace.ScenarioI(), []float64{0, 5}, 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,16 +81,16 @@ func TestOverheadSweepReducesSwitches(t *testing.T) {
 }
 
 func TestOverheadSweepValidation(t *testing.T) {
-	if _, err := OverheadSweep(trace.ScenarioI(), nil, 2); err == nil {
+	if _, err := OverheadSweep(trace.ScenarioI(), nil, 2, ""); err == nil {
 		t.Error("empty sweep must error")
 	}
-	if _, err := OverheadSweep(trace.ScenarioI(), []float64{-1}, 2); err == nil {
+	if _, err := OverheadSweep(trace.ScenarioI(), []float64{-1}, 2, ""); err == nil {
 		t.Error("negative overhead must error")
 	}
 }
 
 func TestSweepTable(t *testing.T) {
-	points, err := OverheadSweep(trace.ScenarioI(), []float64{0, 1}, 1)
+	points, err := OverheadSweep(trace.ScenarioI(), []float64{0, 1}, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}

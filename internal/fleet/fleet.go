@@ -490,6 +490,10 @@ type RegisterSpec struct {
 	Params params.Config
 	// Policy selects the Algorithm 3 redistribution flavor.
 	Policy dpm.RedistributePolicy
+	// Planner names the strategy backend the session's initial plan
+	// comes from ("" = the paper's Algorithm 1); a restored
+	// checkpoint's plan takes precedence.
+	Planner string
 	// State, when non-nil, is a checkpoint to resume from — a device
 	// migrating in from the stateless /v1/replan flow, or re-joining
 	// after a drain handed its checkpoint back.
@@ -542,7 +546,7 @@ func (m *Manager) Register(ctx context.Context, spec RegisterSpec) (RegisterResu
 	}
 	_, span := obs.StartSpan(ctx, "fleet.register")
 	defer span.End()
-	mgr, err := dpm.New(pipeline.ManagerConfig(spec.Scenario, spec.Params, spec.Policy))
+	mgr, err := pipeline.NewManager(ctx, spec.Planner, spec.Scenario, spec.Params, spec.Policy)
 	if err != nil {
 		return RegisterResult{}, err
 	}

@@ -13,6 +13,10 @@ import (
 	"dpm/internal/obs"
 	"dpm/internal/pipeline"
 	"dpm/internal/trace"
+
+	// Register the alternative planner backends for the per-strategy
+	// plan benchmarks.
+	_ "dpm/internal/strategy"
 )
 
 // BenchmarkPipelinePlan measures one validated Algorithm 1 run on
@@ -29,6 +33,27 @@ func BenchmarkPipelinePlan(b *testing.B) {
 		if _, err := pipeline.Plan(ctx, spec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPipelinePlanStrategy times one plan per registered backend
+// on scenario I through the strategy dispatch (PlanWith). The "paper"
+// sub-benchmark prices the dispatch itself against the direct
+// BenchmarkPipelinePlan row; "yds" and "bunde" record what the
+// alternative planners cost.
+func BenchmarkPipelinePlanStrategy(b *testing.B) {
+	spec := pipeline.PlanSpec{Scenario: trace.ScenarioI()}
+	ctx := context.Background()
+	for _, name := range pipeline.Strategies() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.PlanWith(ctx, name, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

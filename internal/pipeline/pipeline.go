@@ -177,27 +177,10 @@ func ValidateReports(reports []SlotReport) error {
 // reported planned-vs-actual slot energies oldest first. The returned
 // manager carries the redistributed plan and the next checkpoint.
 // ctx carries telemetry only — the replay itself is a short,
-// non-blocking computation.
+// non-blocking computation. The manager plans with the default
+// (paper) backend; ReplayWith selects an alternative.
 func Replay(ctx context.Context, s trace.Scenario, pcfg params.Config, policy dpm.RedistributePolicy, state *dpm.State, reports []SlotReport) (*dpm.Manager, error) {
-	_, span := obs.StartSpan(ctx, spanReplay)
-	defer span.End()
-	span.SetAttr("slots", len(reports))
-	if err := ValidateReports(reports); err != nil {
-		return nil, err
-	}
-	mgr, err := dpm.New(ManagerConfig(s, pcfg, policy))
-	if err != nil {
-		return nil, err
-	}
-	if state != nil {
-		if err := mgr.Restore(*state); err != nil {
-			return nil, err
-		}
-	}
-	for _, rep := range reports {
-		mgr.EndSlot(rep.UsedJ, rep.SuppliedJ)
-	}
-	return mgr, nil
+	return ReplayWith(ctx, DefaultStrategy, s, pcfg, policy, state, reports)
 }
 
 // SimSpec describes a closed-loop analytic simulation: the manager
@@ -206,6 +189,10 @@ func Replay(ctx context.Context, s trace.Scenario, pcfg params.Config, policy dp
 type SimSpec struct {
 	// Scenario is the planning environment.
 	Scenario trace.Scenario
+	// Planner names the strategy backend the manager's initial plan
+	// comes from ("" = the paper's Algorithm 1). Runtime Algorithm 3
+	// redistribution is unchanged either way.
+	Planner string
 	// Params is the Algorithm 2 hardware configuration.
 	Params params.Config
 	// Policy selects the Algorithm 3 redistribution flavor.
@@ -244,6 +231,9 @@ func Simulate(ctx context.Context, spec SimSpec) (*dpm.SimResult, error) {
 	span.SetAttr("periods", spec.Periods)
 	cfg := ManagerConfig(spec.Scenario, spec.Params, spec.Policy)
 	cfg.DisableSlotGuards = spec.DisableSlotGuards
+	if err := injectStrategyPlan(ctx, spec.Planner, spec.Scenario, &cfg); err != nil {
+		return nil, err
+	}
 	return dpm.SimulateContext(ctx, dpm.SimConfig{
 		Battery:           spec.Battery,
 		Manager:           cfg,
@@ -259,6 +249,9 @@ func Simulate(ctx context.Context, spec SimSpec) (*dpm.SimResult, error) {
 type MachineSpec struct {
 	// Scenario is the planning environment.
 	Scenario trace.Scenario
+	// Planner names the strategy backend the manager's initial plan
+	// comes from ("" = the paper's Algorithm 1).
+	Planner string
 	// Params is the Algorithm 2 hardware configuration.
 	Params params.Config
 	// Policy selects the Algorithm 3 redistribution flavor.
@@ -336,8 +329,12 @@ func SimulateMachine(ctx context.Context, spec MachineSpec) (*machine.Result, er
 		}
 		return nil, asValidation(err)
 	}
+	mcfg := ManagerConfig(spec.Scenario, spec.Params, spec.Policy)
+	if err := injectStrategyPlan(ctx, spec.Planner, spec.Scenario, &mcfg); err != nil {
+		return nil, err
+	}
 	board, err := machine.New(machine.Config{
-		Manager:               ManagerConfig(spec.Scenario, spec.Params, spec.Policy),
+		Manager:               mcfg,
 		ActualCharging:        spec.ActualCharging,
 		Events:                events,
 		Periods:               spec.Periods,

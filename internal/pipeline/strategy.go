@@ -1,0 +1,219 @@
+package pipeline
+
+// Planner strategy registry ----------------------------------------
+//
+// The paper's Algorithm 1/2 path is one way to turn a scenario into a
+// per-slot power plan; PAPERS.md names directly comparable
+// alternatives (YDS-style speed scaling with a recharging source,
+// power-aware makespan scheduling). Strategy puts them all behind one
+// interface so every entry point — /v1/plan?strategy=, the facade,
+// the experiment harness, fleet registration, the CLIs — resolves a
+// backend by name and gets back the same alloc.Result shape the rest
+// of the stack (params selection, simulation, replay) consumes
+// unchanged.
+//
+// Registration follows the database/sql-driver pattern: this package
+// registers the default "paper" backend in init, internal/strategy
+// registers the alternatives in its init, and callers that want the
+// full set blank-import internal/strategy. The registry is
+// append-only and concurrency-safe; duplicate names panic at init
+// time.
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+
+	"dpm/internal/alloc"
+	"dpm/internal/dpm"
+	"dpm/internal/obs"
+	"dpm/internal/params"
+	"dpm/internal/scenario"
+	"dpm/internal/trace"
+)
+
+// DefaultStrategy names the paper's Algorithm 1/2 planner — the
+// backend an empty strategy selector resolves to. Requests that do
+// not name a strategy are canonically keyed and rendered as if the
+// field were absent, so the default path's cache keys and wire bytes
+// are pinned across the registry's growth.
+const DefaultStrategy = "paper"
+
+// Strategy is a pluggable planner backend: anything that turns a
+// validated PlanSpec into a per-slot power allocation with a battery
+// trajectory. Implementations must be safe for concurrent use and
+// must validate the spec themselves (Plan is called directly by
+// PlanWith).
+type Strategy interface {
+	// Name is the registry key and the wire selector
+	// (?strategy=<name>). Lowercase, stable, never empty.
+	Name() string
+	// Describe is a one-line human description for listings.
+	Describe() string
+	// Capabilities reports which PlanSpec knobs the backend honors.
+	Capabilities() Capabilities
+	// Plan computes the allocation. The result's Allocation grid must
+	// match the scenario's charging grid (step and length), and
+	// Trajectory/Feasible must be populated (alloc.ResultFromPlan
+	// builds both from a raw plan).
+	Plan(ctx context.Context, spec PlanSpec) (*alloc.Result, error)
+}
+
+// Capabilities reports which PlanSpec knobs a backend honors, so
+// callers and reports can tell why two backends given the same spec
+// behave differently.
+type Capabilities struct {
+	// Iterative reports that the backend runs an iterative driver and
+	// honors PlanSpec.MaxIterations and PlanSpec.Strategy (the
+	// Algorithm 1 arc-reshaping flavor).
+	Iterative bool
+	// DemandShaped reports that the allocation follows the scenario's
+	// weighted usage shape. Backends that optimize a pure energy
+	// objective (YDS) use only the supply schedule and the demand
+	// total.
+	DemandShaped bool
+}
+
+var (
+	strategyMu sync.RWMutex
+	strategies = map[string]Strategy{}
+)
+
+// RegisterStrategy adds a backend to the registry. It panics on an
+// empty name or a duplicate — both are programmer errors at init
+// time, exactly like database/sql.Register.
+func RegisterStrategy(s Strategy) {
+	name := s.Name()
+	if name == "" {
+		panic("pipeline: RegisterStrategy with empty name")
+	}
+	strategyMu.Lock()
+	defer strategyMu.Unlock()
+	if _, dup := strategies[name]; dup {
+		panic("pipeline: RegisterStrategy called twice for strategy " + name)
+	}
+	strategies[name] = s
+}
+
+// Strategies returns the registered backend names, sorted.
+func Strategies() []string {
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
+	names := make([]string, 0, len(strategies))
+	for name := range strategies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StrategyByName resolves a backend: "" means DefaultStrategy, an
+// unknown name is a *scenario.Error listing the registered backends —
+// the transport layers' structured-400 channel.
+func StrategyByName(name string) (Strategy, error) {
+	if name == "" {
+		name = DefaultStrategy
+	}
+	strategyMu.RLock()
+	s := strategies[name]
+	strategyMu.RUnlock()
+	if s == nil {
+		return nil, scenario.Errorf("unknown planner strategy %q (registered: %s)",
+			name, strings.Join(Strategies(), ", "))
+	}
+	return s, nil
+}
+
+// PlanWith resolves the named backend and plans the spec with it —
+// the strategy-aware form of Plan every selector-carrying entry point
+// calls.
+func PlanWith(ctx context.Context, strategy string, spec PlanSpec) (*alloc.Result, error) {
+	s, err := StrategyByName(strategy)
+	if err != nil {
+		return nil, err
+	}
+	return s.Plan(ctx, spec)
+}
+
+// NewManager builds a dpm.Manager whose initial plan comes from the
+// named backend. The default strategy constructs exactly as dpm.New
+// always has (Algorithm 1 inside the manager); an alternative backend
+// plans first and injects its allocation via dpm.Config.InitialPlan.
+// Runtime behavior downstream of construction — Algorithm 3
+// redistribution, checkpointing, degraded-mode Replan — is identical
+// either way.
+func NewManager(ctx context.Context, strategy string, s trace.Scenario, pcfg params.Config, policy dpm.RedistributePolicy) (*dpm.Manager, error) {
+	cfg := ManagerConfig(s, pcfg, policy)
+	if err := injectStrategyPlan(ctx, strategy, s, &cfg); err != nil {
+		return nil, err
+	}
+	return dpm.New(cfg)
+}
+
+// injectStrategyPlan resolves the named backend and, for a non-paper
+// one, plans the scenario and seeds the manager configuration with
+// its allocation — the shared strategy hook of the simulation specs.
+func injectStrategyPlan(ctx context.Context, strategy string, s trace.Scenario, cfg *dpm.Config) error {
+	strat, err := StrategyByName(strategy)
+	if err != nil {
+		return err
+	}
+	if strat.Name() == DefaultStrategy {
+		return nil
+	}
+	res, err := strat.Plan(ctx, PlanSpec{Scenario: s})
+	if err != nil {
+		return err
+	}
+	cfg.InitialPlan = res.Allocation
+	return nil
+}
+
+// ReplayWith is Replay with a planner selector: the manager the
+// reports replay against starts from the named backend's plan. A
+// checkpointed replay (state != nil) overwrites the plan with the
+// checkpoint's anyway, so the selector matters for the fresh-start
+// case — a device fleet planned by an alternative backend replans
+// against that backend's baseline, not the paper's.
+func ReplayWith(ctx context.Context, strategy string, s trace.Scenario, pcfg params.Config, policy dpm.RedistributePolicy, state *dpm.State, reports []SlotReport) (*dpm.Manager, error) {
+	_, span := obs.StartSpan(ctx, spanReplay)
+	defer span.End()
+	span.SetAttr("slots", len(reports))
+	if err := ValidateReports(reports); err != nil {
+		return nil, err
+	}
+	mgr, err := NewManager(ctx, strategy, s, pcfg, policy)
+	if err != nil {
+		return nil, err
+	}
+	if state != nil {
+		if err := mgr.Restore(*state); err != nil {
+			return nil, err
+		}
+	}
+	for _, rep := range reports {
+		mgr.EndSlot(rep.UsedJ, rep.SuppliedJ)
+	}
+	return mgr, nil
+}
+
+// paperStrategy adapts the package's own Plan — the §4.1 WPUF →
+// balancing → Algorithm 1 path — to the Strategy interface.
+type paperStrategy struct{}
+
+func (paperStrategy) Name() string { return DefaultStrategy }
+
+func (paperStrategy) Describe() string {
+	return "the paper's Algorithm 1: demand-shaped allocation with extremum remapping"
+}
+
+func (paperStrategy) Capabilities() Capabilities {
+	return Capabilities{Iterative: true, DemandShaped: true}
+}
+
+func (paperStrategy) Plan(ctx context.Context, spec PlanSpec) (*alloc.Result, error) {
+	return Plan(ctx, spec)
+}
+
+func init() { RegisterStrategy(paperStrategy{}) }

@@ -74,6 +74,12 @@ type PlanRequest struct {
 	// Strategy selects the arc-reshaping flavor: "proportional"
 	// (default, the paper's formula) or "even".
 	Strategy string `json:"strategy,omitempty"`
+	// Planner selects the planner backend: "paper" (default), "yds"
+	// or "bunde" (pipeline.Strategies lists the registry). The
+	// ?strategy= query parameter is shorthand for this field. The
+	// default is canonicalized to "" so default requests keep their
+	// pre-registry cache keys and wire bytes.
+	Planner string `json:"planner,omitempty"`
 	// MaxIterations bounds the Algorithm 1 driver (0 = default 16).
 	MaxIterations int `json:"maxIterations,omitempty"`
 	// Margin keeps a fraction of the battery band clear at each end
@@ -85,6 +91,12 @@ type PlanRequest struct {
 type PlanResponse struct {
 	// Scenario echoes the request's scenario name.
 	Scenario string `json:"scenario,omitempty"`
+	// Planner names the backend that produced the plan; empty means
+	// the default paper planner (default responses stay byte-identical
+	// to the pre-registry wire form). Declared between Scenario and
+	// Tau so the cached, name-free body still opens with a field the
+	// scenario-name splice can prepend to.
+	Planner string `json:"planner,omitempty"`
 	// Tau is the slot width in seconds.
 	Tau float64 `json:"tau"`
 	// Allocation is the per-slot power plan in watts.
@@ -181,6 +193,10 @@ type ReplanRequest struct {
 	// Policy selects the redistribution flavor: "proportional"
 	// (default) or "even".
 	Policy string `json:"policy,omitempty"`
+	// Planner selects the backend the baseline plan comes from:
+	// "paper" (default), "yds" or "bunde". A checkpoint's plan takes
+	// precedence once restored.
+	Planner string `json:"planner,omitempty"`
 	// State is the manager checkpoint to resume from; nil means a
 	// fresh period start.
 	State *dpm.State `json:"state,omitempty"`
@@ -213,6 +229,10 @@ type SimulateRequest struct {
 	// Policy selects the Algorithm 3 flavor: "proportional"
 	// (default) or "even".
 	Policy string `json:"policy,omitempty"`
+	// Planner selects the backend the initial plan comes from:
+	// "paper" (default), "yds" or "bunde". Algorithm 3 still
+	// redistributes at runtime either way.
+	Planner string `json:"planner,omitempty"`
 	// Battery selects intra-slot semantics: "net-flow" (default) or
 	// "sequential".
 	Battery string `json:"battery,omitempty"`
@@ -391,10 +411,18 @@ func parseBattery(s string) (dpm.BatteryModel, error) {
 // validatePlanRequest normalizes and bounds a plan request through
 // the canonical pipeline validation; the returned request has every
 // default spelled out (strategy, maxIterations) so semantically
-// identical requests canonicalize to one cache key.
+// identical requests canonicalize to one cache key. The planner
+// selector goes the other way: the default backend normalizes to the
+// *empty* string, so default requests hash and render exactly as they
+// did before the strategy registry existed — a fleet of
+// mixed-version nodes keeps sharing cache entries — while every
+// non-default backend is spelled out in the key and the body.
 func validatePlanRequest(req *PlanRequest) error {
 	strategy, err := parseStrategy(req.Strategy)
 	if err != nil {
+		return err
+	}
+	if _, err := pipeline.StrategyByName(req.Planner); err != nil {
 		return err
 	}
 	spec := pipeline.PlanSpec{
@@ -409,9 +437,33 @@ func validatePlanRequest(req *PlanRequest) error {
 	if req.Strategy == "" {
 		req.Strategy = "proportional"
 	}
+	if req.Planner == pipeline.DefaultStrategy {
+		req.Planner = ""
+	}
 	if req.MaxIterations == 0 {
 		req.MaxIterations = 16 // alloc.Compute's documented default
 	}
+	return nil
+}
+
+// strategyQueryParam is the /v1/plan and /v1/batch query-string
+// shorthand for PlanRequest.Planner.
+const strategyQueryParam = "strategy"
+
+// applyStrategyParam folds ?strategy= into a request's planner
+// selector. The body field and the query parameter naming different
+// backends is ambiguous and rejected; naming the same one (or the
+// body leaving it empty) is fine. For /v1/batch the parameter applies
+// to every item.
+func applyStrategyParam(r *http.Request, planner *string) error {
+	q := r.URL.Query().Get(strategyQueryParam)
+	if q == "" {
+		return nil
+	}
+	if *planner != "" && *planner != q {
+		return badRequestf("?strategy=%s conflicts with planner %q in the request body", q, *planner)
+	}
+	*planner = q
 	return nil
 }
 

@@ -1,0 +1,74 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dpm/internal/server"
+	"dpm/internal/trace"
+)
+
+// startRealServer boots an actual dpmd instance (not an httptest
+// stub) so the strategy round trip covers the full wire surface.
+func startRealServer(t *testing.T) string {
+	t.Helper()
+	s, err := server.New(server.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	})
+	return "http://" + s.Addr()
+}
+
+// TestPlanWithStrategy: the Planner field selects a backend and the
+// response names it.
+func TestPlanWithStrategy(t *testing.T) {
+	c := New(startRealServer(t), nil)
+	resp, _, err := c.Plan(context.Background(), server.PlanRequest{
+		Scenario: trace.ScenarioI(),
+		Planner:  "yds",
+	})
+	if err != nil {
+		t.Fatalf("plan with yds: %v", err)
+	}
+	if resp.Planner != "yds" {
+		t.Errorf("response planner %q, want yds", resp.Planner)
+	}
+	if !resp.Feasible || len(resp.Allocation) == 0 {
+		t.Errorf("yds plan not usable: %+v", resp)
+	}
+}
+
+// TestPlanUnknownStrategyTypedError: an unknown planner surfaces as a
+// *StatusError carrying the server's 400 and its strategy listing —
+// callers can branch on the code and print the catalog.
+func TestPlanUnknownStrategyTypedError(t *testing.T) {
+	c := New(startRealServer(t), nil)
+	_, _, err := c.Plan(context.Background(), server.PlanRequest{
+		Scenario: trace.ScenarioI(),
+		Planner:  "vaporware",
+	})
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v (%T), want *StatusError", err, err)
+	}
+	if se.Code != http.StatusBadRequest {
+		t.Errorf("status %d, want 400", se.Code)
+	}
+	for _, name := range []string{"paper", "yds", "bunde"} {
+		if !strings.Contains(se.Message, name) {
+			t.Errorf("message %q does not list %q", se.Message, name)
+		}
+	}
+}

@@ -46,6 +46,10 @@ type FleetRegisterRequest struct {
 	// Policy selects the Algorithm 3 flavor: "proportional" (default)
 	// or "even".
 	Policy string `json:"policy,omitempty"`
+	// Planner selects the strategy backend the session's initial plan
+	// comes from: "paper" (default), "yds" or "bunde". A resumed
+	// checkpoint's plan takes precedence.
+	Planner string `json:"planner,omitempty"`
 	// State, when set, is a checkpoint to resume from — a device
 	// migrating in from the stateless /v1/replan flow or re-joining
 	// after a drain handed its checkpoint back. Omitted, a parked
@@ -196,6 +200,7 @@ func (s *Server) handleFleetRegister(w http.ResponseWriter, r *http.Request) {
 		Scenario: req.Scenario,
 		Params:   pcfg,
 		Policy:   pol,
+		Planner:  req.Planner,
 		State:    req.State,
 	})
 	if err != nil {

@@ -8,8 +8,13 @@ import (
 
 	"dpm/internal/obs"
 	"dpm/internal/params"
+	"dpm/internal/pipeline"
 	"dpm/internal/plancache"
 	"dpm/internal/resilience"
+
+	// Register the alternative planner backends (yds, bunde) so
+	// ?strategy= resolves them; internal/pipeline registers "paper".
+	_ "dpm/internal/strategy"
 )
 
 // Observability assembly -------------------------------------------
@@ -43,10 +48,20 @@ const requestIDHeader = "X-Request-Id"
 
 // telemetry bundles the server's metric families.
 type telemetry struct {
-	registry *obs.Registry
-	reqHist  *obs.HistogramVec
-	errTotal *obs.CounterVec
-	stages   *obs.HistogramVec
+	registry     *obs.Registry
+	reqHist      *obs.HistogramVec
+	errTotal     *obs.CounterVec
+	stages       *obs.HistogramVec
+	planStrategy *obs.CounterVec
+}
+
+// strategyLabel maps the canonical planner selector (empty = default)
+// onto its metric label, so dashboards see "paper" rather than "".
+func strategyLabel(planner string) string {
+	if planner == "" {
+		return pipeline.DefaultStrategy
+	}
+	return planner
 }
 
 // newTelemetry builds the registry for one server. Registration order
@@ -59,9 +74,12 @@ func newTelemetry(s *Server) *telemetry {
 		"Requests answered with a non-2xx status, by endpoint.", "endpoint")
 	t.stages = obs.NewHistogramVec("dpmd_pipeline_stage_duration_seconds",
 		"Planning-pipeline stage latency by span name.", "stage", nil)
+	t.planStrategy = obs.NewCounterVec("dpmd_plan_requests_total",
+		"Validated plan requests (individual and batch items) by planner strategy.", "strategy")
 	t.registry.Register(t.reqHist)
 	t.registry.Register(t.errTotal)
 	t.registry.Register(t.stages)
+	t.registry.Register(t.planStrategy)
 	t.registry.Register(obs.CollectorFunc(s.writeCacheProm))
 	t.registry.Register(obs.CollectorFunc(s.writeAdmissionProm))
 	t.registry.Register(obs.CollectorFunc(s.writeFleetProm))

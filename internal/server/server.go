@@ -516,6 +516,7 @@ func (s *Server) planBody(ctx context.Context, req *PlanRequest) ([]byte, string
 	if err := validatePlanRequest(req); err != nil {
 		return nil, "", err
 	}
+	s.tel.planStrategy.Add(strategyLabel(req.Planner), 1)
 	keyReq := *req
 	keyReq.Scenario.Name = ""
 	key, err := plancache.Key("plan", keyReq)
@@ -529,7 +530,7 @@ func (s *Server) planBody(ctx context.Context, req *PlanRequest) ([]byte, string
 			return nil, err
 		}
 		strategy, _ := parseStrategy(req.Strategy)
-		res, err := pipeline.Plan(ctx, pipeline.PlanSpec{
+		res, err := pipeline.PlanWith(ctx, req.Planner, pipeline.PlanSpec{
 			Scenario:      keyReq.Scenario,
 			Strategy:      strategy,
 			MaxIterations: req.MaxIterations,
@@ -542,6 +543,7 @@ func (s *Server) planBody(ctx context.Context, req *PlanRequest) ([]byte, string
 			return nil, badRequest{err}
 		}
 		return marshalBody(&PlanResponse{
+			Planner:    req.Planner,
 			Tau:        res.Allocation.Step,
 			Allocation: res.Allocation.Values,
 			Trajectory: res.Trajectory,
@@ -568,6 +570,10 @@ func (s *Server) planBody(ctx context.Context, req *PlanRequest) ([]byte, string
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req PlanRequest
 	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	if err := applyStrategyParam(r, &req.Planner); err != nil {
 		s.fail(w, r, err)
 		return
 	}
@@ -630,6 +636,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, badRequestf("%d plan requests exceed the batch limit of %d",
 			len(req.Requests), scenario.MaxBatch))
 		return
+	}
+	for i := range req.Requests {
+		if err := applyStrategyParam(r, &req.Requests[i].Planner); err != nil {
+			s.fail(w, r, err)
+			return
+		}
 	}
 	ctx := r.Context()
 	results := make([]BatchItem, len(req.Requests))
@@ -752,7 +764,7 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 	for i, rep := range req.Slots {
 		reports[i] = pipeline.SlotReport(rep)
 	}
-	mgr, err := pipeline.Replay(r.Context(), req.Scenario, pcfg, pol, req.State, reports)
+	mgr, err := pipeline.ReplayWith(r.Context(), req.Planner, req.Scenario, pcfg, pol, req.State, reports)
 	if err != nil {
 		s.fail(w, r, badRequest{err})
 		return
@@ -825,6 +837,7 @@ func simulateAnalytic(ctx context.Context, req SimulateRequest, pcfg params.Conf
 	}
 	res, err := pipeline.Simulate(ctx, pipeline.SimSpec{
 		Scenario:       req.Scenario,
+		Planner:        req.Planner,
 		Params:         pcfg,
 		Policy:         pol,
 		Battery:        bm,
@@ -878,6 +891,7 @@ func simulateMachine(ctx context.Context, req SimulateRequest, pcfg params.Confi
 	}
 	res, err := pipeline.SimulateMachine(ctx, pipeline.MachineSpec{
 		Scenario:       req.Scenario,
+		Planner:        req.Planner,
 		Params:         pcfg,
 		Policy:         pol,
 		ActualCharging: req.ActualCharging,

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dpm/internal/pipeline"
+	"dpm/internal/trace"
+)
+
+// TestDefaultGoldenParity pins that requests naming no strategy
+// produce byte-identical responses to the pre-refactor goldens on
+// /v1/plan, /v1/batch and /v1/fleet/register: the strategy registry
+// must be invisible until a caller opts in, or every deployed cache
+// and recorded client silently churns.
+func TestDefaultGoldenParity(t *testing.T) {
+	_, base := startServer(t, Config{})
+
+	// Batch first: its golden embeds per-item "cache":"miss", so the
+	// plan cache must still be cold.
+	batch := batchOf(t,
+		PlanRequest{Scenario: trace.ScenarioI()},
+		PlanRequest{Scenario: trace.ScenarioII()},
+	)
+	status, _, body := postJSON(t, base, "/v1/batch", batch)
+	if status != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", status, body)
+	}
+	assertGolden(t, "batch_default.golden", body)
+
+	for _, s := range trace.Scenarios() {
+		req, err := canonicalJSON(PlanRequest{Scenario: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, _, body := postJSON(t, base, "/v1/plan", req)
+		if status != http.StatusOK {
+			t.Fatalf("plan %s: status %d: %s", s.Name, status, body)
+		}
+		assertGolden(t, fmt.Sprintf("plan_scenario_%s.golden", s.Name), body)
+	}
+
+	reg, err := canonicalJSON(FleetRegisterRequest{
+		DeviceID: "golden-device",
+		Scenario: trace.ScenarioI(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, body = postJSON(t, base, "/v1/fleet/register", reg)
+	if status != http.StatusOK {
+		t.Fatalf("fleet register: status %d: %s", status, body)
+	}
+	assertGolden(t, "fleet_register_default.golden", body)
+}
+
+func assertGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: bytes diverged from the pre-refactor golden\n got: %s\nwant: %s", name, got, want)
+	}
+}
+
+// TestPlanStrategyDistinctCacheEntries is the cache-key regression
+// test: the same scenario planned under ?strategy=paper and
+// ?strategy=yds must occupy distinct cache entries and return
+// distinct bodies — a collision would serve one backend's plan under
+// the other's name.
+func TestPlanStrategyDistinctCacheEntries(t *testing.T) {
+	srv, base := startServer(t, Config{})
+	req, err := canonicalJSON(PlanRequest{Scenario: trace.ScenarioI()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bodies := map[string][]byte{}
+	for _, strat := range []string{"paper", "yds", "bunde"} {
+		status, hdr, body := postJSON(t, base, "/v1/plan?strategy="+strat, req)
+		if status != http.StatusOK {
+			t.Fatalf("strategy %s: status %d: %s", strat, status, body)
+		}
+		if got := hdr.Get("X-Dpmd-Cache"); got != "miss" {
+			t.Errorf("strategy %s first request: cache %q, want miss (colliding key?)", strat, got)
+		}
+		bodies[strat] = body
+	}
+	if st := srv.CacheStats(); st.Len != 3 {
+		t.Errorf("plan cache holds %d entries after 3 distinct strategies, want 3", st.Len)
+	}
+	if bytes.Equal(bodies["paper"], bodies["yds"]) {
+		t.Error("paper and yds bodies are identical")
+	}
+	if bytes.Equal(bodies["paper"], bodies["bunde"]) {
+		t.Error("paper and bunde bodies are identical")
+	}
+
+	// Replays hit their own entries and return the same bytes.
+	for _, strat := range []string{"paper", "yds", "bunde"} {
+		status, hdr, body := postJSON(t, base, "/v1/plan?strategy="+strat, req)
+		if status != http.StatusOK {
+			t.Fatalf("strategy %s replay: status %d: %s", strat, status, body)
+		}
+		if got := hdr.Get("X-Dpmd-Cache"); got != "hit" {
+			t.Errorf("strategy %s replay: cache %q, want hit", strat, got)
+		}
+		if !bytes.Equal(body, bodies[strat]) {
+			t.Errorf("strategy %s replay bytes diverge from the first response", strat)
+		}
+	}
+
+	// ?strategy=paper is canonically the default: same entry, same
+	// bytes as naming no strategy at all.
+	status, hdr, body := postJSON(t, base, "/v1/plan", req)
+	if status != http.StatusOK {
+		t.Fatalf("default: status %d: %s", status, body)
+	}
+	if got := hdr.Get("X-Dpmd-Cache"); got != "hit" {
+		t.Errorf("default after ?strategy=paper: cache %q, want hit (keys diverged)", got)
+	}
+	if !bytes.Equal(body, bodies["paper"]) {
+		t.Errorf("default bytes differ from ?strategy=paper:\n got: %s\nwant: %s", body, bodies["paper"])
+	}
+
+	// Non-default responses carry the planner name; the default does
+	// not (byte parity with the pre-registry wire form).
+	var pr PlanResponse
+	if err := decodeInto(bodies["yds"], &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Planner != "yds" {
+		t.Errorf("yds response planner %q, want yds", pr.Planner)
+	}
+	if bytes.Contains(bodies["paper"], []byte(`"planner"`)) {
+		t.Errorf("default response leaks a planner field: %s", bodies["paper"])
+	}
+}
+
+// TestPlanUnknownStrategy: an unknown selector — query or body — is a
+// structured 400 listing the registered backends.
+func TestPlanUnknownStrategy(t *testing.T) {
+	_, base := startServer(t, Config{})
+	req, err := canonicalJSON(PlanRequest{Scenario: trace.ScenarioI()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, resp := postJSON(t, base, "/v1/plan?strategy=vaporware", req)
+	if status != http.StatusBadRequest {
+		t.Fatalf("plan vaporware: status %d, want 400: %s", status, resp)
+	}
+	assertStructuredError(t, resp, http.StatusBadRequest)
+	var ae apiError
+	if err := json.Unmarshal(resp, &ae); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range pipeline.Strategies() {
+		if !strings.Contains(ae.Error, name) {
+			t.Errorf("plan vaporware: error %q does not list registered strategy %q", ae.Error, name)
+		}
+	}
+
+	// Batch keeps its per-item error semantics: the envelope is 200,
+	// the tainted item carries the structured 400.
+	status, _, resp = postJSON(t, base, "/v1/batch?strategy=vaporware",
+		batchOf(t, PlanRequest{Scenario: trace.ScenarioI()}))
+	if status != http.StatusOK {
+		t.Fatalf("batch vaporware: envelope status %d, want 200: %s", status, resp)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(resp, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 1 || br.Results[0].Status != http.StatusBadRequest {
+		t.Fatalf("batch vaporware: results %s, want one item with status 400", resp)
+	}
+	if !strings.Contains(string(br.Results[0].Body), "unknown planner strategy") {
+		t.Errorf("batch vaporware item body %s does not name the unknown strategy", br.Results[0].Body)
+	}
+
+	// Body field and query parameter disagreeing is ambiguous → 400.
+	conflicted, err := canonicalJSON(PlanRequest{Scenario: trace.ScenarioI(), Planner: "yds"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, resp = postJSON(t, base, "/v1/plan?strategy=bunde", conflicted)
+	if status != http.StatusBadRequest {
+		t.Fatalf("conflicting selectors: status %d, want 400: %s", status, resp)
+	}
+	assertStructuredError(t, resp, http.StatusBadRequest)
+}
+
+// TestStrategyAcrossEndpoints exercises the selector on the
+// stateful surfaces: replan, simulate and fleet register accept a
+// planner and reject an unknown one.
+func TestStrategyAcrossEndpoints(t *testing.T) {
+	_, base := startServer(t, Config{})
+	s := trace.ScenarioI()
+	tau := s.Charging.Step
+
+	replan := func(planner string) (int, []byte) {
+		req, err := canonicalJSON(ReplanRequest{
+			Scenario: s,
+			Planner:  planner,
+			Slots:    []SlotReport{{UsedJ: 1, SuppliedJ: s.Charging.Values[0] * tau}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, _, body := postJSON(t, base, "/v1/replan", req)
+		return status, body
+	}
+	status, ydsBody := replan("yds")
+	if status != http.StatusOK {
+		t.Fatalf("replan yds: status %d: %s", status, ydsBody)
+	}
+	status, paperBody := replan("")
+	if status != http.StatusOK {
+		t.Fatalf("replan default: status %d: %s", status, paperBody)
+	}
+	if bytes.Equal(ydsBody, paperBody) {
+		t.Error("replan with yds baseline matches the paper baseline byte-for-byte")
+	}
+	if status, body := replan("vaporware"); status != http.StatusBadRequest {
+		t.Errorf("replan vaporware: status %d, want 400: %s", status, body)
+	}
+
+	sim, err := canonicalJSON(SimulateRequest{Scenario: s, Planner: "bunde", Periods: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, _, body := postJSON(t, base, "/v1/simulate", sim); status != http.StatusOK {
+		t.Errorf("simulate bunde: status %d: %s", status, body)
+	}
+
+	reg, err := canonicalJSON(FleetRegisterRequest{DeviceID: "dev-yds", Scenario: s, Planner: "yds"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, body := postJSON(t, base, "/v1/fleet/register", reg)
+	if status != http.StatusOK {
+		t.Fatalf("fleet register yds: status %d: %s", status, body)
+	}
+	var fr FleetRegisterResponse
+	if err := decodeInto(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	var want PlanResponse
+	status, _, planBody := postJSON(t, base, "/v1/plan?strategy=yds", mustJSON(t, PlanRequest{Scenario: s}))
+	if status != http.StatusOK {
+		t.Fatalf("plan yds: status %d: %s", status, planBody)
+	}
+	if err := decodeInto(planBody, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Plan) != len(want.Allocation) {
+		t.Fatalf("fleet yds plan has %d slots, /v1/plan?strategy=yds %d", len(fr.Plan), len(want.Allocation))
+	}
+	for i := range fr.Plan {
+		if fr.Plan[i] != want.Allocation[i] {
+			t.Errorf("fleet yds plan[%d] = %g, /v1/plan?strategy=yds %g", i, fr.Plan[i], want.Allocation[i])
+		}
+	}
+
+	badReg, err := canonicalJSON(FleetRegisterRequest{DeviceID: "dev-bad", Scenario: s, Planner: "vaporware"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, _, body := postJSON(t, base, "/v1/fleet/register", badReg); status != http.StatusBadRequest {
+		t.Errorf("fleet register vaporware: status %d, want 400: %s", status, body)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := canonicalJSON(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStrategyMetricLabels: the per-strategy plan counter appears on
+// /metrics with the default labeled "paper".
+func TestStrategyMetricLabels(t *testing.T) {
+	_, base := startServer(t, Config{})
+	req := mustJSON(t, PlanRequest{Scenario: trace.ScenarioI()})
+	for _, path := range []string{"/v1/plan", "/v1/plan?strategy=yds"} {
+		if status, _, body := postJSON(t, base, path, req); status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, status, body)
+		}
+	}
+	status, body := getBody(t, base, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: status %d", status)
+	}
+	for _, want := range []string{
+		`dpmd_plan_requests_total{strategy="paper"} 1`,
+		`dpmd_plan_requests_total{strategy="yds"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

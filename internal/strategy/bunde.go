@@ -1,0 +1,91 @@
+package strategy
+
+import (
+	"context"
+
+	"dpm/internal/alloc"
+	"dpm/internal/pipeline"
+)
+
+func init() { pipeline.RegisterStrategy(bundeStrategy{}) }
+
+// bundeStrategy is a power-aware makespan scheduler after Bunde: for
+// a convex power/speed relationship, the makespan-optimal schedule
+// under an energy budget runs at constant speed, so the planner makes
+// the per-slot power as constant as the battery band allows.
+//
+// The construction: balance the weighted demand to the supply total
+// (Eq. 7/8), project it feasible with the greedy forward pass
+// (alloc.Repair), then level the allocation to its mean between the
+// slot boundaries where the repaired trajectory pins against Cmin or
+// Cmax — those are the only points a speed change buys anything — and
+// repair once more to absorb the leveling's own violations. The
+// result is piecewise-constant power with the fewest speed levels the
+// band admits.
+type bundeStrategy struct{}
+
+func (bundeStrategy) Name() string { return "bunde" }
+
+func (bundeStrategy) Describe() string {
+	return "power-aware makespan scheduling: piecewise-constant power between battery-binding slots (Bunde)"
+}
+
+func (bundeStrategy) Capabilities() pipeline.Capabilities {
+	// Non-iterative; the demand schedule shapes where the band binds
+	// (through the repair pass) but not the within-segment profile.
+	return pipeline.Capabilities{}
+}
+
+func (bundeStrategy) Plan(_ context.Context, spec pipeline.PlanSpec) (*alloc.Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := spec.Scenario
+	cmin, cmax, initial := clampBand(s.CapacityMin, s.CapacityMax, s.InitialCharge, spec.Margin)
+	charging := s.Charging
+
+	balanced, err := alloc.Balance(alloc.WPUF(s.Usage, s.Weight), charging)
+	if err != nil {
+		return nil, err
+	}
+	repaired := alloc.Repair(charging, balanced, initial, cmin, cmax)
+	traj := alloc.Trajectory(charging, repaired, initial)
+
+	// Segment boundaries: slot boundaries where the repaired
+	// trajectory pins against the band (within a whisker of Cmin or
+	// Cmax), plus the period's ends.
+	n := repaired.Len()
+	eps := 1e-9 * (1 + cmax - cmin)
+	bounds := []int{0}
+	for k := 1; k < n; k++ {
+		if traj[k] <= cmin+eps || traj[k] >= cmax-eps {
+			bounds = append(bounds, k)
+		}
+	}
+	bounds = append(bounds, n)
+
+	leveled := repaired.Clone()
+	for i := 0; i+1 < len(bounds); i++ {
+		a, b := bounds[i], bounds[i+1]
+		sum := 0.0
+		for k := a; k < b; k++ {
+			sum += leveled.Values[k]
+		}
+		mean := sum / float64(b-a)
+		for k := a; k < b; k++ {
+			leveled.Values[k] = mean
+		}
+	}
+	final := alloc.Repair(charging, leveled, initial, cmin, cmax)
+
+	res := alloc.ResultFromPlan(charging, final, initial, cmin, cmax, 0)
+	res.Iterations = []alloc.Iteration{
+		{Allocation: balanced, Trajectory: alloc.Trajectory(charging, balanced, initial),
+			Violations: countViolations(alloc.Trajectory(charging, balanced, initial), cmin, cmax, 1e-9)},
+		{Allocation: leveled, Trajectory: alloc.Trajectory(charging, leveled, initial),
+			Violations: countViolations(alloc.Trajectory(charging, leveled, initial), cmin, cmax, 1e-9)},
+		{Allocation: final, Trajectory: res.Trajectory,
+			Violations: countViolations(res.Trajectory, cmin, cmax, 1e-9)},
+	}
+	return res, nil
+}

@@ -1,0 +1,58 @@
+// Package strategy implements alternative planner backends behind the
+// pipeline.Strategy interface, so "how close to optimal is the
+// paper's heuristic?" is answerable by swapping the planner under an
+// otherwise unchanged stack.
+//
+// Two backends register here:
+//
+//   - "yds": YDS-style speed scaling adapted to the battery/solar
+//     recharge model (after Barcelo et al., "Energy Efficient Speed
+//     Scaling with a Solar Cell"). The cumulative allocation is the
+//     taut string through the corridor the battery band induces —
+//     the unique trajectory that simultaneously minimizes every
+//     convex function of the per-slot power, so it is the YDS
+//     optimum for wasted/undersupplied energy among feasible plans
+//     ending in periodic steady state.
+//
+//   - "bunde": a power-aware makespan scheduler (after Bunde,
+//     "Power-aware scheduling for makespan and flow"). Convexity
+//     makes constant speed optimal for makespan under an energy
+//     budget, so the backend levels the balanced demand to
+//     piecewise-constant power between the slots where the battery
+//     band binds.
+//
+// Both produce alloc.Result via alloc.ResultFromPlan, so params
+// selection, simulation, replay and the fleet layer consume their
+// plans unchanged. Callers opt in by blank-importing this package
+// (database/sql-driver style); internal/pipeline registers the
+// default "paper" backend on its own.
+package strategy
+
+import "math"
+
+// clampBand applies the planning margin exactly as alloc.Compute
+// does — shrink the band by margin·(cmax−cmin) at each end, then
+// clamp the initial charge into it — so every backend plans (and is
+// scored feasible) against the same effective band for the same spec.
+func clampBand(cmin, cmax, initial, margin float64) (float64, float64, float64) {
+	if margin > 0 {
+		band := cmax - cmin
+		cmin += margin * band
+		cmax -= margin * band
+	}
+	initial = math.Min(math.Max(initial, cmin), cmax)
+	return cmin, cmax, initial
+}
+
+// countViolations counts trajectory points outside [cmin−tol,
+// cmax+tol] — the per-iteration violation metric the paper's driver
+// reports, reused for the alternative backends' histories.
+func countViolations(traj []float64, cmin, cmax, tol float64) int {
+	n := 0
+	for _, v := range traj {
+		if v < cmin-tol || v > cmax+tol {
+			n++
+		}
+	}
+	return n
+}

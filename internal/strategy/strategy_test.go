@@ -1,0 +1,223 @@
+package strategy
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dpm/internal/alloc"
+	"dpm/internal/dpm"
+	"dpm/internal/pipeline"
+	"dpm/internal/scenario"
+	"dpm/internal/schedule"
+	"dpm/internal/trace"
+)
+
+// planAll plans one scenario with every registered backend.
+func planAll(t *testing.T, s trace.Scenario) map[string]*alloc.Result {
+	t.Helper()
+	out := map[string]*alloc.Result{}
+	for _, name := range pipeline.Strategies() {
+		res, err := pipeline.PlanWith(context.Background(), name, pipeline.PlanSpec{Scenario: s})
+		if err != nil {
+			t.Fatalf("strategy %s on scenario %s: %v", name, s.Name, err)
+		}
+		out[name] = res
+	}
+	return out
+}
+
+// TestRegistryHasAllBackends pins the registered set: the paper
+// default plus the two alternatives.
+func TestRegistryHasAllBackends(t *testing.T) {
+	got := pipeline.Strategies()
+	want := []string{"bunde", "paper", "yds"}
+	if len(got) != len(want) {
+		t.Fatalf("registered strategies %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered strategies %v, want %v", got, want)
+		}
+	}
+	if _, err := pipeline.StrategyByName(""); err != nil {
+		t.Fatalf("default resolution: %v", err)
+	}
+	if _, err := pipeline.StrategyByName("nope"); err == nil {
+		t.Fatal("unknown strategy resolved")
+	}
+}
+
+// TestBackendsFeasibleOnPaperScenarios checks every backend yields a
+// feasible plan on both paper scenarios, on the charging grid's
+// shape, with only non-negative powers.
+func TestBackendsFeasibleOnPaperScenarios(t *testing.T) {
+	for _, s := range trace.Scenarios() {
+		for name, res := range planAll(t, s) {
+			if !res.Feasible {
+				t.Errorf("%s on %s: infeasible plan, trajectory %v", name, s.Name, res.Trajectory)
+			}
+			if res.Allocation.Len() != s.Charging.Len() || res.Allocation.Step != s.Charging.Step {
+				t.Errorf("%s on %s: plan grid (τ=%g, %d) does not match charging (τ=%g, %d)",
+					name, s.Name, res.Allocation.Step, res.Allocation.Len(), s.Charging.Step, s.Charging.Len())
+			}
+			for i, v := range res.Allocation.Values {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s on %s: allocation[%d] = %g", name, s.Name, i, v)
+				}
+			}
+			if len(res.Iterations) == 0 {
+				t.Errorf("%s on %s: empty iteration history", name, s.Name)
+			}
+		}
+	}
+}
+
+// TestYDSPeriodicSteadyState: the taut-string plan spends exactly the
+// period's supply, so the trajectory ends where it started and the
+// plan sustains indefinitely.
+func TestYDSPeriodicSteadyState(t *testing.T) {
+	for _, s := range trace.Scenarios() {
+		res, err := pipeline.PlanWith(context.Background(), "yds", pipeline.PlanSpec{Scenario: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traj := res.Trajectory
+		if d := math.Abs(traj[len(traj)-1] - traj[0]); d > 1e-6 {
+			t.Errorf("scenario %s: trajectory ends %g J from its start", s.Name, d)
+		}
+	}
+}
+
+// TestYDSMinimizesConvexCost: the taut string minimizes every convex
+// function of per-slot power among feasible steady-state plans, so
+// its sum of squared powers must not exceed the paper heuristic's on
+// any scenario where the paper plan is also feasible and
+// steady-state.
+func TestYDSMinimizesConvexCost(t *testing.T) {
+	sumSq := func(g *schedule.Grid) float64 {
+		s := 0.0
+		for _, v := range g.Values {
+			s += v * v
+		}
+		return s
+	}
+	for _, s := range trace.Scenarios() {
+		plans := planAll(t, s)
+		paper, yds := plans["paper"], plans["yds"]
+		pt := paper.Trajectory
+		if !paper.Feasible || math.Abs(pt[len(pt)-1]-pt[0]) > 1e-6 {
+			continue // paper plan not comparable on this scenario
+		}
+		if got, bound := sumSq(yds.Allocation), sumSq(paper.Allocation); got > bound+1e-6 {
+			t.Errorf("scenario %s: yds Σa² = %g exceeds paper's %g", s.Name, got, bound)
+		}
+	}
+}
+
+// TestBundePiecewiseConstant: the bunde plan changes power only at
+// battery-binding boundaries — far fewer distinct levels than slots.
+func TestBundePiecewiseConstant(t *testing.T) {
+	for _, s := range trace.Scenarios() {
+		res, err := pipeline.PlanWith(context.Background(), "bunde", pipeline.PlanSpec{Scenario: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		changes := 0
+		for i := 1; i < res.Allocation.Len(); i++ {
+			if math.Abs(res.Allocation.Values[i]-res.Allocation.Values[i-1]) > 1e-9 {
+				changes++
+			}
+		}
+		if changes >= res.Allocation.Len()-1 {
+			t.Errorf("scenario %s: bunde plan has %d level changes over %d slots — not piecewise constant",
+				s.Name, changes, res.Allocation.Len())
+		}
+	}
+}
+
+// TestBackendsHonorMargin: with a planning margin the trajectory must
+// stay inside the shrunk band.
+func TestBackendsHonorMargin(t *testing.T) {
+	const margin = 0.1
+	for _, s := range trace.Scenarios() {
+		band := s.CapacityMax - s.CapacityMin
+		cmin := s.CapacityMin + margin*band
+		cmax := s.CapacityMax - margin*band
+		for _, name := range []string{"yds", "bunde"} {
+			res, err := pipeline.PlanWith(context.Background(), name, pipeline.PlanSpec{Scenario: s, Margin: margin})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range res.Trajectory {
+				if v < cmin-1e-9 || v > cmax+1e-9 {
+					t.Errorf("%s on %s with margin %g: trajectory[%d] = %g outside [%g, %g]",
+						name, s.Name, margin, i, v, cmin, cmax)
+				}
+			}
+		}
+	}
+}
+
+// TestBackendsEndToEnd drives a non-paper plan through the whole
+// stack — manager construction, closed-loop Algorithm 3 simulation,
+// checkpointed replay — the "plan → params → simulate" acceptance
+// path.
+func TestBackendsEndToEnd(t *testing.T) {
+	var hw *scenario.Hardware
+	pcfg, err := hw.WithDefaults().ParamsConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"yds", "bunde"} {
+		for _, s := range trace.Scenarios() {
+			plan, err := pipeline.PlanWith(context.Background(), name, pipeline.PlanSpec{Scenario: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr, err := pipeline.NewManager(context.Background(), name, s, pcfg, dpm.Proportional)
+			if err != nil {
+				t.Fatalf("%s on %s: NewManager: %v", name, s.Name, err)
+			}
+			if got := mgr.PlanSnapshot(); !schedule.NewGrid(s.Charging.Step, got).Equal(plan.Allocation, 1e-12) {
+				t.Errorf("%s on %s: manager plan %v does not match the strategy plan %v",
+					name, s.Name, got, plan.Allocation.Values)
+			}
+			res, err := pipeline.Simulate(context.Background(), pipeline.SimSpec{
+				Scenario:   s,
+				Planner:    name,
+				Params:     pcfg,
+				Periods:    2,
+				SyncCharge: true,
+			})
+			if err != nil {
+				t.Fatalf("%s on %s: simulate: %v", name, s.Name, err)
+			}
+			if res.Battery.TotalSupplied <= 0 {
+				t.Errorf("%s on %s: simulation supplied %g J", name, s.Name, res.Battery.TotalSupplied)
+			}
+			tau := s.Charging.Step
+			reports := []pipeline.SlotReport{{UsedJ: plan.Allocation.Values[0] * tau,
+				SuppliedJ: s.Charging.Values[0] * tau}}
+			rmgr, err := pipeline.ReplayWith(context.Background(), name, s, pcfg, dpm.Proportional, nil, reports)
+			if err != nil {
+				t.Fatalf("%s on %s: replay: %v", name, s.Name, err)
+			}
+			if rmgr.Slot() != 1 {
+				t.Errorf("%s on %s: replay slot %d, want 1", name, s.Name, rmgr.Slot())
+			}
+		}
+	}
+}
+
+// TestInvalidSpecRejected: backends run the same canonical validation
+// as the paper path.
+func TestInvalidSpecRejected(t *testing.T) {
+	bad := trace.ScenarioI()
+	bad.CapacityMin, bad.CapacityMax = bad.CapacityMax, bad.CapacityMin
+	for _, name := range []string{"yds", "bunde"} {
+		if _, err := pipeline.PlanWith(context.Background(), name, pipeline.PlanSpec{Scenario: bad}); err == nil {
+			t.Errorf("%s accepted an inverted battery band", name)
+		}
+	}
+}

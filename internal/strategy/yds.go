@@ -1,0 +1,118 @@
+package strategy
+
+import (
+	"context"
+	"math"
+
+	"dpm/internal/alloc"
+	"dpm/internal/pipeline"
+	"dpm/internal/schedule"
+)
+
+func init() { pipeline.RegisterStrategy(ydsStrategy{}) }
+
+// ydsStrategy is YDS-style speed scaling adapted to the recharging
+// battery: instead of job release/deadline intervals, the constraint
+// is the battery band, and instead of minimizing energy for fixed
+// work, the plan spends exactly the period's supply (ending the
+// period at the initial charge — periodic steady state) while
+// minimizing any convex cost of the per-slot power.
+//
+// Geometry: with cumulative supply S(k) = Σ c·τ and cumulative
+// allocation A(k), the battery at boundary k is
+// initial + S(k) − A(k); keeping it in [Cmin, Cmax] confines A to the
+// corridor [initial + S(k) − Cmax, initial + S(k) − Cmin]. The taut
+// string (shortest path) from (0, 0) to (n, S(n)) through that
+// corridor has, among all feasible cumulative allocations, the
+// minimal value of Σ g(a(k)) for every convex g — the same
+// structural argument as YDS's optimality — and because both corridor
+// envelopes are non-decreasing (c ≥ 0) the string never descends, so
+// the per-slot powers are non-negative.
+type ydsStrategy struct{}
+
+func (ydsStrategy) Name() string { return "yds" }
+
+func (ydsStrategy) Describe() string {
+	return "YDS-style speed scaling: taut-string allocation through the battery corridor (Barcelo et al.)"
+}
+
+func (ydsStrategy) Capabilities() pipeline.Capabilities {
+	// The taut string is closed-form (no iterative driver) and uses
+	// the demand schedule only through its total, which Eq. 8
+	// balancing makes equal to the supply total anyway.
+	return pipeline.Capabilities{}
+}
+
+func (ydsStrategy) Plan(_ context.Context, spec pipeline.PlanSpec) (*alloc.Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := spec.Scenario
+	cmin, cmax, initial := clampBand(s.CapacityMin, s.CapacityMax, s.InitialCharge, spec.Margin)
+
+	charging := s.Charging
+	n := charging.Len()
+	tau := charging.Step
+
+	// Cumulative supply S and the corridor envelopes for A.
+	S := make([]float64, n+1)
+	for k := 0; k < n; k++ {
+		S[k+1] = S[k] + charging.Values[k]*tau
+	}
+	end := S[n] // A(n): spend exactly the period's supply
+
+	// Taut string: repeatedly extend the longest straight segment
+	// from the current anchor; when the corridor pinches, bend at
+	// whichever envelope constrained first and restart there.
+	A := make([]float64, n+1)
+	j0, a0 := 0, 0.0
+	for j0 < n {
+		minUp, maxLo := math.Inf(1), math.Inf(-1)
+		upJ, loJ := -1, -1
+		var upV, loV float64
+		bendJ, bendV := -1, 0.0
+		for j := j0 + 1; j <= n; j++ {
+			lo := initial + S[j] - cmax
+			up := initial + S[j] - cmin
+			if j == n {
+				lo, up = end, end
+			}
+			dj := float64(j - j0)
+			if sUp := (up - a0) / dj; sUp < minUp {
+				minUp, upJ, upV = sUp, j, up
+			}
+			if sLo := (lo - a0) / dj; sLo > maxLo {
+				maxLo, loJ, loV = sLo, j, lo
+			}
+			if eps := 1e-12 * (1 + math.Abs(maxLo) + math.Abs(minUp)); maxLo > minUp+eps {
+				if upJ < loJ {
+					bendJ, bendV = upJ, upV
+				} else {
+					bendJ, bendV = loJ, loV
+				}
+				break
+			}
+		}
+		if bendJ < 0 {
+			bendJ, bendV = n, end
+		}
+		slope := (bendV - a0) / float64(bendJ-j0)
+		for j := j0 + 1; j <= bendJ; j++ {
+			A[j] = a0 + slope*float64(j-j0)
+		}
+		j0, a0 = bendJ, bendV
+	}
+
+	values := make([]float64, n)
+	for k := 0; k < n; k++ {
+		values[k] = (A[k+1] - A[k]) / tau
+	}
+	plan := schedule.NewGrid(tau, values).ClampNonNegative()
+	res := alloc.ResultFromPlan(charging, plan, initial, cmin, cmax, 0)
+	res.Iterations = []alloc.Iteration{{
+		Allocation: plan,
+		Trajectory: res.Trajectory,
+		Violations: countViolations(res.Trajectory, cmin, cmax, 1e-9),
+	}}
+	return res, nil
+}
