@@ -1,0 +1,398 @@
+// Command dpmload is a load generator for the dpmd planning service:
+// it drives /v1/plan with a closed loop (fixed concurrency, max
+// throughput) or an open loop (target QPS, arrival-time latency),
+// optionally sweeping concurrency or QPS, and reports sustained
+// plans/sec with a latency histogram and p50/p90/p99.
+//
+//	dpmd -addr 127.0.0.1:8080 &
+//	dpmload -addr http://127.0.0.1:8080 -mode closed -concurrency 8 -duration 10s
+//	dpmload -addr http://127.0.0.1:8080 -mode open -qps 500 -duration 10s
+//	dpmload -addr http://127.0.0.1:8080 -sweep 1,2,4,8 -binary -out run.json
+//
+// The -out run file feeds benchdiff -service, which compares
+// plans/sec (lower is a regression) and p50/p99 (higher is a
+// regression) against the entries recorded in BENCH_service.json.
+//
+// By default every request is identical, so after the first miss the
+// run measures the cache-hit serving path — the realistic steady
+// state for a fleet replaying known scenarios. -spread N cycles N
+// distinct cache keys to push the miss ratio up and exercise the
+// planning core itself.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpm/internal/scenario"
+	"dpm/internal/server"
+	"dpm/internal/server/client"
+	"dpm/internal/trace"
+)
+
+// config is one load run, resolved from flags (testable without a
+// process boundary).
+type config struct {
+	Addr        string
+	Mode        string // "closed" or "open"
+	Concurrency int    // closed mode: worker count
+	QPS         int    // open mode: target arrival rate
+	Duration    time.Duration
+	Warmup      time.Duration
+	Scenario    string
+	Planner     string
+	Binary      bool
+	Spread      int // distinct cache keys to cycle (0 or 1 = one key)
+}
+
+// row is one run's measurement, in the units BENCH_service.json
+// records.
+type row struct {
+	Mode        string  `json:"mode"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	QPS         int     `json:"qps,omitempty"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	PlansPerSec float64 `json:"plans_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+// runFile is the -out schema benchdiff -service consumes.
+type runFile struct {
+	Addr string         `json:"addr"`
+	Rows map[string]row `json:"rows"`
+}
+
+// label names a run row: closed_c8, open_q500, with _bin for the
+// binary codec.
+func (c config) label() string {
+	var b strings.Builder
+	if c.Mode == "open" {
+		fmt.Fprintf(&b, "open_q%d", c.QPS)
+	} else {
+		fmt.Fprintf(&b, "closed_c%d", c.Concurrency)
+	}
+	if c.Binary {
+		b.WriteString("_bin")
+	}
+	return b.String()
+}
+
+// defaultDriverBound mirrors the Algorithm 1 driver's default
+// iteration cap (pipeline treats MaxIterations 0 as 16).
+const defaultDriverBound = 16
+
+// requestFor builds the i-th request variant. Spread cycles
+// MaxIterations through values at or above the default driver bound,
+// which leaves the computed plan identical but the cache key — and
+// therefore the work — distinct.
+func (c config) requestFor(s trace.Scenario, i int) server.PlanRequest {
+	req := server.PlanRequest{Scenario: s, Planner: c.Planner}
+	if c.Spread > 1 {
+		spread := c.Spread
+		if max := scenario.MaxIterationsLimit - defaultDriverBound; spread > max {
+			spread = max
+		}
+		req.MaxIterations = defaultDriverBound + i%spread
+	}
+	return req
+}
+
+// sample is one completed request.
+type sample struct {
+	latency time.Duration
+	err     error
+}
+
+// collector accumulates samples after warmup.
+type collector struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	errors    int64
+	started   time.Time // measurement window start
+}
+
+func (col *collector) add(s sample) {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if s.err != nil {
+		col.errors++
+		return
+	}
+	col.latencies = append(col.latencies, s.latency)
+}
+
+// result is one run's measurement plus its sorted latencies (for the
+// histogram printout).
+type result struct {
+	row       row
+	latencies []time.Duration
+}
+
+// run drives one configured load shape and returns its measurement.
+func run(ctx context.Context, cfg config) (result, error) {
+	s, err := trace.ByName(cfg.Scenario)
+	if err != nil {
+		return result{}, err
+	}
+	cli := client.New(cfg.Addr, &http.Client{Timeout: 30 * time.Second})
+	if err := cli.Healthz(ctx); err != nil {
+		return result{}, fmt.Errorf("service not reachable: %w", err)
+	}
+
+	do := func(ctx context.Context, i int) error {
+		req := cfg.requestFor(s, i)
+		if cfg.Binary {
+			_, _, err := cli.PlanBinary(ctx, req)
+			return err
+		}
+		_, _, err := cli.Plan(ctx, req)
+		return err
+	}
+
+	col := &collector{}
+	var measuring atomic.Bool
+	var seq atomic.Int64
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	switch cfg.Mode {
+	case "closed":
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for runCtx.Err() == nil {
+					i := int(seq.Add(1))
+					start := time.Now()
+					err := do(runCtx, i)
+					if runCtx.Err() != nil {
+						return // shutdown race, not a service error
+					}
+					if measuring.Load() {
+						col.add(sample{latency: time.Since(start), err: err})
+					}
+				}
+			}()
+		}
+	case "open":
+		if cfg.QPS <= 0 {
+			return result{}, fmt.Errorf("open mode needs -qps > 0")
+		}
+		interval := time.Second / time.Duration(cfg.QPS)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		ticker := time.NewTicker(interval)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer ticker.Stop()
+			var inner sync.WaitGroup
+			defer inner.Wait()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-ticker.C:
+				}
+				i := int(seq.Add(1))
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					start := time.Now()
+					err := do(runCtx, i)
+					if runCtx.Err() != nil {
+						return
+					}
+					if measuring.Load() {
+						col.add(sample{latency: time.Since(start), err: err})
+					}
+				}()
+			}
+		}()
+	default:
+		return result{}, fmt.Errorf("unknown mode %q (want closed or open)", cfg.Mode)
+	}
+
+	// Warmup, then open the measurement window.
+	select {
+	case <-time.After(cfg.Warmup):
+	case <-ctx.Done():
+		cancel()
+		wg.Wait()
+		return result{}, ctx.Err()
+	}
+	col.started = time.Now()
+	measuring.Store(true)
+	select {
+	case <-time.After(cfg.Duration):
+	case <-ctx.Done():
+	}
+	measuring.Store(false)
+	elapsed := time.Since(col.started)
+	cancel()
+	wg.Wait()
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	lats := col.latencies
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	r := row{
+		Mode:      cfg.Mode,
+		DurationS: elapsed.Seconds(),
+		Requests:  int64(len(lats)) + col.errors,
+		Errors:    col.errors,
+	}
+	if cfg.Mode == "open" {
+		r.QPS = cfg.QPS
+	} else {
+		r.Concurrency = cfg.Concurrency
+	}
+	if elapsed > 0 {
+		r.PlansPerSec = float64(len(lats)) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		r.P50Ms = ms(percentile(lats, 0.50))
+		r.P90Ms = ms(percentile(lats, 0.90))
+		r.P99Ms = ms(percentile(lats, 0.99))
+		r.MaxMs = ms(lats[len(lats)-1])
+	}
+	return result{row: r, latencies: lats}, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// percentile reads the p-th quantile from sorted latencies (nearest
+// rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// histogram prints a doubling-bucket latency histogram.
+func histogram(w *strings.Builder, sorted []time.Duration) {
+	if len(sorted) == 0 {
+		return
+	}
+	bound := 100 * time.Microsecond
+	i := 0
+	for i < len(sorted) {
+		j := i
+		for j < len(sorted) && sorted[j] < bound {
+			j++
+		}
+		if n := j - i; n > 0 {
+			bar := strings.Repeat("#", 1+n*40/len(sorted))
+			fmt.Fprintf(w, "    < %-8s %7d  %s\n", bound, n, bar)
+		}
+		i = j
+		bound *= 2
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "dpmd base URL")
+	mode := flag.String("mode", "closed", "load shape: closed (fixed concurrency) or open (target QPS)")
+	concurrency := flag.Int("concurrency", 4, "closed mode: concurrent workers")
+	qps := flag.Int("qps", 0, "open mode: target arrival rate")
+	duration := flag.Duration("duration", 10*time.Second, "measured window per run")
+	warmup := flag.Duration("warmup", 1*time.Second, "warmup excluded from stats")
+	scen := flag.String("scenario", "I", "trace scenario to plan (I or II)")
+	planner := flag.String("planner", "", "planner backend (empty = server default)")
+	binary := flag.Bool("binary", false, "use the binary plan codec on both axes")
+	spread := flag.Int("spread", 0, "distinct cache keys to cycle (0 = one key, cache-hot)")
+	out := flag.String("out", "", "write a benchdiff -service run file here")
+	sweepFlag := flag.String("sweep", "", "comma-separated concurrency (closed) or QPS (open) values to sweep")
+	flag.Parse()
+
+	base := config{
+		Addr: *addr, Mode: *mode, Concurrency: *concurrency, QPS: *qps,
+		Duration: *duration, Warmup: *warmup, Scenario: *scen,
+		Planner: *planner, Binary: *binary, Spread: *spread,
+	}
+
+	var runs []config
+	if *sweepFlag == "" {
+		runs = []config{base}
+	} else {
+		for _, tok := range strings.Split(*sweepFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "dpmload: bad sweep value %q\n", tok)
+				os.Exit(2)
+			}
+			c := base
+			if c.Mode == "open" {
+				c.QPS = n
+			} else {
+				c.Concurrency = n
+			}
+			runs = append(runs, c)
+		}
+	}
+
+	file := runFile{Addr: *addr, Rows: map[string]row{}}
+	failed := false
+	for _, cfg := range runs {
+		res, err := run(context.Background(), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpmload:", err)
+			os.Exit(2)
+		}
+		r := res.row
+		file.Rows[cfg.label()] = r
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-14s %9.1f plans/sec  p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms  (%d reqs, %d errors)\n",
+			cfg.label(), r.PlansPerSec, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs, r.Requests, r.Errors)
+		if len(runs) == 1 {
+			histogram(&b, res.latencies)
+		}
+		fmt.Print(b.String())
+		if r.Errors > 0 {
+			failed = true
+		}
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpmload:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dpmload:", err)
+			os.Exit(2)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "dpmload: run recorded errors")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dpm/internal/server"
+	"dpm/internal/trace"
+)
+
+// boot starts a real dpmd on a loopback port for the load generator
+// to drive.
+func boot(t *testing.T) string {
+	t.Helper()
+	srv, err := server.New(server.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	})
+	return "http://" + srv.Addr()
+}
+
+func TestClosedLoop(t *testing.T) {
+	addr := boot(t)
+	for _, binary := range []bool{false, true} {
+		res, err := run(context.Background(), config{
+			Addr: addr, Mode: "closed", Concurrency: 2,
+			Duration: 300 * time.Millisecond, Warmup: 50 * time.Millisecond,
+			Scenario: "I", Binary: binary,
+		})
+		if err != nil {
+			t.Fatalf("binary=%v: %v", binary, err)
+		}
+		r := res.row
+		if r.Errors != 0 {
+			t.Errorf("binary=%v: %d errors", binary, r.Errors)
+		}
+		if r.Requests == 0 || r.PlansPerSec <= 0 {
+			t.Errorf("binary=%v: no throughput measured: %+v", binary, r)
+		}
+		if r.P50Ms <= 0 || r.P99Ms < r.P50Ms || r.MaxMs < r.P99Ms {
+			t.Errorf("binary=%v: inconsistent percentiles: %+v", binary, r)
+		}
+		if int64(len(res.latencies)) != r.Requests {
+			t.Errorf("binary=%v: %d latencies for %d requests", binary, len(res.latencies), r.Requests)
+		}
+	}
+}
+
+func TestOpenLoop(t *testing.T) {
+	addr := boot(t)
+	res, err := run(context.Background(), config{
+		Addr: addr, Mode: "open", QPS: 200,
+		Duration: 300 * time.Millisecond, Warmup: 50 * time.Millisecond,
+		Scenario: "II",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.row.Errors != 0 {
+		t.Errorf("%d errors", res.row.Errors)
+	}
+	if res.row.Requests == 0 {
+		t.Error("no requests measured")
+	}
+}
+
+func TestSpreadDistinctKeys(t *testing.T) {
+	cfg := config{Spread: 8}
+	s := mustScenario(t)
+	seen := map[int]bool{}
+	for i := 0; i < 32; i++ {
+		seen[cfg.requestFor(s, i).MaxIterations] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("spread 8 produced %d distinct keys", len(seen))
+	}
+	// Spread off: every request identical.
+	cfg.Spread = 0
+	if got := cfg.requestFor(s, 5); got.MaxIterations != 0 {
+		t.Errorf("spread 0 set MaxIterations %d", got.MaxIterations)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := run(context.Background(), config{Addr: "http://127.0.0.1:1", Mode: "closed", Scenario: "I"}); err == nil {
+		t.Error("unreachable service: want error")
+	}
+	addr := boot(t)
+	if _, err := run(context.Background(), config{Addr: addr, Mode: "sideways", Scenario: "I"}); err == nil {
+		t.Error("bad mode: want error")
+	}
+	if _, err := run(context.Background(), config{Addr: addr, Mode: "open", QPS: 0, Scenario: "I"}); err == nil {
+		t.Error("open without qps: want error")
+	}
+	if _, err := run(context.Background(), config{Addr: addr, Mode: "closed", Scenario: "XVII"}); err == nil {
+		t.Error("unknown scenario: want error")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cases := []struct {
+		cfg  config
+		want string
+	}{
+		{config{Mode: "closed", Concurrency: 8}, "closed_c8"},
+		{config{Mode: "open", QPS: 500}, "open_q500"},
+		{config{Mode: "closed", Concurrency: 2, Binary: true}, "closed_c2_bin"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.label(); got != c.want {
+			t.Errorf("label(%+v) = %q, want %q", c.cfg, got, c.want)
+		}
+	}
+}
+
+func mustScenario(t *testing.T) trace.Scenario {
+	t.Helper()
+	s, err := trace.ByName("I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -180,15 +180,23 @@ func floatsBuf(s []float64, n int) []float64 {
 	return s[:n]
 }
 
-// cumulativeInto returns the running integral of surplus sampled at
-// slot boundaries (Grid.Cumulative over a raw slice): out[0] =
-// initial, out[i+1] = out[i] + surplus[i]·step. The result is freshly
-// allocated — trajectories are retained by the iteration history.
-func cumulativeInto(surplus []float64, initial, step float64) []float64 {
+// surplusTrajectory fuses the per-iteration rescale and integrate
+// passes into one columnar sweep: surplus[i] = charging[i] − alloc[i]
+// is written in place while the running integral accumulates into a
+// freshly allocated trajectory (retained by the iteration history).
+// One pass over three contiguous []float64 columns instead of a
+// surplus loop followed by a separate cumulative pass; the
+// accumulator carries exactly the out[i] value the two-pass form read
+// back, so results are bit-identical.
+func surplusTrajectory(surplus, charging, allocv []float64, initial, step float64) []float64 {
 	out := make([]float64, len(surplus)+1)
 	out[0] = initial
-	for i, v := range surplus {
-		out[i+1] = out[i] + v*step
+	acc := initial
+	for i := range surplus {
+		v := charging[i] - allocv[i]
+		surplus[i] = v
+		acc += v * step
+		out[i+1] = acc
 	}
 	return out
 }
@@ -203,8 +211,12 @@ func cumulativeInto(surplus []float64, initial, step float64) []float64 {
 func findViolations(dst []extremum, traj []float64, surplus []float64, cmin, cmax, tol float64) []extremum {
 	n := len(surplus)
 	out := dst
+	// The left derivative of boundary k is the right derivative of
+	// boundary k−1: carry it across iterations instead of re-indexing
+	// with a modulus, so the scan is one branch-light pass over the
+	// contiguous surplus column.
+	left := surplus[n-1]
 	for k := 0; k < n; k++ {
-		left := surplus[(k-1+n)%n]
 		right := surplus[k]
 		v := traj[k]
 		isMax := left >= 0 && right <= 0
@@ -219,6 +231,7 @@ func findViolations(dst []extremum, traj []float64, surplus []float64, cmin, cma
 		case isMin && v < cmin-tol:
 			out = append(out, extremum{index: k, value: v, high: false})
 		}
+		left = right
 	}
 	return out
 }
@@ -275,20 +288,48 @@ type anchorPoint struct {
 // over the arc's slots). Values are read from orig so shared
 // endpoints are mapped consistently across arcs. A degenerate value
 // span always falls back to time-linear interpolation.
+//
+// The circular arc is processed as at most two contiguous segments —
+// [a.index, a.index+head) and the wrapped tail [0, arcLen−head) —
+// with the strategy branch hoisted out of the inner loops, so each
+// loop is a branch-light pass over contiguous slices. The per-element
+// expression keeps the exact dt·x/span evaluation order of the
+// scalar form (the division is not folded into a precomputed scale),
+// so remapped trajectories are bit-identical.
 func remapArc(work, orig []float64, n int, a, b anchorPoint, strategy AdjustStrategy) {
 	span := b.value - a.value
 	arcLen := (b.index - a.index + n) % n
 	if arcLen == 0 {
 		arcLen = n
 	}
-	pos := 0
-	for k := a.index; pos < arcLen; k = (k + 1) % n {
-		if strategy == RemapProportional && span != 0 {
-			work[k] = a.target + (b.target-a.target)*(orig[k]-a.value)/span
-		} else {
-			work[k] = a.target + (b.target-a.target)*float64(pos)/float64(arcLen)
+	head := arcLen
+	if a.index+head > n {
+		head = n - a.index
+	}
+	dt := b.target - a.target
+	if strategy == RemapProportional && span != 0 {
+		at, av := a.target, a.value
+		w, o := work[a.index:a.index+head], orig[a.index:a.index+head]
+		for i := range w {
+			w[i] = at + dt*(o[i]-av)/span
 		}
-		pos++
+		w, o = work[:arcLen-head], orig[:arcLen-head]
+		for i := range w {
+			w[i] = at + dt*(o[i]-av)/span
+		}
+	} else {
+		at, fl := a.target, float64(arcLen)
+		w := work[a.index : a.index+head]
+		pos := 0
+		for i := range w {
+			w[i] = at + dt*float64(pos)/fl
+			pos++
+		}
+		w = work[:arcLen-head]
+		for i := range w {
+			w[i] = at + dt*float64(pos)/fl
+			pos++
+		}
 	}
 }
 
@@ -310,10 +351,7 @@ func AdjustOnceStrategy(charging, alloc *schedule.Grid, initial, cmin, cmax, tol
 	defer scratchPool.Put(sc)
 	n := alloc.Len()
 	sc.surplus = floatsBuf(sc.surplus, n)
-	for i := range sc.surplus {
-		sc.surplus[i] = charging.Values[i] - alloc.Values[i]
-	}
-	traj := cumulativeInto(sc.surplus, initial, alloc.Step)
+	traj := surplusTrajectory(sc.surplus, charging.Values, alloc.Values, initial, alloc.Step)
 	out, nViol := adjustWith(sc, charging, alloc, traj, cmin, cmax, tol, strategy)
 	if out == nil {
 		return alloc.Clone(), 0
@@ -386,12 +424,15 @@ func adjustWith(sc *computeScratch, charging, alloc *schedule.Grid, traj []float
 	}
 
 	// Recover the allocation from the reshaped trajectory:
-	// alloc[i] = c[i] − (P[i+1] − P[i])/τ, circularly.
+	// alloc[i] = c[i] − (P[i+1] − P[i])/τ, circularly. The wraparound
+	// slot is peeled off so the main loop indexes contiguously with no
+	// modulus.
 	out := &schedule.Grid{Step: alloc.Step, Values: make([]float64, n)}
-	for i := 0; i < n; i++ {
-		next := work[(i+1)%n]
-		out.Values[i] = charging.Values[i] - (next-work[i])/alloc.Step
+	ov, cv, step := out.Values, charging.Values, alloc.Step
+	for i := 0; i < n-1; i++ {
+		ov[i] = cv[i] - (work[i+1]-work[i])/step
 	}
+	ov[n-1] = cv[n-1] - (work[0]-work[n-1])/step
 	out.ClampNonNegative()
 	return out, nViol
 }
@@ -541,10 +582,7 @@ func ComputeContext(ctx context.Context, in Inputs) (*Result, error) {
 		}
 		_, ispan := obs.StartSpan(ctx, "alloc.iteration")
 		sc.surplus = floatsBuf(sc.surplus, n)
-		for i := range sc.surplus {
-			sc.surplus[i] = in.Charging.Values[i] - current.Values[i]
-		}
-		traj := cumulativeInto(sc.surplus, initial, in.Charging.Step)
+		traj := surplusTrajectory(sc.surplus, in.Charging.Values, current.Values, initial, in.Charging.Step)
 		adjusted, nViol := adjustWith(sc, in.Charging, current, traj,
 			in.CapacityMin, in.CapacityMax, tol, in.Strategy)
 		ispan.SetAttr("iteration", iter)
@@ -582,10 +620,7 @@ func ComputeContext(ctx context.Context, in Inputs) (*Result, error) {
 	current = Repair(in.Charging, current, initial, in.CapacityMin, in.CapacityMax)
 	rspan.End()
 	sc.surplus = floatsBuf(sc.surplus, n)
-	for i := range sc.surplus {
-		sc.surplus[i] = in.Charging.Values[i] - current.Values[i]
-	}
-	traj := cumulativeInto(sc.surplus, initial, in.Charging.Step)
+	traj := surplusTrajectory(sc.surplus, in.Charging.Values, current.Values, initial, in.Charging.Step)
 	res.Iterations = append(res.Iterations, Iteration{
 		Allocation: current,
 		Trajectory: traj,

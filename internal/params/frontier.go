@@ -1,0 +1,46 @@
+package params
+
+import "context"
+
+// Frontier is the read-only columnar view of a table's Pareto
+// frontier: Powers and Perfs are the strictly increasing coordinate
+// columns (Powers[i] == Points[i].Power, Perfs[i] == Points[i].Perf)
+// and Points the full operating points, cheapest first. The slices
+// are shared with the table — never copied — so every consumer of a
+// memoized table walks the same contiguous memory; callers must not
+// modify them.
+//
+// Sharing is safe because a built Table is immutable: BuildTable
+// fills the columns once, deep-copies everything it retains from the
+// caller's Config, and no Table method writes after construction.
+// The view therefore stays valid for the life of the process
+// regardless of what the caller does with its Config afterwards.
+type Frontier struct {
+	Powers []float64
+	Perfs  []float64
+	Points []OperatingPoint
+}
+
+// Len returns the number of frontier points.
+func (f Frontier) Len() int { return len(f.Points) }
+
+// Frontier returns the table's shared columnar frontier view.
+func (t *Table) Frontier() Frontier {
+	return Frontier{Powers: t.powers, Perfs: t.perfs, Points: t.points}
+}
+
+// SharedFrontier returns the process-wide memoized columnar frontier
+// for cfg: requests that differ only in their slot schedules — the
+// common fleet shape, where thousands of devices share a board
+// revision but each has its own charging forecast — hit the same
+// cached table and therefore the same frontier columns, so the
+// enumerate + Pareto-prune step runs once per distinct hardware
+// block. The returned bool reports a memo hit. See SharedTableContext
+// for the telemetry contract.
+func SharedFrontier(ctx context.Context, cfg Config) (Frontier, bool, error) {
+	tbl, hit, err := SharedTableContext(ctx, cfg)
+	if err != nil {
+		return Frontier{}, hit, err
+	}
+	return tbl.Frontier(), hit, nil
+}

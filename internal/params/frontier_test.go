@@ -1,0 +1,69 @@
+package params
+
+import (
+	"context"
+	"testing"
+)
+
+// TestFrontierColumns: the columnar view mirrors the point slice
+// exactly and shares the table's backing arrays rather than copying.
+func TestFrontierColumns(t *testing.T) {
+	tbl, err := BuildTable(pamaConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tbl.Frontier()
+	if f.Len() != len(tbl.Points()) {
+		t.Fatalf("frontier has %d points, table %d", f.Len(), len(tbl.Points()))
+	}
+	if len(f.Powers) != f.Len() || len(f.Perfs) != f.Len() {
+		t.Fatalf("column lengths diverge: %d powers, %d perfs, %d points",
+			len(f.Powers), len(f.Perfs), f.Len())
+	}
+	for i, p := range f.Points {
+		if f.Powers[i] != p.Power || f.Perfs[i] != p.Perf {
+			t.Errorf("column %d: (%g, %g) != point (%g, %g)",
+				i, f.Powers[i], f.Perfs[i], p.Power, p.Perf)
+		}
+	}
+	// Shared memory, not a copy: the view's columns alias the ones a
+	// second call returns.
+	g := tbl.Frontier()
+	if &f.Powers[0] != &g.Powers[0] || &f.Perfs[0] != &g.Perfs[0] {
+		t.Error("Frontier copied its columns; the view must alias the table's")
+	}
+}
+
+// TestSharedFrontier: two requests with the same hardware block get
+// the same frontier memory — the fleet sharing contract — and the
+// second reports a memo hit.
+func TestSharedFrontier(t *testing.T) {
+	cfg := pamaConfig(t)
+	// A distinct processor cap keeps this test's memo key away from
+	// other tests sharing the process-wide cache.
+	cfg.MaxProcessors = 6
+
+	a, _, err := SharedFrontier(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, hit, err := SharedFrontier(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second SharedFrontier call missed the memo")
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty frontier")
+	}
+	if &a.Powers[0] != &b.Powers[0] || &a.Points[0] != &b.Points[0] {
+		t.Error("same hardware config produced distinct frontier memory")
+	}
+
+	bad := cfg
+	bad.Frequencies = nil
+	if _, _, err := SharedFrontier(context.Background(), bad); err == nil {
+		t.Error("invalid config: want error")
+	}
+}

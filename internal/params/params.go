@@ -138,8 +138,20 @@ func (c Config) perfValue() float64 {
 
 // Table is the Pareto frontier of operating points, sorted by
 // ascending power (and therefore ascending performance).
+//
+// Alongside the point structs the table carries columnar copies of
+// the power and performance coordinates (powers[i] == points[i].Power,
+// perfs[i] == points[i].Perf, both strictly increasing). The per-slot
+// selection and switching tests in Select/SelectCovering/Plan walk
+// these contiguous []float64 columns — a branch-light binary search
+// with no interface calls or 40-byte struct loads — and only touch
+// the full OperatingPoint once a slot's index is settled. The columns
+// are built once in BuildTable and immutable afterwards, so they are
+// shared across every caller of a memoized table (see TableCache).
 type Table struct {
 	points []OperatingPoint
+	powers []float64
+	perfs  []float64
 	cfg    Config
 }
 
@@ -200,7 +212,17 @@ func BuildTable(cfg Config) (*Table, error) {
 	// a caller mutating its Frequencies afterwards must not reach into
 	// the built table.
 	cfg.Frequencies = append([]float64(nil), cfg.Frequencies...)
-	return &Table{points: append([]OperatingPoint(nil), frontier...), cfg: cfg}, nil
+	t := &Table{
+		points: append([]OperatingPoint(nil), frontier...),
+		powers: make([]float64, len(frontier)),
+		perfs:  make([]float64, len(frontier)),
+		cfg:    cfg,
+	}
+	for i, p := range t.points {
+		t.powers[i] = p.Power
+		t.perfs[i] = p.Perf
+	}
+	return t, nil
 }
 
 // Points returns the frontier, cheapest first. The slice is shared;
@@ -210,18 +232,52 @@ func (t *Table) Points() []OperatingPoint { return t.points }
 // Len returns the number of frontier points.
 func (t *Table) Len() int { return len(t.points) }
 
+// selectIdx returns the frontier index of the last affordable point:
+// the predicate and bisection are exactly sort.Search's over
+// "powers[i] > budget", inlined onto the contiguous powers column so
+// the per-slot walk closes over no function values and loads 8 bytes
+// per probe instead of a 48-byte struct.
+func (t *Table) selectIdx(budget float64) int {
+	lo, hi := 0, len(t.powers)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.powers[mid] > budget {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// coveringIdx is selectIdx's counterpart for SelectCovering: the
+// first point whose power is at least demand (sort.Search over
+// "powers[i] >= demand"), clamped to the board's maximum point.
+func (t *Table) coveringIdx(demand float64) int {
+	lo, hi := 0, len(t.powers)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.powers[mid] >= demand {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == len(t.powers) {
+		return len(t.powers) - 1
+	}
+	return lo
+}
+
 // Select returns the best-performing point whose power does not
 // exceed budget (Algorithm 2 lines 6–9). If even the cheapest point
 // exceeds the budget, that cheapest point is returned — the system
 // cannot draw less than its floor.
 func (t *Table) Select(budget float64) OperatingPoint {
-	// Frontier is sorted by power; binary-search the last affordable
-	// point.
-	i := sort.Search(len(t.points), func(i int) bool { return t.points[i].Power > budget })
-	if i == 0 {
-		return t.points[0]
-	}
-	return t.points[i-1]
+	return t.points[t.selectIdx(budget)]
 }
 
 // SelectCovering returns the cheapest point whose power is at least
@@ -230,11 +286,7 @@ func (t *Table) Select(budget float64) OperatingPoint {
 // when the battery is about to overflow and rounding the draw *up*
 // turns otherwise-wasted charge into work.
 func (t *Table) SelectCovering(demand float64) OperatingPoint {
-	i := sort.Search(len(t.points), func(i int) bool { return t.points[i].Power >= demand })
-	if i == len(t.points) {
-		return t.points[len(t.points)-1]
-	}
-	return t.points[i]
+	return t.points[t.coveringIdx(demand)]
 }
 
 // SwitchCost returns the energy overhead in joules of moving between
@@ -282,33 +334,59 @@ type PlanStep struct {
 	OverheadEnergy float64
 }
 
+// shouldSwitchIdx is ShouldSwitch on frontier indices. Frontier
+// performance is strictly increasing, so distinct indices are
+// distinct points and index equality is exactly the struct equality
+// the point-based test starts with; the budget-drop and gain tests
+// read the columnar powers/perfs directly and only materialize the
+// points for SwitchCost once a switch is actually being priced.
+func (t *Table) shouldSwitchIdx(from, to int, tau float64) bool {
+	if from == to {
+		return false
+	}
+	if t.powers[to] < t.powers[from] {
+		return true
+	}
+	gain := (t.perfs[to] - t.perfs[from]) * tau * t.cfg.perfValue()
+	return gain > t.SwitchCost(t.points[from], t.points[to])
+}
+
 // Plan walks a power-allocation grid and picks an operating point
 // per slot, applying the overhead-aware switching rule. The returned
 // steps include the energy actually drawn, which the dpm package's
 // Algorithm 3 uses to redistribute the discretization error.
 func (t *Table) Plan(allocation []float64, tau float64) []PlanStep {
-	steps := make([]PlanStep, len(allocation))
-	var current OperatingPoint
+	return t.PlanInto(make([]PlanStep, len(allocation)), allocation, tau)
+}
+
+// PlanInto is Plan writing into dst, which must have len(allocation)
+// entries; it returns dst. The walk is columnar: each slot's
+// selection binary-searches the contiguous powers column and the
+// switching test compares frontier indices, so the per-slot loop
+// carries one integer of state and touches the 48-byte point structs
+// only when writing the chosen step.
+func (t *Table) PlanInto(dst []PlanStep, allocation []float64, tau float64) []PlanStep {
+	current := 0
 	for i, budget := range allocation {
-		candidate := t.Select(budget)
+		candidate := t.selectIdx(budget)
 		switched := false
 		overhead := 0.0
 		if i == 0 {
 			current = candidate
-		} else if t.ShouldSwitch(current, candidate, tau) {
-			overhead = t.SwitchCost(current, candidate)
+		} else if t.shouldSwitchIdx(current, candidate, tau) {
+			overhead = t.SwitchCost(t.points[current], t.points[candidate])
 			current = candidate
 			switched = true
 		}
-		steps[i] = PlanStep{
+		dst[i] = PlanStep{
 			Slot:           i,
 			Allocated:      budget,
-			Point:          current,
+			Point:          t.points[current],
 			Switched:       switched,
 			OverheadEnergy: overhead,
 		}
 	}
-	return steps
+	return dst
 }
 
 // Continuous computes the Eq. 18 closed-form parameters for a given

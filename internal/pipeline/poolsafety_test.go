@@ -1,0 +1,114 @@
+package pipeline
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dpm/internal/alloc"
+	"dpm/internal/trace"
+)
+
+// TestPlanPoolSafetyUnderErrors hammers Plan concurrently with a mix
+// of successful plans, validation failures and canceled contexts,
+// then checks every successful result against a reference computed in
+// isolation. Run under -race this is the regression net for the
+// pooled alloc scratch: a scratch slice returned to the pool while
+// its memory is still referenced by a live result — or poisoned state
+// left behind by an error path — shows up as a data race or as a
+// result diverging from the reference.
+func TestPlanPoolSafetyUnderErrors(t *testing.T) {
+	scenarios := trace.Scenarios()
+	refs := make([]*alloc.Result, len(scenarios))
+	for i, s := range scenarios {
+		ref, err := Plan(context.Background(), PlanSpec{Scenario: s})
+		if err != nil {
+			t.Fatalf("%s: reference plan: %v", s.Name, err)
+		}
+		refs[i] = ref
+	}
+
+	invalid := trace.ScenarioI()
+	invalid.CapacityMin = invalid.CapacityMax + 1 // inverted battery band
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (w + i) % 4 {
+				case 0, 1: // success paths, both scenarios
+					idx := (w + i) % len(scenarios)
+					got, err := Plan(context.Background(), PlanSpec{Scenario: scenarios[idx]})
+					if err != nil {
+						t.Errorf("valid plan failed: %v", err)
+						return
+					}
+					if !reflect.DeepEqual(got, refs[idx]) {
+						t.Errorf("%s: concurrent result diverges from reference", scenarios[idx].Name)
+						return
+					}
+				case 2: // validation error path
+					if _, err := Plan(context.Background(), PlanSpec{Scenario: invalid}); err == nil {
+						t.Error("invalid scenario planned successfully")
+						return
+					}
+				case 3: // context cancellation inside the driver
+					if _, err := Plan(canceled, PlanSpec{Scenario: scenarios[0]}); err == nil {
+						t.Error("canceled context planned successfully")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestPlanManyPoolSafety drives the batch fan-out with interleaved
+// good and bad specs so pooled scratch is claimed and released across
+// goroutines, and verifies item isolation: bad specs fail, good specs
+// still match the reference bit for bit.
+func TestPlanManyPoolSafety(t *testing.T) {
+	good := trace.ScenarioI()
+	ref, err := Plan(context.Background(), PlanSpec{Scenario: good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Charging = nil
+
+	const n = 64
+	specs := make([]PlanSpec, n)
+	for i := range specs {
+		if i%3 == 2 {
+			specs[i] = PlanSpec{Scenario: bad}
+		} else {
+			specs[i] = PlanSpec{Scenario: good}
+		}
+	}
+	for round := 0; round < 20; round++ {
+		outs := PlanMany(context.Background(), specs, 8)
+		for i, out := range outs {
+			if i%3 == 2 {
+				if out.Err == nil {
+					t.Fatalf("round %d item %d: bad spec succeeded", round, i)
+				}
+				continue
+			}
+			if out.Err != nil {
+				t.Fatalf("round %d item %d: %v", round, i, out.Err)
+			}
+			if !reflect.DeepEqual(out.Result, ref) {
+				t.Fatalf("round %d item %d: result diverges from reference", round, i)
+			}
+		}
+	}
+}

@@ -332,6 +332,24 @@ func decodeJSON(r *http.Request, dst any) error {
 	return nil
 }
 
+// readBinaryBody reads the (already size-limited) request body for a
+// binary-codec decode, mapping an oversized body to the same 413 the
+// JSON path produces.
+func readBinaryBody(r *http.Request) ([]byte, error) {
+	b, err := io.ReadAll(r.Body)
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return nil, httpError{
+				status: http.StatusRequestEntityTooLarge,
+				err:    fmt.Errorf("request body exceeds %d bytes", maxErr.Limit),
+			}
+		}
+		return nil, badRequestf("reading request: %v", err)
+	}
+	return b, nil
+}
+
 // canonicalJSON marshals v compactly with a trailing newline — the
 // byte form the cache stores and the wire carries, so a cached reply
 // is byte-identical to the cold one. A JSON-unsupported value (NaN

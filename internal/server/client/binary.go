@@ -1,0 +1,107 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"dpm/internal/server"
+)
+
+// Binary-codec calls ------------------------------------------------
+//
+// PlanBinary and PlanBatchBinary speak the pooled binary wire form
+// (server.BinaryContentType) on both axes: the request body is the
+// binary encoding and the Accept header asks for the binary response.
+// Results are semantically identical to Plan/PlanBatch — the codec
+// parity is pinned by fuzz and golden tests server-side — while
+// skipping JSON encode/decode entirely, which is the point for hot
+// fleet clients (cmd/dpmload -binary drives this path). Error
+// responses stay JSON at the top level and decode through the same
+// StatusError as the JSON methods.
+
+// postBinary sends a binary-codec request and returns the raw binary
+// response body, under the retry policy when one is configured.
+func (c *Client) postBinary(ctx context.Context, path string, body []byte) ([]byte, CacheState, error) {
+	var out []byte
+	var state CacheState
+	err := c.withRetry(ctx, func() error {
+		b, st, err := c.postBinaryOnce(ctx, path, body)
+		out, state = b, st
+		return err
+	})
+	return out, state, err
+}
+
+// postBinaryOnce is one binary request/response round trip.
+func (c *Client) postBinaryOnce(ctx context.Context, path string, body []byte) ([]byte, CacheState, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, CacheNone, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", server.BinaryContentType)
+	req.Header.Set("Accept", server.BinaryContentType)
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			req.Header.Set(deadlineHeader, rem.String())
+		}
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, CacheNone, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	state := CacheState(resp.Header.Get("X-Dpmd-Cache"))
+	if resp.StatusCode != http.StatusOK {
+		return nil, state, decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, state, fmt.Errorf("client: reading response: %w", err)
+	}
+	return data, state, nil
+}
+
+// PlanBinary is Plan over the binary codec.
+func (c *Client) PlanBinary(ctx context.Context, req server.PlanRequest) (*server.PlanResponse, CacheState, error) {
+	body := server.AppendPlanRequestBinary(nil, &req)
+	data, state, err := c.postBinary(ctx, "/v1/plan", body)
+	if err != nil {
+		return nil, state, err
+	}
+	out, err := server.DecodePlanResponseBinary(data)
+	if err != nil {
+		return nil, state, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return out, state, nil
+}
+
+// PlanBatchBinary is PlanBatch over the binary codec. The returned
+// slice is in request order; a failed item carries a *StatusError in
+// Err and does not disturb its siblings.
+func (c *Client) PlanBatchBinary(ctx context.Context, reqs []server.PlanRequest) ([]BatchResult, error) {
+	body := server.AppendBatchRequestBinary(nil, &server.BatchRequest{Requests: reqs})
+	data, _, err := c.postBinary(ctx, "/v1/batch", body)
+	if err != nil {
+		return nil, err
+	}
+	items, err := server.DecodeBatchResponseBinary(data)
+	if err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	if len(items) != len(reqs) {
+		return nil, fmt.Errorf("client: %d batch results for %d requests", len(items), len(reqs))
+	}
+	res := make([]BatchResult, len(items))
+	for i, item := range items {
+		if item.Status != http.StatusOK {
+			res[i] = BatchResult{Err: &StatusError{Code: item.Status, Message: item.Message}}
+			continue
+		}
+		res[i] = BatchResult{Plan: item.Plan, Cache: CacheState(item.Cache)}
+	}
+	return res, nil
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dpm/internal/schedule"
+	"dpm/internal/trace"
+)
+
+// FuzzBinaryCodecParity pins two properties of the binary plan codec:
+//
+//  1. decode(encode(x)) == x for every encodable request, modulo the
+//     scenario normalization both wire forms share, and
+//  2. for the same request, the binary and JSON endpoints agree — the
+//     same status on failure, and semantically equal plans on success.
+//
+// Grids are grown from fuzzed bytes so every input is finite and
+// JSON-encodable; the interesting surface is geometry and parameter
+// validation, not NaN plumbing (FuzzDecodePlanRequest covers hostile
+// bytes, and TestBinaryTruncation covers hostile binary framing).
+func FuzzBinaryCodecParity(f *testing.F) {
+	srv, err := New(Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := srv.Handler()
+
+	post := func(t *testing.T, contentType string, body []byte) (int, []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(body))
+		req.Header.Set("Content-Type", contentType)
+		req.Header.Set("Accept", contentType)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		res := rec.Result()
+		defer res.Body.Close()
+		return res.StatusCode, rec.Body.Bytes()
+	}
+
+	f.Add("I", uint8(4), []byte{3, 0, 1, 2}, []byte{1, 4, 2, 1}, []byte{}, uint8(90), uint8(30), uint8(30), uint8(0), uint8(0), uint8(3))
+	f.Add("II", uint8(2), []byte{9, 9}, []byte{1, 1}, []byte{1, 2}, uint8(60), uint8(20), uint8(0), uint8(1), uint8(1), uint8(0))
+	f.Add("", uint8(0), []byte{}, []byte{5}, []byte{}, uint8(0), uint8(0), uint8(0), uint8(2), uint8(2), uint8(9))
+	f.Add("geometry", uint8(4), []byte{1, 2, 3}, []byte{1}, []byte{}, uint8(0), uint8(0), uint8(0), uint8(0), uint8(3), uint8(0))
+
+	strategies := []string{"", "proportional", "even"}
+	planners := []string{"", "paper", "yds", "bunde"}
+
+	f.Fuzz(func(t *testing.T, name string, step uint8, charging, usage, weight []byte, cmax, cmin, initial, stratSel, planSel, maxIter uint8) {
+		if len(charging) > 64 || len(usage) > 64 || len(weight) > 64 {
+			t.Skip("grid larger than the parity harness needs")
+		}
+		// JSON cannot carry invalid UTF-8 (encoding/json substitutes
+		// U+FFFD), so parity with the byte-preserving binary codec is
+		// only defined for valid strings.
+		name = strings.ToValidUTF8(name, "�")
+		grid := func(b []byte) *schedule.Grid {
+			vals := make([]float64, len(b))
+			for i, v := range b {
+				vals[i] = float64(v % 32)
+			}
+			return &schedule.Grid{Step: float64(step%16) + 0.5, Values: vals}
+		}
+		var w *schedule.Grid
+		if len(weight) > 0 {
+			w = grid(weight)
+		}
+		req := PlanRequest{
+			Scenario: trace.Scenario{
+				Name:          name,
+				Charging:      grid(charging),
+				Usage:         grid(usage),
+				Weight:        w,
+				CapacityMax:   float64(cmax),
+				CapacityMin:   float64(cmin),
+				InitialCharge: float64(initial),
+			},
+			Strategy: strategies[int(stratSel)%len(strategies)],
+			Planner:  planners[int(planSel)%len(planners)],
+			// Bounded so no single input plans for seconds; iteration
+			// depth is not what this harness probes.
+			MaxIterations: int(maxIter % 32),
+		}
+
+		enc := AppendPlanRequestBinary(nil, &req)
+
+		// Round trip: the decoder normalizes through trace.NewScenario,
+		// so compare against the same normalization. A scenario the
+		// normalizer rejects must be rejected by the decoder too.
+		norm, normErr := trace.NewScenario(req.Scenario.Name, req.Scenario.Charging,
+			req.Scenario.Usage, req.Scenario.Weight, req.Scenario.CapacityMax,
+			req.Scenario.CapacityMin, req.Scenario.InitialCharge)
+		dec, decErr := DecodePlanRequestBinary(enc)
+		if normErr != nil {
+			if decErr == nil {
+				t.Fatalf("normalizer rejects scenario (%v) but decoder accepted it", normErr)
+			}
+		} else {
+			if decErr != nil {
+				t.Fatalf("decode: %v", decErr)
+			}
+			want := req
+			want.Scenario = norm
+			if !reflect.DeepEqual(*dec, want) {
+				t.Fatalf("round trip diverged:\n got %+v\nwant %+v", *dec, want)
+			}
+		}
+
+		// Endpoint parity: same status both ways; on success the
+		// binary plan decodes to exactly the JSON plan.
+		jsonBody := mustJSON(t, req)
+		jStatus, jResp := post(t, "application/json", jsonBody)
+		bStatus, bResp := post(t, BinaryContentType, enc)
+		if jStatus != bStatus {
+			t.Fatalf("status diverged: json %d (%s), binary %d (%s)", jStatus, jResp, bStatus, bResp)
+		}
+		if jStatus != http.StatusOK {
+			assertStructuredError(t, bResp, bStatus)
+			return
+		}
+		var want PlanResponse
+		if err := decodeInto(jResp, &want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodePlanResponseBinary(bResp)
+		if err != nil {
+			t.Fatalf("decoding binary response: %v", err)
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Fatalf("plans diverged:\n got %+v\nwant %+v", *got, want)
+		}
+	})
+}

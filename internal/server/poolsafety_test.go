@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+	"testing"
+
+	"dpm/internal/trace"
+)
+
+// TestHandlerPoolSafetyUnderErrors hammers the plan and batch
+// handlers concurrently across both encodings with a mix of cache
+// hits, cache misses and error paths, comparing every response byte
+// for byte against a reference captured up front. Under -race this
+// pins the pooled encoder and binary buffer discipline: a pooled
+// buffer Put back while its bytes are still referenced by an
+// in-flight response — or one corrupted by an error path that bailed
+// without resetting — surfaces as a race or as diverging bytes.
+func TestHandlerPoolSafetyUnderErrors(t *testing.T) {
+	_, base := startServer(t, Config{})
+
+	planJSON := mustJSON(t, PlanRequest{Scenario: trace.ScenarioI()})
+	planBin := AppendPlanRequestBinary(nil, &PlanRequest{Scenario: trace.ScenarioII()})
+	badJSON := []byte(`{"scenario":{"charging":{"step":-1,"values":[1]},"usage":{"step":-1,"values":[1]}}}`)
+	badBin := []byte("DPM1 but not really")
+	batchBody := batchOf(t,
+		PlanRequest{Scenario: trace.ScenarioI()},
+		PlanRequest{Scenario: trace.ScenarioI(), Planner: "no-such-planner"},
+	)
+
+	// References, captured after one warmup of each shape so cache
+	// state (hit) is steady for the comparison runs.
+	postJSON(t, base, "/v1/plan", planJSON)
+	postRaw(t, base, "/v1/plan", BinaryContentType, BinaryContentType, planBin)
+	postJSON(t, base, "/v1/batch", batchBody)
+	_, _, refJSON := postJSON(t, base, "/v1/plan", planJSON)
+	_, _, refBin := postRaw(t, base, "/v1/plan", BinaryContentType, BinaryContentType, planBin)
+	_, _, refBatch := postJSON(t, base, "/v1/batch", batchBody)
+	_, _, refBadJSON := postJSON(t, base, "/v1/plan", badJSON)
+
+	const workers = 8
+	const iters = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (w + i) % 5 {
+				case 0:
+					status, _, body := postJSON(t, base, "/v1/plan", planJSON)
+					if status != http.StatusOK || !bytes.Equal(body, refJSON) {
+						t.Errorf("json plan diverged (status %d)", status)
+						return
+					}
+				case 1:
+					status, _, body := postRaw(t, base, "/v1/plan", BinaryContentType, BinaryContentType, planBin)
+					if status != http.StatusOK || !bytes.Equal(body, refBin) {
+						t.Errorf("binary plan diverged (status %d)", status)
+						return
+					}
+				case 2:
+					status, _, body := postJSON(t, base, "/v1/batch", batchBody)
+					if status != http.StatusOK || !bytes.Equal(body, refBatch) {
+						t.Errorf("batch diverged (status %d)", status)
+						return
+					}
+				case 3:
+					status, _, body := postJSON(t, base, "/v1/plan", badJSON)
+					if status != http.StatusBadRequest || !bytes.Equal(body, refBadJSON) {
+						t.Errorf("json error response diverged (status %d)", status)
+						return
+					}
+				case 4:
+					status, _, body := postRaw(t, base, "/v1/plan", BinaryContentType, BinaryContentType, badBin)
+					if status != http.StatusBadRequest {
+						t.Errorf("binary decode error: status %d: %s", status, body)
+						return
+					}
+					assertStructuredError(t, body, http.StatusBadRequest)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

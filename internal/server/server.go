@@ -40,6 +40,7 @@ import (
 	"dpm/internal/plancache"
 	"dpm/internal/resilience"
 	"dpm/internal/scenario"
+	"dpm/internal/trace"
 )
 
 // cacheHeader reports whether a response came from the plan cache.
@@ -454,6 +455,13 @@ func writeJSONBytes(w http.ResponseWriter, body []byte) {
 	w.Write(body) //nolint:errcheck
 }
 
+// writeBinaryBytes writes a pre-encoded binary-codec body.
+func writeBinaryBytes(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", BinaryContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body) //nolint:errcheck
+}
+
 // marshalBody renders a response exactly as the cache stores it, so
 // cold and cached replies are byte-identical.
 func marshalBody(v any) ([]byte, error) {
@@ -504,6 +512,34 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, key strin
 	writeJSONBytes(w, body)
 }
 
+// planResponse runs the pipeline for a validated, normalized plan
+// request and shapes the name-free response. keyScenario is the
+// request's scenario with the name cleared — the canonical form both
+// wire encodings cache.
+func planResponse(ctx context.Context, req *PlanRequest, keyScenario trace.Scenario) (*PlanResponse, error) {
+	strategy, _ := parseStrategy(req.Strategy)
+	res, err := pipeline.PlanWith(ctx, req.Planner, pipeline.PlanSpec{
+		Scenario:      keyScenario,
+		Strategy:      strategy,
+		MaxIterations: req.MaxIterations,
+		Margin:        req.Margin,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		return nil, badRequest{err}
+	}
+	return &PlanResponse{
+		Planner:    req.Planner,
+		Tau:        res.Allocation.Step,
+		Allocation: res.Allocation.Values,
+		Trajectory: res.Trajectory,
+		Iterations: len(res.Iterations),
+		Feasible:   res.Feasible,
+	}, nil
+}
+
 // planBody answers one plan request through the shared
 // validate → cache → pipeline flow: validate and normalize, look the
 // canonical key up, compute and insert on a miss (coalescing
@@ -529,27 +565,11 @@ func (s *Server) planBody(ctx context.Context, req *PlanRequest) ([]byte, string
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		strategy, _ := parseStrategy(req.Strategy)
-		res, err := pipeline.PlanWith(ctx, req.Planner, pipeline.PlanSpec{
-			Scenario:      keyReq.Scenario,
-			Strategy:      strategy,
-			MaxIterations: req.MaxIterations,
-			Margin:        req.Margin,
-		})
+		resp, err := planResponse(ctx, req, keyReq.Scenario)
 		if err != nil {
-			if ctx.Err() != nil {
-				return nil, err
-			}
-			return nil, badRequest{err}
+			return nil, err
 		}
-		return marshalBody(&PlanResponse{
-			Planner:    req.Planner,
-			Tau:        res.Allocation.Step,
-			Allocation: res.Allocation.Values,
-			Trajectory: res.Trajectory,
-			Iterations: len(res.Iterations),
-			Feasible:   res.Feasible,
-		})
+		return marshalBody(resp)
 	})
 	if err != nil {
 		return nil, "", err
@@ -562,19 +582,101 @@ func (s *Server) planBody(ctx context.Context, req *PlanRequest) ([]byte, string
 	return withScenarioName(req.Scenario.Name, body), state, nil
 }
 
+// planBodyBinary is planBody for the binary wire form: the same
+// validation, normalization and pipeline computation, cached under
+// the "planb" key prefix — the cache stores wire bytes and the two
+// encodings differ, so each lives in its own keyspace. (A fleet
+// speaking both encodings for one scenario computes the plan once per
+// encoding; in practice hot clients standardize on one.) The cached
+// body is name-free and the request's scenario name is spliced into
+// the record prefix per response, mirroring the JSON path exactly.
+func (s *Server) planBodyBinary(ctx context.Context, req *PlanRequest) ([]byte, string, error) {
+	if err := validatePlanRequest(req); err != nil {
+		return nil, "", err
+	}
+	s.tel.planStrategy.Add(strategyLabel(req.Planner), 1)
+	keyReq := *req
+	keyReq.Scenario.Name = ""
+	key, err := plancache.Key("planb", keyReq)
+	if err != nil {
+		return nil, "", err
+	}
+	ctx, cspan := obs.StartSpan(ctx, "plan.cache")
+	defer cspan.End()
+	body, served, err := s.cache.GetOrCompute(ctx, key, func() ([]byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := planResponse(ctx, req, keyReq.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		buf := binBufPool.Get().(*[]byte)
+		defer binBufPool.Put(buf)
+		*buf = AppendPlanResponseBinary((*buf)[:0], resp)
+		// One exact-size copy out of the pooled scratch: the cache owns
+		// its bytes outright, same contract as canonicalJSON.
+		out := make([]byte, len(*buf))
+		copy(out, *buf)
+		return out, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	state := "miss"
+	if served {
+		state = "hit"
+	}
+	cspan.SetAttr("state", state)
+	return withScenarioNameBinary(req.Scenario.Name, body), state, nil
+}
+
 // handlePlan runs Algorithm 1 (§4.1): WPUF → balancing → feasible
 // per-slot power allocation. The scenario name is presentation, not
 // a planning input: the cache key and the cached body both exclude
 // it, so every node naming the same scenario differently shares one
 // LRU entry, and the name is spliced back in per response.
+//
+// Wire negotiation: a "Content-Type: application/x-dpm-plan" body is
+// decoded with the binary codec, and an Accept header naming that
+// type gets the binary response form; either axis defaults to JSON
+// and the JSON bytes are unchanged. Errors are always JSON, and the
+// trace envelope (X-Dpmd-Trace) is JSON-only — a binary response
+// carries the plan record alone.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req PlanRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if isBinaryRequest(r) {
+		raw, err := readBinaryBody(r)
+		if err != nil {
+			s.fail(w, r, err)
+			return
+		}
+		preq, err := DecodePlanRequestBinary(raw)
+		if err != nil {
+			s.fail(w, r, badRequest{err})
+			return
+		}
+		req = *preq
+	} else if err := decodeJSON(r, &req); err != nil {
 		s.fail(w, r, err)
 		return
 	}
 	if err := applyStrategyParam(r, &req.Planner); err != nil {
 		s.fail(w, r, err)
+		return
+	}
+	if acceptsBinary(r) {
+		body, state, err := s.planBodyBinary(r.Context(), &req)
+		if err != nil {
+			s.fail(w, r, err)
+			return
+		}
+		if err := r.Context().Err(); err != nil {
+			s.fail(w, r, err)
+			return
+		}
+		w.Header().Set(cacheHeader, state)
+		writeBinaryBytes(w, body)
 		return
 	}
 	body, state, err := s.planBody(r.Context(), &req)
@@ -624,7 +726,19 @@ func (s *Server) writeTracedPlan(w http.ResponseWriter, r *http.Request, body []
 // void the rest of the batch.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if isBinaryRequest(r) {
+		raw, err := readBinaryBody(r)
+		if err != nil {
+			s.fail(w, r, err)
+			return
+		}
+		breq, err := DecodeBatchRequestBinary(raw)
+		if err != nil {
+			s.fail(w, r, badRequest{err})
+			return
+		}
+		req = *breq
+	} else if err := decodeJSON(r, &req); err != nil {
 		s.fail(w, r, err)
 		return
 	}
@@ -644,6 +758,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	ctx := r.Context()
+	if acceptsBinary(r) {
+		s.handleBatchBinary(w, r, &req)
+		return
+	}
 	results := make([]BatchItem, len(req.Requests))
 	// The batch holds one worker-pool slot; its items fan out across
 	// at most the same parallelism the pool would grant individual
@@ -671,6 +789,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSONBytes(w, body)
+}
+
+// handleBatchBinary answers an already-decoded batch request in the
+// binary response form: every item runs the same planBodyBinary flow
+// as a binary /v1/plan call (same cache, same bytes), failures embed
+// a binary error record with the status and message the JSON item
+// would carry, and the assembled response is encoded through pooled
+// scratch.
+func (s *Server) handleBatchBinary(w http.ResponseWriter, r *http.Request, req *BatchRequest) {
+	ctx := r.Context()
+	results := make([]binaryBatchItem, len(req.Requests))
+	pipeline.ForEach(ctx, len(req.Requests), s.cfg.PoolSize, func(ctx context.Context, i int) {
+		body, state, err := s.planBodyBinary(ctx, &req.Requests[i])
+		if err != nil {
+			status, msg := errorBody(err)
+			results[i] = binaryBatchItem{Status: status, Body: AppendBinaryError(nil, status, msg)}
+			return
+		}
+		results[i] = binaryBatchItem{Status: http.StatusOK, Cache: state, Body: body}
+	})
+	if err := ctx.Err(); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	buf := binBufPool.Get().(*[]byte)
+	defer binBufPool.Put(buf)
+	*buf = appendBatchResponseBinary((*buf)[:0], results)
+	writeBinaryBytes(w, *buf)
 }
 
 // withScenarioName splices a scenario name into a cached, name-free

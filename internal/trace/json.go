@@ -42,39 +42,55 @@ func (s *Scenario) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &w); err != nil {
 		return fmt.Errorf("trace: decoding scenario: %w", err)
 	}
-	if w.Charging == nil || w.Usage == nil {
-		return fmt.Errorf("trace: scenario %q needs charging and usage schedules", w.Name)
+	dec, err := NewScenario(w.Name, w.Charging, w.Usage, w.Weight,
+		w.CapacityMax, w.CapacityMin, w.InitialCharge)
+	if err != nil {
+		return err
 	}
-	if w.Charging.Step != w.Usage.Step || w.Charging.Len() != w.Usage.Len() {
-		return fmt.Errorf("trace: scenario %q: charging %d×%gs vs usage %d×%gs",
-			w.Name, w.Charging.Len(), w.Charging.Step, w.Usage.Len(), w.Usage.Step)
-	}
-	if w.Weight != nil && (w.Weight.Step != w.Usage.Step || w.Weight.Len() != w.Usage.Len()) {
-		return fmt.Errorf("trace: scenario %q: weight geometry mismatch", w.Name)
-	}
-	if w.CapacityMax == 0 {
-		w.CapacityMax = DefaultCapacityMax
-	}
-	if w.CapacityMin == 0 {
-		w.CapacityMin = DefaultCapacityMin
-	}
-	if w.InitialCharge == 0 {
-		w.InitialCharge = w.CapacityMin
-	}
-	if w.CapacityMax <= w.CapacityMin {
-		return fmt.Errorf("trace: scenario %q: Cmax %g must exceed Cmin %g",
-			w.Name, w.CapacityMax, w.CapacityMin)
-	}
-	*s = Scenario{
-		Name:          w.Name,
-		Charging:      w.Charging,
-		Usage:         w.Usage,
-		Weight:        w.Weight,
-		CapacityMax:   w.CapacityMax,
-		CapacityMin:   w.CapacityMin,
-		InitialCharge: w.InitialCharge,
-	}
+	*s = dec
 	return nil
+}
+
+// NewScenario assembles a scenario from its wire fields, applying
+// exactly the normalization the JSON decoder does: charging and usage
+// are required and must share geometry, a weight grid must match
+// them, and zero battery fields take the paper defaults. Every
+// decoder of an alternative wire encoding (the server's binary plan
+// codec) routes through it so the same bytes-to-scenario semantics
+// hold regardless of transport.
+func NewScenario(name string, charging, usage, weight *schedule.Grid, capacityMax, capacityMin, initialCharge float64) (Scenario, error) {
+	if charging == nil || usage == nil {
+		return Scenario{}, fmt.Errorf("trace: scenario %q needs charging and usage schedules", name)
+	}
+	if charging.Step != usage.Step || charging.Len() != usage.Len() {
+		return Scenario{}, fmt.Errorf("trace: scenario %q: charging %d×%gs vs usage %d×%gs",
+			name, charging.Len(), charging.Step, usage.Len(), usage.Step)
+	}
+	if weight != nil && (weight.Step != usage.Step || weight.Len() != usage.Len()) {
+		return Scenario{}, fmt.Errorf("trace: scenario %q: weight geometry mismatch", name)
+	}
+	if capacityMax == 0 {
+		capacityMax = DefaultCapacityMax
+	}
+	if capacityMin == 0 {
+		capacityMin = DefaultCapacityMin
+	}
+	if initialCharge == 0 {
+		initialCharge = capacityMin
+	}
+	if capacityMax <= capacityMin {
+		return Scenario{}, fmt.Errorf("trace: scenario %q: Cmax %g must exceed Cmin %g",
+			name, capacityMax, capacityMin)
+	}
+	return Scenario{
+		Name:          name,
+		Charging:      charging,
+		Usage:         usage,
+		Weight:        weight,
+		CapacityMax:   capacityMax,
+		CapacityMin:   capacityMin,
+		InitialCharge: initialCharge,
+	}, nil
 }
 
 // LoadScenario reads a scenario from a JSON file, letting deployments
