@@ -23,6 +23,8 @@
 //	dpmd -no-shed                          # queue-until-expired instead of shedding
 //	dpmd -fleet-max-sessions 100000        # cap fleet sessions (503 + Retry-After beyond)
 //	dpmd -fleet-idle-ttl 1h                # park idle sessions' checkpoints after an hour
+//	dpmd -ingest-addr :8125                # StatsD UDP telemetry → live forecasts → divergence replans
+//	dpmd -ingest-addr :8125 -ingest-flush 500ms -ingest-predictor exponential
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that flips /readyz,
 // waits out -drain-grace, then drains in-flight requests.
@@ -70,6 +72,16 @@ func main() {
 		"cap on live fleet sessions; registrations beyond it answer 503 with Retry-After (0 = unlimited)")
 	fleetIdleTTL := flag.Duration("fleet-idle-ttl", 0,
 		"evict fleet sessions untouched this long, parking their checkpoints for handback on re-register (0 = never evict)")
+	ingestAddr := flag.String("ingest-addr", "",
+		"run the StatsD telemetry ingestion daemon on this UDP address; registered devices stream counters/gauges and sustained forecast divergence replans their sessions (empty disables)")
+	ingestFlush := flag.Duration("ingest-flush", time.Second,
+		"ingestion flush interval: each window closes one observed schedule slot per device (0 = manual flushes via POST /v1/ingest/flush only)")
+	ingestPredictor := flag.String("ingest-predictor", "last-period",
+		"forecast estimator for observed periods: last-period, moving-average or exponential")
+	divergenceThreshold := flag.Float64("divergence-threshold", 0.25,
+		"observed-vs-planned relative error above which an ingestion slot counts toward a replan")
+	ingestEventEnergy := flag.Float64("ingest-event-energy", 1,
+		"joules per counted ingestion event (converts device counters to slot energy)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -86,6 +98,13 @@ func main() {
 		FleetPartitions:  *fleetPartitions,
 		FleetMaxSessions: *fleetMaxSessions,
 		FleetIdleTTL:     *fleetIdleTTL,
+	}
+	if *ingestAddr != "" {
+		cfg.IngestAddr = *ingestAddr
+		cfg.IngestFlush = *ingestFlush
+		cfg.IngestPredictor = *ingestPredictor
+		cfg.DivergenceThreshold = *divergenceThreshold
+		cfg.IngestEventEnergyJ = *ingestEventEnergy
 	}
 	if !*quiet {
 		if *logJSON {
@@ -121,6 +140,10 @@ func logStartupConfig(cfg server.Config, tableCacheEntries int, shutdownTimeout 
 		obs.F("fleet_partitions", cfg.FleetPartitions),
 		obs.F("fleet_max_sessions", cfg.FleetMaxSessions),
 		obs.F("fleet_idle_ttl", cfg.FleetIdleTTL.String()),
+		obs.F("ingest_addr", cfg.IngestAddr),
+		obs.F("ingest_flush", cfg.IngestFlush.String()),
+		obs.F("ingest_predictor", cfg.IngestPredictor),
+		obs.F("divergence_threshold", cfg.DivergenceThreshold),
 		obs.F("log_json", cfg.AccessLog != nil),
 	}
 	if cfg.AccessLog != nil {

@@ -62,10 +62,15 @@ func RunPredictive(cfg Config, p predict.Predictor) (*dpm.SimResult, error) {
 		demand := cfg.Usage
 		if period > 0 {
 			predicted, err := p.Predict()
-			if err != nil {
+			switch {
+			case predict.IsInsufficientHistory(err):
+				// Windowed predictor still warming up: stay reactive on
+				// the configured schedule until it can estimate.
+			case err != nil:
 				return nil, err
+			default:
+				demand = predicted
 			}
-			demand = predicted
 		}
 		c := cfg
 		c.Usage = demand

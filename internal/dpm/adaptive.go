@@ -101,10 +101,15 @@ func SimulateAdaptive(cfg AdaptiveConfig) (*SimResult, error) {
 				return nil, fmt.Errorf("dpm: period %d observe: %w", periodIdx, err)
 			}
 			predicted, err := cfg.Predictor.Predict()
-			if err != nil {
+			switch {
+			case predict.IsInsufficientHistory(err):
+				// A windowed predictor still warming up: keep planning on
+				// the current expectation until it has enough periods.
+			case err != nil:
 				return nil, fmt.Errorf("dpm: period %d predict: %w", periodIdx, err)
+			default:
+				expected = predicted
 			}
-			expected = predicted
 		}
 	}
 	res.Battery = bat.Snapshot()

@@ -171,9 +171,14 @@ func Endurance(cfg EnduranceConfig) (*EnduranceResult, error) {
 			if err := cfg.Predictor.Observe(actual); err != nil {
 				return nil, err
 			}
-			expected, err = cfg.Predictor.Predict()
-			if err != nil {
-				return nil, err
+			predicted, perr := cfg.Predictor.Predict()
+			switch {
+			case predict.IsInsufficientHistory(perr):
+				// Keep the current expectation until the window fills.
+			case perr != nil:
+				return nil, perr
+			default:
+				expected = predicted
 			}
 		}
 	}

@@ -1,0 +1,54 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dpm/internal/schedule"
+)
+
+// BenchmarkParseLine measures the hot parse path on a representative
+// sampled counter line.
+func BenchmarkParseLine(b *testing.B) {
+	line := []byte("sat-007.events:+3|c|@0.5")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, reason := ParseLine(line); reason != "" {
+			b.Fatal(reason)
+		}
+	}
+}
+
+// BenchmarkIngestFlush measures one full flush pass — 64 tracked
+// devices, each with a fresh sample window — including the per-device
+// slot close, divergence scoring and span capture.
+func BenchmarkIngestFlush(b *testing.B) {
+	d, err := New(Config{EventEnergyJ: 4.8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	vals := make([]float64, 12)
+	for i := range vals {
+		vals[i] = 1.2
+	}
+	g := schedule.NewGrid(4.8, vals)
+	var datagram []byte
+	for i := 0; i < 64; i++ {
+		id := fmt.Sprintf("dev-%03d", i)
+		if err := d.Track(id, g, g); err != nil {
+			b.Fatal(err)
+		}
+		datagram = append(datagram, []byte(id+".events:6|c\n"+id+".charge:2.4|g\n")...)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Inject(datagram)
+		if _, err := d.FlushNow(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

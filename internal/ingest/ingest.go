@@ -1,0 +1,969 @@
+// Package ingest closes the paper's §4.3 loop with measured traffic:
+// a StatsD-style UDP daemon accepts high-rate per-device counters
+// (task arrivals) and gauges (charging power), aggregates them into
+// per-flush-window buckets inside goroutine-owned shards (FNV-routed,
+// mirroring internal/fleet partitioning), and at each flush closes
+// one slot of an observed schedule.Grid per device. Completed periods
+// feed internal/predict estimators into updated usage/charging
+// forecasts, and a divergence monitor with hysteresis compares
+// observed against planned per-slot — on a sustained breach the next
+// period wrap triggers a forecast-driven replan through the Replanner
+// (the server bridges it onto fleet.Register/Tick).
+//
+// Every stage is itself observable: dpmd_ingest_* Prometheus families
+// (WriteProm), obs spans on the flush→forecast→replan pipeline
+// (FlushNow records the span tree), and structured log events for
+// every triggered replan.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpm/internal/obs"
+	"dpm/internal/predict"
+	"dpm/internal/scenario"
+	"dpm/internal/schedule"
+)
+
+// ErrClosed reports an operation on a closed daemon.
+var ErrClosed = errors.New("ingest: daemon closed")
+
+// SlotObservation is one closed flush window, converted to the
+// energy-report form Algorithm 3 consumes.
+type SlotObservation struct {
+	// Slot is the period-relative slot index the window closed.
+	Slot int
+	// UsedJ is the observed task energy over the slot (events ×
+	// EventEnergyJ).
+	UsedJ float64
+	// SuppliedJ is the observed charging energy over the slot (mean
+	// gauge watts × τ).
+	SuppliedJ float64
+}
+
+// Replanner receives the loop's outputs. The server implements it on
+// top of internal/fleet; tests stub it.
+type Replanner interface {
+	// Tick streams one closed slot's observed energies into the
+	// device's live session.
+	Tick(ctx context.Context, deviceID string, obs SlotObservation) error
+	// Replan rebuilds the device's session around the new forecasts —
+	// called only after a sustained divergence breach, at a period
+	// boundary, with both forecast grids available.
+	Replan(ctx context.Context, deviceID string, usage, charging *schedule.Grid) error
+}
+
+// Predictor selectors for Config.Predictor.
+const (
+	PredictorLastPeriod    = "last-period"
+	PredictorMovingAverage = "moving-average"
+	PredictorExponential   = "exponential"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Addr is the UDP listen address; empty runs without a listener
+	// (samples arrive only via Inject — tests).
+	Addr string
+	// FlushInterval closes one slot per device each interval. 0
+	// disables the timer: flushes happen only via FlushNow (the
+	// deterministic test/ops mode). The wall-clock interval is
+	// decoupled from the scenario's τ — each window maps onto one
+	// τ-slot, so a 100 ms interval replays a 4.8 s slot at 48×.
+	FlushInterval time.Duration
+	// Predictor selects the forecast estimator: "last-period"
+	// (default), "moving-average" or "exponential".
+	Predictor string
+	// Window is the moving-average window in periods (default 4).
+	Window int
+	// Alpha is the exponential smoothing weight (default 0.4).
+	Alpha float64
+	// DivergenceThreshold is the per-slot relative error above which
+	// a slot counts as breached (default 0.25).
+	DivergenceThreshold float64
+	// HysteresisUp is the consecutive breached slots required to arm
+	// a replan (default 3); HysteresisDown the consecutive clear
+	// slots required to re-arm after one fires (default 2). Together
+	// they keep a boundary-oscillating signal from flapping replans.
+	HysteresisUp   int
+	HysteresisDown int
+	// EventEnergyJ converts counted events to joules (default 1).
+	EventEnergyJ float64
+	// Shards is the aggregation shard count, rounded up to a power of
+	// two (default 4); MaxDevices caps tracked-device cardinality
+	// across all shards (default 1024).
+	Shards     int
+	MaxDevices int
+	// Replanner receives ticks and divergence replans; nil means
+	// observe-only (forecasts still update).
+	Replanner Replanner
+	// Stages, when set, receives the flush/forecast/replan span
+	// durations; Log, when set, receives structured events for
+	// triggered replans and tick failures.
+	Stages *obs.HistogramVec
+	Log    *obs.Logger
+}
+
+func (c *Config) setDefaults() {
+	if c.Predictor == "" {
+		c.Predictor = PredictorLastPeriod
+	}
+	if c.Window == 0 {
+		c.Window = 4
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.4
+	}
+	if c.DivergenceThreshold == 0 {
+		c.DivergenceThreshold = 0.25
+	}
+	if c.HysteresisUp == 0 {
+		c.HysteresisUp = 3
+	}
+	if c.HysteresisDown == 0 {
+		c.HysteresisDown = 2
+	}
+	if c.EventEnergyJ == 0 {
+		c.EventEnergyJ = 1
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.MaxDevices == 0 {
+		c.MaxDevices = 1024
+	}
+}
+
+// NewPredictor builds one estimator from the daemon's selector — the
+// factory Track uses per device and signal.
+func NewPredictor(name string, window int, alpha float64) (predict.Predictor, error) {
+	switch name {
+	case PredictorLastPeriod:
+		return predict.NewLastPeriod(), nil
+	case PredictorMovingAverage:
+		return predict.NewMovingAverage(window)
+	case PredictorExponential:
+		return predict.NewExponential(alpha)
+	}
+	return nil, fmt.Errorf("ingest: unknown predictor %q (want %s, %s or %s)",
+		name, PredictorLastPeriod, PredictorMovingAverage, PredictorExponential)
+}
+
+// divergenceFloorW keeps the relative error meaningful where the plan
+// is (near-)zero: |obs−plan| is divided by max(|plan|, floor).
+const divergenceFloorW = 0.1
+
+// Daemon is one ingestion instance.
+type Daemon struct {
+	cfg    Config
+	shards []*shard
+	mask   uint64
+
+	// mu serializes public entry points against Close: senders hold
+	// the read side while touching shard channels, Close flips closed
+	// under the write side before the channels shut.
+	mu     sync.RWMutex
+	closed bool
+
+	conn    *net.UDPConn
+	quit    chan struct{}
+	wg      sync.WaitGroup // reader + flush ticker
+	shardWG sync.WaitGroup
+
+	datagrams  atomic.Uint64
+	lines      atomic.Uint64
+	parsed     atomic.Uint64
+	applied    atomic.Uint64
+	slotsTotal atomic.Uint64
+	flushes    atomic.Uint64
+	replans    atomic.Uint64
+	tickErrors atomic.Uint64
+	deviceN    atomic.Int64
+	drops      []atomic.Uint64 // indexed like DropReasons
+
+	flushHist *obs.HistogramVec
+
+	traceMu   sync.Mutex
+	lastSpans []obs.SpanNode
+	lastFlush time.Time
+}
+
+// dropIndex maps a drop reason to its counter slot.
+var dropIndex = func() map[string]int {
+	m := make(map[string]int, len(DropReasons))
+	for i, r := range DropReasons {
+		m[r] = i
+	}
+	return m
+}()
+
+// New validates the configuration and builds the daemon (shard loops
+// start immediately; the UDP listener and flush timer start on
+// Start).
+func New(cfg Config) (*Daemon, error) {
+	cfg.setDefaults()
+	if _, err := NewPredictor(cfg.Predictor, cfg.Window, cfg.Alpha); err != nil {
+		return nil, err
+	}
+	if cfg.DivergenceThreshold < 0 || !scenario.IsFinite(cfg.DivergenceThreshold) {
+		return nil, fmt.Errorf("ingest: divergence threshold %g must be finite and non-negative", cfg.DivergenceThreshold)
+	}
+	if cfg.HysteresisUp < 1 || cfg.HysteresisDown < 1 {
+		return nil, fmt.Errorf("ingest: hysteresis %d/%d must be at least 1", cfg.HysteresisUp, cfg.HysteresisDown)
+	}
+	if cfg.EventEnergyJ <= 0 || !scenario.IsFinite(cfg.EventEnergyJ) {
+		return nil, fmt.Errorf("ingest: event energy %g J must be finite and positive", cfg.EventEnergyJ)
+	}
+	if cfg.FlushInterval < 0 {
+		return nil, fmt.Errorf("ingest: negative flush interval %s", cfg.FlushInterval)
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	d := &Daemon{
+		cfg:   cfg,
+		mask:  uint64(n - 1),
+		quit:  make(chan struct{}),
+		drops: make([]atomic.Uint64, len(DropReasons)),
+		flushHist: obs.NewHistogramVec("dpmd_ingest_flush_duration_seconds",
+			"Wall time of one full flush pass (all shards), by outcome.", "result", nil),
+	}
+	d.shards = make([]*shard, n)
+	for i := range d.shards {
+		sh := &shard{d: d, ch: make(chan shardCmd, 1024), devices: make(map[string]*device)}
+		d.shards[i] = sh
+		d.shardWG.Add(1)
+		go sh.loop()
+	}
+	return d, nil
+}
+
+// Start binds the UDP listener (when configured) and starts the flush
+// timer (when FlushInterval > 0).
+func (d *Daemon) Start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.cfg.Addr != "" && d.conn == nil {
+		addr, err := net.ResolveUDPAddr("udp", d.cfg.Addr)
+		if err != nil {
+			return fmt.Errorf("ingest: resolve %s: %w", d.cfg.Addr, err)
+		}
+		conn, err := net.ListenUDP("udp", addr)
+		if err != nil {
+			return fmt.Errorf("ingest: listen %s: %w", d.cfg.Addr, err)
+		}
+		d.conn = conn
+		d.wg.Add(1)
+		go d.readLoop(conn)
+	}
+	if d.cfg.FlushInterval > 0 {
+		d.wg.Add(1)
+		go d.flushLoop()
+	}
+	return nil
+}
+
+// Addr returns the bound UDP address, or "" without a listener.
+func (d *Daemon) Addr() string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.conn == nil {
+		return ""
+	}
+	return d.conn.LocalAddr().String()
+}
+
+// Close stops the listener, the flush timer and every shard loop. It
+// is idempotent and leaves no goroutines behind.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	conn := d.conn
+	d.mu.Unlock()
+	close(d.quit)
+	if conn != nil {
+		conn.Close() //nolint:errcheck
+	}
+	d.wg.Wait()
+	for _, sh := range d.shards {
+		close(sh.ch)
+	}
+	d.shardWG.Wait()
+}
+
+// readLoop drains datagrams until the connection closes.
+func (d *Daemon) readLoop(conn *net.UDPConn) {
+	defer d.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-d.quit:
+				return
+			default:
+			}
+			// Transient errors (e.g. ICMP-induced) back off briefly;
+			// a closed socket lands in the quit case next read.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		d.datagrams.Add(1)
+		d.ingestDatagram(buf[:n])
+	}
+}
+
+// Inject feeds one datagram's bytes directly — the test entry point
+// bypassing UDP delivery jitter.
+func (d *Daemon) Inject(data []byte) {
+	d.datagrams.Add(1)
+	d.ingestDatagram(data)
+}
+
+// ingestDatagram parses the newline-separated lines and routes the
+// samples to their shards, batched per shard. The reader never
+// blocks: a full shard queue sheds the batch with reason
+// "backpressure".
+func (d *Daemon) ingestDatagram(data []byte) {
+	var batches map[uint64][]Sample
+	start := 0
+	for i := 0; i <= len(data); i++ {
+		if i != len(data) && data[i] != '\n' {
+			continue
+		}
+		line := data[start:i]
+		start = i + 1
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) == 0 {
+			// Trailing newline / blank separator: not a counted line.
+			continue
+		}
+		d.lines.Add(1)
+		s, reason := ParseLine(line)
+		if reason != "" {
+			d.drop(reason)
+			continue
+		}
+		d.parsed.Add(1)
+		idx := fnv64(s.Device) & d.mask
+		if batches == nil {
+			batches = make(map[uint64][]Sample, 2)
+		}
+		batches[idx] = append(batches[idx], s)
+	}
+	if batches == nil {
+		return
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return
+	}
+	for idx, samples := range batches {
+		select {
+		case d.shards[idx].ch <- shardCmd{samples: samples}:
+		default:
+			for range samples {
+				d.drop(DropBackpressure)
+			}
+		}
+	}
+}
+
+func (d *Daemon) drop(reason string) {
+	if i, ok := dropIndex[reason]; ok {
+		d.drops[i].Add(1)
+	}
+}
+
+// flushLoop drives periodic flushes.
+func (d *Daemon) flushLoop() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.quit:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), 2*d.cfg.FlushInterval+time.Second)
+			d.FlushNow(ctx) //nolint:errcheck
+			cancel()
+		}
+	}
+}
+
+// fnv64 is the FNV-1a hash fleet and plancache route with.
+func fnv64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// shard owns a disjoint set of devices; all device state is touched
+// only by its loop goroutine (the fleet partition idiom).
+type shard struct {
+	d       *Daemon
+	ch      chan shardCmd
+	devices map[string]*device
+}
+
+// shardCmd is one queue entry: a sample batch (from the reader), a
+// control closure (track/flush/stats), or both halves unused.
+type shardCmd struct {
+	samples []Sample
+	fn      func(*shard)
+	done    chan struct{}
+}
+
+func (sh *shard) loop() {
+	defer sh.d.shardWG.Done()
+	for cmd := range sh.ch {
+		if len(cmd.samples) > 0 {
+			sh.apply(cmd.samples)
+		}
+		if cmd.fn != nil {
+			cmd.fn(sh)
+		}
+		if cmd.done != nil {
+			close(cmd.done)
+		}
+	}
+}
+
+// do runs fn inside the shard goroutine and waits for it. Callers
+// must hold d.mu.RLock (the closed guard).
+func (sh *shard) do(fn func(*shard)) {
+	done := make(chan struct{})
+	sh.ch <- shardCmd{fn: fn, done: done}
+	<-done
+}
+
+// apply accumulates a parsed batch into the owning devices' windows.
+func (sh *shard) apply(samples []Sample) {
+	for _, s := range samples {
+		dev, ok := sh.devices[s.Device]
+		if !ok {
+			sh.d.drop(DropUntracked)
+			continue
+		}
+		switch s.Kind {
+		case KindCounter:
+			dev.events += s.Value
+		case KindGauge:
+			if s.Delta {
+				dev.gaugeLevel += s.Value
+			} else {
+				dev.gaugeLevel = s.Value
+			}
+			if dev.gaugeLevel < 0 {
+				dev.gaugeLevel = 0
+			}
+			dev.gaugeSum += dev.gaugeLevel
+			dev.gaugeCount++
+		}
+		sh.d.applied.Add(1)
+	}
+}
+
+// device is one tracked device's aggregation, forecast and
+// divergence state. Owned by its shard goroutine.
+type device struct {
+	id    string
+	step  float64
+	slots int
+
+	// plannedUsage/plannedCharging are the per-slot watts the live
+	// plan was built from — registration values until a divergence
+	// replan installs the forecasts.
+	plannedUsage    []float64
+	plannedCharging []float64
+
+	// Window accumulators (reset each flush).
+	events     float64
+	gaugeLevel float64
+	gaugeSum   float64
+	gaugeCount int
+
+	// Period accumulators.
+	slot        int
+	obsUsage    []float64
+	obsCharging []float64
+
+	usagePred        predict.Predictor
+	chargingPred     predict.Predictor
+	forecastUsage    *schedule.Grid
+	forecastCharging *schedule.Grid
+
+	divergence   float64
+	breachStreak int
+	clearStreak  int
+	pending      bool
+	cooldown     bool
+
+	periods uint64
+	replans uint64
+}
+
+// Track registers (or re-registers) a device: the planned grids
+// establish the slot geometry the observed grids mirror. Re-tracking
+// with the same geometry updates the plan in place and keeps the
+// predictor history; a geometry change resets the device.
+func (d *Daemon) Track(deviceID string, usage, charging *schedule.Grid) error {
+	if deviceID == "" {
+		return fmt.Errorf("ingest: empty device id")
+	}
+	if usage == nil || charging == nil {
+		return fmt.Errorf("ingest: device %s: nil planned grid", deviceID)
+	}
+	if usage.Step != charging.Step || usage.Len() != charging.Len() {
+		return fmt.Errorf("ingest: device %s: usage %d×%gs vs charging %d×%gs",
+			deviceID, usage.Len(), usage.Step, charging.Len(), charging.Step)
+	}
+	if usage.Len() == 0 {
+		return fmt.Errorf("ingest: device %s: empty planned grid", deviceID)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	var err error
+	sh := d.shards[fnv64(deviceID)&d.mask]
+	sh.do(func(sh *shard) {
+		err = sh.track(deviceID, usage, charging)
+	})
+	return err
+}
+
+func (sh *shard) track(deviceID string, usage, charging *schedule.Grid) error {
+	dev, ok := sh.devices[deviceID]
+	if ok && dev.step == usage.Step && dev.slots == usage.Len() {
+		copy(dev.plannedUsage, usage.Values)
+		copy(dev.plannedCharging, charging.Values)
+		return nil
+	}
+	if !ok && int(sh.d.deviceN.Load()) >= sh.d.cfg.MaxDevices {
+		sh.d.drop(DropCardinality)
+		return fmt.Errorf("ingest: tracked-device cap %d reached", sh.d.cfg.MaxDevices)
+	}
+	up, _ := NewPredictor(sh.d.cfg.Predictor, sh.d.cfg.Window, sh.d.cfg.Alpha)
+	cp, _ := NewPredictor(sh.d.cfg.Predictor, sh.d.cfg.Window, sh.d.cfg.Alpha)
+	n := usage.Len()
+	if !ok {
+		sh.d.deviceN.Add(1)
+	}
+	sh.devices[deviceID] = &device{
+		id:              deviceID,
+		step:            usage.Step,
+		slots:           n,
+		plannedUsage:    append([]float64(nil), usage.Values...),
+		plannedCharging: append([]float64(nil), charging.Values...),
+		obsUsage:        make([]float64, n),
+		obsCharging:     make([]float64, n),
+		usagePred:       up,
+		chargingPred:    cp,
+	}
+	return nil
+}
+
+// Untrack drops a device's ingestion state (fleet drain).
+func (d *Daemon) Untrack(deviceID string) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return
+	}
+	sh := d.shards[fnv64(deviceID)&d.mask]
+	sh.do(func(sh *shard) {
+		if _, ok := sh.devices[deviceID]; ok {
+			delete(sh.devices, deviceID)
+			sh.d.deviceN.Add(-1)
+		}
+	})
+}
+
+// FlushResult summarizes one flush pass.
+type FlushResult struct {
+	// Devices is the tracked-device count at flush time; SlotsClosed
+	// the windows closed (= Devices); Replans the divergence replans
+	// this pass fired.
+	Devices     int `json:"devices"`
+	SlotsClosed int `json:"slotsClosed"`
+	Replans     int `json:"replans"`
+}
+
+// FlushNow closes the current window of every tracked device: each
+// device's accumulated counters become one observed slot, the slot is
+// ticked into its fleet session, divergence is scored, and at period
+// boundaries the predictors re-forecast (firing a pending replan).
+// Shards flush sequentially so the recorded span tree is a single
+// deterministic flush→forecast→replan forest.
+func (d *Daemon) FlushNow(ctx context.Context) (FlushResult, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return FlushResult{}, ErrClosed
+	}
+	start := time.Now()
+	rec := &obs.Recorder{Stages: d.cfg.Stages, Trace: obs.NewTrace()}
+	ctx = obs.WithRecorder(ctx, rec)
+	ctx, span := obs.StartSpan(ctx, "ingest.flush")
+	var res FlushResult
+	for _, sh := range d.shards {
+		sh.do(func(sh *shard) {
+			slots, replans := sh.flush(ctx)
+			res.Devices += len(sh.devices)
+			res.SlotsClosed += slots
+			res.Replans += replans
+		})
+	}
+	span.SetAttr("devices", res.Devices)
+	span.SetAttr("replans", res.Replans)
+	span.End()
+	d.flushes.Add(1)
+	d.flushHist.Observe("ok", time.Since(start).Seconds())
+	d.traceMu.Lock()
+	d.lastSpans = rec.Trace.Tree()
+	d.lastFlush = start
+	d.traceMu.Unlock()
+	return res, nil
+}
+
+// flush closes one slot for every device in the shard, in device-id
+// order for deterministic span trees.
+func (sh *shard) flush(ctx context.Context) (slots, replans int) {
+	if len(sh.devices) == 0 {
+		return 0, 0
+	}
+	ids := make([]string, 0, len(sh.devices))
+	for id := range sh.devices {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		slots++
+		if sh.flushDevice(ctx, sh.devices[id]) {
+			replans++
+		}
+	}
+	return slots, replans
+}
+
+func clampPower(w float64) float64 {
+	if math.IsNaN(w) || w < 0 {
+		return 0
+	}
+	if w > scenario.MaxPowerW {
+		return scenario.MaxPowerW
+	}
+	return w
+}
+
+// flushDevice closes the device's window into one observed slot and
+// runs the divergence state machine. Reports whether a replan fired.
+func (sh *shard) flushDevice(ctx context.Context, dev *device) bool {
+	cfg := &sh.d.cfg
+	usageW := clampPower(dev.events * cfg.EventEnergyJ / dev.step)
+	chargeW := dev.gaugeLevel // carry-forward when the window was silent
+	if dev.gaugeCount > 0 {
+		chargeW = dev.gaugeSum / float64(dev.gaugeCount)
+	}
+	chargeW = clampPower(chargeW)
+	dev.events = 0
+	dev.gaugeSum = 0
+	dev.gaugeCount = 0
+	dev.obsUsage[dev.slot] = usageW
+	dev.obsCharging[dev.slot] = chargeW
+	sh.d.slotsTotal.Add(1)
+
+	if cfg.Replanner != nil {
+		err := cfg.Replanner.Tick(ctx, dev.id, SlotObservation{
+			Slot:      dev.slot,
+			UsedJ:     usageW * dev.step,
+			SuppliedJ: chargeW * dev.step,
+		})
+		if err != nil {
+			sh.d.tickErrors.Add(1)
+			if cfg.Log != nil {
+				cfg.Log.Event("ingest_tick_error",
+					obs.F("device", dev.id),
+					obs.F("slot", dev.slot),
+					obs.F("error", err.Error()))
+			}
+		}
+	}
+
+	// Divergence with hysteresis: a slot is breached when either
+	// signal's relative error exceeds the threshold. HysteresisUp
+	// consecutive breaches arm a replan (entering cooldown at the same
+	// moment, so an oscillating boundary cannot re-arm); the cooldown
+	// lifts after HysteresisDown consecutive clear slots.
+	rel := func(obs, plan float64) float64 {
+		return math.Abs(obs-plan) / math.Max(math.Abs(plan), divergenceFloorW)
+	}
+	dev.divergence = math.Max(rel(usageW, dev.plannedUsage[dev.slot]),
+		rel(chargeW, dev.plannedCharging[dev.slot]))
+	if dev.divergence > cfg.DivergenceThreshold {
+		dev.clearStreak = 0
+		dev.breachStreak++
+		if !dev.cooldown && dev.breachStreak >= cfg.HysteresisUp {
+			dev.pending = true
+			dev.cooldown = true
+		}
+	} else {
+		dev.breachStreak = 0
+		dev.clearStreak++
+		if dev.cooldown && !dev.pending && dev.clearStreak >= cfg.HysteresisDown {
+			dev.cooldown = false
+		}
+	}
+
+	dev.slot++
+	if dev.slot < dev.slots {
+		return false
+	}
+	dev.slot = 0
+	dev.periods++
+	return sh.wrapPeriod(ctx, dev)
+}
+
+// wrapPeriod feeds the completed observed period into the predictors
+// and, when a replan is pending and forecasts exist, fires it.
+func (sh *shard) wrapPeriod(ctx context.Context, dev *device) bool {
+	cfg := &sh.d.cfg
+	fctx, fspan := obs.StartSpan(ctx, "ingest.forecast")
+	fspan.SetAttr("device", dev.id)
+	fspan.SetAttr("period", dev.periods)
+	uGrid := schedule.NewGrid(dev.step, append([]float64(nil), dev.obsUsage...))
+	cGrid := schedule.NewGrid(dev.step, append([]float64(nil), dev.obsCharging...))
+	forecastOK := false
+	if err := dev.usagePred.Observe(uGrid); err == nil {
+		err = dev.chargingPred.Observe(cGrid)
+		if err != nil {
+			fspan.SetAttr("error", err.Error())
+		}
+	} else {
+		fspan.SetAttr("error", err.Error())
+	}
+	fu, uerr := dev.usagePred.Predict()
+	fc, cerr := dev.chargingPred.Predict()
+	switch {
+	case predict.IsInsufficientHistory(uerr) || predict.IsInsufficientHistory(cerr):
+		fspan.SetAttr("warmup", true)
+	case uerr != nil || cerr != nil:
+		// Geometry errors cannot happen (Track pins the geometry);
+		// surface whatever did.
+		for _, err := range []error{uerr, cerr} {
+			if err != nil {
+				fspan.SetAttr("error", err.Error())
+			}
+		}
+	default:
+		dev.forecastUsage = fu
+		dev.forecastCharging = fc
+		forecastOK = true
+	}
+	fspan.End()
+
+	if !dev.pending || !forecastOK || cfg.Replanner == nil {
+		return false
+	}
+	rctx, rspan := obs.StartSpan(fctx, "ingest.replan")
+	rspan.SetAttr("device", dev.id)
+	rspan.SetAttr("divergence", dev.divergence)
+	err := cfg.Replanner.Replan(rctx, dev.id, dev.forecastUsage.Clone(), dev.forecastCharging.Clone())
+	rspan.End()
+	if err != nil {
+		// Keep pending: the next period wrap retries with a fresher
+		// forecast.
+		sh.d.tickErrors.Add(1)
+		if cfg.Log != nil {
+			cfg.Log.Event("ingest_replan_error",
+				obs.F("device", dev.id),
+				obs.F("error", err.Error()))
+		}
+		return false
+	}
+	copy(dev.plannedUsage, dev.forecastUsage.Values)
+	copy(dev.plannedCharging, dev.forecastCharging.Values)
+	dev.pending = false
+	dev.breachStreak = 0
+	dev.replans++
+	sh.d.replans.Add(1)
+	if cfg.Log != nil {
+		cfg.Log.Event("ingest_replan",
+			obs.F("device", dev.id),
+			obs.F("period", dev.periods),
+			obs.F("divergence", dev.divergence),
+			obs.F("predictor", cfg.Predictor))
+	}
+	return true
+}
+
+// Stats is a point-in-time snapshot of the daemon's counters.
+type Stats struct {
+	Datagrams      uint64            `json:"datagrams"`
+	Lines          uint64            `json:"lines"`
+	Parsed         uint64            `json:"parsed"`
+	SamplesApplied uint64            `json:"samplesApplied"`
+	Drops          map[string]uint64 `json:"drops"`
+	SlotsClosed    uint64            `json:"slotsClosed"`
+	Flushes        uint64            `json:"flushes"`
+	Replans        uint64            `json:"replans"`
+	TickErrors     uint64            `json:"tickErrors"`
+	Devices        int               `json:"devices"`
+}
+
+// Stats snapshots the counters (lock-free; shard state untouched).
+func (d *Daemon) Stats() Stats {
+	drops := make(map[string]uint64, len(DropReasons))
+	for i, r := range DropReasons {
+		drops[r] = d.drops[i].Load()
+	}
+	return Stats{
+		Datagrams:      d.datagrams.Load(),
+		Lines:          d.lines.Load(),
+		Parsed:         d.parsed.Load(),
+		SamplesApplied: d.applied.Load(),
+		Drops:          drops,
+		SlotsClosed:    d.slotsTotal.Load(),
+		Flushes:        d.flushes.Load(),
+		Replans:        d.replans.Load(),
+		TickErrors:     d.tickErrors.Load(),
+		Devices:        int(d.deviceN.Load()),
+	}
+}
+
+// DeviceStatus is one device's loop state for /v1/ingest/stats.
+type DeviceStatus struct {
+	DeviceID         string    `json:"deviceId"`
+	Slot             int       `json:"slot"`
+	Periods          uint64    `json:"periods"`
+	Divergence       float64   `json:"divergence"`
+	BreachStreak     int       `json:"breachStreak"`
+	PendingReplan    bool      `json:"pendingReplan"`
+	Replans          uint64    `json:"replans"`
+	ForecastUsage    []float64 `json:"forecastUsage,omitempty"`
+	ForecastCharging []float64 `json:"forecastCharging,omitempty"`
+}
+
+// DeviceStatuses snapshots every tracked device, sorted by id.
+func (d *Daemon) DeviceStatuses() []DeviceStatus {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil
+	}
+	var out []DeviceStatus
+	for _, sh := range d.shards {
+		sh.do(func(sh *shard) {
+			for _, dev := range sh.devices {
+				ds := DeviceStatus{
+					DeviceID:      dev.id,
+					Slot:          dev.slot,
+					Periods:       dev.periods,
+					Divergence:    dev.divergence,
+					BreachStreak:  dev.breachStreak,
+					PendingReplan: dev.pending,
+					Replans:       dev.replans,
+				}
+				if dev.forecastUsage != nil {
+					ds.ForecastUsage = append([]float64(nil), dev.forecastUsage.Values...)
+					ds.ForecastCharging = append([]float64(nil), dev.forecastCharging.Values...)
+				}
+				out = append(out, ds)
+			}
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DeviceID < out[j].DeviceID })
+	return out
+}
+
+// LastFlush returns the most recent flush's wall time and span tree.
+func (d *Daemon) LastFlush() (time.Time, []obs.SpanNode) {
+	d.traceMu.Lock()
+	defer d.traceMu.Unlock()
+	return d.lastFlush, d.lastSpans
+}
+
+// WriteProm renders the dpmd_ingest_* families:
+//
+//   - dpmd_ingest_datagrams_total / lines / lines_parsed /
+//     lines_dropped{reason} / samples_applied   counters
+//   - dpmd_ingest_slots_closed_total / flushes / replans / tick_errors
+//   - dpmd_ingest_devices                       gauge (cardinality)
+//   - dpmd_ingest_divergence_score{device}      gauge
+//   - dpmd_ingest_flush_duration_seconds        histogram
+func (d *Daemon) WriteProm(w io.Writer) error {
+	st := d.Stats()
+	for _, c := range []struct {
+		name, help string
+		value      uint64
+	}{
+		{"dpmd_ingest_datagrams_total", "UDP datagrams received.", st.Datagrams},
+		{"dpmd_ingest_lines_total", "StatsD lines received (parsed or dropped).", st.Lines},
+		{"dpmd_ingest_lines_parsed_total", "Lines parsed into samples.", st.Parsed},
+		{"dpmd_ingest_samples_applied_total", "Samples accumulated into a tracked device's window.", st.SamplesApplied},
+		{"dpmd_ingest_slots_closed_total", "Flush windows closed into observed slots.", st.SlotsClosed},
+		{"dpmd_ingest_flushes_total", "Flush passes.", st.Flushes},
+		{"dpmd_ingest_replans_total", "Divergence-triggered fleet replans.", st.Replans},
+		{"dpmd_ingest_tick_errors_total", "Fleet tick/replan bridge failures.", st.TickErrors},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.value); err != nil {
+			return err
+		}
+	}
+	const dropped = "dpmd_ingest_lines_dropped_total"
+	if _, err := fmt.Fprintf(w, "# HELP %s Lines and samples shed, by structured reason.\n# TYPE %s counter\n",
+		dropped, dropped); err != nil {
+		return err
+	}
+	for _, r := range DropReasons {
+		if err := obs.WriteLabeledCounter(w, dropped, [][2]string{{"reason", r}}, st.Drops[r]); err != nil {
+			return err
+		}
+	}
+	if err := obs.WriteGauge(w, "dpmd_ingest_devices",
+		"Tracked devices (per-device cardinality).", float64(st.Devices)); err != nil {
+		return err
+	}
+	const score = "dpmd_ingest_divergence_score"
+	if _, err := fmt.Fprintf(w, "# HELP %s Last observed-vs-planned relative error, by device.\n# TYPE %s gauge\n",
+		score, score); err != nil {
+		return err
+	}
+	for _, ds := range d.DeviceStatuses() {
+		if _, err := fmt.Fprintf(w, "%s{device=%q} %g\n", score, ds.DeviceID, ds.Divergence); err != nil {
+			return err
+		}
+	}
+	return d.flushHist.WriteProm(w)
+}

@@ -1,0 +1,75 @@
+package ingest
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		line string
+		want Sample
+	}{
+		{"counter", "sat-007.events:3|c", Sample{Device: "sat-007", Kind: KindCounter, Value: 3}},
+		{"counter plus", "sat-007.events:+5|c", Sample{Device: "sat-007", Kind: KindCounter, Value: 5}},
+		{"counter fractional", "n.events:0.5|c", Sample{Device: "n", Kind: KindCounter, Value: 0.5}},
+		{"counter sampled", "n.events:2|c|@0.5", Sample{Device: "n", Kind: KindCounter, Value: 4}},
+		{"gauge", "sat-007.charge:2.36|g", Sample{Device: "sat-007", Kind: KindGauge, Value: 2.36}},
+		{"gauge delta up", "n.charge:+0.5|g", Sample{Device: "n", Kind: KindGauge, Value: 0.5, Delta: true}},
+		{"gauge delta down", "n.charge:-0.5|g", Sample{Device: "n", Kind: KindGauge, Value: -0.5, Delta: true}},
+		{"gauge zero", "n.charge:0|g", Sample{Device: "n", Kind: KindGauge, Value: 0}},
+		{"dotted device", "rack1.node2.events:1|c", Sample{Device: "rack1.node2", Kind: KindCounter, Value: 1}},
+	} {
+		got, reason := ParseLine([]byte(tc.line))
+		if reason != "" {
+			t.Errorf("%s: dropped with reason %q", tc.name, reason)
+			continue
+		}
+		if got.Device != tc.want.Device || got.Kind != tc.want.Kind ||
+			math.Abs(got.Value-tc.want.Value) > 1e-12 || got.Delta != tc.want.Delta {
+			t.Errorf("%s: got %+v want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestParseLineDrops(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		line   string
+		reason string
+	}{
+		{"empty", "", DropEmpty},
+		{"oversize", "n.events:" + strings.Repeat("1", MaxLineBytes) + "|c", DropOversize},
+		{"no colon", "n.events|c", DropMalformed},
+		{"colon first", ":1|c", DropMalformed},
+		{"no pipe", "n.events:1", DropMalformed},
+		{"empty value", "n.events:|c", DropMalformed},
+		{"unknown type", "n.events:1|ms", DropType},
+		{"empty type", "n.events:1|", DropType},
+		{"counter field as gauge", "n.events:1|g", DropType},
+		{"gauge field as counter", "n.charge:1|c", DropType},
+		{"no dot", "events:1|c", DropName},
+		{"empty device", ".events:1|c", DropName},
+		{"trailing dot", "n.:1|c", DropName},
+		{"unknown field", "n.cpu:1|c", DropName},
+		{"control byte in device", "n\x01.events:1|c", DropName},
+		{"space in device", "a b.events:1|c", DropName},
+		{"non-ascii device", "ü.events:1|c", DropName},
+		{"nan value", "n.charge:NaN|g", DropValue},
+		{"inf value", "n.charge:Inf|g", DropValue},
+		{"negative counter", "n.events:-1|c", DropValue},
+		{"huge value", "n.events:1e400|c", DropValue},
+		{"garbage value", "n.events:abc|c", DropValue},
+		{"bad rate", "n.events:1|c|0.5", DropRate},
+		{"zero rate", "n.events:1|c|@0", DropRate},
+		{"rate above one", "n.events:1|c|@1.5", DropRate},
+		{"empty rate", "n.events:1|c|@", DropRate},
+	} {
+		_, reason := ParseLine([]byte(tc.line))
+		if reason != tc.reason {
+			t.Errorf("%s: reason = %q, want %q", tc.name, reason, tc.reason)
+		}
+	}
+}

@@ -12,11 +12,54 @@
 package predict
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"dpm/internal/schedule"
 )
+
+// InsufficientHistoryError reports a Predict call before the
+// predictor has observed enough periods to estimate from. Callers
+// feeding live telemetry hit this on every cold start; they should
+// fall back to their prior expectation (errors.As) rather than fail.
+type InsufficientHistoryError struct {
+	// Predictor is the estimator's Name().
+	Predictor string
+	// Have and Need count observed vs required periods.
+	Have, Need int
+}
+
+func (e *InsufficientHistoryError) Error() string {
+	return fmt.Sprintf("predict: %s has %d of %d required observed periods",
+		e.Predictor, e.Have, e.Need)
+}
+
+// IsInsufficientHistory reports whether err is (or wraps) an
+// InsufficientHistoryError.
+func IsInsufficientHistory(err error) bool {
+	var ihe *InsufficientHistoryError
+	return errors.As(err, &ihe)
+}
+
+// GeometryError reports two grids whose slot geometry (step or
+// length) does not line up — an observation against the established
+// history, or a prediction against its realization.
+type GeometryError struct {
+	// Op names the failing operation ("observe" or "evaluate").
+	Op string
+	// WantLen/WantStep describe the established geometry,
+	// GotLen/GotStep the incompatible grid.
+	WantLen  int
+	WantStep float64
+	GotLen   int
+	GotStep  float64
+}
+
+func (e *GeometryError) Error() string {
+	return fmt.Sprintf("predict: %s grid %d×%gs does not match %d×%gs",
+		e.Op, e.GotLen, e.GotStep, e.WantLen, e.WantStep)
+}
 
 // Predictor estimates the next period's per-slot schedule from the
 // observed history. Observe is called once per completed period, in
@@ -38,8 +81,11 @@ func checkCompatible(have *schedule.Grid, incoming *schedule.Grid) error {
 		return fmt.Errorf("predict: nil observation")
 	}
 	if have != nil && (have.Step != incoming.Step || have.Len() != incoming.Len()) {
-		return fmt.Errorf("predict: observation geometry %d×%gs does not match history %d×%gs",
-			incoming.Len(), incoming.Step, have.Len(), have.Step)
+		return &GeometryError{
+			Op:      "observe",
+			WantLen: have.Len(), WantStep: have.Step,
+			GotLen: incoming.Len(), GotStep: incoming.Step,
+		}
 	}
 	return nil
 }
@@ -68,7 +114,7 @@ func (p *LastPeriod) Observe(period *schedule.Grid) error {
 // Predict implements Predictor.
 func (p *LastPeriod) Predict() (*schedule.Grid, error) {
 	if p.last == nil {
-		return nil, fmt.Errorf("predict: last-period has no history")
+		return nil, &InsufficientHistoryError{Predictor: p.Name(), Have: 0, Need: 1}
 	}
 	return p.last.Clone(), nil
 }
@@ -109,10 +155,13 @@ func (p *MovingAverage) Observe(period *schedule.Grid) error {
 	return nil
 }
 
-// Predict implements Predictor.
+// Predict implements Predictor. The window must be full: averaging a
+// partial window silently over-weights the cold-start periods, so a
+// Predict before k observations returns an InsufficientHistoryError
+// the caller can fall back on instead of a zero-confidence grid.
 func (p *MovingAverage) Predict() (*schedule.Grid, error) {
-	if len(p.history) == 0 {
-		return nil, fmt.Errorf("predict: moving-average has no history")
+	if len(p.history) < p.k {
+		return nil, &InsufficientHistoryError{Predictor: p.Name(), Have: len(p.history), Need: p.k}
 	}
 	out := p.history[0].Clone()
 	for _, g := range p.history[1:] {
@@ -157,7 +206,7 @@ func (p *Exponential) Observe(period *schedule.Grid) error {
 // Predict implements Predictor.
 func (p *Exponential) Predict() (*schedule.Grid, error) {
 	if p.estimate == nil {
-		return nil, fmt.Errorf("predict: exponential has no history")
+		return nil, &InsufficientHistoryError{Predictor: p.Name(), Have: 0, Need: 1}
 	}
 	return p.estimate.Clone(), nil
 }
@@ -174,11 +223,18 @@ type Errors struct {
 	Peak float64
 }
 
-// Evaluate compares a prediction with the realized period.
+// Evaluate compares a prediction with the realized period. Nil grids
+// or mismatched geometry return a typed *GeometryError.
 func Evaluate(predicted, actual *schedule.Grid) (Errors, error) {
+	if predicted == nil || actual == nil {
+		return Errors{}, fmt.Errorf("predict: evaluating nil grid")
+	}
 	if predicted.Step != actual.Step || predicted.Len() != actual.Len() {
-		return Errors{}, fmt.Errorf("predict: evaluating %d×%gs against %d×%gs",
-			predicted.Len(), predicted.Step, actual.Len(), actual.Step)
+		return Errors{}, &GeometryError{
+			Op:      "evaluate",
+			WantLen: actual.Len(), WantStep: actual.Step,
+			GotLen: predicted.Len(), GotStep: predicted.Step,
+		}
 	}
 	var e Errors
 	sumSq := 0.0
@@ -196,8 +252,11 @@ func Evaluate(predicted, actual *schedule.Grid) (Errors, error) {
 
 // Backtest replays a sequence of realized periods through a
 // predictor: for each period after the first, it predicts, compares
-// against the realization, then observes it. It returns the per-
-// period errors (len = len(periods) − 1).
+// against the realization, then observes it. Periods the predictor
+// cannot yet estimate (InsufficientHistoryError — e.g. a
+// moving-average window still filling) are observed but not scored,
+// so the returned slice holds at most len(periods) − 1 entries and
+// exactly the periods the predictor was warmed up for.
 func Backtest(p Predictor, periods []*schedule.Grid) ([]Errors, error) {
 	if len(periods) < 2 {
 		return nil, fmt.Errorf("predict: backtest needs at least 2 periods, got %d", len(periods))
@@ -208,14 +267,18 @@ func Backtest(p Predictor, periods []*schedule.Grid) ([]Errors, error) {
 	out := make([]Errors, 0, len(periods)-1)
 	for _, actual := range periods[1:] {
 		predicted, err := p.Predict()
-		if err != nil {
+		switch {
+		case IsInsufficientHistory(err):
+			// Warm-up: nothing to score yet, keep feeding history.
+		case err != nil:
 			return nil, err
+		default:
+			e, err := Evaluate(predicted, actual)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, e)
 		}
-		e, err := Evaluate(predicted, actual)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, e)
 		if err := p.Observe(actual); err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package predict
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -155,12 +156,15 @@ func TestBacktestOnNoisyScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(lastErrs) != 11 || len(avgErrs) != 11 {
+	// The moving average scores only once its 6-period window is full,
+	// so its backtest covers periods 6..11 — compare last-period over
+	// the same evaluated periods.
+	if len(lastErrs) != 11 || len(avgErrs) != 6 {
 		t.Fatalf("backtest lengths %d/%d", len(lastErrs), len(avgErrs))
 	}
-	if MeanRMSE(avgErrs) >= MeanRMSE(lastErrs) {
+	if MeanRMSE(avgErrs) >= MeanRMSE(lastErrs[5:]) {
 		t.Errorf("moving average RMSE %.3f should beat last-period %.3f on i.i.d. jitter",
-			MeanRMSE(avgErrs), MeanRMSE(lastErrs))
+			MeanRMSE(avgErrs), MeanRMSE(lastErrs[5:]))
 	}
 }
 
@@ -176,8 +180,112 @@ func TestMeanRMSEEmpty(t *testing.T) {
 	}
 }
 
+func TestMovingAveragePredictBeforeWindow(t *testing.T) {
+	// A Predict before the window fills must return a typed
+	// InsufficientHistoryError carrying the exact have/need counts, and
+	// succeed on the observation that completes the window.
+	for _, tc := range []struct {
+		k, observed int
+	}{
+		{1, 0},
+		{2, 1},
+		{3, 2},
+		{6, 5},
+		{6, 0},
+	} {
+		p := mustMA(t, tc.k)
+		for i := 0; i < tc.observed; i++ {
+			if err := p.Observe(grid(1, 2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, err := p.Predict()
+		var ihe *InsufficientHistoryError
+		if !errors.As(err, &ihe) {
+			t.Fatalf("MA(%d) after %d observations: err = %v, want InsufficientHistoryError",
+				tc.k, tc.observed, err)
+		}
+		if ihe.Have != tc.observed || ihe.Need != tc.k {
+			t.Errorf("MA(%d) after %d observations: have/need = %d/%d", tc.k, tc.observed, ihe.Have, ihe.Need)
+		}
+		if !IsInsufficientHistory(err) {
+			t.Error("IsInsufficientHistory must match the typed error")
+		}
+		// One more observation completes the window.
+		for i := tc.observed; i < tc.k; i++ {
+			if err := p.Observe(grid(1, 2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := p.Predict(); err != nil {
+			t.Errorf("MA(%d) with a full window: %v", tc.k, err)
+		}
+	}
+}
+
+func TestTypedGeometryErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name              string
+		err               error
+		op                string
+		wantLen, gotLen   int
+		wantStep, gotStep float64
+	}{
+		{
+			name: "evaluate length mismatch",
+			err: func() error {
+				_, err := Evaluate(grid(1), grid(1, 2))
+				return err
+			}(),
+			op: "evaluate", wantLen: 2, gotLen: 1, wantStep: 4.8, gotStep: 4.8,
+		},
+		{
+			name: "evaluate step mismatch",
+			err: func() error {
+				_, err := Evaluate(schedule.NewGrid(1, []float64{1, 2}), grid(1, 2))
+				return err
+			}(),
+			op: "evaluate", wantLen: 2, gotLen: 2, wantStep: 4.8, gotStep: 1,
+		},
+		{
+			name: "observe geometry change",
+			err: func() error {
+				p := NewLastPeriod()
+				if err := p.Observe(grid(1, 2)); err != nil {
+					return err
+				}
+				return p.Observe(grid(1, 2, 3))
+			}(),
+			op: "observe", wantLen: 2, gotLen: 3, wantStep: 4.8, gotStep: 4.8,
+		},
+	} {
+		var ge *GeometryError
+		if !errors.As(tc.err, &ge) {
+			t.Fatalf("%s: err = %v, want GeometryError", tc.name, tc.err)
+		}
+		if ge.Op != tc.op || ge.WantLen != tc.wantLen || ge.GotLen != tc.gotLen ||
+			ge.WantStep != tc.wantStep || ge.GotStep != tc.gotStep {
+			t.Errorf("%s: %+v", tc.name, ge)
+		}
+	}
+}
+
+func TestBacktestSkipsWarmup(t *testing.T) {
+	// A window larger than the history observes every period but never
+	// scores one; the backtest returns zero errors, not a failure.
+	p := mustMA(t, 10)
+	periods := []*schedule.Grid{grid(1), grid(2), grid(3)}
+	errs, err := Backtest(p, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 0 {
+		t.Errorf("backtest inside warm-up scored %d periods, want 0", len(errs))
+	}
+}
+
 func TestPredictorsReturnCopies(t *testing.T) {
-	for _, p := range []Predictor{NewLastPeriod(), mustMA(t, 3), mustExp(t, 0.3)} {
+	for _, p := range []Predictor{NewLastPeriod(), mustMA(t, 1), mustExp(t, 0.3)} {
 		if err := p.Observe(grid(1, 2)); err != nil {
 			t.Fatal(err)
 		}

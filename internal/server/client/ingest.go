@@ -1,0 +1,76 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"dpm/internal/server"
+)
+
+// Ingestion endpoints -----------------------------------------------
+//
+// GET /v1/ingest/stats and POST /v1/ingest/flush expose the telemetry
+// ingestion loop (internal/ingest). Both answer 404 when the server
+// runs without -ingest-addr.
+
+// IngestStats fetches the ingestion daemon's counters, per-device
+// loop state and the last flush's span tree.
+func (c *Client) IngestStats(ctx context.Context) (*server.IngestStatsResponse, error) {
+	var out server.IngestStatsResponse
+	err := c.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/ingest/stats", nil)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return decodeError(resp)
+		}
+		out = server.IngestStatsResponse{}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return fmt.Errorf("client: decoding response: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// IngestFlush closes the current ingestion window of every tracked
+// device immediately and reports the pass — the deterministic
+// alternative to waiting out the flush timer.
+func (c *Client) IngestFlush(ctx context.Context) (*server.IngestFlushResult, error) {
+	var out server.IngestFlushResult
+	err := c.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/ingest/flush", strings.NewReader(""))
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return decodeError(resp)
+		}
+		out = server.IngestFlushResult{}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return fmt.Errorf("client: decoding response: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

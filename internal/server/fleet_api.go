@@ -207,6 +207,7 @@ func (s *Server) handleFleetRegister(w http.ResponseWriter, r *http.Request) {
 		s.fleetFail(w, r, err)
 		return
 	}
+	s.ingestTrack(&req, pcfg, pol, res)
 	body, err := marshalBody(&FleetRegisterResponse{
 		DeviceID: req.DeviceID,
 		Slot:     res.Slot,
@@ -333,6 +334,7 @@ func (s *Server) handleFleetDrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	devices := make([]FleetDrainedDevice, len(drained))
+	ids := make([]string, len(drained))
 	for i, d := range drained {
 		devices[i] = FleetDrainedDevice{
 			DeviceID: d.DeviceID,
@@ -341,7 +343,9 @@ func (s *Server) handleFleetDrain(w http.ResponseWriter, r *http.Request) {
 			State:    d.State,
 			Evicted:  d.Evicted,
 		}
+		ids[i] = d.DeviceID
 	}
+	s.ingestUntrack(ids)
 	body, err := marshalBody(&FleetDrainResponse{Devices: devices, Count: len(devices)})
 	if err != nil {
 		s.fail(w, r, err)

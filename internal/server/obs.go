@@ -83,6 +83,15 @@ func newTelemetry(s *Server) *telemetry {
 	t.registry.Register(obs.CollectorFunc(s.writeCacheProm))
 	t.registry.Register(obs.CollectorFunc(s.writeAdmissionProm))
 	t.registry.Register(obs.CollectorFunc(s.writeFleetProm))
+	// The ingestion daemon is constructed after the registry (it needs
+	// the stage histogram); the collector resolves it at scrape time
+	// and renders nothing while ingestion is disabled.
+	t.registry.Register(obs.CollectorFunc(func(w io.Writer) error {
+		if s.ingest == nil {
+			return nil
+		}
+		return s.ingest.daemon.WriteProm(w)
+	}))
 	t.registry.Register(obs.CollectorFunc(func(w io.Writer) error {
 		return obs.RuntimeCollector{Start: s.stats.StartTime()}.WriteProm(w)
 	}))

@@ -112,6 +112,24 @@ type Config struct {
 	// parking their checkpoints for handback on re-register. 0
 	// disables eviction.
 	FleetIdleTTL time.Duration
+	// IngestAddr, when non-empty, runs the telemetry ingestion daemon
+	// (internal/ingest) on that UDP address: registered devices stream
+	// StatsD counters/gauges, flush windows close observed slots that
+	// tick their fleet sessions, and sustained forecast divergence
+	// replans them. Empty disables ingestion; /v1/ingest/* answer 404.
+	IngestAddr string
+	// IngestFlush is the ingestion flush interval (one observed slot
+	// per window). 0 disables the timer: windows close only via
+	// POST /v1/ingest/flush — the deterministic test/ops mode.
+	IngestFlush time.Duration
+	// IngestPredictor selects the forecast estimator: "last-period"
+	// (default), "moving-average" or "exponential".
+	IngestPredictor string
+	// DivergenceThreshold is the observed-vs-planned relative error
+	// above which an ingestion slot counts as breached (default 0.25).
+	DivergenceThreshold float64
+	// IngestEventEnergyJ converts counted events to joules (default 1).
+	IngestEventEnergyJ float64
 }
 
 func (c *Config) setDefaults() {
@@ -140,7 +158,9 @@ type Server struct {
 	tel   *telemetry
 	adm   *resilience.Controller
 	fleet *fleet.Manager
-	mux   *http.ServeMux
+	// ingest is the telemetry ingestion loop; nil when disabled.
+	ingest *ingestState
+	mux    *http.ServeMux
 
 	// draining flips the moment Shutdown begins; /readyz answers 503
 	// from then on while /healthz keeps reporting liveness.
@@ -194,6 +214,14 @@ func New(cfg Config) (*Server, error) {
 		mux:   http.NewServeMux(),
 	}
 	s.tel = newTelemetry(s)
+	if cfg.IngestAddr != "" || cfg.IngestFlush > 0 {
+		ing, err := newIngest(s)
+		if err != nil {
+			fm.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.ingest = ing
+	}
 	s.mux.Handle("/v1/plan", s.endpoint(http.MethodPost, true, s.handlePlan))
 	s.mux.Handle("/v1/batch", s.endpoint(http.MethodPost, true, s.handleBatch))
 	s.mux.Handle("/v1/params", s.endpoint(http.MethodPost, true, s.handleParams))
@@ -203,6 +231,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("/v1/fleet/tick", s.endpoint(http.MethodPost, true, s.handleFleetTick))
 	s.mux.Handle("/v1/fleet/bulk-tick", s.endpoint(http.MethodPost, true, s.handleFleetBulkTick))
 	s.mux.Handle("/v1/fleet/drain", s.endpoint(http.MethodPost, true, s.handleFleetDrain))
+	s.mux.Handle("/v1/ingest/stats", s.endpoint(http.MethodGet, false, s.handleIngestStats))
+	s.mux.Handle("/v1/ingest/flush", s.endpoint(http.MethodPost, false, s.handleIngestFlush))
 	s.mux.Handle("/healthz", s.endpoint(http.MethodGet, false, s.handleHealthz))
 	s.mux.Handle("/readyz", s.endpoint(http.MethodGet, false, s.handleReadyz))
 	s.mux.Handle("/metrics", s.endpoint(http.MethodGet, false, s.handleMetrics))
@@ -1157,6 +1187,16 @@ func (s *Server) Start() error {
 		s.debugSrv = &http.Server{Handler: debugMux()}
 		go s.debugSrv.Serve(dln) //nolint:errcheck
 	}
+	if s.ingest != nil {
+		if err := s.ingest.daemon.Start(); err != nil {
+			if s.debugLn != nil {
+				s.debugLn.Close() //nolint:errcheck
+				s.debugLn, s.debugSrv = nil, nil
+			}
+			ln.Close() //nolint:errcheck
+			return fmt.Errorf("server: %w", err)
+		}
+	}
 	s.listener = ln
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	s.serveErr = make(chan error, 1)
@@ -1232,7 +1272,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 	if srv == nil {
 		// Never started (handler-only embedding): there are no in-flight
-		// requests to drain, but the fleet partitions may be running.
+		// requests to drain, but the ingestion shards and fleet
+		// partitions may be running. The daemon stops first — its
+		// flushes call into the fleet.
+		if s.ingest != nil {
+			s.ingest.daemon.Close()
+		}
 		s.fleet.Close()
 		return nil
 	}
@@ -1247,13 +1292,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.draining.CompareAndSwap(false, true) && s.cfg.DrainGrace > 0 {
 		holdCtx(ctx, s.cfg.DrainGrace)
 	}
-	if err := srv.Shutdown(ctx); err != nil {
+	// The ingestion daemon stops before the fleet on every path: its
+	// flush loop ticks fleet sessions, so the ordering guarantees no
+	// flush ever observes a closed fleet.
+	closeLoops := func() {
+		if s.ingest != nil {
+			s.ingest.daemon.Close()
+		}
 		s.fleet.Close()
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		closeLoops()
 		return fmt.Errorf("server: shutdown: %w", err)
 	}
 	if errCh != nil {
 		if err, ok := <-errCh; ok && err != nil {
-			s.fleet.Close()
+			closeLoops()
 			return err
 		}
 	}
@@ -1263,7 +1317,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// here had no /v1/fleet/drain call during the grace window; they
 	// are dropped with the process, exactly like the stateless flow
 	// dropping an unsent checkpoint.
-	s.fleet.Close()
+	closeLoops()
 	if s.cfg.AccessLog != nil {
 		s.cfg.AccessLog.Event("shutdown")
 	} else if s.cfg.Logger != nil {
